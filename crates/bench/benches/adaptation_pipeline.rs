@@ -1,0 +1,72 @@
+//! Ablation bench: the cost tiers of the adaptation pipeline the paper's
+//! design exploits — filter-only (no DOM parse), DOM manipulation, and
+//! full snapshot rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, SourceFilter, Target};
+use msite::{adapt, PipelineContext};
+use msite_bench::fixtures;
+use msite_net::{Origin, Request};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let site = fixtures::forum();
+    let page = site
+        .handle(&Request::get(&fixtures::forum_index_url(&site)).unwrap())
+        .body_text();
+    let ctx = PipelineContext {
+        base: "/m/forum".into(),
+        browser_config: Default::default(),
+    };
+
+    // Tier 1: source filters only — "avoiding a DOM parse altogether".
+    let mut filter_spec = AdaptationSpec::new("forum", "http://f/");
+    filter_spec.snapshot = None;
+    let filter_spec = filter_spec
+        .filter(SourceFilter::SetTitle { title: "Mobile".into() })
+        .filter(SourceFilter::Replace { find: "728".into(), replace: "320".into() })
+        .filter(SourceFilter::StripTag { tag: "script".into() });
+
+    // Tier 2: DOM-level attribute application (no rendering).
+    let mut dom_spec = AdaptationSpec::new("forum", "http://f/");
+    dom_spec.snapshot = None;
+    let dom_spec = dom_spec
+        .rule(Target::Css("#leaderboard".into()), vec![Attribute::Remove])
+        .rule(
+            Target::Css("#loginform".into()),
+            vec![Attribute::Subpage {
+                id: "login".into(),
+                title: "Log in".into(),
+                ajax: false,
+                prerender: false,
+            }],
+        )
+        .rule(Target::Css("#navrow".into()), vec![Attribute::LinksToColumns { columns: 2 }]);
+
+    // Tier 3: full snapshot render.
+    let mut snap_spec = dom_spec.clone();
+    snap_spec.snapshot = Some(SnapshotSpec::default());
+
+    let mut group = c.benchmark_group("pipeline_tiers");
+    group.sample_size(20);
+    group.bench_function("tier1_filters_only", |b| {
+        b.iter(|| black_box(adapt(&filter_spec, &page, &ctx).unwrap().entry_html.len()))
+    });
+    group.bench_function("tier2_dom_attributes", |b| {
+        b.iter(|| black_box(adapt(&dom_spec, &page, &ctx).unwrap().entry_html.len()))
+    });
+    group.sample_size(10);
+    group.bench_function("tier3_snapshot_render", |b| {
+        b.iter(|| black_box(adapt(&snap_spec, &page, &ctx).unwrap().images.len()))
+    });
+    group.finish();
+
+    // Sanity: tier1 never parses, tier3 always renders.
+    let tier1 = adapt(&filter_spec, &page, &ctx).unwrap();
+    assert!(!tier1.stats.dom_parsed);
+    let tier3 = adapt(&snap_spec, &page, &ctx).unwrap();
+    assert!(tier3.stats.browser_used);
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

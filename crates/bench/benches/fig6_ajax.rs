@@ -1,0 +1,62 @@
+//! Figure 6 bench: the per-interaction cost of the original full-reload
+//! classifieds navigation vs. the adapted proxy-satisfied AJAX flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_bench::{fig6, fixtures};
+use msite_net::{Origin, OriginRef, Request};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_fig6(c: &mut Criterion) {
+    let site = fixtures::classifieds();
+    let search_url = format!("{}/search?cat=tools&page=0", site.base_url());
+    let proxy = Arc::new(ProxyServer::new(
+        fig6::classifieds_spec(&search_url),
+        Arc::clone(&site) as OriginRef,
+        ProxyConfig::default(),
+    ));
+    // Prime: entry page registers the AJAX action and issues a session.
+    let entry = proxy.handle(&Request::get("http://p/m/cl/").unwrap());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .and_then(|c| c.split(';').next())
+        .unwrap()
+        .to_string();
+    let listing = site.listing_id("tools", 3);
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(30);
+    group.bench_function("original_full_reload", |b| {
+        b.iter(|| {
+            let list = site.handle(&Request::get(&search_url).unwrap());
+            let detail = site.handle(
+                &Request::get(&format!("{}/listing/{listing}.html", site.base_url())).unwrap(),
+            );
+            black_box(list.body.len() + detail.body.len())
+        })
+    });
+    group.bench_function("adapted_ajax_fragment", |b| {
+        b.iter(|| {
+            let fragment = proxy.handle(
+                &Request::get(&format!("http://p/m/cl/proxy?action=1&p={listing}"))
+                    .unwrap()
+                    .with_header("cookie", &cookie),
+            );
+            black_box(fragment.body.len())
+        })
+    });
+    group.finish();
+
+    let result = fig6::run(10);
+    println!(
+        "\nFigure 6: browsing 10 ads moves {} bytes originally vs {} adapted ({:.0}% saved)",
+        result.original_bytes,
+        result.adapted_bytes,
+        result.bytes_saved() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

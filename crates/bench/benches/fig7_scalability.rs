@@ -1,0 +1,51 @@
+//! Figure 7 bench: the latency asymmetry that produces the throughput
+//! curve — a lightweight scripted proxy request vs. a full
+//! browser-instance render (the Highlight baseline path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msite_bench::{fig7, fixtures};
+use msite_net::{Origin, Request};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_paths(c: &mut Criterion) {
+    let site = fixtures::forum();
+    let proxy = fixtures::forum_proxy(&site, fixtures::php_equivalent_overhead());
+    let highlight = fixtures::highlight_baseline(&site);
+
+    let mut group = c.benchmark_group("fig7_paths");
+    group.sample_size(10);
+    group.bench_function("lightweight_proxy_request", |b| {
+        b.iter(|| {
+            black_box(proxy.handle(&Request::get("http://p/m/forum/").unwrap()).status)
+        })
+    });
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("full_browser_render", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(highlight.render_for(&format!("bench-{i}")).status)
+        })
+    });
+    group.finish();
+
+    // A compressed sweep so `cargo bench` output carries the figure.
+    let points = fig7::run_sweep(&fig7::SweepConfig {
+        percents: vec![0.0, 10.0, 100.0],
+        window: Duration::from_millis(600),
+        trials: 1,
+        workers: 2,
+    });
+    println!("\nFigure 7 (compressed sweep):");
+    for p in &points {
+        println!(
+            "  {:>3.0}% full render -> {:>8.0} requests/min",
+            p.percent_full_render, p.requests_per_minute
+        );
+    }
+    fig7::check_shape(&points).expect("figure 7 shape");
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

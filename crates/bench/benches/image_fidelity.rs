@@ -1,0 +1,70 @@
+//! C2 bench: the image-fidelity post-processor across the quality sweep —
+//! the time to produce each artifact and (printed once) its wire size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msite_bench::fixtures;
+use msite_net::{Origin, Request};
+use msite_render::browser::{Browser, BrowserConfig};
+use msite_render::image::{process, ImageFormat, PostProcess};
+use std::hint::black_box;
+
+fn bench_fidelity(c: &mut Criterion) {
+    let site = fixtures::forum();
+    let page = site
+        .handle(&Request::get(&fixtures::forum_index_url(&site)).unwrap())
+        .body_text();
+    let browser = Browser::launch(BrowserConfig::default());
+    let rendered = browser.render_page(&page, &[]);
+
+    println!("\nC2 artifact sizes for the rendered forum page ({}x{} px):",
+        rendered.canvas.width(), rendered.canvas.height());
+    let hi = process(&rendered.canvas, &PostProcess::default());
+    println!("  png hi-fi            : {:>9} wire bytes", hi.wire_bytes());
+    for quality in [75u8, 50, 40, 25] {
+        for scale in [1.0f32, 0.5] {
+            let out = process(
+                &rendered.canvas,
+                &PostProcess {
+                    scale: Some(scale),
+                    format: ImageFormat::JpegClass { quality },
+                    ..Default::default()
+                },
+            );
+            println!(
+                "  jpeg-class q{quality:<3} x{scale:<4}: {:>9} wire bytes",
+                out.wire_bytes()
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("image_fidelity");
+    group.sample_size(10);
+    group.bench_function("png_encode_full", |b| {
+        b.iter(|| black_box(process(&rendered.canvas, &PostProcess::default()).encoded.len()))
+    });
+    for quality in [75u8, 40] {
+        group.bench_with_input(
+            BenchmarkId::new("jpeg_class_half_scale", quality),
+            &quality,
+            |b, &q| {
+                b.iter(|| {
+                    black_box(
+                        process(
+                            &rendered.canvas,
+                            &PostProcess {
+                                scale: Some(0.5),
+                                format: ImageFormat::JpegClass { quality: q },
+                                ..Default::default()
+                            },
+                        )
+                        .wire_bytes(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fidelity);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Render-engine bench: per-phase cost of the server-side browser on the
+//! forum entry page (tidy/parse, cascade, layout, paint, encode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msite_bench::fixtures;
+use msite_net::{Origin, Request};
+use msite_render::{compute_styles, layout_document, paint, png, Stylesheet};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let site = fixtures::forum();
+    let page = site
+        .handle(&Request::get(&fixtures::forum_index_url(&site)).unwrap())
+        .body_text();
+    let css = site
+        .handle(&Request::get(&format!("{}/clientscript/vbulletin.css", site.base_url())).unwrap())
+        .body_text();
+
+    let doc = msite_html::tidy::tidy(&page);
+    let sheet = Stylesheet::parse(&css);
+    let styles = compute_styles(&doc, &sheet);
+    let layout = layout_document(&doc, &styles, 1024.0);
+    let canvas = paint(&layout, 8192);
+
+    let mut group = c.benchmark_group("render_engine");
+    group.sample_size(20);
+    group.bench_function("tidy_parse", |b| {
+        b.iter(|| black_box(msite_html::tidy::tidy(&page).arena_len()))
+    });
+    group.bench_function("css_parse", |b| {
+        b.iter(|| black_box(Stylesheet::parse(&css).rules.len()))
+    });
+    group.bench_function("cascade", |b| {
+        b.iter(|| black_box(compute_styles(&doc, &sheet).len()))
+    });
+    group.bench_function("layout", |b| {
+        b.iter(|| black_box(layout_document(&doc, &styles, 1024.0).box_count()))
+    });
+    group.bench_function("paint", |b| {
+        b.iter(|| black_box(paint(&layout, 8192).height()))
+    });
+    group.sample_size(10);
+    group.bench_function("png_encode", |b| {
+        b.iter(|| black_box(png::encode(&canvas).len()))
+    });
+    group.finish();
+
+    println!(
+        "\nforum page: {} DOM slots, {} layout boxes, {}x{} canvas, {} B PNG",
+        doc.arena_len(),
+        layout.box_count(),
+        canvas.width(),
+        canvas.height(),
+        png::encode(&canvas).len()
+    );
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

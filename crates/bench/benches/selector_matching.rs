@@ -1,0 +1,49 @@
+//! Object-identification bench (§3.2 ablation): CSS selectors vs. XPath
+//! vs. source-level string filtering on the forum entry page.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msite_bench::fixtures;
+use msite_net::{Origin, Request};
+use msite_selectors::{Query, SelectorList, XPath};
+use std::hint::black_box;
+
+fn bench_selectors(c: &mut Criterion) {
+    let site = fixtures::forum();
+    let page = site
+        .handle(&Request::get(&fixtures::forum_index_url(&site)).unwrap())
+        .body_text();
+    let doc = msite_html::tidy::tidy(&page);
+
+    let css_simple = SelectorList::parse("#loginform").unwrap();
+    let css_complex = SelectorList::parse("table.navbar td > a, #forumbits tr.forumrow td.alt2 a").unwrap();
+    let xpath = XPath::parse("//table[@id='forumbits']//a").unwrap();
+
+    let mut group = c.benchmark_group("object_identification");
+    group.sample_size(30);
+    group.bench_function("css_id", |b| {
+        b.iter(|| black_box(css_simple.select(&doc, doc.root()).len()))
+    });
+    group.bench_function("css_complex", |b| {
+        b.iter(|| black_box(css_complex.select(&doc, doc.root()).len()))
+    });
+    group.bench_function("xpath_descendant", |b| {
+        b.iter(|| black_box(xpath.evaluate(&doc, doc.root()).len()))
+    });
+    group.bench_function("source_level_find", |b| {
+        b.iter(|| black_box(page.match_indices("id=\"loginform\"").count()))
+    });
+    group.bench_function("query_find_chain", |b| {
+        b.iter(|| {
+            let q = Query::select(&doc, "#forumbits").unwrap();
+            black_box(q.find(&doc, "a").unwrap().len())
+        })
+    });
+    group.finish();
+
+    // Identification agreement sanity.
+    assert_eq!(css_simple.select(&doc, doc.root()).len(), 1);
+    assert!(!xpath.evaluate(&doc, doc.root()).is_empty());
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

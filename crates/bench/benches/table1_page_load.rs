@@ -1,0 +1,43 @@
+//! Table 1 bench: the page-load simulation for every device/link row,
+//! plus the cost of building the measured manifest it consumes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msite_bench::fixtures;
+use msite_device::{simulate_page_load, CostModel, DeviceProfile};
+use msite_net::LinkModel;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let site = fixtures::forum();
+    let manifest = fixtures::forum_manifest(&site);
+    let cost = CostModel::default();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("manifest_fetch", |b| {
+        b.iter(|| black_box(fixtures::forum_manifest(&site)))
+    });
+    for (name, device, link) in [
+        ("blackberry_3g", DeviceProfile::blackberry_tour(), LinkModel::THREE_G),
+        ("iphone4_3g", DeviceProfile::iphone_4(), LinkModel::THREE_G),
+        ("iphone4_wifi", DeviceProfile::iphone_4(), LinkModel::WIFI),
+        ("desktop_lan", DeviceProfile::desktop(), LinkModel::LAN),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate_page_load(&device, &link, &manifest, &cost)))
+        });
+    }
+    group.finish();
+
+    // Print the reproduced table once so `cargo bench` output carries it.
+    println!("\nTable 1 (paper vs measured):");
+    for row in msite_bench::table1::rows() {
+        println!(
+            "  {:<38} paper {:>5.1} s  measured {:>5.1} s",
+            row.label, row.paper_s, row.measured_s
+        );
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

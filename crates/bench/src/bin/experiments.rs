@@ -1,0 +1,239 @@
+//! The experiments binary: regenerates every table and figure of the
+//! m.Site paper and prints paper-vs-measured.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p msite-bench --bin experiments            # everything
+//! cargo run --release -p msite-bench --bin experiments -- table1
+//! cargo run --release -p msite-bench --bin experiments -- fig7 [--full]
+//! cargo run --release -p msite-bench --bin experiments -- fig6
+//! cargo run --release -p msite-bench --bin experiments -- claims
+//! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
+//! ```
+//!
+//! `fig7 --full` uses the paper's full one-minute windows (9 points × 3
+//! trials ≈ 27 minutes); the default uses scaled windows that converge to
+//! the same rates.
+
+use msite_bench::{capacity, claims, fig6, fig7, fixtures, report, table1};
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct AllResults {
+    table1: Vec<table1::Table1Row>,
+    fig6: fig6::Fig6Result,
+    fig7: Vec<fig7::Fig7Point>,
+    claims: Vec<claims::ClaimResult>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let full = args.iter().any(|a| a == "--full");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let want = |name: &str| which.is_empty() || which.contains(&name) || which.contains(&"all");
+
+    let mut results = AllResults {
+        table1: Vec::new(),
+        fig6: fig6::Fig6Result {
+            ads_browsed: 0,
+            original_bytes: 0,
+            adapted_bytes: 0,
+            original_page_loads: 0,
+            adapted_page_loads: 0,
+            links_rewritten: 0,
+        },
+        fig7: Vec::new(),
+        claims: Vec::new(),
+    };
+
+    if want("table1") {
+        results.table1 = table1::rows();
+        if !json {
+            let rows: Vec<Vec<String>> = results
+                .table1
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label.clone(),
+                        report::secs(r.paper_s),
+                        report::secs(r.measured_s),
+                        format!("{:+.0}%", r.relative_error() * 100.0),
+                    ]
+                })
+                .collect();
+            report::print_table(
+                "Table 1 — wall-clock time from initial request to browsable page",
+                &["Device / operation", "paper", "measured", "err"],
+                &rows,
+            );
+            let facts = table1::snapshot_facts();
+            println!(
+                "snapshot artifact: {} px, {} wire bytes; entry page {} bytes",
+                facts.snapshot_pixels,
+                report::bytes(facts.snapshot_wire_bytes),
+                report::bytes(facts.entry_html_bytes)
+            );
+        }
+    }
+
+    if want("fig6") {
+        results.fig6 = fig6::run(10);
+        if !json {
+            let r = &results.fig6;
+            report::print_table(
+                "Figure 6 — CraigsList AJAX adaptation for the iPad (browsing 10 ads)",
+                &["flow", "page loads", "bytes"],
+                &[
+                    vec![
+                        "original (full reload per ad)".into(),
+                        r.original_page_loads.to_string(),
+                        report::bytes(r.original_bytes),
+                    ],
+                    vec![
+                        "adapted (two-pane + proxy AJAX)".into(),
+                        r.adapted_page_loads.to_string(),
+                        report::bytes(r.adapted_bytes),
+                    ],
+                ],
+            );
+            println!(
+                "{} listing links rewritten; {:.0}% of navigation bytes saved",
+                r.links_rewritten,
+                r.bytes_saved() * 100.0
+            );
+        }
+    }
+
+    if want("fig7") {
+        let config = fig7::SweepConfig {
+            window: if full {
+                Duration::from_secs(60)
+            } else {
+                Duration::from_millis(1_000)
+            },
+            ..fig7::SweepConfig::default()
+        };
+        results.fig7 = fig7::run_sweep(&config);
+        if !json {
+            let rows: Vec<Vec<String>> = results
+                .fig7
+                .iter()
+                .map(|p| {
+                    vec![
+                        format!("{:.0}%", p.percent_full_render),
+                        format!("{:.0}", p.requests_per_minute),
+                        p.trials
+                            .iter()
+                            .map(|t| format!("{t:.0}"))
+                            .collect::<Vec<_>>()
+                            .join(" / "),
+                    ]
+                })
+                .collect();
+            report::print_table(
+                "Figure 7 — satisfied requests/min vs. % requiring a full browser",
+                &["% full render", "req/min (mean)", "trials"],
+                &rows,
+            );
+            println!("paper endpoints: 224/min at 100% -> 29,038/min at 0%");
+            match fig7::check_shape(&results.fig7) {
+                Ok(()) => println!("shape check: PASS (monotone, >=2 orders of magnitude)"),
+                Err(e) => println!("shape check: FAIL ({e})"),
+            }
+        }
+    }
+
+    if want("claims") {
+        results.claims = claims::all();
+        if !json {
+            let rows: Vec<Vec<String>> = results
+                .claims
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.id.clone(),
+                        c.paper.clone(),
+                        c.measured.clone(),
+                        if c.holds { "PASS".into() } else { "FAIL".into() },
+                    ]
+                })
+                .collect();
+            report::print_table(
+                "In-text claims (C1, C2, C3, C5)",
+                &["id", "paper", "measured", "holds"],
+                &rows,
+            );
+        }
+    }
+
+    if want("capacity") && !json {
+        let load = capacity::LoadModel::default();
+        let rows_data = capacity::analyze(&load);
+        let rows: Vec<Vec<String>> = rows_data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.architecture.clone(),
+                    format!("{:.0}", r.capacity_rpm),
+                    format!("{:.2}", r.boxes_today),
+                    format!("{:+.0}", r.months_of_headroom),
+                ]
+            })
+            .collect();
+        report::print_table(
+            "Capacity planning (S4.1: 2.2M hits/day, 10% mobile, 3x peak, doubling every 18 months)",
+            &["architecture", "req/min per box", "boxes for today's peak", "months of headroom"],
+            &rows,
+        );
+        println!(
+            "peak mobile load today: {:.0} requests/min",
+            load.peak_mobile_rpm()
+        );
+    }
+
+    if want("workload") && !json {
+        let site = fixtures::forum();
+        let manifest = fixtures::forum_manifest(&site);
+        report::print_table(
+            "Workload facts (C4, §4.2)",
+            &["fact", "paper", "measured"],
+            &[
+                vec![
+                    "entry page total bytes".into(),
+                    "224,477".into(),
+                    report::bytes(manifest.total_bytes()),
+                ],
+                vec![
+                    "external scripts".into(),
+                    "about 12".into(),
+                    manifest
+                        .resources
+                        .iter()
+                        .filter(|r| r.kind == msite_sites::ResourceKind::Script)
+                        .count()
+                        .to_string(),
+                ],
+                vec![
+                    "forum rows".into(),
+                    "about 30".into(),
+                    site.config().forum_count.to_string(),
+                ],
+                vec![
+                    "members".into(),
+                    "nearly 66,000".into(),
+                    report::bytes(site.config().member_count as usize),
+                ],
+            ],
+        );
+    }
+
+    if json {
+        println!("{}", report::to_json(&results));
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 6 — the CraigsList AJAX adaptation for the iPad (§4.5).
+//!
+//! The reproduced quantity is the navigation cost of browsing N ads:
+//! the original site reloads the full list + detail page per click; the
+//! adapted two-pane page costs one entry load plus one proxy-satisfied
+//! fragment per click.
+
+use crate::fixtures;
+use msite::attributes::{AdaptationSpec, Attribute, Target};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{Origin, OriginRef, Request};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Results of the Figure 6 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Result {
+    /// Ads browsed.
+    pub ads_browsed: usize,
+    /// Bytes transferred by the original full-reload flow.
+    pub original_bytes: usize,
+    /// Bytes transferred by the adapted AJAX flow.
+    pub adapted_bytes: usize,
+    /// Full page loads in the original flow.
+    pub original_page_loads: usize,
+    /// Full page loads in the adapted flow (the entry page only).
+    pub adapted_page_loads: usize,
+    /// Listing links rewritten to asynchronous loads.
+    pub links_rewritten: usize,
+}
+
+impl Fig6Result {
+    /// Fraction of bytes saved by the adaptation.
+    pub fn bytes_saved(&self) -> f64 {
+        1.0 - self.adapted_bytes as f64 / self.original_bytes as f64
+    }
+}
+
+/// The Figure 6 adaptation spec for the classifieds search page.
+pub fn classifieds_spec(search_url: &str) -> AdaptationSpec {
+    let mut spec = AdaptationSpec::new("cl", search_url);
+    spec.snapshot = None;
+    spec.rule(
+        Target::Css("#results".into()),
+        vec![
+            Attribute::SetAttr {
+                name: "style".into(),
+                value: "float:left;width:44%".into(),
+            },
+            Attribute::InsertAfter {
+                html: "<div id=\"msite-detail\" style=\"float:right;width:54%\"></div>".into(),
+            },
+            Attribute::LinksToAjax {
+                target: "#msite-detail".into(),
+            },
+        ],
+    )
+}
+
+/// Runs the comparison for `ads` ad views.
+pub fn run(ads: usize) -> Fig6Result {
+    let site = fixtures::classifieds();
+    let search_url = format!("{}/search?cat=tools&page=0", site.base_url());
+    let proxy = ProxyServer::new(
+        classifieds_spec(&search_url),
+        Arc::clone(&site) as OriginRef,
+        ProxyConfig::default(),
+    );
+
+    // Original flow: list + detail page per ad.
+    let list = site.handle(&Request::get(&search_url).unwrap());
+    let mut original_bytes = 0usize;
+    for i in 0..ads {
+        let id = site.listing_id("tools", i as u32);
+        let detail = site.handle(
+            &Request::get(&format!("{}/listing/{id}.html", site.base_url())).unwrap(),
+        );
+        original_bytes += list.body.len() + detail.body.len();
+    }
+
+    // Adapted flow: one entry page + a fragment per ad.
+    let entry = proxy.handle(&Request::get("http://p/m/cl/").unwrap());
+    assert!(entry.status.is_success());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .and_then(|c| c.split(';').next())
+        .expect("session cookie")
+        .to_string();
+    let links_rewritten = entry.body_text().matches("msiteLoad(").count();
+    let mut adapted_bytes = entry.body.len();
+    for i in 0..ads {
+        let id = site.listing_id("tools", i as u32);
+        let fragment = proxy.handle(
+            &Request::get(&format!("http://p/m/cl/proxy?action=1&p={id}"))
+                .unwrap()
+                .with_header("cookie", &cookie),
+        );
+        assert!(fragment.status.is_success(), "{}", fragment.body_text());
+        adapted_bytes += fragment.body.len();
+    }
+
+    Fig6Result {
+        ads_browsed: ads,
+        original_bytes,
+        adapted_bytes,
+        original_page_loads: ads * 2,
+        adapted_page_loads: 1,
+        links_rewritten,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapted_flow_saves_bytes_and_reloads() {
+        let result = run(10);
+        assert_eq!(result.ads_browsed, 10);
+        assert!(result.links_rewritten >= 100, "{}", result.links_rewritten);
+        assert!(result.adapted_bytes < result.original_bytes);
+        assert!(result.bytes_saved() > 0.5, "saved {:.2}", result.bytes_saved());
+        assert_eq!(result.adapted_page_loads, 1);
+        assert_eq!(result.original_page_loads, 20);
+    }
+}

@@ -1,0 +1,209 @@
+//! Figure 7 — satisfied requests per minute vs. the percentage of
+//! requests requiring a full browser instance.
+//!
+//! Methodology mirrors §4.6: "tests are performed three times per data
+//! point, each over a one minute measurement window. The interarrival
+//! times between full-scale rendering requests are randomly distributed.
+//! A U\[0,1\] random number is assigned to each request; if the number
+//! exceeds the percentage being tested, the request is marked as not
+//! requiring a browser instance." We run on two workers (the paper's
+//! dual-core testbed), with windows scaled down by default because the
+//! throughput estimate converges long before a minute.
+
+use crate::fixtures;
+use msite::baseline::HighlightProxy;
+use msite::proxy::ProxyServer;
+use msite_net::{Origin, Prng, Request};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One point of the Figure 7 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Point {
+    /// Percentage of requests requiring a full browser instance.
+    pub percent_full_render: f64,
+    /// Mean satisfied requests per minute over the trials.
+    pub requests_per_minute: f64,
+    /// Per-trial values.
+    pub trials: Vec<f64>,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Percentages to test (the paper's x-axis).
+    pub percents: Vec<f64>,
+    /// Measurement window per trial.
+    pub window: Duration,
+    /// Trials per point (paper: 3).
+    pub trials: usize,
+    /// Worker threads (paper: dual-core).
+    pub workers: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            percents: vec![0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0],
+            window: Duration::from_millis(1_000),
+            trials: 3,
+            workers: 2,
+        }
+    }
+}
+
+/// Runs the sweep against a warmed m.Site proxy and the Highlight
+/// baseline.
+pub fn run_sweep(config: &SweepConfig) -> Vec<Fig7Point> {
+    let site = fixtures::forum();
+    let proxy = fixtures::forum_proxy(&site, fixtures::php_equivalent_overhead());
+    let highlight = fixtures::highlight_baseline(&site);
+    config
+        .percents
+        .iter()
+        .map(|&percent| {
+            let trials: Vec<f64> = (0..config.trials)
+                .map(|trial| {
+                    measure_window(
+                        &proxy,
+                        &highlight,
+                        percent,
+                        config.window,
+                        config.workers,
+                        trial as u64,
+                    )
+                })
+                .collect();
+            Fig7Point {
+                percent_full_render: percent,
+                requests_per_minute: trials.iter().sum::<f64>() / trials.len() as f64,
+                trials,
+            }
+        })
+        .collect()
+}
+
+/// One measurement window: workers issue requests back to back; each
+/// request draws U\[0,1\] against the percentage to pick its path.
+pub fn measure_window(
+    proxy: &Arc<ProxyServer>,
+    highlight: &Arc<HighlightProxy>,
+    percent: f64,
+    window: Duration,
+    workers: u64,
+    trial: u64,
+) -> f64 {
+    let satisfied = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..workers)
+        .map(|worker| {
+            let proxy = Arc::clone(proxy);
+            let highlight = Arc::clone(highlight);
+            let satisfied = Arc::clone(&satisfied);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = Prng::new(0x716 + worker * 977 + trial * 31);
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    // Paper wording: number *exceeds* percentage -> no
+                    // browser needed.
+                    let needs_browser = rng.unit_f64() * 100.0 <= percent && percent > 0.0;
+                    let ok = if needs_browser {
+                        highlight
+                            .render_for(&format!("w{worker}-r{i}"))
+                            .status
+                            .is_success()
+                    } else {
+                        proxy
+                            .handle(&Request::get("http://p/m/forum/").unwrap())
+                            .status
+                            .is_success()
+                    };
+                    if ok {
+                        satisfied.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    satisfied.load(Ordering::Relaxed) as f64 * 60.0 / elapsed
+}
+
+/// Shape assertions on sweep output (used by the experiments binary and
+/// the integration tests): monotone non-increasing in the percentage,
+/// with at least two orders of magnitude between the endpoints.
+pub fn check_shape(points: &[Fig7Point]) -> Result<(), String> {
+    if points.len() < 2 {
+        return Err("need at least two points".into());
+    }
+    for pair in points.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if a.percent_full_render < b.percent_full_render
+            && a.requests_per_minute < b.requests_per_minute * 0.7
+        {
+            return Err(format!(
+                "throughput not monotone: {}% -> {:.0}/min but {}% -> {:.0}/min",
+                a.percent_full_render,
+                a.requests_per_minute,
+                b.percent_full_render,
+                b.requests_per_minute
+            ));
+        }
+    }
+    let lowest = points
+        .iter()
+        .min_by(|a, b| a.percent_full_render.total_cmp(&b.percent_full_render))
+        .expect("nonempty");
+    let highest = points
+        .iter()
+        .max_by(|a, b| a.percent_full_render.total_cmp(&b.percent_full_render))
+        .expect("nonempty");
+    let spread = lowest.requests_per_minute / highest.requests_per_minute.max(1.0);
+    if spread < 50.0 {
+        return Err(format!(
+            "expected ~two orders of magnitude spread, got {spread:.1}x"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_has_paper_shape() {
+        let config = SweepConfig {
+            percents: vec![0.0, 25.0, 100.0],
+            window: Duration::from_millis(400),
+            trials: 1,
+            workers: 2,
+        };
+        let points = run_sweep(&config);
+        assert_eq!(points.len(), 3);
+        check_shape(&points).unwrap();
+    }
+
+    #[test]
+    fn check_shape_rejects_flat_data() {
+        let flat: Vec<Fig7Point> = [0.0, 100.0]
+            .iter()
+            .map(|&p| Fig7Point {
+                percent_full_render: p,
+                requests_per_minute: 1000.0,
+                trials: vec![1000.0],
+            })
+            .collect();
+        assert!(check_shape(&flat).is_err());
+    }
+}

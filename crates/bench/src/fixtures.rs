@@ -1,0 +1,151 @@
+//! Shared experiment fixtures: the synthetic sites, the paper's
+//! adaptation spec for the forum entry page, and deployed proxies.
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, SourceFilter, Target};
+use msite::baseline::{HighlightConfig, HighlightProxy};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{Origin, OriginRef, Request};
+use msite_render::browser::BrowserConfig;
+use msite_sites::{ClassifiedsConfig, ClassifiedsSite, ForumConfig, ForumSite, PageManifest};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The forum origin used by every experiment.
+pub fn forum() -> Arc<ForumSite> {
+    Arc::new(ForumSite::new(ForumConfig::default()))
+}
+
+/// The classifieds origin (Figure 6).
+pub fn classifieds() -> Arc<ClassifiedsSite> {
+    Arc::new(ClassifiedsSite::new(ClassifiedsConfig::default()))
+}
+
+/// The forum entry-page URL.
+pub fn forum_index_url(site: &ForumSite) -> String {
+    format!("{}/index.php", site.base_url())
+}
+
+/// The measured manifest of the forum entry page.
+pub fn forum_manifest(site: &ForumSite) -> PageManifest {
+    PageManifest::fetch(site, &forum_index_url(site))
+}
+
+/// The §4.3 adaptation spec: cached half-scale snapshot, login subpage
+/// with dependencies and logo copy, two-column nav loaded via AJAX,
+/// leaderboard replaced, forum listing split out.
+pub fn forum_spec(site: &ForumSite) -> AdaptationSpec {
+    let mut spec = AdaptationSpec::new("forum", &forum_index_url(site));
+    spec.snapshot = Some(SnapshotSpec {
+        scale: 0.5,
+        quality: 40,
+        cache_ttl_secs: 3_600,
+        viewport_width: 1_024,
+    });
+    spec.filters.push(SourceFilter::SetTitle {
+        title: "Sawmill Creek (mobile)".into(),
+    });
+    spec.rule(
+        Target::Css("#loginform".into()),
+        vec![
+            Attribute::Subpage {
+                id: "login".into(),
+                title: "Log in".into(),
+                ajax: false,
+                prerender: false,
+            },
+            Attribute::Dependency {
+                selector: "head link".into(),
+            },
+        ],
+    )
+    .rule(
+        Target::Css("#header".into()),
+        vec![Attribute::CopyTo {
+            subpage: "login".into(),
+            position: msite::attributes::Position::Top,
+            set_attr: Some(("src".into(), "/images/mobile_logo.gif".into())),
+        }],
+    )
+    .rule(
+        Target::Css("#navrow".into()),
+        vec![
+            Attribute::LinksToColumns { columns: 2 },
+            Attribute::Subpage {
+                id: "nav".into(),
+                title: "Navigate".into(),
+                ajax: true,
+                prerender: false,
+            },
+        ],
+    )
+    .rule(
+        Target::Css("#leaderboard".into()),
+        vec![Attribute::ReplaceWith {
+            html: "<img src=\"/images/mobile_logo.gif\" width=\"300\" height=\"50\">".into(),
+        }],
+    )
+    .rule(
+        Target::Css("#forumbits".into()),
+        vec![Attribute::Subpage {
+            id: "forums".into(),
+            title: "Forums".into(),
+            ajax: false,
+            prerender: false,
+        }],
+    )
+}
+
+/// A deployed m.Site proxy for the forum, with the Figure 7 calibrated
+/// scripted overhead (the paper's PHP interpreter cost, ~3.5 ms).
+pub fn forum_proxy(site: &Arc<ForumSite>, scripted_overhead: Duration) -> Arc<ProxyServer> {
+    let proxy = Arc::new(ProxyServer::new(
+        forum_spec(site),
+        Arc::clone(site) as OriginRef,
+        ProxyConfig {
+            scripted_overhead,
+            ..ProxyConfig::default()
+        },
+    ));
+    // Warm the shared snapshot so throughput experiments measure the
+    // steady state the paper measures (snapshot rebuilt hourly).
+    let warm = proxy.handle(&Request::get("http://p/m/forum/").unwrap());
+    assert!(warm.status.is_success(), "warmup failed: {}", warm.status);
+    proxy
+}
+
+/// The Highlight baseline with the paper-testbed browser cost.
+pub fn highlight_baseline(site: &Arc<ForumSite>) -> Arc<HighlightProxy> {
+    Arc::new(HighlightProxy::new(
+        &forum_index_url(site),
+        Arc::clone(site) as OriginRef,
+        HighlightConfig {
+            browser_config: BrowserConfig::paper_testbed(),
+            ..HighlightConfig::default()
+        },
+    ))
+}
+
+/// The PHP-equivalent scripted overhead used for absolute Figure 7 scale.
+pub fn php_equivalent_overhead() -> Duration {
+    Duration::from_micros(3_500)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_dsl() {
+        let site = forum();
+        let spec = forum_spec(&site);
+        let script = msite::dsl::to_script(&spec);
+        assert_eq!(msite::dsl::parse_script(&script).unwrap(), spec);
+    }
+
+    #[test]
+    fn proxy_fixture_warm() {
+        let site = forum();
+        let proxy = forum_proxy(&site, Duration::ZERO);
+        assert_eq!(proxy.stats().full_renders, 1);
+    }
+}

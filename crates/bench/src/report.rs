@@ -1,0 +1,68 @@
+//! Table formatting and JSON output for the experiments binary.
+
+use serde::Serialize;
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Serializes a result set to pretty JSON (for EXPERIMENTS.md appendices).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("results serialize")
+}
+
+/// Formats seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1} s")
+}
+
+/// Formats a byte count with thousands separators.
+pub fn bytes(v: usize) -> String {
+    let digits = v.to_string();
+    let mut out = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(bytes(0), "0");
+        assert_eq!(bytes(224_477), "224,477");
+        assert_eq!(bytes(1_000), "1,000");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(4.52), "4.5 s");
+    }
+}

@@ -1,0 +1,219 @@
+//! Table 1 — wall-clock time from initial request to browsable page.
+//!
+//! Inputs are measured (the generated forum page's real byte/node counts,
+//! the real snapshot artifact produced by the proxy); the device/link
+//! cost model is documented in `msite-device` and DESIGN.md §2.
+
+use crate::fixtures;
+use msite_device::{
+    simulate_page_load, simulate_snapshot_generation, simulate_snapshot_view, CostModel,
+    DeviceProfile,
+};
+use msite_net::{LinkModel, Origin, Request};
+use serde::Serialize;
+use std::time::Duration;
+
+/// One reproduced Table 1 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Row label (matches the paper's wording).
+    pub label: String,
+    /// Paper-reported seconds.
+    pub paper_s: f64,
+    /// Our modeled/measured seconds.
+    pub measured_s: f64,
+}
+
+impl Table1Row {
+    /// Relative error against the paper.
+    pub fn relative_error(&self) -> f64 {
+        (self.measured_s - self.paper_s) / self.paper_s
+    }
+}
+
+/// Snapshot artifact facts measured from the real proxy run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SnapshotFacts {
+    /// Entry-page HTML bytes.
+    pub entry_html_bytes: usize,
+    /// Snapshot image bytes on the wire (JPEG-class model).
+    pub snapshot_wire_bytes: usize,
+    /// Snapshot pixels.
+    pub snapshot_pixels: u64,
+}
+
+/// Measures the snapshot the real pipeline produces for the forum page.
+pub fn snapshot_facts() -> SnapshotFacts {
+    let site = fixtures::forum();
+    let spec = fixtures::forum_spec(&site);
+    let page = site
+        .handle(&Request::get(&fixtures::forum_index_url(&site)).unwrap())
+        .body_text();
+    let bundle = msite::adapt(
+        &spec,
+        &page,
+        &msite::PipelineContext {
+            base: "/m/forum".into(),
+            browser_config: Default::default(),
+        },
+    )
+    .expect("forum adaptation succeeds");
+    let snap = bundle
+        .images
+        .iter()
+        .find(|i| i.name == "snapshot.png")
+        .expect("snapshot produced");
+    SnapshotFacts {
+        entry_html_bytes: bundle.entry_html.len(),
+        snapshot_wire_bytes: snap.wire_size,
+        snapshot_pixels: snap.width as u64 * snap.height as u64,
+    }
+}
+
+/// Computes all six Table 1 rows (plus the two §4.2 iPod Touch data
+/// points reported in the text).
+pub fn rows() -> Vec<Table1Row> {
+    let site = fixtures::forum();
+    let manifest = fixtures::forum_manifest(&site);
+    let cost = CostModel::default();
+    let facts = snapshot_facts();
+
+    let mut rows = Vec::new();
+    let mut push = |label: &str, paper_s: f64, measured_s: f64| {
+        rows.push(Table1Row {
+            label: label.to_string(),
+            paper_s,
+            measured_s,
+        });
+    };
+
+    push(
+        "BlackBerry Tour browser page load",
+        20.0,
+        simulate_page_load(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::THREE_G,
+            &manifest,
+            &cost,
+        )
+        .total_s(),
+    );
+    push(
+        "Snapshot page generation",
+        2.0,
+        simulate_snapshot_generation(
+            &DeviceProfile::server(),
+            &manifest,
+            facts.snapshot_pixels * 4, // rendered at full scale before the 0.5x save
+            Duration::from_millis(250),
+            &cost,
+        )
+        .as_secs_f64(),
+    );
+    push(
+        "Cached snapshot page to Blackberry",
+        5.0,
+        simulate_snapshot_view(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::THREE_G,
+            facts.entry_html_bytes,
+            facts.snapshot_wire_bytes,
+            facts.snapshot_pixels,
+            &cost,
+        )
+        .total_s(),
+    );
+    push(
+        "iPhone 4 via 3G",
+        20.0,
+        simulate_page_load(&DeviceProfile::iphone_4(), &LinkModel::THREE_G, &manifest, &cost)
+            .total_s(),
+    );
+    push(
+        "iPhone 4 via WiFi",
+        4.5,
+        simulate_page_load(&DeviceProfile::iphone_4(), &LinkModel::WIFI, &manifest, &cost)
+            .total_s(),
+    );
+    push(
+        "Desktop browser page load",
+        1.5,
+        simulate_page_load(&DeviceProfile::desktop(), &LinkModel::LAN, &manifest, &cost)
+            .total_s(),
+    );
+    // Secondary §4.2 text facts (not in the table itself).
+    push(
+        "(text) iPod Touch 3G via WiFi",
+        4.5,
+        simulate_page_load(
+            &DeviceProfile::ipod_touch_3g(),
+            &LinkModel::WIFI,
+            &manifest,
+            &cost,
+        )
+        .total_s(),
+    );
+    push(
+        "(text) iPod Touch 3G via 3G",
+        9.0,
+        simulate_page_load(
+            &DeviceProfile::ipod_touch_3g(),
+            &LinkModel::THREE_G,
+            &manifest,
+            &cost,
+        )
+        .total_s(),
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_table_rows_within_tolerance() {
+        // The six actual table rows must land within 40% of the paper;
+        // the two text facts are reported but unconstrained (the paper's
+        // own table and text disagree about 3G).
+        let all = rows();
+        for row in all.iter().take(6) {
+            assert!(
+                row.relative_error().abs() <= 0.40,
+                "{}: paper {} vs measured {:.1}",
+                row.label,
+                row.paper_s,
+                row.measured_s
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let all = rows();
+        let get = |label: &str| {
+            all.iter()
+                .find(|r| r.label == label)
+                .map(|r| r.measured_s)
+                .unwrap()
+        };
+        let bb_full = get("BlackBerry Tour browser page load");
+        let snap_gen = get("Snapshot page generation");
+        let bb_snap = get("Cached snapshot page to Blackberry");
+        let desktop = get("Desktop browser page load");
+        assert!(bb_full > bb_snap);
+        assert!(bb_snap > snap_gen);
+        assert!(snap_gen > desktop * 0.5);
+    }
+
+    #[test]
+    fn snapshot_artifact_in_paper_band() {
+        // The paper: reduced-fidelity full-page artifact at 25-50 KB.
+        let facts = snapshot_facts();
+        assert!(
+            (15_000..=80_000).contains(&facts.snapshot_wire_bytes),
+            "snapshot wire bytes {}",
+            facts.snapshot_wire_bytes
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! AJAX support (§4.4): rewriting a page's asynchronous calls so the
+//! proxy satisfies them, and the registry of proxy-side actions.
+//!
+//! The paper's key observation: a "remote browser in a proxy" is not
+//! needed to keep AJAX interactivity — "rewrite the link that gets sent
+//! to the device, and embed an additional function for the proxy to
+//! satisfy the request." The original handler
+//!
+//! ```text
+//! $("#picframe").load('site.php?do=showpic&id=1')
+//! ```
+//!
+//! becomes a static call to the proxy,
+//!
+//! ```text
+//! proxy.php?action=1&p=1
+//! ```
+//!
+//! where action `1` is a registered function that performs the origin
+//! sub-request (with the user's cookie jar), massages the result, and
+//! returns the fragment.
+
+use msite_html::{Document, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A proxy-side action registered while rewriting a page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AjaxAction {
+    /// Action number (the `action=` parameter).
+    pub id: u32,
+    /// Origin URL template; `{p}` is substituted with the `p` parameter.
+    pub origin_url_template: String,
+    /// CSS selector of the target container on the client.
+    pub target_selector: String,
+}
+
+impl AjaxAction {
+    /// Resolves the origin URL for a parameter value.
+    pub fn origin_url(&self, p: &str) -> String {
+        self.origin_url_template.replace("{p}", p)
+    }
+}
+
+/// The actions extracted from one page, in registration order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AjaxRegistry {
+    /// Registered actions; ids are 1-based indexes.
+    pub actions: Vec<AjaxAction>,
+}
+
+impl AjaxRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> AjaxRegistry {
+        AjaxRegistry::default()
+    }
+
+    /// Looks up an action by id.
+    pub fn get(&self, id: u32) -> Option<&AjaxAction> {
+        self.actions.iter().find(|a| a.id == id)
+    }
+
+    /// Registers (or reuses) an action; returns its id.
+    pub fn register(&mut self, origin_url_template: String, target_selector: String) -> u32 {
+        // Reuse an identical registration.
+        if let Some(existing) = self
+            .actions
+            .iter()
+            .find(|a| a.origin_url_template == origin_url_template && a.target_selector == target_selector)
+        {
+            return existing.id;
+        }
+        let id = self.actions.len() as u32 + 1;
+        self.actions.push(AjaxAction {
+            id,
+            origin_url_template,
+            target_selector,
+        });
+        id
+    }
+}
+
+/// Statistics from one rewriting pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// `onclick` handlers rewritten.
+    pub handlers_rewritten: usize,
+    /// Actions newly registered.
+    pub actions_registered: usize,
+}
+
+/// Rewrites every `$(sel).load('url?query&id=N')`-style `onclick`
+/// handler under `scope` into a proxy call
+/// `proxyLoad(<action>, '<p>', '<target>')`, registering the actions.
+/// `proxy_base` names the proxy endpoint the injected helper calls.
+///
+/// Returns per-pass statistics.
+pub fn rewrite_handlers(
+    doc: &mut Document,
+    scope: NodeId,
+    registry: &mut AjaxRegistry,
+    proxy_base: &str,
+) -> RewriteStats {
+    let mut stats = RewriteStats::default();
+    let nodes: Vec<NodeId> = std::iter::once(scope).chain(doc.descendants(scope)).collect();
+    for node in nodes {
+        let Some(onclick) = doc.attr(node, "onclick").map(str::to_string) else {
+            continue;
+        };
+        let Some(parsed) = parse_load_call(&onclick) else {
+            continue;
+        };
+        let before = registry.actions.len();
+        let action = registry.register(parsed.url_template, parsed.target_selector.clone());
+        if registry.actions.len() > before {
+            stats.actions_registered += 1;
+        }
+        let rewritten = format!(
+            "msiteLoad('{proxy_base}', {action}, '{}', '{}'); return false;",
+            js_escape(&parsed.p),
+            js_escape(&parsed.target_selector),
+        );
+        doc.set_attr(node, "onclick", &rewritten);
+        stats.handlers_rewritten += 1;
+    }
+    stats
+}
+
+/// The client-side helper injected alongside rewritten handlers: a
+/// minimal XHR that loads the proxy's fragment response into the target
+/// container.
+pub fn client_helper_script() -> &'static str {
+    r#"function msiteLoad(base, action, p, target) {
+  var xhr = new XMLHttpRequest();
+  xhr.open('GET', base + '?action=' + action + '&p=' + encodeURIComponent(p), true);
+  xhr.onreadystatechange = function () {
+    if (xhr.readyState === 4 && xhr.status === 200) {
+      var el = document.querySelector(target);
+      if (el) { el.innerHTML = xhr.responseText; el.style.display = 'block'; }
+    }
+  };
+  xhr.send();
+}
+"#
+}
+
+struct ParsedLoad {
+    url_template: String,
+    p: String,
+    target_selector: String,
+}
+
+/// Parses `$("#target").load('url')` handlers. The `id=`/`p=`-style last
+/// query parameter becomes the action parameter `{p}`; when no query
+/// exists the whole URL is the template and `p` is empty.
+fn parse_load_call(onclick: &str) -> Option<ParsedLoad> {
+    let dollar = onclick.find("$(")?;
+    let after = &onclick[dollar + 2..];
+    let (target_selector, rest) = read_js_string(after)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix(')')?;
+    let load_at = rest.find(".load(")?;
+    let (url, _) = read_js_string(&rest[load_at + 6..])?;
+    // Entity-decoded markup may still carry &amp;.
+    let url = url.replace("&amp;", "&");
+    // Split the trailing id-like parameter.
+    match url.rsplit_once('=') {
+        Some((prefix, value))
+            if !value.is_empty() && value.chars().all(|c| c.is_ascii_alphanumeric()) =>
+        {
+            Some(ParsedLoad {
+                url_template: format!("{prefix}={{p}}"),
+                p: value.to_string(),
+                target_selector,
+            })
+        }
+        _ => Some(ParsedLoad {
+            url_template: url,
+            p: String::new(),
+            target_selector,
+        }),
+    }
+}
+
+/// Reads a leading `'...'` or `"..."` JS string, returning it and the
+/// remainder.
+fn read_js_string(s: &str) -> Option<(String, &str)> {
+    let mut chars = s.char_indices();
+    let (_, quote) = chars.next()?;
+    if quote != '\'' && quote != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    for (i, ch) in chars {
+        if ch == quote {
+            return Some((out, &s[i + 1..]));
+        }
+        out.push(ch);
+    }
+    None
+}
+
+fn js_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\'', "\\'")
+}
+
+/// Converts every plain `<a href>` under `scope` into an asynchronous
+/// proxy load into `target` — the §4.5 CraigsList adaptation ("rather
+/// than designing a platform specific application ... we develop a
+/// browser-based content adaptation application ... which simplifies
+/// navigation by adding asynchronous data loads"). Links sharing a URL
+/// shape (same string once its last digit run is parameterized) share
+/// one action.
+pub fn linkify_to_ajax(
+    doc: &mut Document,
+    scope: NodeId,
+    registry: &mut AjaxRegistry,
+    proxy_base: &str,
+    target: &str,
+) -> RewriteStats {
+    let mut stats = RewriteStats::default();
+    let links: Vec<NodeId> = std::iter::once(scope)
+        .chain(doc.descendants(scope))
+        .filter(|&n| {
+            doc.is_element_named(n, "a")
+                && doc
+                    .attr(n, "href")
+                    .map(|h| !h.is_empty() && !h.starts_with('#'))
+                    .unwrap_or(false)
+        })
+        .collect();
+    for link in links {
+        let href = doc.attr(link, "href").expect("filtered above").to_string();
+        let (template, p) = parameterize_digits(&href);
+        let before = registry.actions.len();
+        let action = registry.register(template, target.to_string());
+        if registry.actions.len() > before {
+            stats.actions_registered += 1;
+        }
+        let onclick = format!(
+            "msiteLoad('{proxy_base}', {action}, '{}', '{}'); return false;",
+            js_escape(&p),
+            js_escape(target),
+        );
+        doc.set_attr(link, "onclick", &onclick);
+        stats.handlers_rewritten += 1;
+    }
+    stats
+}
+
+/// Replaces the last run of ASCII digits in `url` with `{p}`, returning
+/// the template and the extracted value. URLs without digits become
+/// parameterless actions.
+fn parameterize_digits(url: &str) -> (String, String) {
+    let bytes = url.as_bytes();
+    let mut end = bytes.len();
+    while end > 0 {
+        if bytes[end - 1].is_ascii_digit() {
+            let mut start = end;
+            while start > 0 && bytes[start - 1].is_ascii_digit() {
+                start -= 1;
+            }
+            return (
+                format!("{}{{p}}{}", &url[..start], &url[end..]),
+                url[start..end].to_string(),
+            );
+        }
+        end -= 1;
+    }
+    (url.to_string(), String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_html::parse_document;
+
+    #[test]
+    fn rewrites_paper_example() {
+        // The paper's exact illustration.
+        let mut doc = parse_document(
+            r##"<a href="#" onclick="$('#picframe').load('site.php?do=showpic&amp;id=1')">Show Picture</a>"##,
+        );
+        let mut registry = AjaxRegistry::new();
+        let root = doc.root();
+        let stats = rewrite_handlers(&mut doc, root, &mut registry, "/m/forum/proxy");
+        assert_eq!(stats.handlers_rewritten, 1);
+        assert_eq!(registry.actions.len(), 1);
+        let action = &registry.actions[0];
+        assert_eq!(action.id, 1);
+        assert_eq!(action.origin_url_template, "site.php?do=showpic&id={p}");
+        assert_eq!(action.target_selector, "#picframe");
+        assert_eq!(action.origin_url("1"), "site.php?do=showpic&id=1");
+        let a = doc.elements_by_tag(doc.root(), "a")[0];
+        let onclick = doc.attr(a, "onclick").unwrap();
+        assert!(onclick.contains("msiteLoad('/m/forum/proxy', 1, '1', '#picframe')"));
+    }
+
+    #[test]
+    fn identical_calls_share_one_action() {
+        let mut doc = parse_document(
+            r#"<a onclick="$('#f').load('x.php?id=1')">a</a>
+               <a onclick="$('#f').load('x.php?id=2')">b</a>
+               <a onclick="$('#g').load('x.php?id=3')">c</a>"#,
+        );
+        let mut registry = AjaxRegistry::new();
+        let root = doc.root();
+        let stats = rewrite_handlers(&mut doc, root, &mut registry, "/p");
+        assert_eq!(stats.handlers_rewritten, 3);
+        // Same template+target dedups; different target is a new action.
+        assert_eq!(registry.actions.len(), 2);
+        assert_eq!(registry.get(1).unwrap().target_selector, "#f");
+        assert_eq!(registry.get(2).unwrap().target_selector, "#g");
+        assert!(registry.get(99).is_none());
+    }
+
+    #[test]
+    fn non_load_handlers_untouched() {
+        let mut doc = parse_document(r#"<a onclick="return confirm('sure?')">x</a>"#);
+        let mut registry = AjaxRegistry::new();
+        let root = doc.root();
+        let stats = rewrite_handlers(&mut doc, root, &mut registry, "/p");
+        assert_eq!(stats.handlers_rewritten, 0);
+        let a = doc.elements_by_tag(doc.root(), "a")[0];
+        assert_eq!(doc.attr(a, "onclick").unwrap(), "return confirm('sure?')");
+    }
+
+    #[test]
+    fn url_without_query_parameter() {
+        let mut doc =
+            parse_document(r#"<a onclick="$('#pane').load('/static/help.html')">help</a>"#);
+        let mut registry = AjaxRegistry::new();
+        let root = doc.root();
+        rewrite_handlers(&mut doc, root, &mut registry, "/p");
+        let action = registry.get(1).unwrap();
+        assert_eq!(action.origin_url_template, "/static/help.html");
+        assert_eq!(action.origin_url(""), "/static/help.html");
+    }
+
+    #[test]
+    fn double_quoted_strings_supported() {
+        let mut doc = parse_document(
+            "<a onclick='$(\"#x\").load(\"f.php?p=9\")'>x</a>",
+        );
+        let mut registry = AjaxRegistry::new();
+        let root = doc.root();
+        let stats = rewrite_handlers(&mut doc, root, &mut registry, "/p");
+        assert_eq!(stats.handlers_rewritten, 1);
+        assert_eq!(registry.get(1).unwrap().origin_url_template, "f.php?p={p}");
+    }
+
+    #[test]
+    fn registry_serializes() {
+        let mut registry = AjaxRegistry::new();
+        registry.register("a.php?id={p}".into(), "#t".into());
+        let json = serde_json::to_string(&registry).unwrap();
+        let parsed: AjaxRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(registry, parsed);
+    }
+
+    #[test]
+    fn linkify_rewrites_plain_links() {
+        let mut doc = parse_document(
+            r##"<ul id="results">
+               <li><a class="l" href="/listing/1000005.html">Bandsaw</a></li>
+               <li><a class="l" href="/listing/1000006.html">Table</a></li>
+               <li><a href="#top">skip me</a></li>
+               </ul>"##,
+        );
+        let mut registry = AjaxRegistry::new();
+        let root = doc.root();
+        let stats = linkify_to_ajax(&mut doc, root, &mut registry, "/m/cl/proxy", "#detail");
+        assert_eq!(stats.handlers_rewritten, 2);
+        // Same URL shape -> one shared action.
+        assert_eq!(registry.actions.len(), 1);
+        assert_eq!(registry.actions[0].origin_url_template, "/listing/{p}.html");
+        assert_eq!(registry.actions[0].origin_url("1000005"), "/listing/1000005.html");
+        let html = doc.to_html();
+        assert!(html.contains("msiteLoad('/m/cl/proxy', 1, '1000005', '#detail')"));
+        assert!(html.contains("msiteLoad('/m/cl/proxy', 1, '1000006', '#detail')"));
+        // The fragment link is untouched.
+        assert!(html.contains("href=\"#top\""));
+    }
+
+    #[test]
+    fn parameterize_digit_forms() {
+        assert_eq!(parameterize_digits("/listing/123.html"), ("/listing/{p}.html".into(), "123".into()));
+        assert_eq!(parameterize_digits("/x?page=2"), ("/x?page={p}".into(), "2".into()));
+        assert_eq!(parameterize_digits("/plain"), ("/plain".into(), "".into()));
+        assert_eq!(parameterize_digits("/a1/b22"), ("/a1/b{p}".into(), "22".into()));
+    }
+
+    #[test]
+    fn helper_script_is_plain_js() {
+        let js = client_helper_script();
+        assert!(js.contains("function msiteLoad"));
+        assert!(js.contains("XMLHttpRequest"));
+    }
+}

@@ -1,0 +1,462 @@
+//! The attribute model: what a site administrator can express.
+//!
+//! The paper's central abstraction is the *attribute paradigm*: "page
+//! objects are identified in a visual tool, and attributes are selected
+//! and applied from a menu." An [`AdaptationSpec`] is the serialized
+//! output of that tool — targets plus attributes plus source-level
+//! filters — and is what the code generator turns into a proxy program.
+
+use serde::{Deserialize, Serialize};
+
+/// How a page object is identified (§3.2 "Object identification":
+/// source-level rules, XPath, and CSS 3 selectors are all supported).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Target {
+    /// CSS selector (server-side jQuery style).
+    Css(String),
+    /// XPath expression (PageTailor style).
+    XPath(String),
+    /// A non-visual object from the admin tool's dock.
+    Dock(DockObject),
+}
+
+impl Target {
+    /// Human-readable form for code generation.
+    pub fn describe(&self) -> String {
+        match self {
+            Target::Css(s) => format!("css {s:?}"),
+            Target::XPath(s) => format!("xpath {s:?}"),
+            Target::Dock(d) => format!("dock {}", d.keyword()),
+        }
+    }
+}
+
+/// Non-visual page objects ("a separate dock exists for non-visual
+/// objects, such as CSS, Javascript functions, head-section content,
+/// doctype tags, and cookies").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DockObject {
+    /// The doctype declaration.
+    Doctype,
+    /// The document title.
+    Title,
+    /// All scripts in the document.
+    Scripts,
+    /// All stylesheets (`link[rel=stylesheet]` + `<style>`).
+    Stylesheets,
+    /// The head section.
+    Head,
+    /// Session cookies (targeted by cookie-management attributes).
+    Cookies,
+}
+
+impl DockObject {
+    /// The DSL keyword for this dock object.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            DockObject::Doctype => "doctype",
+            DockObject::Title => "title",
+            DockObject::Scripts => "scripts",
+            DockObject::Stylesheets => "stylesheets",
+            DockObject::Head => "head",
+            DockObject::Cookies => "cookies",
+        }
+    }
+
+    /// Parses a DSL keyword.
+    pub fn from_keyword(kw: &str) -> Option<DockObject> {
+        Some(match kw {
+            "doctype" => DockObject::Doctype,
+            "title" => DockObject::Title,
+            "scripts" => DockObject::Scripts,
+            "stylesheets" => DockObject::Stylesheets,
+            "head" => DockObject::Head,
+            "cookies" => DockObject::Cookies,
+            _ => return None,
+        })
+    }
+}
+
+/// Where copied/inserted content lands in a subpage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Position {
+    /// Under `<head>` (for CSS/JS dependencies).
+    Head,
+    /// Start of `<body>`.
+    Top,
+    /// End of `<body>`.
+    #[default]
+    Bottom,
+}
+
+/// One attribute from the menu (§3.3). Attributes compose: a rule can
+/// carry any number of them and they apply in the listed order within
+/// the pipeline's phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Split the object into its own subpage (page splitting /
+    /// sub-subpages). When `ajax` is set the subpage is additionally
+    /// exposed as an asynchronously loadable fragment targeted at a
+    /// hidden `div` in the entry page.
+    Subpage {
+        /// Subpage file stem, e.g. `login`.
+        id: String,
+        /// Link title shown in menus.
+        title: String,
+        /// Also expose as an AJAX-loadable fragment.
+        ajax: bool,
+        /// Pre-render the subpage into an image instead of serving HTML.
+        prerender: bool,
+    },
+    /// Copy this object into the named subpage too (object duplication —
+    /// "any object can be duplicated on any subpage").
+    CopyTo {
+        /// Target subpage id.
+        subpage: String,
+        /// Placement inside the subpage.
+        position: Position,
+        /// Optionally override one attribute on the copied root (the
+        /// paper's logo copy swaps `src` to a mobile version).
+        set_attr: Option<(String, String)>,
+    },
+    /// Move this object into the named subpage (relocation).
+    MoveTo {
+        /// Target subpage id.
+        subpage: String,
+        /// Placement inside the subpage.
+        position: Position,
+    },
+    /// Strip the object from the output entirely.
+    Remove,
+    /// Keep the object but hide it via CSS (`display:none`).
+    Hide,
+    /// Replace the object with literal HTML (e.g. a mobile-specific ad).
+    ReplaceWith {
+        /// Replacement markup.
+        html: String,
+    },
+    /// Insert literal HTML before the object.
+    InsertBefore {
+        /// Markup to insert.
+        html: String,
+    },
+    /// Insert literal HTML after the object.
+    InsertAfter {
+        /// Markup to insert.
+        html: String,
+    },
+    /// Set an attribute on the object (e.g. swap an image `src`).
+    SetAttr {
+        /// Attribute name.
+        name: String,
+        /// Attribute value.
+        value: String,
+    },
+    /// Rewrite a table/list of links into `columns` vertical columns —
+    /// the paper's nav-row adaptation ("stripping the links from the
+    /// segment and rewriting the HTML to list the links vertically,
+    /// into two columns").
+    LinksToColumns {
+        /// Number of columns.
+        columns: u32,
+    },
+    /// Inject a client-side script next to the object (JS insertion).
+    InjectClientScript {
+        /// Script source.
+        code: String,
+    },
+    /// Pre-render the object into an image at the given fidelity
+    /// (partial pre-rendering of a page region).
+    PrerenderImage {
+        /// Uniform scale factor.
+        scale: f32,
+        /// JPEG-class quality 1–100.
+        quality: u8,
+        /// Cache TTL in seconds; `None` = per-user, uncached.
+        cache_ttl_secs: Option<u64>,
+    },
+    /// Partial CSS pre-rendering: render the object with text replaced
+    /// by stretched placeholders, ship the raster as a background, and
+    /// draw the text client-side at recorded positions.
+    PartialCssPrerender {
+        /// Uniform scale factor.
+        scale: f32,
+    },
+    /// Build a word index over the object so its pre-rendered image is
+    /// searchable client-side.
+    Searchable,
+    /// Replace rich media (`object`, `embed`, `video`, `iframe`,
+    /// `applet`) inside the object with rendered thumbnail snapshots —
+    /// the paper's "support for producing thumbnail snapshots of rich
+    /// media content for resource-constrained devices".
+    RichMediaThumbnail {
+        /// Uniform scale of the thumbnail relative to the declared size.
+        scale: f32,
+    },
+    /// Reduce fidelity of all images inside the object.
+    ImageFidelity {
+        /// JPEG-class quality 1–100.
+        quality: u8,
+    },
+    /// Rewrite the object's AJAX handlers (`$(sel).load(url)` patterns)
+    /// to be satisfied by the proxy.
+    AjaxRewrite,
+    /// Convert the object's plain navigation links into asynchronous
+    /// loads into `target` (a CSS selector), satisfied by the proxy —
+    /// the CraigsList two-pane adaptation of §4.5.
+    LinksToAjax {
+        /// Selector of the container that receives loaded fragments.
+        target: String,
+    },
+    /// Declare that this object depends on objects matching `selector`
+    /// (CSS/JS), which must be copied into any subpage carrying it.
+    Dependency {
+        /// Selector of the dependency objects.
+        selector: String,
+    },
+    /// Protect this object's subpage behind the proxy's lightweight
+    /// HTTP-auth flow.
+    HttpAuth,
+}
+
+/// A source-level filter (§3.2 "filter phase"): applied to the raw HTML
+/// before any DOM parse, "avoiding a DOM parse altogether" when the
+/// filters suffice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceFilter {
+    /// Replace every occurrence of a literal string.
+    Replace {
+        /// Text to find.
+        find: String,
+        /// Replacement.
+        replace: String,
+    },
+    /// Replace the doctype ("extremely simple filters such as changing
+    /// the doctype").
+    SetDoctype {
+        /// New doctype line.
+        doctype: String,
+    },
+    /// Replace the `<title>`.
+    SetTitle {
+        /// New title text.
+        title: String,
+    },
+    /// Blanket-remove a tag and its content at source level ("blanketly
+    /// removing css and script tags").
+    StripTag {
+        /// Tag name, e.g. `script`.
+        tag: String,
+    },
+    /// Rewrite image URL prefixes to a low-fidelity cache or different
+    /// server.
+    RewriteImagePrefix {
+        /// Prefix to match.
+        from: String,
+        /// Replacement prefix.
+        to: String,
+    },
+}
+
+/// One rule: a target plus the attributes assigned to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The object this rule applies to.
+    pub target: Target,
+    /// Attributes in application order.
+    pub attributes: Vec<Attribute>,
+}
+
+/// Snapshot configuration for the entry page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotSpec {
+    /// Uniform scale applied to the rendered page ("the image itself is
+    /// also scaled down to prevent the user from having to zoom").
+    pub scale: f32,
+    /// JPEG-class quality for the low-fidelity save.
+    pub quality: u8,
+    /// Shared-cache TTL in seconds ("set to expire after an hour").
+    pub cache_ttl_secs: u64,
+    /// Server-side viewport width for the render.
+    pub viewport_width: u32,
+}
+
+impl Default for SnapshotSpec {
+    fn default() -> Self {
+        SnapshotSpec {
+            scale: 0.5,
+            quality: 40,
+            cache_ttl_secs: 3_600,
+            viewport_width: 1_024,
+        }
+    }
+}
+
+/// The complete output of the admin tool for one page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationSpec {
+    /// Short identifier for the adapted page (used in proxy URLs).
+    pub page_id: String,
+    /// Origin URL being adapted.
+    pub page_url: String,
+    /// Whether m.Site sessions are required (cookie jar per user).
+    pub session_required: bool,
+    /// Entry-page snapshot settings; `None` disables pre-rendering.
+    pub snapshot: Option<SnapshotSpec>,
+    /// Source-level filters, applied in order.
+    pub filters: Vec<SourceFilter>,
+    /// Object rules, applied in order.
+    pub rules: Vec<Rule>,
+}
+
+impl AdaptationSpec {
+    /// Creates an empty spec for a page.
+    pub fn new(page_id: &str, page_url: &str) -> AdaptationSpec {
+        AdaptationSpec {
+            page_id: page_id.to_string(),
+            page_url: page_url.to_string(),
+            session_required: true,
+            snapshot: Some(SnapshotSpec::default()),
+            filters: Vec::new(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn rule(mut self, target: Target, attributes: Vec<Attribute>) -> AdaptationSpec {
+        self.rules.push(Rule { target, attributes });
+        self
+    }
+
+    /// Adds a source filter (builder style).
+    pub fn filter(mut self, filter: SourceFilter) -> AdaptationSpec {
+        self.filters.push(filter);
+        self
+    }
+
+    /// All subpage declarations in order of appearance.
+    pub fn subpages(&self) -> Vec<(&str, &str)> {
+        self.rules
+            .iter()
+            .flat_map(|r| &r.attributes)
+            .filter_map(|a| match a {
+                Attribute::Subpage { id, title, .. } => Some((id.as_str(), title.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when some attribute requires the server-side browser
+    /// (pre-rendering of any kind, or a snapshot). The scalability win of
+    /// the paper comes from this being false for most requests.
+    pub fn needs_browser(&self) -> bool {
+        self.snapshot.is_some()
+            || self.rules.iter().flat_map(|r| &r.attributes).any(|a| {
+                matches!(
+                    a,
+                    Attribute::PrerenderImage { .. }
+                        | Attribute::PartialCssPrerender { .. }
+                        | Attribute::Searchable
+                        | Attribute::Subpage { prerender: true, .. }
+                )
+            })
+    }
+
+    /// Serializes to the admin tool's JSON format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parses the admin tool's JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error.
+    pub fn from_json(json: &str) -> Result<AdaptationSpec, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> AdaptationSpec {
+        AdaptationSpec::new("forum", "http://forum.test/index.php")
+            .filter(SourceFilter::SetTitle {
+                title: "Mobile Forum".into(),
+            })
+            .rule(
+                Target::Css("#loginform".into()),
+                vec![
+                    Attribute::Subpage {
+                        id: "login".into(),
+                        title: "Log in".into(),
+                        ajax: false,
+                        prerender: false,
+                    },
+                    Attribute::Dependency {
+                        selector: "head link, head script".into(),
+                    },
+                ],
+            )
+            .rule(Target::Css("#leaderboard".into()), vec![Attribute::Remove])
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = sample_spec();
+        let json = spec.to_json();
+        let parsed = AdaptationSpec::from_json(&json).unwrap();
+        assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn subpages_enumerated() {
+        let spec = sample_spec();
+        assert_eq!(spec.subpages(), vec![("login", "Log in")]);
+    }
+
+    #[test]
+    fn needs_browser_logic() {
+        let mut spec = sample_spec();
+        assert!(spec.needs_browser()); // default snapshot
+        spec.snapshot = None;
+        assert!(!spec.needs_browser());
+        spec.rules.push(Rule {
+            target: Target::Css(".x".into()),
+            attributes: vec![Attribute::PrerenderImage {
+                scale: 1.0,
+                quality: 50,
+                cache_ttl_secs: None,
+            }],
+        });
+        assert!(spec.needs_browser());
+    }
+
+    #[test]
+    fn dock_keywords_round_trip() {
+        for dock in [
+            DockObject::Doctype,
+            DockObject::Title,
+            DockObject::Scripts,
+            DockObject::Stylesheets,
+            DockObject::Head,
+            DockObject::Cookies,
+        ] {
+            assert_eq!(DockObject::from_keyword(dock.keyword()), Some(dock));
+        }
+        assert_eq!(DockObject::from_keyword("bogus"), None);
+    }
+
+    #[test]
+    fn target_description() {
+        assert_eq!(Target::Css("#a".into()).describe(), "css \"#a\"");
+        assert!(Target::Dock(DockObject::Title).describe().contains("title"));
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(AdaptationSpec::from_json("{not json").is_err());
+    }
+}

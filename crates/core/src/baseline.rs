@@ -1,0 +1,211 @@
+//! The Highlight baseline (§2, §4.6): a "remote control" proxy that
+//! keeps a full server-side browser instance per client session.
+//!
+//! Nichols et al.'s Highlight system drives a modified Firefox on the
+//! proxy for every user; the paper's Figure 7 contrasts its throughput
+//! against m.Site's lightweight path. This module reproduces that
+//! baseline faithfully enough to measure: every request instantiates (or
+//! reuses, when `pool_per_session` is set — the paper explicitly does
+//! *not* pool across clients for security) a full [`Browser`], loads the
+//! origin page through it, and serves the rendered result.
+
+use msite_net::{Origin, OriginRef, Request, Response, Status};
+use msite_render::browser::{Browser, BrowserConfig};
+use msite_render::image::{process, ImageFormat, PostProcess};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Baseline configuration.
+#[derive(Debug, Clone)]
+pub struct HighlightConfig {
+    /// Browser settings, including the per-instance startup cost.
+    pub browser_config: BrowserConfig,
+    /// Keep one browser alive per session (Highlight's model) instead of
+    /// one per request. Never shared across sessions.
+    pub pool_per_session: bool,
+    /// Scale of the rendered view sent to the device.
+    pub view_scale: f32,
+}
+
+impl Default for HighlightConfig {
+    fn default() -> Self {
+        HighlightConfig {
+            browser_config: BrowserConfig::paper_testbed(),
+            pool_per_session: false,
+            view_scale: 0.5,
+        }
+    }
+}
+
+/// Counters for the baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HighlightStats {
+    /// Requests handled.
+    pub requests: u64,
+    /// Browser instances launched.
+    pub browsers_launched: u64,
+}
+
+/// The browser-per-client baseline proxy.
+pub struct HighlightProxy {
+    origin: OriginRef,
+    page_url: String,
+    config: HighlightConfig,
+    sessions: Mutex<HashMap<String, Arc<Browser>>>,
+    stats: Mutex<HighlightStats>,
+}
+
+impl HighlightProxy {
+    /// Creates the baseline for one origin page.
+    pub fn new(page_url: &str, origin: OriginRef, config: HighlightConfig) -> HighlightProxy {
+        HighlightProxy {
+            origin,
+            page_url: page_url.to_string(),
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            stats: Mutex::new(HighlightStats::default()),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> HighlightStats {
+        *self.stats.lock()
+    }
+
+    fn browser_for(&self, session: &str) -> Arc<Browser> {
+        if self.config.pool_per_session {
+            if let Some(existing) = self.sessions.lock().get(session) {
+                return Arc::clone(existing);
+            }
+        }
+        self.stats.lock().browsers_launched += 1;
+        let browser = Arc::new(Browser::launch(self.config.browser_config.clone()));
+        if self.config.pool_per_session {
+            self.sessions
+                .lock()
+                .insert(session.to_string(), Arc::clone(&browser));
+        }
+        browser
+    }
+
+    /// Handles one remote-control interaction: fetch the page, render it
+    /// in the session's browser, ship the rendered view.
+    pub fn render_for(&self, session: &str) -> Response {
+        self.stats.lock().requests += 1;
+        let page_request = match Request::get(&self.page_url) {
+            Ok(r) => r,
+            Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
+        };
+        let page = self.origin.handle(&page_request);
+        if !page.status.is_success() {
+            return Response::error(
+                Status::BAD_GATEWAY,
+                &format!("origin returned {}", page.status),
+            );
+        }
+        let browser = self.browser_for(session);
+        let rendered = browser.render_page(&page.body_text(), &[]);
+        let processed = process(
+            &rendered.canvas,
+            &PostProcess {
+                scale: Some(self.config.view_scale),
+                format: ImageFormat::JpegClass { quality: 50 },
+                ..Default::default()
+            },
+        );
+        Response::bytes("image/png", processed.encoded)
+    }
+}
+
+impl Origin for HighlightProxy {
+    fn handle(&self, request: &Request) -> Response {
+        let session = request.cookie("hl_session").unwrap_or_else(|| "anon".to_string());
+        self.render_for(&session)
+    }
+
+    fn name(&self) -> &str {
+        "highlight-baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_origin() -> OriginRef {
+        Arc::new(|_req: &Request| {
+            Response::html("<html><body><h1>Page</h1><p>content</p></body></html>")
+        })
+    }
+
+    fn fast_config() -> HighlightConfig {
+        HighlightConfig {
+            browser_config: BrowserConfig::default(), // no startup cost in unit tests
+            pool_per_session: false,
+            view_scale: 0.5,
+        }
+    }
+
+    #[test]
+    fn renders_page_to_image() {
+        let proxy = HighlightProxy::new("http://h/", tiny_origin(), fast_config());
+        let response = proxy.render_for("s1");
+        assert!(response.status.is_success());
+        assert!(response.body.starts_with(&[0x89, b'P', b'N', b'G']));
+    }
+
+    #[test]
+    fn browser_launched_per_request_by_default() {
+        let proxy = HighlightProxy::new("http://h/", tiny_origin(), fast_config());
+        proxy.render_for("s1");
+        proxy.render_for("s1");
+        proxy.render_for("s2");
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.browsers_launched, 3);
+    }
+
+    #[test]
+    fn per_session_pool_reuses_within_session_only() {
+        let mut config = fast_config();
+        config.pool_per_session = true;
+        let proxy = HighlightProxy::new("http://h/", tiny_origin(), config);
+        proxy.render_for("s1");
+        proxy.render_for("s1");
+        proxy.render_for("s2");
+        assert_eq!(proxy.stats().browsers_launched, 2);
+    }
+
+    #[test]
+    fn startup_cost_dominates_when_modeled() {
+        let mut config = fast_config();
+        config.browser_config.startup_cost =
+            msite_render::StartupCost::Busy(Duration::from_millis(40));
+        let proxy = HighlightProxy::new("http://h/", tiny_origin(), config);
+        let start = std::time::Instant::now();
+        proxy.render_for("s1");
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn origin_failures_propagate() {
+        let failing: OriginRef =
+            Arc::new(|_req: &Request| Response::error(Status::NOT_FOUND, "gone"));
+        let proxy = HighlightProxy::new("http://h/", failing, fast_config());
+        assert_eq!(proxy.render_for("s1").status, Status::BAD_GATEWAY);
+    }
+
+    #[test]
+    fn origin_interface_uses_session_cookie() {
+        let proxy = HighlightProxy::new("http://h/", tiny_origin(), fast_config());
+        let response = proxy.handle(
+            &Request::get("http://hl/x")
+                .unwrap()
+                .with_header("cookie", "hl_session=abc"),
+        );
+        assert!(response.status.is_success());
+        assert_eq!(proxy.stats().requests, 1);
+    }
+}

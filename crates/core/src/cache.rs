@@ -1,0 +1,318 @@
+//! The shared render cache: TTL + LRU, safe for concurrent access.
+//!
+//! "Certain areas of a site may be defined as cachable across sessions,
+//! amortizing the initial pre-rendering cost across many users" (§3.3).
+//! Keys are `(page, variant)` strings; values are opaque byte artifacts
+//! (snapshot PNGs, pre-rendered fragments, adapted HTML).
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries dropped because their TTL passed.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1]; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: Bytes,
+    expires_at: Option<Instant>,
+    last_used: u64,
+    cost: Duration,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    clock: u64,
+    stats: CacheStats,
+    amortized: Duration,
+}
+
+/// A concurrent TTL + LRU cache for rendered artifacts.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use msite::cache::RenderCache;
+///
+/// let cache = RenderCache::new(128);
+/// cache.put("forum:snapshot", b"png bytes".to_vec(),
+///           Some(Duration::from_secs(3600)), Duration::from_millis(1800));
+/// assert!(cache.get("forum:snapshot").is_some());
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct RenderCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl RenderCache {
+    /// Creates a cache bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> RenderCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        RenderCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                stats: CacheStats::default(),
+                amortized: Duration::ZERO,
+            }),
+            capacity,
+        }
+    }
+
+    /// Inserts an artifact. `ttl == None` means "until evicted". `cost`
+    /// records how long the artifact took to produce, feeding the
+    /// amortization accounting.
+    pub fn put(&self, key: &str, value: impl Into<Bytes>, ttl: Option<Duration>, cost: Duration) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let last_used = inner.clock;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
+            // Evict the least recently used entry.
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                value: value.into(),
+                expires_at: ttl.map(|t| Instant::now() + t),
+                last_used,
+                cost,
+            },
+        );
+    }
+
+    /// Fetches a live artifact, refreshing its recency. Every hit adds
+    /// the entry's production cost to the amortized-savings counter.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some(entry) => {
+                if entry.expires_at.map(|t| Instant::now() >= t).unwrap_or(false) {
+                    inner.entries.remove(key);
+                    inner.stats.expirations += 1;
+                    inner.stats.misses += 1;
+                    return None;
+                }
+                entry.last_used = clock;
+                let value = entry.value.clone();
+                let cost = entry.cost;
+                inner.stats.hits += 1;
+                inner.amortized += cost;
+                Some(value)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fetches, or computes-and-stores on miss. The closure returns the
+    /// artifact plus its production cost.
+    pub fn get_or_insert_with(
+        &self,
+        key: &str,
+        ttl: Option<Duration>,
+        produce: impl FnOnce() -> (Bytes, Duration),
+    ) -> Bytes {
+        if let Some(hit) = self.get(key) {
+            return hit;
+        }
+        let (value, cost) = produce();
+        self.put(key, value.clone(), ttl, cost);
+        value
+    }
+
+    /// Drops an entry.
+    pub fn invalidate(&self, key: &str) {
+        self.inner.lock().entries.remove(key);
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+
+    /// Number of live entries (expired ones may still be counted until
+    /// touched).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Total rendering time saved by cache hits — the paper's
+    /// "amortizing rendering costs across many client sessions".
+    pub fn amortized_savings(&self) -> Duration {
+        self.inner.lock().amortized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_round_trip() {
+        let cache = RenderCache::new(4);
+        cache.put("a", b"one".to_vec(), None, Duration::ZERO);
+        assert_eq!(cache.get("a").as_deref(), Some(&b"one"[..]));
+        assert_eq!(cache.get("b"), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = RenderCache::new(4);
+        cache.put("x", b"v".to_vec(), Some(Duration::from_millis(20)), Duration::ZERO);
+        assert!(cache.get("x").is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get("x").is_none());
+        assert_eq!(cache.stats().expirations, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = RenderCache::new(2);
+        cache.put("a", b"1".to_vec(), None, Duration::ZERO);
+        cache.put("b", b"2".to_vec(), None, Duration::ZERO);
+        let _ = cache.get("a"); // refresh a
+        cache.put("c", b"3".to_vec(), None, Duration::ZERO);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_same_key_no_eviction() {
+        let cache = RenderCache::new(2);
+        cache.put("a", b"1".to_vec(), None, Duration::ZERO);
+        cache.put("b", b"2".to_vec(), None, Duration::ZERO);
+        cache.put("a", b"1b".to_vec(), None, Duration::ZERO);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get("a").as_deref(), Some(&b"1b"[..]));
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let cache = RenderCache::new(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with("k", None, || {
+                calls += 1;
+                (Bytes::from_static(b"computed"), Duration::from_millis(100))
+            });
+            assert_eq!(&v[..], b"computed");
+        }
+        assert_eq!(calls, 1);
+        // Two hits amortized 100 ms each.
+        assert_eq!(cache.amortized_savings(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn amortization_accumulates_per_hit() {
+        let cache = RenderCache::new(4);
+        cache.put("snap", b"png".to_vec(), None, Duration::from_secs(2));
+        for _ in 0..5 {
+            let _ = cache.get("snap");
+        }
+        assert_eq!(cache.amortized_savings(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(RenderCache::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", (t * 7 + i) % 32);
+                        cache.get_or_insert_with(&key, None, || {
+                            (Bytes::from(vec![t as u8]), Duration::from_millis(1))
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 64);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let cache = RenderCache::new(4);
+        cache.put("a", b"1".to_vec(), None, Duration::ZERO);
+        cache.invalidate("a");
+        assert!(cache.get("a").is_none());
+        cache.put("b", b"2".to_vec(), None, Duration::ZERO);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let cache = RenderCache::new(4);
+        cache.put("a", b"1".to_vec(), None, Duration::ZERO);
+        let _ = cache.get("a");
+        let _ = cache.get("a");
+        let _ = cache.get("zz");
+        let ratio = cache.stats().hit_ratio();
+        assert!((ratio - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,723 @@
+//! The proxy program DSL — this reproduction's analog of the PHP shell
+//! code the paper's visual tool generates.
+//!
+//! The admin tool emits an [`AdaptationSpec`]; [`to_script`] renders it
+//! as a small line-oriented program, and [`parse_script`] is the loader
+//! the proxy uses at deploy time. Keeping the generated proxy *a program
+//! in a file* (rather than an in-memory structure) preserves the paper's
+//! deployment story: the tool writes code, the server runs it, the
+//! administrator can read and tweak it.
+//!
+//! ```text
+//! page forum "http://forum.test/index.php"
+//! session required
+//! snapshot scale=0.5 quality=40 ttl=3600 viewport=1024
+//! filter set-title "Sawmill Creek Mobile"
+//! rule css "#loginform" {
+//!   subpage login "Log in" ajax=no prerender=no
+//!   dependency "head link"
+//! }
+//! ```
+
+use crate::attributes::{
+    AdaptationSpec, Attribute, DockObject, Position, Rule, SnapshotSpec, SourceFilter, Target,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a proxy script fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScriptError {
+    line: usize,
+    message: String,
+}
+
+impl ParseScriptError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseScriptError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proxy script line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseScriptError {}
+
+// -------------------------------------------------------------------
+// Generation
+// -------------------------------------------------------------------
+
+/// Renders a spec as proxy script text.
+///
+/// # Examples
+///
+/// ```
+/// use msite::attributes::AdaptationSpec;
+/// use msite::dsl::{parse_script, to_script};
+///
+/// let spec = AdaptationSpec::new("forum", "http://forum.test/index.php");
+/// let script = to_script(&spec);
+/// assert!(script.starts_with("# m.Site generated proxy program"));
+/// assert_eq!(parse_script(&script).unwrap(), spec);
+/// ```
+pub fn to_script(spec: &AdaptationSpec) -> String {
+    let mut out = String::new();
+    out.push_str("# m.Site generated proxy program\n");
+    out.push_str(&format!("page {} {}\n", spec.page_id, quote(&spec.page_url)));
+    out.push_str(if spec.session_required {
+        "session required\n"
+    } else {
+        "session none\n"
+    });
+    if let Some(snap) = &spec.snapshot {
+        out.push_str(&format!(
+            "snapshot scale={} quality={} ttl={} viewport={}\n",
+            snap.scale, snap.quality, snap.cache_ttl_secs, snap.viewport_width
+        ));
+    }
+    for filter in &spec.filters {
+        out.push_str("filter ");
+        match filter {
+            SourceFilter::Replace { find, replace } => {
+                out.push_str(&format!("replace {} {}", quote(find), quote(replace)))
+            }
+            SourceFilter::SetDoctype { doctype } => {
+                out.push_str(&format!("set-doctype {}", quote(doctype)))
+            }
+            SourceFilter::SetTitle { title } => {
+                out.push_str(&format!("set-title {}", quote(title)))
+            }
+            SourceFilter::StripTag { tag } => out.push_str(&format!("strip-tag {tag}")),
+            SourceFilter::RewriteImagePrefix { from, to } => {
+                out.push_str(&format!("rewrite-img-prefix {} {}", quote(from), quote(to)))
+            }
+        }
+        out.push('\n');
+    }
+    for rule in &spec.rules {
+        let target = match &rule.target {
+            Target::Css(s) => format!("css {}", quote(s)),
+            Target::XPath(s) => format!("xpath {}", quote(s)),
+            Target::Dock(d) => format!("dock {}", d.keyword()),
+        };
+        out.push_str(&format!("rule {target} {{\n"));
+        for attr in &rule.attributes {
+            out.push_str("  ");
+            out.push_str(&attribute_line(attr));
+            out.push('\n');
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn attribute_line(attr: &Attribute) -> String {
+    match attr {
+        Attribute::Subpage {
+            id,
+            title,
+            ajax,
+            prerender,
+        } => format!(
+            "subpage {id} {} ajax={} prerender={}",
+            quote(title),
+            yesno(*ajax),
+            yesno(*prerender)
+        ),
+        Attribute::CopyTo {
+            subpage,
+            position,
+            set_attr,
+        } => {
+            let mut line = format!("copy-to {subpage} {}", position_word(*position));
+            if let Some((name, value)) = set_attr {
+                line.push_str(&format!(" set {} {}", name, quote(value)));
+            }
+            line
+        }
+        Attribute::MoveTo { subpage, position } => {
+            format!("move-to {subpage} {}", position_word(*position))
+        }
+        Attribute::Remove => "remove".to_string(),
+        Attribute::Hide => "hide".to_string(),
+        Attribute::ReplaceWith { html } => format!("replace-with {}", quote(html)),
+        Attribute::InsertBefore { html } => format!("insert-before {}", quote(html)),
+        Attribute::InsertAfter { html } => format!("insert-after {}", quote(html)),
+        Attribute::SetAttr { name, value } => format!("set-attr {} {}", name, quote(value)),
+        Attribute::LinksToColumns { columns } => format!("links-to-columns {columns}"),
+        Attribute::InjectClientScript { code } => format!("inject-script {}", quote(code)),
+        Attribute::PrerenderImage {
+            scale,
+            quality,
+            cache_ttl_secs,
+        } => {
+            let mut line = format!("prerender scale={scale} quality={quality}");
+            if let Some(ttl) = cache_ttl_secs {
+                line.push_str(&format!(" ttl={ttl}"));
+            }
+            line
+        }
+        Attribute::PartialCssPrerender { scale } => format!("partial-css scale={scale}"),
+        Attribute::Searchable => "searchable".to_string(),
+        Attribute::RichMediaThumbnail { scale } => format!("media-thumbnail scale={scale}"),
+        Attribute::ImageFidelity { quality } => format!("image-fidelity {quality}"),
+        Attribute::AjaxRewrite => "ajax-rewrite".to_string(),
+        Attribute::LinksToAjax { target } => format!("links-to-ajax {}", quote(target)),
+        Attribute::Dependency { selector } => format!("dependency {}", quote(selector)),
+        Attribute::HttpAuth => "http-auth".to_string(),
+    }
+}
+
+fn yesno(v: bool) -> &'static str {
+    if v {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn position_word(p: Position) -> &'static str {
+    match p {
+        Position::Head => "head",
+        Position::Top => "top",
+        Position::Bottom => "bottom",
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// -------------------------------------------------------------------
+// Parsing
+// -------------------------------------------------------------------
+
+/// Parses proxy script text back into an [`AdaptationSpec`].
+///
+/// # Errors
+///
+/// Returns [`ParseScriptError`] with the offending line on malformed
+/// input.
+pub fn parse_script(script: &str) -> Result<AdaptationSpec, ParseScriptError> {
+    let mut spec: Option<AdaptationSpec> = None;
+    let mut current_rule: Option<Rule> = None;
+
+    for (idx, raw_line) in script.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens =
+            tokenize(line).map_err(|message| ParseScriptError::new(line_no, message))?;
+        if tokens.is_empty() {
+            continue;
+        }
+        let e = |message: &str| ParseScriptError::new(line_no, message.to_string());
+
+        if let Some(rule) = &mut current_rule {
+            if tokens[0].text == "}" {
+                spec.as_mut()
+                    .ok_or_else(|| e("rule before page line"))?
+                    .rules
+                    .push(current_rule.take().expect("checked above"));
+                continue;
+            }
+            let attr = parse_attribute(&tokens, line_no)?;
+            rule.attributes.push(attr);
+            continue;
+        }
+
+        match tokens[0].text.as_str() {
+            "page" => {
+                if tokens.len() != 3 {
+                    return Err(e("expected: page <id> \"<url>\""));
+                }
+                let mut s = AdaptationSpec::new(&tokens[1].text, &tokens[2].text);
+                s.snapshot = None;
+                s.session_required = false;
+                spec = Some(s);
+            }
+            "session" => {
+                let spec = spec.as_mut().ok_or_else(|| e("session before page"))?;
+                match tokens.get(1).map(|t| t.text.as_str()) {
+                    Some("required") => spec.session_required = true,
+                    Some("none") => spec.session_required = false,
+                    _ => return Err(e("expected: session required|none")),
+                }
+            }
+            "snapshot" => {
+                let spec = spec.as_mut().ok_or_else(|| e("snapshot before page"))?;
+                let mut snap = SnapshotSpec::default();
+                for token in &tokens[1..] {
+                    let (k, v) = token
+                        .text
+                        .split_once('=')
+                        .ok_or_else(|| e("expected key=value"))?;
+                    match k {
+                        "scale" => snap.scale = v.parse().map_err(|_| e("bad scale"))?,
+                        "quality" => snap.quality = v.parse().map_err(|_| e("bad quality"))?,
+                        "ttl" => snap.cache_ttl_secs = v.parse().map_err(|_| e("bad ttl"))?,
+                        "viewport" => {
+                            snap.viewport_width = v.parse().map_err(|_| e("bad viewport"))?
+                        }
+                        _ => return Err(e(&format!("unknown snapshot key `{k}`"))),
+                    }
+                }
+                spec.snapshot = Some(snap);
+            }
+            "filter" => {
+                let spec = spec.as_mut().ok_or_else(|| e("filter before page"))?;
+                let filter = match tokens.get(1).map(|t| t.text.as_str()) {
+                    Some("replace") if tokens.len() == 4 => SourceFilter::Replace {
+                        find: tokens[2].text.clone(),
+                        replace: tokens[3].text.clone(),
+                    },
+                    Some("set-doctype") if tokens.len() == 3 => SourceFilter::SetDoctype {
+                        doctype: tokens[2].text.clone(),
+                    },
+                    Some("set-title") if tokens.len() == 3 => SourceFilter::SetTitle {
+                        title: tokens[2].text.clone(),
+                    },
+                    Some("strip-tag") if tokens.len() == 3 => SourceFilter::StripTag {
+                        tag: tokens[2].text.clone(),
+                    },
+                    Some("rewrite-img-prefix") if tokens.len() == 4 => {
+                        SourceFilter::RewriteImagePrefix {
+                            from: tokens[2].text.clone(),
+                            to: tokens[3].text.clone(),
+                        }
+                    }
+                    _ => return Err(e("unknown or malformed filter")),
+                };
+                spec.filters.push(filter);
+            }
+            "rule" => {
+                if spec.is_none() {
+                    return Err(e("rule before page"));
+                }
+                if tokens.len() < 3 {
+                    return Err(e("expected: rule css|xpath|dock <target> {"));
+                }
+                let target = match tokens[1].text.as_str() {
+                    "css" => Target::Css(tokens[2].text.clone()),
+                    "xpath" => Target::XPath(tokens[2].text.clone()),
+                    "dock" => Target::Dock(
+                        DockObject::from_keyword(&tokens[2].text)
+                            .ok_or_else(|| e("unknown dock object"))?,
+                    ),
+                    other => return Err(e(&format!("unknown target kind `{other}`"))),
+                };
+                if tokens.last().map(|t| t.text.as_str()) != Some("{") {
+                    return Err(e("expected `{` at end of rule line"));
+                }
+                current_rule = Some(Rule {
+                    target,
+                    attributes: Vec::new(),
+                });
+            }
+            other => return Err(e(&format!("unknown directive `{other}`"))),
+        }
+    }
+    if current_rule.is_some() {
+        return Err(ParseScriptError::new(
+            script.lines().count(),
+            "unterminated rule block",
+        ));
+    }
+    spec.ok_or_else(|| ParseScriptError::new(1, "missing page line"))
+}
+
+fn parse_attribute(tokens: &[Token], line_no: usize) -> Result<Attribute, ParseScriptError> {
+    let e = |message: String| ParseScriptError::new(line_no, message);
+    let kv = |token: &Token| -> Result<(String, String), ParseScriptError> {
+        token
+            .text
+            .split_once('=')
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .ok_or_else(|| e(format!("expected key=value, got `{}`", token.text)))
+    };
+    let position = |word: &str| -> Result<Position, ParseScriptError> {
+        match word {
+            "head" => Ok(Position::Head),
+            "top" => Ok(Position::Top),
+            "bottom" => Ok(Position::Bottom),
+            other => Err(e(format!("unknown position `{other}`"))),
+        }
+    };
+    Ok(match tokens[0].text.as_str() {
+        "subpage" => {
+            if tokens.len() != 5 {
+                return Err(e("expected: subpage <id> \"<title>\" ajax=.. prerender=..".into()));
+            }
+            let (k1, v1) = kv(&tokens[3])?;
+            let (k2, v2) = kv(&tokens[4])?;
+            if k1 != "ajax" || k2 != "prerender" {
+                return Err(e("expected ajax= then prerender=".into()));
+            }
+            Attribute::Subpage {
+                id: tokens[1].text.clone(),
+                title: tokens[2].text.clone(),
+                ajax: v1 == "yes",
+                prerender: v2 == "yes",
+            }
+        }
+        "copy-to" => {
+            if tokens.len() != 3 && tokens.len() != 6 {
+                return Err(e("expected: copy-to <subpage> <pos> [set <name> \"<value>\"]".into()));
+            }
+            let set_attr = if tokens.len() == 6 {
+                if tokens[3].text != "set" {
+                    return Err(e("expected `set`".into()));
+                }
+                Some((tokens[4].text.clone(), tokens[5].text.clone()))
+            } else {
+                None
+            };
+            Attribute::CopyTo {
+                subpage: tokens[1].text.clone(),
+                position: position(&tokens[2].text)?,
+                set_attr,
+            }
+        }
+        "move-to" => {
+            if tokens.len() != 3 {
+                return Err(e("expected: move-to <subpage> <pos>".into()));
+            }
+            Attribute::MoveTo {
+                subpage: tokens[1].text.clone(),
+                position: position(&tokens[2].text)?,
+            }
+        }
+        "remove" => Attribute::Remove,
+        "hide" => Attribute::Hide,
+        "replace-with" => Attribute::ReplaceWith {
+            html: arg1(tokens, line_no)?,
+        },
+        "insert-before" => Attribute::InsertBefore {
+            html: arg1(tokens, line_no)?,
+        },
+        "insert-after" => Attribute::InsertAfter {
+            html: arg1(tokens, line_no)?,
+        },
+        "set-attr" => {
+            if tokens.len() != 3 {
+                return Err(e("expected: set-attr <name> \"<value>\"".into()));
+            }
+            Attribute::SetAttr {
+                name: tokens[1].text.clone(),
+                value: tokens[2].text.clone(),
+            }
+        }
+        "links-to-columns" => Attribute::LinksToColumns {
+            columns: arg1(tokens, line_no)?
+                .parse()
+                .map_err(|_| e("bad column count".into()))?,
+        },
+        "inject-script" => Attribute::InjectClientScript {
+            code: arg1(tokens, line_no)?,
+        },
+        "prerender" => {
+            let mut scale = 1.0f32;
+            let mut quality = 60u8;
+            let mut ttl = None;
+            for token in &tokens[1..] {
+                let (k, v) = kv(token)?;
+                match k.as_str() {
+                    "scale" => scale = v.parse().map_err(|_| e("bad scale".into()))?,
+                    "quality" => quality = v.parse().map_err(|_| e("bad quality".into()))?,
+                    "ttl" => ttl = Some(v.parse().map_err(|_| e("bad ttl".into()))?),
+                    other => return Err(e(format!("unknown prerender key `{other}`"))),
+                }
+            }
+            Attribute::PrerenderImage {
+                scale,
+                quality,
+                cache_ttl_secs: ttl,
+            }
+        }
+        "partial-css" => {
+            let (k, v) = kv(tokens.get(1).ok_or_else(|| e("expected scale=".into()))?)?;
+            if k != "scale" {
+                return Err(e("expected scale=".into()));
+            }
+            Attribute::PartialCssPrerender {
+                scale: v.parse().map_err(|_| e("bad scale".into()))?,
+            }
+        }
+        "searchable" => Attribute::Searchable,
+        "media-thumbnail" => {
+            let (k, v) = kv(tokens.get(1).ok_or_else(|| e("expected scale=".into()))?)?;
+            if k != "scale" {
+                return Err(e("expected scale=".into()));
+            }
+            Attribute::RichMediaThumbnail {
+                scale: v.parse().map_err(|_| e("bad scale".into()))?,
+            }
+        }
+        "image-fidelity" => Attribute::ImageFidelity {
+            quality: arg1(tokens, line_no)?
+                .parse()
+                .map_err(|_| e("bad quality".into()))?,
+        },
+        "ajax-rewrite" => Attribute::AjaxRewrite,
+        "links-to-ajax" => Attribute::LinksToAjax {
+            target: arg1(tokens, line_no)?,
+        },
+        "dependency" => Attribute::Dependency {
+            selector: arg1(tokens, line_no)?,
+        },
+        "http-auth" => Attribute::HttpAuth,
+        other => return Err(e(format!("unknown attribute `{other}`"))),
+    })
+}
+
+fn arg1(tokens: &[Token], line_no: usize) -> Result<String, ParseScriptError> {
+    if tokens.len() != 2 {
+        return Err(ParseScriptError::new(
+            line_no,
+            format!("`{}` takes exactly one argument", tokens[0].text),
+        ));
+    }
+    Ok(tokens[1].text.clone())
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+}
+
+/// Splits a line into words; double-quoted strings (with `\"`, `\\`,
+/// `\n`, `\t` escapes) form single tokens.
+fn tokenize(line: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        if ch.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if ch == '"' {
+            chars.next();
+            let mut text = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('"') => text.push('"'),
+                        Some('\\') => text.push('\\'),
+                        Some('n') => text.push('\n'),
+                        Some('t') => text.push('\t'),
+                        Some(other) => return Err(format!("bad escape \\{other}")),
+                        None => return Err("unterminated string".to_string()),
+                    },
+                    Some(c) => text.push(c),
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+            tokens.push(Token { text });
+        } else {
+            let mut text = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                text.push(c);
+                chars.next();
+            }
+            tokens.push(Token { text });
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::SnapshotSpec;
+
+    fn full_spec() -> AdaptationSpec {
+        let mut spec = AdaptationSpec::new("forum", "http://forum.test/index.php");
+        spec.snapshot = Some(SnapshotSpec {
+            scale: 0.5,
+            quality: 40,
+            cache_ttl_secs: 3_600,
+            viewport_width: 1_024,
+        });
+        spec.filters = vec![
+            SourceFilter::SetTitle {
+                title: "Mobile \"Forum\"".into(),
+            },
+            SourceFilter::Replace {
+                find: "728".into(),
+                replace: "320".into(),
+            },
+            SourceFilter::StripTag {
+                tag: "noscript".into(),
+            },
+            SourceFilter::RewriteImagePrefix {
+                from: "/images/".into(),
+                to: "/m/forum/img/".into(),
+            },
+            SourceFilter::SetDoctype {
+                doctype: "<!DOCTYPE html>".into(),
+            },
+        ];
+        spec.rules = vec![
+            Rule {
+                target: Target::Css("#loginform".into()),
+                attributes: vec![
+                    Attribute::Subpage {
+                        id: "login".into(),
+                        title: "Log in".into(),
+                        ajax: false,
+                        prerender: false,
+                    },
+                    Attribute::Dependency {
+                        selector: "head link".into(),
+                    },
+                    Attribute::CopyTo {
+                        subpage: "login".into(),
+                        position: Position::Top,
+                        set_attr: Some(("src".into(), "/images/mobile_logo.gif".into())),
+                    },
+                ],
+            },
+            Rule {
+                target: Target::XPath("//table[1]".into()),
+                attributes: vec![
+                    Attribute::LinksToColumns { columns: 2 },
+                    Attribute::Subpage {
+                        id: "nav".into(),
+                        title: "Navigate".into(),
+                        ajax: true,
+                        prerender: false,
+                    },
+                ],
+            },
+            Rule {
+                target: Target::Dock(DockObject::Title),
+                attributes: vec![Attribute::SetAttr {
+                    name: "text".into(),
+                    value: "m.Forum".into(),
+                }],
+            },
+            Rule {
+                target: Target::Css("#stats".into()),
+                attributes: vec![
+                    Attribute::PrerenderImage {
+                        scale: 0.75,
+                        quality: 55,
+                        cache_ttl_secs: Some(600),
+                    },
+                    Attribute::Searchable,
+                    Attribute::Hide,
+                    Attribute::Remove,
+                    Attribute::ReplaceWith {
+                        html: "<p class=\"note\">line1\nline2</p>".into(),
+                    },
+                    Attribute::InsertBefore { html: "<hr>".into() },
+                    Attribute::InsertAfter { html: "<hr>".into() },
+                    Attribute::MoveTo {
+                        subpage: "misc".into(),
+                        position: Position::Bottom,
+                    },
+                    Attribute::InjectClientScript {
+                        code: "var q = \"x\";\nrun(q);".into(),
+                    },
+                    Attribute::PartialCssPrerender { scale: 1.0 },
+                    Attribute::RichMediaThumbnail { scale: 0.25 },
+                    Attribute::ImageFidelity { quality: 35 },
+                    Attribute::AjaxRewrite,
+                    Attribute::LinksToAjax { target: "#detail".into() },
+                    Attribute::HttpAuth,
+                ],
+            },
+        ];
+        spec
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let spec = full_spec();
+        let script = to_script(&spec);
+        let parsed = parse_script(&script).unwrap();
+        assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn generated_script_is_readable() {
+        let script = to_script(&full_spec());
+        assert!(script.contains("rule css \"#loginform\" {"));
+        assert!(script.contains("subpage login \"Log in\" ajax=no prerender=no"));
+        assert!(script.contains("links-to-columns 2"));
+        assert!(script.contains("snapshot scale=0.5 quality=40 ttl=3600 viewport=1024"));
+    }
+
+    #[test]
+    fn minimal_script() {
+        let spec = parse_script("page p \"http://h/\"\n").unwrap();
+        assert_eq!(spec.page_id, "p");
+        assert!(!spec.session_required);
+        assert!(spec.snapshot.is_none());
+        assert!(spec.rules.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec = parse_script("# hi\n\npage p \"http://h/\"\n# more\nsession required\n").unwrap();
+        assert!(spec.session_required);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_script("page p \"http://h/\"\nbogus directive\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        let err = parse_script("session required\n").unwrap_err();
+        assert!(err.to_string().contains("before page"));
+        let err = parse_script("page p \"http://h/\"\nrule css \"#x\" {\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        let err = parse_script("page p \"http://h/\"\nrule css \"#x\" {\n  explode\n}\n").unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let tokens = tokenize(r#"a "b \"c\" \\ \n d" e"#).unwrap();
+        assert_eq!(tokens.len(), 3);
+        assert_eq!(tokens[1].text, "b \"c\" \\ \n d");
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize(r#""bad \q""#).is_err());
+    }
+
+    #[test]
+    fn dock_rule_parses() {
+        let script = "page p \"http://h/\"\nrule dock scripts {\n  remove\n}\n";
+        let spec = parse_script(script).unwrap();
+        assert_eq!(spec.rules[0].target, Target::Dock(DockObject::Scripts));
+        assert!(parse_script("page p \"http://h/\"\nrule dock nothing {\n}\n").is_err());
+    }
+}

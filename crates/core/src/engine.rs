@@ -1,0 +1,472 @@
+//! Pluggable rendering engines.
+//!
+//! One of the paper's listed contributions: "a pluggable content
+//! adaptation system that can be extended with multiple rendering
+//! engines to produce HTML, static images, PDF, plain text, or Flash
+//! content at any point in the rendering process." This module defines
+//! the [`RenderEngine`] plug-in interface and ships four engines:
+//!
+//! - [`HtmlEngine`] — tidied XHTML (the default pass-through);
+//! - [`ImageEngine`] — PNG raster via the server-side browser;
+//! - [`PlainTextEngine`] — visible text with link footnotes (the
+//!   "text-based content adaptation" the paper contrasts against);
+//! - [`PdfEngine`] — a single-page text PDF, written from scratch.
+//!
+//! Flash is the one output we do not emit — the format is dead and the
+//! paper itself delegates Flash interactivity to plugin vendors.
+
+use msite_html::{text::visible_text, tidy};
+use msite_render::browser::{Browser, BrowserConfig};
+use msite_render::png;
+
+/// A rendered artifact produced by an engine.
+#[derive(Debug, Clone)]
+pub struct RenderedArtifact {
+    /// MIME type of `bytes`.
+    pub content_type: String,
+    /// Artifact bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl RenderedArtifact {
+    fn text(content_type: &str, body: String) -> RenderedArtifact {
+        RenderedArtifact {
+            content_type: content_type.to_string(),
+            bytes: body.into_bytes(),
+        }
+    }
+}
+
+/// A pluggable rendering engine: HTML in, artifact out.
+///
+/// Engines must be stateless per call (the proxy may invoke them from a
+/// worker pool).
+pub trait RenderEngine: Send + Sync {
+    /// Engine name, used in the registry and in generated file names.
+    fn name(&self) -> &str;
+
+    /// Renders page HTML into an artifact.
+    fn render(&self, html: &str) -> RenderedArtifact;
+}
+
+/// Tidied XHTML output (the identity engine).
+#[derive(Debug, Default)]
+pub struct HtmlEngine;
+
+impl RenderEngine for HtmlEngine {
+    fn name(&self) -> &str {
+        "html"
+    }
+
+    fn render(&self, html: &str) -> RenderedArtifact {
+        RenderedArtifact::text("application/xhtml+xml", tidy::to_xhtml_string(html))
+    }
+}
+
+/// PNG raster output via the server-side browser.
+pub struct ImageEngine {
+    config: BrowserConfig,
+}
+
+impl ImageEngine {
+    /// Creates the engine with a browser configuration.
+    pub fn new(config: BrowserConfig) -> ImageEngine {
+        ImageEngine { config }
+    }
+}
+
+impl Default for ImageEngine {
+    fn default() -> Self {
+        ImageEngine::new(BrowserConfig::default())
+    }
+}
+
+impl RenderEngine for ImageEngine {
+    fn name(&self) -> &str {
+        "image"
+    }
+
+    fn render(&self, html: &str) -> RenderedArtifact {
+        let browser = Browser::launch(self.config.clone());
+        let result = browser.render_page(html, &[]);
+        RenderedArtifact {
+            content_type: "image/png".to_string(),
+            bytes: png::encode(&result.canvas),
+        }
+    }
+}
+
+/// Plain-text output: visible text plus a numbered link index.
+#[derive(Debug, Default)]
+pub struct PlainTextEngine;
+
+impl RenderEngine for PlainTextEngine {
+    fn name(&self) -> &str {
+        "text"
+    }
+
+    fn render(&self, html: &str) -> RenderedArtifact {
+        let doc = tidy::tidy(html);
+        let mut out = visible_text(&doc, doc.root());
+        let links: Vec<(String, String)> = doc
+            .elements_by_tag(doc.root(), "a")
+            .into_iter()
+            .filter_map(|a| {
+                let href = doc.attr(a, "href")?.to_string();
+                let label = visible_text(&doc, a);
+                (!href.is_empty()).then_some((label, href))
+            })
+            .collect();
+        if !links.is_empty() {
+            out.push_str("\n\nLinks:\n");
+            for (i, (label, href)) in links.iter().enumerate() {
+                out.push_str(&format!("[{}] {} -> {}\n", i + 1, label, href));
+            }
+        }
+        RenderedArtifact::text("text/plain; charset=utf-8", out)
+    }
+}
+
+/// Single-page PDF output, written from scratch (PDF 1.4, Helvetica,
+/// uncompressed content stream). Good enough for "read this page
+/// offline" delivery to constrained devices.
+#[derive(Debug)]
+pub struct PdfEngine {
+    /// Page width in PostScript points (595 = A4).
+    pub page_width: f32,
+    /// Page height in points (842 = A4).
+    pub page_height: f32,
+    /// Body font size in points.
+    pub font_size: f32,
+}
+
+impl Default for PdfEngine {
+    fn default() -> Self {
+        PdfEngine {
+            page_width: 595.0,
+            page_height: 842.0,
+            font_size: 10.0,
+        }
+    }
+}
+
+impl RenderEngine for PdfEngine {
+    fn name(&self) -> &str {
+        "pdf"
+    }
+
+    fn render(&self, html: &str) -> RenderedArtifact {
+        let doc = tidy::tidy(html);
+        let title = doc
+            .elements_by_tag(doc.root(), "title")
+            .first()
+            .map(|&t| doc.text_content(t))
+            .unwrap_or_default();
+        let text = visible_text(&doc, doc.root());
+        let lines = wrap_text(&text, self.chars_per_line());
+        RenderedArtifact {
+            content_type: "application/pdf".to_string(),
+            bytes: self.write_pdf(&title, &lines),
+        }
+    }
+}
+
+impl PdfEngine {
+    fn chars_per_line(&self) -> usize {
+        // Helvetica averages ~0.5 em per character.
+        let usable = self.page_width - 2.0 * MARGIN;
+        (usable / (self.font_size * 0.5)).max(10.0) as usize
+    }
+
+    fn lines_per_page(&self) -> usize {
+        let usable = self.page_height - 2.0 * MARGIN - 20.0;
+        (usable / (self.font_size * 1.3)).max(5.0) as usize
+    }
+
+    /// Emits a complete PDF document with one or more pages of text.
+    fn write_pdf(&self, title: &str, lines: &[String]) -> Vec<u8> {
+        let pages: Vec<&[String]> = if lines.is_empty() {
+            vec![&[]]
+        } else {
+            lines.chunks(self.lines_per_page()).collect()
+        };
+        let page_count = pages.len();
+
+        // Object numbering: 1 catalog, 2 pages-tree, 3 font, then per
+        // page: page object + content stream.
+        let mut objects: Vec<Vec<u8>> = Vec::new();
+        let kids: Vec<String> = (0..page_count)
+            .map(|i| format!("{} 0 R", 4 + i * 2))
+            .collect();
+        objects.push(b"<< /Type /Catalog /Pages 2 0 R >>".to_vec());
+        objects.push(
+            format!(
+                "<< /Type /Pages /Kids [{}] /Count {} >>",
+                kids.join(" "),
+                page_count
+            )
+            .into_bytes(),
+        );
+        objects.push(
+            b"<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>".to_vec(),
+        );
+        for (i, page_lines) in pages.iter().enumerate() {
+            let content = self.page_stream(title, page_lines, i == 0);
+            objects.push(
+                format!(
+                    "<< /Type /Page /Parent 2 0 R /MediaBox [0 0 {} {}] \
+                     /Resources << /Font << /F1 3 0 R >> >> /Contents {} 0 R >>",
+                    self.page_width,
+                    self.page_height,
+                    5 + i * 2
+                )
+                .into_bytes(),
+            );
+            let mut stream = format!("<< /Length {} >>\nstream\n", content.len()).into_bytes();
+            stream.extend_from_slice(content.as_bytes());
+            stream.extend_from_slice(b"\nendstream");
+            objects.push(stream);
+        }
+
+        // Assemble with a cross-reference table.
+        let mut out: Vec<u8> = b"%PDF-1.4\n".to_vec();
+        let mut offsets = Vec::with_capacity(objects.len());
+        for (i, body) in objects.iter().enumerate() {
+            offsets.push(out.len());
+            out.extend_from_slice(format!("{} 0 obj\n", i + 1).as_bytes());
+            out.extend_from_slice(body);
+            out.extend_from_slice(b"\nendobj\n");
+        }
+        let xref_at = out.len();
+        out.extend_from_slice(format!("xref\n0 {}\n", objects.len() + 1).as_bytes());
+        out.extend_from_slice(b"0000000000 65535 f \n");
+        for offset in offsets {
+            out.extend_from_slice(format!("{offset:010} 00000 n \n").as_bytes());
+        }
+        out.extend_from_slice(
+            format!(
+                "trailer\n<< /Size {} /Root 1 0 R >>\nstartxref\n{}\n%%EOF",
+                objects.len() + 1,
+                xref_at
+            )
+            .as_bytes(),
+        );
+        out
+    }
+
+    fn page_stream(&self, title: &str, lines: &[String], first_page: bool) -> String {
+        let mut content = String::from("BT\n");
+        let mut y = self.page_height - MARGIN;
+        if first_page && !title.is_empty() {
+            content.push_str(&format!(
+                "/F1 {} Tf 1 0 0 1 {} {} Tm ({}) Tj\n",
+                self.font_size * 1.4,
+                MARGIN,
+                y,
+                escape_pdf_string(title)
+            ));
+            y -= self.font_size * 2.2;
+        }
+        for line in lines {
+            content.push_str(&format!(
+                "/F1 {} Tf 1 0 0 1 {} {} Tm ({}) Tj\n",
+                self.font_size,
+                MARGIN,
+                y,
+                escape_pdf_string(line)
+            ));
+            y -= self.font_size * 1.3;
+        }
+        content.push_str("ET");
+        content
+    }
+}
+
+const MARGIN: f32 = 50.0;
+
+fn escape_pdf_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '(' => out.push_str("\\("),
+            ')' => out.push_str("\\)"),
+            '\\' => out.push_str("\\\\"),
+            c if c.is_ascii() && !c.is_control() => out.push(c),
+            _ => out.push('?'), // Helvetica/WinAnsi subset only
+        }
+    }
+    out
+}
+
+/// Greedy word wrap to a column width.
+fn wrap_text(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut current = String::new();
+    for word in text.split_whitespace() {
+        if !current.is_empty() && current.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut current));
+        }
+        if !current.is_empty() {
+            current.push(' ');
+        }
+        // Hard-break pathological words.
+        if word.len() > width {
+            for chunk in word.as_bytes().chunks(width) {
+                lines.push(String::from_utf8_lossy(chunk).into_owned());
+            }
+            continue;
+        }
+        current.push_str(word);
+    }
+    if !current.is_empty() {
+        lines.push(current);
+    }
+    lines
+}
+
+/// The engine registry the proxy consults ("can be extended with
+/// multiple rendering engines").
+#[derive(Default)]
+pub struct EngineRegistry {
+    engines: Vec<Box<dyn RenderEngine>>,
+}
+
+impl EngineRegistry {
+    /// Creates a registry with the four built-in engines.
+    pub fn with_builtins() -> EngineRegistry {
+        let mut registry = EngineRegistry::default();
+        registry.register(Box::new(HtmlEngine));
+        registry.register(Box::new(ImageEngine::default()));
+        registry.register(Box::new(PlainTextEngine));
+        registry.register(Box::new(PdfEngine::default()));
+        registry
+    }
+
+    /// Adds an engine (later registrations shadow earlier ones by name).
+    pub fn register(&mut self, engine: Box<dyn RenderEngine>) {
+        self.engines.retain(|e| e.name() != engine.name());
+        self.engines.push(engine);
+    }
+
+    /// Looks an engine up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn RenderEngine> {
+        self.engines.iter().find(|e| e.name() == name).map(|b| b.as_ref())
+    }
+
+    /// Registered engine names.
+    pub fn names(&self) -> Vec<&str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = "<html><head><title>Shop News</title></head><body>\
+        <h1>Grand (re)opening</h1><p>All hand tools 20% off.</p>\
+        <a href=\"/sale.php\">See the sale</a></body></html>";
+
+    #[test]
+    fn html_engine_tidies() {
+        let artifact = HtmlEngine.render("<p>a<br>b");
+        assert_eq!(artifact.content_type, "application/xhtml+xml");
+        let body = String::from_utf8(artifact.bytes).unwrap();
+        assert!(body.contains("<br />"));
+        assert!(body.contains("</html>"));
+    }
+
+    #[test]
+    fn image_engine_produces_png() {
+        let artifact = ImageEngine::default().render(PAGE);
+        assert_eq!(artifact.content_type, "image/png");
+        assert!(artifact.bytes.starts_with(&[0x89, b'P', b'N', b'G']));
+    }
+
+    #[test]
+    fn text_engine_extracts_text_and_links() {
+        let artifact = PlainTextEngine.render(PAGE);
+        let body = String::from_utf8(artifact.bytes).unwrap();
+        assert!(body.contains("Grand (re)opening"));
+        assert!(body.contains("hand tools 20% off"));
+        assert!(body.contains("[1] See the sale -> /sale.php"));
+        assert!(!body.contains("<h1>"));
+    }
+
+    #[test]
+    fn pdf_engine_emits_valid_structure() {
+        let artifact = PdfEngine::default().render(PAGE);
+        assert_eq!(artifact.content_type, "application/pdf");
+        let bytes = &artifact.bytes;
+        assert!(bytes.starts_with(b"%PDF-1.4"));
+        assert!(bytes.ends_with(b"%%EOF"));
+        let text = String::from_utf8_lossy(bytes);
+        assert!(text.contains("/Type /Catalog"));
+        assert!(text.contains("/BaseFont /Helvetica"));
+        assert!(text.contains("Shop News"));
+        // Parens escaped inside strings.
+        assert!(text.contains("Grand \\(re\\)opening"));
+        // xref offsets must actually point at objects.
+        let xref_at: usize = text
+            .rsplit("startxref\n")
+            .next()
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(&bytes[xref_at..xref_at + 4], b"xref");
+    }
+
+    #[test]
+    fn pdf_paginates_long_documents() {
+        let mut long = String::from("<body><p>");
+        for i in 0..3_000 {
+            long.push_str(&format!("word{i} "));
+        }
+        long.push_str("</p></body>");
+        let artifact = PdfEngine::default().render(&long);
+        let text = String::from_utf8_lossy(&artifact.bytes);
+        let pages = text.matches("/Type /Page ").count();
+        assert!(pages >= 2, "expected pagination, got {pages} page(s)");
+        // Kids count matches.
+        assert!(text.contains(&format!("/Count {pages}")));
+    }
+
+    #[test]
+    fn wrap_text_behavior() {
+        assert_eq!(wrap_text("a b c", 3), vec!["a b", "c"]);
+        assert_eq!(wrap_text("", 10), Vec::<String>::new());
+        let hard = wrap_text("abcdefghij", 4);
+        assert_eq!(hard, vec!["abcd", "efgh", "ij"]);
+    }
+
+    #[test]
+    fn registry_lookup_and_shadowing() {
+        let registry = EngineRegistry::with_builtins();
+        assert_eq!(registry.names(), vec!["html", "image", "text", "pdf"]);
+        assert!(registry.get("pdf").is_some());
+        assert!(registry.get("flash").is_none());
+
+        struct Custom;
+        impl RenderEngine for Custom {
+            fn name(&self) -> &str {
+                "text"
+            }
+            fn render(&self, _html: &str) -> RenderedArtifact {
+                RenderedArtifact::text("text/x-custom", "custom".into())
+            }
+        }
+        let mut registry = EngineRegistry::with_builtins();
+        registry.register(Box::new(Custom));
+        let artifact = registry.get("text").unwrap().render(PAGE);
+        assert_eq!(artifact.content_type, "text/x-custom");
+    }
+
+    #[test]
+    fn non_ascii_degrades_not_panics() {
+        let artifact = PdfEngine::default().render("<body><p>héllo wörld — ❤</p></body>");
+        assert!(artifact.bytes.starts_with(b"%PDF-1.4"));
+    }
+}

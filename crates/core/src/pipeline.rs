@@ -1,0 +1,1514 @@
+//! The adaptation pipeline: filters → tidy/DOM → attributes → subpage
+//! emission → rendering (§3.2, Figure 3).
+//!
+//! Given an [`AdaptationSpec`] and a fetched page, [`adapt`] produces an
+//! [`AdaptedBundle`]: the entry page, the generated subpages, every
+//! rendered image, and the AJAX action registry. The proxy writes these
+//! into per-user session directories and shared caches.
+//!
+//! The phases honor the paper's cost structure: if a spec contains only
+//! source filters (and no snapshot), the page is adapted *without any
+//! DOM parse*; the heavyweight browser is instantiated only when a
+//! snapshot or pre-render attribute demands graphical output.
+
+use crate::ajax::{self, AjaxRegistry};
+use crate::attributes::{
+    AdaptationSpec, Attribute, DockObject, Position, Rule, SourceFilter, Target,
+};
+use crate::search::SearchIndex;
+use msite_html::{parse_fragment_into, tidy, Document, NodeId};
+use msite_render::browser::{Browser, BrowserConfig};
+use msite_render::image::{process, ImageFormat, PostProcess};
+use msite_render::Rect;
+use msite_selectors::{SelectorList, XPath};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Pipeline failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptError {
+    /// A rule's selector or XPath failed to parse.
+    InvalidTarget {
+        /// The offending target text.
+        target: String,
+        /// Parser message.
+        message: String,
+    },
+    /// A `copy-to`/`move-to` referenced a subpage never declared.
+    UnknownSubpage {
+        /// The missing subpage id.
+        id: String,
+    },
+}
+
+impl fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptError::InvalidTarget { target, message } => {
+                write!(f, "invalid target `{target}`: {message}")
+            }
+            AdaptError::UnknownSubpage { id } => write!(f, "unknown subpage `{id}`"),
+        }
+    }
+}
+
+impl Error for AdaptError {}
+
+/// A generated HTML artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedFile {
+    /// File name (e.g. `login.html`).
+    pub name: String,
+    /// Contents.
+    pub html: String,
+}
+
+/// A generated image artifact.
+#[derive(Debug, Clone)]
+pub struct GeneratedImage {
+    /// File name (e.g. `snapshot.png`).
+    pub name: String,
+    /// Encoded bytes (PNG).
+    pub bytes: Vec<u8>,
+    /// Bytes this artifact occupies on the wire (JPEG-class artifacts
+    /// model their size; see `msite-render::image`).
+    pub wire_size: usize,
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+    /// Shared-cache TTL; `None` = per-user artifact.
+    pub cache_ttl: Option<Duration>,
+}
+
+/// Counters from one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Source filters applied.
+    pub filters_applied: usize,
+    /// Whether a DOM parse was needed at all.
+    pub dom_parsed: bool,
+    /// Rules whose target matched at least one node.
+    pub rules_matched: usize,
+    /// Total nodes affected by attributes.
+    pub nodes_affected: usize,
+    /// Images produced by pre-rendering.
+    pub images_rendered: usize,
+    /// Whether a browser instance was used.
+    pub browser_used: bool,
+}
+
+/// Everything one adaptation run produces.
+#[derive(Debug, Clone)]
+pub struct AdaptedBundle {
+    /// The entry page served to the mobile client.
+    pub entry_html: String,
+    /// Generated subpages.
+    pub subpages: Vec<GeneratedFile>,
+    /// Generated images (snapshot + pre-rendered objects).
+    pub images: Vec<GeneratedImage>,
+    /// AJAX actions the proxy must satisfy.
+    pub ajax: AjaxRegistry,
+    /// Search index when the `searchable` attribute was present.
+    pub search: Option<SearchIndex>,
+    /// Run statistics.
+    pub stats: PipelineStats,
+    /// True when a dock-cookies rule asked for a clear-cookies entry
+    /// point (the logout-button replacement).
+    pub wants_cookie_clear: bool,
+}
+
+/// Pipeline context: where artifacts will be served from.
+#[derive(Debug, Clone)]
+pub struct PipelineContext {
+    /// URL prefix the proxy serves this page under, e.g. `/m/forum`.
+    pub base: String,
+    /// Browser configuration for renders.
+    pub browser_config: BrowserConfig,
+}
+
+impl Default for PipelineContext {
+    fn default() -> Self {
+        PipelineContext {
+            base: "/m/page".to_string(),
+            browser_config: BrowserConfig::default(),
+        }
+    }
+}
+
+struct SubpageBuilder {
+    id: String,
+    title: String,
+    ajax: bool,
+    prerender: bool,
+    head_html: String,
+    top_html: String,
+    body_html: String,
+    bottom_html: String,
+    scripts: Vec<String>,
+    http_auth: bool,
+}
+
+/// Runs the full pipeline.
+///
+/// # Errors
+///
+/// Returns [`AdaptError`] for malformed targets or dangling subpage
+/// references. Origin-level failures are the proxy's concern, not the
+/// pipeline's.
+pub fn adapt(
+    spec: &AdaptationSpec,
+    page_html: &str,
+    ctx: &PipelineContext,
+) -> Result<AdaptedBundle, AdaptError> {
+    let mut stats = PipelineStats::default();
+
+    // ---- Filter phase (source level, no DOM) -------------------------
+    let filtered = apply_filters(page_html, &spec.filters, &mut stats);
+
+    // Pure filter adaptation: no rules, no snapshot -> done, no parse.
+    if spec.rules.is_empty() && spec.snapshot.is_none() {
+        return Ok(AdaptedBundle {
+            entry_html: filtered,
+            subpages: Vec::new(),
+            images: Vec::new(),
+            ajax: AjaxRegistry::new(),
+            search: None,
+            stats,
+            wants_cookie_clear: false,
+        });
+    }
+
+    // ---- DOM phase ----------------------------------------------------
+    stats.dom_parsed = true;
+    let mut doc = tidy::tidy(&filtered);
+    let mut bundle_images: Vec<GeneratedImage> = Vec::new();
+    let mut registry = AjaxRegistry::new();
+    let mut wants_cookie_clear = false;
+    let mut searchable = false;
+
+    // Subpage declarations first, so copy-to/move-to can validate.
+    let mut subpages: BTreeMap<String, SubpageBuilder> = BTreeMap::new();
+    for rule in &spec.rules {
+        for attr in &rule.attributes {
+            if let Attribute::Subpage {
+                id,
+                title,
+                ajax,
+                prerender,
+            } = attr
+            {
+                subpages.entry(id.clone()).or_insert_with(|| SubpageBuilder {
+                    id: id.clone(),
+                    title: title.clone(),
+                    ajax: *ajax,
+                    prerender: *prerender,
+                    head_html: String::new(),
+                    top_html: String::new(),
+                    body_html: String::new(),
+                    bottom_html: String::new(),
+                    scripts: Vec::new(),
+                    http_auth: false,
+                });
+            }
+        }
+    }
+    for rule in &spec.rules {
+        for attr in &rule.attributes {
+            let referenced = match attr {
+                Attribute::CopyTo { subpage, .. } | Attribute::MoveTo { subpage, .. } => {
+                    Some(subpage)
+                }
+                _ => None,
+            };
+            if let Some(id) = referenced {
+                if !subpages.contains_key(id) {
+                    return Err(AdaptError::UnknownSubpage { id: id.clone() });
+                }
+            }
+        }
+    }
+
+    // Lazily launched browser, shared by snapshot + all prerenders.
+    let mut browser: Option<Browser> = None;
+    let mut obj_counter = 0usize;
+
+    // Snapshot render happens against the *filtered original* page so the
+    // user sees the familiar screen, with geometry captured per target.
+    let snapshot_render = spec.snapshot.as_ref().map(|snap| {
+        let b = browser.get_or_insert_with(|| {
+            let mut config = ctx.browser_config.clone();
+            config.viewport_width = snap.viewport_width;
+            Browser::launch(config)
+        });
+        stats.browser_used = true;
+        b.render_page(&filtered, &[])
+    });
+
+    // ---- Attribute phase ----------------------------------------------
+    for rule in &spec.rules {
+        let nodes = resolve_target(&doc, &rule.target)?;
+        if let Target::Dock(dock) = &rule.target {
+            apply_dock_rule(&mut doc, *dock, rule, &mut stats, &mut wants_cookie_clear);
+            continue;
+        }
+        if nodes.is_empty() {
+            continue;
+        }
+        stats.rules_matched += 1;
+        for attr in &rule.attributes {
+            match attr {
+                Attribute::Subpage { id, title, .. } => {
+                    let builder = subpages.get_mut(id).expect("declared above");
+                    for &node in &nodes {
+                        builder.body_html.push_str(&doc.outer_html(node));
+                        let link = format!(
+                            "<a class=\"msite-subpage-link\" href=\"{}/s/{}.html\">{}</a>",
+                            ctx.base, id, title
+                        );
+                        replace_with_html(&mut doc, node, &link);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::CopyTo {
+                    subpage,
+                    position,
+                    set_attr,
+                } => {
+                    let builder = subpages.get_mut(subpage).expect("validated above");
+                    for &node in &nodes {
+                        let copy = doc.clone_subtree(node);
+                        if let Some((name, value)) = set_attr {
+                            set_attr_deep(&mut doc, copy, name, value);
+                        }
+                        let html = doc.outer_html(copy);
+                        match position {
+                            Position::Head => builder.head_html.push_str(&html),
+                            Position::Top => builder.top_html.push_str(&html),
+                            Position::Bottom => builder.bottom_html.push_str(&html),
+                        }
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::MoveTo { subpage, position } => {
+                    let builder = subpages.get_mut(subpage).expect("validated above");
+                    for &node in &nodes {
+                        let html = doc.outer_html(node);
+                        match position {
+                            Position::Head => builder.head_html.push_str(&html),
+                            Position::Top => builder.top_html.push_str(&html),
+                            Position::Bottom => builder.bottom_html.push_str(&html),
+                        }
+                        doc.detach(node);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::Remove => {
+                    for &node in &nodes {
+                        doc.detach(node);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::Hide => {
+                    for &node in &nodes {
+                        merge_style(&mut doc, node, "display", "none");
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::ReplaceWith { html } => {
+                    for &node in &nodes {
+                        replace_with_html(&mut doc, node, html);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::InsertBefore { html } => {
+                    for &node in &nodes {
+                        insert_html(&mut doc, node, html, true);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::InsertAfter { html } => {
+                    for &node in &nodes {
+                        insert_html(&mut doc, node, html, false);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::SetAttr { name, value } => {
+                    for &node in &nodes {
+                        doc.set_attr(node, name, value);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::LinksToColumns { columns } => {
+                    for &node in &nodes {
+                        links_to_columns(&mut doc, node, *columns);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::InjectClientScript { code } => {
+                    for &node in &nodes {
+                        insert_html(&mut doc, node, &format!("<script>{code}</script>"), false);
+                        stats.nodes_affected += 1;
+                    }
+                }
+                Attribute::PrerenderImage {
+                    scale,
+                    quality,
+                    cache_ttl_secs,
+                } => {
+                    let b = browser.get_or_insert_with(|| {
+                        Browser::launch(ctx.browser_config.clone())
+                    });
+                    stats.browser_used = true;
+                    for &node in &nodes {
+                        obj_counter += 1;
+                        let name = format!("obj{obj_counter}.png");
+                        let object_html = standalone_object_page(&doc, node);
+                        let rendered = b.render_page(&object_html, &[]);
+                        let processed = process(
+                            &rendered.canvas,
+                            &PostProcess {
+                                scale: Some(*scale),
+                                format: ImageFormat::JpegClass { quality: *quality },
+                                ..Default::default()
+                            },
+                        );
+                        let img_tag = format!(
+                            "<img class=\"msite-prerendered\" src=\"{}/img/{}\" width=\"{}\" height=\"{}\" alt=\"pre-rendered object\">",
+                            ctx.base,
+                            name,
+                            processed.canvas.width(),
+                            processed.canvas.height()
+                        );
+                        bundle_images.push(GeneratedImage {
+                            name,
+                            wire_size: processed.wire_bytes(),
+                            width: processed.canvas.width(),
+                            height: processed.canvas.height(),
+                            bytes: processed.encoded,
+                            cache_ttl: cache_ttl_secs.map(Duration::from_secs),
+                        });
+                        replace_with_html(&mut doc, node, &img_tag);
+                        stats.nodes_affected += 1;
+                        stats.images_rendered += 1;
+                    }
+                }
+                Attribute::PartialCssPrerender { scale } => {
+                    let b = browser.get_or_insert_with(|| {
+                        Browser::launch(ctx.browser_config.clone())
+                    });
+                    stats.browser_used = true;
+                    for &node in &nodes {
+                        obj_counter += 1;
+                        let name = format!("partial{obj_counter}.png");
+                        let artifact =
+                            partial_css_prerender(&doc, node, b, *scale, &ctx.base, &name);
+                        bundle_images.push(artifact.image);
+                        replace_with_html(&mut doc, node, &artifact.html);
+                        stats.nodes_affected += 1;
+                        stats.images_rendered += 1;
+                    }
+                }
+                Attribute::Searchable => {
+                    searchable = true;
+                }
+                Attribute::RichMediaThumbnail { scale } => {
+                    let b = browser.get_or_insert_with(|| {
+                        Browser::launch(ctx.browser_config.clone())
+                    });
+                    stats.browser_used = true;
+                    for &node in &nodes {
+                        let media: Vec<NodeId> = ["object", "embed", "video", "iframe", "applet"]
+                            .iter()
+                            .flat_map(|tag| doc.elements_by_tag(node, tag))
+                            .collect();
+                        for media_node in media {
+                            obj_counter += 1;
+                            let name = format!("media{obj_counter}.png");
+                            let width: u32 = doc
+                                .attr(media_node, "width")
+                                .and_then(|w| w.parse().ok())
+                                .unwrap_or(320);
+                            let height: u32 = doc
+                                .attr(media_node, "height")
+                                .and_then(|h| h.parse().ok())
+                                .unwrap_or(240);
+                            let label = doc
+                                .attr(media_node, "src")
+                                .or_else(|| doc.attr(media_node, "data"))
+                                .unwrap_or("rich media")
+                                .to_string();
+                            // Render a framed placeholder carrying the
+                            // media label — what a constrained device
+                            // shows instead of the plugin.
+                            let page = format!(
+                                "<!DOCTYPE html><html><body style=\"margin:0\">\
+                                 <div style=\"width:{width}px;height:{height}px;\
+                                 background:#202028;color:#ffffff;border:2px solid #667\">\
+                                 <p style=\"color:#ffffff\">&#9654; {label}</p></div></body></html>"
+                            );
+                            let rendered = b.render_page(&page, &[]);
+                            let processed = process(
+                                &rendered.canvas,
+                                &PostProcess {
+                                    // The canvas spans the viewport; cut
+                                    // out the media box before scaling.
+                                    crop: Some(Rect::new(
+                                        0.0,
+                                        0.0,
+                                        width as f32,
+                                        height as f32,
+                                    )),
+                                    scale: Some(*scale),
+                                    format: ImageFormat::JpegClass { quality: 50 },
+                                },
+                            );
+                            let img_tag = format!(
+                                "<img class=\"msite-media-thumb\" src=\"{}/img/{}\" \
+                                 width=\"{}\" height=\"{}\" alt=\"{}\">",
+                                ctx.base,
+                                name,
+                                processed.canvas.width(),
+                                processed.canvas.height(),
+                                msite_html::entities::encode_attr(&label)
+                            );
+                            bundle_images.push(GeneratedImage {
+                                name,
+                                wire_size: processed.wire_bytes(),
+                                width: processed.canvas.width(),
+                                height: processed.canvas.height(),
+                                bytes: processed.encoded,
+                                cache_ttl: Some(Duration::from_secs(3_600)),
+                            });
+                            replace_with_html(&mut doc, media_node, &img_tag);
+                            stats.nodes_affected += 1;
+                            stats.images_rendered += 1;
+                        }
+                    }
+                }
+                Attribute::ImageFidelity { quality } => {
+                    for &node in &nodes {
+                        for img in doc.elements_by_tag(node, "img") {
+                            if let Some(src) = doc.attr(img, "src").map(str::to_string) {
+                                let sep = if src.contains('?') { '&' } else { '?' };
+                                doc.set_attr(img, "src", &format!("{src}{sep}msite_q={quality}"));
+                                stats.nodes_affected += 1;
+                            }
+                        }
+                    }
+                }
+                Attribute::AjaxRewrite => {
+                    for &node in &nodes {
+                        let rewrite_stats = ajax::rewrite_handlers(
+                            &mut doc,
+                            node,
+                            &mut registry,
+                            &format!("{}/proxy", ctx.base),
+                        );
+                        stats.nodes_affected += rewrite_stats.handlers_rewritten;
+                    }
+                }
+                Attribute::LinksToAjax { target } => {
+                    for &node in &nodes {
+                        let rewrite_stats = ajax::linkify_to_ajax(
+                            &mut doc,
+                            node,
+                            &mut registry,
+                            &format!("{}/proxy", ctx.base),
+                            target,
+                        );
+                        stats.nodes_affected += rewrite_stats.handlers_rewritten;
+                    }
+                }
+                Attribute::Dependency { selector } => {
+                    // Copy matching objects into every subpage this rule
+                    // declares.
+                    let dep_nodes = resolve_target(&doc, &Target::Css(selector.clone()))?;
+                    let subpage_ids: Vec<String> = rule
+                        .attributes
+                        .iter()
+                        .filter_map(|a| match a {
+                            Attribute::Subpage { id, .. } => Some(id.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    for id in subpage_ids {
+                        let builder = subpages.get_mut(&id).expect("declared above");
+                        for &dep in &dep_nodes {
+                            builder.head_html.push_str(&doc.outer_html(dep));
+                        }
+                    }
+                }
+                Attribute::HttpAuth => {
+                    let subpage_ids: Vec<String> = rule
+                        .attributes
+                        .iter()
+                        .filter_map(|a| match a {
+                            Attribute::Subpage { id, .. } => Some(id.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    for id in subpage_ids {
+                        subpages.get_mut(&id).expect("declared above").http_auth = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Emission phase -------------------------------------------------
+    let mut subpage_files = Vec::new();
+    for builder in subpages.values() {
+        let html = assemble_subpage(builder, ctx);
+        if builder.prerender {
+            let b = browser.get_or_insert_with(|| Browser::launch(ctx.browser_config.clone()));
+            stats.browser_used = true;
+            let rendered = b.render_page(&html, &[]);
+            let processed = process(
+                &rendered.canvas,
+                &PostProcess {
+                    format: ImageFormat::JpegClass { quality: 50 },
+                    ..Default::default()
+                },
+            );
+            let img_name = format!("sub_{}.png", builder.id);
+            let page = format!(
+                "<!DOCTYPE html><html><head><title>{}</title></head><body style=\"margin:0\">\
+                 <img src=\"{}/img/{}\" width=\"{}\" height=\"{}\" alt=\"{}\"></body></html>",
+                builder.title,
+                ctx.base,
+                img_name,
+                processed.canvas.width(),
+                processed.canvas.height(),
+                builder.title
+            );
+            bundle_images.push(GeneratedImage {
+                name: img_name,
+                wire_size: processed.wire_bytes(),
+                width: processed.canvas.width(),
+                height: processed.canvas.height(),
+                bytes: processed.encoded,
+                cache_ttl: None,
+            });
+            stats.images_rendered += 1;
+            subpage_files.push(GeneratedFile {
+                name: format!("{}.html", builder.id),
+                html: page,
+            });
+        } else {
+            subpage_files.push(GeneratedFile {
+                name: format!("{}.html", builder.id),
+                html,
+            });
+        }
+    }
+
+    // ---- Entry page -------------------------------------------------------
+    let mut search_index = None;
+    let entry_html = if let (Some(snap), Some(render)) = (&spec.snapshot, &snapshot_render) {
+        let processed = process(
+            &render.canvas,
+            &PostProcess {
+                scale: Some(snap.scale),
+                format: ImageFormat::JpegClass {
+                    quality: snap.quality,
+                },
+                ..Default::default()
+            },
+        );
+        if searchable {
+            search_index = Some(SearchIndex::build(&render.layout, snap.scale));
+        }
+        let entry = crate::snapshot::build_entry_page(&crate::snapshot::EntryPageInput {
+            base: ctx.base.clone(),
+            title: page_title(&doc).unwrap_or_else(|| spec.page_id.clone()),
+            snapshot_name: "snapshot.png".to_string(),
+            snapshot_width: processed.canvas.width(),
+            snapshot_height: processed.canvas.height(),
+            scale: snap.scale,
+            areas: subpage_areas(&subpages, render, snap.scale, &ctx.base),
+            has_ajax: !registry.actions.is_empty() || subpages.values().any(|s| s.ajax),
+            search_js: search_index.as_ref().map(|s| s.to_javascript()),
+        });
+        bundle_images.push(GeneratedImage {
+            name: "snapshot.png".to_string(),
+            wire_size: processed.wire_bytes(),
+            width: processed.canvas.width(),
+            height: processed.canvas.height(),
+            bytes: processed.encoded,
+            cache_ttl: Some(Duration::from_secs(snap.cache_ttl_secs)),
+        });
+        stats.images_rendered += 1;
+        entry
+    } else {
+        // Non-snapshot mode: the adapted document itself, with the AJAX
+        // helper injected when needed.
+        if !registry.actions.is_empty() {
+            inject_into_head(
+                &mut doc,
+                &format!("<script>{}</script>", ajax::client_helper_script()),
+            );
+        }
+        doc.to_html()
+    };
+
+    Ok(AdaptedBundle {
+        entry_html,
+        subpages: subpage_files,
+        images: bundle_images,
+        ajax: registry,
+        search: search_index,
+        stats,
+        wants_cookie_clear,
+    })
+}
+
+// -----------------------------------------------------------------------
+// Helpers
+// -----------------------------------------------------------------------
+
+fn apply_filters(html: &str, filters: &[SourceFilter], stats: &mut PipelineStats) -> String {
+    let mut out = html.to_string();
+    for filter in filters {
+        stats.filters_applied += 1;
+        out = match filter {
+            SourceFilter::Replace { find, replace } => out.replace(find.as_str(), replace),
+            SourceFilter::SetDoctype { doctype } => set_doctype(&out, doctype),
+            SourceFilter::SetTitle { title } => set_title(&out, title),
+            SourceFilter::StripTag { tag } => strip_tag(&out, tag),
+            SourceFilter::RewriteImagePrefix { from, to } => {
+                out.replace(&format!("src=\"{from}"), &format!("src=\"{to}"))
+            }
+        };
+    }
+    out
+}
+
+fn set_doctype(html: &str, doctype: &str) -> String {
+    let lower = html.to_ascii_lowercase();
+    if let Some(start) = lower.find("<!doctype") {
+        if let Some(end) = html[start..].find('>') {
+            let mut out = String::with_capacity(html.len());
+            out.push_str(&html[..start]);
+            out.push_str(doctype);
+            out.push_str(&html[start + end + 1..]);
+            return out;
+        }
+    }
+    format!("{doctype}\n{html}")
+}
+
+fn set_title(html: &str, title: &str) -> String {
+    let lower = html.to_ascii_lowercase();
+    if let (Some(open), Some(close)) = (lower.find("<title>"), lower.find("</title>")) {
+        if close > open {
+            let mut out = String::with_capacity(html.len());
+            out.push_str(&html[..open + 7]);
+            out.push_str(&msite_html::entities::encode_text(title));
+            out.push_str(&html[close..]);
+            return out;
+        }
+    }
+    html.to_string()
+}
+
+/// Removes every `<tag ...>...</tag>` span (and bare `<tag ...>` when
+/// unclosed) at source level.
+fn strip_tag(html: &str, tag: &str) -> String {
+    let lower = html.to_ascii_lowercase();
+    let open_pat = format!("<{}", tag.to_ascii_lowercase());
+    let close_pat = format!("</{}>", tag.to_ascii_lowercase());
+    let mut out = String::with_capacity(html.len());
+    let mut pos = 0;
+    while let Some(rel) = lower[pos..].find(&open_pat) {
+        let start = pos + rel;
+        // Guard against matching a prefix (e.g. `<s` matching `<script>`).
+        let after = lower.as_bytes().get(start + open_pat.len());
+        let boundary = matches!(after, Some(b'>') | Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'/'));
+        if !boundary {
+            out.push_str(&html[pos..start + open_pat.len()]);
+            pos = start + open_pat.len();
+            continue;
+        }
+        out.push_str(&html[pos..start]);
+        match lower[start..].find(&close_pat) {
+            Some(rel_close) => pos = start + rel_close + close_pat.len(),
+            None => match lower[start..].find('>') {
+                Some(rel_gt) => pos = start + rel_gt + 1,
+                None => {
+                    pos = html.len();
+                }
+            },
+        }
+    }
+    out.push_str(&html[pos..]);
+    out
+}
+
+fn resolve_target(doc: &Document, target: &Target) -> Result<Vec<NodeId>, AdaptError> {
+    match target {
+        Target::Css(selector) => {
+            let list = SelectorList::parse(selector).map_err(|e| AdaptError::InvalidTarget {
+                target: selector.clone(),
+                message: e.to_string(),
+            })?;
+            Ok(list.select(doc, doc.root()))
+        }
+        Target::XPath(expr) => {
+            let path = XPath::parse(expr).map_err(|e| AdaptError::InvalidTarget {
+                target: expr.clone(),
+                message: e.to_string(),
+            })?;
+            Ok(path.evaluate(doc, doc.root()))
+        }
+        Target::Dock(_) => Ok(Vec::new()),
+    }
+}
+
+fn apply_dock_rule(
+    doc: &mut Document,
+    dock: DockObject,
+    rule: &Rule,
+    stats: &mut PipelineStats,
+    wants_cookie_clear: &mut bool,
+) {
+    stats.rules_matched += 1;
+    for attr in &rule.attributes {
+        match (dock, attr) {
+            (DockObject::Title, Attribute::SetAttr { value, .. }) => {
+                let titles = doc.elements_by_tag(doc.root(), "title");
+                match titles.first() {
+                    Some(&title) => doc.set_text_content(title, value),
+                    None => {
+                        if let Some(&head) =
+                            doc.elements_by_tag(doc.root(), "head").first()
+                        {
+                            let t = doc.create_element("title");
+                            doc.set_text_content(t, value);
+                            doc.append_child(head, t);
+                        }
+                    }
+                }
+                stats.nodes_affected += 1;
+            }
+            (DockObject::Scripts, Attribute::Remove) => {
+                for script in doc.elements_by_tag(doc.root(), "script") {
+                    doc.detach(script);
+                    stats.nodes_affected += 1;
+                }
+            }
+            (DockObject::Stylesheets, Attribute::Remove) => {
+                for style in doc.elements_by_tag(doc.root(), "style") {
+                    doc.detach(style);
+                    stats.nodes_affected += 1;
+                }
+                for link in doc.elements_by_tag(doc.root(), "link") {
+                    let is_css = doc
+                        .attr(link, "rel")
+                        .map(|r| r.eq_ignore_ascii_case("stylesheet"))
+                        .unwrap_or(false);
+                    if is_css {
+                        doc.detach(link);
+                        stats.nodes_affected += 1;
+                    }
+                }
+            }
+            (DockObject::Cookies, Attribute::Remove) => {
+                *wants_cookie_clear = true;
+            }
+            (DockObject::Head, Attribute::InjectClientScript { code }) => {
+                inject_into_head(doc, &format!("<script>{code}</script>"));
+                stats.nodes_affected += 1;
+            }
+            _ => {} // unsupported dock/attribute combination: no-op
+        }
+    }
+}
+
+fn replace_with_html(doc: &mut Document, node: NodeId, html: &str) {
+    if let Some(parent) = doc.node(node).parent() {
+        let added = parse_fragment_into(doc, parent, html);
+        let mut reference = node;
+        for new in added {
+            doc.detach(new);
+            doc.insert_after(new, reference);
+            reference = new;
+        }
+    }
+    doc.detach(node);
+}
+
+fn insert_html(doc: &mut Document, node: NodeId, html: &str, before: bool) {
+    if let Some(parent) = doc.node(node).parent() {
+        let added = parse_fragment_into(doc, parent, html);
+        let mut reference = node;
+        for new in added {
+            doc.detach(new);
+            if before {
+                doc.insert_before(new, node);
+            } else {
+                doc.insert_after(new, reference);
+                reference = new;
+            }
+        }
+    }
+}
+
+fn inject_into_head(doc: &mut Document, html: &str) {
+    let head = doc.elements_by_tag(doc.root(), "head").first().copied();
+    if let Some(head) = head {
+        parse_fragment_into(doc, head, html);
+    }
+}
+
+fn set_attr_deep(doc: &mut Document, root: NodeId, name: &str, value: &str) {
+    // Set on the root if it is an element carrying the attribute or any
+    // element; also on the first descendant that already has it (the
+    // logo-copy use case: swap the img's src inside the copied table).
+    doc.set_attr(root, name, value);
+    let carriers: Vec<NodeId> = doc
+        .descendants(root)
+        .filter(|&d| doc.attr(d, name).is_some())
+        .collect();
+    for c in carriers {
+        doc.set_attr(c, name, value);
+    }
+}
+
+fn merge_style(doc: &mut Document, node: NodeId, property: &str, value: &str) {
+    let existing = doc.attr(node, "style").unwrap_or("").trim().to_string();
+    let mut style = existing
+        .split(';')
+        .filter(|d| {
+            d.split(':')
+                .next()
+                .map(|k| !k.trim().eq_ignore_ascii_case(property))
+                .unwrap_or(false)
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    if !style.is_empty() && !style.ends_with(';') {
+        style.push(';');
+    }
+    style.push_str(&format!("{property}:{value}"));
+    doc.set_attr(node, "style", &style);
+}
+
+/// Rewrites a region's links as a vertical multi-column table — the
+/// paper's fix for the horizontally scrolling nav row.
+fn links_to_columns(doc: &mut Document, node: NodeId, columns: u32) {
+    let columns = columns.max(1) as usize;
+    let links = doc.elements_by_tag(node, "a");
+    if links.is_empty() {
+        return;
+    }
+    let mut cells: Vec<String> = Vec::with_capacity(links.len());
+    for link in &links {
+        cells.push(doc.outer_html(*link));
+    }
+    let rows = cells.len().div_ceil(columns);
+    let mut html = String::from("<table class=\"msite-columns\">");
+    for r in 0..rows {
+        html.push_str("<tr>");
+        for c in 0..columns {
+            // Column-major fill: reading order goes down then across.
+            match cells.get(c * rows + r) {
+                Some(cell) => {
+                    html.push_str("<td>");
+                    html.push_str(cell);
+                    html.push_str("</td>");
+                }
+                None => html.push_str("<td></td>"),
+            }
+        }
+        html.push_str("</tr>");
+    }
+    html.push_str("</table>");
+    // Replace the node's children with the rebuilt table.
+    let children: Vec<NodeId> = doc.children(node).collect();
+    for child in children {
+        doc.detach(child);
+    }
+    parse_fragment_into(doc, node, &html);
+}
+
+/// Wraps one object (plus the document's stylesheets) as a standalone
+/// page for object-level pre-rendering.
+fn standalone_object_page(doc: &Document, node: NodeId) -> String {
+    let mut styles = String::new();
+    for style in doc.elements_by_tag(doc.root(), "style") {
+        styles.push_str(&doc.outer_html(style));
+    }
+    format!(
+        "<!DOCTYPE html><html><head>{}</head><body style=\"margin:0\">{}</body></html>",
+        styles,
+        doc.outer_html(node)
+    )
+}
+
+struct PartialArtifact {
+    image: GeneratedImage,
+    html: String,
+}
+
+/// Partial CSS pre-rendering (§3.3): render the object with its text
+/// replaced by stretched placeholders, ship the raster as a background,
+/// and emit absolutely positioned client-side text at the recorded
+/// coordinates.
+fn partial_css_prerender(
+    doc: &Document,
+    node: NodeId,
+    browser: &Browser,
+    scale: f32,
+    base: &str,
+    image_name: &str,
+) -> PartialArtifact {
+    // Build a blanked copy: text nodes replaced by 1px-high placeholders
+    // that preserve width (here: non-breaking figure space runs).
+    let mut scratch = Document::new();
+    let root = scratch.root();
+    let copy = scratch.import_subtree(doc, node);
+    scratch.append_child(root, copy);
+    let text_nodes: Vec<NodeId> = scratch
+        .descendants(root)
+        .filter(|&n| scratch.data(n).as_text().is_some())
+        .collect();
+    let mut original_texts = Vec::new();
+    for t in text_nodes {
+        if let Some(text) = scratch.data(t).as_text() {
+            if !text.trim().is_empty() {
+                original_texts.push(text.to_string());
+                let blank: String = text
+                    .chars()
+                    .map(|c| if c.is_whitespace() { c } else { '\u{2007}' })
+                    .collect();
+                if let msite_html::NodeData::Text(slot) = scratch.data_mut(t) {
+                    *slot = blank;
+                }
+            }
+        }
+    }
+    let blanked_html = standalone_object_page(&scratch, copy);
+    let rendered = browser.render_page(&blanked_html, &[]);
+    let processed = process(
+        &rendered.canvas,
+        &PostProcess {
+            scale: Some(scale),
+            format: ImageFormat::Png,
+            ..Default::default()
+        },
+    );
+
+    // Text positions come from rendering the *original* object.
+    let original_html = standalone_object_page(doc, node);
+    let with_text = browser.render_page(&original_html, &[]);
+    let mut spans = String::new();
+    for (word, rect) in with_text.layout.word_positions() {
+        let r = rect.scaled(scale);
+        spans.push_str(&format!(
+            "<span style=\"position:absolute;left:{}px;top:{}px;font-size:{}px\">{}</span>",
+            r.x.round(),
+            r.y.round(),
+            (r.h.round() as i64).max(6),
+            msite_html::entities::encode_text(&word)
+        ));
+    }
+    let html = format!(
+        "<div class=\"msite-partial\" style=\"position:relative;width:{}px;height:{}px;\
+         background-image:url('{}/img/{}')\">{}</div>",
+        processed.canvas.width(),
+        processed.canvas.height(),
+        base,
+        image_name,
+        spans
+    );
+    PartialArtifact {
+        image: GeneratedImage {
+            name: image_name.to_string(),
+            wire_size: processed.wire_bytes(),
+            width: processed.canvas.width(),
+            height: processed.canvas.height(),
+            bytes: processed.encoded,
+            cache_ttl: None,
+        },
+        html,
+    }
+}
+
+fn assemble_subpage(builder: &SubpageBuilder, ctx: &PipelineContext) -> String {
+    let mut html = String::from("<!DOCTYPE html>\n<html><head>");
+    html.push_str(&format!(
+        "<title>{}</title><meta name=\"viewport\" content=\"width=device-width\">",
+        msite_html::entities::encode_text(&builder.title)
+    ));
+    html.push_str(&builder.head_html);
+    html.push_str("</head><body>");
+    html.push_str(&builder.top_html);
+    html.push_str(&builder.body_html);
+    html.push_str(&builder.bottom_html);
+    html.push_str(&format!(
+        "<div class=\"msite-breadcrumb\"><a href=\"{}/\">&laquo; back to overview</a></div>",
+        ctx.base
+    ));
+    for script in &builder.scripts {
+        html.push_str(&format!("<script>{script}</script>"));
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+fn page_title(doc: &Document) -> Option<String> {
+    doc.elements_by_tag(doc.root(), "title")
+        .first()
+        .map(|&t| doc.text_content(t))
+        .filter(|t| !t.trim().is_empty())
+}
+
+/// Computes the clickable image-map areas for every subpage target by
+/// finding the same selector in the snapshot render and translating its
+/// coordinates by the snapshot scale.
+fn subpage_areas(
+    subpages: &BTreeMap<String, SubpageBuilder>,
+    render: &msite_render::RenderResult,
+    scale: f32,
+    base: &str,
+) -> Vec<crate::snapshot::MapArea> {
+    let mut areas = Vec::new();
+    // Geometry is recovered per subpage body: the subpage body html was
+    // captured before removal; match by the subpage link class is not
+    // possible in the snapshot (it shows the original page), so the
+    // *source* rects were resolved by the caller storing them during the
+    // attribute phase. Simpler and robust: look the subpage's first id
+    // attribute up in the render.
+    for builder in subpages.values() {
+        let rect = first_id_in_html(&builder.body_html)
+            .and_then(|id| render.doc.element_by_id(&id))
+            .and_then(|node| render.layout.rect_of(node));
+        if let Some(rect) = rect {
+            let r = rect.scaled(scale);
+            areas.push(crate::snapshot::MapArea {
+                rect: r,
+                href: format!("{base}/s/{}.html", builder.id),
+                title: builder.title.clone(),
+                ajax: builder.ajax,
+            });
+        } else {
+            // No geometry: still expose the subpage via the fallback menu
+            // (rect of zero size is skipped in the <map> but kept in the
+            // menu list).
+            areas.push(crate::snapshot::MapArea {
+                rect: Rect::new(0.0, 0.0, 0.0, 0.0),
+                href: format!("{base}/s/{}.html", builder.id),
+                title: builder.title.clone(),
+                ajax: builder.ajax,
+            });
+        }
+    }
+    areas
+}
+
+/// Extracts the first `id="..."` attribute value from an HTML fragment.
+fn first_id_in_html(html: &str) -> Option<String> {
+    let at = html.find("id=\"")?;
+    let rest = &html[at + 4..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::SnapshotSpec;
+
+    fn ctx() -> PipelineContext {
+        PipelineContext {
+            base: "/m/test".to_string(),
+            browser_config: BrowserConfig::default(),
+        }
+    }
+
+    fn spec_no_snapshot(page: &str) -> AdaptationSpec {
+        let mut s = AdaptationSpec::new("test", page);
+        s.snapshot = None;
+        s
+    }
+
+    const PAGE: &str = r##"<!DOCTYPE html><html><head><title>Site</title>
+<style>.x { color: red }</style></head><body>
+<div id="header"><img id="logo" src="/images/logo.gif" width="100" height="40"></div>
+<div id="nav"><a href="/a">Alpha</a> <a href="/b">Beta</a> <a href="/c">Gamma</a> <a href="/d">Delta</a></div>
+<form id="login"><input type="text" name="u"></form>
+<div id="content"><p>Hello world content</p>
+<a href="#" onclick="$('#pane').load('site.php?do=showpic&amp;id=3')">pic</a></div>
+<div id="pane"></div>
+</body></html>"##;
+
+    #[test]
+    fn filter_only_spec_skips_dom_parse() {
+        let spec = spec_no_snapshot("http://h/")
+            .filter(SourceFilter::SetTitle { title: "Mobile".into() })
+            .filter(SourceFilter::Replace { find: "Hello".into(), replace: "Hi".into() });
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(!bundle.stats.dom_parsed);
+        assert!(!bundle.stats.browser_used);
+        assert!(bundle.entry_html.contains("<title>Mobile</title>"));
+        assert!(bundle.entry_html.contains("Hi world content"));
+        assert_eq!(bundle.stats.filters_applied, 2);
+    }
+
+    #[test]
+    fn strip_tag_filter() {
+        let spec = spec_no_snapshot("http://h/").filter(SourceFilter::StripTag { tag: "style".into() });
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(!bundle.entry_html.contains("color: red"));
+        // `<strong>` must not be eaten by `<s` prefix matching.
+        let spec2 = spec_no_snapshot("http://h/").filter(SourceFilter::StripTag { tag: "s".into() });
+        let bundle2 = adapt(&spec2, "<p><strong>keep</strong><s>gone</s></p>", &ctx()).unwrap();
+        assert!(bundle2.entry_html.contains("keep"));
+        assert!(!bundle2.entry_html.contains("gone"));
+    }
+
+    #[test]
+    fn doctype_filter_replaces_or_prepends() {
+        let spec = spec_no_snapshot("http://h/")
+            .filter(SourceFilter::SetDoctype { doctype: "<!DOCTYPE html>".into() });
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(bundle.entry_html.starts_with("<!DOCTYPE html>"));
+        let bundle2 = adapt(&spec, "<p>no doctype</p>", &ctx()).unwrap();
+        assert!(bundle2.entry_html.starts_with("<!DOCTYPE html>"));
+    }
+
+    #[test]
+    fn remove_and_hide() {
+        let spec = spec_no_snapshot("http://h/")
+            .rule(Target::Css("#header".into()), vec![Attribute::Remove])
+            .rule(Target::Css("#nav".into()), vec![Attribute::Hide]);
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(!bundle.entry_html.contains("id=\"header\""));
+        assert!(bundle.entry_html.contains("display:none"));
+        assert_eq!(bundle.stats.rules_matched, 2);
+    }
+
+    #[test]
+    fn replace_and_inserts() {
+        let spec = spec_no_snapshot("http://h/")
+            .rule(
+                Target::Css("#header".into()),
+                vec![Attribute::ReplaceWith { html: "<p id=\"mobile-header\">M</p>".into() }],
+            )
+            .rule(
+                Target::Css("#content".into()),
+                vec![
+                    Attribute::InsertBefore { html: "<hr class=\"before\">".into() },
+                    Attribute::InsertAfter { html: "<div class=\"ad\">mobile ad</div>".into() },
+                ],
+            );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(bundle.entry_html.contains("mobile-header"));
+        assert!(!bundle.entry_html.contains("logo.gif"));
+        let before = bundle.entry_html.find("class=\"before\"").unwrap();
+        let content = bundle.entry_html.find("id=\"content\"").unwrap();
+        let ad = bundle.entry_html.find("class=\"ad\"").unwrap();
+        assert!(before < content && content < ad);
+    }
+
+    #[test]
+    fn subpage_split_replaces_with_link() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#login".into()),
+            vec![Attribute::Subpage {
+                id: "login".into(),
+                title: "Log in".into(),
+                ajax: false,
+                prerender: false,
+            }],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert_eq!(bundle.subpages.len(), 1);
+        let sub = &bundle.subpages[0];
+        assert_eq!(sub.name, "login.html");
+        assert!(sub.html.contains("<form id=\"login\""));
+        assert!(sub.html.contains("back to overview"));
+        // Entry page now links instead of embedding the form.
+        assert!(!bundle.entry_html.contains("<form"));
+        assert!(bundle.entry_html.contains("/m/test/s/login.html"));
+    }
+
+    #[test]
+    fn copy_to_with_attr_override_and_dependency() {
+        let spec = spec_no_snapshot("http://h/")
+            .rule(
+                Target::Css("#login".into()),
+                vec![
+                    Attribute::Subpage {
+                        id: "login".into(),
+                        title: "Log in".into(),
+                        ajax: false,
+                        prerender: false,
+                    },
+                    Attribute::Dependency { selector: "head style".into() },
+                ],
+            )
+            .rule(
+                Target::Css("#header".into()),
+                vec![Attribute::CopyTo {
+                    subpage: "login".into(),
+                    position: Position::Top,
+                    set_attr: Some(("src".into(), "/images/mobile_logo.gif".into())),
+                }],
+            );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        let sub = &bundle.subpages[0];
+        // Dependency style present in head.
+        assert!(sub.html.contains("color: red"));
+        // Copied header with swapped src; original header still on entry.
+        assert!(sub.html.contains("mobile_logo.gif"));
+        assert!(bundle.entry_html.contains("/images/logo.gif"));
+    }
+
+    #[test]
+    fn move_to_detaches_from_entry() {
+        let spec = spec_no_snapshot("http://h/")
+            .rule(
+                Target::Css("#content".into()),
+                vec![Attribute::Subpage {
+                    id: "main".into(),
+                    title: "Content".into(),
+                    ajax: false,
+                    prerender: false,
+                }],
+            )
+            .rule(
+                Target::Css("#nav".into()),
+                vec![Attribute::MoveTo {
+                    subpage: "main".into(),
+                    position: Position::Bottom,
+                }],
+            );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(!bundle.entry_html.contains("Alpha"));
+        assert!(bundle.subpages[0].html.contains("Alpha"));
+    }
+
+    #[test]
+    fn unknown_subpage_reference_errors() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#nav".into()),
+            vec![Attribute::MoveTo {
+                subpage: "ghost".into(),
+                position: Position::Bottom,
+            }],
+        );
+        let err = adapt(&spec, PAGE, &ctx()).unwrap_err();
+        assert_eq!(err, AdaptError::UnknownSubpage { id: "ghost".into() });
+    }
+
+    #[test]
+    fn invalid_selector_errors() {
+        let spec = spec_no_snapshot("http://h/").rule(Target::Css("..bad".into()), vec![Attribute::Remove]);
+        assert!(matches!(
+            adapt(&spec, PAGE, &ctx()),
+            Err(AdaptError::InvalidTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn xpath_targets_work() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::XPath("//div[@id='header']".into()),
+            vec![Attribute::Remove],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(!bundle.entry_html.contains("id=\"header\""));
+    }
+
+    #[test]
+    fn links_to_columns_rebuilds_nav() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#nav".into()),
+            vec![Attribute::LinksToColumns { columns: 2 }],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(bundle.entry_html.contains("msite-columns"));
+        // 4 links in 2 columns -> 2 rows.
+        assert_eq!(bundle.entry_html.matches("<tr>").count(), 2);
+        assert!(bundle.entry_html.contains("Alpha"));
+        assert!(bundle.entry_html.contains("Delta"));
+    }
+
+    #[test]
+    fn ajax_rewrite_registers_action_and_injects_helper() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#content".into()),
+            vec![Attribute::AjaxRewrite],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert_eq!(bundle.ajax.actions.len(), 1);
+        assert_eq!(
+            bundle.ajax.actions[0].origin_url_template,
+            "site.php?do=showpic&id={p}"
+        );
+        assert!(bundle.entry_html.contains("msiteLoad('/m/test/proxy', 1, '3', '#pane')"));
+        assert!(bundle.entry_html.contains("function msiteLoad"));
+    }
+
+    #[test]
+    fn image_fidelity_rewrites_srcs() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#header".into()),
+            vec![Attribute::ImageFidelity { quality: 35 }],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(bundle.entry_html.contains("/images/logo.gif?msite_q=35"));
+    }
+
+    #[test]
+    fn dock_rules() {
+        let spec = spec_no_snapshot("http://h/")
+            .rule(
+                Target::Dock(DockObject::Title),
+                vec![Attribute::SetAttr { name: "text".into(), value: "m.Site".into() }],
+            )
+            .rule(Target::Dock(DockObject::Stylesheets), vec![Attribute::Remove])
+            .rule(Target::Dock(DockObject::Cookies), vec![Attribute::Remove]);
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(bundle.entry_html.contains("<title>m.Site</title>"));
+        assert!(!bundle.entry_html.contains("color: red"));
+        assert!(bundle.wants_cookie_clear);
+    }
+
+    #[test]
+    fn prerender_object_produces_image() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#nav".into()),
+            vec![Attribute::PrerenderImage {
+                scale: 1.0,
+                quality: 50,
+                cache_ttl_secs: Some(600),
+            }],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert_eq!(bundle.images.len(), 1);
+        let img = &bundle.images[0];
+        assert!(img.bytes.starts_with(&[0x89, b'P', b'N', b'G']));
+        assert_eq!(img.cache_ttl, Some(Duration::from_secs(600)));
+        assert!(bundle.entry_html.contains(&format!("/m/test/img/{}", img.name)));
+        assert!(bundle.stats.browser_used);
+        assert!(!bundle.entry_html.contains(">Alpha<")); // nav replaced by image
+    }
+
+    #[test]
+    fn snapshot_mode_builds_entry_with_map() {
+        let mut spec = AdaptationSpec::new("test", "http://h/");
+        spec.snapshot = Some(SnapshotSpec {
+            scale: 0.5,
+            quality: 40,
+            cache_ttl_secs: 3600,
+            viewport_width: 640,
+        });
+        spec.rules.push(Rule {
+            target: Target::Css("#login".into()),
+            attributes: vec![Attribute::Subpage {
+                id: "login".into(),
+                title: "Log in".into(),
+                ajax: false,
+                prerender: false,
+            }],
+        });
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert!(bundle.entry_html.contains("usemap=\"#msitemap\""));
+        assert!(bundle.entry_html.contains("snapshot.png"));
+        assert!(bundle.entry_html.contains("/m/test/s/login.html"));
+        let snap = bundle.images.iter().find(|i| i.name == "snapshot.png").unwrap();
+        assert_eq!(snap.cache_ttl, Some(Duration::from_secs(3600)));
+        assert_eq!(snap.width, 320); // 640 * 0.5
+        assert!(bundle.stats.browser_used);
+    }
+
+    #[test]
+    fn searchable_snapshot_gets_index() {
+        let mut spec = AdaptationSpec::new("test", "http://h/");
+        spec.snapshot = Some(SnapshotSpec::default());
+        spec.rules.push(Rule {
+            target: Target::Css("body".into()),
+            attributes: vec![Attribute::Searchable],
+        });
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        let index = bundle.search.as_ref().unwrap();
+        assert!(!index.is_empty());
+        assert!(!index.find("hello").is_empty());
+        assert!(bundle.entry_html.contains("msiteIndex"));
+        assert!(bundle.entry_html.contains("function msiteSearch"));
+    }
+
+    #[test]
+    fn prerendered_subpage_is_image_page() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#content".into()),
+            vec![Attribute::Subpage {
+                id: "content".into(),
+                title: "Content".into(),
+                ajax: false,
+                prerender: true,
+            }],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        let sub = &bundle.subpages[0];
+        assert!(sub.html.contains("sub_content.png"));
+        assert!(!sub.html.contains("Hello world"));
+        assert!(bundle.images.iter().any(|i| i.name == "sub_content.png"));
+    }
+
+    #[test]
+    fn partial_css_prerender_emits_background_plus_text() {
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#content".into()),
+            vec![Attribute::PartialCssPrerender { scale: 1.0 }],
+        );
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert_eq!(bundle.images.len(), 1);
+        assert!(bundle.entry_html.contains("msite-partial"));
+        assert!(bundle.entry_html.contains("position:absolute"));
+        // Text is drawn by the client, so it is present as spans.
+        assert!(bundle.entry_html.contains(">hello<") || bundle.entry_html.contains(">Hello<"));
+    }
+
+    #[test]
+    fn rich_media_replaced_with_thumbnails() {
+        let page = r#"<body><div id="media">
+            <object data="movie.swf" width="400" height="300"></object>
+            <embed src="clip.mov" width="200" height="150">
+            <p>caption</p></div></body>"#;
+        let spec = spec_no_snapshot("http://h/").rule(
+            Target::Css("#media".into()),
+            vec![Attribute::RichMediaThumbnail { scale: 0.5 }],
+        );
+        let bundle = adapt(&spec, page, &ctx()).unwrap();
+        assert_eq!(bundle.images.len(), 2);
+        assert!(!bundle.entry_html.contains("<object"));
+        assert!(!bundle.entry_html.contains("<embed"));
+        assert_eq!(bundle.entry_html.matches("msite-media-thumb").count(), 2);
+        // Thumbnails scaled to half the declared media size.
+        let first = &bundle.images[0];
+        assert_eq!(first.width, 200);
+        assert!(bundle.entry_html.contains("movie.swf"));
+        assert!(bundle.entry_html.contains("caption"));
+        assert!(bundle.stats.browser_used);
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let spec = spec_no_snapshot("http://h/")
+            .filter(SourceFilter::Replace { find: "x".into(), replace: "y".into() })
+            .rule(Target::Css("#nav a".into()), vec![Attribute::SetAttr {
+                name: "rel".into(),
+                value: "nofollow".into(),
+            }]);
+        let bundle = adapt(&spec, PAGE, &ctx()).unwrap();
+        assert_eq!(bundle.stats.filters_applied, 1);
+        assert_eq!(bundle.stats.rules_matched, 1);
+        assert_eq!(bundle.stats.nodes_affected, 4);
+    }
+}

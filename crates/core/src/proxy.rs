@@ -1,0 +1,975 @@
+//! The multi-session m.Site proxy server.
+//!
+//! This is the artifact the paper's code generator produces: a
+//! lightweight proxy, colocated with the origin, that "handles user
+//! session authentication, cookie jars, and high-level session
+//! administration", fetches origin pages on behalf of mobile clients,
+//! runs the adaptation pipeline, writes per-user subpages into protected
+//! session directories, serves a shared cached snapshot, satisfies
+//! rewritten AJAX calls, and proxies form posts back to the origin.
+//!
+//! It implements [`Origin`], so it can be composed in-process for
+//! benchmarks or served over real TCP by `msite_net::HttpServer`.
+
+use crate::ajax::AjaxRegistry;
+use crate::attributes::AdaptationSpec;
+use crate::cache::RenderCache;
+use crate::dsl;
+use crate::engine::EngineRegistry;
+use crate::pipeline::{adapt, AdaptedBundle, PipelineContext};
+use crate::session::{Session, SessionFs, SessionManager, SESSION_COOKIE};
+use msite_net::{Cookie, Method, Origin, OriginRef, Request, Response, Status, Url};
+use msite_render::browser::BrowserConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Extra CPU burned per scripted (non-browser) request, modeling the
+    /// paper's PHP interpreter + filesystem overhead. Zero by default;
+    /// the Figure 7 harness sets ~3.5 ms to reproduce the paper's
+    /// absolute throughput scale.
+    pub scripted_overhead: Duration,
+    /// Shared render-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Seed for session-id generation.
+    pub seed: u64,
+    /// Browser configuration used by the pipeline.
+    pub browser_config: BrowserConfig,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            scripted_overhead: Duration::ZERO,
+            cache_capacity: 256,
+            seed: 0x6d_73_69_74_65, // "msite"
+            browser_config: BrowserConfig::default(),
+        }
+    }
+}
+
+/// Proxy request counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Requests handled.
+    pub requests: u64,
+    /// Requests that needed a full browser render (snapshot rebuilds,
+    /// per-user pipeline runs with pre-render attributes).
+    pub full_renders: u64,
+    /// Requests satisfied by the lightweight scripted path alone.
+    pub lightweight: u64,
+    /// Origin sub-requests issued.
+    pub origin_fetches: u64,
+    /// Sessions created.
+    pub sessions_created: u64,
+}
+
+struct UserBundle {
+    ajax: AjaxRegistry,
+    auth_subpages: Vec<String>,
+}
+
+/// The generated multi-session proxy for one adapted page.
+pub struct ProxyServer {
+    spec: AdaptationSpec,
+    origin: OriginRef,
+    sessions: SessionManager,
+    fs: SessionFs,
+    cache: Arc<RenderCache>,
+    config: ProxyConfig,
+    stats: Mutex<ProxyStats>,
+    shared_ajax: Mutex<Option<AjaxRegistry>>,
+    user_bundles: Mutex<HashMap<String, Arc<UserBundle>>>,
+    wants_cookie_clear: Mutex<bool>,
+    engines: EngineRegistry,
+}
+
+impl ProxyServer {
+    /// Creates a proxy for `spec`, forwarding to `origin`.
+    pub fn new(spec: AdaptationSpec, origin: OriginRef, config: ProxyConfig) -> ProxyServer {
+        ProxyServer {
+            sessions: SessionManager::new(config.seed),
+            fs: SessionFs::new(),
+            cache: Arc::new(RenderCache::new(config.cache_capacity)),
+            stats: Mutex::new(ProxyStats::default()),
+            shared_ajax: Mutex::new(None),
+            user_bundles: Mutex::new(HashMap::new()),
+            wants_cookie_clear: Mutex::new(false),
+            engines: EngineRegistry::with_builtins(),
+            spec,
+            origin,
+            config,
+        }
+    }
+
+    /// Registers an additional rendering engine (the paper's "pluggable
+    /// content adaptation system ... extended with multiple rendering
+    /// engines"). Later registrations shadow built-ins by name.
+    pub fn register_engine(&mut self, engine: Box<dyn crate::engine::RenderEngine>) {
+        self.engines.register(engine);
+    }
+
+    /// Names of the available rendering engines.
+    pub fn engine_names(&self) -> Vec<&str> {
+        self.engines.names()
+    }
+
+    /// Loads a proxy from generated DSL script text — the deployment
+    /// path: the admin tool writes the script, the server runs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the script parse error.
+    pub fn from_script(
+        script: &str,
+        origin: OriginRef,
+        config: ProxyConfig,
+    ) -> Result<ProxyServer, dsl::ParseScriptError> {
+        Ok(ProxyServer::new(dsl::parse_script(script)?, origin, config))
+    }
+
+    /// URL prefix this proxy serves, e.g. `/m/forum`.
+    pub fn base(&self) -> String {
+        format!("/m/{}", self.spec.page_id)
+    }
+
+    /// The adaptation spec in effect.
+    pub fn spec(&self) -> &AdaptationSpec {
+        &self.spec
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ProxyStats {
+        *self.stats.lock()
+    }
+
+    /// The shared render cache (amortization accounting lives here).
+    pub fn cache(&self) -> &RenderCache {
+        &self.cache
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Generated files currently stored (subpages + images).
+    pub fn stored_files(&self) -> Vec<String> {
+        self.fs.paths()
+    }
+
+    /// Exports every generated artifact (session directories + public
+    /// cache) to a real directory, mirroring the paper's on-disk layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors from the export.
+    pub fn export_files(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        // Shared cached images live in the cache, not the fs; write the
+        // snapshot too when present.
+        if let Some(snapshot) = self.cache.get("img:snapshot.png") {
+            self.fs.write(&SessionFs::public_path("img/snapshot.png"), snapshot);
+        }
+        self.fs.export(dir)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn pipeline_context(&self) -> PipelineContext {
+        PipelineContext {
+            base: self.base(),
+            browser_config: self.config.browser_config.clone(),
+        }
+    }
+
+    /// Fetches `url` from the origin with the session's cookie jar and
+    /// stored HTTP-auth credentials applied, recording Set-Cookie
+    /// responses back into the jar.
+    fn origin_fetch(&self, session: &Arc<Mutex<Session>>, request: &mut Request) -> Response {
+        self.stats.lock().origin_fetches += 1;
+        {
+            let s = session.lock();
+            s.jar.apply(request, 0);
+            if let Some((user, pass)) = &s.http_auth {
+                request
+                    .headers
+                    .set("authorization", &msite_net::auth::basic_auth_header(user, pass));
+            }
+        }
+        let response = self.origin.handle(request);
+        session
+            .lock()
+            .jar
+            .store_from_response(&response, &request.url, 0);
+        response
+    }
+
+    /// Builds (or reuses) the shared entry page + snapshot, which are
+    /// user-independent: the snapshot shows the public view of the page
+    /// and is "stored in a public cache" with the spec's TTL.
+    fn shared_entry(&self, session: &Arc<Mutex<Session>>) -> Result<bytes::Bytes, Response> {
+        let ttl = self
+            .spec
+            .snapshot
+            .as_ref()
+            .map(|s| Duration::from_secs(s.cache_ttl_secs));
+        if let Some(hit) = self.cache.get("entry:html") {
+            self.stats.lock().lightweight += 1;
+            return Ok(hit);
+        }
+        // Cache miss: full pipeline run (browser used when the spec needs it).
+        let start = Instant::now();
+        let mut page_request = Request::get(&self.spec.page_url).map_err(|e| {
+            Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}"))
+        })?;
+        let page = self.origin_fetch(session, &mut page_request);
+        if !page.status.is_success() {
+            return Err(Response::error(
+                Status::BAD_GATEWAY,
+                &format!("origin returned {}", page.status),
+            ));
+        }
+        let bundle = adapt(&self.spec, &page.body_text(), &self.pipeline_context())
+            .map_err(|e| Response::error(Status::INTERNAL_SERVER_ERROR, &e.to_string()))?;
+        if bundle.stats.browser_used {
+            self.stats.lock().full_renders += 1;
+        } else {
+            self.stats.lock().lightweight += 1;
+        }
+        self.store_bundle(&bundle, None, ttl, start.elapsed());
+        *self.shared_ajax.lock() = Some(bundle.ajax.clone());
+        *self.wants_cookie_clear.lock() = bundle.wants_cookie_clear;
+        Ok(bytes::Bytes::from(bundle.entry_html))
+    }
+
+    /// Builds the per-user subpages with the user's authenticated view.
+    fn user_bundle(&self, session: &Arc<Mutex<Session>>) -> Result<Arc<UserBundle>, Response> {
+        let session_id = session.lock().id.clone();
+        if let Some(existing) = self.user_bundles.lock().get(&session_id) {
+            return Ok(Arc::clone(existing));
+        }
+        let mut page_request = Request::get(&self.spec.page_url).map_err(|e| {
+            Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}"))
+        })?;
+        let page = self.origin_fetch(session, &mut page_request);
+        if !page.status.is_success() {
+            return Err(Response::error(
+                Status::BAD_GATEWAY,
+                &format!("origin returned {}", page.status),
+            ));
+        }
+        // Subpage generation does not re-render the snapshot.
+        let mut spec = self.spec.clone();
+        spec.snapshot = None;
+        let start = Instant::now();
+        let bundle = adapt(&spec, &page.body_text(), &self.pipeline_context())
+            .map_err(|e| Response::error(Status::INTERNAL_SERVER_ERROR, &e.to_string()))?;
+        if bundle.stats.browser_used {
+            self.stats.lock().full_renders += 1;
+        } else {
+            self.stats.lock().lightweight += 1;
+        }
+        self.store_bundle(&bundle, Some(&session_id), None, start.elapsed());
+        let auth_subpages = auth_subpage_ids(&self.spec);
+        let user = Arc::new(UserBundle {
+            ajax: bundle.ajax.clone(),
+            auth_subpages,
+        });
+        self.user_bundles
+            .lock()
+            .insert(session_id, Arc::clone(&user));
+        Ok(user)
+    }
+
+    /// Writes a bundle's artifacts: shared images into the public cache,
+    /// per-user files into the session directory.
+    fn store_bundle(
+        &self,
+        bundle: &AdaptedBundle,
+        session_id: Option<&str>,
+        entry_ttl: Option<Duration>,
+        cost: Duration,
+    ) {
+        if session_id.is_none() {
+            self.cache
+                .put("entry:html", bundle.entry_html.clone(), entry_ttl, cost);
+        }
+        for image in &bundle.images {
+            match (&image.cache_ttl, session_id) {
+                (Some(ttl), _) => {
+                    self.cache
+                        .put(&format!("img:{}", image.name), image.bytes.clone(), Some(*ttl), cost);
+                }
+                (None, Some(sid)) => {
+                    self.fs.write(
+                        &SessionFs::user_path(sid, &format!("img/{}", image.name)),
+                        image.bytes.clone(),
+                    );
+                }
+                (None, None) => {
+                    self.fs
+                        .write(&SessionFs::public_path(&format!("img/{}", image.name)), image.bytes.clone());
+                }
+            }
+        }
+        if let Some(sid) = session_id {
+            for subpage in &bundle.subpages {
+                self.fs.write(
+                    &SessionFs::user_path(sid, &format!("s/{}", subpage.name)),
+                    rewrite_form_actions(&subpage.html, &self.base()),
+                );
+            }
+        }
+    }
+
+    fn serve_image(&self, session_id: &str, name: &str) -> Response {
+        if let Some(shared) = self.cache.get(&format!("img:{name}")) {
+            return Response::bytes("image/png", shared);
+        }
+        if let Some(user) = self
+            .fs
+            .read(&SessionFs::user_path(session_id, &format!("img/{name}")))
+        {
+            return Response::bytes("image/png", user);
+        }
+        if let Some(public) = self.fs.read(&SessionFs::public_path(&format!("img/{name}"))) {
+            return Response::bytes("image/png", public);
+        }
+        Response::error(Status::NOT_FOUND, "no such image")
+    }
+
+    fn serve_subpage(
+        &self,
+        session: &Arc<Mutex<Session>>,
+        name: &str,
+    ) -> Result<Response, Response> {
+        let bundle = self.user_bundle(session)?;
+        let stem = name.trim_end_matches(".html");
+        if bundle.auth_subpages.iter().any(|s| s == stem) && session.lock().http_auth.is_none() {
+            return Ok(Response::redirect(&format!(
+                "{}/auth?next={}",
+                self.base(),
+                msite_net::url::percent_encode(name)
+            )));
+        }
+        let session_id = session.lock().id.clone();
+        match self
+            .fs
+            .read(&SessionFs::user_path(&session_id, &format!("s/{name}")))
+        {
+            Some(contents) => Ok(Response::bytes("text/html; charset=utf-8", contents)),
+            None => Ok(Response::error(Status::NOT_FOUND, "no such subpage")),
+        }
+    }
+
+    fn satisfy_ajax(&self, session: &Arc<Mutex<Session>>, request: &Request) -> Response {
+        let Some(action_id) = request.param("action").and_then(|a| a.parse::<u32>().ok()) else {
+            return Response::error(Status::BAD_REQUEST, "missing action");
+        };
+        let p = request.param("p").unwrap_or_default();
+        let registry = {
+            let session_id = session.lock().id.clone();
+            self.user_bundles
+                .lock()
+                .get(&session_id)
+                .map(|b| b.ajax.clone())
+                .or_else(|| self.shared_ajax.lock().clone())
+                .unwrap_or_default()
+        };
+        let Some(action) = registry.get(action_id).cloned() else {
+            return Response::error(Status::NOT_FOUND, "unknown action");
+        };
+        // Resolve the action's origin URL against the adapted page.
+        let base_url = match Url::parse(&self.spec.page_url) {
+            Ok(u) => u,
+            Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
+        };
+        let target = match base_url.join(&action.origin_url(&p)) {
+            Ok(u) => u,
+            Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
+        };
+        let mut sub_request = Request {
+            method: Method::Get,
+            url: target,
+            headers: msite_net::Headers::new(),
+            body: bytes::Bytes::new(),
+        };
+        let response = self.origin_fetch(session, &mut sub_request);
+        if !response.status.is_success() {
+            return Response::error(
+                Status::BAD_GATEWAY,
+                &format!("origin ajax returned {}", response.status),
+            );
+        }
+        // Fragment responses pass through; full pages are cut to <body>.
+        let text = response.body_text();
+        let fragment = extract_fragment(&text);
+        Response::html(fragment)
+    }
+
+    fn auth_form(&self, message: &str, next: &str) -> Response {
+        Response::html(format!(
+            "<!DOCTYPE html><html><head><title>Authentication required</title></head><body>\
+             <h3>Authentication required</h3><p>{message}</p>\
+             <form method=\"post\" action=\"{}/auth?next={}\">\
+             <input type=\"text\" name=\"user\" placeholder=\"user\"> \
+             <input type=\"password\" name=\"pass\" placeholder=\"password\"> \
+             <input type=\"submit\" value=\"Continue\"></form></body></html>",
+            self.base(),
+            msite_net::url::percent_encode(next)
+        ))
+    }
+
+    fn handle_inner(&self, request: &Request) -> Response {
+        let base = self.base();
+        let path = request.url.path().to_string();
+        let Some(rest) = path.strip_prefix(&base) else {
+            return Response::error(Status::NOT_FOUND, "outside proxy namespace");
+        };
+        let rest = if rest.is_empty() { "/" } else { rest };
+
+        // Session handling: issue a cookie on first contact.
+        // Sessions are maintained even when the spec does not require
+        // them: subpages and jars still need a home (the spec flag only
+        // controls whether origin auth flows are attempted).
+        let cookie_value = request.cookie(SESSION_COOKIE);
+        let (session, created) = self.sessions.get_or_create(cookie_value.as_deref());
+        if created {
+            self.stats.lock().sessions_created += 1;
+        }
+        let session_id = session.lock().id.clone();
+        let attach_cookie = |mut response: Response| -> Response {
+            if created {
+                let mut cookie = Cookie::new(SESSION_COOKIE, &session_id);
+                cookie.http_only = true;
+                cookie.path = base.clone();
+                response = response.with_cookie(&cookie);
+            }
+            response
+        };
+
+        // Cookie clearing entry point (logout-button replacement).
+        if rest == "/"
+            && request.param("msite").as_deref() == Some("clearcookies")
+            && *self.wants_cookie_clear.lock()
+        {
+            session.lock().jar.clear();
+            return attach_cookie(Response::redirect(&format!("{base}/")));
+        }
+
+        let response = match rest {
+            "/" => {
+                burn(self.config.scripted_overhead);
+                match self.shared_entry(&session) {
+                    Ok(entry) => Response::bytes("text/html; charset=utf-8", entry),
+                    Err(e) => e,
+                }
+            }
+            "/logout" => {
+                self.fs.remove_session(&session_id);
+                self.sessions.destroy(&session_id);
+                self.user_bundles.lock().remove(&session_id);
+                let mut kill = Cookie::new(SESSION_COOKIE, "");
+                kill.expires_at = Some(0);
+                kill.path = base.clone();
+                return Response::redirect(&format!("{base}/")).with_cookie(&kill);
+            }
+            "/auth" => match request.method {
+                Method::Get => {
+                    self.auth_form("", &request.param("next").unwrap_or_default())
+                }
+                Method::Post => {
+                    let user = request.param("user").unwrap_or_default();
+                    let pass = request.param("pass").unwrap_or_default();
+                    if user.is_empty() {
+                        self.auth_form("User name required.", &request.param("next").unwrap_or_default())
+                    } else {
+                        session.lock().http_auth = Some((user, pass));
+                        let next = request.param("next").unwrap_or_default();
+                        Response::redirect(&format!("{base}/s/{next}"))
+                    }
+                }
+                _ => Response::error(Status::BAD_REQUEST, "unsupported method"),
+            },
+            "/proxy" => {
+                burn(self.config.scripted_overhead);
+                self.stats.lock().lightweight += 1;
+                self.satisfy_ajax(&session, request)
+            }
+            _ if rest.starts_with("/s/") => {
+                burn(self.config.scripted_overhead);
+                match self.serve_subpage(&session, &rest[3..]) {
+                    Ok(r) | Err(r) => r,
+                }
+            }
+            _ if rest.starts_with("/img/") => {
+                burn(self.config.scripted_overhead);
+                self.stats.lock().lightweight += 1;
+                self.serve_image(&session_id, &rest[5..])
+            }
+            _ if rest.starts_with("/render/") => {
+                // Alternate-engine rendering of the adapted entry page:
+                // /render/text, /render/pdf, /render/image, /render/html.
+                let engine_name = &rest[8..];
+                let Some(engine) = self.engines.get(engine_name) else {
+                    return attach_cookie(Response::error(
+                        Status::NOT_FOUND,
+                        &format!("no engine named `{engine_name}`"),
+                    ));
+                };
+                let mut page_request = match Request::get(&self.spec.page_url) {
+                    Ok(r) => r,
+                    Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
+                };
+                let page = self.origin_fetch(&session, &mut page_request);
+                if !page.status.is_success() {
+                    return attach_cookie(Response::error(
+                        Status::BAD_GATEWAY,
+                        &format!("origin returned {}", page.status),
+                    ));
+                }
+                if engine_name == "image" {
+                    self.stats.lock().full_renders += 1;
+                } else {
+                    self.stats.lock().lightweight += 1;
+                }
+                let artifact = engine.render(&page.body_text());
+                Response::bytes(&artifact.content_type, artifact.bytes)
+            }
+            _ if rest.starts_with("/o/") => {
+                // Origin passthrough for form posts and follow-up
+                // navigation out of subpages.
+                let target = match Url::parse(&self.spec.page_url)
+                    .and_then(|u| u.join(&format!("/{}", &rest[3..])))
+                {
+                    Ok(mut u) => {
+                        if let Some(q) = request.url.query() {
+                            u = u.join(&format!("?{q}")).unwrap_or(u);
+                        }
+                        u
+                    }
+                    Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
+                };
+                let mut forwarded = Request {
+                    method: request.method,
+                    url: target,
+                    headers: request.headers.clone(),
+                    body: request.body.clone(),
+                };
+                forwarded.headers.remove("cookie"); // jar replaces client cookies
+                let response = self.origin_fetch(&session, &mut forwarded);
+                // Rewrite origin redirects back into the proxy namespace.
+                if response.status.is_redirect() {
+                    return attach_cookie(Response::redirect(&format!("{base}/")));
+                }
+                response
+            }
+            _ => Response::error(Status::NOT_FOUND, "no such proxy path"),
+        };
+        attach_cookie(response)
+    }
+}
+
+impl Origin for ProxyServer {
+    fn handle(&self, request: &Request) -> Response {
+        self.stats.lock().requests += 1;
+        self.handle_inner(request)
+    }
+
+    fn name(&self) -> &str {
+        "msite-proxy"
+    }
+}
+
+/// Burns CPU for `duration` (models scripted-interpreter overhead).
+fn burn(duration: Duration) {
+    if duration.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    let mut acc = 0u64;
+    while start.elapsed() < duration {
+        for i in 0..512u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+    }
+}
+
+/// Rewrites root-relative form actions to the proxy's origin-passthrough
+/// namespace so subpage forms keep working.
+fn rewrite_form_actions(html: &str, base: &str) -> String {
+    html.replace("action=\"/", &format!("action=\"{base}/o/"))
+}
+
+/// Subpage ids protected by the HTTP-auth attribute.
+fn auth_subpage_ids(spec: &AdaptationSpec) -> Vec<String> {
+    use crate::attributes::Attribute;
+    let mut out = Vec::new();
+    for rule in &spec.rules {
+        let has_auth = rule.attributes.iter().any(|a| matches!(a, Attribute::HttpAuth));
+        if has_auth {
+            for attr in &rule.attributes {
+                if let Attribute::Subpage { id, .. } = attr {
+                    out.push(id.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cuts a full HTML page down to its body fragment for AJAX responses;
+/// fragments pass through unchanged.
+fn extract_fragment(text: &str) -> String {
+    let lower = text.to_ascii_lowercase();
+    let Some(open) = lower.find("<body") else {
+        return text.to_string();
+    };
+    let Some(start) = text[open..].find('>').map(|i| open + i + 1) else {
+        return text.to_string();
+    };
+    let end = lower.rfind("</body>").unwrap_or(text.len());
+    text[start..end].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{Attribute, SnapshotSpec, SourceFilter, Target};
+    use msite_sites::{ForumConfig, ForumSite};
+
+    fn forum_spec(site: &ForumSite) -> AdaptationSpec {
+        let mut spec = AdaptationSpec::new("forum", &format!("{}/index.php", site.base_url()));
+        spec.snapshot = Some(SnapshotSpec {
+            scale: 0.5,
+            quality: 40,
+            cache_ttl_secs: 3_600,
+            viewport_width: 1_024,
+        });
+        spec.filters.push(SourceFilter::SetTitle {
+            title: "Sawmill Creek Mobile".into(),
+        });
+        spec = spec
+            .rule(
+                Target::Css("#loginform".into()),
+                vec![
+                    Attribute::Subpage {
+                        id: "login".into(),
+                        title: "Log in".into(),
+                        ajax: false,
+                        prerender: false,
+                    },
+                    Attribute::Dependency {
+                        selector: "head link".into(),
+                    },
+                ],
+            )
+            .rule(
+                Target::Css("#forumbits".into()),
+                vec![Attribute::Subpage {
+                    id: "forums".into(),
+                    title: "Forums".into(),
+                    ajax: false,
+                    prerender: false,
+                }],
+            );
+        spec
+    }
+
+    fn proxy_with_forum() -> (Arc<ForumSite>, ProxyServer) {
+        let site = Arc::new(ForumSite::new(ForumConfig::default()));
+        let spec = forum_spec(&site);
+        let proxy = ProxyServer::new(
+            spec,
+            Arc::clone(&site) as OriginRef,
+            ProxyConfig::default(),
+        );
+        (site, proxy)
+    }
+
+    fn get(proxy: &ProxyServer, path: &str) -> Response {
+        proxy.handle(&Request::get(&format!("http://proxy.test{path}")).unwrap())
+    }
+
+    fn get_with_cookie(proxy: &ProxyServer, path: &str, cookie: &str) -> Response {
+        proxy.handle(
+            &Request::get(&format!("http://proxy.test{path}"))
+                .unwrap()
+                .with_header("cookie", cookie),
+        )
+    }
+
+    fn session_cookie(response: &Response) -> String {
+        response
+            .headers
+            .get("set-cookie")
+            .expect("session cookie issued")
+            .split(';')
+            .next()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn entry_page_serves_snapshot_and_map() {
+        let (_site, proxy) = proxy_with_forum();
+        let entry = get(&proxy, "/m/forum/");
+        assert!(entry.status.is_success());
+        let html = entry.body_text();
+        assert!(html.contains("snapshot.png"));
+        assert!(html.contains("/m/forum/s/login.html"));
+        assert!(html.contains("/m/forum/s/forums.html"));
+        // Session cookie issued on first contact.
+        assert!(entry.headers.get("set-cookie").unwrap().contains(SESSION_COOKIE));
+    }
+
+    #[test]
+    fn snapshot_image_served_from_shared_cache() {
+        let (_site, proxy) = proxy_with_forum();
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        let img = get_with_cookie(&proxy, "/m/forum/img/snapshot.png", &cookie);
+        assert!(img.status.is_success());
+        assert!(img.body.starts_with(&[0x89, b'P', b'N', b'G']));
+    }
+
+    #[test]
+    fn entry_caching_amortizes_rendering() {
+        let (_site, proxy) = proxy_with_forum();
+        let first = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&first);
+        for _ in 0..5 {
+            let again = get_with_cookie(&proxy, "/m/forum/", &cookie);
+            assert!(again.status.is_success());
+        }
+        let stats = proxy.stats();
+        assert_eq!(stats.full_renders, 1, "snapshot rendered once");
+        assert!(stats.lightweight >= 5);
+        assert!(proxy.cache().amortized_savings() > Duration::ZERO);
+    }
+
+    #[test]
+    fn subpages_generated_per_user() {
+        let (_site, proxy) = proxy_with_forum();
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        let login = get_with_cookie(&proxy, "/m/forum/s/login.html", &cookie);
+        assert!(login.status.is_success());
+        let html = login.body_text();
+        assert!(html.contains("vb_login_username"));
+        // Dependency copied into head.
+        assert!(html.contains("vbulletin.css"));
+        // Form actions rewritten through the passthrough.
+        assert!(html.contains("action=\"/m/forum/o/login.php\""));
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let (_site, proxy) = proxy_with_forum();
+        let a = session_cookie(&get(&proxy, "/m/forum/"));
+        let b = session_cookie(&get(&proxy, "/m/forum/"));
+        assert_ne!(a, b);
+        let _ = get_with_cookie(&proxy, "/m/forum/s/login.html", &a);
+        // User A has files, user B does not (until they ask).
+        let paths = proxy.stored_files();
+        let a_id = a.split('=').nth(1).unwrap();
+        let b_id = b.split('=').nth(1).unwrap();
+        assert!(paths.iter().any(|p| p.contains(a_id)));
+        assert!(!paths.iter().any(|p| p.contains(b_id)));
+        assert_eq!(proxy.session_count(), 2);
+    }
+
+    #[test]
+    fn login_via_passthrough_authenticates_jar() {
+        let (_site, proxy) = proxy_with_forum();
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        let (user, pass) = ForumSite::demo_credentials();
+        let login = proxy.handle(
+            &Request::post_form(
+                "http://proxy.test/m/forum/o/login.php",
+                &[("vb_login_username", user), ("vb_login_password", pass)],
+            )
+            .unwrap()
+            .with_header("cookie", &cookie),
+        );
+        // Origin redirect is rewritten into the proxy namespace.
+        assert!(login.status.is_redirect());
+        assert_eq!(login.headers.get("location"), Some("/m/forum/"));
+        // The jar now holds the vBulletin session: private origin area
+        // reachable through the passthrough.
+        let private = get_with_cookie(&proxy, "/m/forum/o/private/index.php", &cookie);
+        assert!(private.status.is_success());
+        assert!(private.body_text().contains("Moderator Lounge"));
+    }
+
+    #[test]
+    fn logout_destroys_session_files() {
+        let (_site, proxy) = proxy_with_forum();
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        let _ = get_with_cookie(&proxy, "/m/forum/s/login.html", &cookie);
+        assert!(!proxy.stored_files().is_empty());
+        let out = get_with_cookie(&proxy, "/m/forum/logout", &cookie);
+        assert!(out.status.is_redirect());
+        let id = cookie.split('=').nth(1).unwrap();
+        assert!(!proxy.stored_files().iter().any(|p| p.contains(id)));
+        assert_eq!(proxy.session_count(), 0);
+    }
+
+    #[test]
+    fn ajax_action_satisfied_through_proxy() {
+        let site = Arc::new(ForumSite::new(ForumConfig::default()));
+        let mut spec = AdaptationSpec::new(
+            "thread",
+            &format!("{}/showthread.php?t=5555", site.base_url()),
+        );
+        spec.snapshot = None;
+        spec = spec.rule(Target::Css("#posts".into()), vec![Attribute::AjaxRewrite]);
+        let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
+        // Entry adapts the thread page, rewriting showpic handlers.
+        let entry = get(&proxy, "/m/thread/");
+        let cookie = session_cookie(&entry);
+        assert!(entry.body_text().contains("msiteLoad('/m/thread/proxy'"));
+        // The AJAX endpoint requires an origin session; log in first.
+        let (user, pass) = ForumSite::demo_credentials();
+        let _ = proxy.handle(
+            &Request::post_form(
+                "http://proxy.test/m/thread/o/login.php",
+                &[("vb_login_username", user), ("vb_login_password", pass)],
+            )
+            .unwrap()
+            .with_header("cookie", &cookie),
+        );
+        let frag = get_with_cookie(&proxy, "/m/thread/proxy?action=1&p=7", &cookie);
+        assert!(frag.status.is_success(), "{}", frag.body_text());
+        assert!(frag.body_text().contains("/images/pic7.jpg"));
+    }
+
+    #[test]
+    fn ajax_unknown_action_404() {
+        let (_site, proxy) = proxy_with_forum();
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        let r = get_with_cookie(&proxy, "/m/forum/proxy?action=99&p=1", &cookie);
+        assert_eq!(r.status, Status::NOT_FOUND);
+        let r = get_with_cookie(&proxy, "/m/forum/proxy", &cookie);
+        assert_eq!(r.status, Status::BAD_REQUEST);
+    }
+
+    #[test]
+    fn http_auth_flow() {
+        let site = Arc::new(ForumSite::new(ForumConfig::default()));
+        let mut spec = AdaptationSpec::new("forum", &format!("{}/index.php", site.base_url()));
+        spec.snapshot = None;
+        spec = spec.rule(
+            Target::Css("#stats".into()),
+            vec![
+                Attribute::Subpage {
+                    id: "stats".into(),
+                    title: "Statistics".into(),
+                    ajax: false,
+                    prerender: false,
+                },
+                Attribute::HttpAuth,
+            ],
+        );
+        let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        // Unauthenticated: redirected to the lightweight auth page.
+        let r = get_with_cookie(&proxy, "/m/forum/s/stats.html", &cookie);
+        assert!(r.status.is_redirect());
+        assert!(r.headers.get("location").unwrap().contains("/m/forum/auth"));
+        // The form stores credentials, then the subpage serves.
+        let auth = proxy.handle(
+            &Request::post_form(
+                "http://proxy.test/m/forum/auth?next=stats.html",
+                &[("user", "admin"), ("pass", "pw")],
+            )
+            .unwrap()
+            .with_header("cookie", &cookie),
+        );
+        assert!(auth.status.is_redirect());
+        let r = get_with_cookie(&proxy, "/m/forum/s/stats.html", &cookie);
+        assert!(r.status.is_success());
+        assert!(r.body_text().contains("Statistics"));
+    }
+
+    #[test]
+    fn origin_failure_returns_bad_gateway() {
+        let failing: OriginRef = Arc::new(|_req: &Request| {
+            Response::error(Status::SERVICE_UNAVAILABLE, "down for maintenance")
+        });
+        let mut spec = AdaptationSpec::new("down", "http://down.test/index.php");
+        spec.snapshot = None;
+        let proxy = ProxyServer::new(spec, failing, ProxyConfig::default());
+        let r = get(&proxy, "/m/down/");
+        assert_eq!(r.status, Status::BAD_GATEWAY);
+    }
+
+    #[test]
+    fn unknown_paths_rejected() {
+        let (_site, proxy) = proxy_with_forum();
+        assert_eq!(get(&proxy, "/other/").status, Status::NOT_FOUND);
+        assert_eq!(get(&proxy, "/m/forum/nope").status, Status::NOT_FOUND);
+        assert_eq!(
+            get(&proxy, "/m/forum/img/ghost.png").status,
+            Status::NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn from_script_deploys() {
+        let site = Arc::new(ForumSite::new(ForumConfig::default()));
+        let script = format!(
+            "page forum \"{}/index.php\"\nsession required\nsnapshot scale=0.5 quality=40 ttl=60 viewport=800\n\
+             rule css \"#loginform\" {{\n  subpage login \"Log in\" ajax=no prerender=no\n}}\n",
+            site.base_url()
+        );
+        let proxy =
+            ProxyServer::from_script(&script, Arc::clone(&site) as OriginRef, ProxyConfig::default())
+                .unwrap();
+        let entry = get(&proxy, "/m/forum/");
+        assert!(entry.status.is_success());
+        assert!(entry.body_text().contains("login.html"));
+        assert!(ProxyServer::from_script("garbage", site as OriginRef, ProxyConfig::default()).is_err());
+    }
+
+    #[test]
+    fn pluggable_engines_render_alternate_formats() {
+        let (_site, proxy) = proxy_with_forum();
+        assert_eq!(proxy.engine_names(), vec!["html", "image", "text", "pdf"]);
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        let text = get_with_cookie(&proxy, "/m/forum/render/text", &cookie);
+        assert!(text.status.is_success());
+        assert!(text.headers.get("content-type").unwrap().starts_with("text/plain"));
+        assert!(text.body_text().contains("Currently Active Users"));
+        let pdf = get_with_cookie(&proxy, "/m/forum/render/pdf", &cookie);
+        assert!(pdf.body.starts_with(b"%PDF-1.4"));
+        let image = get_with_cookie(&proxy, "/m/forum/render/image", &cookie);
+        assert!(image.body.starts_with(&[0x89, b'P', b'N', b'G']));
+        let missing = get_with_cookie(&proxy, "/m/forum/render/flash", &cookie);
+        assert_eq!(missing.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn stats_distinguish_render_paths() {
+        let (_site, proxy) = proxy_with_forum();
+        let entry = get(&proxy, "/m/forum/");
+        let cookie = session_cookie(&entry);
+        for _ in 0..10 {
+            let _ = get_with_cookie(&proxy, "/m/forum/img/snapshot.png", &cookie);
+        }
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 11);
+        assert_eq!(stats.full_renders, 1);
+        assert_eq!(stats.lightweight, 10);
+    }
+}

@@ -1,0 +1,206 @@
+//! The searchable pre-rendered image attribute (§3.3 "Search").
+//!
+//! "At rendering time, a sorted word index is built on the server from
+//! the textual content read from the web page. The rendered location of
+//! each word is stored in a Javascript array along with the word list,
+//! and the ordered search index is then inserted into the subpage along
+//! with a Javascript binary search function." This module builds that
+//! index from layout geometry, emits the JS payload, and provides a Rust
+//! query API mirroring the client-side binary search for testing.
+
+use msite_render::{LayoutTree, Rect};
+
+/// One indexed word occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordHit {
+    /// Lowercased word.
+    pub word: String,
+    /// Location on the rendered page, in *rendered* (pre-scale) px.
+    pub rect: Rect,
+}
+
+/// A sorted word index over a rendered page.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchIndex {
+    /// Hits sorted by word (then document order).
+    entries: Vec<WordHit>,
+}
+
+impl SearchIndex {
+    /// Builds the index from a layout tree, scaling recorded rectangles
+    /// by `scale` to match the served snapshot image.
+    pub fn build(layout: &LayoutTree, scale: f32) -> SearchIndex {
+        let mut entries: Vec<WordHit> = layout
+            .word_positions()
+            .into_iter()
+            .map(|(word, rect)| WordHit {
+                word,
+                rect: rect.scaled(scale),
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.word
+                .cmp(&b.word)
+                .then(a.rect.y.partial_cmp(&b.rect.y).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        SearchIndex { entries }
+    }
+
+    /// Number of indexed occurrences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Binary search: all locations of `word` (case-insensitive).
+    pub fn find(&self, word: &str) -> Vec<Rect> {
+        let needle = word.to_lowercase();
+        let start = self.entries.partition_point(|e| e.word < needle);
+        self.entries[start..]
+            .iter()
+            .take_while(|e| e.word == needle)
+            .map(|e| e.rect)
+            .collect()
+    }
+
+    /// All locations of words starting with `prefix` (the jump-to-word
+    /// experience while typing).
+    pub fn find_prefix(&self, prefix: &str) -> Vec<(String, Rect)> {
+        let needle = prefix.to_lowercase();
+        let start = self.entries.partition_point(|e| e.word.as_str() < needle.as_str());
+        self.entries[start..]
+            .iter()
+            .take_while(|e| e.word.starts_with(&needle))
+            .map(|e| (e.word.clone(), e.rect))
+            .collect()
+    }
+
+    /// Emits the client-side payload: the sorted array plus a binary
+    /// search function bound to `msiteSearch(word)`, which returns the
+    /// `[x, y]` of the first hit or `null`.
+    pub fn to_javascript(&self) -> String {
+        let mut out = String::from("var msiteIndex = [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "[\"{}\",{},{},{},{}]",
+                e.word,
+                e.rect.x.round() as i64,
+                e.rect.y.round() as i64,
+                e.rect.w.round() as i64,
+                e.rect.h.round() as i64
+            ));
+        }
+        out.push_str("];\n");
+        out.push_str(SEARCH_FUNCTION);
+        out
+    }
+}
+
+/// The client-side binary search over `msiteIndex`.
+const SEARCH_FUNCTION: &str = r#"function msiteSearch(word) {
+  word = word.toLowerCase();
+  var lo = 0, hi = msiteIndex.length;
+  while (lo < hi) {
+    var mid = (lo + hi) >> 1;
+    if (msiteIndex[mid][0] < word) { lo = mid + 1; } else { hi = mid; }
+  }
+  if (lo < msiteIndex.length && msiteIndex[lo][0] === word) {
+    return [msiteIndex[lo][1], msiteIndex[lo][2]];
+  }
+  return null;
+}
+function msiteScrollTo(word) {
+  var hit = msiteSearch(word);
+  if (hit) { window.scrollTo(hit[0], hit[1]); }
+  return hit !== null;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_html::parse_document;
+    use msite_render::{compute_styles, layout_document, Stylesheet};
+
+    fn index_for(html: &str, scale: f32) -> SearchIndex {
+        let doc = parse_document(html);
+        let styles = compute_styles(&doc, &Stylesheet::parse("body{margin:0}"));
+        let layout = layout_document(&doc, &styles, 640.0);
+        SearchIndex::build(&layout, scale)
+    }
+
+    #[test]
+    fn finds_words_case_insensitively() {
+        let index = index_for("<body><p>General Woodworking Discussion</p></body>", 1.0);
+        assert_eq!(index.find("woodworking").len(), 1);
+        assert_eq!(index.find("WOODWORKING").len(), 1);
+        assert_eq!(index.find("absent").len(), 0);
+    }
+
+    #[test]
+    fn repeated_words_all_found() {
+        let index = index_for("<body><p>saw</p><p>saw</p><p>saw</p></body>", 1.0);
+        let hits = index.find("saw");
+        assert_eq!(hits.len(), 3);
+        // Occurrences at distinct vertical positions, sorted.
+        assert!(hits[0].y < hits[1].y && hits[1].y < hits[2].y);
+    }
+
+    #[test]
+    fn scale_applies_to_coordinates() {
+        let full = index_for("<body><p>needle</p></body>", 1.0);
+        let half = index_for("<body><p>needle</p></body>", 0.5);
+        let f = full.find("needle")[0];
+        let h = half.find("needle")[0];
+        assert!((h.w - f.w / 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn prefix_search() {
+        let index = index_for("<body><p>sanding sander sawdust plane</p></body>", 1.0);
+        let hits = index.find_prefix("san");
+        let words: Vec<&str> = hits.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, ["sander", "sanding"]);
+        assert!(index.find_prefix("zz").is_empty());
+    }
+
+    #[test]
+    fn javascript_payload_shape() {
+        let index = index_for("<body><p>alpha beta</p></body>", 1.0);
+        let js = index.to_javascript();
+        assert!(js.starts_with("var msiteIndex = ["));
+        assert!(js.contains("[\"alpha\","));
+        assert!(js.contains("[\"beta\","));
+        assert!(js.contains("function msiteSearch"));
+        assert!(js.contains("function msiteScrollTo"));
+        // Sorted: alpha before beta.
+        assert!(js.find("alpha").unwrap() < js.find("beta").unwrap());
+    }
+
+    #[test]
+    fn empty_page_yields_empty_index() {
+        let index = index_for("<body></body>", 1.0);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert!(index.to_javascript().contains("msiteIndex = []"));
+    }
+
+    #[test]
+    fn index_is_sorted_for_binary_search() {
+        let index = index_for(
+            "<body><p>zebra apple mango apple cherry</p></body>",
+            1.0,
+        );
+        let words: Vec<&String> = index.entries.iter().map(|e| &e.word).collect();
+        let mut sorted = words.clone();
+        sorted.sort();
+        assert_eq!(words, sorted);
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-user session management and the per-user session filesystem.
+//!
+//! The paper: "Upon starting a mobile session for the first time, the
+//! mobile browser is issued a session cookie for maintaining state on the
+//! server. All of the files generated during a user's session are stored
+//! in the file system under a (protected) subdirectory created
+//! specifically for that user." The proxy also keeps a cookie jar and
+//! stored HTTP-auth credentials per session.
+//!
+//! The "filesystem" here is virtual (an in-memory tree) so tests and
+//! benchmarks need no disk; [`SessionFs::export`] dumps it to a real
+//! directory for the live examples.
+
+use bytes::Bytes;
+use msite_net::{CookieJar, Prng};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The cookie the proxy issues to mobile clients.
+pub const SESSION_COOKIE: &str = "msite_session";
+
+/// Per-user state held by the proxy.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// Session identifier (the cookie value).
+    pub id: String,
+    /// The user's cookie jar for origin fetches ("the proxy itself must
+    /// be authenticated on behalf of the user").
+    pub jar: CookieJar,
+    /// Stored HTTP Basic credentials, when the auth attribute captured
+    /// them.
+    pub http_auth: Option<(String, String)>,
+}
+
+/// Manages sessions and their jars.
+pub struct SessionManager {
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    id_source: Mutex<Prng>,
+    creation_order: Mutex<Vec<String>>,
+}
+
+impl SessionManager {
+    /// Creates a manager; `seed` drives session-id generation
+    /// (deterministic for tests, pass entropy in production).
+    pub fn new(seed: u64) -> SessionManager {
+        SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            id_source: Mutex::new(Prng::new(seed)),
+            creation_order: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a fresh session and returns its handle.
+    pub fn create(&self) -> Arc<Mutex<Session>> {
+        let id = {
+            let mut rng = self.id_source.lock();
+            format!("{:016x}{:016x}", rng.next_u64(), rng.next_u64())
+        };
+        let session = Arc::new(Mutex::new(Session {
+            id: id.clone(),
+            jar: CookieJar::new(),
+            http_auth: None,
+        }));
+        self.sessions.lock().insert(id.clone(), Arc::clone(&session));
+        self.creation_order.lock().push(id);
+        session
+    }
+
+    /// Looks up an existing session by cookie value.
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
+        self.sessions.lock().get(id).cloned()
+    }
+
+    /// Fetches the session named by the request cookie, or creates one.
+    /// Returns `(session, was_created)`.
+    pub fn get_or_create(&self, cookie_value: Option<&str>) -> (Arc<Mutex<Session>>, bool) {
+        if let Some(id) = cookie_value {
+            if let Some(existing) = self.get(id) {
+                return (existing, false);
+            }
+        }
+        (self.create(), true)
+    }
+
+    /// Ends a session (logout): drops state and cookie jar.
+    pub fn destroy(&self, id: &str) -> bool {
+        self.creation_order.lock().retain(|s| s != id);
+        self.sessions.lock().remove(id).is_some()
+    }
+
+    /// High-level session administration: bounds live sessions to
+    /// `max_sessions` by destroying the oldest ones. Returns the ids
+    /// destroyed (the proxy uses this to also wipe their session
+    /// directories).
+    pub fn prune_to(&self, max_sessions: usize) -> Vec<String> {
+        let mut destroyed = Vec::new();
+        loop {
+            let victim = {
+                let order = self.creation_order.lock();
+                if self.sessions.lock().len() <= max_sessions {
+                    break;
+                }
+                order.first().cloned()
+            };
+            match victim {
+                Some(id) => {
+                    self.destroy(&id);
+                    destroyed.push(id);
+                }
+                None => break,
+            }
+        }
+        destroyed
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A virtual filesystem of generated artifacts: per-user subpages and
+/// images under protected session directories, plus a shared public
+/// cache directory.
+#[derive(Default)]
+pub struct SessionFs {
+    files: Mutex<HashMap<String, Bytes>>,
+}
+
+impl SessionFs {
+    /// Creates an empty tree.
+    pub fn new() -> SessionFs {
+        SessionFs::default()
+    }
+
+    /// Canonical path of a per-user file.
+    pub fn user_path(session_id: &str, name: &str) -> String {
+        format!("/sessions/{session_id}/{name}")
+    }
+
+    /// Canonical path of a shared public-cache file.
+    pub fn public_path(name: &str) -> String {
+        format!("/public/{name}")
+    }
+
+    /// Writes a file.
+    pub fn write(&self, path: &str, contents: impl Into<Bytes>) {
+        self.files.lock().insert(path.to_string(), contents.into());
+    }
+
+    /// Reads a file.
+    pub fn read(&self, path: &str) -> Option<Bytes> {
+        self.files.lock().get(path).cloned()
+    }
+
+    /// Deletes one user's entire directory, returning the file count —
+    /// session teardown.
+    pub fn remove_session(&self, session_id: &str) -> usize {
+        let prefix = format!("/sessions/{session_id}/");
+        let mut files = self.files.lock();
+        let before = files.len();
+        files.retain(|path, _| !path.starts_with(&prefix));
+        before - files.len()
+    }
+
+    /// All stored paths, sorted (diagnostics and tests).
+    pub fn paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.files.lock().keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.files.lock().values().map(|b| b.len()).sum()
+    }
+
+    /// Dumps the tree under a real directory (for the live examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors from directory creation or writes.
+    pub fn export(&self, root: &std::path::Path) -> std::io::Result<usize> {
+        let files = self.files.lock();
+        let mut written = 0;
+        for (path, contents) in files.iter() {
+            let rel = path.trim_start_matches('/');
+            let full = root.join(rel);
+            if let Some(parent) = full.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(full, contents)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_net::Cookie;
+
+    #[test]
+    fn sessions_have_unique_ids() {
+        let mgr = SessionManager::new(1);
+        let a = mgr.create();
+        let b = mgr.create();
+        assert_ne!(a.lock().id, b.lock().id);
+        assert_eq!(mgr.len(), 2);
+    }
+
+    #[test]
+    fn get_or_create_reuses() {
+        let mgr = SessionManager::new(2);
+        let (first, created) = mgr.get_or_create(None);
+        assert!(created);
+        let id = first.lock().id.clone();
+        let (second, created) = mgr.get_or_create(Some(&id));
+        assert!(!created);
+        assert_eq!(second.lock().id, id);
+        // Unknown cookie value: fresh session.
+        let (_, created) = mgr.get_or_create(Some("stale"));
+        assert!(created);
+    }
+
+    #[test]
+    fn jars_are_isolated_per_session() {
+        let mgr = SessionManager::new(3);
+        let a = mgr.create();
+        let b = mgr.create();
+        a.lock().jar.store(Cookie::new("bbuserid", "1"), 0);
+        assert_eq!(a.lock().jar.len(), 1);
+        assert_eq!(b.lock().jar.len(), 0);
+    }
+
+    #[test]
+    fn destroy_removes_state() {
+        let mgr = SessionManager::new(4);
+        let s = mgr.create();
+        let id = s.lock().id.clone();
+        assert!(mgr.destroy(&id));
+        assert!(!mgr.destroy(&id));
+        assert!(mgr.get(&id).is_none());
+    }
+
+    #[test]
+    fn fs_user_isolation() {
+        let fs = SessionFs::new();
+        fs.write(&SessionFs::user_path("u1", "login.html"), "a");
+        fs.write(&SessionFs::user_path("u1", "img/snap.png"), "b");
+        fs.write(&SessionFs::user_path("u2", "login.html"), "c");
+        fs.write(&SessionFs::public_path("snapshot.png"), "d");
+        assert_eq!(fs.remove_session("u1"), 2);
+        assert!(fs.read("/sessions/u1/login.html").is_none());
+        assert!(fs.read("/sessions/u2/login.html").is_some());
+        assert!(fs.read("/public/snapshot.png").is_some());
+    }
+
+    #[test]
+    fn fs_accounting() {
+        let fs = SessionFs::new();
+        fs.write("/public/a", vec![0u8; 10]);
+        fs.write("/public/b", vec![0u8; 5]);
+        assert_eq!(fs.total_bytes(), 15);
+        assert_eq!(fs.paths(), vec!["/public/a".to_string(), "/public/b".to_string()]);
+    }
+
+    #[test]
+    fn fs_export_to_disk() {
+        let fs = SessionFs::new();
+        fs.write(&SessionFs::public_path("x/y.txt"), "hello");
+        let dir = std::env::temp_dir().join(format!("msite-fs-test-{}", std::process::id()));
+        let written = fs.export(&dir).unwrap();
+        assert_eq!(written, 1);
+        let content = std::fs::read_to_string(dir.join("public/x/y.txt")).unwrap();
+        assert_eq!(content, "hello");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_destroys_oldest_first() {
+        let mgr = SessionManager::new(5);
+        let ids: Vec<String> = (0..5).map(|_| mgr.create().lock().id.clone()).collect();
+        let destroyed = mgr.prune_to(2);
+        assert_eq!(destroyed, ids[..3].to_vec());
+        assert_eq!(mgr.len(), 2);
+        assert!(mgr.get(&ids[4]).is_some());
+        // Pruning to a larger bound is a no-op.
+        assert!(mgr.prune_to(10).is_empty());
+    }
+
+    #[test]
+    fn deterministic_ids_from_seed() {
+        let a = SessionManager::new(7).create().lock().id.clone();
+        let b = SessionManager::new(7).create().lock().id.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,275 @@
+//! The snapshot entry page: a scaled pre-rendered image of the site
+//! overlaid with a clickable image map (§3.2, §4.3).
+//!
+//! "The snapshot is overlayed using an image map with links to content
+//! areas defined with the subpage attribute ... for each subpage
+//! generated, the coordinates and extents of the original document
+//! elements must be queried from the DOM ... since the snapshot is
+//! scaled down, the m.Site framework implicitly translates the
+//! coordinates as well."
+
+use crate::ajax;
+use msite_render::Rect;
+
+/// One clickable region of the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapArea {
+    /// Region in *snapshot* (already scaled) pixel coordinates. Zero-size
+    /// rects are omitted from the `<map>` but kept in the fallback menu.
+    pub rect: Rect,
+    /// Subpage URL.
+    pub href: String,
+    /// Human-readable label.
+    pub title: String,
+    /// Load asynchronously into the entry page's container instead of
+    /// navigating.
+    pub ajax: bool,
+}
+
+/// Inputs to [`build_entry_page`].
+#[derive(Debug, Clone)]
+pub struct EntryPageInput {
+    /// Proxy URL prefix, e.g. `/m/forum`.
+    pub base: String,
+    /// Page title (carried over from the origin page for branding).
+    pub title: String,
+    /// Snapshot image file name under `{base}/img/`.
+    pub snapshot_name: String,
+    /// Snapshot pixel width.
+    pub snapshot_width: u32,
+    /// Snapshot pixel height.
+    pub snapshot_height: u32,
+    /// Scale that was applied to the snapshot (recorded in a meta tag for
+    /// diagnostics).
+    pub scale: f32,
+    /// Clickable regions.
+    pub areas: Vec<MapArea>,
+    /// Whether the AJAX helper script and hidden container are needed.
+    pub has_ajax: bool,
+    /// Search index payload, when the searchable attribute was applied.
+    pub search_js: Option<String>,
+}
+
+/// Builds the mobile entry page HTML.
+///
+/// # Examples
+///
+/// ```
+/// use msite::snapshot::{build_entry_page, EntryPageInput, MapArea};
+/// use msite_render::Rect;
+///
+/// let html = build_entry_page(&EntryPageInput {
+///     base: "/m/forum".into(),
+///     title: "Forum".into(),
+///     snapshot_name: "snapshot.png".into(),
+///     snapshot_width: 512,
+///     snapshot_height: 1400,
+///     scale: 0.5,
+///     areas: vec![MapArea {
+///         rect: Rect::new(10.0, 20.0, 100.0, 30.0),
+///         href: "/m/forum/s/login.html".into(),
+///         title: "Log in".into(),
+///         ajax: false,
+///     }],
+///     has_ajax: false,
+///     search_js: None,
+/// });
+/// assert!(html.contains("usemap=\"#msitemap\""));
+/// assert!(html.contains("coords=\"10,20,110,50\""));
+/// ```
+pub fn build_entry_page(input: &EntryPageInput) -> String {
+    let mut html = String::with_capacity(2048);
+    html.push_str("<!DOCTYPE html>\n<html><head>");
+    html.push_str(&format!(
+        "<title>{}</title>",
+        msite_html::entities::encode_text(&input.title)
+    ));
+    html.push_str("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">");
+    html.push_str(&format!(
+        "<meta name=\"msite-snapshot-scale\" content=\"{}\">",
+        input.scale
+    ));
+    html.push_str("<style>body{margin:0;background:#fff} #msite-menu{font-family:sans-serif;font-size:13px} #msite-container{display:none;position:fixed;top:10%;left:4%;width:92%;background:#fff;border:2px solid #444;padding:4px;overflow:auto;max-height:80%}</style>");
+    if input.has_ajax {
+        html.push_str("<script>");
+        html.push_str(ajax::client_helper_script());
+        html.push_str(ENTRY_HELPERS);
+        html.push_str("</script>");
+    }
+    if let Some(search_js) = &input.search_js {
+        html.push_str("<script>");
+        html.push_str(search_js);
+        html.push_str("</script>");
+    }
+    html.push_str("</head><body>");
+    html.push_str(&format!(
+        "<img src=\"{}/img/{}\" width=\"{}\" height=\"{}\" usemap=\"#msitemap\" alt=\"{}\" style=\"border:0\">",
+        input.base,
+        input.snapshot_name,
+        input.snapshot_width,
+        input.snapshot_height,
+        msite_html::entities::encode_attr(&input.title)
+    ));
+    html.push_str("<map name=\"msitemap\" id=\"msitemap\">");
+    for area in &input.areas {
+        if area.rect.w <= 0.0 || area.rect.h <= 0.0 {
+            continue;
+        }
+        let coords = format!(
+            "{},{},{},{}",
+            area.rect.x.round() as i64,
+            area.rect.y.round() as i64,
+            area.rect.right().round() as i64,
+            area.rect.bottom().round() as i64
+        );
+        if area.ajax {
+            html.push_str(&format!(
+                "<area shape=\"rect\" coords=\"{coords}\" href=\"{}\" \
+                 onclick=\"return msiteOpen('{}')\" alt=\"{}\">",
+                area.href,
+                area.href,
+                msite_html::entities::encode_attr(&area.title)
+            ));
+        } else {
+            html.push_str(&format!(
+                "<area shape=\"rect\" coords=\"{coords}\" href=\"{}\" alt=\"{}\">",
+                area.href,
+                msite_html::entities::encode_attr(&area.title)
+            ));
+        }
+    }
+    html.push_str("</map>");
+    if input.has_ajax {
+        html.push_str("<div id=\"msite-container\"></div>");
+    }
+    // Text fallback menu (also what non-imagemap browsers use).
+    html.push_str("<ul id=\"msite-menu\">");
+    for area in &input.areas {
+        html.push_str(&format!(
+            "<li><a href=\"{}\">{}</a></li>",
+            area.href,
+            msite_html::entities::encode_text(&area.title)
+        ));
+    }
+    html.push_str("</ul>");
+    html.push_str("</body></html>");
+    html
+}
+
+/// Client helpers for the entry page: open a subpage fragment in the
+/// hidden container ("it gives the appearance of being able to
+/// 'activate' otherwise static portions of the pre-rendered snapshot,
+/// all without reloading the page").
+const ENTRY_HELPERS: &str = r#"function msiteOpen(url) {
+  var xhr = new XMLHttpRequest();
+  xhr.open('GET', url, true);
+  xhr.onreadystatechange = function () {
+    if (xhr.readyState === 4 && xhr.status === 200) {
+      var el = document.getElementById('msite-container');
+      el.innerHTML = xhr.responseText;
+      el.style.display = 'block';
+    }
+  };
+  xhr.send();
+  return false;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> EntryPageInput {
+        EntryPageInput {
+            base: "/m/forum".into(),
+            title: "Sawmill & Creek".into(),
+            snapshot_name: "snapshot.png".into(),
+            snapshot_width: 512,
+            snapshot_height: 1403,
+            scale: 0.5,
+            areas: vec![
+                MapArea {
+                    rect: Rect::new(10.0, 20.0, 100.0, 30.0),
+                    href: "/m/forum/s/login.html".into(),
+                    title: "Log in".into(),
+                    ajax: false,
+                },
+                MapArea {
+                    rect: Rect::new(0.0, 60.0, 512.0, 40.0),
+                    href: "/m/forum/s/nav.html".into(),
+                    title: "Navigate".into(),
+                    ajax: true,
+                },
+                MapArea {
+                    rect: Rect::new(0.0, 0.0, 0.0, 0.0),
+                    href: "/m/forum/s/misc.html".into(),
+                    title: "Misc".into(),
+                    ajax: false,
+                },
+            ],
+            has_ajax: true,
+            search_js: None,
+        }
+    }
+
+    #[test]
+    fn areas_rendered_with_translated_coords() {
+        let html = build_entry_page(&sample_input());
+        assert!(html.contains("coords=\"10,20,110,50\""));
+        assert!(html.contains("coords=\"0,60,512,100\""));
+    }
+
+    #[test]
+    fn zero_size_area_only_in_menu() {
+        let html = build_entry_page(&sample_input());
+        // Not in the map...
+        let map = &html[html.find("<map").unwrap()..html.find("</map>").unwrap()];
+        assert!(!map.contains("misc.html"));
+        // ...but in the fallback menu.
+        let menu = &html[html.find("msite-menu").unwrap()..];
+        assert!(menu.contains("misc.html"));
+    }
+
+    #[test]
+    fn ajax_area_uses_container() {
+        let html = build_entry_page(&sample_input());
+        assert!(html.contains("msiteOpen('/m/forum/s/nav.html')"));
+        assert!(html.contains("id=\"msite-container\""));
+        assert!(html.contains("function msiteOpen"));
+    }
+
+    #[test]
+    fn no_ajax_means_no_helper() {
+        let mut input = sample_input();
+        input.has_ajax = false;
+        input.areas.retain(|a| !a.ajax);
+        let html = build_entry_page(&input);
+        assert!(!html.contains("msiteOpen"));
+        assert!(!html.contains("id=\"msite-container\""));
+    }
+
+    #[test]
+    fn title_escaped() {
+        let html = build_entry_page(&sample_input());
+        assert!(html.contains("<title>Sawmill &amp; Creek</title>"));
+    }
+
+    #[test]
+    fn parses_as_valid_html() {
+        let html = build_entry_page(&sample_input());
+        let doc = msite_html::parse_document(&html);
+        assert_eq!(doc.elements_by_tag(doc.root(), "map").len(), 1);
+        assert_eq!(doc.elements_by_tag(doc.root(), "area").len(), 2);
+        assert_eq!(doc.elements_by_tag(doc.root(), "img").len(), 1);
+        let img = doc.elements_by_tag(doc.root(), "img")[0];
+        assert_eq!(doc.attr(img, "usemap"), Some("#msitemap"));
+    }
+
+    #[test]
+    fn search_js_included_when_present() {
+        let mut input = sample_input();
+        input.search_js = Some("var msiteIndex = [];".into());
+        let html = build_entry_page(&input);
+        assert!(html.contains("msiteIndex"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Model-based property test for the render cache: random op sequences
+//! against a naive reference model must agree on contents, and the LRU
+//! bound must never be exceeded.
+
+use msite::cache::RenderCache;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Get(u8),
+    Invalidate(u8),
+    Clear,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..12, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        4 => (0u8..12).prop_map(Op::Get),
+        1 => (0u8..12).prop_map(Op::Invalidate),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Reference model: a map plus recency list, same capacity semantics.
+struct Model {
+    capacity: usize,
+    entries: HashMap<u8, u8>,
+    recency: Vec<u8>, // least recent first
+}
+
+impl Model {
+    fn touch(&mut self, key: u8) {
+        self.recency.retain(|&k| k != key);
+        self.recency.push(key);
+    }
+
+    fn put(&mut self, key: u8, value: u8) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(&oldest) = self.recency.first() {
+                self.entries.remove(&oldest);
+                self.recency.retain(|&k| k != oldest);
+            }
+        }
+        self.entries.insert(key, value);
+        self.touch(key);
+    }
+
+    fn get(&mut self, key: u8) -> Option<u8> {
+        let value = self.entries.get(&key).copied();
+        if value.is_some() {
+            self.touch(key);
+        }
+        value
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_agrees_with_model(capacity in 1usize..8, ops in prop::collection::vec(arb_op(), 0..60)) {
+        let cache = RenderCache::new(capacity);
+        let mut model = Model {
+            capacity,
+            entries: HashMap::new(),
+            recency: Vec::new(),
+        };
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    cache.put(&k.to_string(), vec![v], None, Duration::ZERO);
+                    model.put(k, v);
+                }
+                Op::Get(k) => {
+                    let real = cache.get(&k.to_string()).map(|b| b[0]);
+                    let expected = model.get(k);
+                    prop_assert_eq!(real, expected, "get({}) diverged", k);
+                }
+                Op::Invalidate(k) => {
+                    cache.invalidate(&k.to_string());
+                    model.entries.remove(&k);
+                    model.recency.retain(|&x| x != k);
+                }
+                Op::Clear => {
+                    cache.clear();
+                    model.entries.clear();
+                    model.recency.clear();
+                }
+            }
+            prop_assert!(cache.len() <= capacity, "cache exceeded capacity");
+            prop_assert_eq!(cache.len(), model.entries.len());
+        }
+    }
+
+    /// Hits + misses always equals the number of get() calls, and
+    /// amortized savings equals hits x cost when all entries share one
+    /// cost.
+    #[test]
+    fn stats_are_consistent(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let cache = RenderCache::new(64);
+        let cost = Duration::from_millis(7);
+        let mut gets = 0u64;
+        for op in ops {
+            match op {
+                Op::Put(k, v) => cache.put(&k.to_string(), vec![v], None, cost),
+                Op::Get(k) => {
+                    gets += 1;
+                    let _ = cache.get(&k.to_string());
+                }
+                Op::Invalidate(k) => cache.invalidate(&k.to_string()),
+                Op::Clear => cache.clear(),
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, gets);
+        prop_assert_eq!(cache.amortized_savings(), cost * stats.hits as u32);
+    }
+}

@@ -1,0 +1,25 @@
+//! # msite-device
+//!
+//! Mobile device models for the m.Site reproduction: profiles of the
+//! paper's evaluation devices, User-Agent detection heuristics, and the
+//! analytic page-load simulator that regenerates Table 1.
+//!
+//! ```
+//! use msite_device::{detect_device, DeviceClass, DeviceProfile};
+//!
+//! let bb = DeviceProfile::blackberry_tour();
+//! assert_eq!(detect_device(&bb.user_agent), DeviceClass::LegacyMobile);
+//! assert!(!bb.supports_ajax); // why m.Site restores AJAX through the proxy
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod simulate;
+
+pub use profile::{detect_device, DeviceClass, DeviceProfile};
+pub use simulate::{
+    simulate_page_load, simulate_snapshot_generation, simulate_snapshot_view, CostModel,
+    LoadBreakdown,
+};

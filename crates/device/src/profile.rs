@@ -1,0 +1,246 @@
+//! Device profiles and mobile client detection.
+//!
+//! Profiles model the evaluation devices of the paper (§4.2): the
+//! BlackBerry Tour 9630 (528 MHz), a 3rd-generation iPod Touch (600 MHz),
+//! the iPhone 4, a 1st-generation iPad (the AJAX evaluation device) and a
+//! 2012 desktop. `efficiency` folds browser-engine quality into the
+//! clock: the Tour's legacy engine does far less per cycle than mobile
+//! WebKit.
+
+use serde::{Deserialize, Serialize};
+
+/// A modeled client device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Display name.
+    pub name: String,
+    /// CPU clock in MHz.
+    pub cpu_mhz: f64,
+    /// Browser-engine efficiency multiplier (work per cycle relative to
+    /// 2012 mobile WebKit = 1.0).
+    pub efficiency: f64,
+    /// Usable browser viewport in px (the paper: the Tour shows 480×325).
+    pub viewport: (u32, u32),
+    /// Whether the browser supports XMLHttpRequest (the Tour's does not,
+    /// which is what m.Site's AJAX restoration is for).
+    pub supports_ajax: bool,
+    /// Representative User-Agent string.
+    pub user_agent: String,
+}
+
+impl DeviceProfile {
+    /// Effective compute rate in cycles/second.
+    pub fn effective_hz(&self) -> f64 {
+        self.cpu_mhz * 1e6 * self.efficiency
+    }
+
+    /// BlackBerry Tour 9630 — the paper's primary slow device.
+    pub fn blackberry_tour() -> DeviceProfile {
+        DeviceProfile {
+            name: "BlackBerry Tour".to_string(),
+            cpu_mhz: 528.0,
+            efficiency: 0.70,
+            viewport: (480, 325),
+            supports_ajax: false,
+            user_agent: "BlackBerry9630/5.0.0.419 Profile/MIDP-2.1 Configuration/CLDC-1.1"
+                .to_string(),
+        }
+    }
+
+    /// 3rd-generation iPod Touch (600 MHz, mobile Safari).
+    pub fn ipod_touch_3g() -> DeviceProfile {
+        DeviceProfile {
+            name: "iPod Touch 3G".to_string(),
+            cpu_mhz: 600.0,
+            efficiency: 1.2,
+            viewport: (320, 480),
+            supports_ajax: true,
+            user_agent: "Mozilla/5.0 (iPod; U; CPU iPhone OS 4_2_1 like Mac OS X) AppleWebKit/533.17.9 Mobile/8C148".to_string(),
+        }
+    }
+
+    /// iPhone 4 (Apple A4 at 800 MHz).
+    pub fn iphone_4() -> DeviceProfile {
+        DeviceProfile {
+            name: "iPhone 4".to_string(),
+            cpu_mhz: 800.0,
+            efficiency: 1.0,
+            viewport: (320, 480),
+            supports_ajax: true,
+            user_agent: "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X) AppleWebKit/532.9 Mobile/8A293".to_string(),
+        }
+    }
+
+    /// 1st-generation iPad — the AJAX-evaluation device (§4.5).
+    pub fn ipad_1() -> DeviceProfile {
+        DeviceProfile {
+            name: "iPad 1".to_string(),
+            cpu_mhz: 1000.0,
+            efficiency: 1.2,
+            viewport: (1024, 768),
+            supports_ajax: true,
+            user_agent: "Mozilla/5.0 (iPad; U; CPU OS 3_2 like Mac OS X) AppleWebKit/531.21.10 Mobile/7B334b".to_string(),
+        }
+    }
+
+    /// Motorola Droid (Android 2.x) — the paper's "Google Droid phones"
+    /// that keep native AJAX support.
+    pub fn android_droid() -> DeviceProfile {
+        DeviceProfile {
+            name: "Motorola Droid".to_string(),
+            cpu_mhz: 550.0,
+            efficiency: 1.0,
+            viewport: (320, 480),
+            supports_ajax: true,
+            user_agent: "Mozilla/5.0 (Linux; U; Android 2.2; Droid Build/FRG22D) AppleWebKit/533.1 Mobile Safari/533.1".to_string(),
+        }
+    }
+
+    /// A 2012 desktop (dual-core 2.4 GHz) running a modern browser.
+    pub fn desktop() -> DeviceProfile {
+        DeviceProfile {
+            name: "Desktop".to_string(),
+            cpu_mhz: 2_400.0,
+            efficiency: 1.2,
+            viewport: (1280, 900),
+            supports_ajax: true,
+            user_agent: "Mozilla/5.0 (Windows NT 6.0) AppleWebKit/536.5 Chrome/19.0 Safari/536.5"
+                .to_string(),
+        }
+    }
+
+    /// The paper's proxy testbed: commodity dual-core under Windows Vista
+    /// (used for server-side rendering cost, not for browsing).
+    pub fn server() -> DeviceProfile {
+        DeviceProfile {
+            name: "Proxy server".to_string(),
+            cpu_mhz: 2_400.0,
+            efficiency: 1.2,
+            viewport: (1024, 8192),
+            supports_ajax: true,
+            user_agent: "msite-proxy/0.1".to_string(),
+        }
+    }
+}
+
+/// Device classes distinguished by the detection heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Legacy smartphone browsers (BlackBerry, Windows Mobile, ...).
+    LegacyMobile,
+    /// Modern touch smartphone (iPhone, Android phone).
+    Smartphone,
+    /// Tablet (iPad, Android tablet).
+    Tablet,
+    /// Anything else.
+    Desktop,
+}
+
+impl DeviceClass {
+    /// True for any mobile class.
+    pub fn is_mobile(&self) -> bool {
+        !matches!(self, DeviceClass::Desktop)
+    }
+}
+
+/// Detects the device class from a User-Agent string using the
+/// substring-heuristic approach the paper references
+/// (detectmobilebrowsers.mobi): an ordered rule list, most specific
+/// first, kept up to date as new devices ship.
+///
+/// # Examples
+///
+/// ```
+/// use msite_device::{detect_device, DeviceClass};
+///
+/// assert_eq!(detect_device("BlackBerry9630/5.0.0.419"), DeviceClass::LegacyMobile);
+/// assert_eq!(detect_device("Mozilla/5.0 (iPad; U; CPU OS 3_2...)"), DeviceClass::Tablet);
+/// assert_eq!(detect_device("Mozilla/5.0 (Windows NT 6.0)"), DeviceClass::Desktop);
+/// ```
+pub fn detect_device(user_agent: &str) -> DeviceClass {
+    let ua = user_agent.to_ascii_lowercase();
+    // Tablets before phones: iPad UAs do not say "iphone" but Android
+    // tablets say "android" without "mobile".
+    const TABLET: &[&str] = &["ipad", "tablet", "kindle", "silk", "playbook"];
+    if TABLET.iter().any(|m| ua.contains(m)) {
+        return DeviceClass::Tablet;
+    }
+    if ua.contains("android") && !ua.contains("mobile") {
+        return DeviceClass::Tablet;
+    }
+    const LEGACY: &[&str] = &[
+        "blackberry", "windows ce", "windows phone", "midp", "symbian", "series60", "s60",
+        "netfront", "up.browser", "docomo", "palm", "avantgo",
+    ];
+    if LEGACY.iter().any(|m| ua.contains(m)) {
+        return DeviceClass::LegacyMobile;
+    }
+    const SMART: &[&str] = &[
+        "iphone", "ipod", "android", "opera mini", "opera mobi", "mobile safari", "webos",
+        "fennec", "iemobile", "mobile",
+    ];
+    if SMART.iter().any(|m| ua.contains(m)) {
+        return DeviceClass::Smartphone;
+    }
+    DeviceClass::Desktop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_power() {
+        let bb = DeviceProfile::blackberry_tour();
+        let ipod = DeviceProfile::ipod_touch_3g();
+        let iphone = DeviceProfile::iphone_4();
+        let desktop = DeviceProfile::desktop();
+        assert!(bb.effective_hz() < ipod.effective_hz());
+        assert!(ipod.effective_hz() < iphone.effective_hz());
+        assert!(iphone.effective_hz() < desktop.effective_hz());
+    }
+
+    #[test]
+    fn tour_matches_paper_facts() {
+        let bb = DeviceProfile::blackberry_tour();
+        assert_eq!(bb.cpu_mhz, 528.0); // "528 MHz processor"
+        assert_eq!(bb.viewport, (480, 325)); // "480x325 browser area"
+        assert!(!bb.supports_ajax);
+    }
+
+    #[test]
+    fn detection_of_paper_devices() {
+        for (profile, class) in [
+            (DeviceProfile::blackberry_tour(), DeviceClass::LegacyMobile),
+            (DeviceProfile::ipod_touch_3g(), DeviceClass::Smartphone),
+            (DeviceProfile::iphone_4(), DeviceClass::Smartphone),
+            (DeviceProfile::android_droid(), DeviceClass::Smartphone),
+            (DeviceProfile::ipad_1(), DeviceClass::Tablet),
+            (DeviceProfile::desktop(), DeviceClass::Desktop),
+        ] {
+            assert_eq!(detect_device(&profile.user_agent), class, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn detection_misc_agents() {
+        assert_eq!(
+            detect_device("Mozilla/5.0 (Linux; U; Android 2.3; Mobile) Safari"),
+            DeviceClass::Smartphone
+        );
+        assert_eq!(
+            detect_device("Mozilla/5.0 (Linux; Android 3.0; Xoom) Safari"),
+            DeviceClass::Tablet
+        );
+        assert_eq!(detect_device("Opera/9.80 (J2ME/MIDP; Opera Mini/5)"), DeviceClass::LegacyMobile);
+        assert_eq!(detect_device(""), DeviceClass::Desktop);
+        assert_eq!(detect_device("curl/7.81"), DeviceClass::Desktop);
+    }
+
+    #[test]
+    fn mobile_classes() {
+        assert!(DeviceClass::LegacyMobile.is_mobile());
+        assert!(DeviceClass::Tablet.is_mobile());
+        assert!(!DeviceClass::Desktop.is_mobile());
+    }
+}

@@ -1,0 +1,314 @@
+//! The analytic page-load simulator behind Table 1.
+//!
+//! Wall-clock load time is modeled as network time (from
+//! [`LinkModel::page_fetch_time`] over the measured [`PageManifest`])
+//! plus device processing time: parse, script, style, layout and paint
+//! work divided by the device's effective clock.
+//!
+//! The five work constants below were fitted once against the six
+//! observations in the paper's Table 1 (see EXPERIMENTS.md for the
+//! fit quality); the *inputs* — byte counts, node counts, image areas —
+//! are measured from the actual generated pages, not asserted.
+
+use crate::profile::DeviceProfile;
+use msite_net::LinkModel;
+use msite_sites::PageManifest;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Work-per-unit constants (cycles). Fitted to Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// HTML tokenizing/tree-building per byte.
+    pub parse_cycles_per_byte: f64,
+    /// JavaScript parse + execute per byte of script.
+    pub script_cycles_per_byte: f64,
+    /// Selector matching + cascade per byte of CSS.
+    pub style_cycles_per_byte: f64,
+    /// Layout per DOM element.
+    pub layout_cycles_per_node: f64,
+    /// Rasterization/compositing per pixel painted.
+    pub paint_cycles_per_pixel: f64,
+    /// Painted pixels attributed to each DOM element (text/background).
+    pub painted_pixels_per_node: f64,
+    /// PNG/JPEG encode or decode per pixel (server snapshot cost; also
+    /// used for client-side image decode of snapshot images).
+    pub encode_cycles_per_pixel: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            parse_cycles_per_byte: 500.0,
+            script_cycles_per_byte: 19_000.0,
+            style_cycles_per_byte: 8_000.0,
+            layout_cycles_per_node: 500_000.0,
+            paint_cycles_per_pixel: 600.0,
+            painted_pixels_per_node: 2_000.0,
+            encode_cycles_per_pixel: 600.0,
+        }
+    }
+}
+
+/// Per-phase breakdown of a simulated page load.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadBreakdown {
+    /// Network time in seconds.
+    pub network_s: f64,
+    /// HTML parse time in seconds.
+    pub parse_s: f64,
+    /// Script time in seconds.
+    pub script_s: f64,
+    /// Style resolution time in seconds.
+    pub style_s: f64,
+    /// Layout time in seconds.
+    pub layout_s: f64,
+    /// Paint + image decode time in seconds.
+    pub paint_s: f64,
+}
+
+impl LoadBreakdown {
+    /// Total wall-clock seconds.
+    pub fn total_s(&self) -> f64 {
+        self.network_s + self.parse_s + self.script_s + self.style_s + self.layout_s + self.paint_s
+    }
+
+    /// Total as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_secs_f64(self.total_s())
+    }
+
+    /// Device processing seconds (everything but network).
+    pub fn processing_s(&self) -> f64 {
+        self.total_s() - self.network_s
+    }
+}
+
+/// Simulates loading `manifest` on `device` over `link`.
+///
+/// # Examples
+///
+/// ```
+/// use msite_device::{simulate_page_load, CostModel, DeviceProfile};
+/// use msite_net::LinkModel;
+/// use msite_sites::{ForumConfig, ForumSite, PageManifest};
+///
+/// let site = ForumSite::new(ForumConfig::default());
+/// let manifest = PageManifest::fetch(&site, &format!("{}/index.php", site.base_url()));
+/// let load = simulate_page_load(
+///     &DeviceProfile::blackberry_tour(), &LinkModel::THREE_G, &manifest, &CostModel::default());
+/// assert!(load.total_s() > 10.0); // the paper's 20-second experience
+/// ```
+pub fn simulate_page_load(
+    device: &DeviceProfile,
+    link: &LinkModel,
+    manifest: &PageManifest,
+    cost: &CostModel,
+) -> LoadBreakdown {
+    let hz = device.effective_hz();
+    let network = link.page_fetch_time(manifest.html_bytes, &manifest.resource_sizes());
+    let painted_pixels =
+        manifest.image_pixels as f64 + manifest.dom_nodes as f64 * cost.painted_pixels_per_node;
+    LoadBreakdown {
+        network_s: network.as_secs_f64(),
+        parse_s: manifest.html_bytes as f64 * cost.parse_cycles_per_byte / hz,
+        script_s: manifest.script_bytes as f64 * cost.script_cycles_per_byte / hz,
+        style_s: manifest.css_bytes as f64 * cost.style_cycles_per_byte / hz,
+        layout_s: manifest.dom_nodes as f64 * cost.layout_cycles_per_node / hz,
+        paint_s: painted_pixels * cost.paint_cycles_per_pixel / hz,
+    }
+}
+
+/// Simulates the *server-side* generation of a pre-rendered snapshot:
+/// origin fetch over loopback, browser instantiation, a full render
+/// minus script execution (the server renders, it does not run the
+/// page's scripts), then encode + fidelity post-processing over the
+/// rendered pixels.
+pub fn simulate_snapshot_generation(
+    server: &DeviceProfile,
+    manifest: &PageManifest,
+    rendered_pixels: u64,
+    browser_startup: Duration,
+    cost: &CostModel,
+) -> Duration {
+    let hz = server.effective_hz();
+    let fetch = LinkModel::LOOPBACK
+        .page_fetch_time(manifest.html_bytes, &manifest.resource_sizes())
+        .as_secs_f64();
+    let painted_pixels =
+        manifest.image_pixels as f64 + manifest.dom_nodes as f64 * cost.painted_pixels_per_node;
+    let render = (manifest.html_bytes as f64 * cost.parse_cycles_per_byte
+        + manifest.css_bytes as f64 * cost.style_cycles_per_byte
+        + manifest.dom_nodes as f64 * cost.layout_cycles_per_node
+        + painted_pixels * cost.paint_cycles_per_pixel)
+        / hz;
+    // Encode once, post-process (scale + quantize) once.
+    let encode = rendered_pixels as f64 * 2.0 * cost.encode_cycles_per_pixel / hz;
+    Duration::from_secs_f64(fetch + browser_startup.as_secs_f64() + render + encode)
+}
+
+/// Simulates loading a pre-rendered snapshot *page* (tiny HTML + one
+/// image) on a device: network plus parse plus image decode.
+pub fn simulate_snapshot_view(
+    device: &DeviceProfile,
+    link: &LinkModel,
+    html_bytes: usize,
+    image_bytes: usize,
+    image_pixels: u64,
+    cost: &CostModel,
+) -> LoadBreakdown {
+    let hz = device.effective_hz();
+    let network = link.page_fetch_time(html_bytes, &[image_bytes]);
+    LoadBreakdown {
+        network_s: network.as_secs_f64(),
+        parse_s: html_bytes as f64 * cost.parse_cycles_per_byte / hz,
+        script_s: 0.0,
+        style_s: 0.0,
+        layout_s: 30.0 * cost.layout_cycles_per_node / hz,
+        paint_s: image_pixels as f64 * cost.paint_cycles_per_pixel / hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_sites::{ForumConfig, ForumSite};
+
+    fn forum_manifest() -> PageManifest {
+        let site = ForumSite::new(ForumConfig::default());
+        PageManifest::fetch(&site, &format!("{}/index.php", site.base_url()))
+    }
+
+    /// Accept a modeled value within `tol` (fractional) of the paper's.
+    fn close(modeled: f64, paper: f64, tol: f64) -> bool {
+        (modeled - paper).abs() <= paper * tol
+    }
+
+    #[test]
+    fn table1_blackberry_full_page() {
+        let load = simulate_page_load(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::THREE_G,
+            &forum_manifest(),
+            &CostModel::default(),
+        );
+        assert!(close(load.total_s(), 20.0, 0.30), "modeled {}", load.total_s());
+    }
+
+    #[test]
+    fn table1_iphone4_wifi() {
+        let load = simulate_page_load(
+            &DeviceProfile::iphone_4(),
+            &LinkModel::WIFI,
+            &forum_manifest(),
+            &CostModel::default(),
+        );
+        assert!(close(load.total_s(), 4.5, 0.30), "modeled {}", load.total_s());
+    }
+
+    #[test]
+    fn table1_iphone4_3g() {
+        let load = simulate_page_load(
+            &DeviceProfile::iphone_4(),
+            &LinkModel::THREE_G,
+            &forum_manifest(),
+            &CostModel::default(),
+        );
+        assert!(close(load.total_s(), 20.0, 0.35), "modeled {}", load.total_s());
+    }
+
+    #[test]
+    fn table1_desktop() {
+        let load = simulate_page_load(
+            &DeviceProfile::desktop(),
+            &LinkModel::LAN,
+            &forum_manifest(),
+            &CostModel::default(),
+        );
+        assert!(close(load.total_s(), 1.5, 0.35), "modeled {}", load.total_s());
+    }
+
+    #[test]
+    fn table1_snapshot_generation() {
+        let t = simulate_snapshot_generation(
+            &DeviceProfile::server(),
+            &forum_manifest(),
+            1024 * 2800,
+            Duration::from_millis(250),
+            &CostModel::default(),
+        );
+        assert!(close(t.as_secs_f64(), 2.0, 0.40), "modeled {}", t.as_secs_f64());
+    }
+
+    #[test]
+    fn table1_cached_snapshot_to_blackberry() {
+        // Snapshot page: ~3 KB HTML + a ~35 KB half-scale image.
+        let load = simulate_snapshot_view(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::THREE_G,
+            3_000,
+            35_000,
+            512 * 1400,
+            &CostModel::default(),
+        );
+        assert!(close(load.total_s(), 5.0, 0.35), "modeled {}", load.total_s());
+    }
+
+    #[test]
+    fn snapshot_view_faster_than_full_page_by_factor_4plus() {
+        // The §3.3 claim: pre-rendering cuts wall-clock ~5x on the Tour.
+        let full = simulate_page_load(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::THREE_G,
+            &forum_manifest(),
+            &CostModel::default(),
+        );
+        let snap = simulate_snapshot_view(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::THREE_G,
+            3_000,
+            35_000,
+            512 * 1400,
+            &CostModel::default(),
+        );
+        let speedup = full.total_s() / snap.total_s();
+        assert!(speedup >= 3.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let load = simulate_page_load(
+            &DeviceProfile::iphone_4(),
+            &LinkModel::WIFI,
+            &forum_manifest(),
+            &CostModel::default(),
+        );
+        let sum = load.network_s + load.parse_s + load.script_s + load.style_s + load.layout_s
+            + load.paint_s;
+        assert!((sum - load.total_s()).abs() < 1e-12);
+        assert!(load.processing_s() > 0.0);
+    }
+
+    #[test]
+    fn faster_device_loads_faster() {
+        let m = forum_manifest();
+        let cost = CostModel::default();
+        let bb = simulate_page_load(&DeviceProfile::blackberry_tour(), &LinkModel::WIFI, &m, &cost);
+        let ipod = simulate_page_load(&DeviceProfile::ipod_touch_3g(), &LinkModel::WIFI, &m, &cost);
+        let desk = simulate_page_load(&DeviceProfile::desktop(), &LinkModel::WIFI, &m, &cost);
+        assert!(bb.total_s() > ipod.total_s());
+        assert!(ipod.total_s() > desk.total_s());
+    }
+
+    #[test]
+    fn link_ordering_holds() {
+        let m = forum_manifest();
+        let cost = CostModel::default();
+        let d = DeviceProfile::iphone_4();
+        let three_g = simulate_page_load(&d, &LinkModel::THREE_G, &m, &cost);
+        let wifi = simulate_page_load(&d, &LinkModel::WIFI, &m, &cost);
+        let lan = simulate_page_load(&d, &LinkModel::LAN, &m, &cost);
+        assert!(three_g.network_s > wifi.network_s);
+        assert!(wifi.network_s > lan.network_s);
+    }
+}

@@ -1,0 +1,895 @@
+//! Arena-based document object model.
+//!
+//! Nodes live in a flat `Vec` owned by [`Document`]; relationships are
+//! expressed through [`NodeId`] indices. Detaching a node leaves it in the
+//! arena (cheap, no reference counting) but removes it from the tree, so it
+//! is no longer reachable from the root. The proxy pipeline copies, moves
+//! and deletes page objects heavily, which this representation makes cheap
+//! and borrow-checker friendly.
+
+use std::fmt;
+
+/// Handle to a node inside a [`Document`] arena.
+///
+/// A `NodeId` is only meaningful together with the document that created
+/// it. Using it with a different document yields unspecified (but memory
+/// safe) results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    #[inline]
+    pub(crate) fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Raw index of this node inside the document arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An element node: a lowercase tag name plus an ordered attribute list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+}
+
+impl Element {
+    /// Creates an element, lowercasing the tag name.
+    pub fn new(name: &str) -> Self {
+        Element {
+            name: name.to_ascii_lowercase(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Lowercase tag name, e.g. `"div"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the element (lowercased).
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_ascii_lowercase();
+    }
+
+    /// Value of the attribute `name` (case-insensitive), if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets (or replaces) an attribute. Attribute names are lowercased;
+    /// the first occurrence wins on duplicates.
+    pub fn set_attr(&mut self, name: &str, value: &str) {
+        let name = name.to_ascii_lowercase();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = value.to_string();
+        } else {
+            self.attrs.push((name, value.to_string()));
+        }
+    }
+
+    /// Removes an attribute, returning its previous value.
+    pub fn remove_attr(&mut self, name: &str) -> Option<String> {
+        let name = name.to_ascii_lowercase();
+        let pos = self.attrs.iter().position(|(k, _)| *k == name)?;
+        Some(self.attrs.remove(pos).1)
+    }
+
+    /// Ordered `(name, value)` attribute pairs.
+    pub fn attrs(&self) -> &[(String, String)] {
+        &self.attrs
+    }
+
+    /// True when the `class` attribute contains `class_name` as a
+    /// whitespace-separated token.
+    pub fn has_class(&self, class_name: &str) -> bool {
+        self.attr("class")
+            .map(|c| c.split_ascii_whitespace().any(|t| t == class_name))
+            .unwrap_or(false)
+    }
+
+    /// Appends a class token if absent.
+    pub fn add_class(&mut self, class_name: &str) {
+        if self.has_class(class_name) {
+            return;
+        }
+        let merged = match self.attr("class") {
+            Some(existing) if !existing.is_empty() => format!("{existing} {class_name}"),
+            _ => class_name.to_string(),
+        };
+        self.set_attr("class", &merged);
+    }
+
+    /// Removes a class token if present.
+    pub fn remove_class(&mut self, class_name: &str) {
+        if let Some(existing) = self.attr("class") {
+            let remaining: Vec<&str> = existing
+                .split_ascii_whitespace()
+                .filter(|t| *t != class_name)
+                .collect();
+            self.set_attr("class", &remaining.join(" "));
+        }
+    }
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeData {
+    /// The document root. Exactly one per document, always at index 0.
+    Document,
+    /// `<!DOCTYPE ...>`.
+    Doctype {
+        /// Root element name, typically `html`.
+        name: String,
+        /// PUBLIC identifier, empty when absent.
+        public_id: String,
+        /// SYSTEM identifier, empty when absent.
+        system_id: String,
+    },
+    /// An element with tag name and attributes.
+    Element(Element),
+    /// A text node (already entity-decoded).
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+}
+
+impl NodeData {
+    /// The element payload, when this node is an element.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            NodeData::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable element payload, when this node is an element.
+    pub fn as_element_mut(&mut self) -> Option<&mut Element> {
+        match self {
+            NodeData::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The text payload, when this node is a text node.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            NodeData::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A node in the arena: tree links plus payload.
+#[derive(Debug, Clone)]
+pub struct Node {
+    parent: Option<NodeId>,
+    prev_sibling: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    first_child: Option<NodeId>,
+    last_child: Option<NodeId>,
+    data: NodeData,
+}
+
+impl Node {
+    fn new(data: NodeData) -> Self {
+        Node {
+            parent: None,
+            prev_sibling: None,
+            next_sibling: None,
+            first_child: None,
+            last_child: None,
+            data,
+        }
+    }
+
+    /// The node payload.
+    pub fn data(&self) -> &NodeData {
+        &self.data
+    }
+
+    /// Parent node, `None` for the root or detached nodes.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Next sibling in document order.
+    pub fn next_sibling(&self) -> Option<NodeId> {
+        self.next_sibling
+    }
+
+    /// Previous sibling in document order.
+    pub fn prev_sibling(&self) -> Option<NodeId> {
+        self.prev_sibling
+    }
+
+    /// First child.
+    pub fn first_child(&self) -> Option<NodeId> {
+        self.first_child
+    }
+
+    /// Last child.
+    pub fn last_child(&self) -> Option<NodeId> {
+        self.last_child
+    }
+}
+
+/// An HTML document: an arena of [`Node`]s rooted at [`Document::root`].
+///
+/// # Examples
+///
+/// ```
+/// use msite_html::Document;
+///
+/// let mut doc = Document::new();
+/// let root = doc.root();
+/// let div = doc.create_element("div");
+/// doc.set_attr(div, "id", "box");
+/// let text = doc.create_text("hello");
+/// doc.append_child(div, text);
+/// doc.append_child(root, div);
+/// assert_eq!(doc.to_html(), "<div id=\"box\">hello</div>");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Creates an empty document containing only the root node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node::new(NodeData::Document)],
+        }
+    }
+
+    /// The root node id (always valid).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes ever allocated (including detached ones).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this document.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Payload of `id`.
+    #[inline]
+    pub fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()].data
+    }
+
+    /// Mutable payload of `id`.
+    #[inline]
+    pub fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()].data
+    }
+
+    fn alloc(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Node::new(data));
+        id
+    }
+
+    /// Creates a detached element node.
+    pub fn create_element(&mut self, name: &str) -> NodeId {
+        self.alloc(NodeData::Element(Element::new(name)))
+    }
+
+    /// Creates a detached element with attributes applied in order.
+    pub fn create_element_with_attrs(&mut self, name: &str, attrs: &[(&str, &str)]) -> NodeId {
+        let mut element = Element::new(name);
+        for (k, v) in attrs {
+            element.set_attr(k, v);
+        }
+        self.alloc(NodeData::Element(element))
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: &str) -> NodeId {
+        self.alloc(NodeData::Text(text.to_string()))
+    }
+
+    /// Creates a detached comment node.
+    pub fn create_comment(&mut self, text: &str) -> NodeId {
+        self.alloc(NodeData::Comment(text.to_string()))
+    }
+
+    /// Creates a detached doctype node.
+    pub fn create_doctype(&mut self, name: &str, public_id: &str, system_id: &str) -> NodeId {
+        self.alloc(NodeData::Doctype {
+            name: name.to_string(),
+            public_id: public_id.to_string(),
+            system_id: system_id.to_string(),
+        })
+    }
+
+    /// Appends `child` as the last child of `parent`, detaching it from any
+    /// previous location first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is the root, or if appending would create a cycle
+    /// (i.e. `parent` is a descendant of `child`).
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        assert_ne!(child, self.root(), "cannot reparent the document root");
+        assert!(
+            !self.is_ancestor_of(child, parent) && parent != child,
+            "appending {child} under {parent} would create a cycle"
+        );
+        self.detach(child);
+        let old_last = self.node(parent).last_child;
+        self.node_mut(child).parent = Some(parent);
+        self.node_mut(child).prev_sibling = old_last;
+        match old_last {
+            Some(last) => self.node_mut(last).next_sibling = Some(child),
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(parent).last_child = Some(child);
+    }
+
+    /// Inserts `new` immediately before `reference` under the same parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is detached or the root, or on cycles.
+    pub fn insert_before(&mut self, new: NodeId, reference: NodeId) {
+        let parent = self
+            .node(reference)
+            .parent
+            .expect("insert_before reference node must be attached");
+        assert!(
+            !self.is_ancestor_of(new, parent) && parent != new,
+            "inserting {new} before {reference} would create a cycle"
+        );
+        self.detach(new);
+        let prev = self.node(reference).prev_sibling;
+        self.node_mut(new).parent = Some(parent);
+        self.node_mut(new).prev_sibling = prev;
+        self.node_mut(new).next_sibling = Some(reference);
+        self.node_mut(reference).prev_sibling = Some(new);
+        match prev {
+            Some(p) => self.node_mut(p).next_sibling = Some(new),
+            None => self.node_mut(parent).first_child = Some(new),
+        }
+    }
+
+    /// Inserts `new` immediately after `reference` under the same parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is detached or the root, or on cycles.
+    pub fn insert_after(&mut self, new: NodeId, reference: NodeId) {
+        match self.node(reference).next_sibling {
+            Some(next) => self.insert_before(new, next),
+            None => {
+                let parent = self
+                    .node(reference)
+                    .parent
+                    .expect("insert_after reference node must be attached");
+                self.append_child(parent, new);
+            }
+        }
+    }
+
+    /// Prepends `child` as the first child of `parent`.
+    pub fn prepend_child(&mut self, parent: NodeId, child: NodeId) {
+        match self.node(parent).first_child {
+            Some(first) => self.insert_before(child, first),
+            None => self.append_child(parent, child),
+        }
+    }
+
+    /// Detaches `id` from its parent and siblings. The subtree below `id`
+    /// stays intact; the node remains allocated in the arena.
+    pub fn detach(&mut self, id: NodeId) {
+        let (parent, prev, next) = {
+            let n = self.node(id);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        if let Some(p) = prev {
+            self.node_mut(p).next_sibling = next;
+        }
+        if let Some(n) = next {
+            self.node_mut(n).prev_sibling = prev;
+        }
+        if let Some(par) = parent {
+            if self.node(par).first_child == Some(id) {
+                self.node_mut(par).first_child = next;
+            }
+            if self.node(par).last_child == Some(id) {
+                self.node_mut(par).last_child = prev;
+            }
+        }
+        let n = self.node_mut(id);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+    }
+
+    /// Replaces `old` with `new` in the tree. `old` is detached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is detached or the root.
+    pub fn replace(&mut self, old: NodeId, new: NodeId) {
+        self.insert_before(new, old);
+        self.detach(old);
+    }
+
+    /// True when `ancestor` is a strict ancestor of `node`.
+    pub fn is_ancestor_of(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = self.node(node).parent;
+        while let Some(id) = cur {
+            if id == ancestor {
+                return true;
+            }
+            cur = self.node(id).parent;
+        }
+        false
+    }
+
+    /// True when the node is attached (reachable from the root).
+    pub fn is_attached(&self, id: NodeId) -> bool {
+        id == self.root() || {
+            let mut cur = Some(id);
+            loop {
+                match cur {
+                    Some(n) if n == self.root() => break true,
+                    Some(n) => cur = self.node(n).parent,
+                    None => break false,
+                }
+            }
+        }
+    }
+
+    /// Iterator over the direct children of `id`.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.node(id).first_child,
+        }
+    }
+
+    /// Iterator over all descendants of `id` in document order
+    /// (excluding `id` itself).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            scope: id,
+            next: self.node(id).first_child,
+        }
+    }
+
+    /// Iterator over ancestors of `id`, nearest first (excluding `id`).
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            doc: self,
+            next: self.node(id).parent,
+        }
+    }
+
+    /// Tag name when `id` is an element.
+    pub fn tag_name(&self, id: NodeId) -> Option<&str> {
+        self.data(id).as_element().map(|e| e.name())
+    }
+
+    /// True when `id` is an element named `name` (case-insensitive).
+    pub fn is_element_named(&self, id: NodeId, name: &str) -> bool {
+        self.tag_name(id)
+            .map(|n| n.eq_ignore_ascii_case(name))
+            .unwrap_or(false)
+    }
+
+    /// Attribute `name` of element `id`.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.data(id).as_element().and_then(|e| e.attr(name))
+    }
+
+    /// Sets attribute `name` on element `id`. No-op on non-elements.
+    pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        if let Some(e) = self.data_mut(id).as_element_mut() {
+            e.set_attr(name, value);
+        }
+    }
+
+    /// Removes attribute `name` from element `id`, returning its value.
+    pub fn remove_attr(&mut self, id: NodeId, name: &str) -> Option<String> {
+        self.data_mut(id)
+            .as_element_mut()
+            .and_then(|e| e.remove_attr(name))
+    }
+
+    /// All descendant elements of `scope` with tag `name` (lowercase
+    /// comparison), in document order.
+    pub fn elements_by_tag(&self, scope: NodeId, name: &str) -> Vec<NodeId> {
+        let name = name.to_ascii_lowercase();
+        self.descendants(scope)
+            .filter(|&id| self.tag_name(id) == Some(name.as_str()))
+            .collect()
+    }
+
+    /// First descendant element with `id` attribute equal to `value`.
+    pub fn element_by_id(&self, value: &str) -> Option<NodeId> {
+        self.descendants(self.root())
+            .find(|&id| self.attr(id, "id") == Some(value))
+    }
+
+    /// Concatenated text of all text nodes under `id` (including `id` when
+    /// it is itself a text node), without any normalization.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        if let NodeData::Text(t) = self.data(id) {
+            out.push_str(t);
+        }
+        for d in self.descendants(id) {
+            if let NodeData::Text(t) = self.data(d) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Replaces the children of `id` with a single text node.
+    pub fn set_text_content(&mut self, id: NodeId, text: &str) {
+        let children: Vec<NodeId> = self.children(id).collect();
+        for c in children {
+            self.detach(c);
+        }
+        let t = self.create_text(text);
+        self.append_child(id, t);
+    }
+
+    /// Deep-copies the subtree rooted at `id`, returning the detached copy.
+    pub fn clone_subtree(&mut self, id: NodeId) -> NodeId {
+        let copy = self.alloc(self.nodes[id.index()].data.clone());
+        let children: Vec<NodeId> = self.children(id).collect();
+        for child in children {
+            let child_copy = self.clone_subtree(child);
+            self.append_child(copy, child_copy);
+        }
+        copy
+    }
+
+    /// Imports the subtree rooted at `src_id` from `src` into this
+    /// document, returning the detached imported root.
+    pub fn import_subtree(&mut self, src: &Document, src_id: NodeId) -> NodeId {
+        let copy = self.alloc(src.node(src_id).data.clone());
+        for child in src.children(src_id) {
+            let child_copy = self.import_subtree(src, child);
+            self.append_child(copy, child_copy);
+        }
+        copy
+    }
+
+    /// Number of attached element nodes in the whole document. Used by the
+    /// page-load cost model.
+    pub fn element_count(&self) -> usize {
+        self.descendants(self.root())
+            .filter(|&id| self.data(id).as_element().is_some())
+            .count()
+    }
+
+    /// 1-based position of `id` among its element siblings
+    /// (for `:nth-child`). Returns `None` for detached nodes.
+    pub fn element_sibling_index(&self, id: NodeId) -> Option<usize> {
+        let parent = self.node(id).parent?;
+        let mut index = 0;
+        for sibling in self.children(parent) {
+            if self.data(sibling).as_element().is_some() {
+                index += 1;
+            }
+            if sibling == id {
+                return Some(index);
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over direct children. See [`Document::children`].
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(id)
+    }
+}
+
+/// Iterator over all descendants in document order. See
+/// [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    scope: NodeId,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        // Pre-order traversal: descend, else advance, else climb.
+        let node = self.doc.node(id);
+        self.next = if let Some(child) = node.first_child {
+            Some(child)
+        } else {
+            let mut cur = id;
+            loop {
+                if cur == self.scope {
+                    break None;
+                }
+                let n = self.doc.node(cur);
+                if let Some(sib) = n.next_sibling {
+                    break Some(sib);
+                }
+                match n.parent {
+                    Some(p) => cur = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(id)
+    }
+}
+
+/// Iterator over ancestors, nearest first. See [`Document::ancestors`].
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let a = doc.create_element("div");
+        let b = doc.create_element("span");
+        doc.append_child(root, a);
+        doc.append_child(a, b);
+        (doc, root, a, b)
+    }
+
+    #[test]
+    fn append_builds_links() {
+        let (doc, root, a, b) = sample();
+        assert_eq!(doc.node(root).first_child(), Some(a));
+        assert_eq!(doc.node(root).last_child(), Some(a));
+        assert_eq!(doc.node(a).parent(), Some(root));
+        assert_eq!(doc.node(b).parent(), Some(a));
+    }
+
+    #[test]
+    fn detach_removes_from_tree() {
+        let (mut doc, root, a, b) = sample();
+        doc.detach(b);
+        assert_eq!(doc.node(a).first_child(), None);
+        assert_eq!(doc.node(b).parent(), None);
+        assert!(doc.is_attached(a));
+        assert!(!doc.is_attached(b));
+        assert!(doc.is_attached(root));
+    }
+
+    #[test]
+    fn insert_before_and_after_order() {
+        let (mut doc, root, a, _) = sample();
+        let x = doc.create_element("x");
+        let y = doc.create_element("y");
+        doc.insert_before(x, a);
+        doc.insert_after(y, a);
+        let kids: Vec<_> = doc
+            .children(root)
+            .map(|id| doc.tag_name(id).unwrap().to_string())
+            .collect();
+        assert_eq!(kids, ["x", "div", "y"]);
+    }
+
+    #[test]
+    fn prepend_child_goes_first() {
+        let (mut doc, _, a, _) = sample();
+        let x = doc.create_element("x");
+        doc.prepend_child(a, x);
+        assert_eq!(doc.node(a).first_child(), Some(x));
+    }
+
+    #[test]
+    fn replace_swaps_nodes() {
+        let (mut doc, root, a, _) = sample();
+        let x = doc.create_element("x");
+        doc.replace(a, x);
+        let kids: Vec<_> = doc.children(root).collect();
+        assert_eq!(kids, [x]);
+        assert!(!doc.is_attached(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn append_into_own_subtree_panics() {
+        let (mut doc, _, a, b) = sample();
+        doc.append_child(b, a);
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let a = doc.create_element("a");
+        let b = doc.create_element("b");
+        let c = doc.create_element("c");
+        let d = doc.create_element("d");
+        doc.append_child(root, a);
+        doc.append_child(a, b);
+        doc.append_child(a, c);
+        doc.append_child(root, d);
+        let names: Vec<_> = doc
+            .descendants(root)
+            .filter_map(|id| doc.tag_name(id).map(str::to_string))
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn descendants_scoped_to_subtree() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let a = doc.create_element("a");
+        let b = doc.create_element("b");
+        let d = doc.create_element("d");
+        doc.append_child(root, a);
+        doc.append_child(a, b);
+        doc.append_child(root, d);
+        let within_a: Vec<_> = doc.descendants(a).collect();
+        assert_eq!(within_a, [b]);
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let p = doc.create_element("p");
+        let t1 = doc.create_text("hello ");
+        let b = doc.create_element("b");
+        let t2 = doc.create_text("world");
+        doc.append_child(root, p);
+        doc.append_child(p, t1);
+        doc.append_child(p, b);
+        doc.append_child(b, t2);
+        assert_eq!(doc.text_content(p), "hello world");
+    }
+
+    #[test]
+    fn set_text_content_replaces_children() {
+        let (mut doc, _, a, b) = sample();
+        doc.set_text_content(a, "fresh");
+        assert_eq!(doc.text_content(a), "fresh");
+        assert!(!doc.is_attached(b));
+    }
+
+    #[test]
+    fn attrs_case_insensitive_and_ordered() {
+        let mut e = Element::new("DIV");
+        assert_eq!(e.name(), "div");
+        e.set_attr("ID", "x");
+        e.set_attr("class", "a b");
+        assert_eq!(e.attr("id"), Some("x"));
+        assert_eq!(e.attr("Id"), Some("x"));
+        e.set_attr("id", "y");
+        assert_eq!(e.attr("id"), Some("y"));
+        assert_eq!(e.attrs().len(), 2);
+        assert!(e.has_class("a"));
+        assert!(!e.has_class("ab"));
+    }
+
+    #[test]
+    fn class_add_remove() {
+        let mut e = Element::new("div");
+        e.add_class("one");
+        e.add_class("two");
+        e.add_class("one");
+        assert_eq!(e.attr("class"), Some("one two"));
+        e.remove_class("one");
+        assert_eq!(e.attr("class"), Some("two"));
+    }
+
+    #[test]
+    fn clone_subtree_is_deep_and_detached() {
+        let (mut doc, _, a, _) = sample();
+        doc.set_attr(a, "id", "orig");
+        let copy = doc.clone_subtree(a);
+        assert!(!doc.is_attached(copy));
+        assert_eq!(doc.attr(copy, "id"), Some("orig"));
+        let copy_children: Vec<_> = doc.children(copy).collect();
+        assert_eq!(copy_children.len(), 1);
+        // Mutating the copy leaves the original untouched.
+        doc.set_attr(copy, "id", "copy");
+        assert_eq!(doc.attr(a, "id"), Some("orig"));
+    }
+
+    #[test]
+    fn import_subtree_between_documents() {
+        let (src, _, a, _) = sample();
+        let mut dst = Document::new();
+        let imported = dst.import_subtree(&src, a);
+        let root = dst.root();
+        dst.append_child(root, imported);
+        assert_eq!(dst.elements_by_tag(root, "span").len(), 1);
+    }
+
+    #[test]
+    fn element_by_id_lookup() {
+        let (mut doc, _, _, b) = sample();
+        doc.set_attr(b, "id", "needle");
+        assert_eq!(doc.element_by_id("needle"), Some(b));
+        assert_eq!(doc.element_by_id("missing"), None);
+    }
+
+    #[test]
+    fn element_sibling_index_skips_text() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let t = doc.create_text("x");
+        let a = doc.create_element("a");
+        let b = doc.create_element("b");
+        doc.append_child(root, t);
+        doc.append_child(root, a);
+        doc.append_child(root, b);
+        assert_eq!(doc.element_sibling_index(a), Some(1));
+        assert_eq!(doc.element_sibling_index(b), Some(2));
+    }
+}

@@ -1,0 +1,249 @@
+//! HTML character reference (entity) encoding and decoding.
+//!
+//! Supports the named entities that appear in real-world forum markup plus
+//! decimal (`&#160;`) and hexadecimal (`&#xA0;`) numeric references.
+//! Unknown references are passed through verbatim, matching lenient
+//! browser behaviour.
+
+/// Named entities recognized by [`decode`], ordered for binary search.
+const NAMED: &[(&str, char)] = &[
+    ("AMP", '&'),
+    ("GT", '>'),
+    ("LT", '<'),
+    ("QUOT", '"'),
+    ("amp", '&'),
+    ("apos", '\''),
+    ("bull", '\u{2022}'),
+    ("cent", '\u{00A2}'),
+    ("copy", '\u{00A9}'),
+    ("dagger", '\u{2020}'),
+    ("deg", '\u{00B0}'),
+    ("divide", '\u{00F7}'),
+    ("eacute", '\u{00E9}'),
+    ("euro", '\u{20AC}'),
+    ("frac12", '\u{00BD}'),
+    ("frac14", '\u{00BC}'),
+    ("gt", '>'),
+    ("hellip", '\u{2026}'),
+    ("laquo", '\u{00AB}'),
+    ("ldquo", '\u{201C}'),
+    ("lsquo", '\u{2018}'),
+    ("lt", '<'),
+    ("mdash", '\u{2014}'),
+    ("middot", '\u{00B7}'),
+    ("nbsp", '\u{00A0}'),
+    ("ndash", '\u{2013}'),
+    ("plusmn", '\u{00B1}'),
+    ("pound", '\u{00A3}'),
+    ("quot", '"'),
+    ("raquo", '\u{00BB}'),
+    ("rdquo", '\u{201D}'),
+    ("reg", '\u{00AE}'),
+    ("rsquo", '\u{2019}'),
+    ("sect", '\u{00A7}'),
+    ("times", '\u{00D7}'),
+    ("trade", '\u{2122}'),
+    ("yen", '\u{00A5}'),
+];
+
+fn lookup_named(name: &str) -> Option<char> {
+    NAMED
+        .binary_search_by(|(k, _)| k.cmp(&name))
+        .ok()
+        .map(|i| NAMED[i].1)
+}
+
+/// Decodes character references in `input`.
+///
+/// Handles named, decimal and hexadecimal references, with or without the
+/// terminating semicolon for numeric forms. Invalid or unknown references
+/// are left untouched.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(msite_html::entities::decode("a &amp; b &#65;&#x42;"), "a & b AB");
+/// assert_eq!(msite_html::entities::decode("&bogus; stays"), "&bogus; stays");
+/// ```
+pub fn decode(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let bytes = input.as_bytes();
+    let mut out = String::with_capacity(input.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the full UTF-8 scalar starting here.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        match parse_reference(&input[i..]) {
+            Some((ch, consumed)) => {
+                out.push(ch);
+                i += consumed;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+/// Parses one reference at the start of `s` (which begins with `&`),
+/// returning the decoded char and the number of bytes consumed.
+fn parse_reference(s: &str) -> Option<(char, usize)> {
+    let rest = &s[1..];
+    if let Some(num) = rest.strip_prefix('#') {
+        let (digits, radix): (String, u32) = if let Some(hex) =
+            num.strip_prefix('x').or_else(|| num.strip_prefix('X'))
+        {
+            (hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect(), 16)
+        } else {
+            (num.chars().take_while(|c| c.is_ascii_digit()).collect(), 10)
+        };
+        if digits.is_empty() {
+            return None;
+        }
+        let code = u32::from_str_radix(&digits, radix).ok()?;
+        let ch = char::from_u32(code)?;
+        let mut consumed = 1 + 1 + digits.len(); // '&' '#' digits
+        if radix == 16 {
+            consumed += 1; // 'x'
+        }
+        if s.as_bytes().get(consumed) == Some(&b';') {
+            consumed += 1;
+        }
+        return Some((ch, consumed));
+    }
+    // Named reference: letters/digits up to ';'.
+    let name_len = rest
+        .bytes()
+        .take_while(|b| b.is_ascii_alphanumeric())
+        .count();
+    if name_len == 0 || rest.as_bytes().get(name_len) != Some(&b';') {
+        return None;
+    }
+    let ch = lookup_named(&rest[..name_len])?;
+    Some((ch, 1 + name_len + 1))
+}
+
+/// Escapes text content for safe inclusion between tags.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(msite_html::entities::encode_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn encode_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '\u{00A0}' => out.push_str("&nbsp;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value for inclusion inside double quotes.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(msite_html::entities::encode_attr("say \"hi\""), "say &quot;hi&quot;");
+/// ```
+pub fn encode_attr(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\u{00A0}' => out.push_str("&nbsp;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_table_is_sorted() {
+        for pair in NAMED.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{} >= {}", pair[0].0, pair[1].0);
+        }
+    }
+
+    #[test]
+    fn decodes_common_named() {
+        assert_eq!(decode("&lt;b&gt;&amp;&quot;&apos;"), "<b>&\"'");
+        assert_eq!(decode("&nbsp;"), "\u{00A0}");
+        assert_eq!(decode("&copy;&trade;&reg;"), "\u{00A9}\u{2122}\u{00AE}");
+    }
+
+    #[test]
+    fn decodes_numeric_forms() {
+        assert_eq!(decode("&#65;"), "A");
+        assert_eq!(decode("&#x41;"), "A");
+        assert_eq!(decode("&#X41;"), "A");
+        // Missing semicolon still decodes for numeric references.
+        assert_eq!(decode("&#65 next"), "A next");
+    }
+
+    #[test]
+    fn unknown_references_pass_through() {
+        assert_eq!(decode("&unknown;"), "&unknown;");
+        assert_eq!(decode("&; &"), "&; &");
+        assert_eq!(decode("a&b"), "a&b");
+        assert_eq!(decode("100% &up"), "100% &up");
+    }
+
+    #[test]
+    fn named_without_semicolon_not_decoded() {
+        assert_eq!(decode("Tom&amp Jerry"), "Tom&amp Jerry");
+    }
+
+    #[test]
+    fn invalid_codepoint_passes_through() {
+        assert_eq!(decode("&#x110000;"), "&#x110000;");
+        assert_eq!(decode("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let original = "5 < 6 & 7 > 2 \"quoted\"";
+        assert_eq!(decode(&encode_text(original)), original);
+    }
+
+    #[test]
+    fn round_trip_attr() {
+        let original = "a \"b\" <c> & d";
+        assert_eq!(decode(&encode_attr(original)), original);
+    }
+
+    #[test]
+    fn multibyte_input_copied_correctly() {
+        assert_eq!(decode("héllo &amp; wörld ❤"), "héllo & wörld ❤");
+    }
+}

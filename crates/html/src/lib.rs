@@ -1,0 +1,41 @@
+//! # msite-html
+//!
+//! HTML parsing substrate for the m.Site reproduction: a lenient
+//! tokenizer, an HTML5-subset tree builder, an arena [`Document`] model,
+//! HTML/XHTML serialization, and a Tidy-style normalizer.
+//!
+//! The m.Site paper's proxy manipulates pages both at the *source level*
+//! (string filters) and at the *DOM level* (after an HTML Tidy pass makes
+//! the markup parseable). This crate supplies the DOM half; it never
+//! fails on malformed input, because origin servers cannot be trusted to
+//! produce clean markup.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use msite_html::{parse_document, tidy};
+//!
+//! // Lenient parse of messy forum markup.
+//! let doc = parse_document("<ul><li>First post<li>Second post</ul>");
+//! assert_eq!(doc.elements_by_tag(doc.root(), "li").len(), 2);
+//!
+//! // Tidy to canonical XHTML for strict tooling.
+//! let xhtml = tidy::to_xhtml_string("<p>a<br>b");
+//! assert!(xhtml.contains("<br />"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod entities;
+pub mod parser;
+pub mod serialize;
+pub mod text;
+pub mod tidy;
+pub mod tokenizer;
+
+pub use dom::{Document, Element, Node, NodeData, NodeId};
+pub use parser::{is_void_element, parse_document, parse_fragment, parse_fragment_into};
+pub use serialize::Dialect;
+pub use tidy::{tidy, tidy_with_report, TidyReport};

@@ -1,0 +1,364 @@
+//! Lenient HTML tree construction.
+//!
+//! Turns the token stream from [`crate::tokenizer`] into a [`Document`].
+//! The algorithm is a pragmatic subset of the HTML5 tree builder: void
+//! elements never take children, common implied end tags (`<li>`, `<p>`,
+//! table parts, `<option>`, `<dt>`/`<dd>`) are honored, mismatched close
+//! tags are recovered from, and nothing ever fails. It does *not*
+//! synthesize missing `html`/`head`/`body` elements — that normalization
+//! is the job of [`mod@crate::tidy`].
+
+use crate::dom::{Document, NodeId};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Elements that never have children and take no close tag.
+pub const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "basefont", "br", "col", "embed", "hr", "img", "input", "link", "meta",
+    "param", "source", "track", "wbr",
+];
+
+/// True when `name` is a void element.
+pub fn is_void_element(name: &str) -> bool {
+    VOID_ELEMENTS.contains(&name)
+}
+
+/// Block-level elements whose start tag implies `</p>`.
+const CLOSES_P: &[&str] = &[
+    "address", "article", "aside", "blockquote", "center", "div", "dl", "fieldset", "footer",
+    "form", "h1", "h2", "h3", "h4", "h5", "h6", "header", "hr", "main", "nav", "ol", "p", "pre",
+    "section", "table", "ul",
+];
+
+/// For a start tag `name`, the set of open element names it auto-closes
+/// (popped while they sit on top of the stack).
+fn auto_close_set(name: &str) -> &'static [&'static str] {
+    match name {
+        "li" => &["li", "p"],
+        "dt" | "dd" => &["dt", "dd", "p"],
+        "tr" => &["tr", "td", "th", "p"],
+        "td" | "th" => &["td", "th", "p"],
+        "thead" | "tbody" | "tfoot" => &["td", "th", "tr", "thead", "tbody", "tfoot", "p"],
+        "option" => &["option"],
+        "optgroup" => &["option", "optgroup"],
+        "colgroup" => &["colgroup"],
+        "body" => &["head"],
+        _ => &[],
+    }
+}
+
+/// Parses a complete HTML document.
+///
+/// Never fails: any byte sequence yields a document.
+///
+/// # Examples
+///
+/// ```
+/// let doc = msite_html::parse_document("<ul><li>a<li>b</ul>");
+/// assert_eq!(doc.elements_by_tag(doc.root(), "li").len(), 2);
+/// ```
+pub fn parse_document(input: &str) -> Document {
+    let mut doc = Document::new();
+    let root = doc.root();
+    build(&mut doc, root, input);
+    doc
+}
+
+/// Parses `input` as a fragment and appends the resulting nodes as
+/// children of `parent` inside an existing document. Returns the ids of
+/// the top-level parsed nodes.
+pub fn parse_fragment_into(doc: &mut Document, parent: NodeId, input: &str) -> Vec<NodeId> {
+    let before: Vec<NodeId> = doc.children(parent).collect();
+    build(doc, parent, input);
+    doc.children(parent)
+        .filter(|id| !before.contains(id))
+        .collect()
+}
+
+/// Parses `input` as a standalone fragment document whose root children
+/// are the fragment's top-level nodes.
+pub fn parse_fragment(input: &str) -> Document {
+    parse_document(input)
+}
+
+fn build(doc: &mut Document, context: NodeId, input: &str) {
+    // Stack of open elements; `context` is the insertion root and is never
+    // popped.
+    let mut stack: Vec<NodeId> = vec![context];
+    let top_name = |doc: &Document, stack: &[NodeId]| -> Option<String> {
+        stack
+            .last()
+            .and_then(|&id| doc.tag_name(id).map(str::to_string))
+    };
+
+    for token in Tokenizer::new(input) {
+        match token {
+            Token::Doctype {
+                name,
+                public_id,
+                system_id,
+            } => {
+                let node = doc.create_doctype(&name, &public_id, &system_id);
+                let parent = *stack.last().expect("stack never empty");
+                doc.append_child(parent, node);
+            }
+            Token::Comment(text) => {
+                let node = doc.create_comment(&text);
+                let parent = *stack.last().expect("stack never empty");
+                doc.append_child(parent, node);
+            }
+            Token::Text(text) => {
+                let parent = *stack.last().expect("stack never empty");
+                // Merge with a preceding text node to keep trees canonical.
+                if let Some(last) = doc.node(parent).last_child() {
+                    if let crate::dom::NodeData::Text(existing) = doc.data_mut(last) {
+                        existing.push_str(&text);
+                        continue;
+                    }
+                }
+                let node = doc.create_text(&text);
+                doc.append_child(parent, node);
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                // Implied </p> for block-level openers.
+                if CLOSES_P.contains(&name.as_str()) {
+                    if let Some(top) = top_name(doc, &stack) {
+                        if top == "p" && stack.len() > 1 {
+                            stack.pop();
+                        }
+                    }
+                }
+                // Sibling auto-closing (li closes li, td closes td, ...).
+                let close_set = auto_close_set(&name);
+                if !close_set.is_empty() {
+                    while stack.len() > 1 {
+                        match top_name(doc, &stack) {
+                            Some(top) if close_set.contains(&top.as_str()) => {
+                                stack.pop();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                let element = doc.create_element(&name);
+                for (k, v) in &attrs {
+                    doc.set_attr(element, k, v);
+                }
+                let parent = *stack.last().expect("stack never empty");
+                doc.append_child(parent, element);
+                if !self_closing && !is_void_element(&name) {
+                    stack.push(element);
+                }
+            }
+            Token::EndTag { name } => {
+                if is_void_element(&name) {
+                    continue; // e.g. stray </br>
+                }
+                // Find a matching open element (not the context root).
+                let matching = stack
+                    .iter()
+                    .rposition(|&id| doc.tag_name(id) == Some(name.as_str()));
+                match matching {
+                    Some(pos) if pos > 0 => stack.truncate(pos),
+                    _ => {} // unmatched close tag: ignore
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags_under_root(doc: &Document) -> Vec<String> {
+        doc.descendants(doc.root())
+            .filter_map(|id| doc.tag_name(id).map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn nested_structure() {
+        let doc = parse_document("<div><span>x</span></div>");
+        assert_eq!(tags_under_root(&doc), ["div", "span"]);
+        let span = doc.elements_by_tag(doc.root(), "span")[0];
+        assert_eq!(doc.text_content(span), "x");
+    }
+
+    #[test]
+    fn implied_li_close() {
+        let doc = parse_document("<ul><li>a<li>b<li>c</ul>");
+        let ul = doc.elements_by_tag(doc.root(), "ul")[0];
+        let lis: Vec<NodeId> = doc
+            .children(ul)
+            .filter(|&id| doc.is_element_named(id, "li"))
+            .collect();
+        assert_eq!(lis.len(), 3);
+        assert_eq!(doc.text_content(lis[1]), "b");
+    }
+
+    #[test]
+    fn nested_lists_not_flattened() {
+        let doc = parse_document("<ul><li>a<ul><li>a1</ul><li>b</ul>");
+        let outer = doc.elements_by_tag(doc.root(), "ul")[0];
+        let direct_lis = doc
+            .children(outer)
+            .filter(|&id| doc.is_element_named(id, "li"))
+            .count();
+        assert_eq!(direct_lis, 2);
+        assert_eq!(doc.elements_by_tag(doc.root(), "li").len(), 3);
+    }
+
+    #[test]
+    fn implied_p_close() {
+        let doc = parse_document("<p>one<p>two");
+        let root = doc.root();
+        let ps: Vec<NodeId> = doc
+            .children(root)
+            .filter(|&id| doc.is_element_named(id, "p"))
+            .collect();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(doc.text_content(ps[0]), "one");
+        assert_eq!(doc.text_content(ps[1]), "two");
+    }
+
+    #[test]
+    fn div_closes_open_p() {
+        let doc = parse_document("<p>one<div>two</div>");
+        let root = doc.root();
+        let top: Vec<String> = doc
+            .children(root)
+            .filter_map(|id| doc.tag_name(id).map(str::to_string))
+            .collect();
+        assert_eq!(top, ["p", "div"]);
+    }
+
+    #[test]
+    fn table_cells_auto_close() {
+        let doc = parse_document("<table><tr><td>a<td>b<tr><td>c</table>");
+        assert_eq!(doc.elements_by_tag(doc.root(), "tr").len(), 2);
+        assert_eq!(doc.elements_by_tag(doc.root(), "td").len(), 3);
+        let trs = doc.elements_by_tag(doc.root(), "tr");
+        let first_row_cells = doc
+            .children(trs[0])
+            .filter(|&id| doc.is_element_named(id, "td"))
+            .count();
+        assert_eq!(first_row_cells, 2);
+    }
+
+    #[test]
+    fn tbody_closes_thead_rows() {
+        let doc = parse_document("<table><thead><tr><th>h<tbody><tr><td>x</table>");
+        assert_eq!(doc.elements_by_tag(doc.root(), "thead").len(), 1);
+        assert_eq!(doc.elements_by_tag(doc.root(), "tbody").len(), 1);
+        let tbody = doc.elements_by_tag(doc.root(), "tbody")[0];
+        assert_eq!(doc.elements_by_tag(tbody, "td").len(), 1);
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse_document("<br>text<img src=x>more");
+        let root = doc.root();
+        let br = doc.elements_by_tag(root, "br")[0];
+        assert_eq!(doc.children(br).count(), 0);
+        assert_eq!(doc.text_content(root), "textmore");
+    }
+
+    #[test]
+    fn stray_close_tags_ignored() {
+        let doc = parse_document("</div><p>ok</p></span>");
+        assert_eq!(tags_under_root(&doc), ["p"]);
+    }
+
+    #[test]
+    fn misnested_close_recovers() {
+        // `</b>` closes through the inner <i> like a browser would.
+        let doc = parse_document("<b><i>x</b>y");
+        let root = doc.root();
+        let b = doc.elements_by_tag(root, "b")[0];
+        assert_eq!(doc.text_content(b), "x");
+        // "y" lands outside <b>.
+        let texts: Vec<String> = doc
+            .children(root)
+            .filter_map(|id| doc.data(id).as_text().map(str::to_string))
+            .collect();
+        assert_eq!(texts, ["y"]);
+    }
+
+    #[test]
+    fn options_auto_close() {
+        let doc = parse_document("<select><option>a<option>b</select>");
+        assert_eq!(doc.elements_by_tag(doc.root(), "option").len(), 2);
+        let select = doc.elements_by_tag(doc.root(), "select")[0];
+        assert_eq!(doc.children(select).count(), 2);
+    }
+
+    #[test]
+    fn dt_dd_auto_close() {
+        let doc = parse_document("<dl><dt>t<dd>d<dt>t2</dl>");
+        let dl = doc.elements_by_tag(doc.root(), "dl")[0];
+        assert_eq!(doc.children(dl).count(), 3);
+    }
+
+    #[test]
+    fn script_content_preserved() {
+        let doc = parse_document("<script>var a = \"<div>\" && 1;</script>");
+        let script = doc.elements_by_tag(doc.root(), "script")[0];
+        assert_eq!(doc.text_content(script), "var a = \"<div>\" && 1;");
+    }
+
+    #[test]
+    fn doctype_preserved() {
+        let doc = parse_document("<!DOCTYPE html><html></html>");
+        let first = doc.children(doc.root()).next().unwrap();
+        assert!(matches!(
+            doc.data(first),
+            crate::dom::NodeData::Doctype { .. }
+        ));
+    }
+
+    #[test]
+    fn adjacent_text_merged() {
+        let doc = parse_document("a&amp;b");
+        let root = doc.root();
+        assert_eq!(doc.children(root).count(), 1);
+        assert_eq!(doc.text_content(root), "a&b");
+    }
+
+    #[test]
+    fn fragment_into_existing_document() {
+        let mut doc = parse_document("<div id=host></div>");
+        let host = doc.element_by_id("host").unwrap();
+        let added = parse_fragment_into(&mut doc, host, "<b>one</b><i>two</i>");
+        assert_eq!(added.len(), 2);
+        assert_eq!(doc.text_content(host), "onetwo");
+    }
+
+    #[test]
+    fn self_closing_nonvoid_is_empty_element() {
+        let doc = parse_document("<div/>after");
+        let root = doc.root();
+        let div = doc.elements_by_tag(root, "div")[0];
+        assert_eq!(doc.children(div).count(), 0);
+        assert_eq!(doc.text_content(root), "after");
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let mut input = String::new();
+        for _ in 0..5000 {
+            input.push_str("<div>");
+        }
+        let doc = parse_document(&input);
+        assert_eq!(doc.elements_by_tag(doc.root(), "div").len(), 5000);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_doc() {
+        let doc = parse_document("");
+        assert_eq!(doc.children(doc.root()).count(), 0);
+    }
+}

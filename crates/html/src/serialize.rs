@@ -1,0 +1,226 @@
+//! Serialization of a [`Document`] back to HTML or XHTML text.
+//!
+//! HTML output leaves void elements unclosed (`<br>`); XHTML output
+//! self-closes them (`<br />`) and is what the proxy's filter phase feeds
+//! to strict XML tooling after a tidy pass.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::entities;
+use crate::parser::is_void_element;
+use crate::tokenizer::RAW_TEXT_ELEMENTS;
+
+/// Output dialects understood by [`Document::serialize_node_as`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dialect {
+    /// Classic HTML: void elements unclosed, raw text verbatim.
+    #[default]
+    Html,
+    /// XHTML: void elements self-closed, raw-text element content wrapped
+    /// in nothing but still verbatim (scripts are assumed CDATA-safe).
+    Xhtml,
+}
+
+impl Document {
+    /// Serializes the whole document as HTML.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let doc = msite_html::parse_document("<P CLASS=a>x");
+    /// assert_eq!(doc.to_html(), "<p class=\"a\">x</p>");
+    /// ```
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        for child in self.children(self.root()) {
+            self.write_node(&mut out, child, Dialect::Html);
+        }
+        out
+    }
+
+    /// Serializes the whole document as XHTML.
+    pub fn to_xhtml(&self) -> String {
+        let mut out = String::new();
+        for child in self.children(self.root()) {
+            self.write_node(&mut out, child, Dialect::Xhtml);
+        }
+        out
+    }
+
+    /// Serializes the subtree rooted at `id` (outer HTML).
+    pub fn outer_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.write_node(&mut out, id, Dialect::Html);
+        out
+    }
+
+    /// Serializes the children of `id` (inner HTML).
+    pub fn inner_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for child in self.children(id) {
+            self.write_node(&mut out, child, Dialect::Html);
+        }
+        out
+    }
+
+    /// Serializes the subtree rooted at `id` in the given dialect.
+    pub fn serialize_node_as(&self, id: NodeId, dialect: Dialect) -> String {
+        let mut out = String::new();
+        self.write_node(&mut out, id, dialect);
+        out
+    }
+
+    fn write_node(&self, out: &mut String, id: NodeId, dialect: Dialect) {
+        match self.data(id) {
+            NodeData::Document => {
+                for child in self.children(id) {
+                    self.write_node(out, child, dialect);
+                }
+            }
+            NodeData::Doctype {
+                name,
+                public_id,
+                system_id,
+            } => {
+                out.push_str("<!DOCTYPE ");
+                out.push_str(name);
+                if !public_id.is_empty() {
+                    out.push_str(" PUBLIC \"");
+                    out.push_str(public_id);
+                    out.push('"');
+                    if !system_id.is_empty() {
+                        out.push_str(" \"");
+                        out.push_str(system_id);
+                        out.push('"');
+                    }
+                } else if !system_id.is_empty() {
+                    out.push_str(" SYSTEM \"");
+                    out.push_str(system_id);
+                    out.push('"');
+                }
+                out.push('>');
+            }
+            NodeData::Comment(text) => {
+                out.push_str("<!--");
+                out.push_str(text);
+                out.push_str("-->");
+            }
+            NodeData::Text(text) => {
+                let parent_raw = self
+                    .node(id)
+                    .parent()
+                    .and_then(|p| self.tag_name(p))
+                    .map(|name| RAW_TEXT_ELEMENTS.contains(&name))
+                    .unwrap_or(false);
+                if parent_raw {
+                    out.push_str(text);
+                } else {
+                    out.push_str(&entities::encode_text(text));
+                }
+            }
+            NodeData::Element(element) => {
+                out.push('<');
+                out.push_str(element.name());
+                for (k, v) in element.attrs() {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&entities::encode_attr(v));
+                    out.push('"');
+                }
+                if is_void_element(element.name()) {
+                    match dialect {
+                        Dialect::Html => out.push('>'),
+                        Dialect::Xhtml => out.push_str(" />"),
+                    }
+                    return;
+                }
+                out.push('>');
+                for child in self.children(id) {
+                    self.write_node(out, child, dialect);
+                }
+                out.push_str("</");
+                out.push_str(self.tag_name(id).expect("element has a name"));
+                out.push('>');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_document;
+
+    #[test]
+    fn round_trips_simple_document() {
+        let src = "<!DOCTYPE html><html><head><title>T</title></head><body><p>x</p></body></html>";
+        let doc = parse_document(src);
+        assert_eq!(doc.to_html(), src);
+    }
+
+    #[test]
+    fn attrs_quoted_and_escaped() {
+        let doc = parse_document("<a href='x.php?a=1&amp;b=\"2\"'>link</a>");
+        assert_eq!(
+            doc.to_html(),
+            "<a href=\"x.php?a=1&amp;b=&quot;2&quot;\">link</a>"
+        );
+    }
+
+    #[test]
+    fn text_escaped() {
+        let doc = parse_document("<p>5 &lt; 6 &amp; 7</p>");
+        assert_eq!(doc.to_html(), "<p>5 &lt; 6 &amp; 7</p>");
+    }
+
+    #[test]
+    fn void_elements_html_vs_xhtml() {
+        let doc = parse_document("<div><br><img src=\"x\"></div>");
+        assert_eq!(doc.to_html(), "<div><br><img src=\"x\"></div>");
+        assert_eq!(doc.to_xhtml(), "<div><br /><img src=\"x\" /></div>");
+    }
+
+    #[test]
+    fn script_content_not_escaped() {
+        let src = "<script>if (a < b && c > d) go(\"x\");</script>";
+        let doc = parse_document(src);
+        assert_eq!(doc.to_html(), src);
+    }
+
+    #[test]
+    fn outer_and_inner_html() {
+        let doc = parse_document("<div id=\"a\"><b>x</b>y</div>");
+        let div = doc.element_by_id("a").unwrap();
+        assert_eq!(doc.outer_html(div), "<div id=\"a\"><b>x</b>y</div>");
+        assert_eq!(doc.inner_html(div), "<b>x</b>y");
+    }
+
+    #[test]
+    fn doctype_variants() {
+        let public = "<!DOCTYPE html PUBLIC \"-//W3C//DTD XHTML 1.0 Strict//EN\" \"http://www.w3.org/TR/xhtml1/DTD/xhtml1-strict.dtd\">";
+        let doc = parse_document(public);
+        assert_eq!(doc.to_html(), public);
+        let simple = parse_document("<!DOCTYPE html>");
+        assert_eq!(simple.to_html(), "<!DOCTYPE html>");
+    }
+
+    #[test]
+    fn comment_round_trip() {
+        let src = "<!-- keep me --><p>x</p>";
+        let doc = parse_document(src);
+        assert_eq!(doc.to_html(), src);
+    }
+
+    #[test]
+    fn serialization_is_stable_under_reparse() {
+        let messy = "<ul><li>a<li>b<p>c<div>d<br><table><tr><td>1<td>2</table>";
+        let once = parse_document(messy).to_html();
+        let twice = parse_document(&once).to_html();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn nbsp_round_trips() {
+        let doc = parse_document("<td>&nbsp;</td>");
+        assert_eq!(doc.to_html(), "<td>&nbsp;</td>");
+    }
+}

@@ -1,0 +1,131 @@
+//! Visible-text extraction used by the search attribute and by the
+//! page-load cost model.
+
+use crate::dom::{Document, NodeData, NodeId};
+
+/// Elements whose text is never rendered.
+const INVISIBLE: &[&str] = &["script", "style", "head", "title", "noscript", "template"];
+
+/// Collapses runs of whitespace into single spaces and trims the ends.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(msite_html::text::normalize_ws("  a \n\t b  "), "a b");
+/// ```
+pub fn normalize_ws(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut in_space = true; // leading whitespace is dropped
+    for ch in input.chars() {
+        if ch.is_whitespace() {
+            if !in_space {
+                out.push(' ');
+                in_space = true;
+            }
+        } else {
+            out.push(ch);
+            in_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// The whitespace-normalized text a user would see when `scope` is
+/// rendered: skips `script`, `style`, `head` and other invisible subtrees.
+///
+/// # Examples
+///
+/// ```
+/// let doc = msite_html::parse_document(
+///     "<body><script>var x;</script><p>Hello   <b>world</b></p></body>");
+/// assert_eq!(msite_html::text::visible_text(&doc, doc.root()), "Hello world");
+/// ```
+pub fn visible_text(doc: &Document, scope: NodeId) -> String {
+    let mut raw = String::new();
+    collect(doc, scope, &mut raw);
+    normalize_ws(&raw)
+}
+
+fn collect(doc: &Document, id: NodeId, out: &mut String) {
+    match doc.data(id) {
+        NodeData::Text(t) => out.push_str(t),
+        NodeData::Element(e) if INVISIBLE.contains(&e.name()) => {}
+        _ => {
+            for child in doc.children(id) {
+                collect(doc, child, out);
+            }
+            // Block-ish elements imply a word break.
+            if doc
+                .tag_name(id)
+                .map(|n| matches!(n, "p" | "div" | "li" | "tr" | "td" | "th" | "br" | "h1"
+                    | "h2" | "h3" | "h4" | "h5" | "h6" | "table" | "ul" | "ol" | "form"))
+                .unwrap_or(false)
+            {
+                out.push(' ');
+            }
+        }
+    }
+}
+
+/// Lowercased word tokens of the visible text of `scope`, in document
+/// order, for building the search attribute's word index.
+pub fn visible_words(doc: &Document, scope: NodeId) -> Vec<String> {
+    visible_text(doc, scope)
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    #[test]
+    fn normalize_collapses_and_trims() {
+        assert_eq!(normalize_ws(""), "");
+        assert_eq!(normalize_ws("   "), "");
+        assert_eq!(normalize_ws("a  b\nc"), "a b c");
+    }
+
+    #[test]
+    fn scripts_and_styles_excluded() {
+        let doc = parse_document(
+            "<html><head><style>.x{}</style><title>T</title></head>\
+             <body><script>ignore()</script>shown</body></html>",
+        );
+        assert_eq!(visible_text(&doc, doc.root()), "shown");
+    }
+
+    #[test]
+    fn block_boundaries_produce_spaces() {
+        let doc = parse_document("<div>one</div><div>two</div>");
+        assert_eq!(visible_text(&doc, doc.root()), "one two");
+    }
+
+    #[test]
+    fn table_cells_separate_words() {
+        let doc = parse_document("<table><tr><td>a</td><td>b</td></tr></table>");
+        assert_eq!(visible_text(&doc, doc.root()), "a b");
+    }
+
+    #[test]
+    fn words_lowercased_and_tokenized() {
+        let doc = parse_document("<p>Wood-working Tips, 2012 Edition!</p>");
+        assert_eq!(
+            visible_words(&doc, doc.root()),
+            ["wood", "working", "tips", "2012", "edition"]
+        );
+    }
+
+    #[test]
+    fn scoped_extraction() {
+        let doc = parse_document("<div id=a>inside</div><div>outside</div>");
+        let a = doc.element_by_id("a").unwrap();
+        assert_eq!(visible_text(&doc, a), "inside");
+    }
+}

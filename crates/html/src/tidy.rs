@@ -1,0 +1,264 @@
+//! HTML Tidy equivalent: normalize arbitrary markup into well-formed
+//! XHTML with a canonical `html > head + body` structure.
+//!
+//! The m.Site proxy applies this at the filter phase so the rest of the
+//! pipeline (XPath, CSS selectors, DOM attributes) can assume a sane tree,
+//! mirroring the paper's use of Dave Raggett's HTML Tidy before the DOM
+//! parse.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::parser::parse_document;
+
+/// Elements that belong in `<head>`.
+const HEAD_ELEMENTS: &[&str] = &["title", "meta", "link", "base", "style"];
+
+/// What [`tidy_with_report`] had to fix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TidyReport {
+    /// An `<html>` element had to be synthesized.
+    pub created_html: bool,
+    /// A `<head>` element had to be synthesized.
+    pub created_head: bool,
+    /// A `<body>` element had to be synthesized.
+    pub created_body: bool,
+    /// Number of nodes relocated into `<head>` or `<body>`.
+    pub moved_nodes: usize,
+    /// A doctype was added because none was present.
+    pub added_doctype: bool,
+}
+
+impl TidyReport {
+    /// True when the input was already canonical.
+    pub fn is_clean(&self) -> bool {
+        *self == TidyReport::default()
+    }
+}
+
+/// Parses `input` leniently and normalizes it to a canonical structure.
+///
+/// Guarantees on the output document:
+/// - the root has exactly one doctype followed by one `<html>` element;
+/// - `<html>` has exactly two element children, `<head>` then `<body>`;
+/// - metadata elements sit in `<head>`, content in `<body>`.
+///
+/// # Examples
+///
+/// ```
+/// let (doc, report) = msite_html::tidy::tidy_with_report("<p>bare");
+/// assert!(report.created_html && report.created_body);
+/// assert!(doc.to_xhtml().contains("<body><p>bare</p></body>"));
+/// ```
+pub fn tidy_with_report(input: &str) -> (Document, TidyReport) {
+    let mut doc = parse_document(input);
+    let mut report = TidyReport::default();
+    let root = doc.root();
+
+    // Locate (or create) the singular html element.
+    let html = match doc
+        .children(root)
+        .find(|&id| doc.is_element_named(id, "html"))
+    {
+        Some(h) => h,
+        None => {
+            report.created_html = true;
+            doc.create_element("html")
+        }
+    };
+
+    // Move every root child except the doctype (and html itself) under html.
+    let doctype = doc
+        .children(root)
+        .find(|&id| matches!(doc.data(id), NodeData::Doctype { .. }));
+    let strays: Vec<NodeId> = doc
+        .children(root)
+        .filter(|&id| id != html && Some(id) != doctype)
+        .collect();
+    for node in strays {
+        if matches!(doc.data(node), NodeData::Doctype { .. }) {
+            // Secondary doctypes are dropped.
+            doc.detach(node);
+            continue;
+        }
+        report.moved_nodes += 1;
+        doc.append_child(html, node);
+    }
+
+    // Rebuild the root: doctype then html.
+    if doctype.is_none() {
+        report.added_doctype = true;
+        let dt = doc.create_doctype("html", "", "");
+        doc.prepend_child(root, dt);
+    }
+    if !doc.is_attached(html) {
+        doc.append_child(root, html);
+    }
+
+    // Locate or create head and body.
+    let head = match doc
+        .children(html)
+        .find(|&id| doc.is_element_named(id, "head"))
+    {
+        Some(h) => h,
+        None => {
+            report.created_head = true;
+            let h = doc.create_element("head");
+            doc.prepend_child(html, h);
+            h
+        }
+    };
+    let body = match doc
+        .children(html)
+        .find(|&id| doc.is_element_named(id, "body"))
+    {
+        Some(b) => b,
+        None => {
+            report.created_body = true;
+            let b = doc.create_element("body");
+            doc.append_child(html, b);
+            b
+        }
+    };
+
+    // Every direct child of html other than head/body gets sorted into the
+    // right bucket: metadata to head, content to body.
+    let to_sort: Vec<NodeId> = doc
+        .children(html)
+        .filter(|&id| id != head && id != body)
+        .collect();
+    for node in to_sort {
+        let is_meta = doc
+            .tag_name(node)
+            .map(|n| HEAD_ELEMENTS.contains(&n))
+            .unwrap_or(false);
+        let is_blank_text = doc
+            .data(node)
+            .as_text()
+            .map(|t| t.trim().is_empty())
+            .unwrap_or(false);
+        if is_blank_text {
+            doc.detach(node);
+            continue;
+        }
+        report.moved_nodes += 1;
+        if is_meta {
+            doc.append_child(head, node);
+        } else {
+            doc.append_child(body, node);
+        }
+    }
+    // Keep head before body.
+    let order: Vec<NodeId> = doc.children(html).collect();
+    if order.first() != Some(&head) {
+        doc.detach(head);
+        doc.prepend_child(html, head);
+    }
+
+    (doc, report)
+}
+
+/// Like [`tidy_with_report`] but discards the report.
+pub fn tidy(input: &str) -> Document {
+    tidy_with_report(input).0
+}
+
+/// Convenience: tidy `input` and serialize it as XHTML in one step.
+///
+/// # Examples
+///
+/// ```
+/// let xhtml = msite_html::tidy::to_xhtml_string("<p>a<br>b");
+/// assert!(xhtml.contains("<br />"));
+/// ```
+pub fn to_xhtml_string(input: &str) -> String {
+    tidy(input).to_xhtml()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_fragment_gets_full_structure() {
+        let (doc, report) = tidy_with_report("<p>hello</p>");
+        assert!(report.created_html);
+        assert!(report.created_head);
+        assert!(report.created_body);
+        assert!(report.added_doctype);
+        let html = doc.to_xhtml();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<html><head></head><body><p>hello</p></body></html>"));
+    }
+
+    #[test]
+    fn canonical_document_untouched() {
+        let src = "<!DOCTYPE html><html><head><title>T</title></head><body><p>x</p></body></html>";
+        let (doc, report) = tidy_with_report(src);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(doc.to_html(), src);
+    }
+
+    #[test]
+    fn metadata_moved_to_head() {
+        let (doc, _) = tidy_with_report(
+            "<html><title>T</title><meta charset=\"utf-8\"><div>content</div></html>",
+        );
+        let head = doc.elements_by_tag(doc.root(), "head")[0];
+        assert_eq!(doc.elements_by_tag(head, "title").len(), 1);
+        assert_eq!(doc.elements_by_tag(head, "meta").len(), 1);
+        let body = doc.elements_by_tag(doc.root(), "body")[0];
+        assert_eq!(doc.elements_by_tag(body, "div").len(), 1);
+    }
+
+    #[test]
+    fn content_before_html_moved_inside() {
+        let (doc, report) = tidy_with_report("stray text<html><body><p>x</p></body></html>");
+        assert!(report.moved_nodes >= 1);
+        let body = doc.elements_by_tag(doc.root(), "body")[0];
+        assert!(doc.text_content(body).contains("stray text"));
+    }
+
+    #[test]
+    fn duplicate_doctype_dropped() {
+        let (doc, _) = tidy_with_report("<!DOCTYPE html><!DOCTYPE html><html><body></body></html>");
+        let doctypes = doc
+            .children(doc.root())
+            .filter(|&id| matches!(doc.data(id), NodeData::Doctype { .. }))
+            .count();
+        assert_eq!(doctypes, 1);
+    }
+
+    #[test]
+    fn head_stays_before_body() {
+        let (doc, _) = tidy_with_report("<html><body><p>x</p></body><title>late</title></html>");
+        let html = doc.elements_by_tag(doc.root(), "html")[0];
+        let kids: Vec<String> = doc
+            .children(html)
+            .filter_map(|id| doc.tag_name(id).map(str::to_string))
+            .collect();
+        assert_eq!(kids, ["head", "body"]);
+    }
+
+    #[test]
+    fn output_is_well_formed_xhtml() {
+        // Every start tag in XHTML output must be matched or self-closed.
+        let xhtml = to_xhtml_string("<ul><li>a<li>b<br><table><tr><td>1<td>2</table>");
+        let reparsed = crate::parse_document(&xhtml);
+        assert_eq!(crate::parse_document(&reparsed.to_xhtml()).to_xhtml(), xhtml);
+        assert!(xhtml.contains("<br />"));
+    }
+
+    #[test]
+    fn vbulletin_like_page_normalizes() {
+        let messy = r#"<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN">
+<html><head><title>Forum</title>
+<script type="text/javascript">var x = 1 < 2;</script>
+<body>
+<table border=0><tr><td class=alt1>Welcome
+<td class=alt2><a href=member.php?u=1>admin</a></table>"#;
+        let (doc, _) = tidy_with_report(messy);
+        let body = doc.elements_by_tag(doc.root(), "body")[0];
+        assert_eq!(doc.elements_by_tag(body, "td").len(), 2);
+        let out = doc.to_xhtml();
+        assert!(out.contains("</body></html>"));
+    }
+}

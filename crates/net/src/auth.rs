@@ -1,0 +1,148 @@
+//! HTTP Basic authentication and the base64 codec it needs.
+//!
+//! The paper: "some areas of the site may be protected with HTTP
+//! authentication. If the proxy comes across a page that requires user
+//! input, the client is redirected to a lightweight HTTP authentication
+//! page. Once authenticated, the proxy stores this information and uses
+//! it on behalf of the client."
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with padding.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(msite_net::auth::base64_encode(b"Ma"), "TWE=");
+/// assert_eq!(msite_net::auth::base64_encode(b"Man"), "TWFu");
+/// ```
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required). Returns `None` on invalid
+/// input.
+pub fn base64_decode(input: &str) -> Option<Vec<u8>> {
+    let input = input.trim();
+    if !input.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(input.len() / 4 * 3);
+    let decode_char = |c: u8| -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    };
+    for chunk in input.as_bytes().chunks(4) {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        // Padding may only appear at the end.
+        if pad > 2 || (pad >= 1 && chunk[3] != b'=') || (pad == 2 && chunk[2] != b'=') {
+            return None;
+        }
+        let v0 = decode_char(chunk[0])?;
+        let v1 = decode_char(chunk[1])?;
+        let v2 = if pad == 2 { 0 } else { decode_char(chunk[2])? };
+        let v3 = if pad >= 1 { 0 } else { decode_char(chunk[3])? };
+        let triple = (v0 << 18) | (v1 << 12) | (v2 << 6) | v3;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Some(out)
+}
+
+/// Builds an `Authorization: Basic ...` header value.
+pub fn basic_auth_header(user: &str, password: &str) -> String {
+    format!("Basic {}", base64_encode(format!("{user}:{password}").as_bytes()))
+}
+
+/// Parses an `Authorization: Basic ...` header into `(user, password)`.
+pub fn parse_basic_auth(header: &str) -> Option<(String, String)> {
+    let encoded = header.strip_prefix("Basic ").or_else(|| header.strip_prefix("basic "))?;
+    let decoded = base64_decode(encoded)?;
+    let text = String::from_utf8(decoded).ok()?;
+    let (user, password) = text.split_once(':')?;
+    Some((user.to_string(), password.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        for data in [&b""[..], b"a", b"ab", b"abc", b"\x00\xFF\x80", b"longer input text!"] {
+            assert_eq!(base64_decode(&base64_encode(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(base64_decode("abc").is_none()); // bad length
+        assert!(base64_decode("ab!=").is_none()); // bad char
+        assert!(base64_decode("=abc").is_none()); // padding first
+        assert!(base64_decode("a===").is_none()); // too much padding
+    }
+
+    #[test]
+    fn basic_auth_round_trip() {
+        let header = basic_auth_header("aladdin", "open sesame");
+        assert_eq!(header, "Basic YWxhZGRpbjpvcGVuIHNlc2FtZQ==");
+        let (u, p) = parse_basic_auth(&header).unwrap();
+        assert_eq!(u, "aladdin");
+        assert_eq!(p, "open sesame");
+    }
+
+    #[test]
+    fn basic_auth_password_with_colon() {
+        let header = basic_auth_header("u", "a:b:c");
+        let (u, p) = parse_basic_auth(&header).unwrap();
+        assert_eq!(u, "u");
+        assert_eq!(p, "a:b:c");
+    }
+
+    #[test]
+    fn parse_rejects_non_basic() {
+        assert!(parse_basic_auth("Bearer xyz").is_none());
+        assert!(parse_basic_auth("Basic !!!").is_none());
+    }
+}

@@ -1,0 +1,345 @@
+//! Cookies and per-user cookie jars.
+//!
+//! The m.Site proxy "handles user session authentication, cookie jars,
+//! and high-level session administration, such as deletion of cookies":
+//! each mobile session owns a [`CookieJar`] that the proxy loads before
+//! fetching origin pages on the user's behalf.
+
+use crate::http::{Request, Response};
+use crate::url::Url;
+
+/// A single cookie with the attributes the proxy honors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Domain scope (empty = host-only, set from the response URL).
+    pub domain: String,
+    /// Path scope.
+    pub path: String,
+    /// Expiry in seconds since an arbitrary epoch; `None` = session cookie.
+    pub expires_at: Option<u64>,
+    /// HttpOnly flag (informational).
+    pub http_only: bool,
+}
+
+impl Cookie {
+    /// Creates a session cookie scoped to `/`.
+    pub fn new(name: &str, value: &str) -> Cookie {
+        Cookie {
+            name: name.to_string(),
+            value: value.to_string(),
+            domain: String::new(),
+            path: "/".to_string(),
+            expires_at: None,
+            http_only: false,
+        }
+    }
+
+    /// Parses a `Set-Cookie` header value.
+    ///
+    /// Returns `None` when no `name=value` part is present. `Max-Age` is
+    /// interpreted against `now` (seconds).
+    pub fn parse_set_cookie(header: &str, now: u64) -> Option<Cookie> {
+        let mut parts = header.split(';');
+        let (name, value) = parts.next()?.split_once('=')?;
+        let mut cookie = Cookie::new(name.trim(), value.trim());
+        for attr in parts {
+            let (k, v) = match attr.split_once('=') {
+                Some((k, v)) => (k.trim().to_ascii_lowercase(), v.trim()),
+                None => (attr.trim().to_ascii_lowercase(), ""),
+            };
+            match k.as_str() {
+                "domain" => cookie.domain = v.trim_start_matches('.').to_ascii_lowercase(),
+                "path" => cookie.path = if v.is_empty() { "/".into() } else { v.into() },
+                "max-age" => {
+                    if let Ok(secs) = v.parse::<i64>() {
+                        cookie.expires_at = Some(if secs <= 0 { 0 } else { now + secs as u64 });
+                    }
+                }
+                "httponly" => cookie.http_only = true,
+                _ => {}
+            }
+        }
+        Some(cookie)
+    }
+
+    /// Serializes as a `Set-Cookie` header value.
+    pub fn to_header_value(&self) -> String {
+        let mut out = format!("{}={}", self.name, self.value);
+        if !self.domain.is_empty() {
+            out.push_str("; Domain=");
+            out.push_str(&self.domain);
+        }
+        out.push_str("; Path=");
+        out.push_str(&self.path);
+        if self.http_only {
+            out.push_str("; HttpOnly");
+        }
+        out
+    }
+
+    /// True when this cookie should be sent to `url` at time `now`.
+    pub fn matches(&self, url: &Url, now: u64) -> bool {
+        if let Some(expiry) = self.expires_at {
+            if now >= expiry {
+                return false;
+            }
+        }
+        let domain_ok = if self.domain.is_empty() {
+            true // host-only cookies are stored per-jar, jar is per-site
+        } else {
+            url.host() == self.domain || url.host().ends_with(&format!(".{}", self.domain))
+        };
+        let path_ok = url.path().starts_with(&self.path)
+            || (self.path.ends_with('/') && url.path() == &self.path[..self.path.len() - 1]);
+        domain_ok && path_ok
+    }
+}
+
+/// Parses a request `Cookie:` header into `(name, value)` pairs.
+pub fn parse_cookie_header(header: &str) -> Vec<(String, String)> {
+    header
+        .split(';')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            Some((k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+/// A per-user cookie store.
+///
+/// # Examples
+///
+/// ```
+/// use msite_net::{Cookie, CookieJar, Url};
+///
+/// let mut jar = CookieJar::new();
+/// jar.store(Cookie::new("bbsessionhash", "abc123"), 0);
+/// let url = Url::parse("http://forum/private/index.php").unwrap();
+/// assert_eq!(jar.cookie_header(&url, 0), Some("bbsessionhash=abc123".to_string()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+}
+
+impl CookieJar {
+    /// Creates an empty jar.
+    pub fn new() -> CookieJar {
+        CookieJar::default()
+    }
+
+    /// Stores a cookie, replacing any with the same (name, domain, path).
+    /// A cookie whose expiry is in the past deletes the entry.
+    pub fn store(&mut self, cookie: Cookie, now: u64) {
+        self.cookies.retain(|c| {
+            !(c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
+        });
+        let expired = cookie.expires_at.map(|e| now >= e).unwrap_or(false);
+        if !expired {
+            self.cookies.push(cookie);
+        }
+    }
+
+    /// Ingests every `Set-Cookie` header of `response`.
+    pub fn store_from_response(&mut self, response: &Response, url: &Url, now: u64) {
+        for header in response.headers.get_all("set-cookie") {
+            if let Some(mut cookie) = Cookie::parse_set_cookie(header, now) {
+                if cookie.domain.is_empty() {
+                    cookie.domain = url.host().to_string();
+                }
+                self.store(cookie, now);
+            }
+        }
+    }
+
+    /// Builds the `Cookie:` header value for a request to `url`, or
+    /// `None` when no cookie matches.
+    pub fn cookie_header(&self, url: &Url, now: u64) -> Option<String> {
+        let matching: Vec<String> = self
+            .cookies
+            .iter()
+            .filter(|c| c.matches(url, now))
+            .map(|c| format!("{}={}", c.name, c.value))
+            .collect();
+        if matching.is_empty() {
+            None
+        } else {
+            Some(matching.join("; "))
+        }
+    }
+
+    /// Attaches matching cookies to `request`.
+    pub fn apply(&self, request: &mut Request, now: u64) {
+        if let Some(header) = self.cookie_header(&request.url, now) {
+            request.headers.set("cookie", &header);
+        }
+    }
+
+    /// Value of the cookie named `name`, if stored and unexpired.
+    pub fn get(&self, name: &str, now: u64) -> Option<&str> {
+        self.cookies
+            .iter()
+            .find(|c| c.name == name && c.expires_at.map(|e| now < e).unwrap_or(true))
+            .map(|c| c.value.as_str())
+    }
+
+    /// Removes every cookie (the paper's "deletion of cookies" admin op /
+    /// logout-button replacement).
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+
+    /// Number of stored cookies.
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True when the jar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Response;
+
+    #[test]
+    fn parse_set_cookie_attrs() {
+        let c = Cookie::parse_set_cookie(
+            "bbsessionhash=f00; Path=/forum; Domain=.example.com; Max-Age=3600; HttpOnly",
+            100,
+        )
+        .unwrap();
+        assert_eq!(c.name, "bbsessionhash");
+        assert_eq!(c.value, "f00");
+        assert_eq!(c.path, "/forum");
+        assert_eq!(c.domain, "example.com");
+        assert_eq!(c.expires_at, Some(3700));
+        assert!(c.http_only);
+    }
+
+    #[test]
+    fn parse_rejects_nameless() {
+        assert!(Cookie::parse_set_cookie("; Path=/", 0).is_none());
+    }
+
+    #[test]
+    fn header_value_round_trip() {
+        let c = Cookie::parse_set_cookie("a=1; Path=/x; HttpOnly", 0).unwrap();
+        let reparsed = Cookie::parse_set_cookie(&c.to_header_value(), 0).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn jar_replaces_same_cookie() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("s", "old"), 0);
+        jar.store(Cookie::new("s", "new"), 0);
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.get("s", 0), Some("new"));
+    }
+
+    #[test]
+    fn expired_cookie_deletes() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("s", "v"), 0);
+        let mut kill = Cookie::new("s", "");
+        kill.expires_at = Some(0);
+        jar.store(kill, 10);
+        assert!(jar.is_empty());
+    }
+
+    #[test]
+    fn expiry_honored_on_send() {
+        let mut jar = CookieJar::new();
+        let mut c = Cookie::new("s", "v");
+        c.expires_at = Some(100);
+        jar.store(c, 0);
+        let url = Url::parse("http://h/").unwrap();
+        assert!(jar.cookie_header(&url, 50).is_some());
+        assert!(jar.cookie_header(&url, 100).is_none());
+    }
+
+    #[test]
+    fn path_scoping() {
+        let mut jar = CookieJar::new();
+        let mut c = Cookie::new("p", "1");
+        c.path = "/private/".to_string();
+        jar.store(c, 0);
+        assert!(jar
+            .cookie_header(&Url::parse("http://h/private/x.php").unwrap(), 0)
+            .is_some());
+        assert!(jar
+            .cookie_header(&Url::parse("http://h/private").unwrap(), 0)
+            .is_some());
+        assert!(jar
+            .cookie_header(&Url::parse("http://h/public/x.php").unwrap(), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn domain_scoping() {
+        let mut jar = CookieJar::new();
+        let mut c = Cookie::new("d", "1");
+        c.domain = "example.com".to_string();
+        jar.store(c, 0);
+        assert!(jar
+            .cookie_header(&Url::parse("http://example.com/").unwrap(), 0)
+            .is_some());
+        assert!(jar
+            .cookie_header(&Url::parse("http://forum.example.com/").unwrap(), 0)
+            .is_some());
+        assert!(jar
+            .cookie_header(&Url::parse("http://evil.com/").unwrap(), 0)
+            .is_none());
+        assert!(jar
+            .cookie_header(&Url::parse("http://notexample.com/").unwrap(), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn store_from_response_sets_host() {
+        let mut jar = CookieJar::new();
+        let url = Url::parse("http://forum.host/login.php").unwrap();
+        let resp = Response::html("ok")
+            .with_cookie(&Cookie::new("bbuserid", "42"))
+            .with_cookie(&Cookie::new("bbpassword", "hash"));
+        jar.store_from_response(&resp, &url, 0);
+        assert_eq!(jar.len(), 2);
+        assert!(jar
+            .cookie_header(&Url::parse("http://forum.host/x").unwrap(), 0)
+            .unwrap()
+            .contains("bbuserid=42"));
+    }
+
+    #[test]
+    fn apply_sets_request_header() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("a", "1"), 0);
+        let mut req = Request::get("http://h/p").unwrap();
+        jar.apply(&mut req, 0);
+        assert_eq!(req.cookie("a"), Some("1".to_string()));
+    }
+
+    #[test]
+    fn clear_empties_jar() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("a", "1"), 0);
+        jar.clear();
+        assert!(jar.is_empty());
+    }
+
+    #[test]
+    fn cookie_header_parsing() {
+        let pairs = parse_cookie_header("a=1; b=2;c=3");
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[2], ("c".to_string(), "3".to_string()));
+    }
+}

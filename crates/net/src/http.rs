@@ -1,0 +1,432 @@
+//! HTTP message types: methods, statuses, headers, requests, responses.
+
+use crate::url::Url;
+use bytes::Bytes;
+use std::fmt;
+
+/// Request methods the proxy and origins understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// HEAD
+    Head,
+}
+
+impl Method {
+    /// Parses a method token (case-insensitive).
+    pub fn parse(s: &str) -> Option<Method> {
+        match s.to_ascii_uppercase().as_str() {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        })
+    }
+}
+
+/// Response status codes used in this system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200
+    pub const OK: Status = Status(200);
+    /// 302
+    pub const FOUND: Status = Status(302);
+    /// 304
+    pub const NOT_MODIFIED: Status = Status(304);
+    /// 400
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 401
+    pub const UNAUTHORIZED: Status = Status(401);
+    /// 403
+    pub const FORBIDDEN: Status = Status(403);
+    /// 404
+    pub const NOT_FOUND: Status = Status(404);
+    /// 500
+    pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    /// 502
+    pub const BAD_GATEWAY: Status = Status(502);
+    /// 503
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+    /// 504
+    pub const GATEWAY_TIMEOUT: Status = Status(504);
+
+    /// True for 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// True for 3xx.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            302 => "Found",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An ordered, case-insensitive header multimap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Appends a header (duplicates allowed, e.g. `Set-Cookie`).
+    pub fn append(&mut self, name: &str, value: &str) {
+        self.entries
+            .push((name.to_ascii_lowercase(), value.to_string()));
+    }
+
+    /// Sets a header, replacing all previous values.
+    pub fn set(&mut self, name: &str, value: &str) {
+        let name = name.to_ascii_lowercase();
+        self.entries.retain(|(k, _)| *k != name);
+        self.entries.push((name, value.to_string()));
+    }
+
+    /// First value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        let name = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .filter(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Removes all values of `name`.
+    pub fn remove(&mut self, name: &str) {
+        let name = name.to_ascii_lowercase();
+        self.entries.retain(|(k, _)| *k != name);
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Absolute target URL.
+    pub url: Url,
+    /// Headers.
+    pub headers: Headers,
+    /// Body (form data for POST).
+    pub body: Bytes,
+}
+
+impl Request {
+    /// Builds a GET request for `url`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the URL parse error.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let req = msite_net::Request::get("http://forum/index.php").unwrap();
+    /// assert_eq!(req.url.path(), "/index.php");
+    /// ```
+    pub fn get(url: &str) -> Result<Request, crate::url::ParseUrlError> {
+        Ok(Request {
+            method: Method::Get,
+            url: Url::parse(url)?,
+            headers: Headers::new(),
+            body: Bytes::new(),
+        })
+    }
+
+    /// Builds a POST request with a form-encoded body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the URL parse error.
+    pub fn post_form(
+        url: &str,
+        params: &[(&str, &str)],
+    ) -> Result<Request, crate::url::ParseUrlError> {
+        let mut headers = Headers::new();
+        headers.set("content-type", "application/x-www-form-urlencoded");
+        Ok(Request {
+            method: Method::Post,
+            url: Url::parse(url)?,
+            headers,
+            body: Bytes::from(crate::url::encode_query(params)),
+        })
+    }
+
+    /// Sets a header and returns the request (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// The `Cookie` header parsed into `(name, value)` pairs.
+    pub fn cookies(&self) -> Vec<(String, String)> {
+        self.headers
+            .get("cookie")
+            .map(crate::cookies::parse_cookie_header)
+            .unwrap_or_default()
+    }
+
+    /// Value of the cookie `name` sent with this request.
+    pub fn cookie(&self, name: &str) -> Option<String> {
+        self.cookies().into_iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Form parameters from the body (POST) or the query string (GET).
+    pub fn form_params(&self) -> Vec<(String, String)> {
+        match self.method {
+            Method::Post => {
+                crate::url::parse_query(&String::from_utf8_lossy(&self.body))
+            }
+            _ => self
+                .url
+                .query()
+                .map(crate::url::parse_query)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// First form/query parameter named `name`.
+    pub fn param(&self, name: &str) -> Option<String> {
+        // Query parameters are always visible, body parameters for POST.
+        if let Some(v) = self.url.query_param(name) {
+            return Some(v);
+        }
+        self.form_params()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// 200 response with an HTML body.
+    pub fn html(body: impl Into<String>) -> Response {
+        let mut headers = Headers::new();
+        headers.set("content-type", "text/html; charset=utf-8");
+        Response {
+            status: Status::OK,
+            headers,
+            body: Bytes::from(body.into()),
+        }
+    }
+
+    /// 200 response with arbitrary bytes and content type.
+    pub fn bytes(content_type: &str, body: impl Into<Bytes>) -> Response {
+        let mut headers = Headers::new();
+        headers.set("content-type", content_type);
+        Response {
+            status: Status::OK,
+            headers,
+            body: body.into(),
+        }
+    }
+
+    /// 302 redirect to `location`.
+    pub fn redirect(location: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("location", location);
+        Response {
+            status: Status::FOUND,
+            headers,
+            body: Bytes::new(),
+        }
+    }
+
+    /// An error response with a small HTML body.
+    pub fn error(status: Status, message: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("content-type", "text/html; charset=utf-8");
+        Response {
+            status,
+            headers,
+            body: Bytes::from(format!(
+                "<html><body><h1>{status}</h1><p>{message}</p></body></html>"
+            )),
+        }
+    }
+
+    /// Appends a `Set-Cookie` header and returns the response.
+    pub fn with_cookie(mut self, cookie: &crate::cookies::Cookie) -> Response {
+        self.headers.append("set-cookie", &cookie.to_header_value());
+        self
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Total transfer size: body plus a serialized-header estimate.
+    pub fn transfer_size(&self) -> usize {
+        let header_bytes: usize = self
+            .headers
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 4)
+            .sum();
+        self.body.len() + header_bytes + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_parse_and_display() {
+        assert_eq!(Method::parse("get"), Some(Method::Get));
+        assert_eq!(Method::parse("POST"), Some(Method::Post));
+        assert_eq!(Method::parse("BREW"), None);
+        assert_eq!(Method::Get.to_string(), "GET");
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(Status::OK.is_success());
+        assert!(Status::FOUND.is_redirect());
+        assert!(!Status::NOT_FOUND.is_success());
+        assert_eq!(Status::NOT_FOUND.to_string(), "404 Not Found");
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        h.set("content-type", "text/plain");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn headers_multi_value() {
+        let mut h = Headers::new();
+        h.append("set-cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        assert_eq!(h.get_all("set-cookie"), vec!["a=1", "b=2"]);
+        assert_eq!(h.get("set-cookie"), Some("a=1"));
+        h.remove("set-cookie");
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn get_request_builder() {
+        let r = Request::get("http://h/p?x=1").unwrap().with_header("user-agent", "BlackBerry9630");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.param("x"), Some("1".to_string()));
+        assert_eq!(r.headers.get("user-agent"), Some("BlackBerry9630"));
+    }
+
+    #[test]
+    fn post_form_encodes_body() {
+        let r = Request::post_form("http://h/login.php", &[("user", "al b"), ("pass", "x&y")]).unwrap();
+        assert_eq!(&r.body[..], b"user=al+b&pass=x%26y");
+        let params = r.form_params();
+        assert_eq!(params[1], ("pass".to_string(), "x&y".to_string()));
+        assert_eq!(r.param("pass"), Some("x&y".to_string()));
+    }
+
+    #[test]
+    fn request_cookies_parsed() {
+        let r = Request::get("http://h/")
+            .unwrap()
+            .with_header("cookie", "msite_session=abc; other=1");
+        assert_eq!(r.cookie("msite_session"), Some("abc".to_string()));
+        assert_eq!(r.cookie("missing"), None);
+    }
+
+    #[test]
+    fn response_constructors() {
+        let ok = Response::html("<p>x</p>");
+        assert!(ok.status.is_success());
+        assert_eq!(ok.body_text(), "<p>x</p>");
+        let redirect = Response::redirect("/login.php");
+        assert_eq!(redirect.headers.get("location"), Some("/login.php"));
+        let err = Response::error(Status::NOT_FOUND, "no such page");
+        assert!(err.body_text().contains("404"));
+    }
+
+    #[test]
+    fn transfer_size_includes_headers() {
+        let r = Response::html("x");
+        assert!(r.transfer_size() > 1);
+    }
+}

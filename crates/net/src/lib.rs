@@ -1,0 +1,43 @@
+//! # msite-net
+//!
+//! Networking substrate for the m.Site reproduction: HTTP message types,
+//! URLs, cookies and per-user cookie jars, HTTP Basic auth, the
+//! [`Origin`] abstraction for in-process origin servers, modeled access
+//! links (3G / WiFi / LAN) for the device-side simulation, a
+//! deterministic PRNG for workload generation, and a real threaded
+//! HTTP/1.1 server + client for live demos.
+//!
+//! ```
+//! use msite_net::{CookieJar, Cookie, LinkModel, Request, Url};
+//!
+//! // The proxy's view of a user: a cookie jar applied to origin fetches.
+//! let mut jar = CookieJar::new();
+//! jar.store(Cookie::new("bbsessionhash", "abc"), 0);
+//! let mut req = Request::get("http://forum.example/private/index.php").unwrap();
+//! jar.apply(&mut req, 0);
+//! assert!(req.headers.get("cookie").unwrap().contains("bbsessionhash"));
+//!
+//! // The device's view of the network: modeled fetch times.
+//! let t = LinkModel::THREE_G.page_fetch_time(224_477, &[10_000; 12]);
+//! assert!(t.as_secs_f64() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod cookies;
+pub mod http;
+pub mod link;
+pub mod origin;
+pub mod rng;
+pub mod server;
+pub mod url;
+
+pub use cookies::{Cookie, CookieJar};
+pub use http::{Headers, Method, Request, Response, Status};
+pub use link::{LinkModel, SimClock, Transport};
+pub use origin::{FlakyOrigin, HostRouter, Origin, OriginRef};
+pub use rng::Prng;
+pub use server::{http_get, http_request, HttpServer};
+pub use url::{ParseUrlError, Url};

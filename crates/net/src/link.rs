@@ -1,0 +1,227 @@
+//! Network link models for the device-side page-load simulation.
+//!
+//! Table 1 of the paper compares wall-clock load times over real 3G and
+//! WiFi radios; we model a link as bandwidth + round-trip latency +
+//! per-connection overhead, with a bounded number of concurrent
+//! connections (browsers of the era opened 2–6 per host). The simulated
+//! clock lives here too so the device crate and benches share it.
+
+use std::time::Duration;
+
+/// A modeled access link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Downstream bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Round-trip time per request.
+    pub rtt: Duration,
+    /// Extra per-connection setup cost (DNS+TCP+radio ramp), paid once per
+    /// concurrent connection slot.
+    pub connection_setup: Duration,
+    /// Concurrent connections the client uses against one host.
+    pub parallel_connections: u32,
+}
+
+impl LinkModel {
+    /// 2012-era 3G (HSPA) as experienced by a page load: ~250 kbit/s
+    /// *effective* goodput (TCP slow start + radio state promotions eat
+    /// most of the nominal rate), 400 ms RTT, a long radio ramp-up, and
+    /// only two useful concurrent connections.
+    pub const THREE_G: LinkModel = LinkModel {
+        bandwidth_bps: 250_000.0,
+        rtt: Duration::from_millis(400),
+        connection_setup: Duration::from_millis(1_500),
+        parallel_connections: 2,
+    };
+
+    /// Home WiFi behind cable: ~8 Mbit/s effective, modest RTT.
+    pub const WIFI: LinkModel = LinkModel {
+        bandwidth_bps: 8_000_000.0,
+        rtt: Duration::from_millis(40),
+        connection_setup: Duration::from_millis(60),
+        parallel_connections: 6,
+    };
+
+    /// Wired desktop LAN/broadband.
+    pub const LAN: LinkModel = LinkModel {
+        bandwidth_bps: 20_000_000.0,
+        rtt: Duration::from_millis(15),
+        connection_setup: Duration::from_millis(20),
+        parallel_connections: 6,
+    };
+
+    /// Proxy colocated with the origin: effectively free.
+    pub const LOOPBACK: LinkModel = LinkModel {
+        bandwidth_bps: 1_000_000_000.0,
+        rtt: Duration::from_micros(200),
+        connection_setup: Duration::from_micros(100),
+        parallel_connections: 16,
+    };
+
+    /// Time to transfer `bytes` once a connection is up.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Models fetching a page: one HTML resource followed by `resources`
+    /// subresource fetches of the given sizes, using
+    /// `parallel_connections` pipelines.
+    ///
+    /// Each fetch costs one RTT plus transfer time; bandwidth is shared,
+    /// so the total transfer time is serialized while RTTs on distinct
+    /// connections overlap.
+    pub fn page_fetch_time(&self, html_bytes: usize, resources: &[usize]) -> Duration {
+        // HTML first (blocking), then subresources in waves.
+        let mut total = self.connection_setup + self.rtt + self.transfer_time(html_bytes);
+        if resources.is_empty() {
+            return total;
+        }
+        let lanes = self.parallel_connections.max(1) as usize;
+        // RTTs overlap across lanes: each wave of `lanes` fetches costs one
+        // RTT; transfers share the pipe and therefore serialize.
+        let waves = resources.len().div_ceil(lanes) as u32;
+        total += self.rtt * waves;
+        let body_bytes: usize = resources.iter().sum();
+        total += self.transfer_time(body_bytes);
+        total
+    }
+}
+
+/// A simulated transport: an [`Origin`](crate::origin::Origin) reached
+/// across a modeled [`LinkModel`], advancing a [`SimClock`] by the time
+/// the transfer would take. This is how device-side simulations fetch
+/// through the same code path the proxy uses.
+pub struct Transport {
+    origin: crate::origin::OriginRef,
+    link: LinkModel,
+}
+
+impl Transport {
+    /// Creates a transport over `origin` across `link`.
+    pub fn new(origin: crate::origin::OriginRef, link: LinkModel) -> Transport {
+        Transport { origin, link }
+    }
+
+    /// The link model in use.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Performs the request, advancing `clock` by connection setup, one
+    /// round trip, the request upload and the response download.
+    pub fn fetch(&self, request: &crate::http::Request, clock: &mut SimClock) -> crate::http::Response {
+        let response = self.origin.handle(request);
+        clock.advance(self.link.connection_setup);
+        clock.advance(self.link.rtt);
+        clock.advance(self.link.transfer_time(request.body.len() + 256));
+        clock.advance(self.link.transfer_time(response.transfer_size()));
+        response
+    }
+}
+
+/// A simulated clock measured in microseconds. Purely logical — nothing
+/// sleeps; the device simulator adds durations to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SimClock {
+    micros: u64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Advances by `duration`.
+    pub fn advance(&mut self, duration: Duration) {
+        self.micros += duration.as_micros() as u64;
+    }
+
+    /// Elapsed simulated time.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.micros)
+    }
+
+    /// Elapsed simulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_linear_in_bytes() {
+        let link = LinkModel::THREE_G;
+        let t1 = link.transfer_time(31_250); // 250 kbit
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        let t2 = link.transfer_time(62_500);
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_fetch_faster_on_wifi_than_3g() {
+        let sizes: Vec<usize> = vec![8_000; 20];
+        let slow = LinkModel::THREE_G.page_fetch_time(60_000, &sizes);
+        let fast = LinkModel::WIFI.page_fetch_time(60_000, &sizes);
+        assert!(slow > fast * 3);
+    }
+
+    #[test]
+    fn fewer_requests_fewer_rtts() {
+        let one = LinkModel::THREE_G.page_fetch_time(50_000, &[50_000]);
+        let many = LinkModel::THREE_G.page_fetch_time(50_000, &vec![2_500; 40]);
+        // Same total bytes, but 40 requests pay more RTT waves.
+        assert!(many > one);
+    }
+
+    #[test]
+    fn loopback_negligible() {
+        let t = LinkModel::LOOPBACK.page_fetch_time(224_477, &[10_000; 12]);
+        assert!(t < Duration::from_millis(20), "{t:?}");
+    }
+
+    #[test]
+    fn transport_advances_clock_by_transfer() {
+        use crate::http::{Request, Response};
+        use std::sync::Arc;
+        let origin: crate::origin::OriginRef =
+            Arc::new(|_req: &Request| Response::bytes("text/plain", vec![0u8; 31_250]));
+        let transport = Transport::new(origin, LinkModel::THREE_G);
+        let mut clock = SimClock::new();
+        let response = transport.fetch(&Request::get("http://h/big").unwrap(), &mut clock);
+        assert!(response.status.is_success());
+        // 31,250 B body = 1 s on the 250 kbit/s link, plus setup + rtt.
+        assert!(clock.seconds() > 1.0 + 1.5 + 0.4 - 0.1, "{}", clock.seconds());
+        // A second fetch keeps accumulating.
+        let before = clock.seconds();
+        let _ = transport.fetch(&Request::get("http://h/big").unwrap(), &mut clock);
+        assert!(clock.seconds() > before + 1.0);
+    }
+
+    #[test]
+    fn transport_faster_on_faster_links() {
+        use crate::http::{Request, Response};
+        use std::sync::Arc;
+        let origin: crate::origin::OriginRef =
+            Arc::new(|_req: &Request| Response::bytes("text/plain", vec![0u8; 100_000]));
+        let mut slow_clock = SimClock::new();
+        let mut fast_clock = SimClock::new();
+        Transport::new(Arc::clone(&origin), LinkModel::THREE_G)
+            .fetch(&Request::get("http://h/").unwrap(), &mut slow_clock);
+        Transport::new(origin, LinkModel::LAN)
+            .fetch(&Request::get("http://h/").unwrap(), &mut fast_clock);
+        assert!(slow_clock.seconds() > fast_clock.seconds() * 5.0);
+    }
+
+    #[test]
+    fn sim_clock_accumulates() {
+        let mut clock = SimClock::new();
+        clock.advance(Duration::from_millis(1500));
+        clock.advance(Duration::from_micros(500));
+        assert_eq!(clock.elapsed(), Duration::from_micros(1_500_500));
+        assert!((clock.seconds() - 1.5005).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! The [`Origin`] abstraction: anything that can answer HTTP requests
+//! in-process.
+//!
+//! The m.Site proxy is "colocated on the web server", so origin fetches
+//! are function calls here, with the *network* cost modeled separately by
+//! [`crate::link`] for the device-side simulation. Synthetic sites, the
+//! proxy itself, and test fixtures all implement `Origin`, which lets
+//! them be stacked and also served over real TCP by
+//! [`crate::server::HttpServer`].
+
+use crate::http::{Request, Response, Status};
+use std::sync::Arc;
+
+/// A server that can answer requests. Implementations must be thread-safe:
+/// the proxy dispatches from a worker pool.
+pub trait Origin: Send + Sync {
+    /// Handles one request, always producing a response (origins model
+    /// errors as 5xx responses rather than panicking).
+    fn handle(&self, request: &Request) -> Response;
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "origin"
+    }
+}
+
+impl<F> Origin for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// Shared handle to an origin.
+pub type OriginRef = Arc<dyn Origin>;
+
+/// Routes requests by host name to different origins — the "multiple
+/// pages/sites behind one proxy" deployment.
+#[derive(Default)]
+pub struct HostRouter {
+    routes: Vec<(String, OriginRef)>,
+}
+
+impl HostRouter {
+    /// Creates an empty router.
+    pub fn new() -> HostRouter {
+        HostRouter::default()
+    }
+
+    /// Adds a host route (exact, case-insensitive match).
+    pub fn route(mut self, host: &str, origin: OriginRef) -> HostRouter {
+        self.routes.push((host.to_ascii_lowercase(), origin));
+        self
+    }
+}
+
+impl Origin for HostRouter {
+    fn handle(&self, request: &Request) -> Response {
+        let host = request.url.host();
+        match self.routes.iter().find(|(h, _)| h == host) {
+            Some((_, origin)) => origin.handle(request),
+            None => Response::error(Status::BAD_GATEWAY, &format!("unknown host {host}")),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "host-router"
+    }
+}
+
+/// Failure-injection wrapper: makes a fraction of requests fail, for
+/// testing the proxy's error handling. The decision is deterministic in
+/// the request path (hash-based), so tests are reproducible.
+pub struct FlakyOrigin {
+    inner: OriginRef,
+    /// Failure probability in [0, 1].
+    failure_rate: f64,
+    /// Status returned on injected failures.
+    failure_status: Status,
+}
+
+impl FlakyOrigin {
+    /// Wraps `inner`, failing `failure_rate` of requests with `status`.
+    pub fn new(inner: OriginRef, failure_rate: f64, status: Status) -> FlakyOrigin {
+        FlakyOrigin {
+            inner,
+            failure_rate: failure_rate.clamp(0.0, 1.0),
+            failure_status: status,
+        }
+    }
+}
+
+impl Origin for FlakyOrigin {
+    fn handle(&self, request: &Request) -> Response {
+        // FNV over the path+query gives a stable per-URL coin.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in request.url.path_and_query().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // SplitMix finalizer: FNV alone avalanches poorly into high bits
+        // on short inputs.
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let coin = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if coin < self.failure_rate {
+            Response::error(self.failure_status, "injected failure")
+        } else {
+            self.inner.handle(request)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "flaky"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(text: &'static str) -> OriginRef {
+        Arc::new(move |_req: &Request| Response::html(text))
+    }
+
+    #[test]
+    fn closures_are_origins() {
+        let origin = fixed("hello");
+        let resp = origin.handle(&Request::get("http://h/").unwrap());
+        assert_eq!(resp.body_text(), "hello");
+    }
+
+    #[test]
+    fn host_router_dispatches() {
+        let router = HostRouter::new()
+            .route("forum.example", fixed("forum"))
+            .route("ads.example", fixed("ads"));
+        let forum = router.handle(&Request::get("http://forum.example/").unwrap());
+        assert_eq!(forum.body_text(), "forum");
+        let ads = router.handle(&Request::get("http://ADS.example/x").unwrap());
+        assert_eq!(ads.body_text(), "ads");
+        let unknown = router.handle(&Request::get("http://other/").unwrap());
+        assert_eq!(unknown.status, Status::BAD_GATEWAY);
+    }
+
+    #[test]
+    fn flaky_origin_fails_deterministically() {
+        let flaky = FlakyOrigin::new(fixed("ok"), 0.5, Status::SERVICE_UNAVAILABLE);
+        let mut failures = 0;
+        let mut outcomes = Vec::new();
+        for i in 0..200 {
+            let req = Request::get(&format!("http://h/page{i}")).unwrap();
+            let resp = flaky.handle(&req);
+            if !resp.status.is_success() {
+                failures += 1;
+            }
+            outcomes.push(resp.status);
+        }
+        assert!((60..140).contains(&failures), "failures {failures}");
+        // Determinism: replaying yields identical outcomes.
+        for (i, &status) in outcomes.iter().enumerate() {
+            let req = Request::get(&format!("http://h/page{i}")).unwrap();
+            assert_eq!(flaky.handle(&req).status, status);
+        }
+    }
+
+    #[test]
+    fn flaky_zero_rate_never_fails() {
+        let flaky = FlakyOrigin::new(fixed("ok"), 0.0, Status::SERVICE_UNAVAILABLE);
+        for i in 0..50 {
+            let req = Request::get(&format!("http://h/p{i}")).unwrap();
+            assert!(flaky.handle(&req).status.is_success());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! A small deterministic PRNG (SplitMix64) shared by the synthetic sites,
+//! the load generators and the evaluation harness.
+//!
+//! Determinism matters here: the workloads must be reproducible from a
+//! seed so that experiment runs are comparable, which rules out
+//! OS-entropy generators for content generation.
+
+/// SplitMix64: tiny, fast, and statistically solid for simulation use.
+///
+/// # Examples
+///
+/// ```
+/// use msite_net::Prng;
+///
+/// let mut a = Prng::new(42);
+/// let mut b = Prng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Prng {
+        Prng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping (tiny bias acceptable for
+        // workload generation).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range inverted");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)` — the paper's U\[0,1\] draw for Figure 7.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Derives an independent generator for a labeled substream.
+    pub fn fork(&mut self, label: u64) -> Prng {
+        Prng::new(self.next_u64() ^ label.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Prng::new(7);
+        let seq: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        let mut b = Prng::new(7);
+        let seq2: Vec<u64> = (0..5).map(|_| b.next_u64()).collect();
+        assert_eq!(seq, seq2);
+        let mut c = Prng::new(8);
+        assert_ne!(seq[0], c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Prng::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut rng = Prng::new(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range(3, 6);
+            assert!((3..=6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn unit_f64_distribution_sane() {
+        let mut rng = Prng::new(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.unit_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut rng = Prng::new(4);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn pick_covers_all_items() {
+        let mut rng = Prng::new(5);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*rng.pick(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut root = Prng::new(9);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn below_zero_panics() {
+        Prng::new(0).below(0);
+    }
+}

@@ -1,0 +1,349 @@
+//! A real threaded HTTP/1.1 server and a matching tiny client, so any
+//! [`Origin`](crate::origin::Origin) (including the m.Site proxy itself) can be exercised over
+//! actual TCP from the examples.
+
+use crate::http::{Headers, Method, Request, Response, Status};
+use crate::origin::OriginRef;
+use crate::url::Url;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running HTTP server bound to a local port.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use msite_net::{http_get, HttpServer, Request, Response};
+///
+/// let origin = Arc::new(|_req: &Request| Response::html("<p>live</p>"));
+/// let server = HttpServer::bind("127.0.0.1:0", origin).unwrap();
+/// let url = format!("http://{}/", server.addr());
+/// let resp = http_get(&url).unwrap();
+/// assert_eq!(resp.body_text(), "<p>live</p>");
+/// server.shutdown();
+/// ```
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(addr: &str, origin: OriginRef) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let served2 = Arc::clone(&served);
+        let handle = std::thread::spawn(move || {
+            accept_loop(listener, origin, stop2, served2);
+        });
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            handle: Mutex::new(Some(handle)),
+            requests_served: served,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests handled so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Non-blocking accept loop notices within its poll interval; do
+        // not join in drop to keep destructors non-blocking (C-DTOR-BLOCK:
+        // call `shutdown` for a clean join).
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    origin: OriginRef,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let origin = Arc::clone(&origin);
+                let served = Arc::clone(&served);
+                workers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &origin, &served);
+                }));
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    origin: &OriginRef,
+    served: &AtomicU64,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let peer = stream.peer_addr()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = match read_request(&mut reader, peer) {
+        Ok(r) => r,
+        Err(_) => {
+            write_response(
+                &stream,
+                &Response::error(Status::BAD_REQUEST, "malformed request"),
+            )?;
+            return Ok(());
+        }
+    };
+    let response = origin.handle(&request);
+    // Count before writing: a client that has seen the full response must
+    // also see the incremented counter.
+    served.fetch_add(1, Ordering::Relaxed);
+    write_response(&stream, &response)
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, peer: SocketAddr) -> std::io::Result<Request> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| bad("bad method"))?;
+    let target = parts.next().ok_or_else(|| bad("missing target"))?;
+    let mut headers = Headers::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.append(name.trim(), value.trim());
+        }
+    }
+    let host = headers
+        .get("host")
+        .map(str::to_string)
+        .unwrap_or_else(|| peer.to_string());
+    let url = Url::parse(&format!("http://{host}{target}")).map_err(|_| bad("bad target"))?;
+    let body = match headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        Some(len) if len > 0 => {
+            let mut buf = vec![0u8; len.min(16 * 1024 * 1024)];
+            reader.read_exact(&mut buf)?;
+            Bytes::from(buf)
+        }
+        _ => Bytes::new(),
+    };
+    Ok(Request {
+        method,
+        url,
+        headers,
+        body,
+    })
+}
+
+fn write_response(mut stream: &TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {}\r\n", response.status);
+    for (name, value) in response.headers.iter() {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n", response.body.len()));
+    head.push_str("connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Performs a real HTTP GET over TCP (HTTP/1.1, `Connection: close`).
+///
+/// # Errors
+///
+/// Returns IO errors and malformed-response errors.
+pub fn http_get(url: &str) -> std::io::Result<Response> {
+    http_request(&Request::get(url).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+    })?)
+}
+
+/// Sends any [`Request`] over real TCP.
+///
+/// # Errors
+///
+/// Returns IO errors and malformed-response errors.
+pub fn http_request(request: &Request) -> std::io::Result<Response> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let addr = format!("{}:{}", request.url.host(), request.url.port());
+    let mut stream = TcpStream::connect(&addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut head = format!(
+        "{} {} HTTP/1.1\r\nhost: {}\r\n",
+        request.method,
+        request.url.path_and_query(),
+        request.url.host()
+    );
+    for (name, value) in request.headers.iter() {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !request.body.is_empty() {
+        head.push_str(&format!("content-length: {}\r\n", request.body.len()));
+    }
+    head.push_str("connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&request.body)?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status_code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Headers::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.append(name.trim(), value.trim());
+        }
+    }
+    let mut body = Vec::new();
+    match headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        Some(len) => {
+            body.resize(len, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(Response {
+        status: Status(status_code),
+        headers,
+        body: Bytes::from(body),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_origin() -> OriginRef {
+        Arc::new(|req: &Request| {
+            Response::html(format!(
+                "method={} path={} q={} cookie={} body={}",
+                req.method,
+                req.url.path(),
+                req.url.query().unwrap_or(""),
+                req.headers.get("cookie").unwrap_or(""),
+                String::from_utf8_lossy(&req.body),
+            ))
+        })
+    }
+
+    #[test]
+    fn get_round_trip() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_origin()).unwrap();
+        let resp = http_get(&format!("http://{}/forum/index.php?styleid=5", server.addr())).unwrap();
+        assert!(resp.status.is_success());
+        let text = resp.body_text();
+        assert!(text.contains("method=GET"));
+        assert!(text.contains("path=/forum/index.php"));
+        assert!(text.contains("q=styleid=5"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_body_and_headers_forwarded() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_origin()).unwrap();
+        let req = Request::post_form(
+            &format!("http://{}/login.php", server.addr()),
+            &[("user", "alice"), ("pass", "secret")],
+        )
+        .unwrap()
+        .with_header("cookie", "msid=42");
+        let resp = http_request(&req).unwrap();
+        let text = resp.body_text();
+        assert!(text.contains("method=POST"));
+        assert!(text.contains("body=user=alice&pass=secret"));
+        assert!(text.contains("cookie=msid=42"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_served() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_origin()).unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    http_get(&format!("http://{addr}/p{i}")).unwrap().status
+                })
+            })
+            .collect();
+        for t in threads {
+            assert!(t.join().unwrap().is_success());
+        }
+        assert!(server.requests_served() >= 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_statuses_pass_through() {
+        let origin: OriginRef =
+            Arc::new(|_req: &Request| Response::error(Status::NOT_FOUND, "nope"));
+        let server = HttpServer::bind("127.0.0.1:0", origin).unwrap();
+        let resp = http_get(&format!("http://{}/missing", server.addr())).unwrap();
+        assert_eq!(resp.status, Status::NOT_FOUND);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,422 @@
+//! URL parsing, resolution and percent/query encoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error for malformed URLs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUrlError {
+    message: String,
+}
+
+impl ParseUrlError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseUrlError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseUrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid url: {}", self.message)
+    }
+}
+
+impl Error for ParseUrlError {}
+
+/// A parsed `http`/`https` URL.
+///
+/// # Examples
+///
+/// ```
+/// use msite_net::Url;
+///
+/// let url = Url::parse("http://forum.example:8080/index.php?styleid=5#top").unwrap();
+/// assert_eq!(url.host(), "forum.example");
+/// assert_eq!(url.port(), 8080);
+/// assert_eq!(url.path(), "/index.php");
+/// assert_eq!(url.query(), Some("styleid=5"));
+/// assert_eq!(url.query_param("styleid"), Some("5".to_string()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    scheme: String,
+    host: String,
+    port: u16,
+    path: String,
+    query: Option<String>,
+    fragment: Option<String>,
+}
+
+impl Url {
+    /// Parses an absolute URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUrlError`] when the scheme is missing/unsupported or
+    /// the host is empty.
+    pub fn parse(input: &str) -> Result<Url, ParseUrlError> {
+        let input = input.trim();
+        let (scheme, rest) = input
+            .split_once("://")
+            .ok_or_else(|| ParseUrlError::new("missing scheme"))?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return Err(ParseUrlError::new(format!("unsupported scheme `{scheme}`")));
+        }
+        let (authority, path_etc) = match rest.find('/') {
+            Some(slash) => (&rest[..slash], &rest[slash..]),
+            None => (rest, "/"),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => (
+                h,
+                p.parse::<u16>()
+                    .map_err(|_| ParseUrlError::new(format!("bad port `{p}`")))?,
+            ),
+            None => (
+                authority,
+                if scheme == "https" { 443 } else { 80 },
+            ),
+        };
+        if host.is_empty() {
+            return Err(ParseUrlError::new("empty host"));
+        }
+        let (without_fragment, fragment) = match path_etc.split_once('#') {
+            Some((p, f)) => (p, Some(f.to_string())),
+            None => (path_etc, None),
+        };
+        let (path, query) = match without_fragment.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (without_fragment.to_string(), None),
+        };
+        Ok(Url {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            port,
+            path,
+            query,
+            fragment,
+        })
+    }
+
+    /// Scheme, `http` or `https`.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Lowercased host.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Port (defaulted from the scheme when absent).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Path, always starting with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Raw query string without the `?`, if any.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Fragment without the `#`, if any.
+    pub fn fragment(&self) -> Option<&str> {
+        self.fragment.as_deref()
+    }
+
+    /// Path plus query string, the request-target form.
+    pub fn path_and_query(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+
+    /// Decoded value of the query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        parse_query(self.query.as_deref()?)
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Resolves a (possibly relative) reference against this URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUrlError`] when the reference is absolute and
+    /// malformed.
+    pub fn join(&self, reference: &str) -> Result<Url, ParseUrlError> {
+        if reference.contains("://") {
+            return Url::parse(reference);
+        }
+        let mut out = self.clone();
+        out.fragment = None;
+        if let Some(rest) = reference.strip_prefix("//") {
+            return Url::parse(&format!("{}://{}", self.scheme, rest));
+        }
+        if reference.starts_with('/') {
+            let (without_fragment, fragment) = split_fragment(reference);
+            let (path, query) = split_query(without_fragment);
+            out.path = path.to_string();
+            out.query = query.map(str::to_string);
+            out.fragment = fragment.map(str::to_string);
+            return Ok(out);
+        }
+        if reference.starts_with('?') {
+            let (without_fragment, fragment) = split_fragment(reference);
+            out.query = Some(without_fragment[1..].to_string());
+            out.fragment = fragment.map(str::to_string);
+            return Ok(out);
+        }
+        // Relative path: resolve against the parent directory.
+        let (without_fragment, fragment) = split_fragment(reference);
+        let (rel_path, query) = split_query(without_fragment);
+        let base_dir = match self.path.rfind('/') {
+            Some(pos) => &self.path[..=pos],
+            None => "/",
+        };
+        let combined = format!("{base_dir}{rel_path}");
+        let mut segments: Vec<&str> = Vec::new();
+        for seg in combined.split('/') {
+            match seg {
+                "" | "." => {}
+                ".." => {
+                    segments.pop();
+                }
+                s => segments.push(s),
+            }
+        }
+        // Preserve a trailing slash when the reference has one.
+        let trailing = rel_path.ends_with('/') || rel_path.is_empty();
+        let mut path = String::from("/");
+        path.push_str(&segments.join("/"));
+        if trailing && !path.ends_with('/') {
+            path.push('/');
+        }
+        out.path = path;
+        out.query = query.map(str::to_string);
+        out.fragment = fragment.map(str::to_string);
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        let default_port = if self.scheme == "https" { 443 } else { 80 };
+        if self.port != default_port {
+            write!(f, ":{}", self.port)?;
+        }
+        write!(f, "{}", self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        if let Some(frag) = &self.fragment {
+            write!(f, "#{frag}")?;
+        }
+        Ok(())
+    }
+}
+
+fn split_fragment(s: &str) -> (&str, Option<&str>) {
+    match s.split_once('#') {
+        Some((a, b)) => (a, Some(b)),
+        None => (s, None),
+    }
+}
+
+fn split_query(s: &str) -> (&str, Option<&str>) {
+    match s.split_once('?') {
+        Some((a, b)) => (a, Some(b)),
+        None => (s, None),
+    }
+}
+
+/// Percent-decodes a string (`%41` → `A`, `+` → space).
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a string for use in a query component.
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for byte in input.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
+}
+
+/// Parses a query string into decoded `(key, value)` pairs.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Encodes `(key, value)` pairs into a query string.
+pub fn encode_query(params: &[(&str, &str)]) -> String {
+    params
+        .iter()
+        .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_url() {
+        let u = Url::parse("HTTP://Forum.Example.COM:8080/a/b.php?x=1&y=2#frag").unwrap();
+        assert_eq!(u.scheme(), "http");
+        assert_eq!(u.host(), "forum.example.com");
+        assert_eq!(u.port(), 8080);
+        assert_eq!(u.path(), "/a/b.php");
+        assert_eq!(u.query(), Some("x=1&y=2"));
+        assert_eq!(u.fragment(), Some("frag"));
+    }
+
+    #[test]
+    fn default_ports() {
+        assert_eq!(Url::parse("http://h").unwrap().port(), 80);
+        assert_eq!(Url::parse("https://h").unwrap().port(), 443);
+        assert_eq!(Url::parse("http://h").unwrap().path(), "/");
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in [
+            "http://h/",
+            "http://h:81/x?q=1",
+            "https://h/p#f",
+            "http://h/a/b?x=1&y=2#z",
+        ] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(Url::parse(&u.to_string()).unwrap(), u, "{s}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Url::parse("ftp://h/").is_err());
+        assert!(Url::parse("nourl").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http://h:notaport/").is_err());
+    }
+
+    #[test]
+    fn join_absolute_and_scheme_relative() {
+        let base = Url::parse("http://a/x/y.php").unwrap();
+        assert_eq!(
+            base.join("http://b/z").unwrap().to_string(),
+            "http://b/z"
+        );
+        assert_eq!(base.join("//c/w").unwrap().host(), "c");
+    }
+
+    #[test]
+    fn join_root_relative() {
+        let base = Url::parse("http://a/x/y.php?q=1").unwrap();
+        let joined = base.join("/login.php?do=logout").unwrap();
+        assert_eq!(joined.to_string(), "http://a/login.php?do=logout");
+    }
+
+    #[test]
+    fn join_relative_path() {
+        let base = Url::parse("http://a/forum/index.php").unwrap();
+        assert_eq!(
+            base.join("showthread.php?t=5").unwrap().to_string(),
+            "http://a/forum/showthread.php?t=5"
+        );
+        assert_eq!(
+            base.join("../images/logo.gif").unwrap().to_string(),
+            "http://a/images/logo.gif"
+        );
+        assert_eq!(base.join("./a/./b").unwrap().path(), "/forum/a/b");
+    }
+
+    #[test]
+    fn join_query_only() {
+        let base = Url::parse("http://a/p.php?old=1").unwrap();
+        assert_eq!(base.join("?new=2").unwrap().to_string(), "http://a/p.php?new=2");
+    }
+
+    #[test]
+    fn query_params_decoded() {
+        let u = Url::parse("http://h/s?q=a%20b+c&empty=&flag").unwrap();
+        assert_eq!(u.query_param("q"), Some("a b c".to_string()));
+        assert_eq!(u.query_param("empty"), Some(String::new()));
+        assert_eq!(u.query_param("flag"), Some(String::new()));
+        assert_eq!(u.query_param("missing"), None);
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        for s in ["hello world", "a=b&c=d", "100% möglich", "safe-chars_.~"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn percent_decode_malformed() {
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn query_encode_decode() {
+        let q = encode_query(&[("do", "showpic"), ("id", "42"), ("t", "a b")]);
+        assert_eq!(q, "do=showpic&id=42&t=a+b");
+        let parsed = parse_query(&q);
+        assert_eq!(parsed[2], ("t".to_string(), "a b".to_string()));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the networking substrate.
+
+use msite_net::{auth, url, Cookie, CookieJar, Prng, Url};
+use proptest::prelude::*;
+
+fn arb_host() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}(\\.[a-z]{1,6}){0,2}"
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "(/[a-z0-9._-]{1,8}){0,4}/?".prop_map(|p| if p.is_empty() { "/".to_string() } else { p })
+}
+
+proptest! {
+    /// Display(parse(x)) re-parses to the same URL.
+    #[test]
+    fn url_display_round_trip(
+        host in arb_host(),
+        port in proptest::option::of(1u16..,),
+        path in arb_path(),
+        query in proptest::option::of("[a-z0-9=&+%._-]{0,20}"),
+    ) {
+        let mut s = format!("http://{host}");
+        if let Some(p) = port {
+            s.push_str(&format!(":{p}"));
+        }
+        s.push_str(&path);
+        if let Some(q) = &query {
+            s.push('?');
+            s.push_str(q);
+        }
+        let parsed = Url::parse(&s).unwrap();
+        let reparsed = Url::parse(&parsed.to_string()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// URL parsing is total on arbitrary printable input.
+    #[test]
+    fn url_parse_total(input in "[ -~]{0,64}") {
+        let _ = Url::parse(&input);
+    }
+
+    /// join() always yields a URL on the same scheme set, and absolute
+    /// path references land exactly.
+    #[test]
+    fn url_join_root_relative(host in arb_host(), base_path in arb_path(), target in arb_path()) {
+        let base = Url::parse(&format!("http://{host}{base_path}")).unwrap();
+        let joined = base.join(&target).unwrap();
+        prop_assert_eq!(joined.host(), base.host());
+        prop_assert_eq!(joined.path(), target.as_str());
+    }
+
+    /// Relative joins never escape above the root and never produce `..`
+    /// segments.
+    #[test]
+    fn url_join_relative_normalized(
+        host in arb_host(),
+        base_path in arb_path(),
+        rel in "(\\.\\./|[a-z]{1,4}/){0,4}[a-z]{0,4}",
+    ) {
+        let base = Url::parse(&format!("http://{host}{base_path}")).unwrap();
+        let joined = base.join(&rel).unwrap();
+        prop_assert!(joined.path().starts_with('/'));
+        prop_assert!(joined.path().split('/').all(|segment| segment != ".."));
+        prop_assert!(!joined.path().contains("//"));
+    }
+
+    /// Percent coding round-trips arbitrary unicode.
+    #[test]
+    fn percent_round_trip(s in "\\PC{0,32}") {
+        prop_assert_eq!(url::percent_decode(&url::percent_encode(&s)), s);
+    }
+
+    /// Query encode/parse round-trips arbitrary key/value pairs.
+    #[test]
+    fn query_round_trip(pairs in prop::collection::vec(("[a-zA-Z0-9 ]{1,8}", "[ -~]{0,12}"), 0..5)) {
+        let borrowed: Vec<(&str, &str)> =
+            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let encoded = url::encode_query(&borrowed);
+        let decoded = url::parse_query(&encoded);
+        prop_assert_eq!(decoded, pairs);
+    }
+
+    /// base64 round-trips arbitrary bytes; decode rejects length % 4 != 0.
+    #[test]
+    fn base64_round_trip(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = auth::base64_encode(&data);
+        prop_assert_eq!(encoded.len() % 4, 0);
+        prop_assert_eq!(auth::base64_decode(&encoded).unwrap(), data);
+    }
+
+    /// Set-Cookie serialization round-trips the attributes we honor.
+    #[test]
+    fn cookie_round_trip(name in "[a-zA-Z0-9_]{1,12}", value in "[a-zA-Z0-9_-]{0,16}", http_only in any::<bool>()) {
+        let mut cookie = Cookie::new(&name, &value);
+        cookie.http_only = http_only;
+        let reparsed = Cookie::parse_set_cookie(&cookie.to_header_value(), 0).unwrap();
+        prop_assert_eq!(cookie, reparsed);
+    }
+
+    /// Jar invariant: storing N distinct names yields N cookies, and the
+    /// header contains each name exactly once.
+    #[test]
+    fn jar_distinct_names(names in prop::collection::hash_set("[a-z]{1,8}", 1..8)) {
+        let mut jar = CookieJar::new();
+        for (i, name) in names.iter().enumerate() {
+            jar.store(Cookie::new(name, &i.to_string()), 0);
+        }
+        prop_assert_eq!(jar.len(), names.len());
+        let url = Url::parse("http://h/").unwrap();
+        let header = jar.cookie_header(&url, 0).unwrap();
+        for name in &names {
+            let occurrences = header.matches(&format!("{name}=")).count();
+            // A name may prefix another (e.g. `ab` and `abc`), so count
+            // boundary-accurate occurrences.
+            let exact = header
+                .split("; ")
+                .filter(|part| part.split('=').next() == Some(name.as_str()))
+                .count();
+            prop_assert_eq!(exact, 1, "{} in {} ({} raw)", name, header, occurrences);
+        }
+    }
+
+    /// The PRNG's unit_f64 stays in [0,1) and below(n) stays below n.
+    #[test]
+    fn prng_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = Prng::new(seed);
+        for _ in 0..100 {
+            let u = rng.unit_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}

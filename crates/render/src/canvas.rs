@@ -1,0 +1,382 @@
+//! A software RGB canvas: the raster target of the rendering engine.
+
+use crate::font;
+use crate::geom::{Color, Rect};
+
+/// An RGB8 pixel buffer with drawing primitives.
+///
+/// # Examples
+///
+/// ```
+/// use msite_render::{Canvas, Color};
+///
+/// let mut canvas = Canvas::new(100, 50, Color::WHITE);
+/// canvas.fill_rect_px(10, 10, 30, 20, Color::rgb(200, 0, 0));
+/// canvas.draw_text(12, 12, "hi", 13.0, Color::BLACK);
+/// assert_eq!(canvas.get(0, 0), Color::WHITE);
+/// assert_eq!(canvas.get(10, 10), Color::rgb(200, 0, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canvas {
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>, // RGB interleaved
+}
+
+impl Canvas {
+    /// Creates a canvas filled with `background`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the buffer would exceed
+    /// 512 MiB (runaway-layout guard).
+    pub fn new(width: u32, height: u32, background: Color) -> Self {
+        assert!(width > 0 && height > 0, "canvas dimensions must be nonzero");
+        let bytes = width as u64 * height as u64 * 3;
+        assert!(bytes <= 512 * 1024 * 1024, "canvas too large: {bytes} bytes");
+        let mut pixels = Vec::with_capacity(bytes as usize);
+        for _ in 0..(width as u64 * height as u64) {
+            pixels.extend_from_slice(&[background.r, background.g, background.b]);
+        }
+        Canvas {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw RGB8 bytes, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel color at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> Color {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = ((y * self.width + x) * 3) as usize;
+        Color::rgb(self.pixels[i], self.pixels[i + 1], self.pixels[i + 2])
+    }
+
+    /// Sets one pixel; silently clips when out of bounds.
+    pub fn set(&mut self, x: i32, y: i32, color: Color) {
+        if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {
+            return;
+        }
+        let i = ((y as u32 * self.width + x as u32) * 3) as usize;
+        self.pixels[i] = color.r;
+        self.pixels[i + 1] = color.g;
+        self.pixels[i + 2] = color.b;
+    }
+
+    /// Fills an integer-pixel rectangle, clipping to the canvas.
+    pub fn fill_rect_px(&mut self, x: i32, y: i32, w: i32, h: i32, color: Color) {
+        let x0 = x.max(0) as u32;
+        let y0 = y.max(0) as u32;
+        let x1 = (x + w).clamp(0, self.width as i32) as u32;
+        let y1 = (y + h).clamp(0, self.height as i32) as u32;
+        for row in y0..y1 {
+            let base = ((row * self.width + x0) * 3) as usize;
+            let end = ((row * self.width + x1) * 3) as usize;
+            let mut i = base;
+            while i < end {
+                self.pixels[i] = color.r;
+                self.pixels[i + 1] = color.g;
+                self.pixels[i + 2] = color.b;
+                i += 3;
+            }
+        }
+    }
+
+    /// Fills a [`Rect`] (rounded outward to pixels).
+    pub fn fill_rect(&mut self, rect: &Rect, color: Color) {
+        let (x, y, w, h) = rect.to_pixels();
+        self.fill_rect_px(x, y, w, h, color);
+    }
+
+    /// Strokes the border of a [`Rect`] with the given pixel width.
+    pub fn stroke_rect(&mut self, rect: &Rect, width: u32, color: Color) {
+        if width == 0 {
+            return;
+        }
+        let (x, y, w, h) = rect.to_pixels();
+        let bw = width as i32;
+        self.fill_rect_px(x, y, w, bw, color); // top
+        self.fill_rect_px(x, y + h - bw, w, bw, color); // bottom
+        self.fill_rect_px(x, y, bw, h, color); // left
+        self.fill_rect_px(x + w - bw, y, bw, h, color); // right
+    }
+
+    /// Draws text with the built-in 5×7 font; the origin is the top-left
+    /// of the first glyph cell. Returns the advance in pixels.
+    pub fn draw_text(&mut self, x: i32, y: i32, text: &str, font_size: f32, color: Color) -> i32 {
+        let scale = font::scale_for(font_size) as i32;
+        let mut cx = x;
+        for ch in text.chars() {
+            for col in 0..5u32 {
+                for row in 0..7u32 {
+                    if font::pixel_set(ch, col, row) {
+                        self.fill_rect_px(
+                            cx + col as i32 * scale,
+                            y + row as i32 * scale,
+                            scale,
+                            scale,
+                            color,
+                        );
+                    }
+                }
+            }
+            cx += font::CELL_WIDTH as i32 * scale;
+        }
+        cx - x
+    }
+
+    /// Draws a crossed placeholder box — how the engine depicts images
+    /// and plugins it does not decode (the thumbnail look of early mobile
+    /// browsers).
+    pub fn draw_placeholder(&mut self, rect: &Rect, border: Color, fill: Color) {
+        self.fill_rect(rect, fill);
+        self.stroke_rect(rect, 1, border);
+        let (x, y, w, h) = rect.to_pixels();
+        // Diagonals via simple DDA.
+        let steps = w.max(h).max(1);
+        for i in 0..=steps {
+            let fx = x + (i * (w - 1).max(0)) / steps;
+            let fy = y + (i * (h - 1).max(0)) / steps;
+            self.set(fx, fy, border);
+            self.set(x + (w - 1).max(0) - (fx - x), fy, border);
+        }
+    }
+
+    /// Box-filter downsample to a new width, preserving aspect ratio.
+    /// A `new_width` of at least 1 is enforced.
+    pub fn downscale_to_width(&self, new_width: u32) -> Canvas {
+        let new_width = new_width.clamp(1, self.width);
+        let factor = self.width as f32 / new_width as f32;
+        let new_height = ((self.height as f32 / factor).round() as u32).max(1);
+        let mut out = Canvas::new(new_width, new_height, Color::WHITE);
+        for oy in 0..new_height {
+            for ox in 0..new_width {
+                // Source window.
+                let sx0 = (ox as f32 * factor) as u32;
+                let sy0 = (oy as f32 * factor) as u32;
+                let sx1 = (((ox + 1) as f32 * factor) as u32).clamp(sx0 + 1, self.width);
+                let sy1 = (((oy + 1) as f32 * factor) as u32).clamp(sy0 + 1, self.height);
+                let mut acc = [0u64; 3];
+                let mut n = 0u64;
+                for sy in sy0..sy1 {
+                    for sx in sx0..sx1 {
+                        let i = ((sy * self.width + sx) * 3) as usize;
+                        acc[0] += self.pixels[i] as u64;
+                        acc[1] += self.pixels[i + 1] as u64;
+                        acc[2] += self.pixels[i + 2] as u64;
+                        n += 1;
+                    }
+                }
+                out.set(
+                    ox as i32,
+                    oy as i32,
+                    Color::rgb(
+                        (acc[0] / n) as u8,
+                        (acc[1] / n) as u8,
+                        (acc[2] / n) as u8,
+                    ),
+                );
+            }
+        }
+        out
+    }
+
+    /// Quantizes every channel to `levels` distinct values (2..=256) —
+    /// the fidelity-reduction post-processor knob.
+    pub fn quantize(&mut self, levels: u16) {
+        let levels = levels.clamp(2, 256) as u32;
+        let step = 255.0 / (levels - 1) as f32;
+        for byte in &mut self.pixels {
+            let level = (*byte as f32 / step).round();
+            *byte = (level * step).round().clamp(0.0, 255.0) as u8;
+        }
+    }
+
+    /// Crops to the intersection of `rect` with the canvas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the intersection is empty.
+    pub fn crop(&self, rect: &Rect) -> Canvas {
+        let (x, y, w, h) = rect.to_pixels();
+        let x0 = x.max(0) as u32;
+        let y0 = y.max(0) as u32;
+        let x1 = ((x + w).max(0) as u32).min(self.width);
+        let y1 = ((y + h).max(0) as u32).min(self.height);
+        assert!(x1 > x0 && y1 > y0, "crop region empty");
+        let mut out = Canvas::new(x1 - x0, y1 - y0, Color::WHITE);
+        for row in y0..y1 {
+            for col in x0..x1 {
+                out.set((col - x0) as i32, (row - y0) as i32, self.get(col, row));
+            }
+        }
+        out
+    }
+
+    /// Number of distinct colors present (post-quantization metric).
+    pub fn distinct_colors(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for chunk in self.pixels.chunks_exact(3) {
+            seen.insert([chunk[0], chunk[1], chunk[2]]);
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_fills_background() {
+        let c = Canvas::new(4, 3, Color::rgb(9, 8, 7));
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.height(), 3);
+        assert_eq!(c.get(3, 2), Color::rgb(9, 8, 7));
+        assert_eq!(c.pixels().len(), 4 * 3 * 3);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut c = Canvas::new(10, 10, Color::WHITE);
+        c.fill_rect_px(-5, -5, 8, 8, Color::BLACK);
+        assert_eq!(c.get(0, 0), Color::BLACK);
+        assert_eq!(c.get(2, 2), Color::BLACK);
+        assert_eq!(c.get(3, 3), Color::WHITE);
+        c.fill_rect_px(8, 8, 100, 100, Color::BLACK);
+        assert_eq!(c.get(9, 9), Color::BLACK);
+    }
+
+    #[test]
+    fn stroke_draws_only_border() {
+        let mut c = Canvas::new(10, 10, Color::WHITE);
+        c.stroke_rect(&Rect::new(1.0, 1.0, 8.0, 8.0), 1, Color::BLACK);
+        assert_eq!(c.get(1, 1), Color::BLACK);
+        assert_eq!(c.get(8, 1), Color::BLACK);
+        assert_eq!(c.get(4, 4), Color::WHITE);
+    }
+
+    #[test]
+    fn text_marks_pixels() {
+        let mut c = Canvas::new(40, 20, Color::WHITE);
+        let advance = c.draw_text(0, 0, "AB", 8.0, Color::BLACK);
+        assert_eq!(advance, 12); // two cells at scale 1
+        // Some pixel of 'A' must be black.
+        let mut black = 0;
+        for y in 0..8 {
+            for x in 0..6 {
+                if c.get(x, y) == Color::BLACK {
+                    black += 1;
+                }
+            }
+        }
+        assert!(black >= 5);
+    }
+
+    #[test]
+    fn text_scale_doubles_advance() {
+        let mut c = Canvas::new(200, 40, Color::WHITE);
+        let a1 = c.draw_text(0, 0, "xyz", 8.0, Color::BLACK);
+        let a2 = c.draw_text(0, 20, "xyz", 16.0, Color::BLACK);
+        assert_eq!(a2, a1 * 2);
+    }
+
+    #[test]
+    fn downscale_halves_dimensions() {
+        let mut c = Canvas::new(100, 60, Color::WHITE);
+        c.fill_rect_px(0, 0, 50, 60, Color::BLACK);
+        let small = c.downscale_to_width(50);
+        assert_eq!(small.width(), 50);
+        assert_eq!(small.height(), 30);
+        // Left half black, right half white (away from the seam).
+        assert_eq!(small.get(10, 15), Color::BLACK);
+        assert_eq!(small.get(40, 15), Color::WHITE);
+    }
+
+    #[test]
+    fn downscale_averages() {
+        // Checkerboard of black/white downsampled 2x → mid gray.
+        let mut c = Canvas::new(4, 4, Color::WHITE);
+        for y in 0..4 {
+            for x in 0..4 {
+                if (x + y) % 2 == 0 {
+                    c.set(x, y, Color::BLACK);
+                }
+            }
+        }
+        let small = c.downscale_to_width(2);
+        let p = small.get(0, 0);
+        assert!((p.r as i32 - 127).abs() <= 16, "got {p:?}");
+    }
+
+    #[test]
+    fn quantize_reduces_palette() {
+        let mut c = Canvas::new(16, 16, Color::WHITE);
+        for y in 0..16 {
+            for x in 0..16 {
+                c.set(x, y, Color::rgb((x * 16) as u8, (y * 16) as u8, 128));
+            }
+        }
+        let before = c.distinct_colors();
+        c.quantize(4);
+        let after = c.distinct_colors();
+        assert!(after < before);
+        assert!(after <= 16); // at most 4x4 combinations for varying r,g
+    }
+
+    #[test]
+    fn quantize_extremes_preserved() {
+        let mut c = Canvas::new(2, 1, Color::WHITE);
+        c.set(1, 0, Color::BLACK);
+        c.quantize(2);
+        assert_eq!(c.get(0, 0), Color::WHITE);
+        assert_eq!(c.get(1, 0), Color::BLACK);
+    }
+
+    #[test]
+    fn crop_extracts_region() {
+        let mut c = Canvas::new(10, 10, Color::WHITE);
+        c.set(5, 5, Color::BLACK);
+        let cropped = c.crop(&Rect::new(4.0, 4.0, 3.0, 3.0));
+        assert_eq!(cropped.width(), 3);
+        assert_eq!(cropped.get(1, 1), Color::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn crop_outside_panics() {
+        let c = Canvas::new(4, 4, Color::WHITE);
+        let _ = c.crop(&Rect::new(100.0, 100.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn placeholder_draws_frame() {
+        let mut c = Canvas::new(20, 20, Color::WHITE);
+        c.draw_placeholder(
+            &Rect::new(2.0, 2.0, 16.0, 16.0),
+            Color::BLACK,
+            Color::rgb(230, 230, 230),
+        );
+        assert_eq!(c.get(2, 2), Color::BLACK);
+        assert_eq!(c.get(10, 5), Color::rgb(230, 230, 230));
+    }
+}

@@ -1,0 +1,692 @@
+//! CSS-lite: stylesheet parsing, the cascade, and computed styles.
+//!
+//! Supports the property subset that dominates 2012-era template-driven
+//! sites (vBulletin skins and the like): the box model (width/height,
+//! margin/padding, borders), colors and backgrounds, fonts
+//! (size/weight), text alignment, line height and `display`. Selector
+//! matching and specificity come from [`msite_selectors`].
+//!
+//! Presentational HTML attributes (`width=`, `bgcolor=`, `align=`,
+//! `border=`, `cellpadding=`) are honored as author-level declarations of
+//! lowest priority, which is what real engines do and what old forum
+//! markup needs.
+
+use crate::geom::Color;
+use msite_html::{Document, NodeId};
+use msite_selectors::SelectorList;
+
+/// CSS `display` values supported by the layout engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Display {
+    /// Vertical stacking box.
+    #[default]
+    Block,
+    /// Participates in inline flow.
+    Inline,
+    /// Inline placement, block sizing (approximated as inline).
+    InlineBlock,
+    /// Removed from layout entirely.
+    None,
+    /// Table box (laid out as a block of rows).
+    Table,
+    /// Table row: children laid out side by side.
+    TableRow,
+    /// Table cell.
+    TableCell,
+}
+
+/// A length or the absence of one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Dimension {
+    /// Not specified — derive from context.
+    #[default]
+    Auto,
+    /// Absolute CSS pixels.
+    Px(f32),
+    /// Percentage of the containing block's width.
+    Percent(f32),
+}
+
+impl Dimension {
+    /// Resolves against a containing length; `Auto` yields `fallback`.
+    pub fn resolve(&self, containing: f32, fallback: f32) -> f32 {
+        match self {
+            Dimension::Auto => fallback,
+            Dimension::Px(v) => *v,
+            Dimension::Percent(p) => containing * p / 100.0,
+        }
+    }
+
+    fn parse(value: &str, font_size: f32) -> Option<Dimension> {
+        let v = value.trim();
+        if v.eq_ignore_ascii_case("auto") {
+            return Some(Dimension::Auto);
+        }
+        if let Some(p) = v.strip_suffix('%') {
+            return p.trim().parse::<f32>().ok().map(Dimension::Percent);
+        }
+        if let Some(px) = v.strip_suffix("px") {
+            return px.trim().parse::<f32>().ok().map(Dimension::Px);
+        }
+        if let Some(pt) = v.strip_suffix("pt") {
+            return pt.trim().parse::<f32>().ok().map(|x| Dimension::Px(x * 4.0 / 3.0));
+        }
+        if let Some(em) = v.strip_suffix("em") {
+            return em.trim().parse::<f32>().ok().map(|x| Dimension::Px(x * font_size));
+        }
+        // Bare numbers (HTML attribute style) are pixels.
+        v.parse::<f32>().ok().map(Dimension::Px)
+    }
+}
+
+/// Horizontal text alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TextAlign {
+    /// Flush left.
+    #[default]
+    Left,
+    /// Centered.
+    Center,
+    /// Flush right.
+    Right,
+}
+
+/// Fully resolved style for one element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputedStyle {
+    /// Display type.
+    pub display: Display,
+    /// Specified width.
+    pub width: Dimension,
+    /// Specified height.
+    pub height: Dimension,
+    /// Margins: top, right, bottom, left.
+    pub margin: [f32; 4],
+    /// Padding: top, right, bottom, left.
+    pub padding: [f32; 4],
+    /// Border width in px (uniform).
+    pub border_width: f32,
+    /// Border color.
+    pub border_color: Color,
+    /// Background fill, when any.
+    pub background: Option<Color>,
+    /// Foreground (text) color. Inherited.
+    pub color: Color,
+    /// Font size in px. Inherited.
+    pub font_size: f32,
+    /// Bold text. Inherited.
+    pub bold: bool,
+    /// Text alignment. Inherited.
+    pub text_align: TextAlign,
+    /// Line height as a multiple of font size. Inherited.
+    pub line_height: f32,
+}
+
+impl Default for ComputedStyle {
+    fn default() -> Self {
+        ComputedStyle {
+            display: Display::Block,
+            width: Dimension::Auto,
+            height: Dimension::Auto,
+            margin: [0.0; 4],
+            padding: [0.0; 4],
+            border_width: 0.0,
+            border_color: Color::BLACK,
+            background: None,
+            color: Color::BLACK,
+            font_size: 13.0,
+            bold: false,
+            text_align: TextAlign::Left,
+            line_height: 1.25,
+        }
+    }
+}
+
+/// One `property: value` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// Lowercased property name.
+    pub property: String,
+    /// Raw value text, trimmed.
+    pub value: String,
+}
+
+/// A rule: selectors plus declarations.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The selector list this rule applies to.
+    pub selectors: SelectorList,
+    /// Declarations in source order.
+    pub declarations: Vec<Declaration>,
+}
+
+/// A parsed stylesheet.
+#[derive(Debug, Clone, Default)]
+pub struct Stylesheet {
+    /// Rules in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Stylesheet {
+    /// Parses CSS text leniently: rules that fail to parse are skipped,
+    /// comments and at-rules are ignored. Never fails.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let sheet = msite_render::Stylesheet::parse(
+    ///     "td.alt1 { background: #F5F5FF; color: #000 } .hidden { display: none }");
+    /// assert_eq!(sheet.rules.len(), 2);
+    /// ```
+    pub fn parse(input: &str) -> Stylesheet {
+        let text = strip_comments(input);
+        let mut rules = Vec::new();
+        let mut rest = text.as_str();
+        while let Some(open) = rest.find('{') {
+            let selector_src = rest[..open].trim();
+            let after = &rest[open + 1..];
+            let close = match after.find('}') {
+                Some(c) => c,
+                None => break,
+            };
+            let body = &after[..close];
+            rest = &after[close + 1..];
+            if selector_src.starts_with('@') {
+                continue; // at-rules unsupported
+            }
+            if let Ok(selectors) = SelectorList::parse(selector_src) {
+                rules.push(Rule {
+                    selectors,
+                    declarations: parse_declarations(body),
+                });
+            }
+        }
+        Stylesheet { rules }
+    }
+
+    /// Number of declarations across all rules (cost-model input).
+    pub fn declaration_count(&self) -> usize {
+        self.rules.iter().map(|r| r.declarations.len()).sum()
+    }
+}
+
+fn strip_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut rest = input;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start + 2..].find("*/") {
+            Some(end) => rest = &rest[start + 2 + end + 2..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Parses a declaration block body (`prop: value; ...`).
+pub fn parse_declarations(body: &str) -> Vec<Declaration> {
+    body.split(';')
+        .filter_map(|decl| {
+            let (prop, value) = decl.split_once(':')?;
+            let property = prop.trim().to_ascii_lowercase();
+            let value = value.trim().trim_end_matches("!important").trim().to_string();
+            if property.is_empty() || value.is_empty() {
+                return None;
+            }
+            Some(Declaration { property, value })
+        })
+        .collect()
+}
+
+/// Computes styles for a whole document against a stylesheet, including
+/// UA defaults, presentational attributes, the cascade and inheritance.
+///
+/// Returns one [`ComputedStyle`] per arena slot, indexed by
+/// [`NodeId::index`]. Non-element slots hold defaults.
+pub fn compute_styles(doc: &Document, sheet: &Stylesheet) -> Vec<ComputedStyle> {
+    // Pre-match every rule once: rule index -> matched node ids.
+    let mut per_node: Vec<Vec<(u32, u32, usize)>> = vec![Vec::new(); doc.arena_len()];
+    for (order, rule) in sheet.rules.iter().enumerate() {
+        let spec = rule.selectors.specificity();
+        // Flatten specificity into one sortable key.
+        let key = spec.0 * 1_000_000 + spec.1 * 1_000 + spec.2;
+        for node in rule.selectors.select(doc, doc.root()) {
+            per_node[node.index()].push((1, key, order));
+        }
+    }
+
+    let mut styles: Vec<ComputedStyle> = vec![ComputedStyle::default(); doc.arena_len()];
+    // Document-order traversal guarantees parents are computed first.
+    let ids: Vec<NodeId> = doc.descendants(doc.root()).collect();
+    for id in ids {
+        if doc.data(id).as_element().is_none() {
+            // Text inherits wholesale from parent.
+            if let Some(parent) = doc.node(id).parent() {
+                styles[id.index()] = styles[parent.index()].clone();
+            }
+            continue;
+        }
+        let mut style = inherited_base(doc, id, &styles);
+        apply_ua_defaults(doc, id, &mut style);
+        apply_presentational_attrs(doc, id, &mut style);
+        // Author rules in cascade order.
+        let mut matches = per_node[id.index()].clone();
+        matches.sort_by_key(|&(_, spec, order)| (spec, order));
+        for (_, _, order) in matches {
+            for decl in &sheet.rules[order].declarations {
+                apply_declaration(&mut style, decl);
+            }
+        }
+        // Inline style wins.
+        if let Some(inline) = doc.attr(id, "style") {
+            for decl in parse_declarations(inline) {
+                apply_declaration(&mut style, &decl);
+            }
+        }
+        styles[id.index()] = style;
+    }
+    styles
+}
+
+/// Style with inherited properties copied from the parent.
+fn inherited_base(doc: &Document, id: NodeId, styles: &[ComputedStyle]) -> ComputedStyle {
+    let mut style = ComputedStyle::default();
+    if let Some(parent) = doc.node(id).parent() {
+        let p = &styles[parent.index()];
+        style.color = p.color;
+        style.font_size = p.font_size;
+        style.bold = p.bold;
+        style.text_align = p.text_align;
+        style.line_height = p.line_height;
+    }
+    style
+}
+
+/// Browser default styles for common tags.
+fn apply_ua_defaults(doc: &Document, id: NodeId, style: &mut ComputedStyle) {
+    let Some(name) = doc.tag_name(id) else { return };
+    match name {
+        "span" | "a" | "b" | "i" | "u" | "em" | "strong" | "small" | "big" | "font" | "tt"
+        | "code" | "label" | "abbr" | "sub" | "sup" | "img" | "input" | "button" | "select"
+        | "textarea" | "br" => style.display = Display::Inline,
+        "table" => {
+            style.display = Display::Table;
+        }
+        "tr" => style.display = Display::TableRow,
+        "td" | "th" => {
+            style.display = Display::TableCell;
+            style.padding = [2.0; 4];
+        }
+        "thead" | "tbody" | "tfoot" => style.display = Display::Block,
+        "script" | "style" | "head" | "meta" | "link" | "title" | "noscript" => {
+            style.display = Display::None
+        }
+        "h1" => {
+            style.font_size *= 2.0;
+            style.bold = true;
+            style.margin = [13.0, 0.0, 13.0, 0.0];
+        }
+        "h2" => {
+            style.font_size *= 1.5;
+            style.bold = true;
+            style.margin = [12.0, 0.0, 12.0, 0.0];
+        }
+        "h3" => {
+            style.font_size *= 1.17;
+            style.bold = true;
+            style.margin = [11.0, 0.0, 11.0, 0.0];
+        }
+        "p" | "ul" | "ol" | "dl" | "blockquote" => style.margin = [8.0, 0.0, 8.0, 0.0],
+        "li" => style.padding[3] = 16.0,
+        "body" => style.margin = [8.0; 4],
+        "hr" => {
+            style.height = Dimension::Px(2.0);
+            style.background = Some(Color::rgb(128, 128, 128));
+            style.margin = [4.0, 0.0, 4.0, 0.0];
+        }
+        _ => {}
+    }
+    if matches!(name, "b" | "strong" | "th") {
+        style.bold = true;
+    }
+    if name == "th" {
+        style.text_align = TextAlign::Center;
+    }
+    if name == "a" {
+        style.color = Color::rgb(0, 0, 238);
+    }
+    if name == "center" {
+        style.text_align = TextAlign::Center;
+    }
+}
+
+/// Legacy HTML presentational attributes, applied below author CSS.
+fn apply_presentational_attrs(doc: &Document, id: NodeId, style: &mut ComputedStyle) {
+    if let Some(w) = doc.attr(id, "width") {
+        if let Some(d) = Dimension::parse(w, style.font_size) {
+            style.width = d;
+        }
+    }
+    if let Some(h) = doc.attr(id, "height") {
+        if let Some(d) = Dimension::parse(h, style.font_size) {
+            style.height = d;
+        }
+    }
+    if let Some(bg) = doc.attr(id, "bgcolor") {
+        style.background = Color::parse(bg);
+    }
+    if let Some(align) = doc.attr(id, "align") {
+        style.text_align = match align.to_ascii_lowercase().as_str() {
+            "center" => TextAlign::Center,
+            "right" => TextAlign::Right,
+            _ => TextAlign::Left,
+        };
+    }
+    if let Some(border) = doc.attr(id, "border") {
+        if let Ok(px) = border.trim().parse::<f32>() {
+            style.border_width = px;
+        }
+    }
+    if doc.is_element_named(id, "font") {
+        if let Some(color) = doc.attr(id, "color").and_then(Color::parse) {
+            style.color = color;
+        }
+    }
+}
+
+/// Applies one declaration to a computed style.
+pub fn apply_declaration(style: &mut ComputedStyle, decl: &Declaration) {
+    let v = decl.value.as_str();
+    match decl.property.as_str() {
+        "display" => {
+            style.display = match v.to_ascii_lowercase().as_str() {
+                "none" => Display::None,
+                "inline" => Display::Inline,
+                "inline-block" => Display::InlineBlock,
+                "table" => Display::Table,
+                "table-row" => Display::TableRow,
+                "table-cell" => Display::TableCell,
+                _ => Display::Block,
+            }
+        }
+        "width" => {
+            if let Some(d) = Dimension::parse(v, style.font_size) {
+                style.width = d;
+            }
+        }
+        "height" => {
+            if let Some(d) = Dimension::parse(v, style.font_size) {
+                style.height = d;
+            }
+        }
+        "margin" => apply_box_shorthand(v, style.font_size, &mut style.margin),
+        "margin-top" => apply_box_side(v, style.font_size, &mut style.margin, 0),
+        "margin-right" => apply_box_side(v, style.font_size, &mut style.margin, 1),
+        "margin-bottom" => apply_box_side(v, style.font_size, &mut style.margin, 2),
+        "margin-left" => apply_box_side(v, style.font_size, &mut style.margin, 3),
+        "padding" => apply_box_shorthand(v, style.font_size, &mut style.padding),
+        "padding-top" => apply_box_side(v, style.font_size, &mut style.padding, 0),
+        "padding-right" => apply_box_side(v, style.font_size, &mut style.padding, 1),
+        "padding-bottom" => apply_box_side(v, style.font_size, &mut style.padding, 2),
+        "padding-left" => apply_box_side(v, style.font_size, &mut style.padding, 3),
+        "border" => {
+            // e.g. `1px solid #ccc`
+            for part in v.split_whitespace() {
+                if let Some(Dimension::Px(px)) = Dimension::parse(part, style.font_size) {
+                    style.border_width = px;
+                } else if let Some(c) = Color::parse(part) {
+                    style.border_color = c;
+                }
+            }
+        }
+        "border-width" => {
+            if let Some(Dimension::Px(px)) = Dimension::parse(v, style.font_size) {
+                style.border_width = px;
+            }
+        }
+        "border-color" => {
+            if let Some(c) = Color::parse(v) {
+                style.border_color = c;
+            }
+        }
+        "background" | "background-color" => {
+            if v.eq_ignore_ascii_case("none") || v.eq_ignore_ascii_case("transparent") {
+                style.background = None;
+            } else {
+                // For `background: #fff url(x) repeat-x` keep the color part.
+                for part in v.split_whitespace() {
+                    if let Some(c) = Color::parse(part) {
+                        style.background = Some(c);
+                        break;
+                    }
+                }
+            }
+        }
+        "color" => {
+            if let Some(c) = Color::parse(v) {
+                style.color = c;
+            }
+        }
+        "font-size" => {
+            if let Some(Dimension::Px(px)) = Dimension::parse(v, style.font_size) {
+                style.font_size = px;
+            }
+        }
+        "font-weight" => {
+            style.bold = matches!(v.to_ascii_lowercase().as_str(), "bold" | "bolder")
+                || v.parse::<u32>().map(|w| w >= 600).unwrap_or(false);
+        }
+        "text-align" => {
+            style.text_align = match v.to_ascii_lowercase().as_str() {
+                "center" => TextAlign::Center,
+                "right" => TextAlign::Right,
+                _ => TextAlign::Left,
+            }
+        }
+        "line-height" => {
+            if let Ok(factor) = v.parse::<f32>() {
+                style.line_height = factor;
+            } else if let Some(Dimension::Px(px)) = Dimension::parse(v, style.font_size) {
+                if style.font_size > 0.0 {
+                    style.line_height = px / style.font_size;
+                }
+            }
+        }
+        "visibility" if v.eq_ignore_ascii_case("hidden") => {
+            style.display = Display::None;
+        }
+        _ => {} // unsupported property: ignore
+    }
+}
+
+fn apply_box_shorthand(value: &str, font_size: f32, sides: &mut [f32; 4]) {
+    let parts: Vec<f32> = value
+        .split_whitespace()
+        .filter_map(|p| match Dimension::parse(p, font_size) {
+            Some(Dimension::Px(px)) => Some(px),
+            Some(Dimension::Auto) => Some(0.0),
+            _ => None,
+        })
+        .collect();
+    match parts.len() {
+        1 => *sides = [parts[0]; 4],
+        2 => *sides = [parts[0], parts[1], parts[0], parts[1]],
+        3 => *sides = [parts[0], parts[1], parts[2], parts[1]],
+        4 => *sides = [parts[0], parts[1], parts[2], parts[3]],
+        _ => {}
+    }
+}
+
+fn apply_box_side(value: &str, font_size: f32, sides: &mut [f32; 4], index: usize) {
+    if let Some(Dimension::Px(px)) = Dimension::parse(value, font_size) {
+        sides[index] = px;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_html::parse_document;
+
+    #[test]
+    fn parse_basic_sheet() {
+        let sheet = Stylesheet::parse(
+            "/* comment */ td { color: #333; padding: 2px 4px } .x, .y { display:none; }",
+        );
+        assert_eq!(sheet.rules.len(), 2);
+        assert_eq!(sheet.rules[0].declarations.len(), 2);
+        assert_eq!(sheet.declaration_count(), 3);
+    }
+
+    #[test]
+    fn malformed_rules_skipped() {
+        let sheet = Stylesheet::parse("{} ..bad { color: red } ok { color: blue }");
+        assert_eq!(sheet.rules.len(), 1);
+    }
+
+    #[test]
+    fn at_rules_ignored() {
+        let sheet = Stylesheet::parse("@media screen { } p { color: red }");
+        // The @media block's inner braces confuse no one: the first {}
+        // pair is consumed, then `p` parses.
+        assert!(sheet.rules.iter().any(|r| !r.declarations.is_empty()));
+    }
+
+    #[test]
+    fn dimension_parsing() {
+        assert_eq!(Dimension::parse("auto", 10.0), Some(Dimension::Auto));
+        assert_eq!(Dimension::parse("50%", 10.0), Some(Dimension::Percent(50.0)));
+        assert_eq!(Dimension::parse("12px", 10.0), Some(Dimension::Px(12.0)));
+        assert_eq!(Dimension::parse("2em", 10.0), Some(Dimension::Px(20.0)));
+        assert_eq!(Dimension::parse("12pt", 10.0), Some(Dimension::Px(16.0)));
+        assert_eq!(Dimension::parse("7", 10.0), Some(Dimension::Px(7.0)));
+        assert_eq!(Dimension::parse("x", 10.0), None);
+    }
+
+    #[test]
+    fn dimension_resolution() {
+        assert_eq!(Dimension::Auto.resolve(100.0, 42.0), 42.0);
+        assert_eq!(Dimension::Px(7.0).resolve(100.0, 42.0), 7.0);
+        assert_eq!(Dimension::Percent(25.0).resolve(200.0, 42.0), 50.0);
+    }
+
+    fn style_of(doc: &Document, sheet: &Stylesheet, selector: &str) -> ComputedStyle {
+        let hits = SelectorList::parse(selector).unwrap().select(doc, doc.root());
+        compute_styles(doc, sheet)[hits[0].index()].clone()
+    }
+
+    #[test]
+    fn cascade_specificity_wins() {
+        let doc = parse_document(r#"<div id="a" class="b">x</div>"#);
+        let sheet = Stylesheet::parse("div { color: red } .b { color: green } #a { color: blue }");
+        let s = style_of(&doc, &sheet, "#a");
+        assert_eq!(s.color, Color::rgb(0, 0, 255));
+    }
+
+    #[test]
+    fn later_rule_wins_at_equal_specificity() {
+        let doc = parse_document(r#"<p class="x">t</p>"#);
+        let sheet = Stylesheet::parse(".x { color: red } .x { color: green }");
+        assert_eq!(style_of(&doc, &sheet, "p").color, Color::rgb(0, 128, 0));
+    }
+
+    #[test]
+    fn inline_style_beats_everything() {
+        let doc = parse_document(r#"<p id="i" style="color: #111">t</p>"#);
+        let sheet = Stylesheet::parse("#i { color: #222 }");
+        assert_eq!(style_of(&doc, &sheet, "p").color, Color::rgb(0x11, 0x11, 0x11));
+    }
+
+    #[test]
+    fn inheritance_of_color_and_font() {
+        let doc = parse_document(r#"<div class="o"><span>t</span></div>"#);
+        let sheet = Stylesheet::parse(".o { color: maroon; font-size: 20px }");
+        let s = style_of(&doc, &sheet, "span");
+        assert_eq!(s.color, Color::rgb(128, 0, 0));
+        assert_eq!(s.font_size, 20.0);
+        assert_eq!(s.display, Display::Inline);
+    }
+
+    #[test]
+    fn non_inherited_props_reset() {
+        let doc = parse_document(r#"<div class="o"><p>t</p></div>"#);
+        let sheet = Stylesheet::parse(".o { background: #eee; border: 2px solid #000 }");
+        let s = style_of(&doc, &sheet, "p");
+        assert_eq!(s.background, None);
+        assert_eq!(s.border_width, 0.0);
+    }
+
+    #[test]
+    fn ua_defaults_applied() {
+        let doc = parse_document("<h1>t</h1><b>b</b><a href=x>a</a><script>s</script>");
+        let sheet = Stylesheet::default();
+        let styles = compute_styles(&doc, &sheet);
+        let h1 = doc.elements_by_tag(doc.root(), "h1")[0];
+        assert!(styles[h1.index()].bold);
+        assert_eq!(styles[h1.index()].font_size, 26.0);
+        let a = doc.elements_by_tag(doc.root(), "a")[0];
+        assert_eq!(styles[a.index()].display, Display::Inline);
+        let script = doc.elements_by_tag(doc.root(), "script")[0];
+        assert_eq!(styles[script.index()].display, Display::None);
+    }
+
+    #[test]
+    fn presentational_attributes() {
+        let doc = parse_document(
+            r##"<table width="100%" border="1" bgcolor="#abcdef" align="center"><tr><td width="728">x</td></tr></table>"##,
+        );
+        let styles = compute_styles(&doc, &Stylesheet::default());
+        let table = doc.elements_by_tag(doc.root(), "table")[0];
+        let s = &styles[table.index()];
+        assert_eq!(s.width, Dimension::Percent(100.0));
+        assert_eq!(s.border_width, 1.0);
+        assert_eq!(s.background, Some(Color::rgb(0xab, 0xcd, 0xef)));
+        assert_eq!(s.text_align, TextAlign::Center);
+        let td = doc.elements_by_tag(doc.root(), "td")[0];
+        assert_eq!(styles[td.index()].width, Dimension::Px(728.0));
+    }
+
+    #[test]
+    fn author_css_beats_presentational() {
+        let doc = parse_document(r#"<td width="100" class="w">x</td>"#);
+        let sheet = Stylesheet::parse(".w { width: 200px }");
+        assert_eq!(style_of(&doc, &sheet, "td").width, Dimension::Px(200.0));
+    }
+
+    #[test]
+    fn shorthand_box_values() {
+        let mut s = ComputedStyle::default();
+        apply_declaration(&mut s, &Declaration { property: "margin".into(), value: "1px 2px 3px 4px".into() });
+        assert_eq!(s.margin, [1.0, 2.0, 3.0, 4.0]);
+        apply_declaration(&mut s, &Declaration { property: "padding".into(), value: "5px 10px".into() });
+        assert_eq!(s.padding, [5.0, 10.0, 5.0, 10.0]);
+        apply_declaration(&mut s, &Declaration { property: "margin".into(), value: "7px".into() });
+        assert_eq!(s.margin, [7.0; 4]);
+    }
+
+    #[test]
+    fn important_suffix_stripped() {
+        let decls = parse_declarations("color: red !important; x:;");
+        assert_eq!(decls.len(), 1);
+        assert_eq!(decls[0].value, "red");
+    }
+
+    #[test]
+    fn font_weight_numeric() {
+        let mut s = ComputedStyle::default();
+        apply_declaration(&mut s, &Declaration { property: "font-weight".into(), value: "700".into() });
+        assert!(s.bold);
+        apply_declaration(&mut s, &Declaration { property: "font-weight".into(), value: "400".into() });
+        assert!(!s.bold);
+    }
+
+    #[test]
+    fn text_node_inherits_parent_style() {
+        let doc = parse_document(r#"<div style="color:#123456">text</div>"#);
+        let styles = compute_styles(&doc, &Stylesheet::default());
+        let div = doc.elements_by_tag(doc.root(), "div")[0];
+        let text = doc.children(div).next().unwrap();
+        assert_eq!(styles[text.index()].color, Color::rgb(0x12, 0x34, 0x56));
+    }
+}

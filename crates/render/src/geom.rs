@@ -1,0 +1,232 @@
+//! Geometry primitives shared by layout and paint.
+
+/// An axis-aligned rectangle in CSS pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width (non-negative).
+    pub w: f32,
+    /// Height (non-negative).
+    pub h: f32,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: f32, y: f32, w: f32, h: f32) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f32 {
+        self.x + self.w
+    }
+
+    /// Bottom edge.
+    pub fn bottom(&self) -> f32 {
+        self.y + self.h
+    }
+
+    /// True when the point lies inside (inclusive of top/left edges).
+    pub fn contains(&self, px: f32, py: f32) -> bool {
+        px >= self.x && px < self.right() && py >= self.y && py < self.bottom()
+    }
+
+    /// True when the rectangles overlap.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// This rectangle scaled uniformly by `factor`.
+    pub fn scaled(&self, factor: f32) -> Rect {
+        Rect::new(self.x * factor, self.y * factor, self.w * factor, self.h * factor)
+    }
+
+    /// Rounds the rectangle outward to integer pixel coordinates as
+    /// `(x, y, w, h)`.
+    pub fn to_pixels(&self) -> (i32, i32, i32, i32) {
+        let x0 = self.x.floor() as i32;
+        let y0 = self.y.floor() as i32;
+        let x1 = self.right().ceil() as i32;
+        let y1 = self.bottom().ceil() as i32;
+        (x0, y0, (x1 - x0).max(0), (y1 - y0).max(0))
+    }
+}
+
+/// An RGB color with 8 bits per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// Creates a color from channels.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// White (`#ffffff`).
+    pub const WHITE: Color = Color::rgb(255, 255, 255);
+    /// Black (`#000000`).
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+
+    /// Parses a CSS color: `#rgb`, `#rrggbb`, `rgb(r,g,b)`, or one of the
+    /// named colors used in 2000s-era forum templates.
+    ///
+    /// Returns `None` for unrecognized syntax.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use msite_render::Color;
+    /// assert_eq!(Color::parse("#fff"), Some(Color::WHITE));
+    /// assert_eq!(Color::parse("rgb(1, 2, 3)"), Some(Color::rgb(1, 2, 3)));
+    /// assert_eq!(Color::parse("navy"), Some(Color::rgb(0, 0, 128)));
+    /// assert_eq!(Color::parse("bogus"), None);
+    /// ```
+    pub fn parse(input: &str) -> Option<Color> {
+        let s = input.trim();
+        if let Some(hex) = s.strip_prefix('#') {
+            return match hex.len() {
+                3 => {
+                    let mut chans = [0u8; 3];
+                    for (i, c) in hex.chars().enumerate() {
+                        let v = c.to_digit(16)? as u8;
+                        chans[i] = v * 17;
+                    }
+                    Some(Color::rgb(chans[0], chans[1], chans[2]))
+                }
+                6 => {
+                    let v = u32::from_str_radix(hex, 16).ok()?;
+                    Some(Color::rgb((v >> 16) as u8, (v >> 8) as u8, v as u8))
+                }
+                _ => None,
+            };
+        }
+        if let Some(args) = s
+            .strip_prefix("rgb(")
+            .or_else(|| s.strip_prefix("RGB("))
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            let mut parts = args.split(',').map(|p| p.trim().parse::<i64>());
+            let r = parts.next()?.ok()?;
+            let g = parts.next()?.ok()?;
+            let b = parts.next()?.ok()?;
+            return Some(Color::rgb(
+                r.clamp(0, 255) as u8,
+                g.clamp(0, 255) as u8,
+                b.clamp(0, 255) as u8,
+            ));
+        }
+        named_color(&s.to_ascii_lowercase())
+    }
+
+    /// Luminance in [0, 255] using the Rec. 601 weights.
+    pub fn luminance(&self) -> u8 {
+        ((self.r as u32 * 299 + self.g as u32 * 587 + self.b as u32 * 114) / 1000) as u8
+    }
+}
+
+impl Default for Color {
+    fn default() -> Self {
+        Color::BLACK
+    }
+}
+
+fn named_color(name: &str) -> Option<Color> {
+    Some(match name {
+        "black" => Color::rgb(0, 0, 0),
+        "white" => Color::rgb(255, 255, 255),
+        "red" => Color::rgb(255, 0, 0),
+        "green" => Color::rgb(0, 128, 0),
+        "blue" => Color::rgb(0, 0, 255),
+        "yellow" => Color::rgb(255, 255, 0),
+        "orange" => Color::rgb(255, 165, 0),
+        "purple" => Color::rgb(128, 0, 128),
+        "gray" | "grey" => Color::rgb(128, 128, 128),
+        "silver" => Color::rgb(192, 192, 192),
+        "maroon" => Color::rgb(128, 0, 0),
+        "navy" => Color::rgb(0, 0, 128),
+        "teal" => Color::rgb(0, 128, 128),
+        "olive" => Color::rgb(128, 128, 0),
+        "lime" => Color::rgb(0, 255, 0),
+        "aqua" | "cyan" => Color::rgb(0, 255, 255),
+        "fuchsia" | "magenta" => Color::rgb(255, 0, 255),
+        "brown" => Color::rgb(165, 42, 42),
+        "tan" => Color::rgb(210, 180, 140),
+        "wheat" => Color::rgb(245, 222, 179),
+        "beige" => Color::rgb(245, 245, 220),
+        "ivory" => Color::rgb(255, 255, 240),
+        "transparent" => return None,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_edges_and_contains() {
+        let r = Rect::new(10.0, 20.0, 30.0, 40.0);
+        assert_eq!(r.right(), 40.0);
+        assert_eq!(r.bottom(), 60.0);
+        assert!(r.contains(10.0, 20.0));
+        assert!(r.contains(39.9, 59.9));
+        assert!(!r.contains(40.0, 20.0));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(a.intersects(&Rect::new(5.0, 5.0, 10.0, 10.0)));
+        assert!(!a.intersects(&Rect::new(10.0, 0.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn rect_scaling_and_pixels() {
+        let r = Rect::new(1.2, 1.2, 2.5, 2.5).scaled(2.0);
+        assert_eq!(r, Rect::new(2.4, 2.4, 5.0, 5.0));
+        let (x, y, w, h) = r.to_pixels();
+        assert_eq!((x, y), (2, 2));
+        assert_eq!((w, h), (6, 6)); // rounded outward
+    }
+
+    #[test]
+    fn hex_colors() {
+        assert_eq!(Color::parse("#000000"), Some(Color::BLACK));
+        assert_eq!(Color::parse("#ABCDEF"), Some(Color::rgb(0xAB, 0xCD, 0xEF)));
+        assert_eq!(Color::parse("#f00"), Some(Color::rgb(255, 0, 0)));
+        assert_eq!(Color::parse("#ff"), None);
+        assert_eq!(Color::parse("#gggggg"), None);
+    }
+
+    #[test]
+    fn rgb_function() {
+        assert_eq!(Color::parse("rgb(300,-5,16)"), Some(Color::rgb(255, 0, 16)));
+        assert_eq!(Color::parse("rgb(1,2)"), None);
+    }
+
+    #[test]
+    fn named_colors() {
+        assert_eq!(Color::parse("WHITE"), Some(Color::WHITE));
+        assert_eq!(Color::parse("transparent"), None);
+    }
+
+    #[test]
+    fn luminance_ordering() {
+        assert!(Color::WHITE.luminance() > Color::rgb(128, 128, 128).luminance());
+        assert!(Color::rgb(128, 128, 128).luminance() > Color::BLACK.luminance());
+        assert_eq!(Color::WHITE.luminance(), 255);
+    }
+}

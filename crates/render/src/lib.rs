@@ -1,0 +1,51 @@
+//! # msite-render
+//!
+//! The server-side rendering engine of the m.Site reproduction — the
+//! substitute for the paper's embedded WebKit. It takes HTML + CSS and
+//! produces positioned boxes and rasterized PNG snapshots, entirely in
+//! safe Rust with no external codecs:
+//!
+//! - [`css`]: CSS-lite parsing, the cascade, computed styles;
+//! - [`layout`]: block/inline/table flow layout with real text metrics;
+//! - [`font`]: a 5×7 bitmap font for deterministic glyph rendering;
+//! - [`canvas`]/[`mod@paint`]: a software RGB rasterizer;
+//! - [`png`]: PNG encoding over a from-scratch DEFLATE compressor;
+//! - [`image`]: the fidelity post-processor (scale/quantize/crop);
+//! - [`browser`]: the all-in-one [`Browser`] facade with a modeled
+//!   instance startup cost — the quantity the paper's Figure 7 varies.
+//!
+//! ```
+//! use msite_render::browser::{Browser, BrowserConfig};
+//! use msite_render::image::{process, ImageFormat, PostProcess};
+//!
+//! let browser = Browser::launch(BrowserConfig::default());
+//! let page = browser.render_page(
+//!     "<body><h1>Sawmill Creek</h1><p>Woodworking forums</p></body>", &[]);
+//! let snapshot = process(&page.canvas, &PostProcess {
+//!     scale: Some(0.5),
+//!     format: ImageFormat::JpegClass { quality: 40 },
+//!     ..Default::default()
+//! });
+//! assert!(snapshot.wire_bytes() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod canvas;
+pub mod css;
+pub mod font;
+pub mod geom;
+pub mod image;
+pub mod layout;
+pub mod paint;
+pub mod png;
+
+pub use browser::{Browser, BrowserConfig, RenderResult, StartupCost};
+pub use canvas::Canvas;
+pub use css::{compute_styles, ComputedStyle, Stylesheet};
+pub use geom::{Color, Rect};
+pub use image::{ImageFormat, PostProcess, ProcessedImage};
+pub use layout::{layout_document, BoxContent, LayoutBox, LayoutTree};
+pub use paint::paint;

@@ -1,0 +1,159 @@
+//! Painting: rasterizes a [`LayoutTree`] onto a
+//! [`Canvas`].
+//!
+//! [`LayoutTree`]: crate::layout::LayoutTree
+
+use crate::canvas::Canvas;
+use crate::geom::{Color, Rect};
+use crate::layout::{BoxContent, LayoutBox, LayoutTree};
+
+/// Paints the layout tree onto a fresh canvas sized to the page.
+///
+/// The canvas height is clamped to `max_height` pixels to bound memory on
+/// pathological pages; content below the clamp is simply not painted
+/// (like a capped screenshot).
+pub fn paint(tree: &LayoutTree, max_height: u32) -> Canvas {
+    let width = (tree.viewport_width.ceil() as u32).max(1);
+    let height = (tree.page_height.ceil() as u32).clamp(1, max_height);
+    let mut canvas = Canvas::new(width, height, Color::WHITE);
+    paint_box(&tree.root, &mut canvas);
+    canvas
+}
+
+fn paint_box(layout_box: &LayoutBox, canvas: &mut Canvas) {
+    let viewport = Rect::new(0.0, 0.0, canvas.width() as f32, canvas.height() as f32);
+    if !layout_box.rect.intersects(&viewport) && layout_box.rect.h > 0.0 {
+        // Entirely clipped; children are inside the parent rect for flow
+        // layout, so the subtree can be skipped.
+        return;
+    }
+    match &layout_box.content {
+        BoxContent::Container => {
+            if let Some(bg) = layout_box.style.background {
+                canvas.fill_rect(&layout_box.rect, bg);
+            }
+            if layout_box.style.border_width > 0.0 {
+                canvas.stroke_rect(
+                    &layout_box.rect,
+                    layout_box.style.border_width.round().max(1.0) as u32,
+                    layout_box.style.border_color,
+                );
+            }
+        }
+        BoxContent::Text(text) => {
+            canvas.draw_text(
+                layout_box.rect.x.round() as i32,
+                layout_box.rect.y.round() as i32,
+                text,
+                layout_box.style.font_size,
+                layout_box.style.color,
+            );
+        }
+        BoxContent::Image(_) => {
+            canvas.draw_placeholder(
+                &layout_box.rect,
+                Color::rgb(120, 120, 120),
+                Color::rgb(224, 224, 230),
+            );
+        }
+        BoxContent::Control(kind) => {
+            let fill = if kind == "submit" || kind == "button" {
+                Color::rgb(221, 221, 221)
+            } else {
+                Color::WHITE
+            };
+            canvas.fill_rect(&layout_box.rect, fill);
+            canvas.stroke_rect(&layout_box.rect, 1, Color::rgb(118, 118, 118));
+        }
+    }
+    for child in &layout_box.children {
+        paint_box(child, canvas);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::css::{compute_styles, Stylesheet};
+    use crate::layout::layout_document;
+    use msite_html::parse_document;
+
+    fn render(html: &str, css: &str, width: f32) -> Canvas {
+        let doc = parse_document(html);
+        let styles = compute_styles(&doc, &Stylesheet::parse(css));
+        let tree = layout_document(&doc, &styles, width);
+        paint(&tree, 4096)
+    }
+
+    fn count_color(canvas: &Canvas, color: Color) -> usize {
+        let mut n = 0;
+        for y in 0..canvas.height() {
+            for x in 0..canvas.width() {
+                if canvas.get(x, y) == color {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn background_painted() {
+        let canvas = render(
+            "<body><div style=\"height:20px;background:#ff0000\"></div></body>",
+            "body{margin:0}",
+            50.0,
+        );
+        assert!(count_color(&canvas, Color::rgb(255, 0, 0)) >= 50 * 18);
+    }
+
+    #[test]
+    fn text_painted_in_color() {
+        let canvas = render(
+            "<body><p style=\"color:#0000ff\">XXXX</p></body>",
+            "body{margin:0} p{margin:0}",
+            200.0,
+        );
+        assert!(count_color(&canvas, Color::rgb(0, 0, 255)) > 20);
+    }
+
+    #[test]
+    fn border_painted() {
+        let canvas = render(
+            "<body><div style=\"height:30px;border:2px solid #00ff00\"></div></body>",
+            "body{margin:0}",
+            40.0,
+        );
+        assert!(count_color(&canvas, Color::rgb(0, 255, 0)) > 40);
+        // Interior stays white.
+        assert_eq!(canvas.get(20, 15), Color::WHITE);
+    }
+
+    #[test]
+    fn image_placeholder_painted() {
+        let canvas = render(
+            "<body><img src=\"x.gif\" width=\"40\" height=\"40\"></body>",
+            "body{margin:0}",
+            60.0,
+        );
+        assert!(count_color(&canvas, Color::rgb(224, 224, 230)) > 400);
+    }
+
+    #[test]
+    fn height_clamped() {
+        let mut html = String::from("<body>");
+        for _ in 0..500 {
+            html.push_str("<div style=\"height:100px\">x</div>");
+        }
+        html.push_str("</body>");
+        let canvas = render(&html, "body{margin:0}", 100.0);
+        assert!(canvas.height() <= 4096);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = render("<body><p>stable</p></body>", "", 120.0);
+        let b = render("<body><p>stable</p></body>", "", 120.0);
+        assert_eq!(a.pixels(), b.pixels());
+    }
+}

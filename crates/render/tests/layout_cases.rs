@@ -1,0 +1,271 @@
+//! Scenario tests for the layout engine on realistic forum-era markup:
+//! nested tables, mixed inline/block flows, presentational attributes —
+//! the structures the snapshot pipeline must get geometrically right.
+
+use msite_html::parse_document;
+use msite_render::{compute_styles, layout_document, LayoutTree, Rect, Stylesheet};
+
+fn layout(html: &str, css: &str, width: f32) -> (msite_html::Document, LayoutTree) {
+    let doc = parse_document(html);
+    let styles = compute_styles(&doc, &Stylesheet::parse(css));
+    let tree = layout_document(&doc, &styles, width);
+    (doc, tree)
+}
+
+fn rect(doc: &msite_html::Document, tree: &LayoutTree, id: &str) -> Rect {
+    tree.rect_of(doc.element_by_id(id).unwrap())
+        .unwrap_or_else(|| panic!("no box for #{id}"))
+}
+
+#[test]
+fn nested_tables_nest_geometrically() {
+    let (doc, tree) = layout(
+        r#"<body><table id="outer" width="600"><tr><td id="cell">
+           <table id="inner" width="200"><tr><td id="deep">x</td></tr></table>
+           </td></tr></table></body>"#,
+        "body{margin:0} td{padding:0}",
+        600.0,
+    );
+    let outer = rect(&doc, &tree, "outer");
+    let inner = rect(&doc, &tree, "inner");
+    let deep = rect(&doc, &tree, "deep");
+    assert_eq!(outer.w, 600.0);
+    assert_eq!(inner.w, 200.0);
+    // Containment: inner inside outer, deep inside inner.
+    assert!(inner.x >= outer.x && inner.right() <= outer.right() + 0.01);
+    assert!(deep.x >= inner.x && deep.right() <= inner.right() + 0.01);
+    assert!(deep.y >= inner.y);
+}
+
+#[test]
+fn three_fixed_cells_and_one_auto() {
+    let (doc, tree) = layout(
+        r#"<body><table width="800"><tr>
+           <td id="a" width="100">a</td><td id="b" width="200">b</td>
+           <td id="c">c</td><td id="d" width="100">d</td>
+           </tr></table></body>"#,
+        "body{margin:0}",
+        800.0,
+    );
+    assert_eq!(rect(&doc, &tree, "a").w, 100.0);
+    assert_eq!(rect(&doc, &tree, "b").w, 200.0);
+    assert_eq!(rect(&doc, &tree, "c").w, 400.0); // 800 - 400 fixed
+    assert_eq!(rect(&doc, &tree, "d").w, 100.0);
+    // Cells abut left to right.
+    assert!(rect(&doc, &tree, "b").x >= rect(&doc, &tree, "a").right() - 0.01);
+    assert!(rect(&doc, &tree, "c").x >= rect(&doc, &tree, "b").right() - 0.01);
+}
+
+#[test]
+fn percent_cell_widths() {
+    let (doc, tree) = layout(
+        r#"<body><table width="500"><tr>
+           <td id="l" width="40%">left</td><td id="r" width="60%">right</td>
+           </tr></table></body>"#,
+        "body{margin:0}",
+        500.0,
+    );
+    assert_eq!(rect(&doc, &tree, "l").w, 200.0);
+    assert_eq!(rect(&doc, &tree, "r").w, 300.0);
+}
+
+#[test]
+fn heading_scale_and_margins() {
+    let (doc, tree) = layout(
+        "<body><h1 id=\"h1\">Big</h1><h3 id=\"h3\">Small</h3><p id=\"p\">text</p></body>",
+        "body{margin:0}",
+        600.0,
+    );
+    let h1 = rect(&doc, &tree, "h1");
+    let h3 = rect(&doc, &tree, "h3");
+    let p = rect(&doc, &tree, "p");
+    assert!(h1.h > h3.h, "h1 {h1:?} vs h3 {h3:?}");
+    assert!(h3.y > h1.bottom()); // margins separate them
+    assert!(p.y > h3.bottom());
+}
+
+#[test]
+fn inline_run_flows_around_image() {
+    let (_, tree) = layout(
+        "<body><p>before <img src=\"x\" width=\"50\" height=\"50\"> after</p></body>",
+        "body{margin:0}",
+        600.0,
+    );
+    // Line height grows to the image.
+    assert!(tree.page_height >= 50.0);
+    assert!(tree.page_height < 120.0, "image inline, not stacked: {}", tree.page_height);
+}
+
+#[test]
+fn wide_image_on_narrow_viewport_keeps_page_height_sane() {
+    let (_, tree) = layout(
+        "<body><img src=\"banner\" width=\"728\" height=\"90\"></body>",
+        "body{margin:0}",
+        320.0,
+    );
+    // The banner overflows horizontally (no shrinking in 2012 layouts),
+    // the vertical flow stays one line.
+    assert!(tree.page_height >= 90.0 && tree.page_height <= 120.0);
+}
+
+#[test]
+fn display_none_subtree_in_table() {
+    let (doc, tree) = layout(
+        r#"<body><table><tr><td id="shown">x</td>
+           <td id="hidden" style="display:none">y</td></tr></table></body>"#,
+        "body{margin:0}",
+        400.0,
+    );
+    assert!(tree.rect_of(doc.element_by_id("hidden").unwrap()).is_none());
+    // The shown cell takes the whole row.
+    assert_eq!(rect(&doc, &tree, "shown").w, 400.0);
+}
+
+#[test]
+fn deep_nesting_accumulates_padding() {
+    let (doc, tree) = layout(
+        r#"<body><div id="o" style="padding:10px"><div id="m" style="padding:10px">
+           <div id="i" style="padding:10px">x</div></div></div></body>"#,
+        "body{margin:0}",
+        400.0,
+    );
+    assert_eq!(rect(&doc, &tree, "o").x, 0.0);
+    assert_eq!(rect(&doc, &tree, "m").x, 10.0);
+    assert_eq!(rect(&doc, &tree, "i").x, 20.0);
+    assert_eq!(rect(&doc, &tree, "i").w, 360.0);
+}
+
+#[test]
+fn empty_table_and_empty_cells() {
+    let (_, tree) = layout(
+        "<body><table></table><table><tr></tr></table><table><tr><td></td></tr></table></body>",
+        "body{margin:0}",
+        300.0,
+    );
+    assert!(tree.page_height >= 0.0); // just must not panic or blow up
+    assert!(tree.page_height < 60.0);
+}
+
+#[test]
+fn long_unbroken_word_does_not_loop() {
+    let word = "x".repeat(400);
+    let (_, tree) = layout(
+        &format!("<body><p>{word}</p></body>"),
+        "body{margin:0}",
+        200.0,
+    );
+    // One oversized word: a single (overflowing) line, not infinite lines.
+    assert!(tree.page_height < 100.0, "{}", tree.page_height);
+}
+
+#[test]
+fn forum_row_shape() {
+    // The exact structure of the synthetic forum's rows.
+    let (doc, tree) = layout(
+        r#"<body><table id="forumbits" width="100%">
+        <tr class="forumrow">
+          <td id="icon" class="alt1" width="36"><img src="/images/forum_new.gif" width="28" height="28"></td>
+          <td id="title" class="alt1"><a href="/forumdisplay.php?f=1">General Woodworking</a>
+            <div class="smallfont">all about wood</div></td>
+          <td id="last" class="alt2" width="220"><span class="smallfont">Last post</span></td>
+        </tr></table></body>"#,
+        "body{margin:0} td.alt1{padding:6px} td.alt2{padding:6px}",
+        1024.0,
+    );
+    let icon = rect(&doc, &tree, "icon");
+    let title = rect(&doc, &tree, "title");
+    let last = rect(&doc, &tree, "last");
+    assert_eq!(icon.w, 36.0);
+    assert_eq!(last.w, 220.0);
+    assert_eq!(title.w, 1024.0 - 36.0 - 220.0);
+    // Same row: equal heights after equalization.
+    assert_eq!(icon.h, title.h);
+    assert_eq!(title.h, last.h);
+}
+
+#[test]
+fn center_tag_centers_children_text() {
+    let (_, left_tree) = layout("<body><p id=\"t\">mid</p></body>", "body{margin:0}", 400.0);
+    let (_, center_tree) = layout(
+        "<body><center><p id=\"t\">mid</p></center></body>",
+        "body{margin:0}",
+        400.0,
+    );
+    fn first_text_x(b: &msite_render::LayoutBox) -> Option<f32> {
+        if let msite_render::BoxContent::Text(_) = &b.content {
+            return Some(b.rect.x);
+        }
+        b.children.iter().find_map(first_text_x)
+    }
+    let lx = first_text_x(&left_tree.root).unwrap();
+    let cx = first_text_x(&center_tree.root).unwrap();
+    assert!(cx > lx + 50.0, "left {lx} center {cx}");
+}
+
+#[test]
+fn word_positions_scale_with_page() {
+    let (_, tree) = layout(
+        "<body><p>alpha beta gamma delta epsilon zeta eta theta</p></body>",
+        "body{margin:0}",
+        160.0, // narrow: forces wrapping
+    );
+    let words = tree.word_positions();
+    assert_eq!(words.len(), 8);
+    // Multiple lines used.
+    let distinct_ys: std::collections::BTreeSet<i64> =
+        words.iter().map(|(_, r)| r.y as i64).collect();
+    assert!(distinct_ys.len() >= 2);
+    // All within the viewport horizontally (words wrap rather than escape).
+    for (w, r) in &words {
+        assert!(r.x >= 0.0 && r.x < 160.0, "{w} at {r:?}");
+    }
+}
+
+#[test]
+fn inputs_and_buttons_take_intrinsic_sizes() {
+    let (_, tree) = layout(
+        r#"<body><form><input type="text" name="u"> <input type="password" name="p">
+           <input type="submit" value="Log in"> <input type="checkbox"></form></body>"#,
+        "body{margin:0}",
+        800.0,
+    );
+    fn controls(b: &msite_render::LayoutBox, out: &mut Vec<(String, Rect)>) {
+        if let msite_render::BoxContent::Control(kind) = &b.content {
+            out.push((kind.clone(), b.rect));
+        }
+        for c in &b.children {
+            controls(c, out);
+        }
+    }
+    let mut found = Vec::new();
+    controls(&tree.root, &mut found);
+    assert_eq!(found.len(), 4);
+    let checkbox = found.iter().find(|(k, _)| k == "checkbox").unwrap();
+    assert_eq!(checkbox.1.w, 13.0);
+    let text = found.iter().find(|(k, _)| k == "text").unwrap();
+    assert!(text.1.w >= 100.0);
+}
+
+#[test]
+fn hr_renders_as_thin_rule() {
+    let (doc, tree) = layout(
+        "<body><p>a</p><hr id=\"rule\"><p>b</p></body>",
+        "body{margin:0}",
+        300.0,
+    );
+    let hr = rect(&doc, &tree, "rule");
+    assert!(hr.h <= 4.0);
+    assert_eq!(hr.w, 300.0);
+}
+
+#[test]
+fn box_count_grows_with_content() {
+    let small = layout("<body><p>one</p></body>", "", 400.0).1.box_count();
+    let mut html = String::from("<body>");
+    for i in 0..50 {
+        html.push_str(&format!("<div><p>row {i}</p></div>"));
+    }
+    html.push_str("</body>");
+    let large = layout(&html, "", 400.0).1.box_count();
+    assert!(large > small + 90);
+}

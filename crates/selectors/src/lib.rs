@@ -1,0 +1,39 @@
+//! # msite-selectors
+//!
+//! Object identification and DOM manipulation for the m.Site
+//! reproduction: a CSS3 selector engine, an XPath subset, and a
+//! jQuery-like [`Query`] API — the "server-side jQuery port" the paper's
+//! proxy uses to locate and rewrite page objects.
+//!
+//! ```
+//! use msite_html::parse_document;
+//! use msite_selectors::{Query, xpath};
+//!
+//! let mut doc = parse_document(
+//!     "<table class='forum'><tr><td class='alt1'>Forum A</td></tr></table>");
+//!
+//! // CSS3 selection (jQuery-style).
+//! let cells = Query::select(&doc, "table.forum td.alt1").unwrap();
+//! assert_eq!(cells.text(&doc), "Forum A");
+//!
+//! // XPath selection (PageTailor-style).
+//! let same = xpath::evaluate(&doc, doc.root(), "//td[@class='alt1']").unwrap();
+//! assert_eq!(same.len(), 1);
+//!
+//! // Manipulation.
+//! cells.set_css(&mut doc, "font-size", "14px");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod css;
+pub mod query;
+pub mod xpath;
+
+pub use css::{
+    AttrOp, Combinator, ComplexSelector, Compound, ParseSelectorError, SelectorList,
+    SimpleSelector,
+};
+pub use query::Query;
+pub use xpath::{ParseXPathError, XPath};

@@ -1,0 +1,488 @@
+//! A server-side jQuery-like manipulation API.
+//!
+//! The m.Site proxy integrates "a server-side port of the popular jQuery
+//! DOM manipulation library"; this module is that port. A [`Query`] holds
+//! a set of matched nodes; reading methods borrow the document, mutating
+//! methods take `&mut Document` so the borrow checker keeps selection and
+//! mutation honest.
+//!
+//! # Examples
+//!
+//! ```
+//! use msite_html::parse_document;
+//! use msite_selectors::Query;
+//!
+//! let mut doc = parse_document("<ul><li>a</li><li class='x'>b</li></ul>");
+//! let items = Query::select(&doc, "li").unwrap();
+//! assert_eq!(items.len(), 2);
+//! Query::select(&doc, "li.x").unwrap().remove(&mut doc);
+//! assert_eq!(doc.to_html(), "<ul><li>a</li></ul>");
+//! ```
+
+use crate::css::{ParseSelectorError, SelectorList};
+use msite_html::{parse_fragment_into, Document, NodeId};
+
+/// A matched set of DOM nodes, in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    ids: Vec<NodeId>,
+}
+
+impl Query {
+    /// Wraps an explicit node set.
+    pub fn from_ids(ids: Vec<NodeId>) -> Self {
+        Query { ids }
+    }
+
+    /// Selects all elements in `doc` matching the CSS selector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the selector parse error.
+    pub fn select(doc: &Document, selector: &str) -> Result<Self, ParseSelectorError> {
+        let list = SelectorList::parse(selector)?;
+        Ok(Query {
+            ids: list.select(doc, doc.root()),
+        })
+    }
+
+    /// The matched node ids.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Number of matched nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// First matched node.
+    pub fn first(&self) -> Option<NodeId> {
+        self.ids.first().copied()
+    }
+
+    /// The `n`-th matched node as a new single-node query.
+    pub fn eq(&self, n: usize) -> Query {
+        Query {
+            ids: self.ids.get(n).copied().into_iter().collect(),
+        }
+    }
+
+    /// Descendants of the matched set matching `selector`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the selector parse error.
+    pub fn find(&self, doc: &Document, selector: &str) -> Result<Query, ParseSelectorError> {
+        let list = SelectorList::parse(selector)?;
+        let mut ids: Vec<NodeId> = self
+            .ids
+            .iter()
+            .flat_map(|&id| list.select(doc, id))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        Ok(Query { ids })
+    }
+
+    /// Subset of the matched set that itself matches `selector`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the selector parse error.
+    pub fn filter(&self, doc: &Document, selector: &str) -> Result<Query, ParseSelectorError> {
+        let list = SelectorList::parse(selector)?;
+        Ok(Query {
+            ids: self
+                .ids
+                .iter()
+                .copied()
+                .filter(|&id| list.matches(doc, id))
+                .collect(),
+        })
+    }
+
+    /// Parents of the matched set (deduplicated, document order).
+    pub fn parent(&self, doc: &Document) -> Query {
+        let mut ids: Vec<NodeId> = self
+            .ids
+            .iter()
+            .filter_map(|&id| doc.node(id).parent())
+            .filter(|&id| doc.data(id).as_element().is_some())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        Query { ids }
+    }
+
+    /// Element children of the matched set.
+    pub fn children(&self, doc: &Document) -> Query {
+        let ids: Vec<NodeId> = self
+            .ids
+            .iter()
+            .flat_map(|&id| doc.children(id))
+            .filter(|&id| doc.data(id).as_element().is_some())
+            .collect();
+        Query { ids }
+    }
+
+    // -- readers ------------------------------------------------------
+
+    /// Attribute value from the first matched node.
+    pub fn attr<'d>(&self, doc: &'d Document, name: &str) -> Option<&'d str> {
+        self.first().and_then(|id| doc.attr(id, name))
+    }
+
+    /// Concatenated text content of all matched nodes.
+    pub fn text(&self, doc: &Document) -> String {
+        self.ids
+            .iter()
+            .map(|&id| doc.text_content(id))
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// Inner HTML of the first matched node.
+    pub fn html(&self, doc: &Document) -> Option<String> {
+        self.first().map(|id| doc.inner_html(id))
+    }
+
+    /// Outer HTML of every matched node, concatenated.
+    pub fn outer_html(&self, doc: &Document) -> String {
+        self.ids
+            .iter()
+            .map(|&id| doc.outer_html(id))
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    // -- mutators -----------------------------------------------------
+
+    /// Sets an attribute on every matched node.
+    pub fn set_attr(&self, doc: &mut Document, name: &str, value: &str) -> &Self {
+        for &id in &self.ids {
+            doc.set_attr(id, name, value);
+        }
+        self
+    }
+
+    /// Removes an attribute from every matched node.
+    pub fn remove_attr(&self, doc: &mut Document, name: &str) -> &Self {
+        for &id in &self.ids {
+            doc.remove_attr(id, name);
+        }
+        self
+    }
+
+    /// Adds a class to every matched node.
+    pub fn add_class(&self, doc: &mut Document, class: &str) -> &Self {
+        for &id in &self.ids {
+            if let Some(e) = doc.data_mut(id).as_element_mut() {
+                e.add_class(class);
+            }
+        }
+        self
+    }
+
+    /// Removes a class from every matched node.
+    pub fn remove_class(&self, doc: &mut Document, class: &str) -> &Self {
+        for &id in &self.ids {
+            if let Some(e) = doc.data_mut(id).as_element_mut() {
+                e.remove_class(class);
+            }
+        }
+        self
+    }
+
+    /// Merges a CSS declaration into the inline `style` attribute of
+    /// every matched node, replacing any previous value for `property`.
+    pub fn set_css(&self, doc: &mut Document, property: &str, value: &str) -> &Self {
+        for &id in &self.ids {
+            let existing = doc.attr(id, "style").unwrap_or("").to_string();
+            let mut decls: Vec<(String, String)> = existing
+                .split(';')
+                .filter_map(|d| {
+                    let (k, v) = d.split_once(':')?;
+                    Some((k.trim().to_ascii_lowercase(), v.trim().to_string()))
+                })
+                .filter(|(k, _)| k != &property.to_ascii_lowercase())
+                .collect();
+            decls.push((property.to_ascii_lowercase(), value.to_string()));
+            let style = decls
+                .iter()
+                .map(|(k, v)| format!("{k}:{v}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            doc.set_attr(id, "style", &style);
+        }
+        self
+    }
+
+    /// Hides every matched node via `display:none` (the paper's "hidden
+    /// via CSS style properties" adaptation).
+    pub fn hide(&self, doc: &mut Document) -> &Self {
+        self.set_css(doc, "display", "none")
+    }
+
+    /// Replaces the children of every matched node with parsed `html`.
+    pub fn set_html(&self, doc: &mut Document, html: &str) -> &Self {
+        for &id in &self.ids {
+            let children: Vec<NodeId> = doc.children(id).collect();
+            for c in children {
+                doc.detach(c);
+            }
+            parse_fragment_into(doc, id, html);
+        }
+        self
+    }
+
+    /// Replaces the text of every matched node.
+    pub fn set_text(&self, doc: &mut Document, text: &str) -> &Self {
+        for &id in &self.ids {
+            doc.set_text_content(id, text);
+        }
+        self
+    }
+
+    /// Appends parsed `html` inside every matched node.
+    pub fn append_html(&self, doc: &mut Document, html: &str) -> &Self {
+        for &id in &self.ids {
+            parse_fragment_into(doc, id, html);
+        }
+        self
+    }
+
+    /// Prepends parsed `html` inside every matched node.
+    pub fn prepend_html(&self, doc: &mut Document, html: &str) -> &Self {
+        for &id in &self.ids {
+            let first = doc.node(id).first_child();
+            let added = parse_fragment_into(doc, id, html);
+            if let Some(reference) = first {
+                for new in added {
+                    doc.detach(new);
+                    doc.insert_before(new, reference);
+                }
+            }
+        }
+        self
+    }
+
+    /// Inserts parsed `html` immediately before every matched node.
+    pub fn before_html(&self, doc: &mut Document, html: &str) -> &Self {
+        for &id in &self.ids {
+            if let Some(parent) = doc.node(id).parent() {
+                let added = parse_fragment_into(doc, parent, html);
+                for new in added {
+                    doc.detach(new);
+                    doc.insert_before(new, id);
+                }
+            }
+        }
+        self
+    }
+
+    /// Inserts parsed `html` immediately after every matched node.
+    pub fn after_html(&self, doc: &mut Document, html: &str) -> &Self {
+        for &id in &self.ids {
+            if let Some(parent) = doc.node(id).parent() {
+                let added = parse_fragment_into(doc, parent, html);
+                let mut reference = id;
+                for new in added {
+                    doc.detach(new);
+                    doc.insert_after(new, reference);
+                    reference = new;
+                }
+            }
+        }
+        self
+    }
+
+    /// Detaches every matched node from the tree.
+    pub fn remove(&self, doc: &mut Document) -> &Self {
+        for &id in &self.ids {
+            doc.detach(id);
+        }
+        self
+    }
+
+    /// Replaces every matched node with parsed `html`.
+    pub fn replace_with_html(&self, doc: &mut Document, html: &str) -> &Self {
+        for &id in &self.ids {
+            if let Some(parent) = doc.node(id).parent() {
+                let added = parse_fragment_into(doc, parent, html);
+                let mut reference = id;
+                for new in added {
+                    doc.detach(new);
+                    doc.insert_after(new, reference);
+                    reference = new;
+                }
+                doc.detach(id);
+            }
+        }
+        self
+    }
+}
+
+impl IntoIterator for Query {
+    type Item = NodeId;
+    type IntoIter = std::vec::IntoIter<NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Query {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+impl FromIterator<NodeId> for Query {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        Query {
+            ids: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_html::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            r#"<div id="page"><div id="nav"><a href="a.php">A</a><a href="b.php">B</a></div><table class="forum"><tr><td>one</td><td>two</td></tr></table></div>"#,
+        )
+    }
+
+    #[test]
+    fn select_and_len() {
+        let d = doc();
+        assert_eq!(Query::select(&d, "a").unwrap().len(), 2);
+        assert!(Query::select(&d, "video").unwrap().is_empty());
+        assert!(Query::select(&d, "..bad").is_err());
+    }
+
+    #[test]
+    fn find_scopes_to_matches() {
+        let d = doc();
+        let nav = Query::select(&d, "#nav").unwrap();
+        assert_eq!(nav.find(&d, "a").unwrap().len(), 2);
+        assert_eq!(nav.find(&d, "td").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn filter_and_eq() {
+        let d = doc();
+        let links = Query::select(&d, "a").unwrap();
+        let b_only = links.filter(&d, "[href^=b]").unwrap();
+        assert_eq!(b_only.len(), 1);
+        assert_eq!(links.eq(1).attr(&d, "href"), Some("b.php"));
+        assert!(links.eq(9).is_empty());
+    }
+
+    #[test]
+    fn parent_and_children() {
+        let d = doc();
+        let links = Query::select(&d, "a").unwrap();
+        let parents = links.parent(&d);
+        assert_eq!(parents.len(), 1);
+        assert_eq!(d.attr(parents.first().unwrap(), "id"), Some("nav"));
+        let kids = parents.children(&d);
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn readers() {
+        let d = doc();
+        let tds = Query::select(&d, "td").unwrap();
+        assert_eq!(tds.text(&d), "onetwo");
+        assert_eq!(tds.html(&d), Some("one".to_string()));
+        assert_eq!(tds.outer_html(&d), "<td>one</td><td>two</td>");
+    }
+
+    #[test]
+    fn set_attr_on_all() {
+        let mut d = doc();
+        Query::select(&d, "a").unwrap().set_attr(&mut d, "target", "_blank");
+        for id in &Query::select(&d, "a").unwrap() {
+            assert_eq!(d.attr(id, "target"), Some("_blank"));
+        }
+    }
+
+    #[test]
+    fn css_merge_and_hide() {
+        let mut d = doc();
+        let nav = Query::select(&d, "#nav").unwrap();
+        nav.set_css(&mut d, "color", "red");
+        nav.set_css(&mut d, "display", "none");
+        nav.set_css(&mut d, "color", "blue");
+        let style = nav.attr(&d, "style").unwrap();
+        assert_eq!(style, "display:none;color:blue");
+        let table = Query::select(&d, "table").unwrap();
+        table.hide(&mut d);
+        assert_eq!(table.attr(&d, "style"), Some("display:none"));
+    }
+
+    #[test]
+    fn html_mutations() {
+        let mut d = doc();
+        let nav = Query::select(&d, "#nav").unwrap();
+        nav.set_html(&mut d, "<span>replaced</span>");
+        assert_eq!(nav.html(&d), Some("<span>replaced</span>".to_string()));
+        nav.append_html(&mut d, "<i>end</i>");
+        nav.prepend_html(&mut d, "<i>start</i>");
+        assert_eq!(
+            nav.html(&d),
+            Some("<i>start</i><span>replaced</span><i>end</i>".to_string())
+        );
+    }
+
+    #[test]
+    fn before_after_insertions() {
+        let mut d = parse_document("<div><b id=x>mid</b></div>");
+        let x = Query::select(&d, "#x").unwrap();
+        x.before_html(&mut d, "<i>1</i><i>2</i>");
+        x.after_html(&mut d, "<u>3</u><u>4</u>");
+        assert_eq!(
+            d.to_html(),
+            "<div><i>1</i><i>2</i><b id=\"x\">mid</b><u>3</u><u>4</u></div>"
+        );
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let mut d = doc();
+        Query::select(&d, "table").unwrap().remove(&mut d);
+        assert!(Query::select(&d, "td").unwrap().is_empty());
+        let nav = Query::select(&d, "#nav").unwrap();
+        nav.replace_with_html(&mut d, "<p>gone</p>");
+        assert!(Query::select(&d, "#nav").unwrap().is_empty());
+        assert_eq!(Query::select(&d, "p").unwrap().text(&d), "gone");
+    }
+
+    #[test]
+    fn set_text_escapes() {
+        let mut d = doc();
+        let td = Query::select(&d, "td").unwrap().eq(0);
+        td.set_text(&mut d, "<b>not html</b>");
+        assert!(d.outer_html(td.first().unwrap()).contains("&lt;b&gt;"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let d = doc();
+        let q: Query = Query::select(&d, "td").unwrap().into_iter().collect();
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,424 @@
+//! A pragmatic XPath subset for DOM-based object identification.
+//!
+//! The m.Site paper (like PageTailor and Greasemonkey scripts it cites)
+//! identifies page objects with XPath. This module supports the forms
+//! those tools emit:
+//!
+//! - absolute (`/html/body/div`) and anywhere (`//table`) paths;
+//! - name and wildcard node tests (`div`, `*`);
+//! - positional predicates (`//tr[2]`);
+//! - attribute predicates (`//a[@href]`, `//td[@class='alt1']`);
+//! - chained steps mixing `/` and `//`;
+//! - `..` parent steps.
+
+use msite_html::{Document, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced for malformed XPath expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXPathError {
+    message: String,
+}
+
+impl ParseXPathError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseXPathError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseXPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid xpath: {}", self.message)
+    }
+}
+
+impl Error for ParseXPathError {}
+
+/// Which axis a step walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    /// `/name` — direct children.
+    Child,
+    /// `//name` — all descendants.
+    Descendant,
+    /// `..` — parent.
+    Parent,
+}
+
+/// A node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeTest {
+    Name(String),
+    Any,
+    Parent,
+}
+
+/// A predicate within `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Predicate {
+    /// `[3]` — 1-based position within the step's per-parent matches.
+    Position(usize),
+    /// `[@attr]`
+    HasAttr(String),
+    /// `[@attr='value']`
+    AttrEquals(String, String),
+    /// `[text()='value']`
+    TextEquals(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Step {
+    axis: Axis,
+    test: NodeTest,
+    predicates: Vec<Predicate>,
+}
+
+/// A parsed XPath expression.
+///
+/// # Examples
+///
+/// ```
+/// use msite_selectors::xpath::XPath;
+///
+/// let doc = msite_html::parse_document(
+///     "<table><tr><td class='alt1'>a</td></tr><tr><td>b</td></tr></table>");
+/// let path = XPath::parse("//tr[2]/td").unwrap();
+/// let hits = path.evaluate(&doc, doc.root());
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(doc.text_content(hits[0]), "b");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPath {
+    steps: Vec<Step>,
+    absolute: bool,
+}
+
+impl XPath {
+    /// Parses an XPath expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXPathError`] when the expression uses syntax outside
+    /// the supported subset or is malformed.
+    pub fn parse(input: &str) -> Result<XPath, ParseXPathError> {
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return Err(ParseXPathError::new("empty expression"));
+        }
+        let mut rest = trimmed;
+        let absolute = rest.starts_with('/');
+        let mut steps = Vec::new();
+        while !rest.is_empty() {
+            let axis = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                Axis::Descendant
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                Axis::Child
+            } else if steps.is_empty() {
+                // Relative path start: implicit child axis.
+                Axis::Child
+            } else {
+                return Err(ParseXPathError::new(format!(
+                    "expected `/` before `{rest}`"
+                )));
+            };
+            if rest.is_empty() {
+                return Err(ParseXPathError::new("trailing slash"));
+            }
+            let (step, remaining) = parse_step(rest, axis)?;
+            steps.push(step);
+            rest = remaining;
+        }
+        if steps.is_empty() {
+            return Err(ParseXPathError::new("no steps"));
+        }
+        Ok(XPath { steps, absolute })
+    }
+
+    /// Evaluates the expression against `doc`, starting from `context`.
+    ///
+    /// Absolute paths (`/...`) restart from the document root regardless
+    /// of `context`; `//...` paths search all descendants of `context`.
+    /// Results are deduplicated and in document order.
+    pub fn evaluate(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
+        let start = if self.absolute && self.steps.first().map(|s| s.axis) == Some(Axis::Child) {
+            doc.root()
+        } else {
+            context
+        };
+        let mut current = vec![start];
+        for step in &self.steps {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &node in &current {
+                let candidates: Vec<NodeId> = match step.axis {
+                    Axis::Child => doc.children(node).collect(),
+                    Axis::Descendant => doc.descendants(node).collect(),
+                    Axis::Parent => doc.node(node).parent().into_iter().collect(),
+                };
+                let mut matched: Vec<NodeId> = candidates
+                    .into_iter()
+                    .filter(|&c| test_matches(doc, c, &step.test))
+                    .collect();
+                for pred in &step.predicates {
+                    matched = apply_predicate(doc, matched, pred);
+                }
+                next.extend(matched);
+            }
+            // Deduplicate preserving document order.
+            next.sort();
+            next.dedup();
+            current = next;
+        }
+        current
+    }
+}
+
+fn test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Name(name) => doc.tag_name(node) == Some(name.as_str()),
+        NodeTest::Any => doc.data(node).as_element().is_some(),
+        NodeTest::Parent => true,
+    }
+}
+
+fn apply_predicate(doc: &Document, nodes: Vec<NodeId>, pred: &Predicate) -> Vec<NodeId> {
+    match pred {
+        Predicate::Position(n) => {
+            // Position is evaluated per the candidate list from one context
+            // node, which is what callers get since predicates run before
+            // merging across contexts.
+            nodes.into_iter().skip(n - 1).take(1).collect()
+        }
+        Predicate::HasAttr(name) => nodes
+            .into_iter()
+            .filter(|&id| doc.attr(id, name).is_some())
+            .collect(),
+        Predicate::AttrEquals(name, value) => nodes
+            .into_iter()
+            .filter(|&id| doc.attr(id, name) == Some(value.as_str()))
+            .collect(),
+        Predicate::TextEquals(value) => nodes
+            .into_iter()
+            .filter(|&id| doc.text_content(id).trim() == value)
+            .collect(),
+    }
+}
+
+/// Parses one step (node test + predicates), returning the remainder.
+fn parse_step(input: &str, axis: Axis) -> Result<(Step, &str), ParseXPathError> {
+    if let Some(rest) = input.strip_prefix("..") {
+        return Ok((
+            Step {
+                axis: Axis::Parent,
+                test: NodeTest::Parent,
+                predicates: Vec::new(),
+            },
+            rest,
+        ));
+    }
+    let name_len = input
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_' || *c == '*')
+        .map(|c| c.len_utf8())
+        .sum::<usize>();
+    if name_len == 0 {
+        return Err(ParseXPathError::new(format!("expected node test at `{input}`")));
+    }
+    let name = &input[..name_len];
+    let test = if name == "*" {
+        NodeTest::Any
+    } else {
+        NodeTest::Name(name.to_ascii_lowercase())
+    };
+    let mut rest = &input[name_len..];
+    let mut predicates = Vec::new();
+    while let Some(r) = rest.strip_prefix('[') {
+        let close = r
+            .find(']')
+            .ok_or_else(|| ParseXPathError::new("unterminated predicate"))?;
+        let body = &r[..close];
+        predicates.push(parse_predicate(body)?);
+        rest = &r[close + 1..];
+    }
+    Ok((
+        Step {
+            axis,
+            test,
+            predicates,
+        },
+        rest,
+    ))
+}
+
+fn parse_predicate(body: &str) -> Result<Predicate, ParseXPathError> {
+    let body = body.trim();
+    if let Ok(n) = body.parse::<usize>() {
+        if n == 0 {
+            return Err(ParseXPathError::new("positions are 1-based"));
+        }
+        return Ok(Predicate::Position(n));
+    }
+    if let Some(attr_expr) = body.strip_prefix('@') {
+        return match attr_expr.find('=') {
+            None => {
+                let name = attr_expr.trim().to_ascii_lowercase();
+                if name.is_empty() {
+                    return Err(ParseXPathError::new("empty attribute name"));
+                }
+                Ok(Predicate::HasAttr(name))
+            }
+            Some(eq) => {
+                let name = attr_expr[..eq].trim().to_ascii_lowercase();
+                if name.is_empty() {
+                    return Err(ParseXPathError::new("empty attribute name"));
+                }
+                let value = unquote(attr_expr[eq + 1..].trim())?;
+                Ok(Predicate::AttrEquals(name, value))
+            }
+        };
+    }
+    if let Some(text_expr) = body.strip_prefix("text()") {
+        let rhs = text_expr
+            .trim()
+            .strip_prefix('=')
+            .ok_or_else(|| ParseXPathError::new("expected `=` after text()"))?;
+        return Ok(Predicate::TextEquals(unquote(rhs.trim())?));
+    }
+    Err(ParseXPathError::new(format!("unsupported predicate `{body}`")))
+}
+
+fn unquote(s: &str) -> Result<String, ParseXPathError> {
+    let inner = s
+        .strip_prefix('\'')
+        .and_then(|x| x.strip_suffix('\''))
+        .or_else(|| s.strip_prefix('"').and_then(|x| x.strip_suffix('"')))
+        .ok_or_else(|| ParseXPathError::new(format!("expected quoted string, got `{s}`")))?;
+    Ok(inner.to_string())
+}
+
+/// Convenience: parse and evaluate in one call.
+///
+/// # Errors
+///
+/// Returns the parse error; evaluation itself cannot fail.
+pub fn evaluate(doc: &Document, context: NodeId, expr: &str) -> Result<Vec<NodeId>, ParseXPathError> {
+    Ok(XPath::parse(expr)?.evaluate(doc, context))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_html::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            r#"<html><body>
+              <div id="wrap">
+                <table id="t1">
+                  <tr><td class="alt1">r1c1</td><td>r1c2</td></tr>
+                  <tr><td class="alt1">r2c1</td><td>r2c2</td></tr>
+                </table>
+                <div class="inner"><a href="x.php">link</a><a>anchor</a></div>
+              </div>
+            </body></html>"#,
+        )
+    }
+
+    fn texts(doc: &Document, ids: &[NodeId]) -> Vec<String> {
+        ids.iter().map(|&id| doc.text_content(id).trim().to_string()).collect()
+    }
+
+    #[test]
+    fn absolute_path() {
+        let d = doc();
+        let hits = evaluate(&d, d.root(), "/html/body/div/table").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.attr(hits[0], "id"), Some("t1"));
+    }
+
+    #[test]
+    fn descendant_anywhere() {
+        let d = doc();
+        assert_eq!(evaluate(&d, d.root(), "//td").unwrap().len(), 4);
+        assert_eq!(evaluate(&d, d.root(), "//table//td").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = doc();
+        let hits = evaluate(&d, d.root(), "//tr[2]/td[1]").unwrap();
+        assert_eq!(texts(&d, &hits), ["r2c1"]);
+        let first_row = evaluate(&d, d.root(), "//tr[1]").unwrap();
+        assert_eq!(first_row.len(), 1);
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        let d = doc();
+        assert_eq!(evaluate(&d, d.root(), "//a[@href]").unwrap().len(), 1);
+        assert_eq!(
+            evaluate(&d, d.root(), "//td[@class='alt1']").unwrap().len(),
+            2
+        );
+        assert_eq!(
+            evaluate(&d, d.root(), "//td[@class=\"alt1\"][2]").unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn wildcard_and_parent() {
+        let d = doc();
+        let all_in_table = evaluate(&d, d.root(), "//table/*").unwrap();
+        assert_eq!(all_in_table.len(), 2); // two tr
+        let parent = evaluate(&d, d.root(), "//table/..").unwrap();
+        assert_eq!(d.attr(parent[0], "id"), Some("wrap"));
+    }
+
+    #[test]
+    fn text_predicate() {
+        let d = doc();
+        let hits = evaluate(&d, d.root(), "//td[text()='r1c2']").unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn relative_path_from_context() {
+        let d = doc();
+        let table = evaluate(&d, d.root(), "//table").unwrap()[0];
+        let cells = evaluate(&d, table, "tr/td").unwrap();
+        assert_eq!(cells.len(), 4);
+    }
+
+    #[test]
+    fn results_deduplicated_in_order() {
+        let d = doc();
+        let hits = evaluate(&d, d.root(), "//div//a").unwrap();
+        // Both divs contain the anchors; dedup must leave exactly two.
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0] < hits[1]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "/", "//", "//td[", "//td[@]", "//td[text()]", "//td[0]", "a b"] {
+            assert!(XPath::parse(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_names() {
+        let d = doc();
+        assert_eq!(evaluate(&d, d.root(), "//TABLE").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn no_matches_is_empty_not_error() {
+        let d = doc();
+        assert!(evaluate(&d, d.root(), "//video").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Property tests: the right-to-left selector matcher must agree with a
+//! naive reference implementation, and parsing must be total on printable
+//! input.
+
+use msite_html::{parse_document, Document, NodeId};
+use msite_selectors::{Query, SelectorList};
+use proptest::prelude::*;
+
+/// Generates a random document from a fixed vocabulary so selectors have
+/// something to hit.
+fn arb_doc_source() -> impl Strategy<Value = String> {
+    let tag = prop::sample::select(vec!["div", "span", "p", "td", "a", "ul", "li"]);
+    let class = prop::sample::select(vec!["", " class=\"x\"", " class=\"y\"", " class=\"x y\""]);
+    let node = (tag, class).prop_map(|(t, c)| format!("<{t}{c}>t</{t}>"));
+    prop::collection::vec(node, 1..20).prop_map(|nodes| {
+        let mut out = String::from("<body>");
+        for (i, n) in nodes.iter().enumerate() {
+            if i % 3 == 0 {
+                out.push_str("<div class=\"wrap\">");
+                out.push_str(n);
+                out.push_str("</div>");
+            } else {
+                out.push_str(n);
+            }
+        }
+        out.push_str("</body>");
+        out
+    })
+}
+
+fn arb_selector() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "div",
+        "span",
+        ".x",
+        ".y",
+        "div.wrap",
+        "div.wrap span",
+        "div > span",
+        "p + p",
+        "li ~ li",
+        "*",
+        "div.wrap > .x",
+        "span:first-child",
+        "p:last-child",
+        "li:nth-child(2n+1)",
+        ":not(.x)",
+        "div span, p",
+    ])
+}
+
+/// O(n^3) reference matcher: brute force over every (node, alternative)
+/// using only first principles.
+fn reference_select(doc: &Document, selector: &str) -> Vec<NodeId> {
+    let list = SelectorList::parse(selector).unwrap();
+    doc.descendants(doc.root())
+        .filter(|&id| doc.data(id).as_element().is_some())
+        .filter(|&id| list.matches(doc, id))
+        .collect()
+}
+
+/// An independent slow matcher for the subset used in `arb_selector`,
+/// implementing descendant/child/sibling semantics by enumerating all
+/// ancestor/sibling chains.
+fn slow_matches(doc: &Document, node: NodeId, selector: &str) -> bool {
+    // Split on commas: any alternative may match.
+    selector.split(',').any(|alt| slow_match_complex(doc, node, alt.trim()))
+}
+
+fn slow_match_complex(doc: &Document, node: NodeId, alt: &str) -> bool {
+    // Tokenize into compounds and combinators.
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    for ch in alt.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            '>' | '+' | '~' if depth > 0 => cur.push(ch),
+            c if c.is_whitespace() && depth > 0 => cur.push(c),
+            '>' | '+' | '~' => {
+                if !cur.trim().is_empty() {
+                    parts.push(cur.trim().to_string());
+                }
+                parts.push(ch.to_string());
+                cur.clear();
+            }
+            c if c.is_whitespace() => {
+                if !cur.trim().is_empty() {
+                    parts.push(cur.trim().to_string());
+                    cur.clear();
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    // Collapse: [compound, (comb, compound)...] where missing comb = descendant
+    let mut compounds: Vec<String> = Vec::new();
+    let mut combs: Vec<char> = Vec::new();
+    let mut expect_compound = true;
+    for p in parts {
+        if p == ">" || p == "+" || p == "~" {
+            if expect_compound {
+                // combinator where compound expected: malformed; bail
+                return false;
+            }
+            combs.push(p.chars().next().unwrap());
+            expect_compound = true;
+        } else {
+            if !expect_compound {
+                combs.push(' ');
+            }
+            compounds.push(p);
+            expect_compound = false;
+        }
+    }
+    slow_match_chain(doc, node, &compounds, &combs)
+}
+
+fn slow_match_chain(doc: &Document, node: NodeId, compounds: &[String], combs: &[char]) -> bool {
+    let Some((key, rest_compounds)) = compounds.split_last() else {
+        return true;
+    };
+    if !slow_match_compound(doc, node, key) {
+        return false;
+    }
+    let Some((comb, rest_combs)) = combs.split_last() else {
+        return rest_compounds.is_empty();
+    };
+    match comb {
+        '>' => doc
+            .node(node)
+            .parent()
+            .map(|p| {
+                doc.data(p).as_element().is_some()
+                    && slow_match_chain(doc, p, rest_compounds, rest_combs)
+            })
+            .unwrap_or(false),
+        ' ' => doc
+            .ancestors(node)
+            .filter(|&a| doc.data(a).as_element().is_some())
+            .any(|a| slow_match_chain(doc, a, rest_compounds, rest_combs)),
+        '+' => {
+            let mut prev = doc.node(node).prev_sibling();
+            while let Some(p) = prev {
+                if doc.data(p).as_element().is_some() {
+                    return slow_match_chain(doc, p, rest_compounds, rest_combs);
+                }
+                prev = doc.node(p).prev_sibling();
+            }
+            false
+        }
+        '~' => {
+            let mut prev = doc.node(node).prev_sibling();
+            while let Some(p) = prev {
+                if doc.data(p).as_element().is_some()
+                    && slow_match_chain(doc, p, rest_compounds, rest_combs)
+                {
+                    return true;
+                }
+                prev = doc.node(p).prev_sibling();
+            }
+            false
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn slow_match_compound(doc: &Document, node: NodeId, compound: &str) -> bool {
+    let Some(element) = doc.data(node).as_element() else {
+        return false;
+    };
+    // Parse the limited grammar used in arb_selector.
+    let mut rest = compound;
+    let mut matched_any = false;
+    while !rest.is_empty() {
+        if let Some(r) = rest.strip_prefix('*') {
+            rest = r;
+            matched_any = true;
+        } else if let Some(r) = rest.strip_prefix('.') {
+            let end = r
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+                .unwrap_or(r.len());
+            if !element.has_class(&r[..end]) {
+                return false;
+            }
+            rest = &r[end..];
+            matched_any = true;
+        } else if let Some(r) = rest.strip_prefix(":not(") {
+            let close = r.find(')').unwrap();
+            if slow_match_compound(doc, node, &r[..close]) {
+                return false;
+            }
+            rest = &r[close + 1..];
+            matched_any = true;
+        } else if let Some(r) = rest.strip_prefix(":first-child") {
+            if doc.element_sibling_index(node) != Some(1) {
+                return false;
+            }
+            rest = r;
+            matched_any = true;
+        } else if let Some(r) = rest.strip_prefix(":last-child") {
+            let mut next = doc.node(node).next_sibling();
+            while let Some(n) = next {
+                if doc.data(n).as_element().is_some() {
+                    return false;
+                }
+                next = doc.node(n).next_sibling();
+            }
+            if doc.node(node).parent().is_none() {
+                return false;
+            }
+            rest = r;
+            matched_any = true;
+        } else if let Some(r) = rest.strip_prefix(":nth-child(") {
+            let close = r.find(')').unwrap();
+            let arg = &r[..close];
+            // Only "2n+1" appears in the vocabulary.
+            assert_eq!(arg, "2n+1");
+            match doc.element_sibling_index(node) {
+                Some(i) => {
+                    if i % 2 != 1 {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+            rest = &r[close + 1..];
+            matched_any = true;
+        } else {
+            let end = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return false;
+            }
+            if element.name() != &rest[..end] {
+                return false;
+            }
+            rest = &rest[end..];
+            matched_any = true;
+        }
+    }
+    matched_any
+}
+
+proptest! {
+    /// The production matcher agrees with the naive reference matcher on
+    /// every generated (document, selector) pair.
+    #[test]
+    fn matcher_agrees_with_reference(src in arb_doc_source(), sel in arb_selector()) {
+        let doc = parse_document(&src);
+        let fast = reference_select(&doc, sel);
+        let slow: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&id| doc.data(id).as_element().is_some())
+            .filter(|&id| slow_matches(&doc, id, sel))
+            .collect();
+        prop_assert_eq!(fast, slow, "selector {} on {}", sel, src);
+    }
+
+    /// Selector parsing is total (never panics) on arbitrary printable input.
+    #[test]
+    fn selector_parse_total(input in "[ -~]{0,48}") {
+        let _ = SelectorList::parse(&input);
+    }
+
+    /// Query::select equals SelectorList::select on the root.
+    #[test]
+    fn query_equals_selectorlist(src in arb_doc_source(), sel in arb_selector()) {
+        let doc = parse_document(&src);
+        let via_query = Query::select(&doc, sel).unwrap();
+        let via_list = SelectorList::parse(sel).unwrap().select(&doc, doc.root());
+        prop_assert_eq!(via_query.ids().to_vec(), via_list);
+    }
+
+    /// Display output reparses to an equivalent selector (same matches).
+    #[test]
+    fn display_preserves_semantics(src in arb_doc_source(), sel in arb_selector()) {
+        let doc = parse_document(&src);
+        let parsed = SelectorList::parse(sel).unwrap();
+        let printed = parsed.to_string();
+        let reparsed = SelectorList::parse(&printed).unwrap();
+        prop_assert_eq!(
+            parsed.select(&doc, doc.root()),
+            reparsed.select(&doc, doc.root()),
+            "{} vs {}", sel, printed
+        );
+    }
+}

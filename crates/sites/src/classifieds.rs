@@ -1,0 +1,272 @@
+//! A CraigsList-style classified listing origin for the paper's AJAX
+//! evaluation (§4.5, Figure 6).
+//!
+//! Users browse date-sorted pages of listings by category; clicking a
+//! link loads a whole new detail page. The site uses **no AJAX of its
+//! own** — exactly the property that makes the m.Site two-pane adaptation
+//! worthwhile on an iPad.
+
+use crate::lorem;
+use crate::template::{render, Scope};
+use msite_net::{Method, Origin, Prng, Request, Response, Status};
+
+/// Classifieds generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedsConfig {
+    /// Seed for generated listings.
+    pub seed: u64,
+    /// Listings per category.
+    pub listings_per_category: u32,
+    /// Listings per page.
+    pub page_size: u32,
+    /// Host this site answers as.
+    pub host: String,
+}
+
+impl Default for ClassifiedsConfig {
+    fn default() -> Self {
+        ClassifiedsConfig {
+            seed: 411,
+            listings_per_category: 400,
+            page_size: 100,
+            host: "classifieds.test".to_string(),
+        }
+    }
+}
+
+/// Category slugs offered by the site.
+pub const CATEGORIES: [&str; 4] = ["tools", "furniture", "materials", "free"];
+
+/// The classifieds origin.
+///
+/// # Examples
+///
+/// ```
+/// use msite_net::{Origin, Request};
+/// use msite_sites::classifieds::{ClassifiedsConfig, ClassifiedsSite};
+///
+/// let site = ClassifiedsSite::new(ClassifiedsConfig::default());
+/// let page = site.handle(&Request::get("http://classifieds.test/search?cat=tools&page=0").unwrap());
+/// assert!(page.body_text().contains("listing/"));
+/// ```
+pub struct ClassifiedsSite {
+    config: ClassifiedsConfig,
+}
+
+impl ClassifiedsSite {
+    /// Creates the site.
+    pub fn new(config: ClassifiedsConfig) -> ClassifiedsSite {
+        ClassifiedsSite { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ClassifiedsConfig {
+        &self.config
+    }
+
+    /// Base URL of the site.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.config.host)
+    }
+
+    /// Stable listing id for `(category, index)`.
+    pub fn listing_id(&self, category: &str, index: u32) -> u64 {
+        let cat_code = CATEGORIES
+            .iter()
+            .position(|c| *c == category)
+            .unwrap_or(0) as u64;
+        (cat_code + 1) * 1_000_000 + index as u64
+    }
+
+    fn listing_title(&self, id: u64) -> String {
+        let mut rng = Prng::new(self.config.seed ^ id);
+        lorem::listing_title(&mut rng)
+    }
+
+    fn front_page(&self) -> Response {
+        let cats: Vec<Scope> = CATEGORIES
+            .iter()
+            .map(|c| Scope::new().set("slug", *c))
+            .collect();
+        let scope = Scope::new().set("categories", cats);
+        Response::html(render(FRONT_TEMPLATE, &scope).expect("front template"))
+    }
+
+    fn search(&self, request: &Request) -> Response {
+        let category = request.param("cat").unwrap_or_else(|| "tools".to_string());
+        if !CATEGORIES.contains(&category.as_str()) {
+            return Response::error(Status::NOT_FOUND, "no such category");
+        }
+        let page: u32 = request
+            .param("page")
+            .and_then(|p| p.parse().ok())
+            .unwrap_or(0);
+        let start = page * self.config.page_size;
+        if start >= self.config.listings_per_category {
+            return Response::error(Status::NOT_FOUND, "no such page");
+        }
+        let end = (start + self.config.page_size).min(self.config.listings_per_category);
+        let rows: Vec<Scope> = (start..end)
+            .map(|i| {
+                let id = self.listing_id(&category, i);
+                // Newest first: day index descends with i.
+                let day = 30 - (i * 30 / self.config.listings_per_category.max(1)).min(29);
+                Scope::new()
+                    .set("id", id.to_string())
+                    .set("title", self.listing_title(id))
+                    .set("date", format!("2012-06-{day:02}"))
+            })
+            .collect();
+        let scope = Scope::new()
+            .set("category", category.clone())
+            .set("rows", rows)
+            .set("next_page", (page + 1).to_string())
+            .set(
+                "has_next",
+                if end < self.config.listings_per_category { "y" } else { "" },
+            );
+        Response::html(render(SEARCH_TEMPLATE, &scope).expect("search template"))
+    }
+
+    fn listing(&self, id: u64) -> Response {
+        let mut rng = Prng::new(self.config.seed ^ id ^ 0xD7);
+        let scope = Scope::new()
+            .set("id", id.to_string())
+            .set("title", self.listing_title(id))
+            .set("body", lorem::sentence(&mut rng, 120))
+            .set("contact", lorem::username(&mut rng));
+        Response::html(render(LISTING_TEMPLATE, &scope).expect("listing template"))
+    }
+}
+
+impl Origin for ClassifiedsSite {
+    fn handle(&self, request: &Request) -> Response {
+        if request.method != Method::Get {
+            return Response::error(Status::BAD_REQUEST, "unsupported method");
+        }
+        let path = request.url.path();
+        if path == "/" {
+            return self.front_page();
+        }
+        if path == "/search" {
+            return self.search(request);
+        }
+        if let Some(rest) = path.strip_prefix("/listing/") {
+            if let Some(id) = rest.strip_suffix(".html").and_then(|s| s.parse().ok()) {
+                return self.listing(id);
+            }
+        }
+        Response::error(Status::NOT_FOUND, "no such page")
+    }
+
+    fn name(&self) -> &str {
+        "classifieds"
+    }
+}
+
+const FRONT_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>classifieds</title></head>
+<body><h1>community classifieds</h1>
+<ul id="categories">
+{{#each categories}}<li><a href="/search?cat={{slug}}&page=0">{{slug}}</a></li>{{/each}}
+</ul></body></html>"#;
+
+const SEARCH_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>{{category}} classifieds</title></head>
+<body>
+<h1 id="cathead">{{category}}</h1>
+<ul id="results">
+{{#each rows}}<li class="row"><span class="date">{{date}}</span> <a class="listinglink" href="/listing/{{id}}.html">{{title}}</a></li>
+{{/each}}
+</ul>
+{{#if has_next}}<a id="nextpage" href="/search?cat={{category}}&page={{next_page}}">next 100 postings</a>{{/if}}
+</body></html>"#;
+
+const LISTING_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>{{title}}</title></head>
+<body>
+<h1 class="postingtitle">{{title}}</h1>
+<section id="postingbody">{{body}}</section>
+<div class="contact">reply to: {{contact}}</div>
+<div class="postinginfo">posting id: {{id}}</div>
+</body></html>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> ClassifiedsSite {
+        ClassifiedsSite::new(ClassifiedsConfig::default())
+    }
+
+    fn get(s: &ClassifiedsSite, path: &str) -> Response {
+        s.handle(&Request::get(&format!("http://{}{path}", s.config.host)).unwrap())
+    }
+
+    #[test]
+    fn front_page_lists_categories() {
+        let body = get(&site(), "/").body_text();
+        for cat in CATEGORIES {
+            assert!(body.contains(&format!("cat={cat}")));
+        }
+    }
+
+    #[test]
+    fn search_page_has_hundred_rows() {
+        let body = get(&site(), "/search?cat=tools&page=0").body_text();
+        assert_eq!(body.matches("class=\"listinglink\"").count(), 100);
+        assert!(body.contains("next 100 postings"));
+    }
+
+    #[test]
+    fn dates_descend() {
+        let body = get(&site(), "/search?cat=tools&page=0").body_text();
+        let dates: Vec<&str> = body
+            .match_indices("2012-06-")
+            .map(|(i, _)| &body[i..i + 10])
+            .collect();
+        assert!(!dates.is_empty());
+        for pair in dates.windows(2) {
+            assert!(pair[0] >= pair[1], "{} then {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn last_page_has_no_next() {
+        let body = get(&site(), "/search?cat=tools&page=3").body_text();
+        assert!(!body.contains("nextpage"));
+        assert_eq!(get(&site(), "/search?cat=tools&page=4").status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn listing_pages_resolve_from_search() {
+        let s = site();
+        let body = get(&s, "/search?cat=furniture&page=0").body_text();
+        let start = body.find("/listing/").unwrap();
+        let end = body[start..].find(".html").unwrap() + start;
+        let path = format!("{}.html", &body[..end].split_at(start).1);
+        let listing = get(&s, &path);
+        assert!(listing.status.is_success());
+        assert!(listing.body_text().contains("postingbody"));
+    }
+
+    #[test]
+    fn listings_deterministic() {
+        let s = site();
+        let id = s.listing_id("tools", 5);
+        let a = get(&s, &format!("/listing/{id}.html")).body_text();
+        let b = get(&s, &format!("/listing/{id}.html")).body_text();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_category_404() {
+        assert_eq!(get(&site(), "/search?cat=boats&page=0").status, Status::NOT_FOUND);
+        assert_eq!(get(&site(), "/listing/notanid.html").status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn listing_ids_unique_across_categories() {
+        let s = site();
+        let a = s.listing_id("tools", 3);
+        let b = s.listing_id("furniture", 3);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,848 @@
+//! A synthetic vBulletin-style online community — the reproduction's
+//! stand-in for SawmillCreek.org, the paper's 66,000-member test site.
+//!
+//! Faithfulness targets (§4.2 of the paper):
+//! - the entry page carries the same sections in the same order: logo +
+//!   728×90 leaderboard ad, navigation links + login form, a transient
+//!   announcements box, ~30 forum rows with latest-post links, who's
+//!   online, statistics, birthdays, calendar, footer links;
+//! - total entry-page weight (HTML + ~12 external scripts + CSS + images)
+//!   is calibrated to exactly **224,477 bytes**;
+//! - private areas require an authenticated session (cookie-based, like
+//!   vBulletin's `bbsessionhash`), exercising the proxy's cookie jars;
+//! - an AJAX endpoint (`site.php?do=showpic&id=N`) validates the session
+//!   and returns a fragment, exercising the proxy's AJAX rewriting.
+
+use crate::lorem;
+use crate::template::{render, Scope};
+use msite_net::{Cookie, Method, Origin, Prng, Request, Response, Status};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Forum generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForumConfig {
+    /// Seed for all generated content.
+    pub seed: u64,
+    /// Registered members ("nearly 66,000" in the paper).
+    pub member_count: u32,
+    /// Forum rows on the entry page (~30 in the paper).
+    pub forum_count: u32,
+    /// Members shown online (up to 1200 in the paper).
+    pub online_count: u32,
+    /// Host this site answers as.
+    pub host: String,
+    /// Calibrated total entry-page weight in bytes (224,477 = the paper's
+    /// measured SawmillCreek.org entry page).
+    pub target_page_weight: usize,
+}
+
+impl Default for ForumConfig {
+    fn default() -> Self {
+        ForumConfig {
+            seed: 2012,
+            member_count: 65_947,
+            forum_count: 30,
+            online_count: 1187,
+            host: "forum.sawmillcreek.test".to_string(),
+            target_page_weight: 224_477,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Forum {
+    id: u32,
+    name: String,
+    description: String,
+    last_post_title: String,
+    last_post_author: String,
+    last_thread_id: u32,
+    private: bool,
+}
+
+/// The synthetic forum origin.
+///
+/// # Examples
+///
+/// ```
+/// use msite_net::{Origin, Request};
+/// use msite_sites::forum::{ForumConfig, ForumSite};
+///
+/// let site = ForumSite::new(ForumConfig::default());
+/// let resp = site.handle(&Request::get("http://forum.sawmillcreek.test/index.php").unwrap());
+/// assert!(resp.status.is_success());
+/// assert!(resp.body_text().contains("forumbits"));
+/// assert_eq!(site.total_index_weight(), 224_477);
+/// ```
+pub struct ForumSite {
+    config: ForumConfig,
+    forums: Vec<Forum>,
+    online: Vec<String>,
+    birthdays: Vec<String>,
+    newest_member: String,
+    thread_count: u64,
+    post_count: u64,
+    js_assets: Vec<(&'static str, usize)>,
+    image_assets: Vec<(&'static str, usize)>,
+    css_bytes: usize,
+    /// Live sessions: hash -> username.
+    sessions: Mutex<HashMap<String, String>>,
+    session_seq: Mutex<Prng>,
+}
+
+/// The twelve external scripts the entry page references (name, bytes) —
+/// mirroring vBulletin's clientscript bundle.
+const JS_ASSETS: [(&str, usize); 12] = [
+    ("vbulletin_global.js", 27_801),
+    ("vbulletin_menu.js", 15_204),
+    ("vbulletin_md5.js", 8_322),
+    ("yui_utilities.js", 12_118),
+    ("ajax_login.js", 4_866),
+    ("vbulletin_ajax_suggest.js", 5_410),
+    ("statistics.js", 2_204),
+    ("funcs.js", 6_032),
+    ("ncode_imageresizer.js", 3_388),
+    ("vbulletin_post_loader.js", 4_145),
+    ("promo.js", 1_918),
+    ("tracker.js", 2_511),
+];
+
+/// Entry-page images (name, bytes).
+const IMAGE_ASSETS: [(&str, usize); 5] = [
+    ("logo.gif", 7_411),
+    ("banner_ad.gif", 19_985),
+    ("forum_new.gif", 742),
+    ("forum_old.gif", 738),
+    ("mobile_logo.gif", 2_048),
+];
+
+impl ForumSite {
+    /// Builds the site, generating all content from the seed and
+    /// calibrating CSS padding so the entry page weighs exactly
+    /// `target_page_weight` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_page_weight` is too small to fit the generated
+    /// HTML plus scripts and images (the default is always sufficient).
+    pub fn new(config: ForumConfig) -> ForumSite {
+        let mut rng = Prng::new(config.seed);
+        let mut forums = Vec::new();
+        let mut names = std::collections::HashSet::new();
+        for id in 1..=config.forum_count {
+            let mut name = lorem::forum_name(&mut rng);
+            if !names.insert(name.clone()) {
+                // Collision: qualify with the forum id, which is unique.
+                name = format!("{} {}", lorem::forum_name(&mut rng), id);
+                names.insert(name.clone());
+            }
+            forums.push(Forum {
+                id,
+                name,
+                description: lorem::sentence(&mut rng, 22),
+                last_post_title: lorem::thread_title(&mut rng),
+                last_post_author: lorem::username(&mut rng),
+                last_thread_id: rng.range(1000, 99_999) as u32,
+                private: id > config.forum_count - 3, // last few are private
+            });
+        }
+        let online = (0..config.online_count.min(40))
+            .map(|_| lorem::username(&mut rng))
+            .collect();
+        let birthdays = (0..6).map(|_| lorem::username(&mut rng)).collect();
+        let newest_member = lorem::username(&mut rng);
+        let thread_count = config.member_count as u64 / 3;
+        let post_count = thread_count * 9;
+
+        let mut site = ForumSite {
+            config,
+            forums,
+            online,
+            birthdays,
+            newest_member,
+            thread_count,
+            post_count,
+            js_assets: JS_ASSETS.to_vec(),
+            image_assets: IMAGE_ASSETS.to_vec(),
+            css_bytes: 0,
+            sessions: Mutex::new(HashMap::new()),
+            session_seq: Mutex::new(Prng::new(rng.next_u64())),
+        };
+        // Calibrate: html + js + css + referenced images == target.
+        let html_len = site.index_html(None).len();
+        let js_total: usize = site.js_assets.iter().map(|(_, s)| s).sum();
+        let referenced_images: usize = site
+            .image_assets
+            .iter()
+            .filter(|(n, _)| *n != "mobile_logo.gif")
+            .map(|(_, s)| s)
+            .sum();
+        let fixed = html_len + js_total + referenced_images;
+        assert!(
+            site.config.target_page_weight > fixed + 1_024,
+            "target weight {} cannot fit page ({} + css)",
+            site.config.target_page_weight,
+            fixed
+        );
+        site.css_bytes = site.config.target_page_weight - fixed;
+        site
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ForumConfig {
+        &self.config
+    }
+
+    /// Demo credentials accepted by `/login.php`.
+    pub fn demo_credentials() -> (&'static str, &'static str) {
+        ("OakHands1", "pw:OakHands1")
+    }
+
+    /// Entry-page subresources as `(path, bytes)` pairs: 12 scripts, the
+    /// stylesheet and the images the index references.
+    pub fn index_resources(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .js_assets
+            .iter()
+            .map(|(name, size)| (format!("/clientscript/{name}"), *size))
+            .collect();
+        out.push(("/clientscript/vbulletin.css".to_string(), self.css_bytes));
+        for (name, size) in &self.image_assets {
+            if *name != "mobile_logo.gif" {
+                out.push((format!("/images/{name}"), *size));
+            }
+        }
+        out
+    }
+
+    /// Total entry-page weight: HTML plus every subresource. Calibrated
+    /// to `config.target_page_weight`.
+    pub fn total_index_weight(&self) -> usize {
+        self.index_html(None).len() + self.index_resources().iter().map(|(_, s)| s).sum::<usize>()
+    }
+
+    /// Base URL of the site.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.config.host)
+    }
+
+    fn session_user(&self, request: &Request) -> Option<String> {
+        let hash = request.cookie("bbsessionhash")?;
+        self.sessions.lock().get(&hash).cloned()
+    }
+
+    fn index_html(&self, user: Option<&str>) -> String {
+        let forums: Vec<Scope> = self
+            .forums
+            .iter()
+            .map(|f| {
+                Scope::new()
+                    .set("id", f.id.to_string())
+                    .set("name", f.name.clone())
+                    .set("description", f.description.clone())
+                    .set("last_title", f.last_post_title.clone())
+                    .set("last_author", f.last_post_author.clone())
+                    .set("tid", f.last_thread_id.to_string())
+                    .set("icon", if f.id % 2 == 0 { "forum_new.gif" } else { "forum_old.gif" })
+                    .set("lock", if f.private { " (private)" } else { "" })
+            })
+            .collect();
+        let online: Vec<Scope> = self
+            .online
+            .iter()
+            .map(|name| Scope::new().set("name", name.clone()))
+            .collect();
+        let birthdays = self.birthdays.join(", ");
+        let scope = Scope::new()
+            .set("title", "Sawmill Creek Woodworking Community")
+            .set("forums", forums)
+            .set("online", online)
+            .set("online_count", self.config.online_count as usize)
+            .set("members", format_thousands(self.config.member_count as u64))
+            .set("threads", format_thousands(self.thread_count))
+            .set("posts", format_thousands(self.post_count))
+            .set("newest", self.newest_member.clone())
+            .set("birthdays", birthdays)
+            .set("welcome", user.unwrap_or(""))
+            .set(
+                "scripts",
+                self.js_assets
+                    .iter()
+                    .map(|(name, _)| {
+                        format!("<script type=\"text/javascript\" src=\"/clientscript/{name}\"></script>")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
+        // {{{scripts}}} is a raw fragment.
+        render(INDEX_TEMPLATE, &scope).expect("index template is well-formed")
+    }
+
+    fn login_page(&self, message: &str) -> Response {
+        let scope = Scope::new().set("message", message);
+        Response::html(render(LOGIN_TEMPLATE, &scope).expect("login template is well-formed"))
+    }
+
+    fn handle_login(&self, request: &Request) -> Response {
+        let user = request.param("vb_login_username").unwrap_or_default();
+        let pass = request.param("vb_login_password").unwrap_or_default();
+        if user.is_empty() || pass != format!("pw:{user}") {
+            return self.login_page("Invalid username or password.");
+        }
+        let hash = format!("{:032x}", self.session_seq.lock().next_u64() as u128);
+        self.sessions.lock().insert(hash.clone(), user.clone());
+        let mut cookie = Cookie::new("bbsessionhash", &hash);
+        cookie.http_only = true;
+        Response::redirect("/index.php").with_cookie(&cookie)
+    }
+
+    fn forumdisplay(&self, request: &Request) -> Response {
+        let id: u32 = match request.param("f").and_then(|f| f.parse().ok()) {
+            Some(id) => id,
+            None => return Response::error(Status::BAD_REQUEST, "missing forum id"),
+        };
+        let Some(forum) = self.forums.iter().find(|f| f.id == id) else {
+            return Response::error(Status::NOT_FOUND, "no such forum");
+        };
+        if forum.private && self.session_user(request).is_none() {
+            return Response::redirect("/login.php");
+        }
+        let mut rng = Prng::new(self.config.seed ^ (0xF0 + id as u64));
+        let threads: Vec<Scope> = (0..25)
+            .map(|i| {
+                Scope::new()
+                    .set("tid", format!("{}", forum.last_thread_id as u64 + i))
+                    .set("title", lorem::thread_title(&mut rng))
+                    .set("author", lorem::username(&mut rng))
+                    .set("replies", rng.range(0, 120).to_string())
+            })
+            .collect();
+        let scope = Scope::new()
+            .set("forum", forum.name.clone())
+            .set("threads", threads);
+        Response::html(render(FORUMDISPLAY_TEMPLATE, &scope).expect("template well-formed"))
+    }
+
+    fn showthread(&self, request: &Request) -> Response {
+        let id: u64 = match request.param("t").and_then(|t| t.parse().ok()) {
+            Some(id) => id,
+            None => return Response::error(Status::BAD_REQUEST, "missing thread id"),
+        };
+        let mut rng = Prng::new(self.config.seed ^ (0xBEEF + id));
+        let title = lorem::thread_title(&mut rng);
+        let posts: Vec<Scope> = (0..10)
+            .map(|i| {
+                Scope::new()
+                    .set("n", (i + 1).to_string())
+                    .set("author", lorem::username(&mut rng))
+                    .set("body", lorem::sentence(&mut rng, 60))
+                    .set("picid", rng.range(1, 500).to_string())
+            })
+            .collect();
+        let scope = Scope::new().set("title", title).set("posts", posts);
+        Response::html(render(SHOWTHREAD_TEMPLATE, &scope).expect("template well-formed"))
+    }
+
+    fn showpic(&self, request: &Request) -> Response {
+        if self.session_user(request).is_none() {
+            return Response::error(Status::FORBIDDEN, "session required");
+        }
+        let id: u64 = match request.param("id").and_then(|v| v.parse().ok()) {
+            Some(id) => id,
+            None => return Response::error(Status::BAD_REQUEST, "missing picture id"),
+        };
+        Response::html(format!(
+            "<div class=\"picframe\"><img src=\"/images/pic{id}.jpg\" width=\"640\" \
+             height=\"480\" alt=\"attachment {id}\"></div>"
+        ))
+    }
+
+    fn asset(&self, path: &str) -> Option<Response> {
+        if let Some(name) = path.strip_prefix("/clientscript/") {
+            if name == "vbulletin.css" {
+                return Some(Response::bytes("text/css", css_of_len(self.css_bytes)));
+            }
+            if let Some((_, size)) = self.js_assets.iter().find(|(n, _)| *n == name) {
+                return Some(Response::bytes(
+                    "application/javascript",
+                    js_of_len(name, *size),
+                ));
+            }
+        }
+        if let Some(name) = path.strip_prefix("/images/") {
+            if let Some((_, size)) = self.image_assets.iter().find(|(n, _)| *n == name) {
+                return Some(Response::bytes("image/gif", filler_bytes(*size)));
+            }
+            if let Some(rest) = name.strip_prefix("pic") {
+                if rest.ends_with(".jpg") {
+                    return Some(Response::bytes("image/jpeg", filler_bytes(45_000)));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Origin for ForumSite {
+    fn handle(&self, request: &Request) -> Response {
+        let path = request.url.path();
+        match (request.method, path) {
+            (Method::Get, "/" | "/index.php" | "/forum/index.php") => {
+                let user = self.session_user(request);
+                Response::html(self.index_html(user.as_deref()))
+            }
+            (Method::Get, "/login.php") => self.login_page(""),
+            (Method::Post, "/login.php") => self.handle_login(request),
+            (Method::Get, "/logout.php") => {
+                if let Some(hash) = request.cookie("bbsessionhash") {
+                    self.sessions.lock().remove(&hash);
+                }
+                let mut kill = Cookie::new("bbsessionhash", "");
+                kill.expires_at = Some(0);
+                Response::redirect("/index.php").with_cookie(&kill)
+            }
+            (
+                Method::Get,
+                "/search.php" | "/memberlist.php" | "/calendar.php" | "/faq.php"
+                | "/showgroups.php" | "/register.php" | "/archive/index.php"
+                | "/sendmessage.php",
+            ) => {
+                let title = path.trim_start_matches('/').trim_end_matches(".php");
+                Response::html(format!(
+                    "<!DOCTYPE html><html><head><title>{title}</title>\
+                     <link rel=\"stylesheet\" type=\"text/css\" href=\"/clientscript/vbulletin.css\"></head>\
+                     <body><div class=\"page\"><h2>{title}</h2>\
+                     <p class=\"smallfont\">This area of the community is under light use in the \
+                     synthetic workload; it exists so every navigation link resolves.</p>\
+                     <p><a href=\"/index.php\">Back to the forums</a></p></div></body></html>"
+                ))
+            }
+            (Method::Get, "/member.php") => {
+                let who = request.param("u").unwrap_or_else(|| "member".to_string());
+                Response::html(format!(
+                    "<!DOCTYPE html><html><head><title>Profile</title></head><body>\
+                     <div class=\"page\"><h2>Profile: {}</h2>\
+                     <p class=\"smallfont\">Member of the community.</p></div></body></html>",
+                    msite_html::entities::encode_text(&who)
+                ))
+            }
+            (Method::Get, "/forumdisplay.php") => self.forumdisplay(request),
+            (Method::Get, "/showthread.php") => self.showthread(request),
+            (Method::Get, "/private/index.php") => {
+                if self.session_user(request).is_none() {
+                    return Response::redirect("/login.php");
+                }
+                Response::html(render(PRIVATE_TEMPLATE, &Scope::new()).expect("template"))
+            }
+            (Method::Get, "/site.php") => match request.param("do").as_deref() {
+                Some("showpic") => self.showpic(request),
+                _ => Response::error(Status::BAD_REQUEST, "unknown action"),
+            },
+            (Method::Get, _) => self
+                .asset(path)
+                .unwrap_or_else(|| Response::error(Status::NOT_FOUND, "no such page")),
+            _ => Response::error(Status::BAD_REQUEST, "unsupported method"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "forum"
+    }
+}
+
+fn format_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Deterministic CSS asset of exactly `len` bytes: real skin rules first,
+/// then a padding comment (vBulletin skins carry enormous rule sets; the
+/// padding models the rules our CSS-lite subset does not express).
+fn css_of_len(len: usize) -> String {
+    let mut css = String::from(CSS_SKIN);
+    if css.len() + 16 < len {
+        css.push_str("/* ");
+        while css.len() + 3 < len {
+            css.push('x');
+        }
+        css.push_str(" */");
+    }
+    css.truncate(len);
+    while css.len() < len {
+        css.push(' ');
+    }
+    css
+}
+
+/// Deterministic JS asset of exactly `size` bytes.
+fn js_of_len(name: &str, size: usize) -> String {
+    let mut js = format!("/* {name} */\nfunction vb_init() {{ var loaded = true; return loaded; }}\n");
+    let mut i = 0;
+    while js.len() + 64 < size {
+        js.push_str(&format!(
+            "function helper_{i}(a, b) {{ return (a || 0) + (b || 0) + {i}; }}\n"
+        ));
+        i += 1;
+    }
+    while js.len() < size {
+        js.push(' ');
+    }
+    js.truncate(size);
+    js
+}
+
+/// Deterministic binary filler of exactly `size` bytes.
+fn filler_bytes(size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size);
+    let mut rng = Prng::new(size as u64);
+    for _ in 0..size {
+        out.push(rng.next_u64() as u8);
+    }
+    out
+}
+
+const CSS_SKIN: &str = r#"
+body { background: #E9E9E9; color: #000000; font-size: 13px; margin: 8px; }
+.page { background: #FFFFFF; width: 100%; }
+td.alt1 { background: #F5F5FF; color: #000000; padding: 6px; }
+td.alt2 { background: #E1E4F2; color: #000000; padding: 6px; }
+.tcat { background: #5C7099; color: #FFFFFF; font-weight: bold; padding: 6px; }
+.thead { background: #8A95B5; color: #FFFFFF; font-size: 11px; padding: 4px; }
+.navbar { font-size: 11px; }
+.smallfont { font-size: 11px; }
+.bigusername { font-size: 14px; font-weight: bold; }
+a { color: #22229C; }
+#announcements { background: #FFF6BF; border: 1px solid #CCAA44; padding: 8px; }
+.footer { color: #666666; font-size: 11px; text-align: center; }
+"#;
+
+const INDEX_TEMPLATE: &str = r##"<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Transitional//EN" "http://www.w3.org/TR/xhtml1/DTD/xhtml1-transitional.dtd">
+<html><head>
+<title>{{title}}</title>
+<meta http-equiv="Content-Type" content="text/html; charset=ISO-8859-1">
+<link rel="stylesheet" type="text/css" href="/clientscript/vbulletin.css">
+{{{scripts}}}
+</head>
+<body>
+<div class="page" id="page">
+<div id="header" align="center">
+<table width="100%" border="0"><tr>
+<td width="320"><img src="/images/logo.gif" width="300" height="80" alt="{{title}}"></td>
+<td align="right"><img src="/images/banner_ad.gif" width="728" height="90" alt="advertisement" id="leaderboard"></td>
+</tr></table>
+</div>
+<table id="navrow" width="100%" border="0" class="navbar"><tr>
+<td><a href="/index.php">Home</a> | <a href="/search.php">Search</a> | <a href="/memberlist.php">Members</a> | <a href="/calendar.php">Calendar</a> | <a href="/faq.php">FAQ</a> | <a href="/private/index.php">Private Forums</a> | <a href="/showgroups.php">Staff</a> | <a href="/register.php">Register</a></td>
+<td align="right">
+<form id="loginform" action="/login.php" method="post">
+<span class="smallfont">User Name</span> <input type="text" name="vb_login_username" size="10">
+<span class="smallfont">Password</span> <input type="password" name="vb_login_password" size="10">
+<input type="submit" value="Log in">
+</form>
+</td>
+</tr></table>
+{{#if welcome}}<div id="welcomebox" class="smallfont">Welcome back, {{welcome}}.</div>{{/if}}
+<div id="announcements">Annual shop tour photo contest now open &mdash; post entries in Project Showcase before the end of the month!</div>
+<table id="forumbits" width="100%" border="0">
+<tr><td class="tcat" colspan="3">Forums</td></tr>
+{{#each forums}}
+<tr class="forumrow">
+<td class="alt1" width="36"><img src="/images/{{icon}}" width="28" height="28" alt=""></td>
+<td class="alt1"><a class="forumtitle" href="/forumdisplay.php?f={{id}}">{{name}}{{lock}}</a><div class="smallfont forumdesc">{{description}}</div></td>
+<td class="alt2" width="220"><span class="smallfont">Last post: <a href="/showthread.php?t={{tid}}">{{last_title}}</a><br>by {{last_author}}</span></td>
+</tr>
+{{/each}}
+</table>
+<table id="whosonline" width="100%"><tr><td class="tcat">Currently Active Users: {{online_count}}</td></tr>
+<tr><td class="alt1 smallfont">{{#each online}}<a href="/member.php?u={{name}}">{{name}}</a>, {{/each}}and many more.</td></tr></table>
+<table id="stats" width="100%"><tr><td class="tcat">Sawmill Creek Statistics</td></tr>
+<tr><td class="alt1 smallfont">Threads: {{threads}}, Posts: {{posts}}, Members: {{members}}. Welcome to our newest member, <a href="/member.php?u={{newest}}">{{newest}}</a>.</td></tr></table>
+<table id="birthdays" width="100%"><tr><td class="tcat">Today's Birthdays</td></tr>
+<tr><td class="alt1 smallfont">{{birthdays}}</td></tr></table>
+<table id="calendar" width="100%"><tr><td class="tcat">Calendar</td></tr>
+<tr><td class="alt1 smallfont"><a href="/calendar.php?do=getinfo&e=31">Hand Tool Swap Meet</a> &middot; <a href="/calendar.php?do=getinfo&e=32">Turning Club Meeting</a> &middot; <a href="/calendar.php?do=getinfo&e=33">Finishing Workshop</a></td></tr></table>
+<div id="footerlinks" class="footer"><a href="/archive/index.php">Archive</a> - <a href="/sendmessage.php">Contact Us</a> - <a href="/index.php">Home</a> - <a href="#top">Top</a></div>
+</div>
+</body></html>"##;
+
+const LOGIN_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>Log In</title>
+<link rel="stylesheet" type="text/css" href="/clientscript/vbulletin.css"></head>
+<body><div class="page">
+<h2>Log In</h2>
+{{#if message}}<div id="loginerror" class="smallfont">{{message}}</div>{{/if}}
+<form id="loginform" action="/login.php" method="post">
+<table><tr><td class="alt1">User Name</td><td class="alt1"><input type="text" name="vb_login_username"></td></tr>
+<tr><td class="alt1">Password</td><td class="alt1"><input type="password" name="vb_login_password"></td></tr>
+<tr><td class="alt2" colspan="2"><input type="submit" value="Log in"></td></tr></table>
+</form>
+</div></body></html>"#;
+
+const FORUMDISPLAY_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>{{forum}}</title>
+<link rel="stylesheet" type="text/css" href="/clientscript/vbulletin.css"></head>
+<body><div class="page">
+<h2>{{forum}}</h2>
+<table id="threadbits" width="100%">
+<tr><td class="tcat" colspan="3">Threads in Forum</td></tr>
+{{#each threads}}
+<tr><td class="alt1"><a href="/showthread.php?t={{tid}}">{{title}}</a></td>
+<td class="alt2 smallfont">{{author}}</td><td class="alt1 smallfont">{{replies}} replies</td></tr>
+{{/each}}
+</table>
+</div></body></html>"#;
+
+const SHOWTHREAD_TEMPLATE: &str = r##"<!DOCTYPE html><html><head><title>{{title}}</title>
+<link rel="stylesheet" type="text/css" href="/clientscript/vbulletin.css">
+<script type="text/javascript" src="/clientscript/vbulletin_post_loader.js"></script>
+</head>
+<body><div class="page">
+<h2>{{title}}</h2>
+<table id="posts" width="100%">
+{{#each posts}}
+<tr class="post"><td class="alt2" width="160"><span class="bigusername">{{author}}</span></td>
+<td class="alt1">{{body}}
+<div class="smallfont"><a href="#" id="thumb{{n}}" onclick="$('#picframe').load('site.php?do=showpic&amp;id={{picid}}')">Show Picture</a></div>
+</td></tr>
+{{/each}}
+</table>
+<div id="picframe"></div>
+</div></body></html>"##;
+
+const PRIVATE_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>Private Forums</title>
+<link rel="stylesheet" type="text/css" href="/clientscript/vbulletin.css"></head>
+<body><div class="page"><h2>Private Forums</h2>
+<table id="privatebits" width="100%">
+<tr><td class="alt1"><a href="/forumdisplay.php?f=28">Moderator Lounge</a></td></tr>
+<tr><td class="alt1"><a href="/forumdisplay.php?f=29">Classifieds Review</a></td></tr>
+<tr><td class="alt1"><a href="/forumdisplay.php?f=30">Site Feedback (members)</a></td></tr>
+</table>
+</div></body></html>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> ForumSite {
+        ForumSite::new(ForumConfig::default())
+    }
+
+    fn get(site: &ForumSite, path: &str) -> Response {
+        site.handle(&Request::get(&format!("http://{}{path}", site.config.host)).unwrap())
+    }
+
+    #[test]
+    fn index_has_all_paper_sections() {
+        let body = get(&site(), "/index.php").body_text();
+        for id in [
+            "header", "leaderboard", "navrow", "loginform", "announcements", "forumbits",
+            "whosonline", "stats", "birthdays", "calendar", "footerlinks",
+        ] {
+            assert!(body.contains(&format!("id=\"{id}\"")), "missing #{id}");
+        }
+    }
+
+    #[test]
+    fn index_lists_thirty_forums() {
+        let body = get(&site(), "/index.php").body_text();
+        assert_eq!(body.matches("class=\"forumrow\"").count(), 30);
+        assert!(body.contains("65,947"));
+    }
+
+    #[test]
+    fn page_weight_calibrated_exactly() {
+        let s = site();
+        assert_eq!(s.total_index_weight(), 224_477);
+        // Twelve external scripts, as the paper counts.
+        assert_eq!(s.js_assets.len(), 12);
+    }
+
+    #[test]
+    fn assets_served_with_exact_sizes() {
+        let s = site();
+        for (path, size) in s.index_resources() {
+            let resp = get(&s, &path);
+            assert!(resp.status.is_success(), "{path}");
+            assert_eq!(resp.body.len(), size, "{path}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = get(&site(), "/index.php").body_text();
+        let b = get(&site(), "/index.php").body_text();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn login_flow_and_private_access() {
+        let s = site();
+        // Private area redirects anonymous users to login.
+        let anon = get(&s, "/private/index.php");
+        assert_eq!(anon.status, Status::FOUND);
+        // Bad credentials rejected.
+        let bad = s.handle(
+            &Request::post_form(
+                &format!("http://{}/login.php", s.config.host),
+                &[("vb_login_username", "OakHands1"), ("vb_login_password", "wrong")],
+            )
+            .unwrap(),
+        );
+        assert!(bad.body_text().contains("Invalid"));
+        // Good credentials set a session cookie.
+        let (user, pass) = ForumSite::demo_credentials();
+        let good = s.handle(
+            &Request::post_form(
+                &format!("http://{}/login.php", s.config.host),
+                &[("vb_login_username", user), ("vb_login_password", pass)],
+            )
+            .unwrap(),
+        );
+        assert_eq!(good.status, Status::FOUND);
+        let cookie = good.headers.get("set-cookie").unwrap().to_string();
+        assert!(cookie.starts_with("bbsessionhash="));
+        // The session unlocks the private area.
+        let hash = cookie.split(';').next().unwrap().to_string();
+        let private = s.handle(
+            &Request::get(&format!("http://{}/private/index.php", s.config.host))
+                .unwrap()
+                .with_header("cookie", &hash),
+        );
+        assert!(private.status.is_success());
+        assert!(private.body_text().contains("Moderator Lounge"));
+    }
+
+    #[test]
+    fn logout_clears_session() {
+        let s = site();
+        let (user, pass) = ForumSite::demo_credentials();
+        let login = s.handle(
+            &Request::post_form(
+                &format!("http://{}/login.php", s.config.host),
+                &[("vb_login_username", user), ("vb_login_password", pass)],
+            )
+            .unwrap(),
+        );
+        let cookie = login.headers.get("set-cookie").unwrap().split(';').next().unwrap().to_string();
+        let _ = s.handle(
+            &Request::get(&format!("http://{}/logout.php", s.config.host))
+                .unwrap()
+                .with_header("cookie", &cookie),
+        );
+        let private = s.handle(
+            &Request::get(&format!("http://{}/private/index.php", s.config.host))
+                .unwrap()
+                .with_header("cookie", &cookie),
+        );
+        assert_eq!(private.status, Status::FOUND);
+    }
+
+    #[test]
+    fn forumdisplay_and_showthread() {
+        let s = site();
+        let listing = get(&s, "/forumdisplay.php?f=1");
+        assert!(listing.status.is_success());
+        assert!(listing.body_text().contains("threadbits"));
+        let thread = get(&s, "/showthread.php?t=5555");
+        assert!(thread.status.is_success());
+        assert!(thread.body_text().contains("showpic"));
+        assert!(get(&s, "/forumdisplay.php?f=999").status == Status::NOT_FOUND);
+        assert!(get(&s, "/forumdisplay.php").status == Status::BAD_REQUEST);
+    }
+
+    #[test]
+    fn private_forum_listing_requires_session() {
+        let s = site();
+        let f = s.forums.iter().find(|f| f.private).unwrap();
+        let resp = get(&s, &format!("/forumdisplay.php?f={}", f.id));
+        assert_eq!(resp.status, Status::FOUND);
+    }
+
+    #[test]
+    fn showpic_requires_session_and_returns_fragment() {
+        let s = site();
+        let anon = get(&s, "/site.php?do=showpic&id=7");
+        assert_eq!(anon.status, Status::FORBIDDEN);
+        let (user, pass) = ForumSite::demo_credentials();
+        let login = s.handle(
+            &Request::post_form(
+                &format!("http://{}/login.php", s.config.host),
+                &[("vb_login_username", user), ("vb_login_password", pass)],
+            )
+            .unwrap(),
+        );
+        let cookie = login.headers.get("set-cookie").unwrap().split(';').next().unwrap().to_string();
+        let frag = s.handle(
+            &Request::get(&format!("http://{}/site.php?do=showpic&id=7", s.config.host))
+                .unwrap()
+                .with_header("cookie", &cookie),
+        );
+        assert!(frag.status.is_success());
+        assert!(frag.body_text().contains("/images/pic7.jpg"));
+        // The picture itself is servable.
+        let pic = get(&s, "/images/pic7.jpg");
+        assert!(pic.status.is_success());
+        assert_eq!(pic.body.len(), 45_000);
+    }
+
+    #[test]
+    fn every_nav_link_resolves() {
+        let s = site();
+        let body = get(&s, "/index.php").body_text();
+        let doc = msite_html::parse_document(&body);
+        let nav = doc.element_by_id("navrow").unwrap();
+        for a in doc.elements_by_tag(nav, "a") {
+            let href = doc.attr(a, "href").unwrap();
+            let resp = get(&s, href);
+            assert!(
+                resp.status.is_success() || resp.status.is_redirect(),
+                "{href} -> {}",
+                resp.status
+            );
+        }
+        // Member profile links from who's-online resolve too.
+        let resp = get(&s, "/member.php?u=OakHands1");
+        assert!(resp.status.is_success());
+        assert!(resp.body_text().contains("OakHands1"));
+    }
+
+    #[test]
+    fn unknown_paths_404() {
+        assert_eq!(get(&site(), "/nonexistent.php").status, Status::NOT_FOUND);
+        assert_eq!(get(&site(), "/images/unknown.gif").status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(format_thousands(0), "0");
+        assert_eq!(format_thousands(999), "999");
+        assert_eq!(format_thousands(65_947), "65,947");
+        assert_eq!(format_thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn css_and_js_fillers_exact() {
+        assert_eq!(css_of_len(5_000).len(), 5_000);
+        assert_eq!(js_of_len("x.js", 4_321).len(), 4_321);
+        assert_eq!(filler_bytes(100).len(), 100);
+        // Deterministic.
+        assert_eq!(filler_bytes(64), filler_bytes(64));
+    }
+
+    #[test]
+    fn index_parses_cleanly() {
+        let body = get(&site(), "/index.php").body_text();
+        let doc = msite_html::parse_document(&body);
+        assert_eq!(doc.elements_by_tag(doc.root(), "script").len(), 12);
+        assert!(doc.element_by_id("loginform").is_some());
+        assert!(doc.element_by_id("forumbits").is_some());
+        let text = msite_html::text::visible_text(&doc, doc.root());
+        assert!(text.contains("Currently Active Users"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # msite-sites
+//!
+//! Deterministic synthetic origin sites used as evaluation workloads for
+//! the m.Site reproduction:
+//!
+//! - [`forum`]: a vBulletin-style community calibrated to the paper's
+//!   SawmillCreek.org measurements (66k members, ~30 forums, a 224,477-
+//!   byte entry page with ~12 external scripts);
+//! - [`classifieds`]: a CraigsList-style listing site for the AJAX
+//!   adaptation study (Figure 6);
+//! - [`template`]: the tiny template engine both are rendered with;
+//! - [`manifest`]: measured page-load manifests for the device simulator.
+//!
+//! ```
+//! use msite_net::{Origin, Request};
+//! use msite_sites::{ForumConfig, ForumSite};
+//!
+//! let site = ForumSite::new(ForumConfig::default());
+//! assert_eq!(site.total_index_weight(), 224_477); // §4.2 of the paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifieds;
+pub mod forum;
+pub mod lorem;
+pub mod manifest;
+pub mod template;
+
+pub use classifieds::{ClassifiedsConfig, ClassifiedsSite, CATEGORIES};
+pub use forum::{ForumConfig, ForumSite};
+pub use manifest::{PageManifest, Resource, ResourceKind};

@@ -1,0 +1,125 @@
+//! Deterministic content generation: usernames, thread titles, forum
+//! descriptions and body text, all seeded so workloads reproduce exactly.
+
+use msite_net::Prng;
+
+const FIRST_WORDS: &[&str] = &[
+    "Sharpening", "Finishing", "Restoring", "Building", "Turning", "Carving", "Joining",
+    "Sanding", "Gluing", "Routing", "Planing", "Sawing", "Designing", "Repairing", "Installing",
+];
+
+const TOPICS: &[&str] = &[
+    "a walnut dresser", "the shop bandsaw", "cherry end tables", "a maple workbench",
+    "dovetail joints", "hand planes", "a cedar chest", "the dust collector", "oak flooring",
+    "a jewelry box", "the lathe chuck", "pine bookshelves", "a crosscut sled", "mortise jigs",
+    "the table saw fence",
+];
+
+const LOREM: &[&str] = &[
+    "the", "grain", "runs", "true", "along", "this", "board", "and", "finish", "coats",
+    "cure", "hard", "after", "light", "sanding", "between", "layers", "with", "fresh",
+    "shellac", "while", "clamps", "hold", "joints", "square", "until", "glue", "sets",
+    "overnight", "then", "plane", "smooth", "for", "final", "fit",
+];
+
+const ADJECTIVES: &[&str] = &[
+    "General", "Advanced", "Beginner", "Professional", "Weekend", "Antique", "Modern",
+    "Classic", "Regional", "Technical",
+];
+
+const SUBJECTS: &[&str] = &[
+    "Woodworking", "Turning", "Carving", "Finishing", "Sharpening", "Power Tools",
+    "Hand Tools", "Project Showcase", "Shop Setup", "Lumber Exchange", "CNC", "Marquetry",
+    "Restoration", "Workbenches", "Joinery",
+];
+
+/// Generates a username like `OakHands42`.
+pub fn username(rng: &mut Prng) -> String {
+    const PREFIX: &[&str] = &["Oak", "Pine", "Maple", "Walnut", "Cherry", "Birch", "Cedar", "Ash"];
+    const SUFFIX: &[&str] = &["Hands", "Worker", "Turner", "Smith", "Craft", "Shavings", "Grain"];
+    format!(
+        "{}{}{}",
+        rng.pick(PREFIX),
+        rng.pick(SUFFIX),
+        rng.range(1, 9999)
+    )
+}
+
+/// Generates a thread title.
+pub fn thread_title(rng: &mut Prng) -> String {
+    format!("{} {}", rng.pick(FIRST_WORDS), rng.pick(TOPICS))
+}
+
+/// Generates a forum name like `Advanced Finishing`.
+pub fn forum_name(rng: &mut Prng) -> String {
+    format!("{} {}", rng.pick(ADJECTIVES), rng.pick(SUBJECTS))
+}
+
+/// Generates `words` words of flowing text.
+pub fn sentence(rng: &mut Prng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        let word = rng.pick(LOREM);
+        out.push_str(word);
+    }
+    out
+}
+
+/// Generates a classified-ad title.
+pub fn listing_title(rng: &mut Prng) -> String {
+    const ITEMS: &[&str] = &[
+        "Delta 14\" bandsaw", "Oak dining table", "Craftsman router", "Lumber bundle",
+        "Antique hand plane", "Shop vacuum", "Drill press", "Workbench vise",
+        "Festool sander", "Clamp set",
+    ];
+    const CONDITIONS: &[&str] = &["like new", "barely used", "good condition", "needs work", "vintage"];
+    format!(
+        "{} - {} - ${}",
+        rng.pick(ITEMS),
+        rng.pick(CONDITIONS),
+        rng.range(20, 900)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Prng::new(11);
+        let mut b = Prng::new(11);
+        assert_eq!(username(&mut a), username(&mut b));
+        assert_eq!(thread_title(&mut a), thread_title(&mut b));
+        assert_eq!(sentence(&mut a, 12), sentence(&mut b, 12));
+    }
+
+    #[test]
+    fn sentence_word_count() {
+        let mut rng = Prng::new(3);
+        let s = sentence(&mut rng, 25);
+        assert_eq!(s.split(' ').count(), 25);
+        assert_eq!(sentence(&mut rng, 0), "");
+    }
+
+    #[test]
+    fn variety_across_draws() {
+        let mut rng = Prng::new(5);
+        let names: std::collections::HashSet<String> =
+            (0..50).map(|_| username(&mut rng)).collect();
+        assert!(names.len() > 30);
+    }
+
+    #[test]
+    fn titles_are_nonempty() {
+        let mut rng = Prng::new(7);
+        for _ in 0..20 {
+            assert!(!thread_title(&mut rng).is_empty());
+            assert!(!forum_name(&mut rng).is_empty());
+            assert!(listing_title(&mut rng).contains('$'));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Page manifests: the resource-level description of a page that the
+//! device-side load simulator consumes.
+//!
+//! A manifest is built by actually fetching the page from an [`Origin`],
+//! parsing it, and fetching every referenced subresource — so the byte
+//! counts entering Table 1 are measured, not asserted.
+
+use msite_html::parse_document;
+use msite_net::{Origin, Request, Url};
+
+/// Kind of a subresource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// External script.
+    Script,
+    /// External stylesheet.
+    Stylesheet,
+    /// Image.
+    Image,
+}
+
+/// One subresource of a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Resolved URL.
+    pub url: String,
+    /// Kind.
+    pub kind: ResourceKind,
+    /// Transfer size in bytes.
+    pub bytes: usize,
+}
+
+/// The complete load profile of one page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageManifest {
+    /// Page URL.
+    pub url: String,
+    /// HTML bytes.
+    pub html_bytes: usize,
+    /// Subresources in reference order (deduplicated).
+    pub resources: Vec<Resource>,
+    /// Number of DOM element nodes (parse/style cost driver).
+    pub dom_nodes: usize,
+    /// Total bytes of external + inline script (JS cost driver).
+    pub script_bytes: usize,
+    /// Total bytes of external + inline CSS (style cost driver).
+    pub css_bytes: usize,
+    /// Sum of declared image areas in px² (paint cost driver).
+    pub image_pixels: u64,
+}
+
+impl PageManifest {
+    /// Fetches `url` from `origin` and builds its manifest.
+    ///
+    /// Subresources that fail to fetch are recorded with zero bytes (the
+    /// simulator then charges only their round trip, mirroring a 404).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `url` cannot be parsed.
+    pub fn fetch(origin: &dyn Origin, url: &str) -> PageManifest {
+        let base = Url::parse(url).expect("manifest url must be absolute");
+        let page = origin.handle(&Request {
+            method: msite_net::Method::Get,
+            url: base.clone(),
+            headers: msite_net::Headers::new(),
+            body: bytes::Bytes::new(),
+        });
+        let html = page.body_text();
+        let doc = parse_document(&html);
+        let root = doc.root();
+
+        let mut resources: Vec<Resource> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut script_bytes = 0usize;
+        let mut css_bytes = 0usize;
+        let mut image_pixels = 0u64;
+
+        let mut push = |url: String, kind: ResourceKind, origin: &dyn Origin| -> usize {
+            if !seen.insert(url.clone()) {
+                return 0;
+            }
+            let bytes = Url::parse(&url)
+                .ok()
+                .map(|u| {
+                    let resp = origin.handle(&Request {
+                        method: msite_net::Method::Get,
+                        url: u,
+                        headers: msite_net::Headers::new(),
+                        body: bytes::Bytes::new(),
+                    });
+                    if resp.status.is_success() {
+                        resp.body.len()
+                    } else {
+                        0
+                    }
+                })
+                .unwrap_or(0);
+            resources.push(Resource { url, kind, bytes });
+            bytes
+        };
+
+        for script in doc.elements_by_tag(root, "script") {
+            match doc.attr(script, "src") {
+                Some(src) => {
+                    if let Ok(resolved) = base.join(src) {
+                        script_bytes += push(resolved.to_string(), ResourceKind::Script, origin);
+                    }
+                }
+                None => script_bytes += doc.text_content(script).len(),
+            }
+        }
+        for link in doc.elements_by_tag(root, "link") {
+            let is_css = doc
+                .attr(link, "rel")
+                .map(|r| r.eq_ignore_ascii_case("stylesheet"))
+                .unwrap_or(false);
+            if is_css {
+                if let Some(href) = doc.attr(link, "href") {
+                    if let Ok(resolved) = base.join(href) {
+                        css_bytes += push(resolved.to_string(), ResourceKind::Stylesheet, origin);
+                    }
+                }
+            }
+        }
+        for style in doc.elements_by_tag(root, "style") {
+            css_bytes += doc.text_content(style).len();
+        }
+        for img in doc.elements_by_tag(root, "img") {
+            let w: u64 = doc.attr(img, "width").and_then(|v| v.parse().ok()).unwrap_or(32);
+            let h: u64 = doc.attr(img, "height").and_then(|v| v.parse().ok()).unwrap_or(32);
+            image_pixels += w * h;
+            if let Some(src) = doc.attr(img, "src") {
+                if let Ok(resolved) = base.join(src) {
+                    push(resolved.to_string(), ResourceKind::Image, origin);
+                }
+            }
+        }
+
+        PageManifest {
+            url: url.to_string(),
+            html_bytes: html.len(),
+            resources,
+            dom_nodes: doc.element_count(),
+            script_bytes,
+            css_bytes,
+            image_pixels,
+        }
+    }
+
+    /// Builds a manifest directly from known numbers (for snapshot pages
+    /// the proxy constructs in memory).
+    pub fn synthetic(
+        url: &str,
+        html_bytes: usize,
+        resources: Vec<Resource>,
+        dom_nodes: usize,
+    ) -> PageManifest {
+        let script_bytes = 0;
+        let css_bytes = 0;
+        let image_pixels = resources
+            .iter()
+            .filter(|r| r.kind == ResourceKind::Image)
+            .map(|r| r.bytes as u64)
+            .sum();
+        PageManifest {
+            url: url.to_string(),
+            html_bytes,
+            resources,
+            dom_nodes,
+            script_bytes,
+            css_bytes,
+            image_pixels,
+        }
+    }
+
+    /// Total transfer: HTML plus all subresources.
+    pub fn total_bytes(&self) -> usize {
+        self.html_bytes + self.resources.iter().map(|r| r.bytes).sum::<usize>()
+    }
+
+    /// Sizes of the subresources, for [`msite_net::LinkModel::page_fetch_time`].
+    pub fn resource_sizes(&self) -> Vec<usize> {
+        self.resources.iter().map(|r| r.bytes).collect()
+    }
+
+    /// Number of subresource requests.
+    pub fn request_count(&self) -> usize {
+        self.resources.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forum::{ForumConfig, ForumSite};
+
+    #[test]
+    fn forum_index_manifest_matches_calibration() {
+        let site = ForumSite::new(ForumConfig::default());
+        let manifest = PageManifest::fetch(&site, &format!("{}/index.php", site.base_url()));
+        assert_eq!(manifest.total_bytes(), 224_477);
+        // 12 scripts + 1 css + images.
+        let scripts = manifest
+            .resources
+            .iter()
+            .filter(|r| r.kind == ResourceKind::Script)
+            .count();
+        assert_eq!(scripts, 12);
+        let css = manifest
+            .resources
+            .iter()
+            .filter(|r| r.kind == ResourceKind::Stylesheet)
+            .count();
+        assert_eq!(css, 1);
+        assert!(manifest.dom_nodes > 150, "dom nodes {}", manifest.dom_nodes);
+        assert!(manifest.script_bytes > 80_000);
+        assert!(manifest.image_pixels > 728 * 90);
+    }
+
+    #[test]
+    fn duplicate_resources_counted_once() {
+        let origin = |_req: &msite_net::Request| {
+            msite_net::Response::html(
+                "<img src=\"/a.gif\"><img src=\"/a.gif\"><script src=\"/s.js\"></script>",
+            )
+        };
+        // Sub-fetches 404 -> zero bytes but still one entry each.
+        let manifest = PageManifest::fetch(&origin, "http://h/page");
+        assert_eq!(manifest.request_count(), 2);
+    }
+
+    #[test]
+    fn inline_script_and_style_counted() {
+        let origin = |_req: &msite_net::Request| {
+            msite_net::Response::html(
+                "<html><head><style>body { color: red }</style>\
+                 <script>var xyz = 1;</script></head><body></body></html>",
+            )
+        };
+        let manifest = PageManifest::fetch(&origin, "http://h/");
+        assert!(manifest.script_bytes >= 12);
+        assert!(manifest.css_bytes >= 18);
+        assert_eq!(manifest.request_count(), 0);
+    }
+
+    #[test]
+    fn synthetic_manifest_totals() {
+        let m = PageManifest::synthetic(
+            "http://proxy/snapshot",
+            2_000,
+            vec![Resource {
+                url: "http://proxy/snap.png".into(),
+                kind: ResourceKind::Image,
+                bytes: 40_000,
+            }],
+            25,
+        );
+        assert_eq!(m.total_bytes(), 42_000);
+        assert_eq!(m.request_count(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! A tiny logic-light template engine for the synthetic sites.
+//!
+//! vBulletin is template-driven; the synthetic forum is too, which keeps
+//! its markup realistic (deep tables, repeated row templates) and lets
+//! tests tweak skins without touching code. Syntax:
+//!
+//! - `{{name}}` — substitute a variable (HTML-escaped);
+//! - `{{{name}}}` — substitute without escaping (pre-built fragments);
+//! - `{{#each items}}...{{/each}}` — repeat over a list of scopes;
+//! - `{{#if flag}}...{{/if}}` — include when the variable is non-empty.
+
+use msite_html::entities::encode_text;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Values a template can interpolate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A scalar string.
+    Text(String),
+    /// A list of nested scopes for `{{#each}}`.
+    List(Vec<Scope>),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Text(s)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Text(n.to_string())
+    }
+}
+
+/// A set of named values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scope {
+    values: BTreeMap<String, Value>,
+}
+
+impl Scope {
+    /// Creates an empty scope.
+    pub fn new() -> Scope {
+        Scope::default()
+    }
+
+    /// Sets a value (builder style).
+    pub fn set(mut self, name: &str, value: impl Into<Value>) -> Scope {
+        self.values.insert(name.to_string(), value.into());
+        self
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+}
+
+/// Error for malformed templates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateError {
+    message: String,
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template error: {}", self.message)
+    }
+}
+
+impl Error for TemplateError {}
+
+fn err(message: impl Into<String>) -> TemplateError {
+    TemplateError {
+        message: message.into(),
+    }
+}
+
+/// Renders `template` with `scope`.
+///
+/// # Errors
+///
+/// Returns [`TemplateError`] on unterminated blocks or tags.
+/// Missing variables render as empty strings (template-engine
+/// convention), not errors.
+///
+/// # Examples
+///
+/// ```
+/// use msite_sites::template::{render, Scope};
+///
+/// let out = render(
+///     "<ul>{{#each items}}<li>{{name}}</li>{{/each}}</ul>",
+///     &Scope::new().set("items", vec![
+///         Scope::new().set("name", "General"),
+///         Scope::new().set("name", "Off-Topic <chat>"),
+///     ]),
+/// ).unwrap();
+/// assert_eq!(out, "<ul><li>General</li><li>Off-Topic &lt;chat&gt;</li></ul>");
+/// ```
+pub fn render(template: &str, scope: &Scope) -> Result<String, TemplateError> {
+    let mut out = String::with_capacity(template.len());
+    render_section(template, scope, &mut out)?;
+    Ok(out)
+}
+
+impl From<Vec<Scope>> for Value {
+    fn from(list: Vec<Scope>) -> Value {
+        Value::List(list)
+    }
+}
+
+fn render_section(mut rest: &str, scope: &Scope, out: &mut String) -> Result<(), TemplateError> {
+    while let Some(open) = rest.find("{{") {
+        out.push_str(&rest[..open]);
+        rest = &rest[open..];
+        if let Some(body) = rest.strip_prefix("{{{") {
+            let close = body.find("}}}").ok_or_else(|| err("unterminated {{{"))?;
+            let name = body[..close].trim();
+            if let Some(Value::Text(text)) = scope.get(name) {
+                out.push_str(text);
+            }
+            rest = &body[close + 3..];
+            continue;
+        }
+        let body = &rest[2..];
+        let close = body.find("}}").ok_or_else(|| err("unterminated {{"))?;
+        let tag = body[..close].trim();
+        let after_tag = &body[close + 2..];
+        if let Some(block) = tag.strip_prefix("#each ") {
+            let name = block.trim();
+            let (inner, remainder) = split_block(after_tag, "each")?;
+            if let Some(Value::List(items)) = scope.get(name) {
+                for item in items {
+                    render_section(inner, item, out)?;
+                }
+            }
+            rest = remainder;
+        } else if let Some(block) = tag.strip_prefix("#if ") {
+            let name = block.trim();
+            let (inner, remainder) = split_block(after_tag, "if")?;
+            let truthy = match scope.get(name) {
+                Some(Value::Text(t)) => !t.is_empty(),
+                Some(Value::List(l)) => !l.is_empty(),
+                None => false,
+            };
+            if truthy {
+                render_section(inner, scope, out)?;
+            }
+            rest = remainder;
+        } else if tag.starts_with('/') {
+            return Err(err(format!("unexpected closer {{{{{tag}}}}}")));
+        } else {
+            if let Some(Value::Text(text)) = scope.get(tag) {
+                out.push_str(&encode_text(text));
+            }
+            rest = after_tag;
+        }
+    }
+    out.push_str(rest);
+    Ok(())
+}
+
+/// Finds the matching `{{/kind}}` for a block, handling nesting.
+fn split_block<'a>(body: &'a str, kind: &str) -> Result<(&'a str, &'a str), TemplateError> {
+    let open_each = format!("{{{{#{kind} ");
+    let close_tag = format!("{{{{/{kind}}}}}");
+    let mut depth = 1;
+    let mut search_from = 0;
+    loop {
+        let next_open = body[search_from..].find(&open_each).map(|i| i + search_from);
+        let next_close = body[search_from..].find(&close_tag).map(|i| i + search_from);
+        match (next_open, next_close) {
+            (Some(o), Some(c)) if o < c => {
+                depth += 1;
+                search_from = o + open_each.len();
+            }
+            (_, Some(c)) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((&body[..c], &body[c + close_tag.len()..]));
+                }
+                search_from = c + close_tag.len();
+            }
+            _ => return Err(err(format!("missing {close_tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_substitution_escapes() {
+        let out = render("Hello {{who}}!", &Scope::new().set("who", "<world>")).unwrap();
+        assert_eq!(out, "Hello &lt;world&gt;!");
+    }
+
+    #[test]
+    fn raw_substitution_does_not_escape() {
+        let out = render("{{{frag}}}", &Scope::new().set("frag", "<b>x</b>")).unwrap();
+        assert_eq!(out, "<b>x</b>");
+    }
+
+    #[test]
+    fn missing_variable_renders_empty() {
+        assert_eq!(render("[{{nope}}]", &Scope::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn each_repeats() {
+        let scope = Scope::new().set(
+            "rows",
+            vec![
+                Scope::new().set("n", "1"),
+                Scope::new().set("n", "2"),
+                Scope::new().set("n", "3"),
+            ],
+        );
+        assert_eq!(
+            render("{{#each rows}}({{n}}){{/each}}", &scope).unwrap(),
+            "(1)(2)(3)"
+        );
+    }
+
+    #[test]
+    fn nested_each() {
+        let scope = Scope::new().set(
+            "outer",
+            vec![Scope::new()
+                .set("label", "A")
+                .set("inner", vec![Scope::new().set("x", "1"), Scope::new().set("x", "2")])],
+        );
+        assert_eq!(
+            render(
+                "{{#each outer}}{{label}}:{{#each inner}}{{x}}{{/each}}{{/each}}",
+                &scope
+            )
+            .unwrap(),
+            "A:12"
+        );
+    }
+
+    #[test]
+    fn if_blocks() {
+        let scope = Scope::new().set("flag", "yes").set("empty", "");
+        assert_eq!(render("{{#if flag}}on{{/if}}", &scope).unwrap(), "on");
+        assert_eq!(render("{{#if empty}}on{{/if}}", &scope).unwrap(), "");
+        assert_eq!(render("{{#if missing}}on{{/if}}", &scope).unwrap(), "");
+    }
+
+    #[test]
+    fn errors_on_malformed() {
+        assert!(render("{{unclosed", &Scope::new()).is_err());
+        assert!(render("{{#each x}}no close", &Scope::new()).is_err());
+        assert!(render("{{/each}}", &Scope::new()).is_err());
+        assert!(render("{{{raw}}", &Scope::new()).is_err());
+    }
+
+    #[test]
+    fn each_over_missing_list_is_empty() {
+        assert_eq!(render("x{{#each gone}}y{{/each}}z", &Scope::new()).unwrap(), "xz");
+    }
+}

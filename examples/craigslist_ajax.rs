@@ -1,0 +1,107 @@
+//! Figure 6 reproduction: enhancing a CraigsList-style site with AJAX
+//! for the iPad (§4.5).
+//!
+//! CraigsList "does not ordinarily require any AJAX requests, which for a
+//! mobile device means an overuse of the browser's tiny back button, and
+//! continual reloading of pages." The adaptation splits the view into two
+//! panes: the listing links on the left, the selected ad loaded
+//! asynchronously through the proxy on the right.
+//!
+//! Run with: `cargo run --example craigslist_ajax`
+
+use msite::attributes::{AdaptationSpec, Attribute, Target};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{Origin, OriginRef, Request};
+use msite_sites::{ClassifiedsConfig, ClassifiedsSite};
+use std::sync::Arc;
+
+fn main() {
+    let site = Arc::new(ClassifiedsSite::new(ClassifiedsConfig::default()));
+    let search_url = format!("{}/search?cat=tools&page=0", site.base_url());
+
+    // Before: every click is a full page load.
+    let listing_id = site.listing_id("tools", 0);
+    let before_list = site.handle(&Request::get(&search_url).unwrap());
+    let before_detail = site.handle(
+        &Request::get(&format!("{}/listing/{listing_id}.html", site.base_url())).unwrap(),
+    );
+    println!("--- original site (no AJAX) ---");
+    println!("search page : {} bytes", before_list.body.len());
+    println!("detail page : {} bytes (full reload per ad)", before_detail.body.len());
+
+    // The adaptation: two panes + links converted to asynchronous loads.
+    let mut spec = AdaptationSpec::new("cl", &search_url);
+    spec.snapshot = None; // the iPad renders HTML fine; no snapshot needed
+    let spec = spec
+        .rule(
+            Target::Css("#results".into()),
+            vec![
+                // Two-pane layout: listing list left, detail right.
+                Attribute::SetAttr {
+                    name: "style".into(),
+                    value: "float:left;width:44%;overflow:auto".into(),
+                },
+                Attribute::InsertAfter {
+                    html: "<div id=\"msite-detail\" style=\"float:right;width:54%\">\
+                           <p>Select a listing.</p></div>"
+                        .into(),
+                },
+                // Every ad link becomes an async load into the right pane.
+                Attribute::LinksToAjax {
+                    target: "#msite-detail".into(),
+                },
+            ],
+        )
+        .rule(
+            Target::Dock(msite::attributes::DockObject::Title),
+            vec![Attribute::SetAttr {
+                name: "text".into(),
+                value: "tools classifieds (iPad)".into(),
+            }],
+        );
+
+    let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
+    let entry = proxy.handle(&Request::get("http://proxy.test/m/cl/").unwrap());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .and_then(|c| c.split(';').next())
+        .unwrap()
+        .to_string();
+    println!("\n--- adapted two-pane page ---");
+    println!("entry page  : {} bytes", entry.body.len());
+    let html = entry.body_text();
+    assert!(html.contains("msite-detail"));
+    assert!(html.contains("msiteLoad("));
+    let rewritten = html.matches("msiteLoad(").count();
+    println!("links rewritten to async loads: {rewritten}");
+
+    // Clicking an ad now costs one proxy round trip for the fragment.
+    let fragment = proxy.handle(
+        &Request::get(&format!(
+            "http://proxy.test/m/cl/proxy?action=1&p={listing_id}"
+        ))
+        .unwrap()
+        .with_header("cookie", &cookie),
+    );
+    println!(
+        "async detail fragment: {} ({} bytes vs {} for the full reload)",
+        fragment.status,
+        fragment.body.len(),
+        before_detail.body.len()
+    );
+    assert!(fragment.status.is_success());
+    assert!(fragment.body_text().contains("postingbody"));
+
+    // Browsing 10 ads: full-reload navigation vs the adapted flow.
+    let reload_bytes = 10 * (before_list.body.len() + before_detail.body.len());
+    let ajax_bytes = entry.body.len() + 10 * fragment.body.len();
+    println!("\n--- browsing 10 ads ---");
+    println!("original (list+detail reload each time): {reload_bytes} bytes");
+    println!("adapted  (one entry + 10 fragments)    : {ajax_bytes} bytes");
+    println!(
+        "bytes saved: {:.0}%",
+        100.0 * (1.0 - ajax_bytes as f64 / reload_bytes as f64)
+    );
+    assert!(ajax_bytes < reload_bytes);
+}

@@ -1,0 +1,108 @@
+//! End-to-end over real TCP: the synthetic forum and the m.Site proxy
+//! each run as actual HTTP servers on localhost, and a real HTTP client
+//! walks the mobile flow.
+//!
+//! Run with: `cargo run --example live_proxy`
+//! (pass `--serve` to keep the servers up for manual browsing)
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{http_get, http_request, HttpServer, OriginRef, Request};
+use msite_sites::{ForumConfig, ForumSite};
+use std::sync::Arc;
+
+fn main() {
+    // The origin forum, served over real TCP.
+    let site = Arc::new(ForumSite::new(ForumConfig {
+        host: "127.0.0.1".to_string(), // answer as the bound host
+        ..ForumConfig::default()
+    }));
+    let origin_server = HttpServer::bind("127.0.0.1:0", Arc::clone(&site) as OriginRef)
+        .expect("bind origin");
+    let origin_url = format!("http://{}/index.php", origin_server.addr());
+    println!("origin forum listening on http://{}", origin_server.addr());
+
+    // The proxy: points at the live origin over the loopback.
+    let origin_client: OriginRef = Arc::new(move |req: &Request| {
+        http_request(req).unwrap_or_else(|e| {
+            msite_net::Response::error(msite_net::Status::BAD_GATEWAY, &e.to_string())
+        })
+    });
+    let mut spec = AdaptationSpec::new("forum", &origin_url);
+    spec.snapshot = Some(SnapshotSpec::default());
+    let spec = spec.rule(
+        Target::Css("#loginform".into()),
+        vec![Attribute::Subpage {
+            id: "login".into(),
+            title: "Log in".into(),
+            ajax: false,
+            prerender: false,
+        }],
+    );
+    let proxy = Arc::new(ProxyServer::new(spec, origin_client, ProxyConfig::default()));
+    let proxy_server =
+        HttpServer::bind("127.0.0.1:0", Arc::clone(&proxy) as OriginRef).expect("bind proxy");
+    println!(
+        "m.Site proxy listening on http://{}/m/forum/",
+        proxy_server.addr()
+    );
+
+    // A real mobile client walk.
+    let entry = http_get(&format!("http://{}/m/forum/", proxy_server.addr())).expect("entry");
+    println!("\nGET /m/forum/           -> {} ({} bytes)", entry.status, entry.body.len());
+    assert!(entry.status.is_success());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .and_then(|c| c.split(';').next())
+        .expect("session cookie")
+        .to_string();
+
+    let snapshot = http_request(
+        &Request::get(&format!(
+            "http://{}/m/forum/img/snapshot.png",
+            proxy_server.addr()
+        ))
+        .unwrap()
+        .with_header("cookie", &cookie),
+    )
+    .expect("snapshot");
+    println!(
+        "GET /m/forum/img/snapshot.png -> {} ({} bytes, PNG={})",
+        snapshot.status,
+        snapshot.body.len(),
+        snapshot.body.starts_with(&[0x89, b'P', b'N', b'G'])
+    );
+
+    let login = http_request(
+        &Request::get(&format!(
+            "http://{}/m/forum/s/login.html",
+            proxy_server.addr()
+        ))
+        .unwrap()
+        .with_header("cookie", &cookie),
+    )
+    .expect("login subpage");
+    println!(
+        "GET /m/forum/s/login.html     -> {} ({} bytes)",
+        login.status,
+        login.body.len()
+    );
+    assert!(login.body_text().contains("vb_login_username"));
+
+    println!(
+        "\norigin served {} requests, proxy served {}",
+        origin_server.requests_served(),
+        proxy_server.requests_served()
+    );
+
+    if std::env::args().any(|a| a == "--serve") {
+        println!("\nservers staying up; open http://{}/m/forum/ (ctrl-c to quit)", proxy_server.addr());
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        }
+    }
+    proxy_server.shutdown();
+    origin_server.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,105 @@
+//! A compact Figure 7 demonstration: throughput collapses when every
+//! request needs a full browser instance, and recovers when the
+//! lightweight proxy path serves the rest.
+//!
+//! The full sweep (9 points, 3 trials, calibrated PHP-equivalent
+//! overhead) lives in `cargo run -p msite-bench --bin experiments -- fig7`;
+//! this example runs three quick points.
+//!
+//! Run with: `cargo run --release --example scalability_demo`
+
+use msite::attributes::{AdaptationSpec, SnapshotSpec};
+use msite::baseline::{HighlightConfig, HighlightProxy};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{Origin, OriginRef, Prng, Request};
+use msite_render::browser::BrowserConfig;
+use msite_sites::{ForumConfig, ForumSite};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let site = Arc::new(ForumSite::new(ForumConfig::default()));
+    let page_url = format!("{}/index.php", site.base_url());
+
+    // m.Site proxy: snapshot pre-rendered once, then everything is cheap.
+    let mut spec = AdaptationSpec::new("forum", &page_url);
+    spec.snapshot = Some(SnapshotSpec::default());
+    let proxy = Arc::new(ProxyServer::new(
+        spec,
+        Arc::clone(&site) as OriginRef,
+        ProxyConfig {
+            scripted_overhead: Duration::from_micros(3_500),
+            ..ProxyConfig::default()
+        },
+    ));
+    // Warm the shared snapshot cache (the amortized render).
+    let warm = proxy.handle(&Request::get("http://p/m/forum/").unwrap());
+    assert!(warm.status.is_success());
+
+    // Highlight baseline: full browser instance per request.
+    let highlight = Arc::new(HighlightProxy::new(
+        &page_url,
+        Arc::clone(&site) as OriginRef,
+        HighlightConfig {
+            browser_config: BrowserConfig::paper_testbed(),
+            ..HighlightConfig::default()
+        },
+    ));
+
+    println!("requests satisfied per minute vs. % needing a full browser");
+    println!("(2 workers, 1.5 s windows, scaled to per-minute)\n");
+    println!("{:>18} {:>14}", "% full render", "requests/min");
+    for percent in [100.0f64, 10.0, 0.0] {
+        let rate = measure(&proxy, &highlight, percent, Duration::from_millis(1_500));
+        println!("{percent:>17}% {rate:>14.0}");
+    }
+    println!("\n(the paper's Figure 7: 224/min at 100% -> 29,038/min at 0%)");
+}
+
+/// Runs a measurement window with two workers; each request draws U[0,1]
+/// against `percent` to decide whether it needs the full browser.
+fn measure(
+    proxy: &Arc<ProxyServer>,
+    highlight: &Arc<HighlightProxy>,
+    percent: f64,
+    window: Duration,
+) -> f64 {
+    let satisfied = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|worker| {
+            let proxy = Arc::clone(proxy);
+            let highlight = Arc::clone(highlight);
+            let satisfied = Arc::clone(&satisfied);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = Prng::new(0xF1607 + worker);
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let needs_browser = rng.unit_f64() * 100.0 < percent;
+                    let ok = if needs_browser {
+                        highlight.render_for(&format!("w{worker}-{i}")).status.is_success()
+                    } else {
+                        proxy
+                            .handle(&Request::get("http://p/m/forum/").unwrap())
+                            .status
+                            .is_success()
+                    };
+                    if ok {
+                        satisfied.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    satisfied.load(Ordering::Relaxed) as f64 * 60.0 / elapsed
+}

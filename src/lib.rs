@@ -1,0 +1,13 @@
+//! Umbrella crate for the m.Site reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can use a single dependency. Library users should
+//! depend on the individual crates (`msite`, `msite-html`, ...) directly.
+
+pub use msite;
+pub use msite_device as device;
+pub use msite_html as html;
+pub use msite_net as net;
+pub use msite_render as render;
+pub use msite_selectors as selectors;
+pub use msite_sites as sites;

@@ -1,0 +1,137 @@
+//! Baseline comparison (§4.6): the Highlight browser-per-client proxy and
+//! the m.Site lightweight path must both satisfy requests for the same
+//! page — the scalability difference comes from cost, not capability.
+
+use msite::attributes::{AdaptationSpec, SnapshotSpec};
+use msite::baseline::{HighlightConfig, HighlightProxy};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{Origin, OriginRef, Request};
+use msite_render::browser::BrowserConfig;
+use msite_sites::{ForumConfig, ForumSite};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn forum() -> Arc<ForumSite> {
+    Arc::new(ForumSite::new(ForumConfig::default()))
+}
+
+#[test]
+fn both_systems_serve_a_rendered_view_of_the_page() {
+    let site = forum();
+    let url = format!("{}/index.php", site.base_url());
+    // m.Site: snapshot served to many via the cache.
+    let mut spec = AdaptationSpec::new("forum", &url);
+    spec.snapshot = Some(SnapshotSpec::default());
+    let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
+    let entry = proxy.handle(&Request::get("http://p/m/forum/").unwrap());
+    assert!(entry.status.is_success());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string();
+    let msite_view = proxy.handle(
+        &Request::get("http://p/m/forum/img/snapshot.png")
+            .unwrap()
+            .with_header("cookie", &cookie),
+    );
+    // Highlight: view rendered per request.
+    let highlight = HighlightProxy::new(
+        &url,
+        Arc::clone(&site) as OriginRef,
+        HighlightConfig {
+            browser_config: BrowserConfig::default(),
+            ..HighlightConfig::default()
+        },
+    );
+    let highlight_view = highlight.render_for("user-1");
+    // Both are PNG renderings of the same origin page.
+    assert!(msite_view.body.starts_with(&[0x89, b'P', b'N', b'G']));
+    assert!(highlight_view.body.starts_with(&[0x89, b'P', b'N', b'G']));
+    // Identical dimensions (same engine, same viewport, same 0.5 scale).
+    assert_eq!(msite_view.body[16..24], highlight_view.body[16..24]);
+}
+
+#[test]
+fn msite_amortizes_what_highlight_repays_per_request() {
+    let site = forum();
+    let url = format!("{}/index.php", site.base_url());
+    let launch_cost = Duration::from_millis(30);
+
+    let mut spec = AdaptationSpec::new("forum", &url);
+    spec.snapshot = Some(SnapshotSpec::default());
+    let proxy = ProxyServer::new(
+        spec,
+        Arc::clone(&site) as OriginRef,
+        ProxyConfig {
+            browser_config: BrowserConfig {
+                startup_cost: msite_render::StartupCost::Busy(launch_cost),
+                ..BrowserConfig::default()
+            },
+            ..ProxyConfig::default()
+        },
+    );
+    let highlight = HighlightProxy::new(
+        &url,
+        Arc::clone(&site) as OriginRef,
+        HighlightConfig {
+            browser_config: BrowserConfig {
+                startup_cost: msite_render::StartupCost::Busy(launch_cost),
+                ..BrowserConfig::default()
+            },
+            ..HighlightConfig::default()
+        },
+    );
+
+    const N: usize = 8;
+    // m.Site: one render, N-1 cache hits.
+    let start = Instant::now();
+    for _ in 0..N {
+        assert!(proxy
+            .handle(&Request::get("http://p/m/forum/").unwrap())
+            .status
+            .is_success());
+    }
+    let msite_time = start.elapsed();
+    // Highlight: N full renders.
+    let start = Instant::now();
+    for i in 0..N {
+        assert!(highlight.render_for(&format!("u{i}")).status.is_success());
+    }
+    let highlight_time = start.elapsed();
+
+    assert_eq!(highlight.stats().browsers_launched as usize, N);
+    assert!(
+        highlight_time > msite_time * 3,
+        "highlight {highlight_time:?} vs msite {msite_time:?}"
+    );
+}
+
+#[test]
+fn highlight_per_session_pool_is_still_per_client() {
+    let site = forum();
+    let url = format!("{}/index.php", site.base_url());
+    let highlight = HighlightProxy::new(
+        &url,
+        Arc::clone(&site) as OriginRef,
+        HighlightConfig {
+            browser_config: BrowserConfig::default(),
+            pool_per_session: true,
+            ..HighlightConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        let _ = highlight.render_for("alice");
+    }
+    for _ in 0..3 {
+        let _ = highlight.render_for("bob");
+    }
+    // One browser per client — never shared ("using a browser pool can
+    // potentially violate security assumptions if shared by multiple
+    // clients").
+    assert_eq!(highlight.stats().browsers_launched, 2);
+    assert_eq!(highlight.stats().requests, 6);
+}

@@ -1,0 +1,131 @@
+//! The Figure 6 flow end to end: the classifieds two-pane adaptation
+//! with proxy-satisfied AJAX, including cache behavior on repeat views.
+
+use msite::attributes::{AdaptationSpec, Attribute, Target};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_html::parse_document;
+use msite_net::{Origin, OriginRef, Request};
+use msite_sites::{ClassifiedsConfig, ClassifiedsSite};
+use std::sync::Arc;
+
+fn deploy() -> (Arc<ClassifiedsSite>, ProxyServer) {
+    let site = Arc::new(ClassifiedsSite::new(ClassifiedsConfig::default()));
+    let search_url = format!("{}/search?cat=tools&page=0", site.base_url());
+    let mut spec = AdaptationSpec::new("cl", &search_url);
+    spec.snapshot = None;
+    let spec = spec.rule(
+        Target::Css("#results".into()),
+        vec![
+            Attribute::SetAttr {
+                name: "style".into(),
+                value: "float:left;width:44%".into(),
+            },
+            Attribute::InsertAfter {
+                html: "<div id=\"msite-detail\"></div>".into(),
+            },
+            Attribute::LinksToAjax {
+                target: "#msite-detail".into(),
+            },
+        ],
+    )
+    .rule(
+        Target::Css("#nextpage".into()),
+        vec![Attribute::LinksToAjax {
+            target: "#msite-detail".into(),
+        }],
+    );
+    let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
+    (site, proxy)
+}
+
+#[test]
+fn entry_page_has_two_panes_and_async_links() {
+    let (_site, proxy) = deploy();
+    let entry = proxy.handle(&Request::get("http://p/m/cl/").unwrap());
+    assert!(entry.status.is_success());
+    let doc = parse_document(&entry.body_text());
+    // Both panes exist, detail pane directly after results.
+    let results = doc.element_by_id("results").expect("results pane");
+    let detail = doc.element_by_id("msite-detail").expect("detail pane");
+    let mut next = doc.node(results).next_sibling();
+    let mut found = false;
+    while let Some(n) = next {
+        if n == detail {
+            found = true;
+            break;
+        }
+        next = doc.node(n).next_sibling();
+    }
+    assert!(found, "detail pane follows the results pane");
+    // Every listing link became an async load; one shared action.
+    let links = doc.elements_by_tag(results, "a");
+    let async_links = links
+        .iter()
+        .filter(|&&a| doc.attr(a, "onclick").map(|o| o.contains("msiteLoad")).unwrap_or(false))
+        .count();
+    assert_eq!(async_links, 100); // one per listing row
+    // The helper script was injected.
+    assert!(entry.body_text().contains("function msiteLoad"));
+}
+
+#[test]
+fn fragments_served_through_one_registered_action() {
+    let (site, proxy) = deploy();
+    let entry = proxy.handle(&Request::get("http://p/m/cl/").unwrap());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string();
+    for i in [0u32, 7, 42] {
+        let id = site.listing_id("tools", i);
+        let frag = proxy.handle(
+            &Request::get(&format!("http://p/m/cl/proxy?action=1&p={id}"))
+                .unwrap()
+                .with_header("cookie", &cookie),
+        );
+        assert!(frag.status.is_success(), "listing {id}");
+        let text = frag.body_text();
+        // Fragment, not a full page: body extracted.
+        assert!(!text.contains("<html"));
+        assert!(text.contains("postingbody"));
+        assert!(text.contains(&id.to_string()));
+    }
+}
+
+#[test]
+fn fragment_smaller_than_full_navigation() {
+    let (site, proxy) = deploy();
+    let entry = proxy.handle(&Request::get("http://p/m/cl/").unwrap());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string();
+    let id = site.listing_id("tools", 5);
+    let frag = proxy.handle(
+        &Request::get(&format!("http://p/m/cl/proxy?action=1&p={id}"))
+            .unwrap()
+            .with_header("cookie", &cookie),
+    );
+    let list = site.handle(&Request::get(&format!("{}/search?cat=tools&page=0", site.base_url())).unwrap());
+    let detail = site.handle(&Request::get(&format!("{}/listing/{id}.html", site.base_url())).unwrap());
+    assert!(frag.body.len() < detail.body.len());
+    assert!(frag.body.len() < (list.body.len() + detail.body.len()) / 10);
+}
+
+#[test]
+fn next_page_link_also_loads_async() {
+    let (_site, proxy) = deploy();
+    let entry = proxy.handle(&Request::get("http://p/m/cl/").unwrap());
+    let doc = parse_document(&entry.body_text());
+    let next = doc.element_by_id("nextpage").expect("pagination link");
+    let onclick = doc.attr(next, "onclick").expect("rewritten");
+    assert!(onclick.contains("msiteLoad"));
+}

@@ -1,0 +1,172 @@
+//! Failure injection: the proxy must degrade cleanly when the origin
+//! misbehaves — 5xx storms, outages, malformed markup, oversized pages —
+//! because "the proxy also handles ... any error handling should the
+//! page be unavailable".
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{FlakyOrigin, Origin, OriginRef, Request, Response, Status};
+use msite_sites::{ForumConfig, ForumSite};
+use std::sync::Arc;
+
+fn spec_for(url: &str, snapshot: bool) -> AdaptationSpec {
+    let mut spec = AdaptationSpec::new("t", url);
+    spec.snapshot = snapshot.then(SnapshotSpec::default);
+    spec.rule(
+        Target::Css("#main".into()),
+        vec![Attribute::Subpage {
+            id: "main".into(),
+            title: "Main".into(),
+            ajax: false,
+            prerender: false,
+        }],
+    )
+}
+
+#[test]
+fn origin_down_yields_bad_gateway_not_panic() {
+    let dead: OriginRef = Arc::new(|_req: &Request| {
+        Response::error(Status::SERVICE_UNAVAILABLE, "maintenance window")
+    });
+    let proxy = ProxyServer::new(spec_for("http://down.test/", true), dead, ProxyConfig::default());
+    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert_eq!(entry.status, Status::BAD_GATEWAY);
+    // The proxy itself stays alive for subsequent requests.
+    let again = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert_eq!(again.status, Status::BAD_GATEWAY);
+}
+
+#[test]
+fn flaky_origin_failures_do_not_poison_the_cache() {
+    // The entry page URL deterministically fails under this rate; verify
+    // a failing first fetch is not cached as the entry page.
+    let healthy: OriginRef = Arc::new(|req: &Request| {
+        if req.url.path() == "/index.php" {
+            Response::html("<html><body><div id=\"main\">ok</div></body></html>")
+        } else {
+            Response::error(Status::NOT_FOUND, "nope")
+        }
+    });
+    let flaky = Arc::new(FlakyOrigin::new(healthy, 1.0, Status::INTERNAL_SERVER_ERROR));
+    let proxy = ProxyServer::new(
+        spec_for("http://flaky.test/index.php", false),
+        flaky,
+        ProxyConfig::default(),
+    );
+    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert_eq!(entry.status, Status::BAD_GATEWAY);
+    assert!(proxy.cache().get("entry:html").is_none(), "failure must not be cached");
+}
+
+#[test]
+fn malformed_origin_markup_still_adapts() {
+    let messy: OriginRef = Arc::new(|_req: &Request| {
+        Response::html(
+            "<html><head><title>Broken</title><body>\
+             <div id=\"main\"><table><tr><td>unclosed everything\
+             <script>if (a<b) document.write(\"<div>\");</script>\
+             <p>more<p>text",
+        )
+    });
+    let proxy = ProxyServer::new(spec_for("http://messy.test/", false), messy, ProxyConfig::default());
+    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert!(entry.status.is_success());
+    assert!(entry.body_text().contains("/m/t/s/main.html"));
+}
+
+#[test]
+fn oversized_page_is_bounded_by_render_cap() {
+    // A pathological page: 20k blocks, each 100px tall -> 2M px tall.
+    let huge: OriginRef = Arc::new(|_req: &Request| {
+        let mut body = String::from("<html><body><div id=\"main\">x</div>");
+        for i in 0..20_000 {
+            body.push_str(&format!("<div style=\"height:100px\">row {i}</div>"));
+        }
+        body.push_str("</body></html>");
+        Response::html(body)
+    });
+    let proxy = ProxyServer::new(spec_for("http://huge.test/", true), huge, ProxyConfig::default());
+    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert!(entry.status.is_success());
+    // The snapshot height was clamped by the browser's max_page_height
+    // (8192) and then halved by the 0.5x snapshot scale.
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string();
+    let img = proxy.handle(
+        &Request::get("http://p/m/t/img/snapshot.png")
+            .unwrap()
+            .with_header("cookie", &cookie),
+    );
+    assert!(img.status.is_success());
+    let height = u32::from_be_bytes(img.body[20..24].try_into().unwrap());
+    assert!(height <= 4_096, "snapshot height {height}");
+}
+
+#[test]
+fn empty_origin_body_handled() {
+    let empty: OriginRef = Arc::new(|_req: &Request| Response::html(""));
+    let proxy = ProxyServer::new(spec_for("http://empty.test/", false), empty, ProxyConfig::default());
+    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert!(entry.status.is_success());
+}
+
+#[test]
+fn ajax_origin_error_reported_as_bad_gateway() {
+    let site = Arc::new(ForumSite::new(ForumConfig::default()));
+    let mut spec = AdaptationSpec::new(
+        "thread",
+        &format!("{}/showthread.php?t=42", site.base_url()),
+    );
+    spec.snapshot = None;
+    let spec = spec.rule(Target::Css("#posts".into()), vec![Attribute::AjaxRewrite]);
+    let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
+    let entry = proxy.handle(&Request::get("http://p/m/thread/").unwrap());
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string();
+    // Without an origin session, showpic returns 403 -> proxy reports 502.
+    let frag = proxy.handle(
+        &Request::get("http://p/m/thread/proxy?action=1&p=9")
+            .unwrap()
+            .with_header("cookie", &cookie),
+    );
+    assert_eq!(frag.status, Status::BAD_GATEWAY);
+}
+
+#[test]
+fn intermittent_failures_recover_between_requests() {
+    use parking_lot::Mutex;
+    let hits = Arc::new(Mutex::new(0u32));
+    let hits2 = Arc::clone(&hits);
+    // Fails on the first fetch, succeeds afterwards.
+    let recovering: OriginRef = Arc::new(move |_req: &Request| {
+        let mut h = hits2.lock();
+        *h += 1;
+        if *h == 1 {
+            Response::error(Status::GATEWAY_TIMEOUT, "first hit times out")
+        } else {
+            Response::html("<html><body><div id=\"main\">recovered</div></body></html>")
+        }
+    });
+    let proxy = ProxyServer::new(
+        spec_for("http://recovering.test/", false),
+        recovering,
+        ProxyConfig::default(),
+    );
+    let first = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert_eq!(first.status, Status::BAD_GATEWAY);
+    let second = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    assert!(second.status.is_success());
+    assert!(second.body_text().contains("recovered") || second.body_text().contains("main.html"));
+}

@@ -1,0 +1,116 @@
+//! The whole stack over real sockets: forum origin and m.Site proxy as
+//! actual HTTP servers, exercised by the real client.
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{http_get, http_request, HttpServer, OriginRef, Request, Response, Status};
+use msite_sites::{ForumConfig, ForumSite};
+use std::sync::Arc;
+
+struct Stack {
+    origin_server: HttpServer,
+    proxy_server: HttpServer,
+}
+
+impl Stack {
+    fn up() -> Stack {
+        let site = Arc::new(ForumSite::new(ForumConfig {
+            host: "127.0.0.1".to_string(),
+            ..ForumConfig::default()
+        }));
+        let origin_server =
+            HttpServer::bind("127.0.0.1:0", Arc::clone(&site) as OriginRef).unwrap();
+        let origin_url = format!("http://{}/index.php", origin_server.addr());
+
+        let origin_client: OriginRef = Arc::new(move |req: &Request| {
+            http_request(req)
+                .unwrap_or_else(|e| Response::error(Status::BAD_GATEWAY, &e.to_string()))
+        });
+        let mut spec = AdaptationSpec::new("forum", &origin_url);
+        spec.snapshot = Some(SnapshotSpec {
+            scale: 0.5,
+            quality: 40,
+            cache_ttl_secs: 600,
+            viewport_width: 800,
+        });
+        let spec = spec.rule(
+            Target::Css("#loginform".into()),
+            vec![Attribute::Subpage {
+                id: "login".into(),
+                title: "Log in".into(),
+                ajax: false,
+                prerender: false,
+            }],
+        );
+        let proxy = Arc::new(ProxyServer::new(spec, origin_client, ProxyConfig::default()));
+        let proxy_server = HttpServer::bind("127.0.0.1:0", proxy as OriginRef).unwrap();
+        Stack {
+            origin_server,
+            proxy_server,
+        }
+    }
+
+    fn down(self) {
+        self.proxy_server.shutdown();
+        self.origin_server.shutdown();
+    }
+}
+
+#[test]
+fn full_mobile_flow_over_tcp() {
+    let stack = Stack::up();
+    let base = format!("http://{}/m/forum", stack.proxy_server.addr());
+
+    let entry = http_get(&format!("{base}/")).unwrap();
+    assert!(entry.status.is_success());
+    assert!(entry.body_text().contains("snapshot.png"));
+    let cookie = entry
+        .headers
+        .get("set-cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string();
+
+    let snapshot = http_request(
+        &Request::get(&format!("{base}/img/snapshot.png"))
+            .unwrap()
+            .with_header("cookie", &cookie),
+    )
+    .unwrap();
+    assert!(snapshot.status.is_success());
+    assert!(snapshot.body.starts_with(&[0x89, b'P', b'N', b'G']));
+    assert!(snapshot.body.len() > 10_000);
+
+    let login = http_request(
+        &Request::get(&format!("{base}/s/login.html"))
+            .unwrap()
+            .with_header("cookie", &cookie),
+    )
+    .unwrap();
+    assert!(login.status.is_success());
+    assert!(login.body_text().contains("vb_login_username"));
+
+    // The origin saw the proxy's fetches, not the client directly.
+    assert!(stack.origin_server.requests_served() >= 2);
+    stack.down();
+}
+
+#[test]
+fn concurrent_tcp_clients() {
+    let stack = Stack::up();
+    let base = format!("http://{}/m/forum/", stack.proxy_server.addr());
+    // Warm serially, then hammer.
+    assert!(http_get(&base).unwrap().status.is_success());
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let base = base.clone();
+            std::thread::spawn(move || http_get(&base).unwrap().status)
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap().is_success());
+    }
+    stack.down();
+}

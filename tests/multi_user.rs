@@ -1,0 +1,151 @@
+//! Multi-session behavior: isolation between users, shared-cache
+//! amortization across users, and thread-safety under concurrent load.
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
+use msite::proxy::{ProxyConfig, ProxyServer};
+use msite_net::{Origin, OriginRef, Request, Response};
+use msite_sites::{ForumConfig, ForumSite};
+use std::sync::Arc;
+
+fn deploy() -> (Arc<ForumSite>, Arc<ProxyServer>) {
+    let site = Arc::new(ForumSite::new(ForumConfig::default()));
+    let mut spec = AdaptationSpec::new("forum", &format!("{}/index.php", site.base_url()));
+    spec.snapshot = Some(SnapshotSpec::default());
+    let spec = spec.rule(
+        Target::Css("#loginform".into()),
+        vec![Attribute::Subpage {
+            id: "login".into(),
+            title: "Log in".into(),
+            ajax: false,
+            prerender: false,
+        }],
+    );
+    let proxy = Arc::new(ProxyServer::new(
+        spec,
+        Arc::clone(&site) as OriginRef,
+        ProxyConfig::default(),
+    ));
+    (site, proxy)
+}
+
+fn get(proxy: &ProxyServer, path: &str, cookie: Option<&str>) -> Response {
+    let mut req = Request::get(&format!("http://p{path}")).unwrap();
+    if let Some(c) = cookie {
+        req = req.with_header("cookie", c);
+    }
+    proxy.handle(&req)
+}
+
+fn cookie_of(response: &Response) -> String {
+    response
+        .headers
+        .get("set-cookie")
+        .expect("cookie")
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn cookie_jars_do_not_leak_between_users() {
+    let (site, proxy) = deploy();
+    let alice = cookie_of(&get(&proxy, "/m/forum/", None));
+    let bob = cookie_of(&get(&proxy, "/m/forum/", None));
+    assert_ne!(alice, bob);
+
+    // Alice logs into the origin through the passthrough.
+    let (user, pass) = ForumSite::demo_credentials();
+    let login = proxy.handle(
+        &Request::post_form(
+            "http://p/m/forum/o/login.php",
+            &[("vb_login_username", user), ("vb_login_password", pass)],
+        )
+        .unwrap()
+        .with_header("cookie", &alice),
+    );
+    assert!(login.status.is_redirect());
+
+    // Alice reaches the private origin area; Bob is bounced to login.
+    let alice_private = get(&proxy, "/m/forum/o/private/index.php", Some(&alice));
+    assert!(alice_private.status.is_success());
+    let bob_private = get(&proxy, "/m/forum/o/private/index.php", Some(&bob));
+    assert!(bob_private.status.is_redirect());
+    drop(site);
+}
+
+#[test]
+fn session_files_are_per_user() {
+    let (_site, proxy) = deploy();
+    let alice = cookie_of(&get(&proxy, "/m/forum/", None));
+    let bob = cookie_of(&get(&proxy, "/m/forum/", None));
+    let _ = get(&proxy, "/m/forum/s/login.html", Some(&alice));
+    let _ = get(&proxy, "/m/forum/s/login.html", Some(&bob));
+    let alice_id = alice.split('=').nth(1).unwrap();
+    let bob_id = bob.split('=').nth(1).unwrap();
+    let paths = proxy.stored_files();
+    assert!(paths.iter().any(|p| p.contains(alice_id)));
+    assert!(paths.iter().any(|p| p.contains(bob_id)));
+    // Logout wipes only the owner's directory.
+    let _ = get(&proxy, "/m/forum/logout", Some(&alice));
+    let paths = proxy.stored_files();
+    assert!(!paths.iter().any(|p| p.contains(alice_id)));
+    assert!(paths.iter().any(|p| p.contains(bob_id)));
+}
+
+#[test]
+fn snapshot_render_amortized_across_many_users() {
+    let (_site, proxy) = deploy();
+    for _ in 0..25 {
+        let entry = get(&proxy, "/m/forum/", None);
+        assert!(entry.status.is_success());
+    }
+    let stats = proxy.stats();
+    assert_eq!(stats.full_renders, 1, "one render serves 25 users");
+    assert_eq!(stats.sessions_created, 25);
+    assert!(proxy.cache().stats().hits >= 24);
+    assert!(proxy.cache().amortized_savings().as_millis() > 0);
+}
+
+#[test]
+fn concurrent_users_hammering_the_proxy() {
+    let (_site, proxy) = deploy();
+    // Warm once so threads race on the fast path and the session map.
+    let _ = get(&proxy, "/m/forum/", None);
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let proxy = Arc::clone(&proxy);
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let entry = proxy
+                        .handle(&Request::get("http://p/m/forum/").unwrap());
+                    assert!(entry.status.is_success());
+                    let cookie = cookie_of(&entry);
+                    let login = proxy.handle(
+                        &Request::get("http://p/m/forum/s/login.html")
+                            .unwrap()
+                            .with_header("cookie", &cookie),
+                    );
+                    assert!(login.status.is_success(), "{}", login.status);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread panics");
+    }
+    let stats = proxy.stats();
+    assert_eq!(stats.requests, 8 * 20 * 2 + 1);
+    // Snapshot still rendered exactly once despite the stampede... or a
+    // small number if threads raced the first fill; never once per user.
+    assert!(stats.full_renders <= 8 + 1);
+}
+
+#[test]
+fn session_cookie_scoped_to_proxy_base() {
+    let (_site, proxy) = deploy();
+    let entry = get(&proxy, "/m/forum/", None);
+    let set_cookie = entry.headers.get("set-cookie").unwrap();
+    assert!(set_cookie.contains("Path=/m/forum"));
+    assert!(set_cookie.contains("HttpOnly"));
+}

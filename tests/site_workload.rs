@@ -1,0 +1,135 @@
+//! C4 — workload fidelity: the synthetic SawmillCreek must match the
+//! facts the paper reports about the real one (§4.2).
+
+use msite_net::{Origin, Request};
+use msite_sites::{ForumConfig, ForumSite, PageManifest, ResourceKind};
+
+#[test]
+fn entry_page_weight_is_exactly_the_papers() {
+    let site = ForumSite::new(ForumConfig::default());
+    // "The entry page of the test site requires a total of 224,477 bytes
+    // to be received from the network, inclusive of all images, external
+    // Javascripts (of which there are about 12), and CSS files."
+    assert_eq!(site.total_index_weight(), 224_477);
+    let manifest = PageManifest::fetch(&site, &format!("{}/index.php", site.base_url()));
+    assert_eq!(manifest.total_bytes(), 224_477);
+    let scripts = manifest
+        .resources
+        .iter()
+        .filter(|r| r.kind == ResourceKind::Script)
+        .count();
+    assert_eq!(scripts, 12);
+    assert_eq!(
+        manifest
+            .resources
+            .iter()
+            .filter(|r| r.kind == ResourceKind::Stylesheet)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn community_scale_matches() {
+    let config = ForumConfig::default();
+    // "a busy online community with nearly 66,000 members"
+    assert!((60_000..66_000).contains(&config.member_count));
+    // "a long list of about 30 forum descriptions"
+    assert_eq!(config.forum_count, 30);
+    // "as many as 1200 users online at a time"
+    assert!((1_000..=1_200).contains(&config.online_count));
+}
+
+#[test]
+fn page_structure_has_every_paper_section_in_order() {
+    let site = ForumSite::new(ForumConfig::default());
+    let body = site
+        .handle(&Request::get(&format!("{}/index.php", site.base_url())).unwrap())
+        .body_text();
+    // "The site starts with a logo and leader board banner advertisement,
+    // followed by a box of navigational links and a login form. Below
+    // this is a transient box used for announcements, followed by a long
+    // list of about 30 forum descriptions ... a display showing which
+    // members are logged in ... a box of site statistics, a list of
+    // birthdays, public calendar entries, and finally some additional
+    // navigational links."
+    let order = [
+        "id=\"header\"",
+        "id=\"leaderboard\"",
+        "id=\"navrow\"",
+        "id=\"loginform\"",
+        "id=\"announcements\"",
+        "id=\"forumbits\"",
+        "id=\"whosonline\"",
+        "id=\"stats\"",
+        "id=\"birthdays\"",
+        "id=\"calendar\"",
+        "id=\"footerlinks\"",
+    ];
+    let mut last = 0;
+    for marker in order {
+        let at = body.find(marker).unwrap_or_else(|| panic!("missing {marker}"));
+        assert!(at > last, "{marker} out of order");
+        last = at;
+    }
+    // The leaderboard is the paper's 728-px-wide banner.
+    assert!(body.contains("width=\"728\" height=\"90\""));
+}
+
+#[test]
+fn weight_recalibrates_for_other_targets() {
+    let site = ForumSite::new(ForumConfig {
+        target_page_weight: 300_000,
+        ..ForumConfig::default()
+    });
+    assert_eq!(site.total_index_weight(), 300_000);
+}
+
+#[test]
+fn different_seeds_different_content_same_weight() {
+    let a = ForumSite::new(ForumConfig {
+        seed: 1,
+        ..ForumConfig::default()
+    });
+    let b = ForumSite::new(ForumConfig {
+        seed: 2,
+        ..ForumConfig::default()
+    });
+    let page_a = a
+        .handle(&Request::get(&format!("{}/index.php", a.base_url())).unwrap())
+        .body_text();
+    let page_b = b
+        .handle(&Request::get(&format!("{}/index.php", b.base_url())).unwrap())
+        .body_text();
+    assert_ne!(page_a, page_b);
+    assert_eq!(a.total_index_weight(), 224_477);
+    assert_eq!(b.total_index_weight(), 224_477);
+}
+
+#[test]
+fn dynamic_pages_resolve_from_index_links() {
+    let site = ForumSite::new(ForumConfig::default());
+    let body = site
+        .handle(&Request::get(&format!("{}/index.php", site.base_url())).unwrap())
+        .body_text();
+    // Every forumdisplay link on the index must resolve.
+    let mut checked = 0;
+    let mut pos = 0;
+    while let Some(at) = body[pos..].find("/forumdisplay.php?f=") {
+        let start = pos + at;
+        let end = body[start..].find('"').unwrap() + start;
+        let path = &body[start..end];
+        let resp = site.handle(
+            &Request::get(&format!("{}{}", site.base_url(), path)).unwrap(),
+        );
+        // Public forums serve; private ones redirect to login.
+        assert!(
+            resp.status.is_success() || resp.status.is_redirect(),
+            "{path} -> {}",
+            resp.status
+        );
+        checked += 1;
+        pos = end;
+    }
+    assert_eq!(checked, 30);
+}
