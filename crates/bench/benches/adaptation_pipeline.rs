@@ -2,11 +2,12 @@
 //! design exploits — filter-only (no DOM parse), DOM manipulation, and
 //! full snapshot rendering.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, SourceFilter, Target};
 use msite::{adapt, PipelineContext};
 use msite_bench::fixtures;
 use msite_net::{Origin, Request};
+use msite_support::benchkit::Criterion;
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -23,9 +24,16 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut filter_spec = AdaptationSpec::new("forum", "http://f/");
     filter_spec.snapshot = None;
     let filter_spec = filter_spec
-        .filter(SourceFilter::SetTitle { title: "Mobile".into() })
-        .filter(SourceFilter::Replace { find: "728".into(), replace: "320".into() })
-        .filter(SourceFilter::StripTag { tag: "script".into() });
+        .filter(SourceFilter::SetTitle {
+            title: "Mobile".into(),
+        })
+        .filter(SourceFilter::Replace {
+            find: "728".into(),
+            replace: "320".into(),
+        })
+        .filter(SourceFilter::StripTag {
+            tag: "script".into(),
+        });
 
     // Tier 2: DOM-level attribute application (no rendering).
     let mut dom_spec = AdaptationSpec::new("forum", "http://f/");
@@ -41,7 +49,10 @@ fn bench_pipeline(c: &mut Criterion) {
                 prerender: false,
             }],
         )
-        .rule(Target::Css("#navrow".into()), vec![Attribute::LinksToColumns { columns: 2 }]);
+        .rule(
+            Target::Css("#navrow".into()),
+            vec![Attribute::LinksToColumns { columns: 2 }],
+        );
 
     // Tier 3: full snapshot render.
     let mut snap_spec = dom_spec.clone();

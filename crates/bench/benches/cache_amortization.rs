@@ -2,10 +2,11 @@
 //! "server-side caching to amortize rendering costs across many client
 //! sessions".
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use msite::cache::RenderCache;
 use msite_bench::fixtures;
 use msite_net::{Origin, OriginRef, Request};
+use msite_support::benchkit::Criterion;
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -58,7 +59,9 @@ fn bench_cache(c: &mut Criterion) {
     let cache = RenderCache::new(256);
     cache.put("k", vec![0u8; 64 * 1024], None, Duration::from_secs(2));
     micro.bench_function("hit", |b| b.iter(|| black_box(cache.get("k").is_some())));
-    micro.bench_function("miss", |b| b.iter(|| black_box(cache.get("absent").is_none())));
+    micro.bench_function("miss", |b| {
+        b.iter(|| black_box(cache.get("absent").is_none()))
+    });
     micro.finish();
 
     println!(

@@ -1,10 +1,11 @@
 //! Figure 6 bench: the per-interaction cost of the original full-reload
 //! classifieds navigation vs. the adapted proxy-satisfied AJAX flow.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use msite::proxy::{ProxyConfig, ProxyServer};
 use msite_bench::{fig6, fixtures};
 use msite_net::{Origin, OriginRef, Request};
+use msite_support::benchkit::Criterion;
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::sync::Arc;
 

@@ -2,9 +2,10 @@
 //! curve — a lightweight scripted proxy request vs. a full
 //! browser-instance render (the Highlight baseline path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use msite_bench::{fig7, fixtures};
 use msite_net::{Origin, Request};
+use msite_support::benchkit::Criterion;
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -17,7 +18,11 @@ fn bench_paths(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("lightweight_proxy_request", |b| {
         b.iter(|| {
-            black_box(proxy.handle(&Request::get("http://p/m/forum/").unwrap()).status)
+            black_box(
+                proxy
+                    .handle(&Request::get("http://p/m/forum/").unwrap())
+                    .status,
+            )
         })
     });
     group.measurement_time(Duration::from_secs(8));

@@ -1,11 +1,12 @@
 //! C2 bench: the image-fidelity post-processor across the quality sweep —
 //! the time to produce each artifact and (printed once) its wire size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use msite_bench::fixtures;
 use msite_net::{Origin, Request};
 use msite_render::browser::{Browser, BrowserConfig};
 use msite_render::image::{process, ImageFormat, PostProcess};
+use msite_support::benchkit::{BenchmarkId, Criterion};
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fidelity(c: &mut Criterion) {
@@ -16,8 +17,11 @@ fn bench_fidelity(c: &mut Criterion) {
     let browser = Browser::launch(BrowserConfig::default());
     let rendered = browser.render_page(&page, &[]);
 
-    println!("\nC2 artifact sizes for the rendered forum page ({}x{} px):",
-        rendered.canvas.width(), rendered.canvas.height());
+    println!(
+        "\nC2 artifact sizes for the rendered forum page ({}x{} px):",
+        rendered.canvas.width(),
+        rendered.canvas.height()
+    );
     let hi = process(&rendered.canvas, &PostProcess::default());
     println!("  png hi-fi            : {:>9} wire bytes", hi.wire_bytes());
     for quality in [75u8, 50, 40, 25] {
@@ -40,7 +44,13 @@ fn bench_fidelity(c: &mut Criterion) {
     let mut group = c.benchmark_group("image_fidelity");
     group.sample_size(10);
     group.bench_function("png_encode_full", |b| {
-        b.iter(|| black_box(process(&rendered.canvas, &PostProcess::default()).encoded.len()))
+        b.iter(|| {
+            black_box(
+                process(&rendered.canvas, &PostProcess::default())
+                    .encoded
+                    .len(),
+            )
+        })
     });
     for quality in [75u8, 40] {
         group.bench_with_input(

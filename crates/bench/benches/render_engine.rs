@@ -1,10 +1,11 @@
 //! Render-engine bench: per-phase cost of the server-side browser on the
 //! forum entry page (tidy/parse, cascade, layout, paint, encode).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use msite_bench::fixtures;
 use msite_net::{Origin, Request};
 use msite_render::{compute_styles, layout_document, paint, png, Stylesheet};
+use msite_support::benchkit::Criterion;
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_engine(c: &mut Criterion) {

@@ -1,10 +1,11 @@
 //! Object-identification bench (§3.2 ablation): CSS selectors vs. XPath
 //! vs. source-level string filtering on the forum entry page.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use msite_bench::fixtures;
 use msite_net::{Origin, Request};
 use msite_selectors::{Query, SelectorList, XPath};
+use msite_support::benchkit::Criterion;
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_selectors(c: &mut Criterion) {
@@ -15,7 +16,8 @@ fn bench_selectors(c: &mut Criterion) {
     let doc = msite_html::tidy::tidy(&page);
 
     let css_simple = SelectorList::parse("#loginform").unwrap();
-    let css_complex = SelectorList::parse("table.navbar td > a, #forumbits tr.forumrow td.alt2 a").unwrap();
+    let css_complex =
+        SelectorList::parse("table.navbar td > a, #forumbits tr.forumrow td.alt2 a").unwrap();
     let xpath = XPath::parse("//table[@id='forumbits']//a").unwrap();
 
     let mut group = c.benchmark_group("object_identification");

@@ -1,10 +1,11 @@
 //! Table 1 bench: the page-load simulation for every device/link row,
 //! plus the cost of building the measured manifest it consumes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use msite_bench::fixtures;
 use msite_device::{simulate_page_load, CostModel, DeviceProfile};
 use msite_net::LinkModel;
+use msite_support::benchkit::Criterion;
+use msite_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
@@ -18,7 +19,11 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| black_box(fixtures::forum_manifest(&site)))
     });
     for (name, device, link) in [
-        ("blackberry_3g", DeviceProfile::blackberry_tour(), LinkModel::THREE_G),
+        (
+            "blackberry_3g",
+            DeviceProfile::blackberry_tour(),
+            LinkModel::THREE_G,
+        ),
         ("iphone4_3g", DeviceProfile::iphone_4(), LinkModel::THREE_G),
         ("iphone4_wifi", DeviceProfile::iphone_4(), LinkModel::WIFI),
         ("desktop_lan", DeviceProfile::desktop(), LinkModel::LAN),

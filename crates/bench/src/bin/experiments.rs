@@ -16,10 +16,10 @@
 //! the same rates.
 
 use msite_bench::{capacity, claims, fig6, fig7, fixtures, report, table1};
-use serde::Serialize;
+use msite_support::json::{obj, ToJson, Value};
+use std::process::ExitCode;
 use std::time::Duration;
 
-#[derive(Serialize)]
 struct AllResults {
     table1: Vec<table1::Table1Row>,
     fig6: fig6::Fig6Result,
@@ -27,7 +27,18 @@ struct AllResults {
     claims: Vec<claims::ClaimResult>,
 }
 
-fn main() {
+impl ToJson for AllResults {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("table1", self.table1.to_json_value()),
+            ("fig6", self.fig6.to_json_value()),
+            ("fig7", self.fig7.to_json_value()),
+            ("claims", self.claims.to_json_value()),
+        ])
+    }
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let full = args.iter().any(|a| a == "--full");
@@ -37,6 +48,10 @@ fn main() {
         .map(|a| a.as_str())
         .collect();
     let want = |name: &str| which.is_empty() || which.contains(&name) || which.contains(&"all");
+
+    // Shape assertions accumulate here; any failure turns into a
+    // nonzero exit so CI catches regressions in the figures themselves.
+    let mut failures: Vec<String> = Vec::new();
 
     let mut results = AllResults {
         table1: Vec::new(),
@@ -120,6 +135,9 @@ fn main() {
             ..fig7::SweepConfig::default()
         };
         results.fig7 = fig7::run_sweep(&config);
+        if let Err(e) = fig7::check_shape(&results.fig7) {
+            failures.push(format!("fig7 shape: {e}"));
+        }
         if !json {
             let rows: Vec<Vec<String>> = results
                 .fig7
@@ -160,7 +178,11 @@ fn main() {
                         c.id.clone(),
                         c.paper.clone(),
                         c.measured.clone(),
-                        if c.holds { "PASS".into() } else { "FAIL".into() },
+                        if c.holds {
+                            "PASS".into()
+                        } else {
+                            "FAIL".into()
+                        },
                     ]
                 })
                 .collect();
@@ -235,5 +257,14 @@ fn main() {
 
     if json {
         println!("{}", report::to_json(&results));
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("shape assertion failed: {failure}");
+        }
+        ExitCode::FAILURE
     }
 }

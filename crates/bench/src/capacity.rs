@@ -6,11 +6,11 @@
 //! absorb under each architecture?*
 
 use crate::fig7;
-use serde::Serialize;
+use msite_support::json::{obj, ToJson, Value};
 use std::time::Duration;
 
 /// The paper's §4.1 load facts.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LoadModel {
     /// Hits per day today (paper: 2.2 million).
     pub hits_per_day: f64,
@@ -48,7 +48,7 @@ impl LoadModel {
 }
 
 /// One architecture's capacity verdict.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CapacityRow {
     /// Architecture label.
     pub architecture: String,
@@ -130,5 +130,30 @@ mod tests {
         assert!(highlight.boxes_today > 1.0);
         // ...while m.Site covers it dozens of times over.
         assert!(msite.boxes_today < 0.1);
+    }
+}
+
+impl ToJson for LoadModel {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("hits_per_day", self.hits_per_day.to_json_value()),
+            ("mobile_fraction", self.mobile_fraction.to_json_value()),
+            ("peak_factor", self.peak_factor.to_json_value()),
+            ("doubling_months", self.doubling_months.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for CapacityRow {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("architecture", self.architecture.to_json_value()),
+            ("capacity_rpm", self.capacity_rpm.to_json_value()),
+            ("boxes_today", self.boxes_today.to_json_value()),
+            (
+                "months_of_headroom",
+                self.months_of_headroom.to_json_value(),
+            ),
+        ])
     }
 }

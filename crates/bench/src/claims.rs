@@ -5,13 +5,13 @@ use crate::table1;
 use msite::SearchIndex;
 use msite_device::{simulate_page_load, simulate_snapshot_view, CostModel, DeviceProfile};
 use msite_net::LinkModel;
+use msite_net::{Origin, Request};
 use msite_render::browser::{Browser, BrowserConfig};
 use msite_render::image::{jpeg_size_model, process, ImageFormat, PostProcess};
-use msite_net::{Origin, Request};
-use serde::Serialize;
+use msite_support::json::{obj, ToJson, Value};
 
 /// One verified claim.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ClaimResult {
     /// Claim id from DESIGN.md.
     pub id: String,
@@ -172,7 +172,22 @@ mod tests {
     #[test]
     fn every_claim_holds() {
         for claim in all() {
-            assert!(claim.holds, "{}: {} (measured {})", claim.id, claim.paper, claim.measured);
+            assert!(
+                claim.holds,
+                "{}: {} (measured {})",
+                claim.id, claim.paper, claim.measured
+            );
         }
+    }
+}
+
+impl ToJson for ClaimResult {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("id", self.id.to_json_value()),
+            ("paper", self.paper.to_json_value()),
+            ("measured", self.measured.to_json_value()),
+            ("holds", self.holds.to_json_value()),
+        ])
     }
 }

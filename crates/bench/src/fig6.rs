@@ -9,11 +9,11 @@ use crate::fixtures;
 use msite::attributes::{AdaptationSpec, Attribute, Target};
 use msite::proxy::{ProxyConfig, ProxyServer};
 use msite_net::{Origin, OriginRef, Request};
-use serde::Serialize;
+use msite_support::json::{obj, ToJson, Value};
 use std::sync::Arc;
 
 /// Results of the Figure 6 comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Result {
     /// Ads browsed.
     pub ads_browsed: usize,
@@ -72,9 +72,8 @@ pub fn run(ads: usize) -> Fig6Result {
     let mut original_bytes = 0usize;
     for i in 0..ads {
         let id = site.listing_id("tools", i as u32);
-        let detail = site.handle(
-            &Request::get(&format!("{}/listing/{id}.html", site.base_url())).unwrap(),
-        );
+        let detail =
+            site.handle(&Request::get(&format!("{}/listing/{id}.html", site.base_url())).unwrap());
         original_bytes += list.body.len() + detail.body.len();
     }
 
@@ -120,8 +119,31 @@ mod tests {
         assert_eq!(result.ads_browsed, 10);
         assert!(result.links_rewritten >= 100, "{}", result.links_rewritten);
         assert!(result.adapted_bytes < result.original_bytes);
-        assert!(result.bytes_saved() > 0.5, "saved {:.2}", result.bytes_saved());
+        assert!(
+            result.bytes_saved() > 0.5,
+            "saved {:.2}",
+            result.bytes_saved()
+        );
         assert_eq!(result.adapted_page_loads, 1);
         assert_eq!(result.original_page_loads, 20);
+    }
+}
+
+impl ToJson for Fig6Result {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("ads_browsed", self.ads_browsed.to_json_value()),
+            ("original_bytes", self.original_bytes.to_json_value()),
+            ("adapted_bytes", self.adapted_bytes.to_json_value()),
+            (
+                "original_page_loads",
+                self.original_page_loads.to_json_value(),
+            ),
+            (
+                "adapted_page_loads",
+                self.adapted_page_loads.to_json_value(),
+            ),
+            ("links_rewritten", self.links_rewritten.to_json_value()),
+        ])
     }
 }

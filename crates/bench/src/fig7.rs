@@ -14,13 +14,13 @@ use crate::fixtures;
 use msite::baseline::HighlightProxy;
 use msite::proxy::ProxyServer;
 use msite_net::{Origin, Prng, Request};
-use serde::Serialize;
+use msite_support::json::{obj, ToJson, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One point of the Figure 7 sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Point {
     /// Percentage of requests requiring a full browser instance.
     pub percent_full_render: f64,
@@ -95,15 +95,13 @@ pub fn measure_window(
     workers: u64,
     trial: u64,
 ) -> f64 {
-    let satisfied = Arc::new(AtomicU64::new(0));
-    let stop = Arc::new(AtomicBool::new(false));
-    let handles: Vec<_> = (0..workers)
-        .map(|worker| {
-            let proxy = Arc::clone(proxy);
-            let highlight = Arc::clone(highlight);
-            let satisfied = Arc::clone(&satisfied);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
+    let satisfied = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let (satisfied, stop) = (&satisfied, &stop);
+            scope.spawn(move || {
                 let mut rng = Prng::new(0x716 + worker * 977 + trial * 31);
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -126,15 +124,11 @@ pub fn measure_window(
                         satisfied.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-            })
-        })
-        .collect();
-    let start = Instant::now();
-    std::thread::sleep(window);
-    stop.store(true, Ordering::Relaxed);
-    for handle in handles {
-        handle.join().expect("worker panicked");
-    }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
     let elapsed = start.elapsed().as_secs_f64();
     satisfied.load(Ordering::Relaxed) as f64 * 60.0 / elapsed
 }
@@ -205,5 +199,21 @@ mod tests {
             })
             .collect();
         assert!(check_shape(&flat).is_err());
+    }
+}
+
+impl ToJson for Fig7Point {
+    fn to_json_value(&self) -> Value {
+        obj([
+            (
+                "percent_full_render",
+                self.percent_full_render.to_json_value(),
+            ),
+            (
+                "requests_per_minute",
+                self.requests_per_minute.to_json_value(),
+            ),
+            ("trials", self.trials.to_json_value()),
+        ])
     }
 }

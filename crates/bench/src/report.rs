@@ -1,6 +1,6 @@
 //! Table formatting and JSON output for the experiments binary.
 
-use serde::Serialize;
+use msite_support::json::ToJson;
 
 /// Prints an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -28,8 +28,8 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Serializes a result set to pretty JSON (for EXPERIMENTS.md appendices).
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("results serialize")
+pub fn to_json<T: ToJson>(value: &T) -> String {
+    value.to_json_pretty()
 }
 
 /// Formats seconds with one decimal.

@@ -10,11 +10,11 @@ use msite_device::{
     DeviceProfile,
 };
 use msite_net::{LinkModel, Origin, Request};
-use serde::Serialize;
+use msite_support::json::{obj, ToJson, Value};
 use std::time::Duration;
 
 /// One reproduced Table 1 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Row label (matches the paper's wording).
     pub label: String,
@@ -32,7 +32,7 @@ impl Table1Row {
 }
 
 /// Snapshot artifact facts measured from the real proxy run.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SnapshotFacts {
     /// Entry-page HTML bytes.
     pub entry_html_bytes: usize,
@@ -126,20 +126,29 @@ pub fn rows() -> Vec<Table1Row> {
     push(
         "iPhone 4 via 3G",
         20.0,
-        simulate_page_load(&DeviceProfile::iphone_4(), &LinkModel::THREE_G, &manifest, &cost)
-            .total_s(),
+        simulate_page_load(
+            &DeviceProfile::iphone_4(),
+            &LinkModel::THREE_G,
+            &manifest,
+            &cost,
+        )
+        .total_s(),
     );
     push(
         "iPhone 4 via WiFi",
         4.5,
-        simulate_page_load(&DeviceProfile::iphone_4(), &LinkModel::WIFI, &manifest, &cost)
-            .total_s(),
+        simulate_page_load(
+            &DeviceProfile::iphone_4(),
+            &LinkModel::WIFI,
+            &manifest,
+            &cost,
+        )
+        .total_s(),
     );
     push(
         "Desktop browser page load",
         1.5,
-        simulate_page_load(&DeviceProfile::desktop(), &LinkModel::LAN, &manifest, &cost)
-            .total_s(),
+        simulate_page_load(&DeviceProfile::desktop(), &LinkModel::LAN, &manifest, &cost).total_s(),
     );
     // Secondary §4.2 text facts (not in the table itself).
     push(
@@ -215,5 +224,28 @@ mod tests {
             "snapshot wire bytes {}",
             facts.snapshot_wire_bytes
         );
+    }
+}
+
+impl ToJson for Table1Row {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("label", self.label.to_json_value()),
+            ("paper_s", self.paper_s.to_json_value()),
+            ("measured_s", self.measured_s.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for SnapshotFacts {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("entry_html_bytes", self.entry_html_bytes.to_json_value()),
+            (
+                "snapshot_wire_bytes",
+                self.snapshot_wire_bytes.to_json_value(),
+            ),
+            ("snapshot_pixels", self.snapshot_pixels.to_json_value()),
+        ])
     }
 }

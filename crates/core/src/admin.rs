@@ -208,7 +208,9 @@ mod tests {
         let m = model();
         let (spec, script) = m
             .start_spec("demo")
-            .add_filter(SourceFilter::SetTitle { title: "Mobile".into() })
+            .add_filter(SourceFilter::SetTitle {
+                title: "Mobile".into(),
+            })
             .assign(
                 "#nav",
                 vec![Attribute::Subpage {

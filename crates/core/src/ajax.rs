@@ -21,10 +21,10 @@
 //! returns the fragment.
 
 use msite_html::{Document, NodeId};
-use serde::{Deserialize, Serialize};
+use msite_support::json::{obj, FromJson, JsonError, ToJson, Value};
 
 /// A proxy-side action registered while rewriting a page.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AjaxAction {
     /// Action number (the `action=` parameter).
     pub id: u32,
@@ -41,8 +41,31 @@ impl AjaxAction {
     }
 }
 
+impl ToJson for AjaxAction {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("id", self.id.to_json_value()),
+            (
+                "origin_url_template",
+                self.origin_url_template.to_json_value(),
+            ),
+            ("target_selector", self.target_selector.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for AjaxAction {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(AjaxAction {
+            id: value.req("id")?,
+            origin_url_template: value.req("origin_url_template")?,
+            target_selector: value.req("target_selector")?,
+        })
+    }
+}
+
 /// The actions extracted from one page, in registration order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AjaxRegistry {
     /// Registered actions; ids are 1-based indexes.
     pub actions: Vec<AjaxAction>,
@@ -62,11 +85,9 @@ impl AjaxRegistry {
     /// Registers (or reuses) an action; returns its id.
     pub fn register(&mut self, origin_url_template: String, target_selector: String) -> u32 {
         // Reuse an identical registration.
-        if let Some(existing) = self
-            .actions
-            .iter()
-            .find(|a| a.origin_url_template == origin_url_template && a.target_selector == target_selector)
-        {
+        if let Some(existing) = self.actions.iter().find(|a| {
+            a.origin_url_template == origin_url_template && a.target_selector == target_selector
+        }) {
             return existing.id;
         }
         let id = self.actions.len() as u32 + 1;
@@ -76,6 +97,20 @@ impl AjaxRegistry {
             target_selector,
         });
         id
+    }
+}
+
+impl ToJson for AjaxRegistry {
+    fn to_json_value(&self) -> Value {
+        obj([("actions", self.actions.to_json_value())])
+    }
+}
+
+impl FromJson for AjaxRegistry {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(AjaxRegistry {
+            actions: value.req("actions")?,
+        })
     }
 }
 
@@ -101,7 +136,9 @@ pub fn rewrite_handlers(
     proxy_base: &str,
 ) -> RewriteStats {
     let mut stats = RewriteStats::default();
-    let nodes: Vec<NodeId> = std::iter::once(scope).chain(doc.descendants(scope)).collect();
+    let nodes: Vec<NodeId> = std::iter::once(scope)
+        .chain(doc.descendants(scope))
+        .collect();
     for node in nodes {
         let Some(onclick) = doc.attr(node, "onclick").map(str::to_string) else {
             continue;
@@ -338,9 +375,7 @@ mod tests {
 
     #[test]
     fn double_quoted_strings_supported() {
-        let mut doc = parse_document(
-            "<a onclick='$(\"#x\").load(\"f.php?p=9\")'>x</a>",
-        );
+        let mut doc = parse_document("<a onclick='$(\"#x\").load(\"f.php?p=9\")'>x</a>");
         let mut registry = AjaxRegistry::new();
         let root = doc.root();
         let stats = rewrite_handlers(&mut doc, root, &mut registry, "/p");
@@ -352,8 +387,8 @@ mod tests {
     fn registry_serializes() {
         let mut registry = AjaxRegistry::new();
         registry.register("a.php?id={p}".into(), "#t".into());
-        let json = serde_json::to_string(&registry).unwrap();
-        let parsed: AjaxRegistry = serde_json::from_str(&json).unwrap();
+        let json = registry.to_json_pretty();
+        let parsed = AjaxRegistry::from_json_str(&json).unwrap();
         assert_eq!(registry, parsed);
     }
 
@@ -373,7 +408,10 @@ mod tests {
         // Same URL shape -> one shared action.
         assert_eq!(registry.actions.len(), 1);
         assert_eq!(registry.actions[0].origin_url_template, "/listing/{p}.html");
-        assert_eq!(registry.actions[0].origin_url("1000005"), "/listing/1000005.html");
+        assert_eq!(
+            registry.actions[0].origin_url("1000005"),
+            "/listing/1000005.html"
+        );
         let html = doc.to_html();
         assert!(html.contains("msiteLoad('/m/cl/proxy', 1, '1000005', '#detail')"));
         assert!(html.contains("msiteLoad('/m/cl/proxy', 1, '1000006', '#detail')"));
@@ -383,10 +421,19 @@ mod tests {
 
     #[test]
     fn parameterize_digit_forms() {
-        assert_eq!(parameterize_digits("/listing/123.html"), ("/listing/{p}.html".into(), "123".into()));
-        assert_eq!(parameterize_digits("/x?page=2"), ("/x?page={p}".into(), "2".into()));
+        assert_eq!(
+            parameterize_digits("/listing/123.html"),
+            ("/listing/{p}.html".into(), "123".into())
+        );
+        assert_eq!(
+            parameterize_digits("/x?page=2"),
+            ("/x?page={p}".into(), "2".into())
+        );
         assert_eq!(parameterize_digits("/plain"), ("/plain".into(), "".into()));
-        assert_eq!(parameterize_digits("/a1/b22"), ("/a1/b{p}".into(), "22".into()));
+        assert_eq!(
+            parameterize_digits("/a1/b22"),
+            ("/a1/b{p}".into(), "22".into())
+        );
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! output of that tool — targets plus attributes plus source-level
 //! filters — and is what the code generator turns into a proxy program.
 
-use serde::{Deserialize, Serialize};
+use msite_support::json::{obj, FromJson, JsonError, ToJson, Value};
 
 /// How a page object is identified (§3.2 "Object identification":
 /// source-level rules, XPath, and CSS 3 selectors are all supported).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Target {
     /// CSS selector (server-side jQuery style).
     Css(String),
@@ -34,7 +34,7 @@ impl Target {
 /// Non-visual page objects ("a separate dock exists for non-visual
 /// objects, such as CSS, Javascript functions, head-section content,
 /// doctype tags, and cookies").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DockObject {
     /// The doctype declaration.
     Doctype,
@@ -78,7 +78,7 @@ impl DockObject {
 }
 
 /// Where copied/inserted content lands in a subpage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Position {
     /// Under `<head>` (for CSS/JS dependencies).
     Head,
@@ -92,7 +92,7 @@ pub enum Position {
 /// One attribute from the menu (§3.3). Attributes compose: a rule can
 /// carry any number of them and they apply in the listed order within
 /// the pipeline's phases.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Attribute {
     /// Split the object into its own subpage (page splitting /
     /// sub-subpages). When `ajax` is set the subpage is additionally
@@ -222,7 +222,7 @@ pub enum Attribute {
 /// A source-level filter (§3.2 "filter phase"): applied to the raw HTML
 /// before any DOM parse, "avoiding a DOM parse altogether" when the
 /// filters suffice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SourceFilter {
     /// Replace every occurrence of a literal string.
     Replace {
@@ -259,7 +259,7 @@ pub enum SourceFilter {
 }
 
 /// One rule: a target plus the attributes assigned to it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rule {
     /// The object this rule applies to.
     pub target: Target,
@@ -268,7 +268,7 @@ pub struct Rule {
 }
 
 /// Snapshot configuration for the entry page.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotSpec {
     /// Uniform scale applied to the rendered page ("the image itself is
     /// also scaled down to prevent the user from having to zoom").
@@ -293,7 +293,7 @@ impl Default for SnapshotSpec {
 }
 
 /// The complete output of the admin tool for one page.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptationSpec {
     /// Short identifier for the adapted page (used in proxy URLs).
     pub page_id: String,
@@ -357,23 +357,402 @@ impl AdaptationSpec {
                     Attribute::PrerenderImage { .. }
                         | Attribute::PartialCssPrerender { .. }
                         | Attribute::Searchable
-                        | Attribute::Subpage { prerender: true, .. }
+                        | Attribute::Subpage {
+                            prerender: true,
+                            ..
+                        }
                 )
             })
     }
 
     /// Serializes to the admin tool's JSON format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serializes")
+        self.to_json_pretty()
     }
 
     /// Parses the admin tool's JSON format.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error.
-    pub fn from_json(json: &str) -> Result<AdaptationSpec, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns the underlying JSON parse or shape error.
+    pub fn from_json(json: &str) -> Result<AdaptationSpec, JsonError> {
+        AdaptationSpec::from_json_str(json)
+    }
+}
+
+// ---- JSON encoding -----------------------------------------------------
+//
+// The admin tool's format is externally tagged: unit variants are bare
+// strings (`"remove"`), payload variants are single-member objects
+// (`{"subpage": {...}}`). `FromJson` is the exact inverse of `ToJson`.
+
+fn tagged(value: &Value) -> Result<(&str, &Value), JsonError> {
+    let members = value
+        .as_object()
+        .ok_or_else(|| JsonError::new("expected tagged object"))?;
+    match members {
+        [(tag, payload)] => Ok((tag, payload)),
+        _ => Err(JsonError::new("expected single-member tagged object")),
+    }
+}
+
+impl ToJson for Target {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Target::Css(s) => obj([("css", s.to_json_value())]),
+            Target::XPath(s) => obj([("xpath", s.to_json_value())]),
+            Target::Dock(d) => obj([("dock", Value::Str(d.keyword().to_string()))]),
+        }
+    }
+}
+
+impl FromJson for Target {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let (tag, payload) = tagged(value)?;
+        match tag {
+            "css" => Ok(Target::Css(String::from_json_value(payload)?)),
+            "xpath" => Ok(Target::XPath(String::from_json_value(payload)?)),
+            "dock" => {
+                let kw = payload
+                    .as_str()
+                    .ok_or_else(|| JsonError::new("dock: expected keyword string"))?;
+                DockObject::from_keyword(kw)
+                    .map(Target::Dock)
+                    .ok_or_else(|| JsonError::new(format!("unknown dock object `{kw}`")))
+            }
+            other => Err(JsonError::new(format!("unknown target kind `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Position {
+    fn to_json_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Position::Head => "head",
+                Position::Top => "top",
+                Position::Bottom => "bottom",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Position {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("head") => Ok(Position::Head),
+            Some("top") => Ok(Position::Top),
+            Some("bottom") => Ok(Position::Bottom),
+            _ => Err(JsonError::new("expected position `head`/`top`/`bottom`")),
+        }
+    }
+}
+
+impl ToJson for Attribute {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Attribute::Subpage {
+                id,
+                title,
+                ajax,
+                prerender,
+            } => obj([(
+                "subpage",
+                obj([
+                    ("id", id.to_json_value()),
+                    ("title", title.to_json_value()),
+                    ("ajax", ajax.to_json_value()),
+                    ("prerender", prerender.to_json_value()),
+                ]),
+            )]),
+            Attribute::CopyTo {
+                subpage,
+                position,
+                set_attr,
+            } => obj([(
+                "copy_to",
+                obj([
+                    ("subpage", subpage.to_json_value()),
+                    ("position", position.to_json_value()),
+                    (
+                        "set_attr",
+                        match set_attr {
+                            Some((name, val)) => {
+                                Value::Array(vec![name.to_json_value(), val.to_json_value()])
+                            }
+                            None => Value::Null,
+                        },
+                    ),
+                ]),
+            )]),
+            Attribute::MoveTo { subpage, position } => obj([(
+                "move_to",
+                obj([
+                    ("subpage", subpage.to_json_value()),
+                    ("position", position.to_json_value()),
+                ]),
+            )]),
+            Attribute::Remove => Value::Str("remove".to_string()),
+            Attribute::Hide => Value::Str("hide".to_string()),
+            Attribute::ReplaceWith { html } => {
+                obj([("replace_with", obj([("html", html.to_json_value())]))])
+            }
+            Attribute::InsertBefore { html } => {
+                obj([("insert_before", obj([("html", html.to_json_value())]))])
+            }
+            Attribute::InsertAfter { html } => {
+                obj([("insert_after", obj([("html", html.to_json_value())]))])
+            }
+            Attribute::SetAttr { name, value } => obj([(
+                "set_attr",
+                obj([
+                    ("name", name.to_json_value()),
+                    ("value", value.to_json_value()),
+                ]),
+            )]),
+            Attribute::LinksToColumns { columns } => obj([(
+                "links_to_columns",
+                obj([("columns", columns.to_json_value())]),
+            )]),
+            Attribute::InjectClientScript { code } => obj([(
+                "inject_client_script",
+                obj([("code", code.to_json_value())]),
+            )]),
+            Attribute::PrerenderImage {
+                scale,
+                quality,
+                cache_ttl_secs,
+            } => obj([(
+                "prerender_image",
+                obj([
+                    ("scale", scale.to_json_value()),
+                    ("quality", quality.to_json_value()),
+                    ("cache_ttl_secs", cache_ttl_secs.to_json_value()),
+                ]),
+            )]),
+            Attribute::PartialCssPrerender { scale } => obj([(
+                "partial_css_prerender",
+                obj([("scale", scale.to_json_value())]),
+            )]),
+            Attribute::Searchable => Value::Str("searchable".to_string()),
+            Attribute::RichMediaThumbnail { scale } => obj([(
+                "rich_media_thumbnail",
+                obj([("scale", scale.to_json_value())]),
+            )]),
+            Attribute::ImageFidelity { quality } => obj([(
+                "image_fidelity",
+                obj([("quality", quality.to_json_value())]),
+            )]),
+            Attribute::AjaxRewrite => Value::Str("ajax_rewrite".to_string()),
+            Attribute::LinksToAjax { target } => {
+                obj([("links_to_ajax", obj([("target", target.to_json_value())]))])
+            }
+            Attribute::Dependency { selector } => {
+                obj([("dependency", obj([("selector", selector.to_json_value())]))])
+            }
+            Attribute::HttpAuth => Value::Str("http_auth".to_string()),
+        }
+    }
+}
+
+impl FromJson for Attribute {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        if let Some(unit) = value.as_str() {
+            return match unit {
+                "remove" => Ok(Attribute::Remove),
+                "hide" => Ok(Attribute::Hide),
+                "searchable" => Ok(Attribute::Searchable),
+                "ajax_rewrite" => Ok(Attribute::AjaxRewrite),
+                "http_auth" => Ok(Attribute::HttpAuth),
+                other => Err(JsonError::new(format!("unknown attribute `{other}`"))),
+            };
+        }
+        let (tag, p) = tagged(value)?;
+        match tag {
+            "subpage" => Ok(Attribute::Subpage {
+                id: p.req("id")?,
+                title: p.req("title")?,
+                ajax: p.req("ajax")?,
+                prerender: p.req("prerender")?,
+            }),
+            "copy_to" => Ok(Attribute::CopyTo {
+                subpage: p.req("subpage")?,
+                position: p.req("position")?,
+                set_attr: match p.field("set_attr")? {
+                    Value::Null => None,
+                    Value::Array(pair) => match pair.as_slice() {
+                        [name, val] => Some((
+                            String::from_json_value(name)?,
+                            String::from_json_value(val)?,
+                        )),
+                        _ => return Err(JsonError::new("set_attr: expected [name, value]")),
+                    },
+                    _ => return Err(JsonError::new("set_attr: expected array or null")),
+                },
+            }),
+            "move_to" => Ok(Attribute::MoveTo {
+                subpage: p.req("subpage")?,
+                position: p.req("position")?,
+            }),
+            "replace_with" => Ok(Attribute::ReplaceWith {
+                html: p.req("html")?,
+            }),
+            "insert_before" => Ok(Attribute::InsertBefore {
+                html: p.req("html")?,
+            }),
+            "insert_after" => Ok(Attribute::InsertAfter {
+                html: p.req("html")?,
+            }),
+            "set_attr" => Ok(Attribute::SetAttr {
+                name: p.req("name")?,
+                value: p.req("value")?,
+            }),
+            "links_to_columns" => Ok(Attribute::LinksToColumns {
+                columns: p.req("columns")?,
+            }),
+            "inject_client_script" => Ok(Attribute::InjectClientScript {
+                code: p.req("code")?,
+            }),
+            "prerender_image" => Ok(Attribute::PrerenderImage {
+                scale: p.req("scale")?,
+                quality: p.req("quality")?,
+                cache_ttl_secs: p.opt("cache_ttl_secs")?,
+            }),
+            "partial_css_prerender" => Ok(Attribute::PartialCssPrerender {
+                scale: p.req("scale")?,
+            }),
+            "rich_media_thumbnail" => Ok(Attribute::RichMediaThumbnail {
+                scale: p.req("scale")?,
+            }),
+            "image_fidelity" => Ok(Attribute::ImageFidelity {
+                quality: p.req("quality")?,
+            }),
+            "links_to_ajax" => Ok(Attribute::LinksToAjax {
+                target: p.req("target")?,
+            }),
+            "dependency" => Ok(Attribute::Dependency {
+                selector: p.req("selector")?,
+            }),
+            other => Err(JsonError::new(format!("unknown attribute `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for SourceFilter {
+    fn to_json_value(&self) -> Value {
+        match self {
+            SourceFilter::Replace { find, replace } => obj([(
+                "replace",
+                obj([
+                    ("find", find.to_json_value()),
+                    ("replace", replace.to_json_value()),
+                ]),
+            )]),
+            SourceFilter::SetDoctype { doctype } => {
+                obj([("set_doctype", obj([("doctype", doctype.to_json_value())]))])
+            }
+            SourceFilter::SetTitle { title } => {
+                obj([("set_title", obj([("title", title.to_json_value())]))])
+            }
+            SourceFilter::StripTag { tag } => {
+                obj([("strip_tag", obj([("tag", tag.to_json_value())]))])
+            }
+            SourceFilter::RewriteImagePrefix { from, to } => obj([(
+                "rewrite_image_prefix",
+                obj([("from", from.to_json_value()), ("to", to.to_json_value())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for SourceFilter {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let (tag, p) = tagged(value)?;
+        match tag {
+            "replace" => Ok(SourceFilter::Replace {
+                find: p.req("find")?,
+                replace: p.req("replace")?,
+            }),
+            "set_doctype" => Ok(SourceFilter::SetDoctype {
+                doctype: p.req("doctype")?,
+            }),
+            "set_title" => Ok(SourceFilter::SetTitle {
+                title: p.req("title")?,
+            }),
+            "strip_tag" => Ok(SourceFilter::StripTag { tag: p.req("tag")? }),
+            "rewrite_image_prefix" => Ok(SourceFilter::RewriteImagePrefix {
+                from: p.req("from")?,
+                to: p.req("to")?,
+            }),
+            other => Err(JsonError::new(format!("unknown source filter `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Rule {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("target", self.target.to_json_value()),
+            ("attributes", self.attributes.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Rule {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Rule {
+            target: value.req("target")?,
+            attributes: value.req("attributes")?,
+        })
+    }
+}
+
+impl ToJson for SnapshotSpec {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("scale", self.scale.to_json_value()),
+            ("quality", self.quality.to_json_value()),
+            ("cache_ttl_secs", self.cache_ttl_secs.to_json_value()),
+            ("viewport_width", self.viewport_width.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for SnapshotSpec {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(SnapshotSpec {
+            scale: value.req("scale")?,
+            quality: value.req("quality")?,
+            cache_ttl_secs: value.req("cache_ttl_secs")?,
+            viewport_width: value.req("viewport_width")?,
+        })
+    }
+}
+
+impl ToJson for AdaptationSpec {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("page_id", self.page_id.to_json_value()),
+            ("page_url", self.page_url.to_json_value()),
+            ("session_required", self.session_required.to_json_value()),
+            ("snapshot", self.snapshot.to_json_value()),
+            ("filters", self.filters.to_json_value()),
+            ("rules", self.rules.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for AdaptationSpec {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(AdaptationSpec {
+            page_id: value.req("page_id")?,
+            page_url: value.req("page_url")?,
+            session_required: value.req("session_required")?,
+            snapshot: value.opt("snapshot")?,
+            filters: value.req("filters")?,
+            rules: value.req("rules")?,
+        })
     }
 }
 

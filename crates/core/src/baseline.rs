@@ -12,7 +12,7 @@
 use msite_net::{Origin, OriginRef, Request, Response, Status};
 use msite_render::browser::{Browser, BrowserConfig};
 use msite_render::image::{process, ImageFormat, PostProcess};
-use parking_lot::Mutex;
+use msite_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -120,7 +120,9 @@ impl HighlightProxy {
 
 impl Origin for HighlightProxy {
     fn handle(&self, request: &Request) -> Response {
-        let session = request.cookie("hl_session").unwrap_or_else(|| "anon".to_string());
+        let session = request
+            .cookie("hl_session")
+            .unwrap_or_else(|| "anon".to_string());
         self.render_for(&session)
     }
 

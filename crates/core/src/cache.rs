@@ -5,8 +5,8 @@
 //! Keys are `(page, variant)` strings; values are opaque byte artifacts
 //! (snapshot PNGs, pre-rendered fragments, adapted HTML).
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use msite_support::bytes::Bytes;
+use msite_support::sync::Mutex;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -125,7 +125,11 @@ impl RenderCache {
         let clock = inner.clock;
         match inner.entries.get_mut(key) {
             Some(entry) => {
-                if entry.expires_at.map(|t| Instant::now() >= t).unwrap_or(false) {
+                if entry
+                    .expires_at
+                    .map(|t| Instant::now() >= t)
+                    .unwrap_or(false)
+                {
                     inner.entries.remove(key);
                     inner.stats.expirations += 1;
                     inner.stats.misses += 1;
@@ -212,7 +216,12 @@ mod tests {
     #[test]
     fn ttl_expires_entries() {
         let cache = RenderCache::new(4);
-        cache.put("x", b"v".to_vec(), Some(Duration::from_millis(20)), Duration::ZERO);
+        cache.put(
+            "x",
+            b"v".to_vec(),
+            Some(Duration::from_millis(20)),
+            Duration::ZERO,
+        );
         assert!(cache.get("x").is_some());
         std::thread::sleep(Duration::from_millis(30));
         assert!(cache.get("x").is_none());

@@ -74,7 +74,11 @@ impl Error for ParseScriptError {}
 pub fn to_script(spec: &AdaptationSpec) -> String {
     let mut out = String::new();
     out.push_str("# m.Site generated proxy program\n");
-    out.push_str(&format!("page {} {}\n", spec.page_id, quote(&spec.page_url)));
+    out.push_str(&format!(
+        "page {} {}\n",
+        spec.page_id,
+        quote(&spec.page_url)
+    ));
     out.push_str(if spec.session_required {
         "session required\n"
     } else {
@@ -231,8 +235,7 @@ pub fn parse_script(script: &str) -> Result<AdaptationSpec, ParseScriptError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let tokens =
-            tokenize(line).map_err(|message| ParseScriptError::new(line_no, message))?;
+        let tokens = tokenize(line).map_err(|message| ParseScriptError::new(line_no, message))?;
         if tokens.is_empty() {
             continue;
         }
@@ -371,7 +374,9 @@ fn parse_attribute(tokens: &[Token], line_no: usize) -> Result<Attribute, ParseS
     Ok(match tokens[0].text.as_str() {
         "subpage" => {
             if tokens.len() != 5 {
-                return Err(e("expected: subpage <id> \"<title>\" ajax=.. prerender=..".into()));
+                return Err(e(
+                    "expected: subpage <id> \"<title>\" ajax=.. prerender=..".into()
+                ));
             }
             let (k1, v1) = kv(&tokens[3])?;
             let (k2, v2) = kv(&tokens[4])?;
@@ -387,7 +392,9 @@ fn parse_attribute(tokens: &[Token], line_no: usize) -> Result<Attribute, ParseS
         }
         "copy-to" => {
             if tokens.len() != 3 && tokens.len() != 6 {
-                return Err(e("expected: copy-to <subpage> <pos> [set <name> \"<value>\"]".into()));
+                return Err(e(
+                    "expected: copy-to <subpage> <pos> [set <name> \"<value>\"]".into(),
+                ));
             }
             let set_attr = if tokens.len() == 6 {
                 if tokens[3].text != "set" {
@@ -639,8 +646,12 @@ mod tests {
                     Attribute::ReplaceWith {
                         html: "<p class=\"note\">line1\nline2</p>".into(),
                     },
-                    Attribute::InsertBefore { html: "<hr>".into() },
-                    Attribute::InsertAfter { html: "<hr>".into() },
+                    Attribute::InsertBefore {
+                        html: "<hr>".into(),
+                    },
+                    Attribute::InsertAfter {
+                        html: "<hr>".into(),
+                    },
                     Attribute::MoveTo {
                         subpage: "misc".into(),
                         position: Position::Bottom,
@@ -652,7 +663,9 @@ mod tests {
                     Attribute::RichMediaThumbnail { scale: 0.25 },
                     Attribute::ImageFidelity { quality: 35 },
                     Attribute::AjaxRewrite,
-                    Attribute::LinksToAjax { target: "#detail".into() },
+                    Attribute::LinksToAjax {
+                        target: "#detail".into(),
+                    },
                     Attribute::HttpAuth,
                 ],
             },
@@ -688,7 +701,8 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let spec = parse_script("# hi\n\npage p \"http://h/\"\n# more\nsession required\n").unwrap();
+        let spec =
+            parse_script("# hi\n\npage p \"http://h/\"\n# more\nsession required\n").unwrap();
         assert!(spec.session_required);
     }
 
@@ -700,7 +714,8 @@ mod tests {
         assert!(err.to_string().contains("before page"));
         let err = parse_script("page p \"http://h/\"\nrule css \"#x\" {\n").unwrap_err();
         assert!(err.to_string().contains("unterminated"));
-        let err = parse_script("page p \"http://h/\"\nrule css \"#x\" {\n  explode\n}\n").unwrap_err();
+        let err =
+            parse_script("page p \"http://h/\"\nrule css \"#x\" {\n  explode\n}\n").unwrap_err();
         assert_eq!(err.line(), 3);
     }
 

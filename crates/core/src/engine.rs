@@ -207,9 +207,7 @@ impl PdfEngine {
             )
             .into_bytes(),
         );
-        objects.push(
-            b"<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>".to_vec(),
-        );
+        objects.push(b"<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>".to_vec());
         for (i, page_lines) in pages.iter().enumerate() {
             let content = self.page_stream(title, page_lines, i == 0);
             objects.push(
@@ -350,7 +348,10 @@ impl EngineRegistry {
 
     /// Looks an engine up by name.
     pub fn get(&self, name: &str) -> Option<&dyn RenderEngine> {
-        self.engines.iter().find(|e| e.name() == name).map(|b| b.as_ref())
+        self.engines
+            .iter()
+            .find(|e| e.name() == name)
+            .map(|b| b.as_ref())
     }
 
     /// Registered engine names.

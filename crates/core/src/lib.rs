@@ -73,7 +73,10 @@ pub use attributes::{AdaptationSpec, Attribute, Rule, SnapshotSpec, SourceFilter
 pub use baseline::{HighlightConfig, HighlightProxy, HighlightStats};
 pub use cache::{CacheStats, RenderCache};
 pub use engine::{EngineRegistry, RenderEngine, RenderedArtifact};
-pub use pipeline::{adapt, AdaptError, AdaptedBundle, PipelineContext, PipelineStats};
+pub use pipeline::{
+    adapt, adapt_with_report, AdaptError, AdaptedBundle, PipelineContext, PipelineReport,
+    PipelineStats, StageKind, StageReport,
+};
 pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
 pub use search::SearchIndex;
 pub use session::{SessionFs, SessionManager, SESSION_COOKIE};

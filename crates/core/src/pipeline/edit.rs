@@ -1,0 +1,141 @@
+//! DOM edit helpers shared by the attribute and emission stages:
+//! fragment splicing, style merging, and the structural rewrites the
+//! attribute menu builds on.
+
+use msite_html::{parse_fragment_into, Document, NodeId};
+
+pub(crate) fn replace_with_html(doc: &mut Document, node: NodeId, html: &str) {
+    if let Some(parent) = doc.node(node).parent() {
+        let added = parse_fragment_into(doc, parent, html);
+        let mut reference = node;
+        for new in added {
+            doc.detach(new);
+            doc.insert_after(new, reference);
+            reference = new;
+        }
+    }
+    doc.detach(node);
+}
+
+pub(crate) fn insert_html(doc: &mut Document, node: NodeId, html: &str, before: bool) {
+    if let Some(parent) = doc.node(node).parent() {
+        let added = parse_fragment_into(doc, parent, html);
+        let mut reference = node;
+        for new in added {
+            doc.detach(new);
+            if before {
+                doc.insert_before(new, node);
+            } else {
+                doc.insert_after(new, reference);
+                reference = new;
+            }
+        }
+    }
+}
+
+pub(crate) fn inject_into_head(doc: &mut Document, html: &str) {
+    let head = doc.elements_by_tag(doc.root(), "head").first().copied();
+    if let Some(head) = head {
+        parse_fragment_into(doc, head, html);
+    }
+}
+
+pub(crate) fn set_attr_deep(doc: &mut Document, root: NodeId, name: &str, value: &str) {
+    // Set on the root if it is an element carrying the attribute or any
+    // element; also on the first descendant that already has it (the
+    // logo-copy use case: swap the img's src inside the copied table).
+    doc.set_attr(root, name, value);
+    let carriers: Vec<NodeId> = doc
+        .descendants(root)
+        .filter(|&d| doc.attr(d, name).is_some())
+        .collect();
+    for c in carriers {
+        doc.set_attr(c, name, value);
+    }
+}
+
+pub(crate) fn merge_style(doc: &mut Document, node: NodeId, property: &str, value: &str) {
+    let existing = doc.attr(node, "style").unwrap_or("").trim().to_string();
+    let mut style = existing
+        .split(';')
+        .filter(|d| {
+            d.split(':')
+                .next()
+                .map(|k| !k.trim().eq_ignore_ascii_case(property))
+                .unwrap_or(false)
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    if !style.is_empty() && !style.ends_with(';') {
+        style.push(';');
+    }
+    style.push_str(&format!("{property}:{value}"));
+    doc.set_attr(node, "style", &style);
+}
+
+/// Rewrites a region's links as a vertical multi-column table — the
+/// paper's fix for the horizontally scrolling nav row.
+pub(crate) fn links_to_columns(doc: &mut Document, node: NodeId, columns: u32) {
+    let columns = columns.max(1) as usize;
+    let links = doc.elements_by_tag(node, "a");
+    if links.is_empty() {
+        return;
+    }
+    let mut cells: Vec<String> = Vec::with_capacity(links.len());
+    for link in &links {
+        cells.push(doc.outer_html(*link));
+    }
+    let rows = cells.len().div_ceil(columns);
+    let mut html = String::from("<table class=\"msite-columns\">");
+    for r in 0..rows {
+        html.push_str("<tr>");
+        for c in 0..columns {
+            // Column-major fill: reading order goes down then across.
+            match cells.get(c * rows + r) {
+                Some(cell) => {
+                    html.push_str("<td>");
+                    html.push_str(cell);
+                    html.push_str("</td>");
+                }
+                None => html.push_str("<td></td>"),
+            }
+        }
+        html.push_str("</tr>");
+    }
+    html.push_str("</table>");
+    // Replace the node's children with the rebuilt table.
+    let children: Vec<NodeId> = doc.children(node).collect();
+    for child in children {
+        doc.detach(child);
+    }
+    parse_fragment_into(doc, node, &html);
+}
+
+/// Wraps one object (plus the document's stylesheets) as a standalone
+/// page for object-level pre-rendering.
+pub(crate) fn standalone_object_page(doc: &Document, node: NodeId) -> String {
+    let mut styles = String::new();
+    for style in doc.elements_by_tag(doc.root(), "style") {
+        styles.push_str(&doc.outer_html(style));
+    }
+    format!(
+        "<!DOCTYPE html><html><head>{}</head><body style=\"margin:0\">{}</body></html>",
+        styles,
+        doc.outer_html(node)
+    )
+}
+
+pub(crate) fn page_title(doc: &Document) -> Option<String> {
+    doc.elements_by_tag(doc.root(), "title")
+        .first()
+        .map(|&t| doc.text_content(t))
+        .filter(|t| !t.trim().is_empty())
+}
+
+/// Extracts the first `id="..."` attribute value from an HTML fragment.
+pub(crate) fn first_id_in_html(html: &str) -> Option<String> {
+    let at = html.find("id=\"")?;
+    let rest = &html[at + 4..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}

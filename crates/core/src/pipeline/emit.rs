@@ -1,0 +1,192 @@
+//! Emission stage: assemble subpage files, pre-render image subpages,
+//! and build the entry page (snapshot image map or adapted document).
+
+use super::edit::{first_id_in_html, inject_into_head, page_title};
+use super::stage::{PipelineState, Stage, StageKind, StageOutcome, SubpageBuilder};
+use super::{AdaptError, GeneratedFile, GeneratedImage, PipelineContext};
+use crate::ajax;
+use crate::search::SearchIndex;
+use msite_render::image::{process, ImageFormat, PostProcess};
+use msite_render::Rect;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Produces the bundle's files from the accumulated state.
+pub(crate) struct EmitStage;
+
+impl Stage for EmitStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Emit
+    }
+
+    fn run(&self, state: &mut PipelineState<'_>) -> Result<StageOutcome, AdaptError> {
+        // Pure filter adaptation: the filtered source *is* the entry page.
+        if state.filter_only() {
+            state.entry_html = std::mem::take(&mut state.source);
+            return Ok(StageOutcome { artifacts: 1 });
+        }
+
+        // ---- Subpage files --------------------------------------------
+        for builder in state.subpages.values() {
+            let html = assemble_subpage(builder, state.ctx);
+            if builder.prerender {
+                let rendered = state.renderer.render(&html);
+                let processed = process(
+                    &rendered.canvas,
+                    &PostProcess {
+                        format: ImageFormat::JpegClass { quality: 50 },
+                        ..Default::default()
+                    },
+                );
+                let img_name = format!("sub_{}.png", builder.id);
+                let page = format!(
+                    "<!DOCTYPE html><html><head><title>{}</title></head><body style=\"margin:0\">\
+                     <img src=\"{}/img/{}\" width=\"{}\" height=\"{}\" alt=\"{}\"></body></html>",
+                    builder.title,
+                    state.ctx.base,
+                    img_name,
+                    processed.canvas.width(),
+                    processed.canvas.height(),
+                    builder.title
+                );
+                state.images.push(GeneratedImage {
+                    name: img_name,
+                    wire_size: processed.wire_bytes(),
+                    width: processed.canvas.width(),
+                    height: processed.canvas.height(),
+                    bytes: processed.encoded,
+                    cache_ttl: None,
+                });
+                state.stats.images_rendered += 1;
+                state.subpage_files.push(GeneratedFile {
+                    name: format!("{}.html", builder.id),
+                    html: page,
+                });
+            } else {
+                state.subpage_files.push(GeneratedFile {
+                    name: format!("{}.html", builder.id),
+                    html,
+                });
+            }
+        }
+
+        // ---- Entry page -----------------------------------------------
+        let doc = state.doc.as_mut().expect("dom stage ran before emit");
+        state.entry_html =
+            if let (Some(snap), Some(render)) = (&state.spec.snapshot, &state.snapshot_render) {
+                let processed = process(
+                    &render.canvas,
+                    &PostProcess {
+                        scale: Some(snap.scale),
+                        format: ImageFormat::JpegClass {
+                            quality: snap.quality,
+                        },
+                        ..Default::default()
+                    },
+                );
+                if state.searchable {
+                    state.search_index = Some(SearchIndex::build(&render.layout, snap.scale));
+                }
+                let entry = crate::snapshot::build_entry_page(&crate::snapshot::EntryPageInput {
+                    base: state.ctx.base.clone(),
+                    title: page_title(doc).unwrap_or_else(|| state.spec.page_id.clone()),
+                    snapshot_name: "snapshot.png".to_string(),
+                    snapshot_width: processed.canvas.width(),
+                    snapshot_height: processed.canvas.height(),
+                    scale: snap.scale,
+                    areas: subpage_areas(&state.subpages, render, snap.scale, &state.ctx.base),
+                    has_ajax: !state.registry.actions.is_empty()
+                        || state.subpages.values().any(|s| s.ajax),
+                    search_js: state.search_index.as_ref().map(|s| s.to_javascript()),
+                });
+                state.images.push(GeneratedImage {
+                    name: "snapshot.png".to_string(),
+                    wire_size: processed.wire_bytes(),
+                    width: processed.canvas.width(),
+                    height: processed.canvas.height(),
+                    bytes: processed.encoded,
+                    cache_ttl: Some(Duration::from_secs(snap.cache_ttl_secs)),
+                });
+                state.stats.images_rendered += 1;
+                entry
+            } else {
+                // Non-snapshot mode: the adapted document itself, with the AJAX
+                // helper injected when needed.
+                if !state.registry.actions.is_empty() {
+                    inject_into_head(
+                        doc,
+                        &format!("<script>{}</script>", ajax::client_helper_script()),
+                    );
+                }
+                doc.to_html()
+            };
+        Ok(StageOutcome {
+            artifacts: state.subpage_files.len() + 1,
+        })
+    }
+}
+
+fn assemble_subpage(builder: &SubpageBuilder, ctx: &PipelineContext) -> String {
+    let mut html = String::from("<!DOCTYPE html>\n<html><head>");
+    html.push_str(&format!(
+        "<title>{}</title><meta name=\"viewport\" content=\"width=device-width\">",
+        msite_html::entities::encode_text(&builder.title)
+    ));
+    html.push_str(&builder.head_html);
+    html.push_str("</head><body>");
+    html.push_str(&builder.top_html);
+    html.push_str(&builder.body_html);
+    html.push_str(&builder.bottom_html);
+    html.push_str(&format!(
+        "<div class=\"msite-breadcrumb\"><a href=\"{}/\">&laquo; back to overview</a></div>",
+        ctx.base
+    ));
+    for script in &builder.scripts {
+        html.push_str(&format!("<script>{script}</script>"));
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+/// Computes the clickable image-map areas for every subpage target by
+/// finding the same selector in the snapshot render and translating its
+/// coordinates by the snapshot scale.
+fn subpage_areas(
+    subpages: &BTreeMap<String, SubpageBuilder>,
+    render: &msite_render::RenderResult,
+    scale: f32,
+    base: &str,
+) -> Vec<crate::snapshot::MapArea> {
+    let mut areas = Vec::new();
+    // Geometry is recovered per subpage body: the subpage body html was
+    // captured before removal; match by the subpage link class is not
+    // possible in the snapshot (it shows the original page), so the
+    // *source* rects were resolved by the caller storing them during the
+    // attribute phase. Simpler and robust: look the subpage's first id
+    // attribute up in the render.
+    for builder in subpages.values() {
+        let rect = first_id_in_html(&builder.body_html)
+            .and_then(|id| render.doc.element_by_id(&id))
+            .and_then(|node| render.layout.rect_of(node));
+        if let Some(rect) = rect {
+            let r = rect.scaled(scale);
+            areas.push(crate::snapshot::MapArea {
+                rect: r,
+                href: format!("{base}/s/{}.html", builder.id),
+                title: builder.title.clone(),
+                ajax: builder.ajax,
+            });
+        } else {
+            // No geometry: still expose the subpage via the fallback menu
+            // (rect of zero size is skipped in the <map> but kept in the
+            // menu list).
+            areas.push(crate::snapshot::MapArea {
+                rect: Rect::new(0.0, 0.0, 0.0, 0.0),
+                href: format!("{base}/s/{}.html", builder.id),
+                title: builder.title.clone(),
+                ajax: builder.ajax,
+            });
+        }
+    }
+    areas
+}

@@ -1,0 +1,220 @@
+//! The adaptation pipeline: fetch → filters → tidy/DOM → attributes →
+//! emission → rendering (§3.2, Figure 3).
+//!
+//! Given an [`AdaptationSpec`] and a fetched page, [`adapt`] produces an
+//! [`AdaptedBundle`]: the entry page, the generated subpages, every
+//! rendered image, and the AJAX action registry. The proxy writes these
+//! into per-user session directories and shared caches.
+//! [`adapt_with_report`] additionally returns a [`PipelineReport`] with
+//! per-stage wall-clock timings and artifact counts.
+//!
+//! The phases honor the paper's cost structure: if a spec contains only
+//! source filters (and no snapshot), the page is adapted *without any
+//! DOM parse*; the heavyweight browser is instantiated only when a
+//! snapshot or pre-render attribute demands graphical output. Browser
+//! time is accounted to a dedicated render stage, not to the phase that
+//! happened to trigger it.
+
+mod attrs;
+mod dom;
+mod edit;
+mod emit;
+mod fetch;
+mod filter;
+mod render;
+mod stage;
+#[cfg(test)]
+mod tests;
+
+pub use stage::{PipelineReport, StageKind, StageReport};
+
+use crate::ajax::AjaxRegistry;
+use crate::attributes::AdaptationSpec;
+use crate::search::SearchIndex;
+use attrs::AttributeStage;
+use dom::DomStage;
+use emit::EmitStage;
+use fetch::FetchStage;
+use filter::FilterStage;
+use msite_render::browser::BrowserConfig;
+use stage::{PipelineState, Stage};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Pipeline failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptError {
+    /// A rule's selector or XPath failed to parse.
+    InvalidTarget {
+        /// The offending target text.
+        target: String,
+        /// Parser message.
+        message: String,
+    },
+    /// A `copy-to`/`move-to` referenced a subpage never declared.
+    UnknownSubpage {
+        /// The missing subpage id.
+        id: String,
+    },
+}
+
+impl fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptError::InvalidTarget { target, message } => {
+                write!(f, "invalid target `{target}`: {message}")
+            }
+            AdaptError::UnknownSubpage { id } => write!(f, "unknown subpage `{id}`"),
+        }
+    }
+}
+
+impl Error for AdaptError {}
+
+/// A generated HTML artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedFile {
+    /// File name (e.g. `login.html`).
+    pub name: String,
+    /// Contents.
+    pub html: String,
+}
+
+/// A generated image artifact.
+#[derive(Debug, Clone)]
+pub struct GeneratedImage {
+    /// File name (e.g. `snapshot.png`).
+    pub name: String,
+    /// Encoded bytes (PNG).
+    pub bytes: Vec<u8>,
+    /// Bytes this artifact occupies on the wire (JPEG-class artifacts
+    /// model their size; see `msite-render::image`).
+    pub wire_size: usize,
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+    /// Shared-cache TTL; `None` = per-user artifact.
+    pub cache_ttl: Option<Duration>,
+}
+
+/// Counters from one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Source filters applied.
+    pub filters_applied: usize,
+    /// Whether a DOM parse was needed at all.
+    pub dom_parsed: bool,
+    /// Rules whose target matched at least one node.
+    pub rules_matched: usize,
+    /// Total nodes affected by attributes.
+    pub nodes_affected: usize,
+    /// Images produced by pre-rendering.
+    pub images_rendered: usize,
+    /// Whether a browser instance was used.
+    pub browser_used: bool,
+}
+
+/// Everything one adaptation run produces.
+#[derive(Debug, Clone)]
+pub struct AdaptedBundle {
+    /// The entry page served to the mobile client.
+    pub entry_html: String,
+    /// Generated subpages.
+    pub subpages: Vec<GeneratedFile>,
+    /// Generated images (snapshot + pre-rendered objects).
+    pub images: Vec<GeneratedImage>,
+    /// AJAX actions the proxy must satisfy.
+    pub ajax: AjaxRegistry,
+    /// Search index when the `searchable` attribute was present.
+    pub search: Option<SearchIndex>,
+    /// Run statistics.
+    pub stats: PipelineStats,
+    /// True when a dock-cookies rule asked for a clear-cookies entry
+    /// point (the logout-button replacement).
+    pub wants_cookie_clear: bool,
+}
+
+/// Pipeline context: where artifacts will be served from.
+#[derive(Debug, Clone)]
+pub struct PipelineContext {
+    /// URL prefix the proxy serves this page under, e.g. `/m/forum`.
+    pub base: String,
+    /// Browser configuration for renders.
+    pub browser_config: BrowserConfig,
+}
+
+impl Default for PipelineContext {
+    fn default() -> Self {
+        PipelineContext {
+            base: "/m/page".to_string(),
+            browser_config: BrowserConfig::default(),
+        }
+    }
+}
+
+/// Runs the full pipeline.
+///
+/// # Errors
+///
+/// Returns [`AdaptError`] for malformed targets or dangling subpage
+/// references. Origin-level failures are the proxy's concern, not the
+/// pipeline's.
+pub fn adapt(
+    spec: &AdaptationSpec,
+    page_html: &str,
+    ctx: &PipelineContext,
+) -> Result<AdaptedBundle, AdaptError> {
+    adapt_with_report(spec, page_html, ctx).map(|(bundle, _)| bundle)
+}
+
+/// Runs the full pipeline and reports per-stage timings and artifact
+/// counts alongside the bundle.
+///
+/// # Errors
+///
+/// Same failure modes as [`adapt`].
+pub fn adapt_with_report(
+    spec: &AdaptationSpec,
+    page_html: &str,
+    ctx: &PipelineContext,
+) -> Result<(AdaptedBundle, PipelineReport), AdaptError> {
+    let mut state = PipelineState::new(spec, page_html, ctx);
+    let mut report = PipelineReport::default();
+    let stages: [&dyn Stage; 5] = [
+        &FetchStage,
+        &FilterStage,
+        &DomStage,
+        &AttributeStage,
+        &EmitStage,
+    ];
+    for stage in stages {
+        if state.filter_only() && matches!(stage.kind(), StageKind::Dom | StageKind::Attributes) {
+            continue;
+        }
+        let render_before = state.renderer.total();
+        let start = Instant::now();
+        let outcome = stage.run(&mut state)?;
+        let elapsed = start.elapsed();
+        // Browser time triggered inside the stage is the render stage's
+        // line item; clamp so every executed stage keeps a nonzero entry
+        // even at coarse clock granularity.
+        let render_delta = state.renderer.total().saturating_sub(render_before);
+        report.stages.push(StageReport {
+            kind: stage.kind(),
+            elapsed: elapsed
+                .saturating_sub(render_delta)
+                .max(Duration::from_nanos(1)),
+            artifacts: outcome.artifacts,
+        });
+    }
+    if state.renderer.used() {
+        report.stages.push(StageReport {
+            kind: StageKind::Render,
+            elapsed: state.renderer.total().max(Duration::from_nanos(1)),
+            artifacts: state.stats.images_rendered,
+        });
+    }
+    Ok((state.into_bundle(), report))
+}

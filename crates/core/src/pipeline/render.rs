@@ -1,0 +1,152 @@
+//! Render support: the lazily launched server-side browser and the
+//! partial-CSS pre-render recipe. The [`Renderer`] accumulates the time
+//! spent inside the browser so the driver can attribute it to the
+//! dedicated render stage instead of whichever phase triggered it.
+
+use super::edit::standalone_object_page;
+use super::GeneratedImage;
+use msite_html::{Document, NodeId};
+use msite_render::browser::{Browser, BrowserConfig};
+use msite_render::image::{process, ImageFormat, PostProcess};
+use msite_render::RenderResult;
+use std::time::{Duration, Instant};
+
+/// Shared browser handle for snapshot and pre-render work. Launching is
+/// deferred until the first render — the scalability win of the paper
+/// comes from most requests never reaching this point.
+pub(crate) struct Renderer {
+    config: BrowserConfig,
+    browser: Option<Browser>,
+    spent: Duration,
+}
+
+impl Renderer {
+    pub(crate) fn new(config: BrowserConfig) -> Renderer {
+        Renderer {
+            config,
+            browser: None,
+            spent: Duration::ZERO,
+        }
+    }
+
+    /// True once a browser has been launched.
+    pub(crate) fn used(&self) -> bool {
+        self.browser.is_some()
+    }
+
+    /// Total wall-clock time spent launching and rendering so far.
+    pub(crate) fn total(&self) -> Duration {
+        self.spent
+    }
+
+    /// Renders a page, launching the browser on first use.
+    pub(crate) fn render(&mut self, html: &str) -> RenderResult {
+        let start = Instant::now();
+        let config = &self.config;
+        let browser = self
+            .browser
+            .get_or_insert_with(|| Browser::launch(config.clone()));
+        let result = browser.render_page(html, &[]);
+        self.spent += start.elapsed();
+        result
+    }
+
+    /// Renders a page; when this launches the browser, the launch uses
+    /// the given viewport width (the snapshot render leads, so the
+    /// shared browser inherits the snapshot viewport).
+    pub(crate) fn render_with_viewport(&mut self, html: &str, viewport_width: u32) -> RenderResult {
+        if self.browser.is_none() {
+            self.config.viewport_width = viewport_width;
+        }
+        self.render(html)
+    }
+}
+
+pub(crate) struct PartialArtifact {
+    pub(crate) image: GeneratedImage,
+    pub(crate) html: String,
+}
+
+/// Partial CSS pre-rendering (§3.3): render the object with its text
+/// replaced by stretched placeholders, ship the raster as a background,
+/// and emit absolutely positioned client-side text at the recorded
+/// coordinates.
+pub(crate) fn partial_css_prerender(
+    doc: &Document,
+    node: NodeId,
+    renderer: &mut Renderer,
+    scale: f32,
+    base: &str,
+    image_name: &str,
+) -> PartialArtifact {
+    // Build a blanked copy: text nodes replaced by 1px-high placeholders
+    // that preserve width (here: non-breaking figure space runs).
+    let mut scratch = Document::new();
+    let root = scratch.root();
+    let copy = scratch.import_subtree(doc, node);
+    scratch.append_child(root, copy);
+    let text_nodes: Vec<NodeId> = scratch
+        .descendants(root)
+        .filter(|&n| scratch.data(n).as_text().is_some())
+        .collect();
+    let mut original_texts = Vec::new();
+    for t in text_nodes {
+        if let Some(text) = scratch.data(t).as_text() {
+            if !text.trim().is_empty() {
+                original_texts.push(text.to_string());
+                let blank: String = text
+                    .chars()
+                    .map(|c| if c.is_whitespace() { c } else { '\u{2007}' })
+                    .collect();
+                if let msite_html::NodeData::Text(slot) = scratch.data_mut(t) {
+                    *slot = blank;
+                }
+            }
+        }
+    }
+    let blanked_html = standalone_object_page(&scratch, copy);
+    let rendered = renderer.render(&blanked_html);
+    let processed = process(
+        &rendered.canvas,
+        &PostProcess {
+            scale: Some(scale),
+            format: ImageFormat::Png,
+            ..Default::default()
+        },
+    );
+
+    // Text positions come from rendering the *original* object.
+    let original_html = standalone_object_page(doc, node);
+    let with_text = renderer.render(&original_html);
+    let mut spans = String::new();
+    for (word, rect) in with_text.layout.word_positions() {
+        let r = rect.scaled(scale);
+        spans.push_str(&format!(
+            "<span style=\"position:absolute;left:{}px;top:{}px;font-size:{}px\">{}</span>",
+            r.x.round(),
+            r.y.round(),
+            (r.h.round() as i64).max(6),
+            msite_html::entities::encode_text(&word)
+        ));
+    }
+    let html = format!(
+        "<div class=\"msite-partial\" style=\"position:relative;width:{}px;height:{}px;\
+         background-image:url('{}/img/{}')\">{}</div>",
+        processed.canvas.width(),
+        processed.canvas.height(),
+        base,
+        image_name,
+        spans
+    );
+    PartialArtifact {
+        image: GeneratedImage {
+            name: image_name.to_string(),
+            wire_size: processed.wire_bytes(),
+            width: processed.canvas.width(),
+            height: processed.canvas.height(),
+            bytes: processed.encoded,
+            cache_ttl: None,
+        },
+        html,
+    }
+}

@@ -20,7 +20,7 @@ use crate::pipeline::{adapt, AdaptedBundle, PipelineContext};
 use crate::session::{Session, SessionFs, SessionManager, SESSION_COOKIE};
 use msite_net::{Cookie, Method, Origin, OriginRef, Request, Response, Status, Url};
 use msite_render::browser::BrowserConfig;
-use parking_lot::Mutex;
+use msite_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -172,7 +172,8 @@ impl ProxyServer {
         // Shared cached images live in the cache, not the fs; write the
         // snapshot too when present.
         if let Some(snapshot) = self.cache.get("img:snapshot.png") {
-            self.fs.write(&SessionFs::public_path("img/snapshot.png"), snapshot);
+            self.fs
+                .write(&SessionFs::public_path("img/snapshot.png"), snapshot);
         }
         self.fs.export(dir)
     }
@@ -195,9 +196,10 @@ impl ProxyServer {
             let s = session.lock();
             s.jar.apply(request, 0);
             if let Some((user, pass)) = &s.http_auth {
-                request
-                    .headers
-                    .set("authorization", &msite_net::auth::basic_auth_header(user, pass));
+                request.headers.set(
+                    "authorization",
+                    &msite_net::auth::basic_auth_header(user, pass),
+                );
             }
         }
         let response = self.origin.handle(request);
@@ -211,7 +213,10 @@ impl ProxyServer {
     /// Builds (or reuses) the shared entry page + snapshot, which are
     /// user-independent: the snapshot shows the public view of the page
     /// and is "stored in a public cache" with the spec's TTL.
-    fn shared_entry(&self, session: &Arc<Mutex<Session>>) -> Result<bytes::Bytes, Response> {
+    fn shared_entry(
+        &self,
+        session: &Arc<Mutex<Session>>,
+    ) -> Result<msite_support::bytes::Bytes, Response> {
         let ttl = self
             .spec
             .snapshot
@@ -223,9 +228,8 @@ impl ProxyServer {
         }
         // Cache miss: full pipeline run (browser used when the spec needs it).
         let start = Instant::now();
-        let mut page_request = Request::get(&self.spec.page_url).map_err(|e| {
-            Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}"))
-        })?;
+        let mut page_request = Request::get(&self.spec.page_url)
+            .map_err(|e| Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}")))?;
         let page = self.origin_fetch(session, &mut page_request);
         if !page.status.is_success() {
             return Err(Response::error(
@@ -243,7 +247,7 @@ impl ProxyServer {
         self.store_bundle(&bundle, None, ttl, start.elapsed());
         *self.shared_ajax.lock() = Some(bundle.ajax.clone());
         *self.wants_cookie_clear.lock() = bundle.wants_cookie_clear;
-        Ok(bytes::Bytes::from(bundle.entry_html))
+        Ok(msite_support::bytes::Bytes::from(bundle.entry_html))
     }
 
     /// Builds the per-user subpages with the user's authenticated view.
@@ -252,9 +256,8 @@ impl ProxyServer {
         if let Some(existing) = self.user_bundles.lock().get(&session_id) {
             return Ok(Arc::clone(existing));
         }
-        let mut page_request = Request::get(&self.spec.page_url).map_err(|e| {
-            Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}"))
-        })?;
+        let mut page_request = Request::get(&self.spec.page_url)
+            .map_err(|e| Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}")))?;
         let page = self.origin_fetch(session, &mut page_request);
         if !page.status.is_success() {
             return Err(Response::error(
@@ -301,8 +304,12 @@ impl ProxyServer {
         for image in &bundle.images {
             match (&image.cache_ttl, session_id) {
                 (Some(ttl), _) => {
-                    self.cache
-                        .put(&format!("img:{}", image.name), image.bytes.clone(), Some(*ttl), cost);
+                    self.cache.put(
+                        &format!("img:{}", image.name),
+                        image.bytes.clone(),
+                        Some(*ttl),
+                        cost,
+                    );
                 }
                 (None, Some(sid)) => {
                     self.fs.write(
@@ -311,8 +318,10 @@ impl ProxyServer {
                     );
                 }
                 (None, None) => {
-                    self.fs
-                        .write(&SessionFs::public_path(&format!("img/{}", image.name)), image.bytes.clone());
+                    self.fs.write(
+                        &SessionFs::public_path(&format!("img/{}", image.name)),
+                        image.bytes.clone(),
+                    );
                 }
             }
         }
@@ -336,7 +345,10 @@ impl ProxyServer {
         {
             return Response::bytes("image/png", user);
         }
-        if let Some(public) = self.fs.read(&SessionFs::public_path(&format!("img/{name}"))) {
+        if let Some(public) = self
+            .fs
+            .read(&SessionFs::public_path(&format!("img/{name}")))
+        {
             return Response::bytes("image/png", public);
         }
         Response::error(Status::NOT_FOUND, "no such image")
@@ -396,7 +408,7 @@ impl ProxyServer {
             method: Method::Get,
             url: target,
             headers: msite_net::Headers::new(),
-            body: bytes::Bytes::new(),
+            body: msite_support::bytes::Bytes::new(),
         };
         let response = self.origin_fetch(session, &mut sub_request);
         if !response.status.is_success() {
@@ -479,14 +491,15 @@ impl ProxyServer {
                 return Response::redirect(&format!("{base}/")).with_cookie(&kill);
             }
             "/auth" => match request.method {
-                Method::Get => {
-                    self.auth_form("", &request.param("next").unwrap_or_default())
-                }
+                Method::Get => self.auth_form("", &request.param("next").unwrap_or_default()),
                 Method::Post => {
                     let user = request.param("user").unwrap_or_default();
                     let pass = request.param("pass").unwrap_or_default();
                     if user.is_empty() {
-                        self.auth_form("User name required.", &request.param("next").unwrap_or_default())
+                        self.auth_form(
+                            "User name required.",
+                            &request.param("next").unwrap_or_default(),
+                        )
                     } else {
                         session.lock().http_auth = Some((user, pass));
                         let next = request.param("next").unwrap_or_default();
@@ -611,7 +624,10 @@ fn auth_subpage_ids(spec: &AdaptationSpec) -> Vec<String> {
     use crate::attributes::Attribute;
     let mut out = Vec::new();
     for rule in &spec.rules {
-        let has_auth = rule.attributes.iter().any(|a| matches!(a, Attribute::HttpAuth));
+        let has_auth = rule
+            .attributes
+            .iter()
+            .any(|a| matches!(a, Attribute::HttpAuth));
         if has_auth {
             for attr in &rule.attributes {
                 if let Attribute::Subpage { id, .. } = attr {
@@ -684,11 +700,7 @@ mod tests {
     fn proxy_with_forum() -> (Arc<ForumSite>, ProxyServer) {
         let site = Arc::new(ForumSite::new(ForumConfig::default()));
         let spec = forum_spec(&site);
-        let proxy = ProxyServer::new(
-            spec,
-            Arc::clone(&site) as OriginRef,
-            ProxyConfig::default(),
-        );
+        let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
         (site, proxy)
     }
 
@@ -725,7 +737,11 @@ mod tests {
         assert!(html.contains("/m/forum/s/login.html"));
         assert!(html.contains("/m/forum/s/forums.html"));
         // Session cookie issued on first contact.
-        assert!(entry.headers.get("set-cookie").unwrap().contains(SESSION_COOKIE));
+        assert!(entry
+            .headers
+            .get("set-cookie")
+            .unwrap()
+            .contains(SESSION_COOKIE));
     }
 
     #[test]
@@ -932,13 +948,18 @@ mod tests {
              rule css \"#loginform\" {{\n  subpage login \"Log in\" ajax=no prerender=no\n}}\n",
             site.base_url()
         );
-        let proxy =
-            ProxyServer::from_script(&script, Arc::clone(&site) as OriginRef, ProxyConfig::default())
-                .unwrap();
+        let proxy = ProxyServer::from_script(
+            &script,
+            Arc::clone(&site) as OriginRef,
+            ProxyConfig::default(),
+        )
+        .unwrap();
         let entry = get(&proxy, "/m/forum/");
         assert!(entry.status.is_success());
         assert!(entry.body_text().contains("login.html"));
-        assert!(ProxyServer::from_script("garbage", site as OriginRef, ProxyConfig::default()).is_err());
+        assert!(
+            ProxyServer::from_script("garbage", site as OriginRef, ProxyConfig::default()).is_err()
+        );
     }
 
     #[test]
@@ -949,7 +970,11 @@ mod tests {
         let cookie = session_cookie(&entry);
         let text = get_with_cookie(&proxy, "/m/forum/render/text", &cookie);
         assert!(text.status.is_success());
-        assert!(text.headers.get("content-type").unwrap().starts_with("text/plain"));
+        assert!(text
+            .headers
+            .get("content-type")
+            .unwrap()
+            .starts_with("text/plain"));
         assert!(text.body_text().contains("Currently Active Users"));
         let pdf = get_with_cookie(&proxy, "/m/forum/render/pdf", &cookie);
         assert!(pdf.body.starts_with(b"%PDF-1.4"));

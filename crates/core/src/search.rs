@@ -39,9 +39,12 @@ impl SearchIndex {
             })
             .collect();
         entries.sort_by(|a, b| {
-            a.word
-                .cmp(&b.word)
-                .then(a.rect.y.partial_cmp(&b.rect.y).unwrap_or(std::cmp::Ordering::Equal))
+            a.word.cmp(&b.word).then(
+                a.rect
+                    .y
+                    .partial_cmp(&b.rect.y)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         SearchIndex { entries }
     }
@@ -71,7 +74,9 @@ impl SearchIndex {
     /// experience while typing).
     pub fn find_prefix(&self, prefix: &str) -> Vec<(String, Rect)> {
         let needle = prefix.to_lowercase();
-        let start = self.entries.partition_point(|e| e.word.as_str() < needle.as_str());
+        let start = self
+            .entries
+            .partition_point(|e| e.word.as_str() < needle.as_str());
         self.entries[start..]
             .iter()
             .take_while(|e| e.word.starts_with(&needle))
@@ -194,10 +199,7 @@ mod tests {
 
     #[test]
     fn index_is_sorted_for_binary_search() {
-        let index = index_for(
-            "<body><p>zebra apple mango apple cherry</p></body>",
-            1.0,
-        );
+        let index = index_for("<body><p>zebra apple mango apple cherry</p></body>", 1.0);
         let words: Vec<&String> = index.entries.iter().map(|e| &e.word).collect();
         let mut sorted = words.clone();
         sorted.sort();

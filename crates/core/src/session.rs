@@ -11,9 +11,9 @@
 //! benchmarks need no disk; [`SessionFs::export`] dumps it to a real
 //! directory for the live examples.
 
-use bytes::Bytes;
 use msite_net::{CookieJar, Prng};
-use parking_lot::Mutex;
+use msite_support::bytes::Bytes;
+use msite_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -62,7 +62,9 @@ impl SessionManager {
             jar: CookieJar::new(),
             http_auth: None,
         }));
-        self.sessions.lock().insert(id.clone(), Arc::clone(&session));
+        self.sessions
+            .lock()
+            .insert(id.clone(), Arc::clone(&session));
         self.creation_order.lock().push(id);
         session
     }
@@ -269,7 +271,10 @@ mod tests {
         fs.write("/public/a", vec![0u8; 10]);
         fs.write("/public/b", vec![0u8; 5]);
         assert_eq!(fs.total_bytes(), 15);
-        assert_eq!(fs.paths(), vec!["/public/a".to_string(), "/public/b".to_string()]);
+        assert_eq!(
+            fs.paths(),
+            vec!["/public/a".to_string(), "/public/b".to_string()]
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! bound must never be exceeded.
 
 use msite::cache::RenderCache;
-use proptest::prelude::*;
+use msite_support::prop::{self, Gen};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -15,13 +15,14 @@ enum Op {
     Clear,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u8..12, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
-        4 => (0u8..12).prop_map(Op::Get),
-        1 => (0u8..12).prop_map(Op::Invalidate),
-        1 => Just(Op::Clear),
-    ]
+fn arb_op(g: &mut Gen) -> Op {
+    // Weighted 4:4:1:1 like the original strategy.
+    match g.range_u32(0, 10) {
+        0..=3 => Op::Put(g.range_u8(0, 12), g.u8()),
+        4..=7 => Op::Get(g.range_u8(0, 12)),
+        8 => Op::Invalidate(g.range_u8(0, 12)),
+        _ => Op::Clear,
+    }
 }
 
 /// Reference model: a map plus recency list, same capacity semantics.
@@ -57,11 +58,11 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_agrees_with_model(capacity in 1usize..8, ops in prop::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn cache_agrees_with_model() {
+    prop::check("cache agrees with model", 128, 0x00CA_C4E0, |g| {
+        let capacity = g.range_usize(1, 8);
+        let ops = g.vec(0, 60, arb_op);
         let cache = RenderCache::new(capacity);
         let mut model = Model {
             capacity,
@@ -77,7 +78,7 @@ proptest! {
                 Op::Get(k) => {
                     let real = cache.get(&k.to_string()).map(|b| b[0]);
                     let expected = model.get(k);
-                    prop_assert_eq!(real, expected, "get({}) diverged", k);
+                    assert_eq!(real, expected, "get({k}) diverged");
                 }
                 Op::Invalidate(k) => {
                     cache.invalidate(&k.to_string());
@@ -90,16 +91,18 @@ proptest! {
                     model.recency.clear();
                 }
             }
-            prop_assert!(cache.len() <= capacity, "cache exceeded capacity");
-            prop_assert_eq!(cache.len(), model.entries.len());
+            assert!(cache.len() <= capacity, "cache exceeded capacity");
+            assert_eq!(cache.len(), model.entries.len());
         }
-    }
+    });
+}
 
-    /// Hits + misses always equals the number of get() calls, and
-    /// amortized savings equals hits x cost when all entries share one
-    /// cost.
-    #[test]
-    fn stats_are_consistent(ops in prop::collection::vec(arb_op(), 0..40)) {
+/// Hits + misses always equals the number of get() calls, and amortized
+/// savings equals hits x cost when all entries share one cost.
+#[test]
+fn stats_are_consistent() {
+    prop::check("cache stats are consistent", 128, 0x00CA_C4E1, |g| {
+        let ops = g.vec(0, 40, arb_op);
         let cache = RenderCache::new(64);
         let cost = Duration::from_millis(7);
         let mut gets = 0u64;
@@ -115,7 +118,7 @@ proptest! {
             }
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.hits + stats.misses, gets);
-        prop_assert_eq!(cache.amortized_savings(), cost * stats.hits as u32);
-    }
+        assert_eq!(stats.hits + stats.misses, gets);
+        assert_eq!(cache.amortized_savings(), cost * stats.hits as u32);
+    });
 }

@@ -1,0 +1,82 @@
+//! Integration checks for the staged pipeline's [`PipelineReport`]:
+//! every executed stage must carry a nonzero timing entry, and stages
+//! the spec's cost structure skips must have no entry at all.
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, SourceFilter, Target};
+use msite::{adapt_with_report, PipelineContext, StageKind};
+use std::time::Duration;
+
+const PAGE: &str = r#"<!DOCTYPE html><html><head><title>Site</title></head><body>
+<div id="nav"><a href="/a">Alpha</a> <a href="/b">Beta</a></div>
+<div id="content"><p>Hello world</p></div>
+</body></html>"#;
+
+fn no_snapshot(mut spec: AdaptationSpec) -> AdaptationSpec {
+    spec.snapshot = None;
+    spec
+}
+
+#[test]
+fn every_executed_stage_has_a_nonzero_timing_entry() {
+    let spec = no_snapshot(AdaptationSpec::new("report", "http://origin/"))
+        .filter(SourceFilter::SetTitle {
+            title: "Mobile".into(),
+        })
+        .rule(Target::Css("#nav".into()), vec![Attribute::Remove]);
+    let (bundle, report) = adapt_with_report(&spec, PAGE, &PipelineContext::default()).unwrap();
+    assert!(bundle.stats.dom_parsed);
+    for stage in &report.stages {
+        assert!(
+            stage.elapsed > Duration::ZERO,
+            "stage {} reported a zero timing",
+            stage.kind
+        );
+    }
+    for kind in [
+        StageKind::Fetch,
+        StageKind::Filter,
+        StageKind::Dom,
+        StageKind::Attributes,
+        StageKind::Emit,
+    ] {
+        assert!(report.executed(kind), "stage {kind} has no report entry");
+    }
+    assert!(
+        !report.executed(StageKind::Render),
+        "no browser work was requested, yet a render entry exists"
+    );
+}
+
+#[test]
+fn filter_only_spec_reports_no_render_or_dom_stages() {
+    let spec = no_snapshot(AdaptationSpec::new("report", "http://origin/")).filter(
+        SourceFilter::Replace {
+            find: "Hello".into(),
+            replace: "Hi".into(),
+        },
+    );
+    let (bundle, report) = adapt_with_report(&spec, PAGE, &PipelineContext::default()).unwrap();
+    assert!(!bundle.stats.dom_parsed);
+    assert!(!bundle.stats.browser_used);
+    // The cheap path executes exactly fetch -> filter -> emit.
+    let kinds: Vec<StageKind> = report.stages.iter().map(|s| s.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![StageKind::Fetch, StageKind::Filter, StageKind::Emit]
+    );
+    for stage in &report.stages {
+        assert!(stage.elapsed > Duration::ZERO, "{} zero timing", stage.kind);
+    }
+    assert!(report.stage(StageKind::Render).is_none());
+}
+
+#[test]
+fn browser_specs_get_a_render_entry_with_browser_time() {
+    let mut spec = AdaptationSpec::new("report", "http://origin/");
+    spec.snapshot = Some(SnapshotSpec::default());
+    let (bundle, report) = adapt_with_report(&spec, PAGE, &PipelineContext::default()).unwrap();
+    assert!(bundle.stats.browser_used);
+    let render = report.stage(StageKind::Render).expect("render entry");
+    assert!(render.elapsed > Duration::ZERO);
+    assert_eq!(render.artifacts, bundle.stats.images_rendered);
+}

@@ -7,10 +7,10 @@
 //! clock: the Tour's legacy engine does far less per cycle than mobile
 //! WebKit.
 
-use serde::{Deserialize, Serialize};
+use msite_support::json::{obj, ToJson, Value};
 
 /// A modeled client device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Display name.
     pub name: String,
@@ -123,8 +123,27 @@ impl DeviceProfile {
     }
 }
 
+impl ToJson for DeviceProfile {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("name", self.name.to_json_value()),
+            ("cpu_mhz", self.cpu_mhz.to_json_value()),
+            ("efficiency", self.efficiency.to_json_value()),
+            (
+                "viewport",
+                Value::Array(vec![
+                    self.viewport.0.to_json_value(),
+                    self.viewport.1.to_json_value(),
+                ]),
+            ),
+            ("supports_ajax", self.supports_ajax.to_json_value()),
+            ("user_agent", self.user_agent.to_json_value()),
+        ])
+    }
+}
+
 /// Device classes distinguished by the detection heuristics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// Legacy smartphone browsers (BlackBerry, Windows Mobile, ...).
     LegacyMobile,
@@ -134,6 +153,20 @@ pub enum DeviceClass {
     Tablet,
     /// Anything else.
     Desktop,
+}
+
+impl ToJson for DeviceClass {
+    fn to_json_value(&self) -> Value {
+        Value::Str(
+            match self {
+                DeviceClass::LegacyMobile => "legacy-mobile",
+                DeviceClass::Smartphone => "smartphone",
+                DeviceClass::Tablet => "tablet",
+                DeviceClass::Desktop => "desktop",
+            }
+            .to_string(),
+        )
+    }
 }
 
 impl DeviceClass {
@@ -169,15 +202,33 @@ pub fn detect_device(user_agent: &str) -> DeviceClass {
         return DeviceClass::Tablet;
     }
     const LEGACY: &[&str] = &[
-        "blackberry", "windows ce", "windows phone", "midp", "symbian", "series60", "s60",
-        "netfront", "up.browser", "docomo", "palm", "avantgo",
+        "blackberry",
+        "windows ce",
+        "windows phone",
+        "midp",
+        "symbian",
+        "series60",
+        "s60",
+        "netfront",
+        "up.browser",
+        "docomo",
+        "palm",
+        "avantgo",
     ];
     if LEGACY.iter().any(|m| ua.contains(m)) {
         return DeviceClass::LegacyMobile;
     }
     const SMART: &[&str] = &[
-        "iphone", "ipod", "android", "opera mini", "opera mobi", "mobile safari", "webos",
-        "fennec", "iemobile", "mobile",
+        "iphone",
+        "ipod",
+        "android",
+        "opera mini",
+        "opera mobi",
+        "mobile safari",
+        "webos",
+        "fennec",
+        "iemobile",
+        "mobile",
     ];
     if SMART.iter().any(|m| ua.contains(m)) {
         return DeviceClass::Smartphone;
@@ -218,7 +269,12 @@ mod tests {
             (DeviceProfile::ipad_1(), DeviceClass::Tablet),
             (DeviceProfile::desktop(), DeviceClass::Desktop),
         ] {
-            assert_eq!(detect_device(&profile.user_agent), class, "{}", profile.name);
+            assert_eq!(
+                detect_device(&profile.user_agent),
+                class,
+                "{}",
+                profile.name
+            );
         }
     }
 
@@ -232,7 +288,10 @@ mod tests {
             detect_device("Mozilla/5.0 (Linux; Android 3.0; Xoom) Safari"),
             DeviceClass::Tablet
         );
-        assert_eq!(detect_device("Opera/9.80 (J2ME/MIDP; Opera Mini/5)"), DeviceClass::LegacyMobile);
+        assert_eq!(
+            detect_device("Opera/9.80 (J2ME/MIDP; Opera Mini/5)"),
+            DeviceClass::LegacyMobile
+        );
         assert_eq!(detect_device(""), DeviceClass::Desktop);
         assert_eq!(detect_device("curl/7.81"), DeviceClass::Desktop);
     }

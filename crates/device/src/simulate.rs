@@ -13,11 +13,11 @@
 use crate::profile::DeviceProfile;
 use msite_net::LinkModel;
 use msite_sites::PageManifest;
-use serde::{Deserialize, Serialize};
+use msite_support::json::{obj, ToJson, Value};
 use std::time::Duration;
 
 /// Work-per-unit constants (cycles). Fitted to Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// HTML tokenizing/tree-building per byte.
     pub parse_cycles_per_byte: f64,
@@ -50,8 +50,43 @@ impl Default for CostModel {
     }
 }
 
+impl ToJson for CostModel {
+    fn to_json_value(&self) -> Value {
+        obj([
+            (
+                "parse_cycles_per_byte",
+                self.parse_cycles_per_byte.to_json_value(),
+            ),
+            (
+                "script_cycles_per_byte",
+                self.script_cycles_per_byte.to_json_value(),
+            ),
+            (
+                "style_cycles_per_byte",
+                self.style_cycles_per_byte.to_json_value(),
+            ),
+            (
+                "layout_cycles_per_node",
+                self.layout_cycles_per_node.to_json_value(),
+            ),
+            (
+                "paint_cycles_per_pixel",
+                self.paint_cycles_per_pixel.to_json_value(),
+            ),
+            (
+                "painted_pixels_per_node",
+                self.painted_pixels_per_node.to_json_value(),
+            ),
+            (
+                "encode_cycles_per_pixel",
+                self.encode_cycles_per_pixel.to_json_value(),
+            ),
+        ])
+    }
+}
+
 /// Per-phase breakdown of a simulated page load.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LoadBreakdown {
     /// Network time in seconds.
     pub network_s: f64,
@@ -81,6 +116,20 @@ impl LoadBreakdown {
     /// Device processing seconds (everything but network).
     pub fn processing_s(&self) -> f64 {
         self.total_s() - self.network_s
+    }
+}
+
+impl ToJson for LoadBreakdown {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("network_s", self.network_s.to_json_value()),
+            ("parse_s", self.parse_s.to_json_value()),
+            ("script_s", self.script_s.to_json_value()),
+            ("style_s", self.style_s.to_json_value()),
+            ("layout_s", self.layout_s.to_json_value()),
+            ("paint_s", self.paint_s.to_json_value()),
+            ("total_s", self.total_s().to_json_value()),
+        ])
     }
 }
 
@@ -192,7 +241,11 @@ mod tests {
             &forum_manifest(),
             &CostModel::default(),
         );
-        assert!(close(load.total_s(), 20.0, 0.30), "modeled {}", load.total_s());
+        assert!(
+            close(load.total_s(), 20.0, 0.30),
+            "modeled {}",
+            load.total_s()
+        );
     }
 
     #[test]
@@ -203,7 +256,11 @@ mod tests {
             &forum_manifest(),
             &CostModel::default(),
         );
-        assert!(close(load.total_s(), 4.5, 0.30), "modeled {}", load.total_s());
+        assert!(
+            close(load.total_s(), 4.5, 0.30),
+            "modeled {}",
+            load.total_s()
+        );
     }
 
     #[test]
@@ -214,7 +271,11 @@ mod tests {
             &forum_manifest(),
             &CostModel::default(),
         );
-        assert!(close(load.total_s(), 20.0, 0.35), "modeled {}", load.total_s());
+        assert!(
+            close(load.total_s(), 20.0, 0.35),
+            "modeled {}",
+            load.total_s()
+        );
     }
 
     #[test]
@@ -225,7 +286,11 @@ mod tests {
             &forum_manifest(),
             &CostModel::default(),
         );
-        assert!(close(load.total_s(), 1.5, 0.35), "modeled {}", load.total_s());
+        assert!(
+            close(load.total_s(), 1.5, 0.35),
+            "modeled {}",
+            load.total_s()
+        );
     }
 
     #[test]
@@ -237,7 +302,11 @@ mod tests {
             Duration::from_millis(250),
             &CostModel::default(),
         );
-        assert!(close(t.as_secs_f64(), 2.0, 0.40), "modeled {}", t.as_secs_f64());
+        assert!(
+            close(t.as_secs_f64(), 2.0, 0.40),
+            "modeled {}",
+            t.as_secs_f64()
+        );
     }
 
     #[test]
@@ -251,7 +320,11 @@ mod tests {
             512 * 1400,
             &CostModel::default(),
         );
-        assert!(close(load.total_s(), 5.0, 0.35), "modeled {}", load.total_s());
+        assert!(
+            close(load.total_s(), 5.0, 0.35),
+            "modeled {}",
+            load.total_s()
+        );
     }
 
     #[test]
@@ -283,7 +356,11 @@ mod tests {
             &forum_manifest(),
             &CostModel::default(),
         );
-        let sum = load.network_s + load.parse_s + load.script_s + load.style_s + load.layout_s
+        let sum = load.network_s
+            + load.parse_s
+            + load.script_s
+            + load.style_s
+            + load.layout_s
             + load.paint_s;
         assert!((sum - load.total_s()).abs() < 1e-12);
         assert!(load.processing_s() > 0.0);
@@ -293,7 +370,12 @@ mod tests {
     fn faster_device_loads_faster() {
         let m = forum_manifest();
         let cost = CostModel::default();
-        let bb = simulate_page_load(&DeviceProfile::blackberry_tour(), &LinkModel::WIFI, &m, &cost);
+        let bb = simulate_page_load(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::WIFI,
+            &m,
+            &cost,
+        );
         let ipod = simulate_page_load(&DeviceProfile::ipod_touch_3g(), &LinkModel::WIFI, &m, &cost);
         let desk = simulate_page_load(&DeviceProfile::desktop(), &LinkModel::WIFI, &m, &cost);
         assert!(bb.total_s() > ipod.total_s());

@@ -4,7 +4,7 @@
 use msite_device::{simulate_page_load, simulate_snapshot_view, CostModel, DeviceProfile};
 use msite_net::LinkModel;
 use msite_sites::{PageManifest, Resource, ResourceKind};
-use proptest::prelude::*;
+use msite_support::prop::{self, Gen};
 
 fn manifest(html: usize, resources: Vec<usize>, nodes: usize, script: usize) -> PageManifest {
     let mut m = PageManifest::synthetic(
@@ -24,14 +24,12 @@ fn manifest(html: usize, resources: Vec<usize>, nodes: usize, script: usize) -> 
     m
 }
 
-fn arb_manifest() -> impl Strategy<Value = PageManifest> {
-    (
-        1_000usize..200_000,
-        prop::collection::vec(100usize..50_000, 0..20),
-        10usize..2_000,
-        0usize..150_000,
-    )
-        .prop_map(|(html, res, nodes, script)| manifest(html, res, nodes, script))
+fn arb_manifest(g: &mut Gen) -> PageManifest {
+    let html = g.range_usize(1_000, 200_000);
+    let res = g.vec(0, 19, |g| g.range_usize(100, 50_000));
+    let nodes = g.range_usize(10, 2_000);
+    let script = g.range_usize(0, 150_000);
+    manifest(html, res, nodes, script)
 }
 
 fn devices() -> Vec<DeviceProfile> {
@@ -44,80 +42,107 @@ fn devices() -> Vec<DeviceProfile> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// More HTML bytes never load faster.
-    #[test]
-    fn monotone_in_html_bytes(m in arb_manifest(), extra in 1usize..100_000) {
+/// More HTML bytes never load faster.
+#[test]
+fn monotone_in_html_bytes() {
+    prop::check("monotone in html bytes", 64, 0x0DE7_1CE0, |g| {
+        let m = arb_manifest(g);
+        let extra = g.range_usize(1, 100_000);
         let cost = CostModel::default();
         let device = DeviceProfile::iphone_4();
         let base = simulate_page_load(&device, &LinkModel::THREE_G, &m, &cost).total_s();
         let mut bigger = m.clone();
         bigger.html_bytes += extra;
         let more = simulate_page_load(&device, &LinkModel::THREE_G, &bigger, &cost).total_s();
-        prop_assert!(more >= base);
-    }
+        assert!(more >= base);
+    });
+}
 
-    /// More script bytes never load faster.
-    #[test]
-    fn monotone_in_script(m in arb_manifest(), extra in 1usize..100_000) {
+/// More script bytes never load faster.
+#[test]
+fn monotone_in_script() {
+    prop::check("monotone in script", 64, 0x0DE7_1CE1, |g| {
+        let m = arb_manifest(g);
+        let extra = g.range_usize(1, 100_000);
         let cost = CostModel::default();
         let device = DeviceProfile::blackberry_tour();
         let base = simulate_page_load(&device, &LinkModel::WIFI, &m, &cost).total_s();
         let mut bigger = m.clone();
         bigger.script_bytes += extra;
         let more = simulate_page_load(&device, &LinkModel::WIFI, &bigger, &cost).total_s();
-        prop_assert!(more > base);
-    }
+        assert!(more > base);
+    });
+}
 
-    /// A strictly faster effective clock never loads slower.
-    #[test]
-    fn monotone_in_cpu(m in arb_manifest()) {
+/// A strictly faster effective clock never loads slower.
+#[test]
+fn monotone_in_cpu() {
+    prop::check("monotone in cpu", 64, 0x0DE7_1CE2, |g| {
+        let m = arb_manifest(g);
         let cost = CostModel::default();
         let sorted = devices();
         for pair in sorted.windows(2) {
             let slow = simulate_page_load(&pair[0], &LinkModel::WIFI, &m, &cost);
             let fast = simulate_page_load(&pair[1], &LinkModel::WIFI, &m, &cost);
             if pair[0].effective_hz() < pair[1].effective_hz() {
-                prop_assert!(slow.processing_s() >= fast.processing_s(),
-                    "{} vs {}", pair[0].name, pair[1].name);
+                assert!(
+                    slow.processing_s() >= fast.processing_s(),
+                    "{} vs {}",
+                    pair[0].name,
+                    pair[1].name
+                );
             }
         }
-    }
+    });
+}
 
-    /// 3G is never faster than WiFi, which is never faster than LAN.
-    #[test]
-    fn monotone_in_link(m in arb_manifest()) {
+/// 3G is never faster than WiFi, which is never faster than LAN.
+#[test]
+fn monotone_in_link() {
+    prop::check("monotone in link", 64, 0x0DE7_1CE3, |g| {
+        let m = arb_manifest(g);
         let cost = CostModel::default();
         let device = DeviceProfile::ipod_touch_3g();
         let g3 = simulate_page_load(&device, &LinkModel::THREE_G, &m, &cost).network_s;
         let wifi = simulate_page_load(&device, &LinkModel::WIFI, &m, &cost).network_s;
         let lan = simulate_page_load(&device, &LinkModel::LAN, &m, &cost).network_s;
-        prop_assert!(g3 >= wifi);
-        prop_assert!(wifi >= lan);
-    }
+        assert!(g3 >= wifi);
+        assert!(wifi >= lan);
+    });
+}
 
-    /// Every breakdown component is finite and non-negative, and the
-    /// total is their sum.
-    #[test]
-    fn breakdown_well_formed(m in arb_manifest()) {
+/// Every breakdown component is finite and non-negative, and the total
+/// is their sum.
+#[test]
+fn breakdown_well_formed() {
+    prop::check("breakdown well formed", 64, 0x0DE7_1CE4, |g| {
+        let m = arb_manifest(g);
         let cost = CostModel::default();
         for device in devices() {
             let b = simulate_page_load(&device, &LinkModel::THREE_G, &m, &cost);
-            for part in [b.network_s, b.parse_s, b.script_s, b.style_s, b.layout_s, b.paint_s] {
-                prop_assert!(part.is_finite() && part >= 0.0);
+            for part in [
+                b.network_s,
+                b.parse_s,
+                b.script_s,
+                b.style_s,
+                b.layout_s,
+                b.paint_s,
+            ] {
+                assert!(part.is_finite() && part >= 0.0);
             }
             let sum = b.network_s + b.parse_s + b.script_s + b.style_s + b.layout_s + b.paint_s;
-            prop_assert!((sum - b.total_s()).abs() < 1e-9);
+            assert!((sum - b.total_s()).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// A snapshot view of any page is cheaper than the full page whenever
-    /// the snapshot moves fewer bytes, fewer requests and fewer pixels —
-    /// the structural form of the paper's C1/C3 claims.
-    #[test]
-    fn snapshot_dominates_when_smaller(m in arb_manifest()) {
+/// A snapshot view of any page is cheaper than the full page whenever
+/// the snapshot moves fewer bytes, fewer requests and fewer pixels —
+/// the structural form of the paper's C1/C3 claims.
+#[test]
+fn snapshot_dominates_when_smaller() {
+    prop::check("snapshot dominates when smaller", 64, 0x0DE7_1CE5, |g| {
+        let m = arb_manifest(g);
         let cost = CostModel::default();
         let device = DeviceProfile::blackberry_tour();
         let full = simulate_page_load(&device, &LinkModel::THREE_G, &m, &cost).total_s();
@@ -132,7 +157,7 @@ proptest! {
         )
         .total_s();
         if m.request_count() >= 1 && m.script_bytes > 10_000 {
-            prop_assert!(snap < full, "snap {snap} full {full}");
+            assert!(snap < full, "snap {snap} full {full}");
         }
-    }
+    });
 }

@@ -108,13 +108,15 @@ fn utf8_len(first_byte: u8) -> usize {
 fn parse_reference(s: &str) -> Option<(char, usize)> {
     let rest = &s[1..];
     if let Some(num) = rest.strip_prefix('#') {
-        let (digits, radix): (String, u32) = if let Some(hex) =
-            num.strip_prefix('x').or_else(|| num.strip_prefix('X'))
-        {
-            (hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect(), 16)
-        } else {
-            (num.chars().take_while(|c| c.is_ascii_digit()).collect(), 10)
-        };
+        let (digits, radix): (String, u32) =
+            if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                (
+                    hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect(),
+                    16,
+                )
+            } else {
+                (num.chars().take_while(|c| c.is_ascii_digit()).collect(), 10)
+            };
         if digits.is_empty() {
             return None;
         }

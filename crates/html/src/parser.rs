@@ -24,9 +24,32 @@ pub fn is_void_element(name: &str) -> bool {
 
 /// Block-level elements whose start tag implies `</p>`.
 const CLOSES_P: &[&str] = &[
-    "address", "article", "aside", "blockquote", "center", "div", "dl", "fieldset", "footer",
-    "form", "h1", "h2", "h3", "h4", "h5", "h6", "header", "hr", "main", "nav", "ol", "p", "pre",
-    "section", "table", "ul",
+    "address",
+    "article",
+    "aside",
+    "blockquote",
+    "center",
+    "div",
+    "dl",
+    "fieldset",
+    "footer",
+    "form",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "header",
+    "hr",
+    "main",
+    "nav",
+    "ol",
+    "p",
+    "pre",
+    "section",
+    "table",
+    "ul",
 ];
 
 /// For a start tag `name`, the set of open element names it auto-closes

@@ -60,8 +60,27 @@ fn collect(doc: &Document, id: NodeId, out: &mut String) {
             // Block-ish elements imply a word break.
             if doc
                 .tag_name(id)
-                .map(|n| matches!(n, "p" | "div" | "li" | "tr" | "td" | "th" | "br" | "h1"
-                    | "h2" | "h3" | "h4" | "h5" | "h6" | "table" | "ul" | "ol" | "form"))
+                .map(|n| {
+                    matches!(
+                        n,
+                        "p" | "div"
+                            | "li"
+                            | "tr"
+                            | "td"
+                            | "th"
+                            | "br"
+                            | "h1"
+                            | "h2"
+                            | "h3"
+                            | "h4"
+                            | "h5"
+                            | "h6"
+                            | "table"
+                            | "ul"
+                            | "ol"
+                            | "form"
+                    )
+                })
                 .unwrap_or(false)
             {
                 out.push(' ');

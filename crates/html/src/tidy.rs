@@ -243,7 +243,10 @@ mod tests {
         // Every start tag in XHTML output must be matched or self-closed.
         let xhtml = to_xhtml_string("<ul><li>a<li>b<br><table><tr><td>1<td>2</table>");
         let reparsed = crate::parse_document(&xhtml);
-        assert_eq!(crate::parse_document(&reparsed.to_xhtml()).to_xhtml(), xhtml);
+        assert_eq!(
+            crate::parse_document(&reparsed.to_xhtml()).to_xhtml(),
+            xhtml
+        );
         assert!(xhtml.contains("<br />"));
     }
 

@@ -106,8 +106,8 @@ impl<'a> Tokenizer<'a> {
                     let at = search_from + rel;
                     // Must be followed by whitespace, '/', '>' or EOF to count.
                     match lower.as_bytes().get(at + needle.len()) {
-                        None | Some(b'>') | Some(b'/') | Some(b' ') | Some(b'\t')
-                        | Some(b'\n') | Some(b'\r') => break Some(at),
+                        None | Some(b'>') | Some(b'/') | Some(b' ') | Some(b'\t') | Some(b'\n')
+                        | Some(b'\r') => break Some(at),
                         _ => search_from = at + 1,
                     }
                 }
@@ -307,9 +307,7 @@ fn parse_attribute(s: &str) -> (Option<(String, String)>, usize) {
     let bytes = s.as_bytes();
     let name_len = bytes
         .iter()
-        .take_while(|b| {
-            !b.is_ascii_whitespace() && **b != b'=' && **b != b'>' && **b != b'/'
-        })
+        .take_while(|b| !b.is_ascii_whitespace() && **b != b'=' && **b != b'>' && **b != b'/')
         .count();
     if name_len == 0 {
         return (None, 0);
@@ -414,9 +412,7 @@ impl<'a> Iterator for SplitQuoted<'a> {
             self.rest = &s[(end + 1).min(s.len())..];
             Some(item)
         } else {
-            let end = s
-                .find(|c: char| c.is_ascii_whitespace())
-                .unwrap_or(s.len());
+            let end = s.find(|c: char| c.is_ascii_whitespace()).unwrap_or(s.len());
             let item = s[..end].to_string();
             self.rest = &s[end..];
             Some(item)
@@ -455,7 +451,10 @@ mod tests {
 
     #[test]
     fn simple_element() {
-        assert_eq!(toks("<p>hi</p>"), vec![start("p", &[]), text("hi"), end("p")]);
+        assert_eq!(
+            toks("<p>hi</p>"),
+            vec![start("p", &[]), text("hi"), end("p")]
+        );
     }
 
     #[test]
@@ -653,11 +652,7 @@ mod tests {
     fn fake_close_tag_prefix_inside_script() {
         assert_eq!(
             toks("<script>a</scriptfoo>b</script>"),
-            vec![
-                start("script", &[]),
-                text("a</scriptfoo>b"),
-                end("script"),
-            ]
+            vec![start("script", &[]), text("a</scriptfoo>b"), end("script"),]
         );
     }
 }

@@ -1,22 +1,17 @@
 //! Property-based tests for the HTML substrate.
 
 use msite_html::{parse_document, tidy, Document, NodeId};
-use proptest::prelude::*;
+use msite_support::prop::{self, Gen};
 
-/// Strategy: arbitrary text content without markup-significant chars
-/// being required — any chars allowed, the pipeline must cope.
-fn arb_text() -> impl Strategy<Value = String> {
-    "[ -~]{0,24}" // printable ASCII
-}
+const TAGS: [&str; 13] = [
+    "div", "span", "p", "b", "i", "a", "ul", "li", "table", "tr", "td", "h1", "form",
+];
 
-fn arb_tag() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec![
-        "div", "span", "p", "b", "i", "a", "ul", "li", "table", "tr", "td", "h1", "form",
-    ])
-}
-
-fn arb_attr() -> impl Strategy<Value = (String, String)> {
-    ("[a-z]{1,8}", "[ -~]{0,16}").prop_map(|(k, v)| (k, v))
+fn arb_attr(g: &mut Gen) -> (String, String) {
+    (
+        g.string_from("abcdefghijklmnopqrstuvwxyz", 1, 8),
+        g.ascii_string(16),
+    )
 }
 
 /// A small well-formed document builder: recursively generates a tree and
@@ -31,22 +26,25 @@ enum Tree {
     },
 }
 
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = arb_text().prop_map(Tree::Text);
-    leaf.prop_recursive(4, 32, 5, |inner| {
-        (
-            arb_tag(),
-            prop::collection::vec(arb_attr(), 0..3),
-            prop::collection::vec(inner, 0..5),
-        )
-            .prop_map(|(tag, attrs, children)| Tree::Element { tag, attrs, children })
-    })
+fn arb_tree(g: &mut Gen, depth: usize) -> Tree {
+    if depth == 0 || g.range_u32(0, 3) == 0 {
+        return Tree::Text(g.ascii_string(24));
+    }
+    Tree::Element {
+        tag: *g.pick(&TAGS),
+        attrs: g.vec(0, 2, arb_attr),
+        children: g.vec(0, 4, |g| arb_tree(g, depth - 1)),
+    }
 }
 
 fn render(tree: &Tree, out: &mut String) {
     match tree {
         Tree::Text(t) => out.push_str(&msite_html::entities::encode_text(t)),
-        Tree::Element { tag, attrs, children } => {
+        Tree::Element {
+            tag,
+            attrs,
+            children,
+        } => {
             out.push('<');
             out.push_str(tag);
             for (k, v) in attrs {
@@ -82,28 +80,35 @@ fn tree_element_count(tree: &Tree) -> usize {
     }
 }
 
-proptest! {
-    /// parse → serialize → parse reaches a fixpoint after one round.
-    #[test]
-    fn serialize_parse_fixpoint(input in "[ -~]{0,160}") {
+/// parse → serialize → parse reaches a fixpoint after one round.
+#[test]
+fn serialize_parse_fixpoint() {
+    prop::check("serialize/parse fixpoint", 256, 0x007A_6E50, |g| {
+        let input = g.ascii_string(160);
         let once = parse_document(&input).to_html();
         let twice = parse_document(&once).to_html();
-        prop_assert_eq!(&once, &twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// The parser never panics and never loses non-markup text length
-    /// catastrophically on arbitrary bytes (smoke property).
-    #[test]
-    fn parser_total_on_arbitrary_input(input in ".{0,200}") {
+/// The parser never panics and never loses non-markup text length
+/// catastrophically on arbitrary bytes (smoke property).
+#[test]
+fn parser_total_on_arbitrary_input() {
+    prop::check("parser total on arbitrary input", 256, 0x007A_6E51, |g| {
+        let input = g.unicode_string(200);
         let doc = parse_document(&input);
         let _ = doc.to_html();
         let _ = doc.to_xhtml();
-    }
+    });
+}
 
-    /// Well-formed generated documents round-trip with exact structure:
-    /// same element count and same serialized source.
-    #[test]
-    fn well_formed_documents_round_trip(tree in arb_tree()) {
+/// Well-formed generated documents round-trip with exact structure:
+/// same element count and same serialized source.
+#[test]
+fn well_formed_documents_round_trip() {
+    prop::check("well-formed documents round-trip", 256, 0x007A_6E52, |g| {
+        let tree = arb_tree(g, 4);
         let mut src = String::new();
         render(&tree, &mut src);
         let doc = parse_document(&src);
@@ -112,62 +117,86 @@ proptest! {
         // re-serializing and re-parsing to a fixpoint instead.
         let once = doc.to_html();
         let reparsed = parse_document(&once);
-        prop_assert_eq!(count_elements(&doc, doc.root()), count_elements(&reparsed, reparsed.root()));
-        prop_assert_eq!(once, reparsed.to_html());
+        assert_eq!(
+            count_elements(&doc, doc.root()),
+            count_elements(&reparsed, reparsed.root())
+        );
+        assert_eq!(once, reparsed.to_html());
         // Element count never exceeds what was generated.
-        prop_assert!(count_elements(&doc, doc.root()) <= tree_element_count(&tree));
-    }
+        assert!(count_elements(&doc, doc.root()) <= tree_element_count(&tree));
+    });
+}
 
-    /// Entity decode(encode(x)) == x for arbitrary unicode text.
-    #[test]
-    fn entity_text_round_trip(input in "\\PC{0,64}") {
+/// Entity decode(encode(x)) == x for arbitrary unicode text.
+#[test]
+fn entity_text_round_trip() {
+    prop::check("entity text round-trip", 256, 0x007A_6E53, |g| {
+        let input = g.unicode_string(64);
         let encoded = msite_html::entities::encode_text(&input);
-        prop_assert_eq!(msite_html::entities::decode(&encoded), input);
-    }
+        assert_eq!(msite_html::entities::decode(&encoded), input);
+    });
+}
 
-    /// Attribute values survive a full parse/serialize round trip.
-    #[test]
-    fn attribute_value_round_trip(value in "[ -~]{0,32}") {
-        let src = format!("<div data-x=\"{}\"></div>",
-            msite_html::entities::encode_attr(&value));
+/// Attribute values survive a full parse/serialize round trip.
+#[test]
+fn attribute_value_round_trip() {
+    prop::check("attribute value round-trip", 256, 0x007A_6E54, |g| {
+        let value = g.ascii_string(32);
+        let src = format!(
+            "<div data-x=\"{}\"></div>",
+            msite_html::entities::encode_attr(&value)
+        );
         let doc = parse_document(&src);
         let div = doc.elements_by_tag(doc.root(), "div")[0];
-        prop_assert_eq!(doc.attr(div, "data-x"), Some(value.as_str()));
-    }
+        assert_eq!(doc.attr(div, "data-x"), Some(value.as_str()));
+    });
+}
 
-    /// Tidy always yields the canonical doctype/html/head/body skeleton,
-    /// no matter the input.
-    #[test]
-    fn tidy_always_canonical(input in ".{0,160}") {
+/// Tidy always yields the canonical doctype/html/head/body skeleton,
+/// no matter the input.
+#[test]
+fn tidy_always_canonical() {
+    prop::check("tidy always canonical", 256, 0x007A_6E55, |g| {
+        let input = g.unicode_string(160);
         let doc = tidy(&input);
         let root = doc.root();
-        let htmls = doc.children(root)
+        let htmls = doc
+            .children(root)
             .filter(|&id| doc.is_element_named(id, "html"))
             .count();
-        prop_assert_eq!(htmls, 1);
-        let html = doc.children(root)
-            .find(|&id| doc.is_element_named(id, "html")).unwrap();
-        let kid_names: Vec<String> = doc.children(html)
+        assert_eq!(htmls, 1);
+        let html = doc
+            .children(root)
+            .find(|&id| doc.is_element_named(id, "html"))
+            .unwrap();
+        let kid_names: Vec<String> = doc
+            .children(html)
             .filter_map(|id| doc.tag_name(id).map(str::to_string))
             .collect();
-        prop_assert_eq!(kid_names, vec!["head".to_string(), "body".to_string()]);
-    }
+        assert_eq!(kid_names, vec!["head".to_string(), "body".to_string()]);
+    });
+}
 
-    /// Tidy output re-tidies to itself (idempotence).
-    #[test]
-    fn tidy_idempotent(input in "[ -~]{0,160}") {
+/// Tidy output re-tidies to itself (idempotence).
+#[test]
+fn tidy_idempotent() {
+    prop::check("tidy idempotent", 256, 0x007A_6E56, |g| {
+        let input = g.ascii_string(160);
         let first = tidy(&input).to_xhtml();
         let second = tidy(&first).to_xhtml();
-        prop_assert_eq!(first, second);
-    }
+        assert_eq!(first, second);
+    });
+}
 
-    /// visible_text never contains script bodies.
-    #[test]
-    fn visible_text_excludes_scripts(code in "[a-z =;()]{0,32}") {
+/// visible_text never contains script bodies.
+#[test]
+fn visible_text_excludes_scripts() {
+    prop::check("visible text excludes scripts", 256, 0x007A_6E57, |g| {
+        let code = g.string_from("abcdefghijklmnopqrstuvwxyz =;()", 0, 32);
         let src = format!("<body><script>MARKER{code}</script><p>seen</p></body>");
         let doc = parse_document(&src);
         let text = msite_html::text::visible_text(&doc, doc.root());
-        prop_assert!(!text.contains("MARKER"));
-        prop_assert!(text.contains("seen"));
-    }
+        assert!(!text.contains("MARKER"));
+        assert!(text.contains("seen"));
+    });
 }

@@ -81,12 +81,17 @@ pub fn base64_decode(input: &str) -> Option<Vec<u8>> {
 
 /// Builds an `Authorization: Basic ...` header value.
 pub fn basic_auth_header(user: &str, password: &str) -> String {
-    format!("Basic {}", base64_encode(format!("{user}:{password}").as_bytes()))
+    format!(
+        "Basic {}",
+        base64_encode(format!("{user}:{password}").as_bytes())
+    )
 }
 
 /// Parses an `Authorization: Basic ...` header into `(user, password)`.
 pub fn parse_basic_auth(header: &str) -> Option<(String, String)> {
-    let encoded = header.strip_prefix("Basic ").or_else(|| header.strip_prefix("basic "))?;
+    let encoded = header
+        .strip_prefix("Basic ")
+        .or_else(|| header.strip_prefix("basic "))?;
     let decoded = base64_decode(encoded)?;
     let text = String::from_utf8(decoded).ok()?;
     let (user, password) = text.split_once(':')?;
@@ -110,7 +115,14 @@ mod tests {
 
     #[test]
     fn decode_round_trip() {
-        for data in [&b""[..], b"a", b"ab", b"abc", b"\x00\xFF\x80", b"longer input text!"] {
+        for data in [
+            &b""[..],
+            b"a",
+            b"ab",
+            b"abc",
+            b"\x00\xFF\x80",
+            b"longer input text!",
+        ] {
             assert_eq!(base64_decode(&base64_encode(data)).unwrap(), data);
         }
     }

@@ -1,7 +1,7 @@
 //! HTTP message types: methods, statuses, headers, requests, responses.
 
 use crate::url::Url;
-use bytes::Bytes;
+use msite_support::bytes::Bytes;
 use std::fmt;
 
 /// Request methods the proxy and origins understand.
@@ -236,15 +236,16 @@ impl Request {
 
     /// Value of the cookie `name` sent with this request.
     pub fn cookie(&self, name: &str) -> Option<String> {
-        self.cookies().into_iter().find(|(k, _)| k == name).map(|(_, v)| v)
+        self.cookies()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
     }
 
     /// Form parameters from the body (POST) or the query string (GET).
     pub fn form_params(&self) -> Vec<(String, String)> {
         match self.method {
-            Method::Post => {
-                crate::url::parse_query(&String::from_utf8_lossy(&self.body))
-            }
+            Method::Post => crate::url::parse_query(&String::from_utf8_lossy(&self.body)),
             _ => self
                 .url
                 .query()
@@ -389,7 +390,9 @@ mod tests {
 
     #[test]
     fn get_request_builder() {
-        let r = Request::get("http://h/p?x=1").unwrap().with_header("user-agent", "BlackBerry9630");
+        let r = Request::get("http://h/p?x=1")
+            .unwrap()
+            .with_header("user-agent", "BlackBerry9630");
         assert_eq!(r.method, Method::Get);
         assert_eq!(r.param("x"), Some("1".to_string()));
         assert_eq!(r.headers.get("user-agent"), Some("BlackBerry9630"));
@@ -397,7 +400,8 @@ mod tests {
 
     #[test]
     fn post_form_encodes_body() {
-        let r = Request::post_form("http://h/login.php", &[("user", "al b"), ("pass", "x&y")]).unwrap();
+        let r =
+            Request::post_form("http://h/login.php", &[("user", "al b"), ("pass", "x&y")]).unwrap();
         assert_eq!(&r.body[..], b"user=al+b&pass=x%26y");
         let params = r.form_params();
         assert_eq!(params[1], ("pass".to_string(), "x&y".to_string()));

@@ -109,7 +109,11 @@ impl Transport {
 
     /// Performs the request, advancing `clock` by connection setup, one
     /// round trip, the request upload and the response download.
-    pub fn fetch(&self, request: &crate::http::Request, clock: &mut SimClock) -> crate::http::Response {
+    pub fn fetch(
+        &self,
+        request: &crate::http::Request,
+        clock: &mut SimClock,
+    ) -> crate::http::Response {
         let response = self.origin.handle(request);
         clock.advance(self.link.connection_setup);
         clock.advance(self.link.rtt);
@@ -194,7 +198,11 @@ mod tests {
         let response = transport.fetch(&Request::get("http://h/big").unwrap(), &mut clock);
         assert!(response.status.is_success());
         // 31,250 B body = 1 s on the 250 kbit/s link, plus setup + rtt.
-        assert!(clock.seconds() > 1.0 + 1.5 + 0.4 - 0.1, "{}", clock.seconds());
+        assert!(
+            clock.seconds() > 1.0 + 1.5 + 0.4 - 0.1,
+            "{}",
+            clock.seconds()
+        );
         // A second fetch keeps accumulating.
         let before = clock.seconds();
         let _ = transport.fetch(&Request::get("http://h/big").unwrap(), &mut clock);

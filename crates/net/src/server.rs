@@ -5,8 +5,8 @@
 use crate::http::{Headers, Method, Request, Response, Status};
 use crate::origin::OriginRef;
 use crate::url::Url;
-use bytes::Bytes;
-use parking_lot::Mutex;
+use msite_support::bytes::Bytes;
+use msite_support::sync::Mutex;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -171,7 +171,10 @@ fn read_request(reader: &mut BufReader<TcpStream>, peer: SocketAddr) -> std::io:
         .map(str::to_string)
         .unwrap_or_else(|| peer.to_string());
     let url = Url::parse(&format!("http://{host}{target}")).map_err(|_| bad("bad target"))?;
-    let body = match headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+    let body = match headers
+        .get("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(len) if len > 0 => {
             let mut buf = vec![0u8; len.min(16 * 1024 * 1024)];
             reader.read_exact(&mut buf)?;
@@ -205,9 +208,10 @@ fn write_response(mut stream: &TcpStream, response: &Response) -> std::io::Resul
 ///
 /// Returns IO errors and malformed-response errors.
 pub fn http_get(url: &str) -> std::io::Result<Response> {
-    http_request(&Request::get(url).map_err(|e| {
-        std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
-    })?)
+    http_request(
+        &Request::get(url)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?,
+    )
 }
 
 /// Sends any [`Request`] over real TCP.
@@ -257,7 +261,10 @@ pub fn http_request(request: &Request) -> std::io::Result<Response> {
         }
     }
     let mut body = Vec::new();
-    match headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+    match headers
+        .get("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(len) => {
             body.resize(len, 0);
             reader.read_exact(&mut body)?;
@@ -293,7 +300,11 @@ mod tests {
     #[test]
     fn get_round_trip() {
         let server = HttpServer::bind("127.0.0.1:0", echo_origin()).unwrap();
-        let resp = http_get(&format!("http://{}/forum/index.php?styleid=5", server.addr())).unwrap();
+        let resp = http_get(&format!(
+            "http://{}/forum/index.php?styleid=5",
+            server.addr()
+        ))
+        .unwrap();
         assert!(resp.status.is_success());
         let text = resp.body_text();
         assert!(text.contains("method=GET"));
@@ -325,9 +336,7 @@ mod tests {
         let addr = server.addr();
         let threads: Vec<_> = (0..8)
             .map(|i| {
-                std::thread::spawn(move || {
-                    http_get(&format!("http://{addr}/p{i}")).unwrap().status
-                })
+                std::thread::spawn(move || http_get(&format!("http://{addr}/p{i}")).unwrap().status)
             })
             .collect();
         for t in threads {

@@ -75,10 +75,7 @@ impl Url {
                 p.parse::<u16>()
                     .map_err(|_| ParseUrlError::new(format!("bad port `{p}`")))?,
             ),
-            None => (
-                authority,
-                if scheme == "https" { 443 } else { 80 },
-            ),
+            None => (authority, if scheme == "https" { 443 } else { 80 }),
         };
         if host.is_empty() {
             return Err(ParseUrlError::new("empty host"));
@@ -355,10 +352,7 @@ mod tests {
     #[test]
     fn join_absolute_and_scheme_relative() {
         let base = Url::parse("http://a/x/y.php").unwrap();
-        assert_eq!(
-            base.join("http://b/z").unwrap().to_string(),
-            "http://b/z"
-        );
+        assert_eq!(base.join("http://b/z").unwrap().to_string(), "http://b/z");
         assert_eq!(base.join("//c/w").unwrap().host(), "c");
     }
 
@@ -386,7 +380,10 @@ mod tests {
     #[test]
     fn join_query_only() {
         let base = Url::parse("http://a/p.php?old=1").unwrap();
-        assert_eq!(base.join("?new=2").unwrap().to_string(), "http://a/p.php?new=2");
+        assert_eq!(
+            base.join("?new=2").unwrap().to_string(),
+            "http://a/p.php?new=2"
+        );
     }
 
     #[test]

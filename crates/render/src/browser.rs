@@ -116,7 +116,8 @@ impl Browser {
 
     /// Pages rendered by this instance.
     pub fn pages_rendered(&self) -> u64 {
-        self.pages_rendered.load(std::sync::atomic::Ordering::Relaxed)
+        self.pages_rendered
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Full pipeline: tidy, parse, cascade (inline `<style>` blocks plus

@@ -33,7 +33,10 @@ impl Canvas {
     pub fn new(width: u32, height: u32, background: Color) -> Self {
         assert!(width > 0 && height > 0, "canvas dimensions must be nonzero");
         let bytes = width as u64 * height as u64 * 3;
-        assert!(bytes <= 512 * 1024 * 1024, "canvas too large: {bytes} bytes");
+        assert!(
+            bytes <= 512 * 1024 * 1024,
+            "canvas too large: {bytes} bytes"
+        );
         let mut pixels = Vec::with_capacity(bytes as usize);
         for _ in 0..(width as u64 * height as u64) {
             pixels.extend_from_slice(&[background.r, background.g, background.b]);
@@ -189,11 +192,7 @@ impl Canvas {
                 out.set(
                     ox as i32,
                     oy as i32,
-                    Color::rgb(
-                        (acc[0] / n) as u8,
-                        (acc[1] / n) as u8,
-                        (acc[2] / n) as u8,
-                    ),
+                    Color::rgb((acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8),
                 );
             }
         }
@@ -280,7 +279,7 @@ mod tests {
         let mut c = Canvas::new(40, 20, Color::WHITE);
         let advance = c.draw_text(0, 0, "AB", 8.0, Color::BLACK);
         assert_eq!(advance, 12); // two cells at scale 1
-        // Some pixel of 'A' must be black.
+                                 // Some pixel of 'A' must be black.
         let mut black = 0;
         for y in 0..8 {
             for x in 0..6 {

@@ -69,10 +69,18 @@ impl Dimension {
             return px.trim().parse::<f32>().ok().map(Dimension::Px);
         }
         if let Some(pt) = v.strip_suffix("pt") {
-            return pt.trim().parse::<f32>().ok().map(|x| Dimension::Px(x * 4.0 / 3.0));
+            return pt
+                .trim()
+                .parse::<f32>()
+                .ok()
+                .map(|x| Dimension::Px(x * 4.0 / 3.0));
         }
         if let Some(em) = v.strip_suffix("em") {
-            return em.trim().parse::<f32>().ok().map(|x| Dimension::Px(x * font_size));
+            return em
+                .trim()
+                .parse::<f32>()
+                .ok()
+                .map(|x| Dimension::Px(x * font_size));
         }
         // Bare numbers (HTML attribute style) are pixels.
         v.parse::<f32>().ok().map(Dimension::Px)
@@ -230,7 +238,11 @@ pub fn parse_declarations(body: &str) -> Vec<Declaration> {
         .filter_map(|decl| {
             let (prop, value) = decl.split_once(':')?;
             let property = prop.trim().to_ascii_lowercase();
-            let value = value.trim().trim_end_matches("!important").trim().to_string();
+            let value = value
+                .trim()
+                .trim_end_matches("!important")
+                .trim()
+                .to_string();
             if property.is_empty() || value.is_empty() {
                 return None;
             }
@@ -556,7 +568,10 @@ mod tests {
     #[test]
     fn dimension_parsing() {
         assert_eq!(Dimension::parse("auto", 10.0), Some(Dimension::Auto));
-        assert_eq!(Dimension::parse("50%", 10.0), Some(Dimension::Percent(50.0)));
+        assert_eq!(
+            Dimension::parse("50%", 10.0),
+            Some(Dimension::Percent(50.0))
+        );
         assert_eq!(Dimension::parse("12px", 10.0), Some(Dimension::Px(12.0)));
         assert_eq!(Dimension::parse("2em", 10.0), Some(Dimension::Px(20.0)));
         assert_eq!(Dimension::parse("12pt", 10.0), Some(Dimension::Px(16.0)));
@@ -572,7 +587,9 @@ mod tests {
     }
 
     fn style_of(doc: &Document, sheet: &Stylesheet, selector: &str) -> ComputedStyle {
-        let hits = SelectorList::parse(selector).unwrap().select(doc, doc.root());
+        let hits = SelectorList::parse(selector)
+            .unwrap()
+            .select(doc, doc.root());
         compute_styles(doc, sheet)[hits[0].index()].clone()
     }
 
@@ -595,7 +612,10 @@ mod tests {
     fn inline_style_beats_everything() {
         let doc = parse_document(r#"<p id="i" style="color: #111">t</p>"#);
         let sheet = Stylesheet::parse("#i { color: #222 }");
-        assert_eq!(style_of(&doc, &sheet, "p").color, Color::rgb(0x11, 0x11, 0x11));
+        assert_eq!(
+            style_of(&doc, &sheet, "p").color,
+            Color::rgb(0x11, 0x11, 0x11)
+        );
     }
 
     #[test]
@@ -657,11 +677,29 @@ mod tests {
     #[test]
     fn shorthand_box_values() {
         let mut s = ComputedStyle::default();
-        apply_declaration(&mut s, &Declaration { property: "margin".into(), value: "1px 2px 3px 4px".into() });
+        apply_declaration(
+            &mut s,
+            &Declaration {
+                property: "margin".into(),
+                value: "1px 2px 3px 4px".into(),
+            },
+        );
         assert_eq!(s.margin, [1.0, 2.0, 3.0, 4.0]);
-        apply_declaration(&mut s, &Declaration { property: "padding".into(), value: "5px 10px".into() });
+        apply_declaration(
+            &mut s,
+            &Declaration {
+                property: "padding".into(),
+                value: "5px 10px".into(),
+            },
+        );
         assert_eq!(s.padding, [5.0, 10.0, 5.0, 10.0]);
-        apply_declaration(&mut s, &Declaration { property: "margin".into(), value: "7px".into() });
+        apply_declaration(
+            &mut s,
+            &Declaration {
+                property: "margin".into(),
+                value: "7px".into(),
+            },
+        );
         assert_eq!(s.margin, [7.0; 4]);
     }
 
@@ -675,9 +713,21 @@ mod tests {
     #[test]
     fn font_weight_numeric() {
         let mut s = ComputedStyle::default();
-        apply_declaration(&mut s, &Declaration { property: "font-weight".into(), value: "700".into() });
+        apply_declaration(
+            &mut s,
+            &Declaration {
+                property: "font-weight".into(),
+                value: "700".into(),
+            },
+        );
         assert!(s.bold);
-        apply_declaration(&mut s, &Declaration { property: "font-weight".into(), value: "400".into() });
+        apply_declaration(
+            &mut s,
+            &Declaration {
+                property: "font-weight".into(),
+                value: "400".into(),
+            },
+        );
         assert!(!s.bold);
     }
 

@@ -44,7 +44,12 @@ impl Rect {
 
     /// This rectangle scaled uniformly by `factor`.
     pub fn scaled(&self, factor: f32) -> Rect {
-        Rect::new(self.x * factor, self.y * factor, self.w * factor, self.h * factor)
+        Rect::new(
+            self.x * factor,
+            self.y * factor,
+            self.w * factor,
+            self.h * factor,
+        )
     }
 
     /// Rounds the rectangle outward to integer pixel coordinates as

@@ -199,7 +199,11 @@ mod tests {
                 state ^= state << 13;
                 state ^= state >> 17;
                 state ^= state << 5;
-                c.set(x as i32, y as i32, Color::rgb(state as u8, (state >> 8) as u8, (state >> 16) as u8));
+                c.set(
+                    x as i32,
+                    y as i32,
+                    Color::rgb(state as u8, (state >> 8) as u8, (state >> 16) as u8),
+                );
             }
         }
         c
@@ -208,7 +212,13 @@ mod tests {
     #[test]
     fn scale_halves_dimensions() {
         let c = Canvas::new(100, 80, Color::WHITE);
-        let out = process(&c, &PostProcess { scale: Some(0.5), ..Default::default() });
+        let out = process(
+            &c,
+            &PostProcess {
+                scale: Some(0.5),
+                ..Default::default()
+            },
+        );
         assert_eq!(out.canvas.width(), 50);
         assert_eq!(out.canvas.height(), 40);
     }
@@ -259,7 +269,13 @@ mod tests {
     fn jpeg_class_quantizes_pixels() {
         let c = busy_canvas(64, 64);
         let before = c.distinct_colors();
-        let out = process(&c, &PostProcess { format: ImageFormat::JpegClass { quality: 20 }, ..Default::default() });
+        let out = process(
+            &c,
+            &PostProcess {
+                format: ImageFormat::JpegClass { quality: 20 },
+                ..Default::default()
+            },
+        );
         assert!(out.canvas.distinct_colors() < before);
     }
 
@@ -272,7 +288,13 @@ mod tests {
         for band in 0..32 {
             let y = band * 64;
             page.fill_rect_px(0, y, 1024, 20, Color::rgb(0x33, 0x5C, 0x8E));
-            page.draw_text(8, y + 24, "Forum row with description text and links", 13.0, Color::BLACK);
+            page.draw_text(
+                8,
+                y + 24,
+                "Forum row with description text and links",
+                13.0,
+                Color::BLACK,
+            );
         }
         let hi = process(&page, &PostProcess::default());
         let lo = process(

@@ -87,7 +87,11 @@ impl Crc32 {
         for &byte in data {
             let mut x = (self.state ^ byte as u32) & 0xFF;
             for _ in 0..8 {
-                x = if x & 1 != 0 { (x >> 1) ^ 0xEDB8_8320 } else { x >> 1 };
+                x = if x & 1 != 0 {
+                    (x >> 1) ^ 0xEDB8_8320
+                } else {
+                    x >> 1
+                };
             }
             self.state = (self.state >> 8) ^ x;
         }
@@ -167,20 +171,68 @@ impl<'a> BitWriter<'a> {
 
 /// Length code table: (code, extra_bits, base_length).
 const LENGTH_CODES: [(u32, u32, u32); 29] = [
-    (257, 0, 3), (258, 0, 4), (259, 0, 5), (260, 0, 6), (261, 0, 7), (262, 0, 8),
-    (263, 0, 9), (264, 0, 10), (265, 1, 11), (266, 1, 13), (267, 1, 15), (268, 1, 17),
-    (269, 2, 19), (270, 2, 23), (271, 2, 27), (272, 2, 31), (273, 3, 35), (274, 3, 43),
-    (275, 3, 51), (276, 3, 59), (277, 4, 67), (278, 4, 83), (279, 4, 99), (280, 4, 115),
-    (281, 5, 131), (282, 5, 163), (283, 5, 195), (284, 5, 227), (285, 0, 258),
+    (257, 0, 3),
+    (258, 0, 4),
+    (259, 0, 5),
+    (260, 0, 6),
+    (261, 0, 7),
+    (262, 0, 8),
+    (263, 0, 9),
+    (264, 0, 10),
+    (265, 1, 11),
+    (266, 1, 13),
+    (267, 1, 15),
+    (268, 1, 17),
+    (269, 2, 19),
+    (270, 2, 23),
+    (271, 2, 27),
+    (272, 2, 31),
+    (273, 3, 35),
+    (274, 3, 43),
+    (275, 3, 51),
+    (276, 3, 59),
+    (277, 4, 67),
+    (278, 4, 83),
+    (279, 4, 99),
+    (280, 4, 115),
+    (281, 5, 131),
+    (282, 5, 163),
+    (283, 5, 195),
+    (284, 5, 227),
+    (285, 0, 258),
 ];
 
 /// Distance code table: (code, extra_bits, base_distance).
 const DIST_CODES: [(u32, u32, u32); 30] = [
-    (0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4), (4, 1, 5), (5, 1, 7), (6, 2, 9),
-    (7, 2, 13), (8, 3, 17), (9, 3, 25), (10, 4, 33), (11, 4, 49), (12, 5, 65),
-    (13, 5, 97), (14, 6, 129), (15, 6, 193), (16, 7, 257), (17, 7, 385), (18, 8, 513),
-    (19, 8, 769), (20, 9, 1025), (21, 9, 1537), (22, 10, 2049), (23, 10, 3073),
-    (24, 11, 4097), (25, 11, 6145), (26, 12, 8193), (27, 12, 12289), (28, 13, 16385),
+    (0, 0, 1),
+    (1, 0, 2),
+    (2, 0, 3),
+    (3, 0, 4),
+    (4, 1, 5),
+    (5, 1, 7),
+    (6, 2, 9),
+    (7, 2, 13),
+    (8, 3, 17),
+    (9, 3, 25),
+    (10, 4, 33),
+    (11, 4, 49),
+    (12, 5, 65),
+    (13, 5, 97),
+    (14, 6, 129),
+    (15, 6, 193),
+    (16, 7, 257),
+    (17, 7, 385),
+    (18, 8, 513),
+    (19, 8, 769),
+    (20, 9, 1025),
+    (21, 9, 1537),
+    (22, 10, 2049),
+    (23, 10, 3073),
+    (24, 11, 4097),
+    (25, 11, 6145),
+    (26, 12, 8193),
+    (27, 12, 12289),
+    (28, 13, 16385),
     (29, 13, 24577),
 ];
 
@@ -358,7 +410,11 @@ mod tests {
 
     impl<'a> BitReader<'a> {
         fn new(data: &'a [u8]) -> Self {
-            BitReader { data, pos: 0, bit: 0 }
+            BitReader {
+                data,
+                pos: 0,
+                bit: 0,
+            }
         }
 
         fn read_bits(&mut self, n: u32) -> u32 {
@@ -464,7 +520,10 @@ mod tests {
         let mut canvas = Canvas::new(32, 16, Color::WHITE);
         canvas.fill_rect_px(0, 0, 16, 16, Color::rgb(10, 20, 30));
         let bytes = encode(&canvas);
-        assert_eq!(&bytes[..8], &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1A, b'\n']);
+        assert_eq!(
+            &bytes[..8],
+            &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1A, b'\n']
+        );
         // Walk the chunks, verifying lengths and CRCs.
         let mut pos = 8;
         let mut kinds = Vec::new();
@@ -472,7 +531,8 @@ mod tests {
             let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
             let kind = &bytes[pos + 4..pos + 8];
             let data = &bytes[pos + 8..pos + 8 + len];
-            let stored = u32::from_be_bytes(bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+            let stored =
+                u32::from_be_bytes(bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap());
             let mut crc = Crc32::new();
             crc.update(kind);
             crc.update(data);
@@ -480,7 +540,10 @@ mod tests {
             kinds.push(kind.to_vec());
             pos += 12 + len;
         }
-        assert_eq!(kinds, vec![b"IHDR".to_vec(), b"IDAT".to_vec(), b"IEND".to_vec()]);
+        assert_eq!(
+            kinds,
+            vec![b"IHDR".to_vec(), b"IDAT".to_vec(), b"IEND".to_vec()]
+        );
     }
 
     #[test]

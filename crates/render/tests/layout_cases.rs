@@ -93,7 +93,11 @@ fn inline_run_flows_around_image() {
     );
     // Line height grows to the image.
     assert!(tree.page_height >= 50.0);
-    assert!(tree.page_height < 120.0, "image inline, not stacked: {}", tree.page_height);
+    assert!(
+        tree.page_height < 120.0,
+        "image inline, not stacked: {}",
+        tree.page_height
+    );
 }
 
 #[test]

@@ -5,38 +5,35 @@ use msite_html::parse_document;
 use msite_render::{
     compute_styles, layout_document, paint, png, Canvas, Color, LayoutBox, Stylesheet,
 };
-use proptest::prelude::*;
+use msite_support::prop::{self, Gen};
 
-/// Local SplitMix64 (msite-render does not depend on msite-net).
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-}
-
-fn arb_page() -> impl Strategy<Value = String> {
-    let block = prop_oneof![
-        "[a-z ]{0,20}".prop_map(|t| format!("<p>{t}</p>")),
-        ("[a-z ]{0,12}", 10u32..200).prop_map(|(t, h)| format!(
-            "<div style=\"height:{h}px\">{t}</div>"
-        )),
-        ("[a-z]{1,6}", "[a-z]{1,6}").prop_map(|(a, b)| format!(
-            "<table><tr><td>{a}</td><td>{b}</td></tr></table>"
-        )),
-        (10u32..600, 10u32..200).prop_map(|(w, h)| format!(
-            "<img src=\"x.gif\" width=\"{w}\" height=\"{h}\">"
-        )),
-        "[a-z ]{0,16}".prop_map(|t| format!("<h2>{t}</h2>")),
-    ];
-    prop::collection::vec(block, 0..12).prop_map(|blocks| {
-        format!("<body style=\"margin:0\">{}</body>", blocks.concat())
-    })
+fn arb_page(g: &mut Gen) -> String {
+    let blocks: Vec<String> = g.vec(0, 11, |g| match g.range_u32(0, 5) {
+        0 => format!(
+            "<p>{}</p>",
+            g.string_from("abcdefghijklmnopqrstuvwxyz ", 0, 20)
+        ),
+        1 => format!(
+            "<div style=\"height:{}px\">{}</div>",
+            g.range_u32(10, 200),
+            g.string_from("abcdefghijklmnopqrstuvwxyz ", 0, 12)
+        ),
+        2 => format!(
+            "<table><tr><td>{}</td><td>{}</td></tr></table>",
+            g.string_from("abcdefghijklmnopqrstuvwxyz", 1, 6),
+            g.string_from("abcdefghijklmnopqrstuvwxyz", 1, 6)
+        ),
+        3 => format!(
+            "<img src=\"x.gif\" width=\"{}\" height=\"{}\">",
+            g.range_u32(10, 600),
+            g.range_u32(10, 200)
+        ),
+        _ => format!(
+            "<h2>{}</h2>",
+            g.string_from("abcdefghijklmnopqrstuvwxyz ", 0, 16)
+        ),
+    });
+    format!("<body style=\"margin:0\">{}</body>", blocks.concat())
 }
 
 fn walk_boxes(b: &LayoutBox, f: &mut impl FnMut(&LayoutBox)) {
@@ -46,35 +43,43 @@ fn walk_boxes(b: &LayoutBox, f: &mut impl FnMut(&LayoutBox)) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// No layout box extends left of the viewport or above the page, and
-    /// widths/heights are never negative or NaN.
-    #[test]
-    fn layout_boxes_sane(page in arb_page(), width in 120f32..1200.0) {
+/// No layout box extends left of the viewport or above the page, and
+/// widths/heights are never negative or NaN.
+#[test]
+fn layout_boxes_sane() {
+    prop::check("layout boxes sane", 48, 0x4E4D_E210, |g| {
+        let page = arb_page(g);
+        let width = g.range_f32(120.0, 1200.0);
         let doc = parse_document(&page);
         let styles = compute_styles(&doc, &Stylesheet::default());
         let tree = layout_document(&doc, &styles, width);
-        prop_assert!(tree.page_height.is_finite());
-        prop_assert!(tree.page_height >= 0.0);
+        assert!(tree.page_height.is_finite());
+        assert!(tree.page_height >= 0.0);
         let mut ok = true;
         walk_boxes(&tree.root, &mut |b| {
-            if !(b.rect.w.is_finite() && b.rect.h.is_finite()
-                && b.rect.x.is_finite() && b.rect.y.is_finite()
-                && b.rect.w >= 0.0 && b.rect.h >= 0.0
-                && b.rect.x >= -0.5 && b.rect.y >= -0.5)
+            if !(b.rect.w.is_finite()
+                && b.rect.h.is_finite()
+                && b.rect.x.is_finite()
+                && b.rect.y.is_finite()
+                && b.rect.w >= 0.0
+                && b.rect.h >= 0.0
+                && b.rect.x >= -0.5
+                && b.rect.y >= -0.5)
             {
                 ok = false;
             }
         });
-        prop_assert!(ok, "degenerate box in {page}");
-    }
+        assert!(ok, "degenerate box in {page}");
+    });
+}
 
-    /// Block-level siblings under the same parent never overlap
-    /// vertically (flow layout stacks them).
-    #[test]
-    fn sibling_blocks_do_not_overlap(count in 1usize..8, height in 10u32..80) {
+/// Block-level siblings under the same parent never overlap vertically
+/// (flow layout stacks them).
+#[test]
+fn sibling_blocks_do_not_overlap() {
+    prop::check("sibling blocks do not overlap", 48, 0x4E4D_E211, |g| {
+        let count = g.range_usize(1, 8);
+        let height = g.range_u32(10, 80);
         let body: String = (0..count)
             .map(|i| format!("<div id=\"b{i}\" style=\"height:{height}px\">x</div>"))
             .collect();
@@ -88,75 +93,98 @@ proptest! {
             rects.push(tree.rect_of(id).unwrap());
         }
         for pair in rects.windows(2) {
-            prop_assert!(pair[0].bottom() <= pair[1].y + 0.01,
-                "{:?} overlaps {:?}", pair[0], pair[1]);
+            assert!(
+                pair[0].bottom() <= pair[1].y + 0.01,
+                "{:?} overlaps {:?}",
+                pair[0],
+                pair[1]
+            );
         }
-    }
+    });
+}
 
-    /// Painting any laid-out page stays within the clamped canvas and is
-    /// deterministic.
-    #[test]
-    fn paint_total_and_deterministic(page in arb_page()) {
+/// Painting any laid-out page stays within the clamped canvas and is
+/// deterministic.
+#[test]
+fn paint_total_and_deterministic() {
+    prop::check("paint total and deterministic", 48, 0x4E4D_E212, |g| {
+        let page = arb_page(g);
         let doc = parse_document(&page);
         let styles = compute_styles(&doc, &Stylesheet::default());
         let tree = layout_document(&doc, &styles, 320.0);
         let a = paint(&tree, 2048);
         let b = paint(&tree, 2048);
-        prop_assert!(a.height() <= 2048);
-        prop_assert_eq!(a.pixels(), b.pixels());
-    }
+        assert!(a.height() <= 2048);
+        assert_eq!(a.pixels(), b.pixels());
+    });
+}
 
-    /// The zlib stream produced for arbitrary bytes carries a correct
-    /// Adler-32 and never inflates catastrophically.
-    #[test]
-    fn zlib_compress_bounded(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+/// The zlib stream produced for arbitrary bytes carries a correct
+/// Adler-32 and never inflates catastrophically.
+#[test]
+fn zlib_compress_bounded() {
+    prop::check("zlib compress bounded", 48, 0x4E4D_E213, |g| {
+        let data = g.vec(0, 4095, Gen::u8);
         let z = png::zlib_compress(&data);
         // Fixed-Huffman worst case is ~9/8 of input plus framing.
-        prop_assert!(z.len() <= data.len() * 9 / 8 + 64, "{} -> {}", data.len(), z.len());
+        assert!(
+            z.len() <= data.len() * 9 / 8 + 64,
+            "{} -> {}",
+            data.len(),
+            z.len()
+        );
         let stored = u32::from_be_bytes(z[z.len() - 4..].try_into().unwrap());
-        prop_assert_eq!(stored, png::adler32(&data));
-    }
+        assert_eq!(stored, png::adler32(&data));
+    });
+}
 
-    /// PNG encoding yields structurally valid files for arbitrary canvas
-    /// contents, with CRCs that verify.
-    #[test]
-    fn png_structure_holds(w in 1u32..48, h in 1u32..48, seed in any::<u64>()) {
+/// PNG encoding yields structurally valid files for arbitrary canvas
+/// contents, with CRCs that verify.
+#[test]
+fn png_structure_holds() {
+    prop::check("png structure holds", 48, 0x4E4D_E214, |g| {
+        let w = g.range_u32(1, 48);
+        let h = g.range_u32(1, 48);
         let mut canvas = Canvas::new(w, h, Color::WHITE);
-        let mut rng = Mix(seed);
         for y in 0..h {
             for x in 0..w {
-                let v = rng.next();
-                canvas.set(x as i32, y as i32,
-                    Color::rgb(v as u8, (v >> 8) as u8, (v >> 16) as u8));
+                let v = g.u64();
+                canvas.set(
+                    x as i32,
+                    y as i32,
+                    Color::rgb(v as u8, (v >> 8) as u8, (v >> 16) as u8),
+                );
             }
         }
         let bytes = png::encode(&canvas);
-        prop_assert!(bytes.starts_with(&[0x89, b'P', b'N', b'G']));
+        assert!(bytes.starts_with(&[0x89, b'P', b'N', b'G']));
         // Verify every chunk CRC.
         let mut pos = 8;
         while pos < bytes.len() {
             let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
             let kind = &bytes[pos + 4..pos + 8];
             let data = &bytes[pos + 8..pos + 8 + len];
-            let stored = u32::from_be_bytes(bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+            let stored =
+                u32::from_be_bytes(bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap());
             let mut crc = png::Crc32::new();
             crc.update(kind);
             crc.update(data);
-            prop_assert_eq!(crc.finish(), stored);
+            assert_eq!(crc.finish(), stored);
             pos += 12 + len;
         }
-        prop_assert_eq!(pos, bytes.len());
-    }
+        assert_eq!(pos, bytes.len());
+    });
+}
 
-    /// Downscaling preserves the average brightness within quantization
-    /// error (box filter is a mean).
-    #[test]
-    fn downscale_preserves_mean(seed in any::<u64>()) {
+/// Downscaling preserves the average brightness within quantization
+/// error (box filter is a mean).
+#[test]
+fn downscale_preserves_mean() {
+    prop::check("downscale preserves mean", 48, 0x4E4D_E215, |g| {
         let mut canvas = Canvas::new(64, 64, Color::WHITE);
-        let mut rng = Mix(seed);
         for y in 0..64 {
             for x in 0..64 {
-                let v = (rng.next() & 0xFF) as u8;
+                let v = (g.u64() & 0xFF) as u8;
                 canvas.set(x, y, Color::rgb(v, v, v));
             }
         }
@@ -166,17 +194,19 @@ proptest! {
         };
         let before = mean(&canvas);
         let after = mean(&canvas.downscale_to_width(16));
-        prop_assert!((before - after).abs() < 6.0, "{before} vs {after}");
-    }
+        assert!((before - after).abs() < 6.0, "{before} vs {after}");
+    });
+}
 
-    /// Quantization is idempotent: quantizing twice equals once.
-    #[test]
-    fn quantize_idempotent(levels in 2u16..32, seed in any::<u64>()) {
+/// Quantization is idempotent: quantizing twice equals once.
+#[test]
+fn quantize_idempotent() {
+    prop::check("quantize idempotent", 48, 0x4E4D_E216, |g| {
+        let levels = g.range_u16(2, 32);
         let mut canvas = Canvas::new(16, 16, Color::WHITE);
-        let mut rng = Mix(seed);
         for y in 0..16 {
             for x in 0..16 {
-                let v = rng.next();
+                let v = g.u64();
                 canvas.set(x, y, Color::rgb(v as u8, (v >> 8) as u8, (v >> 16) as u8));
             }
         }
@@ -184,6 +214,6 @@ proptest! {
         once.quantize(levels);
         let mut twice = once.clone();
         twice.quantize(levels);
-        prop_assert_eq!(once.pixels(), twice.pixels());
-    }
+        assert_eq!(once.pixels(), twice.pixels());
+    });
 }

@@ -36,7 +36,11 @@ impl ParseSelectorError {
 
 impl fmt::Display for ParseSelectorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid selector at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "invalid selector at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -729,7 +733,11 @@ impl<'a> Parser<'a> {
                 let text = trimmed
                     .strip_prefix('"')
                     .and_then(|s| s.strip_suffix('"'))
-                    .or_else(|| trimmed.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')))
+                    .or_else(|| {
+                        trimmed
+                            .strip_prefix('\'')
+                            .and_then(|s| s.strip_suffix('\''))
+                    })
                     .unwrap_or(trimmed);
                 Ok(SimpleSelector::Contains(text.to_string()))
             }
@@ -891,20 +899,13 @@ mod tests {
 
     #[test]
     fn of_type_pseudo_classes() {
-        let d = parse_document(
-            "<div><h2>t</h2><p>a</p><p>b</p><p>c</p><span>x</span><p>d</p></div>",
-        );
+        let d =
+            parse_document("<div><h2>t</h2><p>a</p><p>b</p><p>c</p><span>x</span><p>d</p></div>");
         // p is never :first-child here (h2 is), but is :first-of-type.
         assert_eq!(select(&d, "p:first-child").len(), 0);
         assert_eq!(select(&d, "p:first-of-type").len(), 1);
-        assert_eq!(
-            d.text_content(select(&d, "p:first-of-type")[0]),
-            "a"
-        );
-        assert_eq!(
-            d.text_content(select(&d, "p:last-of-type")[0]),
-            "d"
-        );
+        assert_eq!(d.text_content(select(&d, "p:first-of-type")[0]), "a");
+        assert_eq!(d.text_content(select(&d, "p:last-of-type")[0]), "d");
         assert_eq!(select(&d, "span:last-of-type").len(), 1);
         // nth-of-type counts only same-tag siblings.
         assert_eq!(d.text_content(select(&d, "p:nth-of-type(2)")[0]), "b");
@@ -936,14 +937,27 @@ mod tests {
         assert!(id > class && class > ty);
         assert_eq!(ty, (0, 0, 2));
         assert_eq!(
-            SelectorList::parse("div#x .y[z]:first-child").unwrap().specificity(),
+            SelectorList::parse("div#x .y[z]:first-child")
+                .unwrap()
+                .specificity(),
             (1, 3, 1)
         );
     }
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "  ", "..x", "[", "[a=", "[a^b]", ":bogus", "a >", "a,,b", ":nth-child(x)"] {
+        for bad in [
+            "",
+            "  ",
+            "..x",
+            "[",
+            "[a=",
+            "[a^b]",
+            ":bogus",
+            "a >",
+            "a,,b",
+            ":nth-child(x)",
+        ] {
             assert!(SelectorList::parse(bad).is_err(), "should fail: {bad}");
         }
     }
@@ -991,6 +1005,9 @@ mod tests {
     fn whitespace_variants_equivalent() {
         let d = doc();
         assert_eq!(select(&d, "div>table"), select(&d, "div > table"));
-        assert_eq!(select(&d, "td.alt1+td.alt2"), select(&d, "td.alt1 + td.alt2"));
+        assert_eq!(
+            select(&d, "td.alt1+td.alt2"),
+            select(&d, "td.alt1 + td.alt2")
+        );
     }
 }

@@ -32,8 +32,7 @@ pub mod query;
 pub mod xpath;
 
 pub use css::{
-    AttrOp, Combinator, ComplexSelector, Compound, ParseSelectorError, SelectorList,
-    SimpleSelector,
+    AttrOp, Combinator, ComplexSelector, Compound, ParseSelectorError, SelectorList, SimpleSelector,
 };
 pub use query::Query;
 pub use xpath::{ParseXPathError, XPath};

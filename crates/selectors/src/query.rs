@@ -414,7 +414,9 @@ mod tests {
     #[test]
     fn set_attr_on_all() {
         let mut d = doc();
-        Query::select(&d, "a").unwrap().set_attr(&mut d, "target", "_blank");
+        Query::select(&d, "a")
+            .unwrap()
+            .set_attr(&mut d, "target", "_blank");
         for id in &Query::select(&d, "a").unwrap() {
             assert_eq!(d.attr(id, "target"), Some("_blank"));
         }

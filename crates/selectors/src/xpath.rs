@@ -226,7 +226,9 @@ fn parse_step(input: &str, axis: Axis) -> Result<(Step, &str), ParseXPathError> 
         .map(|c| c.len_utf8())
         .sum::<usize>();
     if name_len == 0 {
-        return Err(ParseXPathError::new(format!("expected node test at `{input}`")));
+        return Err(ParseXPathError::new(format!(
+            "expected node test at `{input}`"
+        )));
     }
     let name = &input[..name_len];
     let test = if name == "*" {
@@ -288,7 +290,9 @@ fn parse_predicate(body: &str) -> Result<Predicate, ParseXPathError> {
             .ok_or_else(|| ParseXPathError::new("expected `=` after text()"))?;
         return Ok(Predicate::TextEquals(unquote(rhs.trim())?));
     }
-    Err(ParseXPathError::new(format!("unsupported predicate `{body}`")))
+    Err(ParseXPathError::new(format!(
+        "unsupported predicate `{body}`"
+    )))
 }
 
 fn unquote(s: &str) -> Result<String, ParseXPathError> {
@@ -305,7 +309,11 @@ fn unquote(s: &str) -> Result<String, ParseXPathError> {
 /// # Errors
 ///
 /// Returns the parse error; evaluation itself cannot fail.
-pub fn evaluate(doc: &Document, context: NodeId, expr: &str) -> Result<Vec<NodeId>, ParseXPathError> {
+pub fn evaluate(
+    doc: &Document,
+    context: NodeId,
+    expr: &str,
+) -> Result<Vec<NodeId>, ParseXPathError> {
     Ok(XPath::parse(expr)?.evaluate(doc, context))
 }
 
@@ -329,7 +337,9 @@ mod tests {
     }
 
     fn texts(doc: &Document, ids: &[NodeId]) -> Vec<String> {
-        ids.iter().map(|&id| doc.text_content(id).trim().to_string()).collect()
+        ids.iter()
+            .map(|&id| doc.text_content(id).trim().to_string())
+            .collect()
     }
 
     #[test]
@@ -365,7 +375,9 @@ mod tests {
             2
         );
         assert_eq!(
-            evaluate(&d, d.root(), "//td[@class=\"alt1\"][2]").unwrap().len(),
+            evaluate(&d, d.root(), "//td[@class=\"alt1\"][2]")
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -405,7 +417,16 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "/", "//", "//td[", "//td[@]", "//td[text()]", "//td[0]", "a b"] {
+        for bad in [
+            "",
+            "/",
+            "//",
+            "//td[",
+            "//td[@]",
+            "//td[text()]",
+            "//td[0]",
+            "a b",
+        ] {
             assert!(XPath::parse(bad).is_err(), "should fail: {bad}");
         }
     }

@@ -4,50 +4,50 @@
 
 use msite_html::{parse_document, Document, NodeId};
 use msite_selectors::{Query, SelectorList};
-use proptest::prelude::*;
+use msite_support::prop::{self, Gen};
 
 /// Generates a random document from a fixed vocabulary so selectors have
 /// something to hit.
-fn arb_doc_source() -> impl Strategy<Value = String> {
-    let tag = prop::sample::select(vec!["div", "span", "p", "td", "a", "ul", "li"]);
-    let class = prop::sample::select(vec!["", " class=\"x\"", " class=\"y\"", " class=\"x y\""]);
-    let node = (tag, class).prop_map(|(t, c)| format!("<{t}{c}>t</{t}>"));
-    prop::collection::vec(node, 1..20).prop_map(|nodes| {
-        let mut out = String::from("<body>");
-        for (i, n) in nodes.iter().enumerate() {
-            if i % 3 == 0 {
-                out.push_str("<div class=\"wrap\">");
-                out.push_str(n);
-                out.push_str("</div>");
-            } else {
-                out.push_str(n);
-            }
+fn arb_doc_source(g: &mut Gen) -> String {
+    const TAGS: [&str; 7] = ["div", "span", "p", "td", "a", "ul", "li"];
+    const CLASSES: [&str; 4] = ["", " class=\"x\"", " class=\"y\"", " class=\"x y\""];
+    let nodes = g.vec(1, 19, |g| {
+        let t = g.pick(&TAGS);
+        let c = g.pick(&CLASSES);
+        format!("<{t}{c}>t</{t}>")
+    });
+    let mut out = String::from("<body>");
+    for (i, n) in nodes.iter().enumerate() {
+        if i % 3 == 0 {
+            out.push_str("<div class=\"wrap\">");
+            out.push_str(n);
+            out.push_str("</div>");
+        } else {
+            out.push_str(n);
         }
-        out.push_str("</body>");
-        out
-    })
+    }
+    out.push_str("</body>");
+    out
 }
 
-fn arb_selector() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec![
-        "div",
-        "span",
-        ".x",
-        ".y",
-        "div.wrap",
-        "div.wrap span",
-        "div > span",
-        "p + p",
-        "li ~ li",
-        "*",
-        "div.wrap > .x",
-        "span:first-child",
-        "p:last-child",
-        "li:nth-child(2n+1)",
-        ":not(.x)",
-        "div span, p",
-    ])
-}
+const SELECTORS: [&str; 16] = [
+    "div",
+    "span",
+    ".x",
+    ".y",
+    "div.wrap",
+    "div.wrap span",
+    "div > span",
+    "p + p",
+    "li ~ li",
+    "*",
+    "div.wrap > .x",
+    "span:first-child",
+    "p:last-child",
+    "li:nth-child(2n+1)",
+    ":not(.x)",
+    "div span, p",
+];
 
 /// O(n^3) reference matcher: brute force over every (node, alternative)
 /// using only first principles.
@@ -59,12 +59,14 @@ fn reference_select(doc: &Document, selector: &str) -> Vec<NodeId> {
         .collect()
 }
 
-/// An independent slow matcher for the subset used in `arb_selector`,
+/// An independent slow matcher for the subset used in `SELECTORS`,
 /// implementing descendant/child/sibling semantics by enumerating all
 /// ancestor/sibling chains.
 fn slow_matches(doc: &Document, node: NodeId, selector: &str) -> bool {
     // Split on commas: any alternative may match.
-    selector.split(',').any(|alt| slow_match_complex(doc, node, alt.trim()))
+    selector
+        .split(',')
+        .any(|alt| slow_match_complex(doc, node, alt.trim()))
 }
 
 fn slow_match_complex(doc: &Document, node: NodeId, alt: &str) -> bool {
@@ -179,7 +181,7 @@ fn slow_match_compound(doc: &Document, node: NodeId, compound: &str) -> bool {
     let Some(element) = doc.data(node).as_element() else {
         return false;
     };
-    // Parse the limited grammar used in arb_selector.
+    // Parse the limited grammar used in `SELECTORS`.
     let mut rest = compound;
     let mut matched_any = false;
     while !rest.is_empty() {
@@ -253,11 +255,13 @@ fn slow_match_compound(doc: &Document, node: NodeId, compound: &str) -> bool {
     matched_any
 }
 
-proptest! {
-    /// The production matcher agrees with the naive reference matcher on
-    /// every generated (document, selector) pair.
-    #[test]
-    fn matcher_agrees_with_reference(src in arb_doc_source(), sel in arb_selector()) {
+/// The production matcher agrees with the naive reference matcher on
+/// every generated (document, selector) pair.
+#[test]
+fn matcher_agrees_with_reference() {
+    prop::check("matcher agrees with reference", 256, 0x5E1E_C700, |g| {
+        let src = arb_doc_source(g);
+        let sel = *g.pick(&SELECTORS);
         let doc = parse_document(&src);
         let fast = reference_select(&doc, sel);
         let slow: Vec<NodeId> = doc
@@ -265,35 +269,46 @@ proptest! {
             .filter(|&id| doc.data(id).as_element().is_some())
             .filter(|&id| slow_matches(&doc, id, sel))
             .collect();
-        prop_assert_eq!(fast, slow, "selector {} on {}", sel, src);
-    }
+        assert_eq!(fast, slow, "selector {sel} on {src}");
+    });
+}
 
-    /// Selector parsing is total (never panics) on arbitrary printable input.
-    #[test]
-    fn selector_parse_total(input in "[ -~]{0,48}") {
+/// Selector parsing is total (never panics) on arbitrary printable input.
+#[test]
+fn selector_parse_total() {
+    prop::check("selector parse total", 256, 0x5E1E_C701, |g| {
+        let input = g.ascii_string(48);
         let _ = SelectorList::parse(&input);
-    }
+    });
+}
 
-    /// Query::select equals SelectorList::select on the root.
-    #[test]
-    fn query_equals_selectorlist(src in arb_doc_source(), sel in arb_selector()) {
+/// Query::select equals SelectorList::select on the root.
+#[test]
+fn query_equals_selectorlist() {
+    prop::check("query equals selector list", 256, 0x5E1E_C702, |g| {
+        let src = arb_doc_source(g);
+        let sel = *g.pick(&SELECTORS);
         let doc = parse_document(&src);
         let via_query = Query::select(&doc, sel).unwrap();
         let via_list = SelectorList::parse(sel).unwrap().select(&doc, doc.root());
-        prop_assert_eq!(via_query.ids().to_vec(), via_list);
-    }
+        assert_eq!(via_query.ids().to_vec(), via_list);
+    });
+}
 
-    /// Display output reparses to an equivalent selector (same matches).
-    #[test]
-    fn display_preserves_semantics(src in arb_doc_source(), sel in arb_selector()) {
+/// Display output reparses to an equivalent selector (same matches).
+#[test]
+fn display_preserves_semantics() {
+    prop::check("display preserves semantics", 256, 0x5E1E_C703, |g| {
+        let src = arb_doc_source(g);
+        let sel = *g.pick(&SELECTORS);
         let doc = parse_document(&src);
         let parsed = SelectorList::parse(sel).unwrap();
         let printed = parsed.to_string();
         let reparsed = SelectorList::parse(&printed).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             parsed.select(&doc, doc.root()),
             reparsed.select(&doc, doc.root()),
-            "{} vs {}", sel, printed
+            "{sel} vs {printed}"
         );
-    }
+    });
 }

@@ -71,10 +71,7 @@ impl ClassifiedsSite {
 
     /// Stable listing id for `(category, index)`.
     pub fn listing_id(&self, category: &str, index: u32) -> u64 {
-        let cat_code = CATEGORIES
-            .iter()
-            .position(|c| *c == category)
-            .unwrap_or(0) as u64;
+        let cat_code = CATEGORIES.iter().position(|c| *c == category).unwrap_or(0) as u64;
         (cat_code + 1) * 1_000_000 + index as u64
     }
 
@@ -123,7 +120,11 @@ impl ClassifiedsSite {
             .set("next_page", (page + 1).to_string())
             .set(
                 "has_next",
-                if end < self.config.listings_per_category { "y" } else { "" },
+                if end < self.config.listings_per_category {
+                    "y"
+                } else {
+                    ""
+                },
             );
         Response::html(render(SEARCH_TEMPLATE, &scope).expect("search template"))
     }
@@ -232,7 +233,10 @@ mod tests {
     fn last_page_has_no_next() {
         let body = get(&site(), "/search?cat=tools&page=3").body_text();
         assert!(!body.contains("nextpage"));
-        assert_eq!(get(&site(), "/search?cat=tools&page=4").status, Status::NOT_FOUND);
+        assert_eq!(
+            get(&site(), "/search?cat=tools&page=4").status,
+            Status::NOT_FOUND
+        );
     }
 
     #[test]
@@ -258,8 +262,14 @@ mod tests {
 
     #[test]
     fn unknown_category_404() {
-        assert_eq!(get(&site(), "/search?cat=boats&page=0").status, Status::NOT_FOUND);
-        assert_eq!(get(&site(), "/listing/notanid.html").status, Status::NOT_FOUND);
+        assert_eq!(
+            get(&site(), "/search?cat=boats&page=0").status,
+            Status::NOT_FOUND
+        );
+        assert_eq!(
+            get(&site(), "/listing/notanid.html").status,
+            Status::NOT_FOUND
+        );
     }
 
     #[test]

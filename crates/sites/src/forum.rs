@@ -16,7 +16,7 @@
 use crate::lorem;
 use crate::template::{render, Scope};
 use msite_net::{Cookie, Method, Origin, Prng, Request, Response, Status};
-use parking_lot::Mutex;
+use msite_support::sync::Mutex;
 use std::collections::HashMap;
 
 /// Forum generation parameters.
@@ -244,7 +244,14 @@ impl ForumSite {
                     .set("last_title", f.last_post_title.clone())
                     .set("last_author", f.last_post_author.clone())
                     .set("tid", f.last_thread_id.to_string())
-                    .set("icon", if f.id % 2 == 0 { "forum_new.gif" } else { "forum_old.gif" })
+                    .set(
+                        "icon",
+                        if f.id % 2 == 0 {
+                            "forum_new.gif"
+                        } else {
+                            "forum_old.gif"
+                        },
+                    )
                     .set("lock", if f.private { " (private)" } else { "" })
             })
             .collect();
@@ -405,8 +412,7 @@ impl Origin for ForumSite {
             (
                 Method::Get,
                 "/search.php" | "/memberlist.php" | "/calendar.php" | "/faq.php"
-                | "/showgroups.php" | "/register.php" | "/archive/index.php"
-                | "/sendmessage.php",
+                | "/showgroups.php" | "/register.php" | "/archive/index.php" | "/sendmessage.php",
             ) => {
                 let title = path.trim_start_matches('/').trim_end_matches(".php");
                 Response::html(format!(
@@ -484,7 +490,8 @@ fn css_of_len(len: usize) -> String {
 
 /// Deterministic JS asset of exactly `size` bytes.
 fn js_of_len(name: &str, size: usize) -> String {
-    let mut js = format!("/* {name} */\nfunction vb_init() {{ var loaded = true; return loaded; }}\n");
+    let mut js =
+        format!("/* {name} */\nfunction vb_init() {{ var loaded = true; return loaded; }}\n");
     let mut i = 0;
     while js.len() + 64 < size {
         js.push_str(&format!(
@@ -641,8 +648,17 @@ mod tests {
     fn index_has_all_paper_sections() {
         let body = get(&site(), "/index.php").body_text();
         for id in [
-            "header", "leaderboard", "navrow", "loginform", "announcements", "forumbits",
-            "whosonline", "stats", "birthdays", "calendar", "footerlinks",
+            "header",
+            "leaderboard",
+            "navrow",
+            "loginform",
+            "announcements",
+            "forumbits",
+            "whosonline",
+            "stats",
+            "birthdays",
+            "calendar",
+            "footerlinks",
         ] {
             assert!(body.contains(&format!("id=\"{id}\"")), "missing #{id}");
         }
@@ -690,7 +706,10 @@ mod tests {
         let bad = s.handle(
             &Request::post_form(
                 &format!("http://{}/login.php", s.config.host),
-                &[("vb_login_username", "OakHands1"), ("vb_login_password", "wrong")],
+                &[
+                    ("vb_login_username", "OakHands1"),
+                    ("vb_login_password", "wrong"),
+                ],
             )
             .unwrap(),
         );
@@ -729,7 +748,14 @@ mod tests {
             )
             .unwrap(),
         );
-        let cookie = login.headers.get("set-cookie").unwrap().split(';').next().unwrap().to_string();
+        let cookie = login
+            .headers
+            .get("set-cookie")
+            .unwrap()
+            .split(';')
+            .next()
+            .unwrap()
+            .to_string();
         let _ = s.handle(
             &Request::get(&format!("http://{}/logout.php", s.config.host))
                 .unwrap()
@@ -777,11 +803,21 @@ mod tests {
             )
             .unwrap(),
         );
-        let cookie = login.headers.get("set-cookie").unwrap().split(';').next().unwrap().to_string();
+        let cookie = login
+            .headers
+            .get("set-cookie")
+            .unwrap()
+            .split(';')
+            .next()
+            .unwrap()
+            .to_string();
         let frag = s.handle(
-            &Request::get(&format!("http://{}/site.php?do=showpic&id=7", s.config.host))
-                .unwrap()
-                .with_header("cookie", &cookie),
+            &Request::get(&format!(
+                "http://{}/site.php?do=showpic&id=7",
+                s.config.host
+            ))
+            .unwrap()
+            .with_header("cookie", &cookie),
         );
         assert!(frag.status.is_success());
         assert!(frag.body_text().contains("/images/pic7.jpg"));
@@ -815,7 +851,10 @@ mod tests {
     #[test]
     fn unknown_paths_404() {
         assert_eq!(get(&site(), "/nonexistent.php").status, Status::NOT_FOUND);
-        assert_eq!(get(&site(), "/images/unknown.gif").status, Status::NOT_FOUND);
+        assert_eq!(
+            get(&site(), "/images/unknown.gif").status,
+            Status::NOT_FOUND
+        );
     }
 
     #[test]

@@ -4,39 +4,118 @@
 use msite_net::Prng;
 
 const FIRST_WORDS: &[&str] = &[
-    "Sharpening", "Finishing", "Restoring", "Building", "Turning", "Carving", "Joining",
-    "Sanding", "Gluing", "Routing", "Planing", "Sawing", "Designing", "Repairing", "Installing",
+    "Sharpening",
+    "Finishing",
+    "Restoring",
+    "Building",
+    "Turning",
+    "Carving",
+    "Joining",
+    "Sanding",
+    "Gluing",
+    "Routing",
+    "Planing",
+    "Sawing",
+    "Designing",
+    "Repairing",
+    "Installing",
 ];
 
 const TOPICS: &[&str] = &[
-    "a walnut dresser", "the shop bandsaw", "cherry end tables", "a maple workbench",
-    "dovetail joints", "hand planes", "a cedar chest", "the dust collector", "oak flooring",
-    "a jewelry box", "the lathe chuck", "pine bookshelves", "a crosscut sled", "mortise jigs",
+    "a walnut dresser",
+    "the shop bandsaw",
+    "cherry end tables",
+    "a maple workbench",
+    "dovetail joints",
+    "hand planes",
+    "a cedar chest",
+    "the dust collector",
+    "oak flooring",
+    "a jewelry box",
+    "the lathe chuck",
+    "pine bookshelves",
+    "a crosscut sled",
+    "mortise jigs",
     "the table saw fence",
 ];
 
 const LOREM: &[&str] = &[
-    "the", "grain", "runs", "true", "along", "this", "board", "and", "finish", "coats",
-    "cure", "hard", "after", "light", "sanding", "between", "layers", "with", "fresh",
-    "shellac", "while", "clamps", "hold", "joints", "square", "until", "glue", "sets",
-    "overnight", "then", "plane", "smooth", "for", "final", "fit",
+    "the",
+    "grain",
+    "runs",
+    "true",
+    "along",
+    "this",
+    "board",
+    "and",
+    "finish",
+    "coats",
+    "cure",
+    "hard",
+    "after",
+    "light",
+    "sanding",
+    "between",
+    "layers",
+    "with",
+    "fresh",
+    "shellac",
+    "while",
+    "clamps",
+    "hold",
+    "joints",
+    "square",
+    "until",
+    "glue",
+    "sets",
+    "overnight",
+    "then",
+    "plane",
+    "smooth",
+    "for",
+    "final",
+    "fit",
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "General", "Advanced", "Beginner", "Professional", "Weekend", "Antique", "Modern",
-    "Classic", "Regional", "Technical",
+    "General",
+    "Advanced",
+    "Beginner",
+    "Professional",
+    "Weekend",
+    "Antique",
+    "Modern",
+    "Classic",
+    "Regional",
+    "Technical",
 ];
 
 const SUBJECTS: &[&str] = &[
-    "Woodworking", "Turning", "Carving", "Finishing", "Sharpening", "Power Tools",
-    "Hand Tools", "Project Showcase", "Shop Setup", "Lumber Exchange", "CNC", "Marquetry",
-    "Restoration", "Workbenches", "Joinery",
+    "Woodworking",
+    "Turning",
+    "Carving",
+    "Finishing",
+    "Sharpening",
+    "Power Tools",
+    "Hand Tools",
+    "Project Showcase",
+    "Shop Setup",
+    "Lumber Exchange",
+    "CNC",
+    "Marquetry",
+    "Restoration",
+    "Workbenches",
+    "Joinery",
 ];
 
 /// Generates a username like `OakHands42`.
 pub fn username(rng: &mut Prng) -> String {
-    const PREFIX: &[&str] = &["Oak", "Pine", "Maple", "Walnut", "Cherry", "Birch", "Cedar", "Ash"];
-    const SUFFIX: &[&str] = &["Hands", "Worker", "Turner", "Smith", "Craft", "Shavings", "Grain"];
+    const PREFIX: &[&str] = &[
+        "Oak", "Pine", "Maple", "Walnut", "Cherry", "Birch", "Cedar", "Ash",
+    ];
+    const SUFFIX: &[&str] = &[
+        "Hands", "Worker", "Turner", "Smith", "Craft", "Shavings", "Grain",
+    ];
     format!(
         "{}{}{}",
         rng.pick(PREFIX),
@@ -71,11 +150,24 @@ pub fn sentence(rng: &mut Prng, words: usize) -> String {
 /// Generates a classified-ad title.
 pub fn listing_title(rng: &mut Prng) -> String {
     const ITEMS: &[&str] = &[
-        "Delta 14\" bandsaw", "Oak dining table", "Craftsman router", "Lumber bundle",
-        "Antique hand plane", "Shop vacuum", "Drill press", "Workbench vise",
-        "Festool sander", "Clamp set",
+        "Delta 14\" bandsaw",
+        "Oak dining table",
+        "Craftsman router",
+        "Lumber bundle",
+        "Antique hand plane",
+        "Shop vacuum",
+        "Drill press",
+        "Workbench vise",
+        "Festool sander",
+        "Clamp set",
     ];
-    const CONDITIONS: &[&str] = &["like new", "barely used", "good condition", "needs work", "vintage"];
+    const CONDITIONS: &[&str] = &[
+        "like new",
+        "barely used",
+        "good condition",
+        "needs work",
+        "vintage",
+    ];
     format!(
         "{} - {} - ${}",
         rng.pick(ITEMS),

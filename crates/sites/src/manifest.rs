@@ -64,7 +64,7 @@ impl PageManifest {
             method: msite_net::Method::Get,
             url: base.clone(),
             headers: msite_net::Headers::new(),
-            body: bytes::Bytes::new(),
+            body: msite_support::bytes::Bytes::new(),
         });
         let html = page.body_text();
         let doc = parse_document(&html);
@@ -87,7 +87,7 @@ impl PageManifest {
                         method: msite_net::Method::Get,
                         url: u,
                         headers: msite_net::Headers::new(),
-                        body: bytes::Bytes::new(),
+                        body: msite_support::bytes::Bytes::new(),
                     });
                     if resp.status.is_success() {
                         resp.body.len()
@@ -127,8 +127,14 @@ impl PageManifest {
             css_bytes += doc.text_content(style).len();
         }
         for img in doc.elements_by_tag(root, "img") {
-            let w: u64 = doc.attr(img, "width").and_then(|v| v.parse().ok()).unwrap_or(32);
-            let h: u64 = doc.attr(img, "height").and_then(|v| v.parse().ok()).unwrap_or(32);
+            let w: u64 = doc
+                .attr(img, "width")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(32);
+            let h: u64 = doc
+                .attr(img, "height")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(32);
             image_pixels += w * h;
             if let Some(src) = doc.attr(img, "src") {
                 if let Ok(resolved) = base.join(src) {

@@ -176,8 +176,12 @@ fn split_block<'a>(body: &'a str, kind: &str) -> Result<(&'a str, &'a str), Temp
     let mut depth = 1;
     let mut search_from = 0;
     loop {
-        let next_open = body[search_from..].find(&open_each).map(|i| i + search_from);
-        let next_close = body[search_from..].find(&close_tag).map(|i| i + search_from);
+        let next_open = body[search_from..]
+            .find(&open_each)
+            .map(|i| i + search_from);
+        let next_close = body[search_from..]
+            .find(&close_tag)
+            .map(|i| i + search_from);
         match (next_open, next_close) {
             (Some(o), Some(c)) if o < c => {
                 depth += 1;
@@ -236,9 +240,10 @@ mod tests {
     fn nested_each() {
         let scope = Scope::new().set(
             "outer",
-            vec![Scope::new()
-                .set("label", "A")
-                .set("inner", vec![Scope::new().set("x", "1"), Scope::new().set("x", "2")])],
+            vec![Scope::new().set("label", "A").set(
+                "inner",
+                vec![Scope::new().set("x", "1"), Scope::new().set("x", "2")],
+            )],
         );
         assert_eq!(
             render(
@@ -268,6 +273,9 @@ mod tests {
 
     #[test]
     fn each_over_missing_list_is_empty() {
-        assert_eq!(render("x{{#each gone}}y{{/each}}z", &Scope::new()).unwrap(), "xz");
+        assert_eq!(
+            render("x{{#each gone}}y{{/each}}z", &Scope::new()).unwrap(),
+            "xz"
+        );
     }
 }

@@ -1,0 +1,31 @@
+//! # msite-support
+//!
+//! The hermetic support layer for the m.Site reproduction. Every crate
+//! in the workspace builds fully offline: this crate supplies the small
+//! slices of functionality the workspace previously pulled from external
+//! crates, implemented over `std` only.
+//!
+//! - [`sync`] — non-poisoning [`Mutex`](sync::Mutex)/[`RwLock`](sync::RwLock)
+//!   wrappers (the `parking_lot` calling convention over `std::sync`);
+//! - [`bytes`] — [`Bytes`](bytes::Bytes), a cheaply cloneable shared byte
+//!   buffer for response bodies and cached artifacts;
+//! - [`json`] — a small JSON [`Value`](json::Value) with a
+//!   parser/serializer and the [`ToJson`](json::ToJson)/
+//!   [`FromJson`](json::FromJson) traits used for specs and reports;
+//! - [`thread`] — scoped fan-out helpers over [`std::thread::scope`];
+//! - [`prop`] — a deterministic, seed-driven property-test harness;
+//! - [`benchkit`] — a warmup/iterations/percentiles timing harness with a
+//!   criterion-style surface for the `benches/` targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchkit;
+pub mod bytes;
+pub mod json;
+pub mod prop;
+pub mod sync;
+pub mod thread;
+
+pub use bytes::Bytes;
+pub use json::{FromJson, JsonError, ToJson, Value};

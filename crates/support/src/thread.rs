@@ -1,0 +1,89 @@
+//! Scoped fan-out over [`std::thread::scope`].
+//!
+//! Load generators and concurrency tests spawn a fixed crew of workers
+//! that borrow from the caller's stack and join before returning —
+//! exactly the shape `std::thread::scope` provides, wrapped here so
+//! call sites stay one-liners and results come back in worker order.
+
+/// Runs `workers` copies of `work` concurrently, each receiving its
+/// worker index, and returns the results in index order. Panics in a
+/// worker propagate to the caller after all workers finish.
+pub fn fan_out<T, F>(workers: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers == 0 {
+        return Vec::new();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|index| {
+                scope.spawn({
+                    let work = &work;
+                    move || work(index)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan_out worker panicked"))
+            .collect()
+    })
+}
+
+/// Maps `items` concurrently with one worker per item, borrowing the
+/// items for the duration of the scope. Result order matches item order.
+pub fn scoped_map<I, T, F>(items: &[I], work: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter()
+            .map(|item| {
+                scope.spawn({
+                    let work = &work;
+                    move || work(item)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoped_map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fan_out_returns_in_order() {
+        let results = fan_out(8, |i| i * 2);
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn fan_out_zero_workers() {
+        let results: Vec<u32> = fan_out(0, |_| unreachable!());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn fan_out_borrows_caller_state() {
+        let counter = AtomicUsize::new(0);
+        fan_out(16, |_| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scoped_map_borrows_items() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        assert_eq!(scoped_map(&words, |w| w.len()), vec![1, 2, 3]);
+    }
+}

@@ -22,12 +22,14 @@ fn main() {
     // Before: every click is a full page load.
     let listing_id = site.listing_id("tools", 0);
     let before_list = site.handle(&Request::get(&search_url).unwrap());
-    let before_detail = site.handle(
-        &Request::get(&format!("{}/listing/{listing_id}.html", site.base_url())).unwrap(),
-    );
+    let before_detail = site
+        .handle(&Request::get(&format!("{}/listing/{listing_id}.html", site.base_url())).unwrap());
     println!("--- original site (no AJAX) ---");
     println!("search page : {} bytes", before_list.body.len());
-    println!("detail page : {} bytes (full reload per ad)", before_detail.body.len());
+    println!(
+        "detail page : {} bytes (full reload per ad)",
+        before_detail.body.len()
+    );
 
     // The adaptation: two panes + links converted to asynchronous loads.
     let mut spec = AdaptationSpec::new("cl", &search_url);

@@ -36,9 +36,7 @@ fn main() {
 
     // ---- Step 1: load the page into the visual tool -------------------
     let index_url = format!("{}/index.php", site.base_url());
-    let page_html = site
-        .handle(&Request::get(&index_url).unwrap())
-        .body_text();
+    let page_html = site.handle(&Request::get(&index_url).unwrap()).body_text();
     let model = PageModel::load(&index_url, &page_html, 1024);
     println!("\nselectable objects (admin tool view):");
     for object in model.selectable_objects().iter().take(12) {
@@ -121,18 +119,17 @@ fn main() {
         )
         .generate();
 
-    println!("\n--- generated proxy program ({} lines) ---", script.lines().count());
+    println!(
+        "\n--- generated proxy program ({} lines) ---",
+        script.lines().count()
+    );
     for line in script.lines().take(16) {
         println!("  {line}");
     }
     println!("  ...");
 
     // ---- Step 3: deploy and browse -------------------------------------
-    let proxy = ProxyServer::new(
-        spec,
-        Arc::clone(&site) as OriginRef,
-        ProxyConfig::default(),
-    );
+    let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
     let entry = proxy.handle(&Request::get("http://proxy.test/m/forum/").unwrap());
     let cookie = entry
         .headers
@@ -160,7 +157,11 @@ fn main() {
             .unwrap()
             .with_header("cookie", &cookie),
     );
-    println!("login subpage: {} ({} bytes)", login_page.status, login_page.body.len());
+    println!(
+        "login subpage: {} ({} bytes)",
+        login_page.status,
+        login_page.body.len()
+    );
     assert!(login_page.body_text().contains("mobile_logo.gif"));
 
     let stats = proxy.stats();
@@ -192,7 +193,10 @@ fn main() {
     // Export the generated artifacts like the paper's on-disk layout.
     let out_dir = std::path::Path::new("target/msite-demo");
     match proxy.export_files(out_dir) {
-        Ok(count) => println!("\nexported {count} generated files under {}", out_dir.display()),
+        Ok(count) => println!(
+            "\nexported {count} generated files under {}",
+            out_dir.display()
+        ),
         Err(e) => println!("\nexport skipped: {e}"),
     }
 

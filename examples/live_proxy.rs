@@ -17,8 +17,8 @@ fn main() {
         host: "127.0.0.1".to_string(), // answer as the bound host
         ..ForumConfig::default()
     }));
-    let origin_server = HttpServer::bind("127.0.0.1:0", Arc::clone(&site) as OriginRef)
-        .expect("bind origin");
+    let origin_server =
+        HttpServer::bind("127.0.0.1:0", Arc::clone(&site) as OriginRef).expect("bind origin");
     let origin_url = format!("http://{}/index.php", origin_server.addr());
     println!("origin forum listening on http://{}", origin_server.addr());
 
@@ -39,7 +39,11 @@ fn main() {
             prerender: false,
         }],
     );
-    let proxy = Arc::new(ProxyServer::new(spec, origin_client, ProxyConfig::default()));
+    let proxy = Arc::new(ProxyServer::new(
+        spec,
+        origin_client,
+        ProxyConfig::default(),
+    ));
     let proxy_server =
         HttpServer::bind("127.0.0.1:0", Arc::clone(&proxy) as OriginRef).expect("bind proxy");
     println!(
@@ -49,7 +53,11 @@ fn main() {
 
     // A real mobile client walk.
     let entry = http_get(&format!("http://{}/m/forum/", proxy_server.addr())).expect("entry");
-    println!("\nGET /m/forum/           -> {} ({} bytes)", entry.status, entry.body.len());
+    println!(
+        "\nGET /m/forum/           -> {} ({} bytes)",
+        entry.status,
+        entry.body.len()
+    );
     assert!(entry.status.is_success());
     let cookie = entry
         .headers
@@ -97,7 +105,10 @@ fn main() {
     );
 
     if std::env::args().any(|a| a == "--serve") {
-        println!("\nservers staying up; open http://{}/m/forum/ (ctrl-c to quit)", proxy_server.addr());
+        println!(
+            "\nservers staying up; open http://{}/m/forum/ (ctrl-c to quit)",
+            proxy_server.addr()
+        );
         loop {
             std::thread::sleep(std::time::Duration::from_secs(60));
         }

@@ -54,7 +54,11 @@ fn main() {
         .expect("generated program always parses");
 
     let entry = proxy.handle(&Request::get("http://proxy.test/m/shop/").unwrap());
-    println!("--- mobile entry page ({}) ---\n{}", entry.status, entry.body_text());
+    println!(
+        "--- mobile entry page ({}) ---\n{}",
+        entry.status,
+        entry.body_text()
+    );
 
     // Follow the session cookie to fetch the login subpage.
     let cookie = entry
@@ -68,7 +72,11 @@ fn main() {
             .unwrap()
             .with_header("cookie", cookie),
     );
-    println!("--- login subpage ({}) ---\n{}", login.status, login.body_text());
+    println!(
+        "--- login subpage ({}) ---\n{}",
+        login.status,
+        login.body_text()
+    );
 
     let stats = proxy.stats();
     println!(

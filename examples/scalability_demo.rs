@@ -80,7 +80,10 @@ fn measure(
                     i += 1;
                     let needs_browser = rng.unit_f64() * 100.0 < percent;
                     let ok = if needs_browser {
-                        highlight.render_for(&format!("w{worker}-{i}")).status.is_success()
+                        highlight
+                            .render_for(&format!("w{worker}-{i}"))
+                            .status
+                            .is_success()
                     } else {
                         proxy
                             .handle(&Request::get("http://p/m/forum/").unwrap())

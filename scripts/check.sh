@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, release build, and the full test suite.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q =="
+cargo test -q --offline --workspace

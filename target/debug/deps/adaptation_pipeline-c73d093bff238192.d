@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptation_pipeline-c73d093bff238192.d: crates/bench/benches/adaptation_pipeline.rs
+
+/root/repo/target/debug/deps/adaptation_pipeline-c73d093bff238192: crates/bench/benches/adaptation_pipeline.rs
+
+crates/bench/benches/adaptation_pipeline.rs:

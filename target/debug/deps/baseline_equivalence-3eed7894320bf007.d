@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_equivalence-3eed7894320bf007.d: tests/baseline_equivalence.rs
+
+/root/repo/target/debug/deps/baseline_equivalence-3eed7894320bf007: tests/baseline_equivalence.rs
+
+tests/baseline_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_amortization-11e8f5a383463cb5.d: crates/bench/benches/cache_amortization.rs
+
+/root/repo/target/debug/deps/cache_amortization-11e8f5a383463cb5: crates/bench/benches/cache_amortization.rs
+
+crates/bench/benches/cache_amortization.rs:

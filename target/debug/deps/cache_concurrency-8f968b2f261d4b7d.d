@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_concurrency-8f968b2f261d4b7d.d: crates/core/tests/cache_concurrency.rs
+
+/root/repo/target/debug/deps/cache_concurrency-8f968b2f261d4b7d: crates/core/tests/cache_concurrency.rs
+
+crates/core/tests/cache_concurrency.rs:

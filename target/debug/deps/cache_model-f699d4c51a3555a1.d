@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_model-f699d4c51a3555a1.d: crates/core/tests/cache_model.rs
+
+/root/repo/target/debug/deps/cache_model-f699d4c51a3555a1: crates/core/tests/cache_model.rs
+
+crates/core/tests/cache_model.rs:

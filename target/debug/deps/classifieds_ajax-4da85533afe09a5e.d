@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classifieds_ajax-4da85533afe09a5e.d: tests/classifieds_ajax.rs
+
+/root/repo/target/debug/deps/classifieds_ajax-4da85533afe09a5e: tests/classifieds_ajax.rs
+
+tests/classifieds_ajax.rs:

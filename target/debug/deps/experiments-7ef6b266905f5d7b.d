@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7ef6b266905f5d7b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7ef6b266905f5d7b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bd8c61e21b40b4c8.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bd8c61e21b40b4c8: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-957029bf7ee91235.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-957029bf7ee91235: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_ajax-0512ca0862d6bc66.d: crates/bench/benches/fig6_ajax.rs
+
+/root/repo/target/debug/deps/fig6_ajax-0512ca0862d6bc66: crates/bench/benches/fig6_ajax.rs
+
+crates/bench/benches/fig6_ajax.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_scalability-9c6ac3eb99c97d5a.d: crates/bench/benches/fig7_scalability.rs
+
+/root/repo/target/debug/deps/fig7_scalability-9c6ac3eb99c97d5a: crates/bench/benches/fig7_scalability.rs
+
+crates/bench/benches/fig7_scalability.rs:

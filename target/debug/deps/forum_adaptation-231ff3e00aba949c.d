@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forum_adaptation-231ff3e00aba949c.d: tests/forum_adaptation.rs
+
+/root/repo/target/debug/deps/forum_adaptation-231ff3e00aba949c: tests/forum_adaptation.rs
+
+tests/forum_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_fidelity-f173f4b2a1986b72.d: crates/bench/benches/image_fidelity.rs
+
+/root/repo/target/debug/deps/image_fidelity-f173f4b2a1986b72: crates/bench/benches/image_fidelity.rs
+
+crates/bench/benches/image_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout_cases-ecd54aa3fd1660c3.d: crates/render/tests/layout_cases.rs
+
+/root/repo/target/debug/deps/layout_cases-ecd54aa3fd1660c3: crates/render/tests/layout_cases.rs
+
+crates/render/tests/layout_cases.rs:

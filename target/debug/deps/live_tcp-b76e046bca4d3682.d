@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_tcp-b76e046bca4d3682.d: tests/live_tcp.rs
+
+/root/repo/target/debug/deps/live_tcp-b76e046bca4d3682: tests/live_tcp.rs
+
+tests/live_tcp.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/msite-2372f847a5f1aa98.d: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/ajax.rs crates/core/src/attributes.rs crates/core/src/baseline.rs crates/core/src/cache.rs crates/core/src/dsl.rs crates/core/src/engine.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/attrs.rs crates/core/src/pipeline/dom.rs crates/core/src/pipeline/edit.rs crates/core/src/pipeline/emit.rs crates/core/src/pipeline/fetch.rs crates/core/src/pipeline/filter.rs crates/core/src/pipeline/render.rs crates/core/src/pipeline/stage.rs crates/core/src/pipeline/tests.rs crates/core/src/proxy.rs crates/core/src/search.rs crates/core/src/session.rs crates/core/src/snapshot.rs
+
+/root/repo/target/debug/deps/msite-2372f847a5f1aa98: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/ajax.rs crates/core/src/attributes.rs crates/core/src/baseline.rs crates/core/src/cache.rs crates/core/src/dsl.rs crates/core/src/engine.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/attrs.rs crates/core/src/pipeline/dom.rs crates/core/src/pipeline/edit.rs crates/core/src/pipeline/emit.rs crates/core/src/pipeline/fetch.rs crates/core/src/pipeline/filter.rs crates/core/src/pipeline/render.rs crates/core/src/pipeline/stage.rs crates/core/src/pipeline/tests.rs crates/core/src/proxy.rs crates/core/src/search.rs crates/core/src/session.rs crates/core/src/snapshot.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admin.rs:
+crates/core/src/ajax.rs:
+crates/core/src/attributes.rs:
+crates/core/src/baseline.rs:
+crates/core/src/cache.rs:
+crates/core/src/dsl.rs:
+crates/core/src/engine.rs:
+crates/core/src/pipeline/mod.rs:
+crates/core/src/pipeline/attrs.rs:
+crates/core/src/pipeline/dom.rs:
+crates/core/src/pipeline/edit.rs:
+crates/core/src/pipeline/emit.rs:
+crates/core/src/pipeline/fetch.rs:
+crates/core/src/pipeline/filter.rs:
+crates/core/src/pipeline/render.rs:
+crates/core/src/pipeline/stage.rs:
+crates/core/src/pipeline/tests.rs:
+crates/core/src/proxy.rs:
+crates/core/src/search.rs:
+crates/core/src/session.rs:
+crates/core/src/snapshot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msite_bench-283d2604b355c6a4.d: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/msite_bench-283d2604b355c6a4: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fixtures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/capacity.rs:
+crates/bench/src/claims.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msite_bench-ef719f6d0119117a.d: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libmsite_bench-ef719f6d0119117a.rlib: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libmsite_bench-ef719f6d0119117a.rmeta: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fixtures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/capacity.rs:
+crates/bench/src/claims.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/table1.rs:

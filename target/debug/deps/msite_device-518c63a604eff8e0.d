@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msite_device-518c63a604eff8e0.d: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+/root/repo/target/debug/deps/msite_device-518c63a604eff8e0: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+crates/device/src/lib.rs:
+crates/device/src/profile.rs:
+crates/device/src/simulate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msite_device-e5d0be0061f69392.d: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+/root/repo/target/debug/deps/libmsite_device-e5d0be0061f69392.rlib: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+/root/repo/target/debug/deps/libmsite_device-e5d0be0061f69392.rmeta: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+crates/device/src/lib.rs:
+crates/device/src/profile.rs:
+crates/device/src/simulate.rs:

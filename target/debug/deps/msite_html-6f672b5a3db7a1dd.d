@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msite_html-6f672b5a3db7a1dd.d: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/debug/deps/msite_html-6f672b5a3db7a1dd: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+crates/html/src/lib.rs:
+crates/html/src/dom.rs:
+crates/html/src/entities.rs:
+crates/html/src/parser.rs:
+crates/html/src/serialize.rs:
+crates/html/src/text.rs:
+crates/html/src/tidy.rs:
+crates/html/src/tokenizer.rs:

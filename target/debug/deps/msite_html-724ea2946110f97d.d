@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msite_html-724ea2946110f97d.d: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libmsite_html-724ea2946110f97d.rlib: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libmsite_html-724ea2946110f97d.rmeta: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+crates/html/src/lib.rs:
+crates/html/src/dom.rs:
+crates/html/src/entities.rs:
+crates/html/src/parser.rs:
+crates/html/src/serialize.rs:
+crates/html/src/text.rs:
+crates/html/src/tidy.rs:
+crates/html/src/tokenizer.rs:

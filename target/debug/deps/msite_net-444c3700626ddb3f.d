@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msite_net-444c3700626ddb3f.d: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+/root/repo/target/debug/deps/msite_net-444c3700626ddb3f: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+crates/net/src/lib.rs:
+crates/net/src/auth.rs:
+crates/net/src/cookies.rs:
+crates/net/src/http.rs:
+crates/net/src/link.rs:
+crates/net/src/origin.rs:
+crates/net/src/rng.rs:
+crates/net/src/server.rs:
+crates/net/src/url.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/msite_net-b9366513fef54f39.d: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+/root/repo/target/debug/deps/libmsite_net-b9366513fef54f39.rlib: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+/root/repo/target/debug/deps/libmsite_net-b9366513fef54f39.rmeta: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+crates/net/src/lib.rs:
+crates/net/src/auth.rs:
+crates/net/src/cookies.rs:
+crates/net/src/http.rs:
+crates/net/src/link.rs:
+crates/net/src/origin.rs:
+crates/net/src/rng.rs:
+crates/net/src/server.rs:
+crates/net/src/url.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msite_render-b8632dde440939a7.d: crates/render/src/lib.rs crates/render/src/browser.rs crates/render/src/canvas.rs crates/render/src/css.rs crates/render/src/font.rs crates/render/src/geom.rs crates/render/src/image.rs crates/render/src/layout.rs crates/render/src/paint.rs crates/render/src/png.rs
+
+/root/repo/target/debug/deps/msite_render-b8632dde440939a7: crates/render/src/lib.rs crates/render/src/browser.rs crates/render/src/canvas.rs crates/render/src/css.rs crates/render/src/font.rs crates/render/src/geom.rs crates/render/src/image.rs crates/render/src/layout.rs crates/render/src/paint.rs crates/render/src/png.rs
+
+crates/render/src/lib.rs:
+crates/render/src/browser.rs:
+crates/render/src/canvas.rs:
+crates/render/src/css.rs:
+crates/render/src/font.rs:
+crates/render/src/geom.rs:
+crates/render/src/image.rs:
+crates/render/src/layout.rs:
+crates/render/src/paint.rs:
+crates/render/src/png.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msite_repro-4c2b96afbdfcb3e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsite_repro-4c2b96afbdfcb3e2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmsite_repro-4c2b96afbdfcb3e2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msite_repro-4d00185680eae137.d: src/lib.rs
+
+/root/repo/target/debug/deps/msite_repro-4d00185680eae137: src/lib.rs
+
+src/lib.rs:

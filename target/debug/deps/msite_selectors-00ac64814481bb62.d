@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/msite_selectors-00ac64814481bb62.d: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+/root/repo/target/debug/deps/msite_selectors-00ac64814481bb62: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+crates/selectors/src/lib.rs:
+crates/selectors/src/css.rs:
+crates/selectors/src/query.rs:
+crates/selectors/src/xpath.rs:

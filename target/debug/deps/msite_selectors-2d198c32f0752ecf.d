@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msite_selectors-2d198c32f0752ecf.d: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+/root/repo/target/debug/deps/libmsite_selectors-2d198c32f0752ecf.rlib: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+/root/repo/target/debug/deps/libmsite_selectors-2d198c32f0752ecf.rmeta: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+crates/selectors/src/lib.rs:
+crates/selectors/src/css.rs:
+crates/selectors/src/query.rs:
+crates/selectors/src/xpath.rs:

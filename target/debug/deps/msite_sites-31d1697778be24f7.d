@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msite_sites-31d1697778be24f7.d: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+/root/repo/target/debug/deps/msite_sites-31d1697778be24f7: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+crates/sites/src/lib.rs:
+crates/sites/src/classifieds.rs:
+crates/sites/src/forum.rs:
+crates/sites/src/lorem.rs:
+crates/sites/src/manifest.rs:
+crates/sites/src/template.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msite_sites-6a8871d10df68c81.d: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+/root/repo/target/debug/deps/libmsite_sites-6a8871d10df68c81.rlib: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+/root/repo/target/debug/deps/libmsite_sites-6a8871d10df68c81.rmeta: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+crates/sites/src/lib.rs:
+crates/sites/src/classifieds.rs:
+crates/sites/src/forum.rs:
+crates/sites/src/lorem.rs:
+crates/sites/src/manifest.rs:
+crates/sites/src/template.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msite_support-01c67e147f6f592b.d: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+/root/repo/target/debug/deps/msite_support-01c67e147f6f592b: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+crates/support/src/lib.rs:
+crates/support/src/benchkit.rs:
+crates/support/src/bytes.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/sync.rs:
+crates/support/src/thread.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msite_support-5e2bfa2e5d3228bb.d: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+/root/repo/target/debug/deps/libmsite_support-5e2bfa2e5d3228bb.rlib: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+/root/repo/target/debug/deps/libmsite_support-5e2bfa2e5d3228bb.rmeta: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+crates/support/src/lib.rs:
+crates/support/src/benchkit.rs:
+crates/support/src/bytes.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/sync.rs:
+crates/support/src/thread.rs:

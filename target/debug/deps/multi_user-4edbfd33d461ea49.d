@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_user-4edbfd33d461ea49.d: tests/multi_user.rs
+
+/root/repo/target/debug/deps/multi_user-4edbfd33d461ea49: tests/multi_user.rs
+
+tests/multi_user.rs:

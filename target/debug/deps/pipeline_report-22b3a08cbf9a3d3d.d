@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_report-22b3a08cbf9a3d3d.d: crates/core/tests/pipeline_report.rs
+
+/root/repo/target/debug/deps/pipeline_report-22b3a08cbf9a3d3d: crates/core/tests/pipeline_report.rs
+
+crates/core/tests/pipeline_report.rs:

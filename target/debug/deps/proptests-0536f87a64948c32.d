@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0536f87a64948c32.d: crates/html/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0536f87a64948c32: crates/html/tests/proptests.rs
+
+crates/html/tests/proptests.rs:

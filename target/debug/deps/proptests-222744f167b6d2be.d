@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-222744f167b6d2be.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-222744f167b6d2be: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6ae3aee3e91599ca.d: crates/selectors/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6ae3aee3e91599ca: crates/selectors/tests/proptests.rs
+
+crates/selectors/tests/proptests.rs:

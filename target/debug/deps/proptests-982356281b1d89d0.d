@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-982356281b1d89d0.d: crates/render/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-982356281b1d89d0: crates/render/tests/proptests.rs
+
+crates/render/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c1cd5a8bc9b03eed.d: crates/net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c1cd5a8bc9b03eed: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c6abcf601b7a8b71.d: crates/device/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c6abcf601b7a8b71: crates/device/tests/proptests.rs
+
+crates/device/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/render_engine-853962708e9972d7.d: crates/bench/benches/render_engine.rs
+
+/root/repo/target/debug/deps/render_engine-853962708e9972d7: crates/bench/benches/render_engine.rs
+
+crates/bench/benches/render_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selector_matching-4a06bb8080abcf0d.d: crates/bench/benches/selector_matching.rs
+
+/root/repo/target/debug/deps/selector_matching-4a06bb8080abcf0d: crates/bench/benches/selector_matching.rs
+
+crates/bench/benches/selector_matching.rs:

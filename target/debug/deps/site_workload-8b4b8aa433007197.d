@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/site_workload-8b4b8aa433007197.d: tests/site_workload.rs
+
+/root/repo/target/debug/deps/site_workload-8b4b8aa433007197: tests/site_workload.rs
+
+tests/site_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_page_load-4d454737bfe7d7b7.d: crates/bench/benches/table1_page_load.rs
+
+/root/repo/target/debug/deps/table1_page_load-4d454737bfe7d7b7: crates/bench/benches/table1_page_load.rs
+
+crates/bench/benches/table1_page_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/craigslist_ajax-4adedf040fb7549f.d: examples/craigslist_ajax.rs
+
+/root/repo/target/debug/examples/craigslist_ajax-4adedf040fb7549f: examples/craigslist_ajax.rs
+
+examples/craigslist_ajax.rs:

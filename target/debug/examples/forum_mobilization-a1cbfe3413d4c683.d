@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forum_mobilization-a1cbfe3413d4c683.d: examples/forum_mobilization.rs
+
+/root/repo/target/debug/examples/forum_mobilization-a1cbfe3413d4c683: examples/forum_mobilization.rs
+
+examples/forum_mobilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_proxy-6b7234fd2aa36947.d: examples/live_proxy.rs
+
+/root/repo/target/debug/examples/live_proxy-6b7234fd2aa36947: examples/live_proxy.rs
+
+examples/live_proxy.rs:

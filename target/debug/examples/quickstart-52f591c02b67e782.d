@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-52f591c02b67e782.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-52f591c02b67e782: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability_demo-8a3257f912f9b149.d: examples/scalability_demo.rs
+
+/root/repo/target/debug/examples/scalability_demo-8a3257f912f9b149: examples/scalability_demo.rs
+
+examples/scalability_demo.rs:

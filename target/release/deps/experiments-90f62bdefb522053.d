@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-90f62bdefb522053.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-90f62bdefb522053: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

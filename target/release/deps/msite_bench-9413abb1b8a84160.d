@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msite_bench-9413abb1b8a84160.d: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libmsite_bench-9413abb1b8a84160.rlib: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libmsite_bench-9413abb1b8a84160.rmeta: crates/bench/src/lib.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/capacity.rs crates/bench/src/claims.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fixtures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/capacity.rs:
+crates/bench/src/claims.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msite_device-9eda07adc4317edc.d: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+/root/repo/target/release/deps/libmsite_device-9eda07adc4317edc.rlib: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+/root/repo/target/release/deps/libmsite_device-9eda07adc4317edc.rmeta: crates/device/src/lib.rs crates/device/src/profile.rs crates/device/src/simulate.rs
+
+crates/device/src/lib.rs:
+crates/device/src/profile.rs:
+crates/device/src/simulate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msite_html-35448bd541a9e1df.d: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/release/deps/libmsite_html-35448bd541a9e1df.rlib: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/release/deps/libmsite_html-35448bd541a9e1df.rmeta: crates/html/src/lib.rs crates/html/src/dom.rs crates/html/src/entities.rs crates/html/src/parser.rs crates/html/src/serialize.rs crates/html/src/text.rs crates/html/src/tidy.rs crates/html/src/tokenizer.rs
+
+crates/html/src/lib.rs:
+crates/html/src/dom.rs:
+crates/html/src/entities.rs:
+crates/html/src/parser.rs:
+crates/html/src/serialize.rs:
+crates/html/src/text.rs:
+crates/html/src/tidy.rs:
+crates/html/src/tokenizer.rs:

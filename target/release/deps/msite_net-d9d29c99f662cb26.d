@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/msite_net-d9d29c99f662cb26.d: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+/root/repo/target/release/deps/libmsite_net-d9d29c99f662cb26.rlib: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+/root/repo/target/release/deps/libmsite_net-d9d29c99f662cb26.rmeta: crates/net/src/lib.rs crates/net/src/auth.rs crates/net/src/cookies.rs crates/net/src/http.rs crates/net/src/link.rs crates/net/src/origin.rs crates/net/src/rng.rs crates/net/src/server.rs crates/net/src/url.rs
+
+crates/net/src/lib.rs:
+crates/net/src/auth.rs:
+crates/net/src/cookies.rs:
+crates/net/src/http.rs:
+crates/net/src/link.rs:
+crates/net/src/origin.rs:
+crates/net/src/rng.rs:
+crates/net/src/server.rs:
+crates/net/src/url.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/msite_render-8770157623464dd8.d: crates/render/src/lib.rs crates/render/src/browser.rs crates/render/src/canvas.rs crates/render/src/css.rs crates/render/src/font.rs crates/render/src/geom.rs crates/render/src/image.rs crates/render/src/layout.rs crates/render/src/paint.rs crates/render/src/png.rs
+
+/root/repo/target/release/deps/libmsite_render-8770157623464dd8.rlib: crates/render/src/lib.rs crates/render/src/browser.rs crates/render/src/canvas.rs crates/render/src/css.rs crates/render/src/font.rs crates/render/src/geom.rs crates/render/src/image.rs crates/render/src/layout.rs crates/render/src/paint.rs crates/render/src/png.rs
+
+/root/repo/target/release/deps/libmsite_render-8770157623464dd8.rmeta: crates/render/src/lib.rs crates/render/src/browser.rs crates/render/src/canvas.rs crates/render/src/css.rs crates/render/src/font.rs crates/render/src/geom.rs crates/render/src/image.rs crates/render/src/layout.rs crates/render/src/paint.rs crates/render/src/png.rs
+
+crates/render/src/lib.rs:
+crates/render/src/browser.rs:
+crates/render/src/canvas.rs:
+crates/render/src/css.rs:
+crates/render/src/font.rs:
+crates/render/src/geom.rs:
+crates/render/src/image.rs:
+crates/render/src/layout.rs:
+crates/render/src/paint.rs:
+crates/render/src/png.rs:

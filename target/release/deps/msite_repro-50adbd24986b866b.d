@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msite_repro-50adbd24986b866b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmsite_repro-50adbd24986b866b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmsite_repro-50adbd24986b866b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/msite_selectors-021c0d6bfb287712.d: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+/root/repo/target/release/deps/libmsite_selectors-021c0d6bfb287712.rlib: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+/root/repo/target/release/deps/libmsite_selectors-021c0d6bfb287712.rmeta: crates/selectors/src/lib.rs crates/selectors/src/css.rs crates/selectors/src/query.rs crates/selectors/src/xpath.rs
+
+crates/selectors/src/lib.rs:
+crates/selectors/src/css.rs:
+crates/selectors/src/query.rs:
+crates/selectors/src/xpath.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/msite_sites-eae8c4408d40ade4.d: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+/root/repo/target/release/deps/libmsite_sites-eae8c4408d40ade4.rlib: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+/root/repo/target/release/deps/libmsite_sites-eae8c4408d40ade4.rmeta: crates/sites/src/lib.rs crates/sites/src/classifieds.rs crates/sites/src/forum.rs crates/sites/src/lorem.rs crates/sites/src/manifest.rs crates/sites/src/template.rs
+
+crates/sites/src/lib.rs:
+crates/sites/src/classifieds.rs:
+crates/sites/src/forum.rs:
+crates/sites/src/lorem.rs:
+crates/sites/src/manifest.rs:
+crates/sites/src/template.rs:

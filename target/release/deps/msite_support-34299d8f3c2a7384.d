@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/msite_support-34299d8f3c2a7384.d: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+/root/repo/target/release/deps/libmsite_support-34299d8f3c2a7384.rlib: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+/root/repo/target/release/deps/libmsite_support-34299d8f3c2a7384.rmeta: crates/support/src/lib.rs crates/support/src/benchkit.rs crates/support/src/bytes.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/sync.rs crates/support/src/thread.rs
+
+crates/support/src/lib.rs:
+crates/support/src/benchkit.rs:
+crates/support/src/bytes.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/sync.rs:
+crates/support/src/thread.rs:

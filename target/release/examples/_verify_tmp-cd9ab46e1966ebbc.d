@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_tmp-cd9ab46e1966ebbc.d: examples/_verify_tmp.rs
+
+/root/repo/target/release/examples/_verify_tmp-cd9ab46e1966ebbc: examples/_verify_tmp.rs
+
+examples/_verify_tmp.rs:

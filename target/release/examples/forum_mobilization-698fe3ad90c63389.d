@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/forum_mobilization-698fe3ad90c63389.d: examples/forum_mobilization.rs
+
+/root/repo/target/release/examples/forum_mobilization-698fe3ad90c63389: examples/forum_mobilization.rs
+
+examples/forum_mobilization.rs:

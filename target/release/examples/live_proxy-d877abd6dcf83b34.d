@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_proxy-d877abd6dcf83b34.d: examples/live_proxy.rs
+
+/root/repo/target/release/examples/live_proxy-d877abd6dcf83b34: examples/live_proxy.rs
+
+examples/live_proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-eeac7d68d0c40545.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-eeac7d68d0c40545: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -13,27 +13,28 @@ fn deploy() -> (Arc<ClassifiedsSite>, ProxyServer) {
     let search_url = format!("{}/search?cat=tools&page=0", site.base_url());
     let mut spec = AdaptationSpec::new("cl", &search_url);
     spec.snapshot = None;
-    let spec = spec.rule(
-        Target::Css("#results".into()),
-        vec![
-            Attribute::SetAttr {
-                name: "style".into(),
-                value: "float:left;width:44%".into(),
-            },
-            Attribute::InsertAfter {
-                html: "<div id=\"msite-detail\"></div>".into(),
-            },
-            Attribute::LinksToAjax {
+    let spec = spec
+        .rule(
+            Target::Css("#results".into()),
+            vec![
+                Attribute::SetAttr {
+                    name: "style".into(),
+                    value: "float:left;width:44%".into(),
+                },
+                Attribute::InsertAfter {
+                    html: "<div id=\"msite-detail\"></div>".into(),
+                },
+                Attribute::LinksToAjax {
+                    target: "#msite-detail".into(),
+                },
+            ],
+        )
+        .rule(
+            Target::Css("#nextpage".into()),
+            vec![Attribute::LinksToAjax {
                 target: "#msite-detail".into(),
-            },
-        ],
-    )
-    .rule(
-        Target::Css("#nextpage".into()),
-        vec![Attribute::LinksToAjax {
-            target: "#msite-detail".into(),
-        }],
-    );
+            }],
+        );
     let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
     (site, proxy)
 }
@@ -61,10 +62,14 @@ fn entry_page_has_two_panes_and_async_links() {
     let links = doc.elements_by_tag(results, "a");
     let async_links = links
         .iter()
-        .filter(|&&a| doc.attr(a, "onclick").map(|o| o.contains("msiteLoad")).unwrap_or(false))
+        .filter(|&&a| {
+            doc.attr(a, "onclick")
+                .map(|o| o.contains("msiteLoad"))
+                .unwrap_or(false)
+        })
         .count();
     assert_eq!(async_links, 100); // one per listing row
-    // The helper script was injected.
+                                  // The helper script was injected.
     assert!(entry.body_text().contains("function msiteLoad"));
 }
 
@@ -114,8 +119,10 @@ fn fragment_smaller_than_full_navigation() {
             .unwrap()
             .with_header("cookie", &cookie),
     );
-    let list = site.handle(&Request::get(&format!("{}/search?cat=tools&page=0", site.base_url())).unwrap());
-    let detail = site.handle(&Request::get(&format!("{}/listing/{id}.html", site.base_url())).unwrap());
+    let list = site
+        .handle(&Request::get(&format!("{}/search?cat=tools&page=0", site.base_url())).unwrap());
+    let detail =
+        site.handle(&Request::get(&format!("{}/listing/{id}.html", site.base_url())).unwrap());
     assert!(frag.body.len() < detail.body.len());
     assert!(frag.body.len() < (list.body.len() + detail.body.len()) / 10);
 }

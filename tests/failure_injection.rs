@@ -28,7 +28,11 @@ fn origin_down_yields_bad_gateway_not_panic() {
     let dead: OriginRef = Arc::new(|_req: &Request| {
         Response::error(Status::SERVICE_UNAVAILABLE, "maintenance window")
     });
-    let proxy = ProxyServer::new(spec_for("http://down.test/", true), dead, ProxyConfig::default());
+    let proxy = ProxyServer::new(
+        spec_for("http://down.test/", true),
+        dead,
+        ProxyConfig::default(),
+    );
     let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
     assert_eq!(entry.status, Status::BAD_GATEWAY);
     // The proxy itself stays alive for subsequent requests.
@@ -47,7 +51,11 @@ fn flaky_origin_failures_do_not_poison_the_cache() {
             Response::error(Status::NOT_FOUND, "nope")
         }
     });
-    let flaky = Arc::new(FlakyOrigin::new(healthy, 1.0, Status::INTERNAL_SERVER_ERROR));
+    let flaky = Arc::new(FlakyOrigin::new(
+        healthy,
+        1.0,
+        Status::INTERNAL_SERVER_ERROR,
+    ));
     let proxy = ProxyServer::new(
         spec_for("http://flaky.test/index.php", false),
         flaky,
@@ -55,7 +63,10 @@ fn flaky_origin_failures_do_not_poison_the_cache() {
     );
     let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
     assert_eq!(entry.status, Status::BAD_GATEWAY);
-    assert!(proxy.cache().get("entry:html").is_none(), "failure must not be cached");
+    assert!(
+        proxy.cache().get("entry:html").is_none(),
+        "failure must not be cached"
+    );
 }
 
 #[test]
@@ -68,7 +79,11 @@ fn malformed_origin_markup_still_adapts() {
              <p>more<p>text",
         )
     });
-    let proxy = ProxyServer::new(spec_for("http://messy.test/", false), messy, ProxyConfig::default());
+    let proxy = ProxyServer::new(
+        spec_for("http://messy.test/", false),
+        messy,
+        ProxyConfig::default(),
+    );
     let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
     assert!(entry.status.is_success());
     assert!(entry.body_text().contains("/m/t/s/main.html"));
@@ -85,7 +100,11 @@ fn oversized_page_is_bounded_by_render_cap() {
         body.push_str("</body></html>");
         Response::html(body)
     });
-    let proxy = ProxyServer::new(spec_for("http://huge.test/", true), huge, ProxyConfig::default());
+    let proxy = ProxyServer::new(
+        spec_for("http://huge.test/", true),
+        huge,
+        ProxyConfig::default(),
+    );
     let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
     assert!(entry.status.is_success());
     // The snapshot height was clamped by the browser's max_page_height
@@ -111,7 +130,11 @@ fn oversized_page_is_bounded_by_render_cap() {
 #[test]
 fn empty_origin_body_handled() {
     let empty: OriginRef = Arc::new(|_req: &Request| Response::html(""));
-    let proxy = ProxyServer::new(spec_for("http://empty.test/", false), empty, ProxyConfig::default());
+    let proxy = ProxyServer::new(
+        spec_for("http://empty.test/", false),
+        empty,
+        ProxyConfig::default(),
+    );
     let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
     assert!(entry.status.is_success());
 }
@@ -146,7 +169,7 @@ fn ajax_origin_error_reported_as_bad_gateway() {
 
 #[test]
 fn intermittent_failures_recover_between_requests() {
-    use parking_lot::Mutex;
+    use msite_support::sync::Mutex;
     let hits = Arc::new(Mutex::new(0u32));
     let hits2 = Arc::clone(&hits);
     // Fails on the first fetch, succeeds afterwards.

@@ -42,7 +42,11 @@ impl Stack {
                 prerender: false,
             }],
         );
-        let proxy = Arc::new(ProxyServer::new(spec, origin_client, ProxyConfig::default()));
+        let proxy = Arc::new(ProxyServer::new(
+            spec,
+            origin_client,
+            ProxyConfig::default(),
+        ));
         let proxy_server = HttpServer::bind("127.0.0.1:0", proxy as OriginRef).unwrap();
         Stack {
             origin_server,

@@ -117,8 +117,7 @@ fn concurrent_users_hammering_the_proxy() {
             let proxy = Arc::clone(&proxy);
             std::thread::spawn(move || {
                 for _ in 0..20 {
-                    let entry = proxy
-                        .handle(&Request::get("http://p/m/forum/").unwrap());
+                    let entry = proxy.handle(&Request::get("http://p/m/forum/").unwrap());
                     assert!(entry.status.is_success());
                     let cookie = cookie_of(&entry);
                     let login = proxy.handle(

@@ -6,149 +6,148 @@ use msite::attributes::{
     AdaptationSpec, Attribute, DockObject, Position, Rule, SnapshotSpec, SourceFilter, Target,
 };
 use msite::{adapt, PipelineContext};
-use proptest::prelude::*;
+use msite_support::prop::{self, Gen};
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,10}"
-}
-
-fn arb_text() -> impl Strategy<Value = String> {
+fn arb_text(g: &mut Gen) -> String {
     // Includes quotes, backslashes and newlines to stress the DSL quoting.
-    proptest::string::string_regex("[ -~\\n\\t]{0,24}").unwrap()
+    g.ascii_ws_string(24)
 }
 
-fn arb_target() -> impl Strategy<Value = Target> {
-    prop_oneof![
-        arb_ident().prop_map(|id| Target::Css(format!("#{id}"))),
-        arb_ident().prop_map(|tag| Target::Css(format!("{tag}.x"))),
-        arb_ident().prop_map(|tag| Target::XPath(format!("//{tag}"))),
-        prop::sample::select(vec![
-            DockObject::Doctype,
-            DockObject::Title,
-            DockObject::Scripts,
-            DockObject::Stylesheets,
-            DockObject::Head,
-            DockObject::Cookies,
-        ])
-        .prop_map(Target::Dock),
-    ]
-}
-
-fn arb_position() -> impl Strategy<Value = Position> {
-    prop::sample::select(vec![Position::Head, Position::Top, Position::Bottom])
-}
-
-fn arb_attribute(subpage_id: String) -> impl Strategy<Value = Attribute> {
-    let sid = subpage_id.clone();
-    let sid2 = subpage_id.clone();
-    prop_oneof![
-        (arb_text(), any::<bool>(), any::<bool>()).prop_map(move |(title, ajax, prerender)| {
-            Attribute::Subpage {
-                id: sid.clone(),
-                title,
-                ajax,
-                prerender,
-            }
-        }),
-        (arb_position(), proptest::option::of((arb_ident(), arb_text())))
-            .prop_map(move |(position, set_attr)| Attribute::CopyTo {
-                subpage: sid2.clone(),
-                position,
-                set_attr,
-            }),
-        Just(Attribute::Remove),
-        Just(Attribute::Hide),
-        arb_text().prop_map(|html| Attribute::ReplaceWith { html }),
-        arb_text().prop_map(|html| Attribute::InsertBefore { html }),
-        arb_text().prop_map(|html| Attribute::InsertAfter { html }),
-        (arb_ident(), arb_text()).prop_map(|(name, value)| Attribute::SetAttr { name, value }),
-        (1u32..5).prop_map(|columns| Attribute::LinksToColumns { columns }),
-        arb_text().prop_map(|code| Attribute::InjectClientScript { code }),
-        (0.1f32..1.0, 1u8..100, proptest::option::of(1u64..100_000)).prop_map(
-            |(scale, quality, ttl)| Attribute::PrerenderImage {
-                scale,
-                quality,
-                cache_ttl_secs: ttl,
-            }
-        ),
-        Just(Attribute::Searchable),
-        (1u8..100).prop_map(|quality| Attribute::ImageFidelity { quality }),
-        Just(Attribute::AjaxRewrite),
-        arb_ident().prop_map(|t| Attribute::LinksToAjax { target: format!("#{t}") }),
-        arb_ident().prop_map(|s| Attribute::Dependency { selector: format!(".{s}") }),
-        Just(Attribute::HttpAuth),
-    ]
-}
-
-fn arb_filter() -> impl Strategy<Value = SourceFilter> {
-    prop_oneof![
-        (arb_text(), arb_text()).prop_map(|(find, replace)| SourceFilter::Replace {
-            find,
-            replace
-        }),
-        arb_text().prop_map(|doctype| SourceFilter::SetDoctype { doctype }),
-        arb_text().prop_map(|title| SourceFilter::SetTitle { title }),
-        arb_ident().prop_map(|tag| SourceFilter::StripTag { tag }),
-        (arb_text(), arb_text()).prop_map(|(from, to)| SourceFilter::RewriteImagePrefix {
-            from,
-            to
-        }),
-    ]
-}
-
-prop_compose! {
-    fn arb_spec()(
-        page_id in arb_ident(),
-        session in any::<bool>(),
-        snapshot in proptest::option::of((0.1f32..1.0, 1u8..100, 1u64..100_000)),
-        filters in prop::collection::vec(arb_filter(), 0..4),
-        rule_data in prop::collection::vec(
-            (arb_target(), arb_ident(), prop::collection::vec(any::<u8>(), 1..4)),
-            0..4
-        ),
-    ) -> AdaptationSpec {
-        let mut spec = AdaptationSpec::new(&page_id, "http://origin.test/index.php");
-        spec.session_required = session;
-        spec.snapshot = snapshot.map(|(scale, quality, ttl)| SnapshotSpec {
-            scale,
-            quality,
-            cache_ttl_secs: ttl,
-            viewport_width: 800,
-        });
-        spec.filters = filters;
-        spec.rules = Vec::new();
-        for (target, sid, _picks) in rule_data {
-            spec.rules.push(Rule { target, attributes: Vec::new() });
-            let _ = sid;
-        }
-        spec
+fn arb_target(g: &mut Gen) -> Target {
+    const DOCKS: [DockObject; 6] = [
+        DockObject::Doctype,
+        DockObject::Title,
+        DockObject::Scripts,
+        DockObject::Stylesheets,
+        DockObject::Head,
+        DockObject::Cookies,
+    ];
+    match g.range_u32(0, 4) {
+        0 => Target::Css(format!("#{}", g.ident(10))),
+        1 => Target::Css(format!("{}.x", g.ident(10))),
+        2 => Target::XPath(format!("//{}", g.ident(10))),
+        _ => Target::Dock(*g.pick(&DOCKS)),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_position(g: &mut Gen) -> Position {
+    *g.pick(&[Position::Head, Position::Top, Position::Bottom])
+}
 
-    /// Structured specs survive JSON round trips.
-    #[test]
-    fn spec_json_round_trip(spec in arb_spec()) {
+fn arb_attribute(g: &mut Gen, subpage_id: &str) -> Attribute {
+    match g.range_u32(0, 17) {
+        0 => Attribute::Subpage {
+            id: subpage_id.to_string(),
+            title: arb_text(g),
+            ajax: g.bool(),
+            prerender: g.bool(),
+        },
+        1 => Attribute::CopyTo {
+            subpage: subpage_id.to_string(),
+            position: arb_position(g),
+            set_attr: g.option(|g| (g.ident(10), arb_text(g))),
+        },
+        2 => Attribute::Remove,
+        3 => Attribute::Hide,
+        4 => Attribute::ReplaceWith { html: arb_text(g) },
+        5 => Attribute::InsertBefore { html: arb_text(g) },
+        6 => Attribute::InsertAfter { html: arb_text(g) },
+        7 => Attribute::SetAttr {
+            name: g.ident(10),
+            value: arb_text(g),
+        },
+        8 => Attribute::LinksToColumns {
+            columns: g.range_u32(1, 5),
+        },
+        9 => Attribute::InjectClientScript { code: arb_text(g) },
+        10 => Attribute::PrerenderImage {
+            scale: g.range_f32(0.1, 1.0),
+            quality: g.range_u8(1, 100),
+            cache_ttl_secs: g.option(|g| g.range_u64(1, 100_000)),
+        },
+        11 => Attribute::Searchable,
+        12 => Attribute::ImageFidelity {
+            quality: g.range_u8(1, 100),
+        },
+        13 => Attribute::AjaxRewrite,
+        14 => Attribute::LinksToAjax {
+            target: format!("#{}", g.ident(10)),
+        },
+        15 => Attribute::Dependency {
+            selector: format!(".{}", g.ident(10)),
+        },
+        _ => Attribute::HttpAuth,
+    }
+}
+
+fn arb_filter(g: &mut Gen) -> SourceFilter {
+    match g.range_u32(0, 5) {
+        0 => SourceFilter::Replace {
+            find: arb_text(g),
+            replace: arb_text(g),
+        },
+        1 => SourceFilter::SetDoctype {
+            doctype: arb_text(g),
+        },
+        2 => SourceFilter::SetTitle { title: arb_text(g) },
+        3 => SourceFilter::StripTag { tag: g.ident(10) },
+        _ => SourceFilter::RewriteImagePrefix {
+            from: arb_text(g),
+            to: arb_text(g),
+        },
+    }
+}
+
+fn arb_spec(g: &mut Gen) -> AdaptationSpec {
+    let mut spec = AdaptationSpec::new(&g.ident(10), "http://origin.test/index.php");
+    spec.session_required = g.bool();
+    spec.snapshot = g.option(|g| SnapshotSpec {
+        scale: g.range_f32(0.1, 1.0),
+        quality: g.range_u8(1, 100),
+        cache_ttl_secs: g.range_u64(1, 100_000),
+        viewport_width: 800,
+    });
+    spec.filters = g.vec(0, 3, arb_filter);
+    spec.rules = g
+        .vec(0, 3, arb_target)
+        .into_iter()
+        .map(|target| Rule {
+            target,
+            attributes: Vec::new(),
+        })
+        .collect();
+    spec
+}
+
+/// Structured specs survive JSON round trips.
+#[test]
+fn spec_json_round_trip() {
+    prop::check("spec json round-trip", 64, 0x0A11_5BEC, |g| {
+        let spec = arb_spec(g);
         let json = spec.to_json();
         let parsed = AdaptationSpec::from_json(&json).unwrap();
-        prop_assert_eq!(spec, parsed);
-    }
+        assert_eq!(spec, parsed);
+    });
+}
 
-    /// Rule-free specs survive the DSL round trip (attribute-bearing
-    /// specs are covered by the attribute round-trip test below).
-    #[test]
-    fn spec_dsl_round_trip(spec in arb_spec()) {
+/// Rule-free specs survive the DSL round trip (attribute-bearing specs
+/// are covered by the attribute round-trip test below).
+#[test]
+fn spec_dsl_round_trip() {
+    prop::check("spec dsl round-trip", 64, 0x0A11_5BED, |g| {
+        let spec = arb_spec(g);
         let script = msite::dsl::to_script(&spec);
         let parsed = msite::dsl::parse_script(&script).unwrap();
-        prop_assert_eq!(spec, parsed);
-    }
+        assert_eq!(spec, parsed);
+    });
+}
 
-    /// Every attribute variant round-trips through the DSL, including
-    /// hostile strings in the payload.
-    #[test]
-    fn attribute_dsl_round_trip(attr in arb_attribute("sub".to_string())) {
+/// Every attribute variant round-trips through the DSL, including
+/// hostile strings in the payload.
+#[test]
+fn attribute_dsl_round_trip() {
+    prop::check("attribute dsl round-trip", 64, 0x0A11_5BEE, |g| {
+        let attr = arb_attribute(g, "sub");
         let mut spec = AdaptationSpec::new("p", "http://h/");
         spec.snapshot = None;
         // A subpage declaration keeps copy-to references valid.
@@ -165,48 +164,65 @@ proptest! {
             ],
         });
         let script = msite::dsl::to_script(&spec);
-        let parsed = msite::dsl::parse_script(&script)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{script}")))?;
-        prop_assert_eq!(spec, parsed);
-    }
-
-    /// The pipeline is total over arbitrary origin markup for a fixed
-    /// filter+DOM spec (no panics, always an entry page).
-    #[test]
-    fn pipeline_total_over_arbitrary_markup(page in "[ -~]{0,400}") {
-        let mut spec = AdaptationSpec::new("p", "http://h/");
-        spec.snapshot = None;
-        let spec = spec
-            .filter(SourceFilter::SetTitle { title: "T".into() })
-            .rule(Target::Css("#main".into()), vec![Attribute::Remove])
-            .rule(Target::Css("a".into()), vec![Attribute::SetAttr {
-                name: "rel".into(),
-                value: "nofollow".into(),
-            }]);
-        let ctx = PipelineContext {
-            base: "/m/p".into(),
-            browser_config: Default::default(),
+        let parsed = match msite::dsl::parse_script(&script) {
+            Ok(parsed) => parsed,
+            Err(e) => panic!("{e}\n{script}"),
         };
-        let bundle = adapt(&spec, &page, &ctx).unwrap();
-        prop_assert!(!bundle.stats.browser_used);
-    }
+        assert_eq!(spec, parsed);
+    });
+}
 
-    /// Source filters never corrupt pages into something the DOM phase
-    /// cannot handle: filter-then-parse equals parse-of-filtered.
-    #[test]
-    fn filters_compose_with_parsing(
-        page in "[ -~]{0,200}",
-        find in "[a-z]{1,4}",
-        replace in "[a-z]{0,4}",
-    ) {
+/// The pipeline is total over arbitrary origin markup for a fixed
+/// filter+DOM spec (no panics, always an entry page).
+#[test]
+fn pipeline_total_over_arbitrary_markup() {
+    prop::check(
+        "pipeline total over arbitrary markup",
+        64,
+        0x0A11_5BEF,
+        |g| {
+            let page = g.ascii_string(400);
+            let mut spec = AdaptationSpec::new("p", "http://h/");
+            spec.snapshot = None;
+            let spec = spec
+                .filter(SourceFilter::SetTitle { title: "T".into() })
+                .rule(Target::Css("#main".into()), vec![Attribute::Remove])
+                .rule(
+                    Target::Css("a".into()),
+                    vec![Attribute::SetAttr {
+                        name: "rel".into(),
+                        value: "nofollow".into(),
+                    }],
+                );
+            let ctx = PipelineContext {
+                base: "/m/p".into(),
+                browser_config: Default::default(),
+            };
+            let bundle = adapt(&spec, &page, &ctx).unwrap();
+            assert!(!bundle.stats.browser_used);
+        },
+    );
+}
+
+/// Source filters never corrupt pages into something the DOM phase
+/// cannot handle: filter-then-parse equals parse-of-filtered.
+#[test]
+fn filters_compose_with_parsing() {
+    prop::check("filters compose with parsing", 64, 0x0A11_5BF0, |g| {
+        let page = g.ascii_string(200);
+        let find = g.string_from("abcdefghijklmnopqrstuvwxyz", 1, 4);
+        let replace = g.string_from("abcdefghijklmnopqrstuvwxyz", 0, 4);
         let mut spec = AdaptationSpec::new("p", "http://h/");
         spec.snapshot = None;
         let spec = spec.filter(SourceFilter::Replace {
             find: find.clone(),
             replace: replace.clone(),
         });
-        let ctx = PipelineContext { base: "/m/p".into(), browser_config: Default::default() };
+        let ctx = PipelineContext {
+            base: "/m/p".into(),
+            browser_config: Default::default(),
+        };
         let bundle = adapt(&spec, &page, &ctx).unwrap();
-        prop_assert_eq!(bundle.entry_html, page.replace(&find, &replace));
-    }
+        assert_eq!(bundle.entry_html, page.replace(&find, &replace));
+    });
 }

@@ -68,7 +68,9 @@ fn page_structure_has_every_paper_section_in_order() {
     ];
     let mut last = 0;
     for marker in order {
-        let at = body.find(marker).unwrap_or_else(|| panic!("missing {marker}"));
+        let at = body
+            .find(marker)
+            .unwrap_or_else(|| panic!("missing {marker}"));
         assert!(at > last, "{marker} out of order");
         last = at;
     }
@@ -119,9 +121,7 @@ fn dynamic_pages_resolve_from_index_links() {
         let start = pos + at;
         let end = body[start..].find('"').unwrap() + start;
         let path = &body[start..end];
-        let resp = site.handle(
-            &Request::get(&format!("{}{}", site.base_url(), path)).unwrap(),
-        );
+        let resp = site.handle(&Request::get(&format!("{}{}", site.base_url(), path)).unwrap());
         // Public forums serve; private ones redirect to login.
         assert!(
             resp.status.is_success() || resp.status.is_redirect(),
