@@ -92,6 +92,31 @@ pub fn analyze(load: &LoadModel) -> Vec<CapacityRow> {
     ]
 }
 
+impl ToJson for LoadModel {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("hits_per_day", self.hits_per_day.to_json_value()),
+            ("mobile_fraction", self.mobile_fraction.to_json_value()),
+            ("peak_factor", self.peak_factor.to_json_value()),
+            ("doubling_months", self.doubling_months.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for CapacityRow {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("architecture", self.architecture.to_json_value()),
+            ("capacity_rpm", self.capacity_rpm.to_json_value()),
+            ("boxes_today", self.boxes_today.to_json_value()),
+            (
+                "months_of_headroom",
+                self.months_of_headroom.to_json_value(),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,30 +155,5 @@ mod tests {
         assert!(highlight.boxes_today > 1.0);
         // ...while m.Site covers it dozens of times over.
         assert!(msite.boxes_today < 0.1);
-    }
-}
-
-impl ToJson for LoadModel {
-    fn to_json_value(&self) -> Value {
-        obj([
-            ("hits_per_day", self.hits_per_day.to_json_value()),
-            ("mobile_fraction", self.mobile_fraction.to_json_value()),
-            ("peak_factor", self.peak_factor.to_json_value()),
-            ("doubling_months", self.doubling_months.to_json_value()),
-        ])
-    }
-}
-
-impl ToJson for CapacityRow {
-    fn to_json_value(&self) -> Value {
-        obj([
-            ("architecture", self.architecture.to_json_value()),
-            ("capacity_rpm", self.capacity_rpm.to_json_value()),
-            ("boxes_today", self.boxes_today.to_json_value()),
-            (
-                "months_of_headroom",
-                self.months_of_headroom.to_json_value(),
-            ),
-        ])
     }
 }

@@ -165,6 +165,17 @@ pub fn all() -> Vec<ClaimResult> {
     ]
 }
 
+impl ToJson for ClaimResult {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("id", self.id.to_json_value()),
+            ("paper", self.paper.to_json_value()),
+            ("measured", self.measured.to_json_value()),
+            ("holds", self.holds.to_json_value()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,16 +189,5 @@ mod tests {
                 claim.id, claim.paper, claim.measured
             );
         }
-    }
-}
-
-impl ToJson for ClaimResult {
-    fn to_json_value(&self) -> Value {
-        obj([
-            ("id", self.id.to_json_value()),
-            ("paper", self.paper.to_json_value()),
-            ("measured", self.measured.to_json_value()),
-            ("holds", self.holds.to_json_value()),
-        ])
     }
 }

@@ -109,6 +109,25 @@ pub fn run(ads: usize) -> Fig6Result {
     }
 }
 
+impl ToJson for Fig6Result {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("ads_browsed", self.ads_browsed.to_json_value()),
+            ("original_bytes", self.original_bytes.to_json_value()),
+            ("adapted_bytes", self.adapted_bytes.to_json_value()),
+            (
+                "original_page_loads",
+                self.original_page_loads.to_json_value(),
+            ),
+            (
+                "adapted_page_loads",
+                self.adapted_page_loads.to_json_value(),
+            ),
+            ("links_rewritten", self.links_rewritten.to_json_value()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,24 +145,5 @@ mod tests {
         );
         assert_eq!(result.adapted_page_loads, 1);
         assert_eq!(result.original_page_loads, 20);
-    }
-}
-
-impl ToJson for Fig6Result {
-    fn to_json_value(&self) -> Value {
-        obj([
-            ("ads_browsed", self.ads_browsed.to_json_value()),
-            ("original_bytes", self.original_bytes.to_json_value()),
-            ("adapted_bytes", self.adapted_bytes.to_json_value()),
-            (
-                "original_page_loads",
-                self.original_page_loads.to_json_value(),
-            ),
-            (
-                "adapted_page_loads",
-                self.adapted_page_loads.to_json_value(),
-            ),
-            ("links_rewritten", self.links_rewritten.to_json_value()),
-        ])
     }
 }

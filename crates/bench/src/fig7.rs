@@ -171,6 +171,22 @@ pub fn check_shape(points: &[Fig7Point]) -> Result<(), String> {
     Ok(())
 }
 
+impl ToJson for Fig7Point {
+    fn to_json_value(&self) -> Value {
+        obj([
+            (
+                "percent_full_render",
+                self.percent_full_render.to_json_value(),
+            ),
+            (
+                "requests_per_minute",
+                self.requests_per_minute.to_json_value(),
+            ),
+            ("trials", self.trials.to_json_value()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,21 +215,5 @@ mod tests {
             })
             .collect();
         assert!(check_shape(&flat).is_err());
-    }
-}
-
-impl ToJson for Fig7Point {
-    fn to_json_value(&self) -> Value {
-        obj([
-            (
-                "percent_full_render",
-                self.percent_full_render.to_json_value(),
-            ),
-            (
-                "requests_per_minute",
-                self.requests_per_minute.to_json_value(),
-            ),
-            ("trials", self.trials.to_json_value()),
-        ])
     }
 }

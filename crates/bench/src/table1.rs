@@ -176,6 +176,29 @@ pub fn rows() -> Vec<Table1Row> {
     rows
 }
 
+impl ToJson for Table1Row {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("label", self.label.to_json_value()),
+            ("paper_s", self.paper_s.to_json_value()),
+            ("measured_s", self.measured_s.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for SnapshotFacts {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("entry_html_bytes", self.entry_html_bytes.to_json_value()),
+            (
+                "snapshot_wire_bytes",
+                self.snapshot_wire_bytes.to_json_value(),
+            ),
+            ("snapshot_pixels", self.snapshot_pixels.to_json_value()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,28 +247,5 @@ mod tests {
             "snapshot wire bytes {}",
             facts.snapshot_wire_bytes
         );
-    }
-}
-
-impl ToJson for Table1Row {
-    fn to_json_value(&self) -> Value {
-        obj([
-            ("label", self.label.to_json_value()),
-            ("paper_s", self.paper_s.to_json_value()),
-            ("measured_s", self.measured_s.to_json_value()),
-        ])
-    }
-}
-
-impl ToJson for SnapshotFacts {
-    fn to_json_value(&self) -> Value {
-        obj([
-            ("entry_html_bytes", self.entry_html_bytes.to_json_value()),
-            (
-                "snapshot_wire_bytes",
-                self.snapshot_wire_bytes.to_json_value(),
-            ),
-            ("snapshot_pixels", self.snapshot_pixels.to_json_value()),
-        ])
     }
 }

@@ -1,9 +1,17 @@
-//! The shared render cache: TTL + LRU, safe for concurrent access.
+//! The shared render cache: TTL + LRU with serve-stale degradation,
+//! safe for concurrent access.
 //!
 //! "Certain areas of a site may be defined as cachable across sessions,
 //! amortizing the initial pre-rendering cost across many users" (§3.3).
 //! Keys are `(page, variant)` strings; values are opaque byte artifacts
 //! (snapshot PNGs, pre-rendered fragments, adapted HTML).
+//!
+//! Expired entries are kept for a configurable *stale window* past
+//! their TTL. [`RenderCache::get`] never returns them, but
+//! [`RenderCache::lookup`] reports them as [`Lookup::Stale`], which the
+//! proxy uses to serve a last-known-good snapshot when the origin is
+//! down or its circuit breaker is open — degraded service instead of a
+//! 5xx per request.
 
 use msite_support::bytes::Bytes;
 use msite_support::sync::Mutex;
@@ -19,8 +27,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
-    /// Entries dropped because their TTL passed.
+    /// Entries dropped because their TTL (plus stale window) passed.
     pub expirations: u64,
+    /// Lookups answered by an expired entry still inside the stale
+    /// window (serve-stale degradation).
+    pub stale_hits: u64,
 }
 
 impl CacheStats {
@@ -47,6 +58,26 @@ struct Inner {
     clock: u64,
     stats: CacheStats,
     amortized: Duration,
+    /// Test/harness clock offset added to `Instant::now()`, so TTL and
+    /// stale-window behavior can be driven without real sleeps.
+    time_offset: Duration,
+}
+
+/// Outcome of a [`RenderCache::lookup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// A live entry.
+    Fresh(Bytes),
+    /// An expired entry still inside the stale window — usable only as
+    /// degraded output when the authoritative source is unavailable.
+    Stale {
+        /// The expired artifact.
+        value: Bytes,
+        /// How long past its TTL the entry is.
+        age: Duration,
+    },
+    /// Nothing usable.
+    Miss,
 }
 
 /// A concurrent TTL + LRU cache for rendered artifacts.
@@ -66,15 +97,28 @@ struct Inner {
 pub struct RenderCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    stale_window: Duration,
 }
 
 impl RenderCache {
-    /// Creates a cache bounded to `capacity` entries.
+    /// Creates a cache bounded to `capacity` entries, with no stale
+    /// retention (expired entries drop on first touch).
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero.
     pub fn new(capacity: usize) -> RenderCache {
+        RenderCache::with_stale_window(capacity, Duration::ZERO)
+    }
+
+    /// Creates a cache that keeps expired entries around for
+    /// `stale_window` past their TTL, reporting them via
+    /// [`Self::lookup`] as [`Lookup::Stale`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_stale_window(capacity: usize, stale_window: Duration) -> RenderCache {
         assert!(capacity > 0, "cache capacity must be positive");
         RenderCache {
             inner: Mutex::new(Inner {
@@ -82,9 +126,22 @@ impl RenderCache {
                 clock: 0,
                 stats: CacheStats::default(),
                 amortized: Duration::ZERO,
+                time_offset: Duration::ZERO,
             }),
             capacity,
+            stale_window,
         }
+    }
+
+    /// The configured stale window.
+    pub fn stale_window(&self) -> Duration {
+        self.stale_window
+    }
+
+    /// Advances the cache's notion of "now" by `delta` — a harness hook
+    /// that makes TTL/stale-window tests deterministic without sleeping.
+    pub fn advance_clock(&self, delta: Duration) {
+        self.inner.lock().time_offset += delta;
     }
 
     /// Inserts an artifact. `ttl == None` means "until evicted". `cost`
@@ -92,6 +149,7 @@ impl RenderCache {
     /// amortization accounting.
     pub fn put(&self, key: &str, value: impl Into<Bytes>, ttl: Option<Duration>, cost: Duration) {
         let mut inner = self.inner.lock();
+        let now = Instant::now() + inner.time_offset;
         inner.clock += 1;
         let last_used = inner.clock;
         if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
@@ -110,7 +168,7 @@ impl RenderCache {
             key.to_string(),
             Entry {
                 value: value.into(),
-                expires_at: ttl.map(|t| Instant::now() + t),
+                expires_at: ttl.map(|t| now + t),
                 last_used,
                 cost,
             },
@@ -119,34 +177,60 @@ impl RenderCache {
 
     /// Fetches a live artifact, refreshing its recency. Every hit adds
     /// the entry's production cost to the amortized-savings counter.
+    /// Expired entries are never returned here (use [`Self::lookup`] for
+    /// stale fallback); entries past the stale window are dropped.
     pub fn get(&self, key: &str) -> Option<Bytes> {
+        match self.lookup_at(key, false) {
+            Lookup::Fresh(value) => Some(value),
+            Lookup::Stale { .. } | Lookup::Miss => None,
+        }
+    }
+
+    /// Fetches an artifact, reporting freshness: fresh entries behave
+    /// like [`Self::get`]; expired entries inside the stale window come
+    /// back as [`Lookup::Stale`] with their age past expiry.
+    pub fn lookup(&self, key: &str) -> Lookup {
+        self.lookup_at(key, true)
+    }
+
+    fn lookup_at(&self, key: &str, allow_stale: bool) -> Lookup {
         let mut inner = self.inner.lock();
+        let now = Instant::now() + inner.time_offset;
         inner.clock += 1;
         let clock = inner.clock;
-        match inner.entries.get_mut(key) {
-            Some(entry) => {
-                if entry
-                    .expires_at
-                    .map(|t| Instant::now() >= t)
-                    .unwrap_or(false)
-                {
-                    inner.entries.remove(key);
-                    inner.stats.expirations += 1;
-                    inner.stats.misses += 1;
-                    return None;
-                }
-                entry.last_used = clock;
-                let value = entry.value.clone();
-                let cost = entry.cost;
-                inner.stats.hits += 1;
-                inner.amortized += cost;
-                Some(value)
-            }
-            None => {
-                inner.stats.misses += 1;
-                None
-            }
+        let Some(entry) = inner.entries.get_mut(key) else {
+            inner.stats.misses += 1;
+            return Lookup::Miss;
+        };
+        let age = entry
+            .expires_at
+            .map(|t| now.saturating_duration_since(t))
+            .unwrap_or(Duration::ZERO);
+        if age.is_zero() {
+            entry.last_used = clock;
+            let value = entry.value.clone();
+            let cost = entry.cost;
+            inner.stats.hits += 1;
+            inner.amortized += cost;
+            return Lookup::Fresh(value);
         }
+        if age > self.stale_window {
+            // Beyond salvage: drop the entry whichever API touched it.
+            inner.entries.remove(key);
+            inner.stats.expirations += 1;
+            inner.stats.misses += 1;
+            return Lookup::Miss;
+        }
+        if !allow_stale {
+            inner.stats.misses += 1;
+            return Lookup::Miss;
+        }
+        // Refresh recency: an entry serving as degraded output must not
+        // be the next LRU victim.
+        entry.last_used = clock;
+        let value = entry.value.clone();
+        inner.stats.stale_hits += 1;
+        Lookup::Stale { value, age }
     }
 
     /// Fetches, or computes-and-stores on miss. The closure returns the
@@ -311,6 +395,56 @@ mod tests {
         cache.put("b", b"2".to_vec(), None, Duration::ZERO);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stale_window_serves_expired_via_lookup_only() {
+        let cache = RenderCache::with_stale_window(4, Duration::from_secs(60));
+        cache.put(
+            "snap",
+            b"png".to_vec(),
+            Some(Duration::from_secs(10)),
+            Duration::from_millis(500),
+        );
+        assert!(matches!(cache.lookup("snap"), Lookup::Fresh(_)));
+        cache.advance_clock(Duration::from_secs(30));
+        // get() hides stale entries but keeps them.
+        assert!(cache.get("snap").is_none());
+        match cache.lookup("snap") {
+            Lookup::Stale { value, age } => {
+                assert_eq!(&value[..], b"png");
+                assert!(age >= Duration::from_secs(20));
+            }
+            other => panic!("expected stale, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.stale_hits, 1);
+        assert_eq!(stats.expirations, 0, "stale entries are retained");
+        // Past the stale window the entry is gone for every API.
+        cache.advance_clock(Duration::from_secs(60));
+        assert_eq!(cache.lookup("snap"), Lookup::Miss);
+        assert_eq!(cache.stats().expirations, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn refreshing_put_revives_stale_entry() {
+        let cache = RenderCache::with_stale_window(4, Duration::from_secs(60));
+        cache.put(
+            "k",
+            b"old".to_vec(),
+            Some(Duration::from_secs(5)),
+            Duration::ZERO,
+        );
+        cache.advance_clock(Duration::from_secs(10));
+        assert!(matches!(cache.lookup("k"), Lookup::Stale { .. }));
+        cache.put(
+            "k",
+            b"new".to_vec(),
+            Some(Duration::from_secs(5)),
+            Duration::ZERO,
+        );
+        assert_eq!(cache.get("k").as_deref(), Some(&b"new"[..]));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 use msite_html::{text::visible_text, tidy};
 use msite_render::browser::{Browser, BrowserConfig};
 use msite_render::png;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A rendered artifact produced by an engine.
 #[derive(Debug, Clone)]
@@ -37,6 +39,25 @@ impl RenderedArtifact {
     }
 }
 
+/// A rendering-engine failure: which engine failed and why. Engine
+/// failures degrade to the next engine in the fallback chain instead of
+/// erroring the request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderError {
+    /// Name of the engine that failed.
+    pub engine: String,
+    /// Failure description (for a panicking engine, the panic payload).
+    pub message: String,
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine `{}` failed: {}", self.engine, self.message)
+    }
+}
+
+impl std::error::Error for RenderError {}
+
 /// A pluggable rendering engine: HTML in, artifact out.
 ///
 /// Engines must be stateless per call (the proxy may invoke them from a
@@ -45,8 +66,31 @@ pub trait RenderEngine: Send + Sync {
     /// Engine name, used in the registry and in generated file names.
     fn name(&self) -> &str;
 
-    /// Renders page HTML into an artifact.
+    /// Renders page HTML into an artifact. Infallible signature kept for
+    /// simple engines; may panic on pathological input.
     fn render(&self, html: &str) -> RenderedArtifact;
+
+    /// Fallible rendering: the entry point the proxy actually calls.
+    /// The default implementation shields [`Self::render`] behind a
+    /// panic guard, so a crashing engine surfaces as a [`RenderError`]
+    /// (and triggers fallback) instead of poisoning the worker.
+    fn try_render(&self, html: &str) -> Result<RenderedArtifact, RenderError> {
+        catch_unwind(AssertUnwindSafe(|| self.render(html))).map_err(|panic| RenderError {
+            engine: self.name().to_string(),
+            message: panic_message(&*panic),
+        })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
 }
 
 /// Tidied XHTML output (the identity engine).
@@ -358,6 +402,73 @@ impl EngineRegistry {
     pub fn names(&self) -> Vec<&str> {
         self.engines.iter().map(|e| e.name()).collect()
     }
+
+    /// The degradation chain for `name`: the engine itself, then the
+    /// registered fallbacks in fidelity order — image → html → plain
+    /// text — skipping the requested engine and anything unregistered.
+    /// (`image` never serves as a fallback: it is the most expensive and
+    /// most fragile engine, so degradation only moves down-stack.)
+    pub fn fallback_chain<'a>(&'a self, name: &'a str) -> Vec<&'a str> {
+        if self.get(name).is_none() {
+            return Vec::new();
+        }
+        let mut chain = vec![name];
+        for fallback in FALLBACK_ORDER {
+            if *fallback != name && self.get(fallback).is_some() {
+                chain.push(*fallback);
+            }
+        }
+        chain
+    }
+
+    /// Renders `html` with `name`, degrading down the fallback chain on
+    /// engine failure.
+    ///
+    /// # Errors
+    ///
+    /// `Err(None)` when no engine called `name` exists; `Err(Some(...))`
+    /// with the accumulated failures when every chain member failed.
+    pub fn render_with_fallback(
+        &self,
+        name: &str,
+        html: &str,
+    ) -> Result<FallbackRender, Option<Vec<RenderError>>> {
+        if self.get(name).is_none() {
+            return Err(None);
+        }
+        let mut degraded = Vec::new();
+        for engine_name in self.fallback_chain(name) {
+            let engine = self
+                .get(engine_name)
+                .unwrap_or_else(|| unreachable!("chain members are registered"));
+            match engine.try_render(html) {
+                Ok(artifact) => {
+                    return Ok(FallbackRender {
+                        artifact,
+                        engine: engine_name.to_string(),
+                        degraded,
+                    })
+                }
+                Err(error) => degraded.push(error),
+            }
+        }
+        Err(Some(degraded))
+    }
+}
+
+/// Degradation order after the requested engine (§ fallback chain).
+const FALLBACK_ORDER: &[&str] = &["html", "text"];
+
+/// A successful render, possibly produced by a fallback engine.
+#[derive(Debug, Clone)]
+pub struct FallbackRender {
+    /// The artifact served.
+    pub artifact: RenderedArtifact,
+    /// The engine that actually produced it.
+    pub engine: String,
+    /// Failures from higher-fidelity engines tried first (empty when the
+    /// requested engine succeeded).
+    pub degraded: Vec<RenderError>,
 }
 
 #[cfg(test)]
@@ -463,6 +574,69 @@ mod tests {
         registry.register(Box::new(Custom));
         let artifact = registry.get("text").unwrap().render(PAGE);
         assert_eq!(artifact.content_type, "text/x-custom");
+    }
+
+    struct FailingEngine {
+        name: &'static str,
+    }
+
+    impl RenderEngine for FailingEngine {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn render(&self, _html: &str) -> RenderedArtifact {
+            panic!("simulated engine crash");
+        }
+    }
+
+    #[test]
+    fn try_render_converts_panics_to_errors() {
+        let err = FailingEngine { name: "image" }
+            .try_render(PAGE)
+            .unwrap_err();
+        assert_eq!(err.engine, "image");
+        assert!(err.message.contains("simulated engine crash"));
+        assert!(err.to_string().contains("image"));
+    }
+
+    #[test]
+    fn fallback_chain_orders_image_html_text() {
+        let registry = EngineRegistry::with_builtins();
+        assert_eq!(
+            registry.fallback_chain("image"),
+            vec!["image", "html", "text"]
+        );
+        assert_eq!(registry.fallback_chain("pdf"), vec!["pdf", "html", "text"]);
+        assert_eq!(registry.fallback_chain("html"), vec!["html", "text"]);
+        assert_eq!(registry.fallback_chain("text"), vec!["text", "html"]);
+        assert!(registry.fallback_chain("flash").is_empty());
+    }
+
+    #[test]
+    fn failing_image_engine_degrades_to_html() {
+        let mut registry = EngineRegistry::with_builtins();
+        registry.register(Box::new(FailingEngine { name: "image" }));
+        let render = registry.render_with_fallback("image", PAGE).unwrap();
+        assert_eq!(render.engine, "html");
+        assert_eq!(render.artifact.content_type, "application/xhtml+xml");
+        assert_eq!(render.degraded.len(), 1);
+        assert_eq!(render.degraded[0].engine, "image");
+    }
+
+    #[test]
+    fn fallback_exhaustion_reports_all_failures() {
+        let mut registry = EngineRegistry::default();
+        registry.register(Box::new(FailingEngine { name: "image" }));
+        registry.register(Box::new(FailingEngine { name: "html" }));
+        let failures = registry
+            .render_with_fallback("image", PAGE)
+            .unwrap_err()
+            .expect("engine exists, chain exhausted");
+        assert_eq!(failures.len(), 2);
+        assert_eq!(
+            registry.render_with_fallback("nope", PAGE).unwrap_err(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The unified proxy failure taxonomy.
+//!
+//! Every way a proxy request can fail is a [`ProxyError`] variant that
+//! maps to exactly one HTTP status and one stable machine-readable
+//! reason token (emitted in the [`ERROR_HEADER`] response header), so
+//! failures are countable, greppable, and testable instead of ad-hoc
+//! `Response::error` strings scattered through the request paths.
+
+use crate::pipeline::AdaptError;
+use msite_net::{Response, Status};
+use std::fmt;
+
+/// Response header carrying the machine-readable failure reason.
+pub const ERROR_HEADER: &str = "x-msite-error";
+
+/// Response header flagging a degraded (stale or fallback) answer.
+pub const DEGRADED_HEADER: &str = "x-msite-degraded";
+
+/// Everything that can go wrong while the proxy handles a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyError {
+    /// The spec's origin URL (or a URL derived from it) failed to parse.
+    BadOriginUrl {
+        /// Parser message.
+        detail: String,
+    },
+    /// The origin answered with a failure status after the retry budget
+    /// was spent.
+    OriginUnavailable {
+        /// The origin's final status.
+        status: Status,
+    },
+    /// The per-host circuit breaker is open; the origin was not
+    /// contacted at all.
+    BreakerOpen,
+    /// The per-request deadline budget ran out.
+    DeadlineExceeded,
+    /// The adaptation pipeline rejected the page.
+    Adaptation {
+        /// Pipeline failure description.
+        detail: String,
+    },
+    /// `/render/<name>` named an unregistered engine.
+    UnknownEngine {
+        /// The requested engine name.
+        name: String,
+    },
+    /// Every engine in the fallback chain failed.
+    RenderFailed {
+        /// Accumulated engine failure descriptions.
+        detail: String,
+    },
+    /// An AJAX request named an action id the registry does not know.
+    UnknownAction {
+        /// The requested action id.
+        id: String,
+    },
+    /// A required request parameter was absent or unparsable.
+    MissingParameter {
+        /// Parameter name.
+        name: &'static str,
+    },
+    /// The requested artifact does not exist.
+    NotFound {
+        /// What was looked up (image, subpage, path...).
+        what: &'static str,
+    },
+    /// The method is not supported on this endpoint.
+    UnsupportedMethod,
+}
+
+impl ProxyError {
+    /// Classifies an upstream failure response from the resilient fetch
+    /// layer: breaker rejections and deadline exhaustion are their own
+    /// failure classes; everything else is origin unavailability.
+    pub fn from_origin_failure(response: &Response) -> ProxyError {
+        if msite_net::resilience::is_breaker_rejection(response) {
+            ProxyError::BreakerOpen
+        } else if response
+            .headers
+            .get(msite_net::resilience::DEADLINE_HEADER)
+            .is_some()
+        {
+            ProxyError::DeadlineExceeded
+        } else {
+            ProxyError::OriginUnavailable {
+                status: response.status,
+            }
+        }
+    }
+
+    /// The HTTP status this failure maps to.
+    pub fn status(&self) -> Status {
+        match self {
+            ProxyError::BadOriginUrl { .. }
+            | ProxyError::OriginUnavailable { .. }
+            | ProxyError::RenderFailed { .. } => Status::BAD_GATEWAY,
+            ProxyError::BreakerOpen => Status::SERVICE_UNAVAILABLE,
+            ProxyError::DeadlineExceeded => Status::GATEWAY_TIMEOUT,
+            ProxyError::Adaptation { .. } => Status::INTERNAL_SERVER_ERROR,
+            ProxyError::UnknownEngine { .. }
+            | ProxyError::UnknownAction { .. }
+            | ProxyError::NotFound { .. } => Status::NOT_FOUND,
+            ProxyError::MissingParameter { .. } | ProxyError::UnsupportedMethod => {
+                Status::BAD_REQUEST
+            }
+        }
+    }
+
+    /// Stable machine-readable reason token (the [`ERROR_HEADER`]
+    /// value).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ProxyError::BadOriginUrl { .. } => "bad-origin-url",
+            ProxyError::OriginUnavailable { .. } => "origin-unavailable",
+            ProxyError::BreakerOpen => "breaker-open",
+            ProxyError::DeadlineExceeded => "deadline-exceeded",
+            ProxyError::Adaptation { .. } => "adaptation-failed",
+            ProxyError::UnknownEngine { .. } => "unknown-engine",
+            ProxyError::RenderFailed { .. } => "render-failed",
+            ProxyError::UnknownAction { .. } => "unknown-action",
+            ProxyError::MissingParameter { .. } => "missing-parameter",
+            ProxyError::NotFound { .. } => "not-found",
+            ProxyError::UnsupportedMethod => "unsupported-method",
+        }
+    }
+
+    /// True for failures caused by the origin (or its guard rails)
+    /// being unavailable — the cases where serving a stale snapshot is
+    /// the right degradation.
+    pub fn is_unavailability(&self) -> bool {
+        matches!(
+            self,
+            ProxyError::OriginUnavailable { .. }
+                | ProxyError::BreakerOpen
+                | ProxyError::DeadlineExceeded
+        )
+    }
+
+    /// Renders the failure as an HTTP response carrying the reason
+    /// token in [`ERROR_HEADER`].
+    pub fn into_response(self) -> Response {
+        let mut response = Response::error(self.status(), &self.to_string());
+        response.headers.set(ERROR_HEADER, self.reason());
+        response
+    }
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::BadOriginUrl { detail } => write!(f, "bad origin url: {detail}"),
+            ProxyError::OriginUnavailable { status } => write!(f, "origin returned {status}"),
+            ProxyError::BreakerOpen => write!(f, "origin circuit breaker is open"),
+            ProxyError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ProxyError::Adaptation { detail } => write!(f, "adaptation failed: {detail}"),
+            ProxyError::UnknownEngine { name } => write!(f, "no engine named `{name}`"),
+            ProxyError::RenderFailed { detail } => {
+                write!(f, "all rendering engines failed: {detail}")
+            }
+            ProxyError::UnknownAction { id } => write!(f, "unknown action `{id}`"),
+            ProxyError::MissingParameter { name } => write!(f, "missing parameter `{name}`"),
+            ProxyError::NotFound { what } => write!(f, "no such {what}"),
+            ProxyError::UnsupportedMethod => write!(f, "unsupported method"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<AdaptError> for ProxyError {
+    fn from(err: AdaptError) -> ProxyError {
+        ProxyError::Adaptation {
+            detail: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_maps_to_status_and_reason() {
+        let variants = [
+            ProxyError::BadOriginUrl { detail: "x".into() },
+            ProxyError::OriginUnavailable {
+                status: Status::SERVICE_UNAVAILABLE,
+            },
+            ProxyError::BreakerOpen,
+            ProxyError::DeadlineExceeded,
+            ProxyError::Adaptation { detail: "y".into() },
+            ProxyError::UnknownEngine { name: "f".into() },
+            ProxyError::RenderFailed { detail: "z".into() },
+            ProxyError::UnknownAction { id: "9".into() },
+            ProxyError::MissingParameter { name: "action" },
+            ProxyError::NotFound { what: "image" },
+            ProxyError::UnsupportedMethod,
+        ];
+        let mut reasons = std::collections::HashSet::new();
+        for err in variants {
+            assert!(!err.status().is_success());
+            assert!(reasons.insert(err.reason()), "duplicate {}", err.reason());
+            let display = err.to_string();
+            let response = err.clone().into_response();
+            assert_eq!(response.status, err.status());
+            assert_eq!(response.headers.get(ERROR_HEADER), Some(err.reason()));
+            assert!(response.body_text().contains(&display));
+        }
+    }
+
+    #[test]
+    fn unavailability_classification() {
+        assert!(ProxyError::BreakerOpen.is_unavailability());
+        assert!(ProxyError::OriginUnavailable {
+            status: Status::INTERNAL_SERVER_ERROR
+        }
+        .is_unavailability());
+        assert!(ProxyError::DeadlineExceeded.is_unavailability());
+        assert!(!ProxyError::NotFound { what: "image" }.is_unavailability());
+        assert!(!ProxyError::UnknownEngine { name: "x".into() }.is_unavailability());
+    }
+
+    #[test]
+    fn origin_failure_classification() {
+        let plain = Response::error(Status::SERVICE_UNAVAILABLE, "down");
+        assert_eq!(
+            ProxyError::from_origin_failure(&plain),
+            ProxyError::OriginUnavailable {
+                status: Status::SERVICE_UNAVAILABLE
+            }
+        );
+        let mut breaker = Response::error(Status::SERVICE_UNAVAILABLE, "open");
+        breaker
+            .headers
+            .set(msite_net::resilience::BREAKER_HEADER, "open");
+        assert_eq!(
+            ProxyError::from_origin_failure(&breaker),
+            ProxyError::BreakerOpen
+        );
+        let mut late = Response::error(Status::GATEWAY_TIMEOUT, "late");
+        late.headers
+            .set(msite_net::resilience::DEADLINE_HEADER, "exhausted");
+        assert_eq!(
+            ProxyError::from_origin_failure(&late),
+            ProxyError::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn adapt_error_converts() {
+        let err: ProxyError = AdaptError::UnknownSubpage { id: "x".into() }.into();
+        assert_eq!(err.reason(), "adaptation-failed");
+        assert!(err.to_string().contains("unknown subpage"));
+    }
+}

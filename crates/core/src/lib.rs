@@ -63,6 +63,7 @@ pub mod baseline;
 pub mod cache;
 pub mod dsl;
 pub mod engine;
+pub mod error;
 pub mod pipeline;
 pub mod proxy;
 pub mod search;
@@ -71,8 +72,9 @@ pub mod snapshot;
 
 pub use attributes::{AdaptationSpec, Attribute, Rule, SnapshotSpec, SourceFilter, Target};
 pub use baseline::{HighlightConfig, HighlightProxy, HighlightStats};
-pub use cache::{CacheStats, RenderCache};
-pub use engine::{EngineRegistry, RenderEngine, RenderedArtifact};
+pub use cache::{CacheStats, Lookup, RenderCache};
+pub use engine::{EngineRegistry, FallbackRender, RenderEngine, RenderError, RenderedArtifact};
+pub use error::ProxyError;
 pub use pipeline::{
     adapt, adapt_with_report, AdaptError, AdaptedBundle, PipelineContext, PipelineReport,
     PipelineStats, StageKind, StageReport,

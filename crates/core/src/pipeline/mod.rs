@@ -114,6 +114,8 @@ pub struct PipelineStats {
     pub images_rendered: usize,
     /// Whether a browser instance was used.
     pub browser_used: bool,
+    /// Browser renders that degraded to a placeholder after a failure.
+    pub renders_degraded: usize,
 }
 
 /// Everything one adaptation run produces.
@@ -216,5 +218,6 @@ pub fn adapt_with_report(
             artifacts: state.stats.images_rendered,
         });
     }
+    report.degradations = state.renderer.degradations().to_vec();
     Ok((state.into_bundle(), report))
 }

@@ -9,6 +9,7 @@ use msite_html::{Document, NodeId};
 use msite_render::browser::{Browser, BrowserConfig};
 use msite_render::image::{process, ImageFormat, PostProcess};
 use msite_render::RenderResult;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Shared browser handle for snapshot and pre-render work. Launching is
@@ -18,6 +19,7 @@ pub(crate) struct Renderer {
     config: BrowserConfig,
     browser: Option<Browser>,
     spent: Duration,
+    degradations: Vec<String>,
 }
 
 impl Renderer {
@@ -26,6 +28,7 @@ impl Renderer {
             config,
             browser: None,
             spent: Duration::ZERO,
+            degradations: Vec::new(),
         }
     }
 
@@ -39,14 +42,43 @@ impl Renderer {
         self.spent
     }
 
-    /// Renders a page, launching the browser on first use.
+    /// Renders that had to fall back to a placeholder page because the
+    /// browser failed on the real input. Reported in the pipeline report
+    /// so degraded snapshots are visible, not silent.
+    pub(crate) fn degradations(&self) -> &[String] {
+        &self.degradations
+    }
+
+    /// Renders a page, launching the browser on first use. A browser
+    /// failure (panic) on the page degrades to rendering an empty
+    /// placeholder document — a blank snapshot beats a lost request —
+    /// and is recorded in [`Self::degradations`].
     pub(crate) fn render(&mut self, html: &str) -> RenderResult {
         let start = Instant::now();
         let config = &self.config;
         let browser = self
             .browser
             .get_or_insert_with(|| Browser::launch(config.clone()));
-        let result = browser.render_page(html, &[]);
+        let result = match catch_unwind(AssertUnwindSafe(|| browser.render_page(html, &[]))) {
+            Ok(result) => result,
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "browser panicked".to_string());
+                self.degradations
+                    .push(format!("browser render degraded to blank page: {message}"));
+                // The placeholder must render; if even that panics the
+                // browser itself is broken and the failure propagates.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    browser.render_page("<html><body></body></html>", &[])
+                })) {
+                    Ok(result) => result,
+                    Err(panic) => resume_unwind(panic),
+                }
+            }
+        };
         self.spent += start.elapsed();
         result
     }

@@ -75,6 +75,9 @@ pub struct StageReport {
 pub struct PipelineReport {
     /// Executed stages in pipeline order.
     pub stages: Vec<StageReport>,
+    /// Human-readable notes about renders that degraded (e.g. a browser
+    /// failure replaced by a blank placeholder). Empty on clean runs.
+    pub degradations: Vec<String>,
 }
 
 impl PipelineReport {
@@ -201,6 +204,7 @@ impl<'a> PipelineState<'a> {
 
     pub(crate) fn into_bundle(mut self) -> AdaptedBundle {
         self.stats.browser_used = self.renderer.used();
+        self.stats.renders_degraded = self.renderer.degradations().len();
         AdaptedBundle {
             entry_html: self.entry_html,
             subpages: self.subpage_files,

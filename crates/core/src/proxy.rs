@@ -10,16 +10,34 @@
 //!
 //! It implements [`Origin`], so it can be composed in-process for
 //! benchmarks or served over real TCP by `msite_net::HttpServer`.
+//!
+//! # Resilience
+//!
+//! Every origin fetch goes through a [`ResilientOrigin`]: bounded
+//! retries with seeded jittered backoff, a per-request deadline budget
+//! shared with the adaptation pipeline, and a per-host circuit breaker.
+//! When the origin (or its breaker) makes the entry page unbuildable,
+//! the proxy degrades to the last rendered snapshot still inside the
+//! cache's stale window — marked with a `Warning` header — instead of
+//! answering 5xx per request; the stale copy is replaced by the next
+//! successful rebuild. Failures are classified by
+//! [`ProxyError`](crate::error::ProxyError) and counted in
+//! [`ProxyStats`].
 
 use crate::ajax::AjaxRegistry;
 use crate::attributes::AdaptationSpec;
-use crate::cache::RenderCache;
+use crate::cache::{Lookup, RenderCache};
 use crate::dsl;
 use crate::engine::EngineRegistry;
+use crate::error::{ProxyError, DEGRADED_HEADER};
 use crate::pipeline::{adapt, AdaptedBundle, PipelineContext};
 use crate::session::{Session, SessionFs, SessionManager, SESSION_COOKIE};
-use msite_net::{Cookie, Method, Origin, OriginRef, Request, Response, Status, Url};
+use msite_net::resilience::{
+    is_breaker_rejection, BreakerState, Deadline, ResilienceStats, ResilientOrigin, DEADLINE_HEADER,
+};
+use msite_net::{Cookie, Method, Origin, OriginRef, Request, ResiliencePolicy, Response, Url};
 use msite_render::browser::BrowserConfig;
+use msite_support::bytes::Bytes;
 use msite_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,6 +57,12 @@ pub struct ProxyConfig {
     pub seed: u64,
     /// Browser configuration used by the pipeline.
     pub browser_config: BrowserConfig,
+    /// Fault-tolerance policy for origin fetches: retry budget, backoff
+    /// shape, per-request deadline, breaker thresholds.
+    pub resilience: ResiliencePolicy,
+    /// How long expired cache entries stay servable as degraded
+    /// (stale) output when the origin is unavailable.
+    pub stale_window: Duration,
 }
 
 impl Default for ProxyConfig {
@@ -48,6 +72,8 @@ impl Default for ProxyConfig {
             cache_capacity: 256,
             seed: 0x6d_73_69_74_65, // "msite"
             browser_config: BrowserConfig::default(),
+            resilience: ResiliencePolicy::default(),
+            stale_window: Duration::from_secs(600),
         }
     }
 }
@@ -66,6 +92,14 @@ pub struct ProxyStats {
     pub origin_fetches: u64,
     /// Sessions created.
     pub sessions_created: u64,
+    /// Requests answered with a [`ProxyError`] response.
+    pub failures: u64,
+    /// Requests answered with stale cache content because the origin
+    /// was unavailable (serve-stale degradation).
+    pub stale_served: u64,
+    /// Renders served by a fallback engine after the requested engine
+    /// failed.
+    pub engine_fallbacks: u64,
 }
 
 struct UserBundle {
@@ -76,7 +110,7 @@ struct UserBundle {
 /// The generated multi-session proxy for one adapted page.
 pub struct ProxyServer {
     spec: AdaptationSpec,
-    origin: OriginRef,
+    origin: Arc<ResilientOrigin>,
     sessions: SessionManager,
     fs: SessionFs,
     cache: Arc<RenderCache>,
@@ -89,19 +123,23 @@ pub struct ProxyServer {
 }
 
 impl ProxyServer {
-    /// Creates a proxy for `spec`, forwarding to `origin`.
+    /// Creates a proxy for `spec`, forwarding to `origin` through the
+    /// configured resilience policy (retries, deadline, breaker).
     pub fn new(spec: AdaptationSpec, origin: OriginRef, config: ProxyConfig) -> ProxyServer {
         ProxyServer {
             sessions: SessionManager::new(config.seed),
             fs: SessionFs::new(),
-            cache: Arc::new(RenderCache::new(config.cache_capacity)),
+            cache: Arc::new(RenderCache::with_stale_window(
+                config.cache_capacity,
+                config.stale_window,
+            )),
             stats: Mutex::new(ProxyStats::default()),
             shared_ajax: Mutex::new(None),
             user_bundles: Mutex::new(HashMap::new()),
             wants_cookie_clear: Mutex::new(false),
             engines: EngineRegistry::with_builtins(),
+            origin: Arc::new(ResilientOrigin::new(origin, config.resilience.clone())),
             spec,
-            origin,
             config,
         }
     }
@@ -147,6 +185,17 @@ impl ProxyServer {
         *self.stats.lock()
     }
 
+    /// Retry/breaker/deadline counters from the resilient fetch layer.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.origin.stats()
+    }
+
+    /// The circuit-breaker state for an origin host (the spec's origin
+    /// host unless AJAX actions fan out elsewhere).
+    pub fn breaker_state(&self, host: &str) -> BreakerState {
+        self.origin.breaker_state(host)
+    }
+
     /// The shared render cache (amortization accounting lives here).
     pub fn cache(&self) -> &RenderCache {
         &self.cache
@@ -189,8 +238,14 @@ impl ProxyServer {
 
     /// Fetches `url` from the origin with the session's cookie jar and
     /// stored HTTP-auth credentials applied, recording Set-Cookie
-    /// responses back into the jar.
-    fn origin_fetch(&self, session: &Arc<Mutex<Session>>, request: &mut Request) -> Response {
+    /// responses back into the jar. The fetch goes through the
+    /// resilience layer (retries, breaker) within `deadline`.
+    fn origin_fetch(
+        &self,
+        session: &Arc<Mutex<Session>>,
+        request: &mut Request,
+        deadline: Deadline,
+    ) -> Response {
         self.stats.lock().origin_fetches += 1;
         {
             let s = session.lock();
@@ -202,7 +257,7 @@ impl ProxyServer {
                 );
             }
         }
-        let response = self.origin.handle(request);
+        let response = self.origin.handle_within(request, deadline);
         session
             .lock()
             .jar
@@ -213,10 +268,17 @@ impl ProxyServer {
     /// Builds (or reuses) the shared entry page + snapshot, which are
     /// user-independent: the snapshot shows the public view of the page
     /// and is "stored in a public cache" with the spec's TTL.
+    ///
+    /// When the origin is unavailable (final 5xx, breaker open, deadline
+    /// exhausted) and a rebuild is impossible, the previous entry page is
+    /// served as long as it is within the cache's stale window — the
+    /// serve-stale degradation. The stale copy stays in place until the
+    /// next successful rebuild replaces it.
     fn shared_entry(
         &self,
         session: &Arc<Mutex<Session>>,
-    ) -> Result<msite_support::bytes::Bytes, Response> {
+        deadline: Deadline,
+    ) -> Result<(Bytes, Option<Duration>), ProxyError> {
         let ttl = self
             .spec
             .snapshot
@@ -224,21 +286,26 @@ impl ProxyServer {
             .map(|s| Duration::from_secs(s.cache_ttl_secs));
         if let Some(hit) = self.cache.get("entry:html") {
             self.stats.lock().lightweight += 1;
-            return Ok(hit);
+            return Ok((hit, None));
         }
-        // Cache miss: full pipeline run (browser used when the spec needs it).
+        // Cache miss: full pipeline run (browser used when the spec
+        // needs it). On unavailability, fall back to a stale copy.
         let start = Instant::now();
-        let mut page_request = Request::get(&self.spec.page_url)
-            .map_err(|e| Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}")))?;
-        let page = self.origin_fetch(session, &mut page_request);
+        let mut page_request =
+            Request::get(&self.spec.page_url).map_err(|e| ProxyError::BadOriginUrl {
+                detail: e.to_string(),
+            })?;
+        let page = self.origin_fetch(session, &mut page_request, deadline);
         if !page.status.is_success() {
-            return Err(Response::error(
-                Status::BAD_GATEWAY,
-                &format!("origin returned {}", page.status),
-            ));
+            let err = ProxyError::from_origin_failure(&page);
+            if err.is_unavailability() {
+                if let Lookup::Stale { value, age } = self.cache.lookup("entry:html") {
+                    return Ok((value, Some(age)));
+                }
+            }
+            return Err(err);
         }
-        let bundle = adapt(&self.spec, &page.body_text(), &self.pipeline_context())
-            .map_err(|e| Response::error(Status::INTERNAL_SERVER_ERROR, &e.to_string()))?;
+        let bundle = adapt(&self.spec, &page.body_text(), &self.pipeline_context())?;
         if bundle.stats.browser_used {
             self.stats.lock().full_renders += 1;
         } else {
@@ -247,30 +314,32 @@ impl ProxyServer {
         self.store_bundle(&bundle, None, ttl, start.elapsed());
         *self.shared_ajax.lock() = Some(bundle.ajax.clone());
         *self.wants_cookie_clear.lock() = bundle.wants_cookie_clear;
-        Ok(msite_support::bytes::Bytes::from(bundle.entry_html))
+        Ok((Bytes::from(bundle.entry_html), None))
     }
 
     /// Builds the per-user subpages with the user's authenticated view.
-    fn user_bundle(&self, session: &Arc<Mutex<Session>>) -> Result<Arc<UserBundle>, Response> {
+    fn user_bundle(
+        &self,
+        session: &Arc<Mutex<Session>>,
+        deadline: Deadline,
+    ) -> Result<Arc<UserBundle>, ProxyError> {
         let session_id = session.lock().id.clone();
         if let Some(existing) = self.user_bundles.lock().get(&session_id) {
             return Ok(Arc::clone(existing));
         }
-        let mut page_request = Request::get(&self.spec.page_url)
-            .map_err(|e| Response::error(Status::BAD_GATEWAY, &format!("bad origin url: {e}")))?;
-        let page = self.origin_fetch(session, &mut page_request);
+        let mut page_request =
+            Request::get(&self.spec.page_url).map_err(|e| ProxyError::BadOriginUrl {
+                detail: e.to_string(),
+            })?;
+        let page = self.origin_fetch(session, &mut page_request, deadline);
         if !page.status.is_success() {
-            return Err(Response::error(
-                Status::BAD_GATEWAY,
-                &format!("origin returned {}", page.status),
-            ));
+            return Err(ProxyError::from_origin_failure(&page));
         }
         // Subpage generation does not re-render the snapshot.
         let mut spec = self.spec.clone();
         spec.snapshot = None;
         let start = Instant::now();
-        let bundle = adapt(&spec, &page.body_text(), &self.pipeline_context())
-            .map_err(|e| Response::error(Status::INTERNAL_SERVER_ERROR, &e.to_string()))?;
+        let bundle = adapt(&spec, &page.body_text(), &self.pipeline_context())?;
         if bundle.stats.browser_used {
             self.stats.lock().full_renders += 1;
         } else {
@@ -335,31 +404,52 @@ impl ProxyServer {
         }
     }
 
-    fn serve_image(&self, session_id: &str, name: &str) -> Response {
-        if let Some(shared) = self.cache.get(&format!("img:{name}")) {
-            return Response::bytes("image/png", shared);
+    fn serve_image(&self, session_id: &str, name: &str) -> Result<Response, ProxyError> {
+        // Expired shared snapshots are still served (marked stale) when
+        // within the stale window; a fresh copy appears with the next
+        // successful entry rebuild.
+        match self.cache.lookup(&format!("img:{name}")) {
+            Lookup::Fresh(shared) => return Ok(Response::bytes("image/png", shared)),
+            Lookup::Stale { value, age } => {
+                return Ok(self.mark_stale(Response::bytes("image/png", value), age));
+            }
+            Lookup::Miss => {}
         }
         if let Some(user) = self
             .fs
             .read(&SessionFs::user_path(session_id, &format!("img/{name}")))
         {
-            return Response::bytes("image/png", user);
+            return Ok(Response::bytes("image/png", user));
         }
         if let Some(public) = self
             .fs
             .read(&SessionFs::public_path(&format!("img/{name}")))
         {
-            return Response::bytes("image/png", public);
+            return Ok(Response::bytes("image/png", public));
         }
-        Response::error(Status::NOT_FOUND, "no such image")
+        Err(ProxyError::NotFound { what: "image" })
+    }
+
+    /// Stamps a degraded (stale) response: an RFC 7234 `Warning` plus
+    /// the machine-readable degradation marker, and counts it.
+    fn mark_stale(&self, mut response: Response, age: Duration) -> Response {
+        response
+            .headers
+            .set("warning", "110 msite \"Response is stale\"");
+        response
+            .headers
+            .set(DEGRADED_HEADER, &format!("stale; age={}s", age.as_secs()));
+        self.stats.lock().stale_served += 1;
+        response
     }
 
     fn serve_subpage(
         &self,
         session: &Arc<Mutex<Session>>,
         name: &str,
-    ) -> Result<Response, Response> {
-        let bundle = self.user_bundle(session)?;
+        deadline: Deadline,
+    ) -> Result<Response, ProxyError> {
+        let bundle = self.user_bundle(session, deadline)?;
         let stem = name.trim_end_matches(".html");
         if bundle.auth_subpages.iter().any(|s| s == stem) && session.lock().http_auth.is_none() {
             return Ok(Response::redirect(&format!(
@@ -374,13 +464,18 @@ impl ProxyServer {
             .read(&SessionFs::user_path(&session_id, &format!("s/{name}")))
         {
             Some(contents) => Ok(Response::bytes("text/html; charset=utf-8", contents)),
-            None => Ok(Response::error(Status::NOT_FOUND, "no such subpage")),
+            None => Err(ProxyError::NotFound { what: "subpage" }),
         }
     }
 
-    fn satisfy_ajax(&self, session: &Arc<Mutex<Session>>, request: &Request) -> Response {
+    fn satisfy_ajax(
+        &self,
+        session: &Arc<Mutex<Session>>,
+        request: &Request,
+        deadline: Deadline,
+    ) -> Result<Response, ProxyError> {
         let Some(action_id) = request.param("action").and_then(|a| a.parse::<u32>().ok()) else {
-            return Response::error(Status::BAD_REQUEST, "missing action");
+            return Err(ProxyError::MissingParameter { name: "action" });
         };
         let p = request.param("p").unwrap_or_default();
         let registry = {
@@ -393,34 +488,34 @@ impl ProxyServer {
                 .unwrap_or_default()
         };
         let Some(action) = registry.get(action_id).cloned() else {
-            return Response::error(Status::NOT_FOUND, "unknown action");
+            return Err(ProxyError::UnknownAction {
+                id: action_id.to_string(),
+            });
         };
         // Resolve the action's origin URL against the adapted page.
-        let base_url = match Url::parse(&self.spec.page_url) {
-            Ok(u) => u,
-            Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
-        };
-        let target = match base_url.join(&action.origin_url(&p)) {
-            Ok(u) => u,
-            Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
-        };
+        let base_url = Url::parse(&self.spec.page_url).map_err(|e| ProxyError::BadOriginUrl {
+            detail: e.to_string(),
+        })?;
+        let target =
+            base_url
+                .join(&action.origin_url(&p))
+                .map_err(|e| ProxyError::BadOriginUrl {
+                    detail: e.to_string(),
+                })?;
         let mut sub_request = Request {
             method: Method::Get,
             url: target,
             headers: msite_net::Headers::new(),
-            body: msite_support::bytes::Bytes::new(),
+            body: Bytes::new(),
         };
-        let response = self.origin_fetch(session, &mut sub_request);
+        let response = self.origin_fetch(session, &mut sub_request, deadline);
         if !response.status.is_success() {
-            return Response::error(
-                Status::BAD_GATEWAY,
-                &format!("origin ajax returned {}", response.status),
-            );
+            return Err(ProxyError::from_origin_failure(&response));
         }
         // Fragment responses pass through; full pages are cut to <body>.
         let text = response.body_text();
         let fragment = extract_fragment(&text);
-        Response::html(fragment)
+        Ok(Response::html(fragment))
     }
 
     fn auth_form(&self, message: &str, next: &str) -> Response {
@@ -438,9 +533,16 @@ impl ProxyServer {
 
     fn handle_inner(&self, request: &Request) -> Response {
         let base = self.base();
+        // One wall-clock budget per request, shared by the retry loop
+        // and everything downstream of the fetch.
+        let deadline = Deadline::within(self.config.resilience.deadline.0);
+        let fail = |err: ProxyError| -> Response {
+            self.stats.lock().failures += 1;
+            err.into_response()
+        };
         let path = request.url.path().to_string();
         let Some(rest) = path.strip_prefix(&base) else {
-            return Response::error(Status::NOT_FOUND, "outside proxy namespace");
+            return fail(ProxyError::NotFound { what: "proxy path" });
         };
         let rest = if rest.is_empty() { "/" } else { rest };
 
@@ -476,9 +578,12 @@ impl ProxyServer {
         let response = match rest {
             "/" => {
                 burn(self.config.scripted_overhead);
-                match self.shared_entry(&session) {
-                    Ok(entry) => Response::bytes("text/html; charset=utf-8", entry),
-                    Err(e) => e,
+                match self.shared_entry(&session, deadline) {
+                    Ok((entry, None)) => Response::bytes("text/html; charset=utf-8", entry),
+                    Ok((entry, Some(age))) => {
+                        self.mark_stale(Response::bytes("text/html; charset=utf-8", entry), age)
+                    }
+                    Err(err) => fail(err),
                 }
             }
             "/logout" => {
@@ -506,52 +611,87 @@ impl ProxyServer {
                         Response::redirect(&format!("{base}/s/{next}"))
                     }
                 }
-                _ => Response::error(Status::BAD_REQUEST, "unsupported method"),
+                _ => fail(ProxyError::UnsupportedMethod),
             },
             "/proxy" => {
                 burn(self.config.scripted_overhead);
                 self.stats.lock().lightweight += 1;
-                self.satisfy_ajax(&session, request)
+                match self.satisfy_ajax(&session, request, deadline) {
+                    Ok(r) => r,
+                    Err(err) => fail(err),
+                }
             }
             _ if rest.starts_with("/s/") => {
                 burn(self.config.scripted_overhead);
-                match self.serve_subpage(&session, &rest[3..]) {
-                    Ok(r) | Err(r) => r,
+                match self.serve_subpage(&session, &rest[3..], deadline) {
+                    Ok(r) => r,
+                    Err(err) => fail(err),
                 }
             }
             _ if rest.starts_with("/img/") => {
                 burn(self.config.scripted_overhead);
                 self.stats.lock().lightweight += 1;
-                self.serve_image(&session_id, &rest[5..])
+                match self.serve_image(&session_id, &rest[5..]) {
+                    Ok(r) => r,
+                    Err(err) => fail(err),
+                }
             }
             _ if rest.starts_with("/render/") => {
                 // Alternate-engine rendering of the adapted entry page:
                 // /render/text, /render/pdf, /render/image, /render/html.
+                // A panicking engine degrades down the fallback chain
+                // (image -> html -> text) instead of erroring.
                 let engine_name = &rest[8..];
-                let Some(engine) = self.engines.get(engine_name) else {
-                    return attach_cookie(Response::error(
-                        Status::NOT_FOUND,
-                        &format!("no engine named `{engine_name}`"),
-                    ));
-                };
+                if self.engines.get(engine_name).is_none() {
+                    return attach_cookie(fail(ProxyError::UnknownEngine {
+                        name: engine_name.to_string(),
+                    }));
+                }
                 let mut page_request = match Request::get(&self.spec.page_url) {
                     Ok(r) => r,
-                    Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
+                    Err(e) => {
+                        return attach_cookie(fail(ProxyError::BadOriginUrl {
+                            detail: e.to_string(),
+                        }))
+                    }
                 };
-                let page = self.origin_fetch(&session, &mut page_request);
+                let page = self.origin_fetch(&session, &mut page_request, deadline);
                 if !page.status.is_success() {
-                    return attach_cookie(Response::error(
-                        Status::BAD_GATEWAY,
-                        &format!("origin returned {}", page.status),
-                    ));
+                    return attach_cookie(fail(ProxyError::from_origin_failure(&page)));
                 }
-                if engine_name == "image" {
-                    self.stats.lock().full_renders += 1;
-                } else {
-                    self.stats.lock().lightweight += 1;
+                match self
+                    .engines
+                    .render_with_fallback(engine_name, &page.body_text())
+                {
+                    Ok(render) => {
+                        if render.engine == "image" {
+                            self.stats.lock().full_renders += 1;
+                        } else {
+                            self.stats.lock().lightweight += 1;
+                        }
+                        let mut response =
+                            Response::bytes(&render.artifact.content_type, render.artifact.bytes);
+                        response.headers.set("x-msite-engine", &render.engine);
+                        if !render.degraded.is_empty() {
+                            self.stats.lock().engine_fallbacks += 1;
+                            response.headers.set(
+                                DEGRADED_HEADER,
+                                &format!("engine-fallback; from={engine_name}"),
+                            );
+                        }
+                        response
+                    }
+                    Err(Some(failures)) => fail(ProxyError::RenderFailed {
+                        detail: failures
+                            .iter()
+                            .map(|f| f.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    }),
+                    Err(None) => fail(ProxyError::UnknownEngine {
+                        name: engine_name.to_string(),
+                    }),
                 }
-                let artifact = engine.render(&page.body_text());
-                Response::bytes(&artifact.content_type, artifact.bytes)
             }
             _ if rest.starts_with("/o/") => {
                 // Origin passthrough for form posts and follow-up
@@ -565,7 +705,11 @@ impl ProxyServer {
                         }
                         u
                     }
-                    Err(e) => return Response::error(Status::BAD_GATEWAY, &e.to_string()),
+                    Err(e) => {
+                        return attach_cookie(fail(ProxyError::BadOriginUrl {
+                            detail: e.to_string(),
+                        }))
+                    }
                 };
                 let mut forwarded = Request {
                     method: request.method,
@@ -574,14 +718,21 @@ impl ProxyServer {
                     body: request.body.clone(),
                 };
                 forwarded.headers.remove("cookie"); // jar replaces client cookies
-                let response = self.origin_fetch(&session, &mut forwarded);
+                let response = self.origin_fetch(&session, &mut forwarded, deadline);
+                // Breaker/deadline rejections are the proxy's failures,
+                // not origin output; origin statuses pass through.
+                if is_breaker_rejection(&response)
+                    || response.headers.get(DEADLINE_HEADER).is_some()
+                {
+                    return attach_cookie(fail(ProxyError::from_origin_failure(&response)));
+                }
                 // Rewrite origin redirects back into the proxy namespace.
                 if response.status.is_redirect() {
                     return attach_cookie(Response::redirect(&format!("{base}/")));
                 }
                 response
             }
-            _ => Response::error(Status::NOT_FOUND, "no such proxy path"),
+            _ => fail(ProxyError::NotFound { what: "proxy path" }),
         };
         attach_cookie(response)
     }
@@ -657,6 +808,7 @@ fn extract_fragment(text: &str) -> String {
 mod tests {
     use super::*;
     use crate::attributes::{Attribute, SnapshotSpec, SourceFilter, Target};
+    use msite_net::Status;
     use msite_sites::{ForumConfig, ForumSite};
 
     fn forum_spec(site: &ForumSite) -> AdaptationSpec {

@@ -31,7 +31,7 @@ fn arb_tree(g: &mut Gen, depth: usize) -> Tree {
         return Tree::Text(g.ascii_string(24));
     }
     Tree::Element {
-        tag: *g.pick(&TAGS),
+        tag: TAGS[g.range_usize(0, TAGS.len())],
         attrs: g.vec(0, 2, arb_attr),
         children: g.vec(0, 4, |g| arb_tree(g, depth - 1)),
     }

@@ -30,6 +30,7 @@ pub mod cookies;
 pub mod http;
 pub mod link;
 pub mod origin;
+pub mod resilience;
 pub mod rng;
 pub mod server;
 pub mod url;
@@ -37,7 +38,11 @@ pub mod url;
 pub use cookies::{Cookie, CookieJar};
 pub use http::{Headers, Method, Request, Response, Status};
 pub use link::{LinkModel, SimClock, Transport};
-pub use origin::{FlakyOrigin, HostRouter, Origin, OriginRef};
+pub use origin::{FaultStats, FlakyOrigin, HostRouter, Origin, OriginRef};
+pub use resilience::{
+    BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, Deadline, DeadlineBudget,
+    ResiliencePolicy, ResilienceStats, ResilientOrigin, RetryPolicy,
+};
 pub use rng::Prng;
 pub use server::{http_get, http_request, HttpServer};
 pub use url::{ParseUrlError, Url};

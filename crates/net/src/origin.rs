@@ -9,7 +9,10 @@
 //! [`crate::server::HttpServer`].
 
 use crate::http::{Request, Response, Status};
+use msite_support::bytes::Bytes;
+use msite_support::sync::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A server that can answer requests. Implementations must be thread-safe:
 /// the proxy dispatches from a worker pool.
@@ -70,15 +73,48 @@ impl Origin for HostRouter {
     }
 }
 
-/// Failure-injection wrapper: makes a fraction of requests fail, for
-/// testing the proxy's error handling. The decision is deterministic in
-/// the request path (hash-based), so tests are reproducible.
+/// Counters for injected faults, so chaos tests can assert the harness
+/// actually exercised each mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests handled (faulted or passed through).
+    pub requests: u64,
+    /// Failures injected by the failure-rate coin.
+    pub coin_failures: u64,
+    /// Failures injected by an outage window.
+    pub outage_failures: u64,
+    /// Successful responses whose body was truncated.
+    pub truncated: u64,
+    /// Successful responses whose body was garbled.
+    pub malformed: u64,
+    /// Requests delayed by latency injection.
+    pub delayed: u64,
+}
+
+/// Fault-injection wrapper around an origin: seeded failure-rate coins,
+/// fixed (plus seeded-jitter) latency, request-count outage windows, and
+/// truncated/garbled bodies — all deterministic so chaos runs replay.
+///
+/// The failure coin is a hash of the request path+query mixed with the
+/// seed, so a given URL fails identically on every run (and on replay
+/// within a run). [`Self::per_attempt`] additionally mixes in a request
+/// counter, so retries of the same URL re-flip the coin — the mode the
+/// proxy's retry loop is tested against.
 pub struct FlakyOrigin {
     inner: OriginRef,
     /// Failure probability in [0, 1].
     failure_rate: f64,
     /// Status returned on injected failures.
     failure_status: Status,
+    seed: u64,
+    per_attempt: bool,
+    latency: Duration,
+    latency_jitter: Duration,
+    outage: Option<(u64, u64)>,
+    truncate_rate: f64,
+    malformed_rate: f64,
+    counter: Mutex<u64>,
+    stats: Mutex<FaultStats>,
 }
 
 impl FlakyOrigin {
@@ -88,29 +124,130 @@ impl FlakyOrigin {
             inner,
             failure_rate: failure_rate.clamp(0.0, 1.0),
             failure_status: status,
+            seed: 0,
+            per_attempt: false,
+            latency: Duration::ZERO,
+            latency_jitter: Duration::ZERO,
+            outage: None,
+            truncate_rate: 0.0,
+            malformed_rate: 0.0,
+            counter: Mutex::new(0),
+            stats: Mutex::new(FaultStats::default()),
         }
     }
-}
 
-impl Origin for FlakyOrigin {
-    fn handle(&self, request: &Request) -> Response {
-        // FNV over the path+query gives a stable per-URL coin.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    /// Re-seeds every fault coin; different seeds give different (still
+    /// deterministic) fault patterns over the same request stream.
+    pub fn with_seed(mut self, seed: u64) -> FlakyOrigin {
+        self.seed = seed;
+        self
+    }
+
+    /// Mixes a request counter into the failure coin so repeated fetches
+    /// of the same URL (e.g. retries) draw fresh outcomes. The full
+    /// request sequence is still reproducible from the seed.
+    pub fn per_attempt(mut self) -> FlakyOrigin {
+        self.per_attempt = true;
+        self
+    }
+
+    /// Injects `base` of latency on every request, plus a seeded uniform
+    /// draw in `[0, jitter)`.
+    pub fn with_latency(mut self, base: Duration, jitter: Duration) -> FlakyOrigin {
+        self.latency = base;
+        self.latency_jitter = jitter;
+        self
+    }
+
+    /// Fails every request whose (0-based) arrival index falls in
+    /// `[from, to)` — a hard outage window in request-count time, which
+    /// keeps outage tests clock-free.
+    pub fn with_outage_window(mut self, from: u64, to: u64) -> FlakyOrigin {
+        self.outage = Some((from, to));
+        self
+    }
+
+    /// Truncates the body of `rate` of successful responses at half
+    /// length (a mid-transfer disconnect).
+    pub fn with_truncated_bodies(mut self, rate: f64) -> FlakyOrigin {
+        self.truncate_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Garbles the body of `rate` of successful responses (unterminated
+    /// markup spliced over the tail — a corrupted transfer).
+    pub fn with_malformed_bodies(mut self, rate: f64) -> FlakyOrigin {
+        self.malformed_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Injection counters so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.stats.lock()
+    }
+
+    /// A seeded per-request coin in `[0, 1)`. `salt` decorrelates the
+    /// coins of independent fault modes on the same request.
+    fn coin(&self, request: &Request, sequence: u64, salt: u64) -> f64 {
+        // FNV over the path+query gives a stable per-URL base.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed ^ salt.wrapping_mul(0x9E37_79B9);
         for b in request.url.path_and_query().bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if self.per_attempt {
+            h ^= sequence.wrapping_mul(0xA24B_AED4_963E_E407);
         }
         // SplitMix finalizer: FNV alone avalanches poorly into high bits
         // on short inputs.
         h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         h ^= h >> 31;
-        let coin = (h >> 11) as f64 / (1u64 << 53) as f64;
-        if coin < self.failure_rate {
-            Response::error(self.failure_status, "injected failure")
-        } else {
-            self.inner.handle(request)
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Origin for FlakyOrigin {
+    fn handle(&self, request: &Request) -> Response {
+        let sequence = {
+            let mut counter = self.counter.lock();
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        self.stats.lock().requests += 1;
+        if !self.latency.is_zero() || !self.latency_jitter.is_zero() {
+            let jitter = Duration::from_secs_f64(
+                self.latency_jitter.as_secs_f64() * self.coin(request, sequence, 3),
+            );
+            self.stats.lock().delayed += 1;
+            std::thread::sleep(self.latency + jitter);
         }
+        if let Some((from, to)) = self.outage {
+            if (from..to).contains(&sequence) {
+                self.stats.lock().outage_failures += 1;
+                return Response::error(self.failure_status, "injected outage");
+            }
+        }
+        if self.coin(request, sequence, 0) < self.failure_rate {
+            self.stats.lock().coin_failures += 1;
+            return Response::error(self.failure_status, "injected failure");
+        }
+        let mut response = self.inner.handle(request);
+        if response.status.is_success() && !response.body.is_empty() {
+            if self.coin(request, sequence, 1) < self.truncate_rate {
+                self.stats.lock().truncated += 1;
+                let keep = response.body.len() / 2;
+                response.body = Bytes::from(response.body[..keep].to_vec());
+            } else if self.coin(request, sequence, 2) < self.malformed_rate {
+                self.stats.lock().malformed += 1;
+                let keep = response.body.len() * 3 / 4;
+                let mut garbled = response.body[..keep].to_vec();
+                garbled.extend_from_slice(b"<div <p <<table><tr//\xff\xfe<span");
+                response.body = Bytes::from(garbled);
+            }
+        }
+        response
     }
 
     fn name(&self) -> &str {

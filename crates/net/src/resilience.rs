@@ -1,0 +1,694 @@
+//! Fault-tolerance primitives for origin fetches: bounded retries with
+//! deterministic jittered backoff, per-request deadline budgets, and a
+//! per-host circuit breaker — composed into [`ResilientOrigin`], an
+//! [`Origin`] wrapper the proxy puts in front of every upstream.
+//!
+//! The paper's proxy "handles ... any error handling should the page be
+//! unavailable"; at production scale that means an origin hiccup must
+//! cost a bounded amount of work (retry budget), a misbehaving origin
+//! must be cut off instead of hammered (breaker), and no single request
+//! may stall forever (deadline). Everything random here is seeded
+//! through [`Prng`] so failure runs replay exactly.
+//!
+//! ```
+//! use msite_net::{Origin, Request, ResiliencePolicy, ResilientOrigin, Response, Status};
+//! use std::sync::Arc;
+//!
+//! let dead: msite_net::OriginRef =
+//!     Arc::new(|_req: &Request| Response::error(Status::SERVICE_UNAVAILABLE, "down"));
+//! let resilient = ResilientOrigin::new(dead, ResiliencePolicy::default());
+//! let resp = resilient.handle(&Request::get("http://h/").unwrap());
+//! assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+//! assert!(resilient.stats().retries > 0); // it tried more than once
+//! ```
+
+use crate::http::{Request, Response, Status};
+use crate::origin::{Origin, OriginRef};
+use crate::rng::Prng;
+use msite_support::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Marker header set on responses synthesized by an open circuit
+/// breaker, so callers can distinguish "breaker refused" from "origin
+/// answered 5xx" and degrade accordingly (e.g. serve a stale snapshot).
+pub const BREAKER_HEADER: &str = "x-msite-breaker";
+
+/// Marker header set when the retry budget was cut short by the
+/// per-request deadline.
+pub const DEADLINE_HEADER: &str = "x-msite-deadline";
+
+// ---------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------
+
+/// Bounded-retry policy with exponential, deterministically jittered
+/// backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep before retry number `retry` (1-based), drawn
+    /// with equal jitter: half the exponential step is kept, half is
+    /// rescaled by a seeded uniform draw, so concurrent retriers spread
+    /// out while staying reproducible.
+    pub fn backoff(&self, retry: u32, rng: &mut Prng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_backoff);
+        let half = capped / 2;
+        half + Duration::from_secs_f64(half.as_secs_f64() * rng.unit_f64())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------
+
+/// A per-request time budget that retry loops and pipeline stages
+/// consume from. Copies share the same fixed expiry instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an explicit instant (for harnesses).
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at }
+    }
+
+    /// Budget left; zero once expired.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// True once the budget is gone.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive upstream failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing probes.
+    pub cooldown: Duration,
+    /// Consecutive half-open probe successes required to close again.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(200),
+            probe_successes: 2,
+        }
+    }
+}
+
+/// Breaker state as seen by observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// Requests are rejected until the cooldown elapses.
+    Open,
+    /// One probe request at a time is let through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lower-case name for logs and counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Closed {
+        failures: u32,
+    },
+    Open {
+        until: Instant,
+    },
+    HalfOpen {
+        successes: u32,
+        probe_in_flight: bool,
+    },
+}
+
+/// Per-breaker counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Times the breaker transitioned closed/half-open → open.
+    pub opened: u64,
+    /// Times the breaker closed again after successful probes.
+    pub closed: u64,
+    /// Requests rejected while open (or while a probe was in flight).
+    pub rejected: u64,
+}
+
+/// A closed → open → half-open circuit breaker.
+///
+/// All transitions take an explicit `now` so harnesses can drive the
+/// state machine deterministically; the `_at`-less convenience wrappers
+/// use [`Instant::now`].
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+    stats: Mutex<BreakerStats>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed { failures: 0 }),
+            stats: Mutex::new(BreakerStats::default()),
+        }
+    }
+
+    /// Whether a request may proceed at `now`. An open breaker flips to
+    /// half-open once its cooldown has elapsed and then admits a single
+    /// probe at a time.
+    pub fn allow_at(&self, now: Instant) -> bool {
+        let mut state = self.state.lock();
+        match &mut *state {
+            State::Closed { .. } => true,
+            State::Open { until } => {
+                if now >= *until {
+                    *state = State::HalfOpen {
+                        successes: 0,
+                        probe_in_flight: true,
+                    };
+                    true
+                } else {
+                    self.stats.lock().rejected += 1;
+                    false
+                }
+            }
+            State::HalfOpen {
+                probe_in_flight, ..
+            } => {
+                if *probe_in_flight {
+                    self.stats.lock().rejected += 1;
+                    false
+                } else {
+                    *probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful upstream exchange observed at `now`.
+    pub fn record_success_at(&self, _now: Instant) {
+        let mut state = self.state.lock();
+        match &mut *state {
+            State::Closed { failures } => *failures = 0,
+            State::Open { .. } => {} // stale result from before the trip
+            State::HalfOpen {
+                successes,
+                probe_in_flight,
+            } => {
+                *successes += 1;
+                *probe_in_flight = false;
+                if *successes >= self.config.probe_successes {
+                    *state = State::Closed { failures: 0 };
+                    self.stats.lock().closed += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a failed upstream exchange observed at `now`.
+    pub fn record_failure_at(&self, now: Instant) {
+        let mut state = self.state.lock();
+        match &mut *state {
+            State::Closed { failures } => {
+                *failures += 1;
+                if *failures >= self.config.failure_threshold {
+                    *state = State::Open {
+                        until: now + self.config.cooldown,
+                    };
+                    self.stats.lock().opened += 1;
+                }
+            }
+            State::Open { .. } => {}
+            State::HalfOpen { .. } => {
+                // A failed probe re-opens for a full cooldown.
+                *state = State::Open {
+                    until: now + self.config.cooldown,
+                };
+                self.stats.lock().opened += 1;
+            }
+        }
+    }
+
+    /// [`Self::allow_at`] at the current instant.
+    pub fn allow(&self) -> bool {
+        self.allow_at(Instant::now())
+    }
+
+    /// [`Self::record_success_at`] at the current instant.
+    pub fn record_success(&self) {
+        self.record_success_at(Instant::now());
+    }
+
+    /// [`Self::record_failure_at`] at the current instant.
+    pub fn record_failure(&self) {
+        self.record_failure_at(Instant::now());
+    }
+
+    /// Current state (open breakers report open until probed).
+    pub fn state(&self) -> BreakerState {
+        match &*self.state.lock() {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> BreakerStats {
+        *self.stats.lock()
+    }
+}
+
+// ---------------------------------------------------------------------
+// ResilientOrigin
+// ---------------------------------------------------------------------
+
+/// The full per-upstream fault-tolerance policy.
+#[derive(Debug, Clone, Default)]
+pub struct ResiliencePolicy {
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Per-request wall-clock budget consumed by attempts and backoff
+    /// sleeps. [`ResilientOrigin::handle_within`] lets callers share one
+    /// budget across fetch and post-processing stages.
+    pub deadline: DeadlineBudget,
+    /// Per-host breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Seed for backoff jitter.
+    pub seed: u64,
+}
+
+/// Newtype default for the per-request budget (10 s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineBudget(pub Duration);
+
+impl Default for DeadlineBudget {
+    fn default() -> Self {
+        DeadlineBudget(Duration::from_secs(10))
+    }
+}
+
+/// Counters aggregated across all requests through a
+/// [`ResilientOrigin`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Individual upstream attempts issued.
+    pub attempts: u64,
+    /// Attempts beyond the first (i.e. retries performed).
+    pub retries: u64,
+    /// Requests that ended with a non-5xx upstream answer.
+    pub successes: u64,
+    /// Requests that exhausted their retry budget on 5xx answers.
+    pub failures: u64,
+    /// Requests rejected up front by an open breaker.
+    pub breaker_rejections: u64,
+    /// Requests whose retry loop was cut short by the deadline.
+    pub deadline_exhausted: u64,
+}
+
+/// An [`Origin`] wrapper adding retries, deadlines, and per-host
+/// circuit breaking around an inner origin.
+pub struct ResilientOrigin {
+    inner: OriginRef,
+    policy: ResiliencePolicy,
+    breakers: Mutex<HashMap<String, Arc<CircuitBreaker>>>,
+    rng: Mutex<Prng>,
+    stats: Mutex<ResilienceStats>,
+}
+
+impl ResilientOrigin {
+    /// Wraps `inner` with `policy`.
+    pub fn new(inner: OriginRef, policy: ResiliencePolicy) -> ResilientOrigin {
+        ResilientOrigin {
+            rng: Mutex::new(Prng::new(policy.seed ^ 0x7265_7369_6c69_656e)),
+            inner,
+            policy,
+            breakers: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ResilienceStats::default()),
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ResilienceStats {
+        *self.stats.lock()
+    }
+
+    /// State of the breaker guarding `host` (closed when the host has
+    /// never been fetched).
+    pub fn breaker_state(&self, host: &str) -> BreakerState {
+        self.breakers
+            .lock()
+            .get(host)
+            .map(|b| b.state())
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Stats of the breaker guarding `host`.
+    pub fn breaker_stats(&self, host: &str) -> BreakerStats {
+        self.breakers
+            .lock()
+            .get(host)
+            .map(|b| b.stats())
+            .unwrap_or_default()
+    }
+
+    fn breaker_for(&self, host: &str) -> Arc<CircuitBreaker> {
+        Arc::clone(
+            self.breakers
+                .lock()
+                .entry(host.to_string())
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(self.policy.breaker.clone()))),
+        )
+    }
+
+    /// Handles a request while consuming from an externally owned
+    /// deadline, so a caller can share one budget between the fetch and
+    /// its own downstream work (the proxy threads its per-request
+    /// deadline through here).
+    pub fn handle_within(&self, request: &Request, deadline: Deadline) -> Response {
+        let breaker = self.breaker_for(request.url.host());
+        if deadline.expired() {
+            self.stats.lock().deadline_exhausted += 1;
+            let mut resp = Response::error(Status::GATEWAY_TIMEOUT, "deadline exhausted");
+            resp.headers.set(DEADLINE_HEADER, "exhausted");
+            return resp;
+        }
+        if !breaker.allow() {
+            self.stats.lock().breaker_rejections += 1;
+            let mut resp = Response::error(
+                Status::SERVICE_UNAVAILABLE,
+                &format!("circuit breaker open for {}", request.url.host()),
+            );
+            resp.headers.set(BREAKER_HEADER, "open");
+            return resp;
+        }
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.stats.lock().attempts += 1;
+            let response = self.inner.handle(request);
+            if !is_retryable_failure(&response) {
+                breaker.record_success();
+                self.stats.lock().successes += 1;
+                return response;
+            }
+            breaker.record_failure();
+            if attempt >= self.policy.retry.max_attempts {
+                self.stats.lock().failures += 1;
+                return response;
+            }
+            let backoff = self.policy.retry.backoff(attempt, &mut self.rng.lock());
+            if deadline.remaining() <= backoff {
+                let mut stats = self.stats.lock();
+                stats.deadline_exhausted += 1;
+                stats.failures += 1;
+                drop(stats);
+                let mut response = response;
+                response.headers.set(DEADLINE_HEADER, "exhausted");
+                return response;
+            }
+            std::thread::sleep(backoff);
+            self.stats.lock().retries += 1;
+            // The breaker may have tripped from our own failed attempts
+            // (or a concurrent request's); stop retrying if so.
+            if !breaker.allow() {
+                self.stats.lock().failures += 1;
+                return response;
+            }
+        }
+    }
+}
+
+impl Origin for ResilientOrigin {
+    fn handle(&self, request: &Request) -> Response {
+        self.handle_within(request, Deadline::within(self.policy.deadline.0))
+    }
+
+    fn name(&self) -> &str {
+        "resilient"
+    }
+}
+
+/// 5xx answers are transient-by-assumption and retried; everything else
+/// (including 4xx) proves the origin is alive and passes through.
+fn is_retryable_failure(response: &Response) -> bool {
+    response.status.0 >= 500
+}
+
+/// True when `response` was synthesized by an open breaker rather than
+/// answered by the origin.
+pub fn is_breaker_rejection(response: &Response) -> bool {
+    response.headers.get(BREAKER_HEADER).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_origin() -> OriginRef {
+        Arc::new(|_req: &Request| Response::html("ok"))
+    }
+
+    fn failing_origin() -> OriginRef {
+        Arc::new(|_req: &Request| Response::error(Status::INTERNAL_SERVER_ERROR, "boom"))
+    }
+
+    fn policy_fast() -> ResiliencePolicy {
+        ResiliencePolicy {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(1),
+            },
+            deadline: DeadlineBudget(Duration::from_secs(5)),
+            breaker: BreakerConfig {
+                failure_threshold: 4,
+                cooldown: Duration::from_millis(30),
+                probe_successes: 1,
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(1);
+        for retry in 1..6 {
+            let ba = policy.backoff(retry, &mut a);
+            let bb = policy.backoff(retry, &mut b);
+            assert_eq!(ba, bb);
+            assert!(ba <= policy.max_backoff);
+            assert!(ba >= policy.base_backoff / 2);
+        }
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::within(Duration::from_millis(5));
+        assert!(!d.expired());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_full_cycle() {
+        let base = Instant::now();
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(10),
+            probe_successes: 2,
+        });
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(breaker.allow_at(base));
+            breaker.record_failure_at(base);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow_at(base + Duration::from_secs(1)));
+        // Cooldown elapsed: one probe admitted, concurrent ones refused.
+        let t = base + Duration::from_secs(11);
+        assert!(breaker.allow_at(t));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.allow_at(t));
+        breaker.record_success_at(t);
+        // One success is not enough with probe_successes = 2.
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(breaker.allow_at(t));
+        breaker.record_success_at(t);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        let stats = breaker.stats();
+        assert_eq!((stats.opened, stats.closed), (1, 1));
+        assert!(stats.rejected >= 2);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let base = Instant::now();
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(10),
+            probe_successes: 1,
+        });
+        breaker.record_failure_at(base);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(breaker.allow_at(base + Duration::from_secs(11)));
+        breaker.record_failure_at(base + Duration::from_secs(11));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // A fresh cooldown applies from the failed probe.
+        assert!(!breaker.allow_at(base + Duration::from_secs(20)));
+        assert!(breaker.allow_at(base + Duration::from_secs(22)));
+    }
+
+    #[test]
+    fn retries_then_gives_up() {
+        let resilient = ResilientOrigin::new(failing_origin(), policy_fast());
+        let resp = resilient.handle(&Request::get("http://h/x").unwrap());
+        assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+        let stats = resilient.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn success_passes_straight_through() {
+        let resilient = ResilientOrigin::new(ok_origin(), policy_fast());
+        let resp = resilient.handle(&Request::get("http://h/").unwrap());
+        assert!(resp.status.is_success());
+        let stats = resilient.stats();
+        assert_eq!((stats.attempts, stats.retries), (1, 0));
+    }
+
+    #[test]
+    fn breaker_opens_and_recovers_via_probe() {
+        use msite_support::sync::Mutex as SMutex;
+        let healthy = Arc::new(SMutex::new(false));
+        let healthy2 = Arc::clone(&healthy);
+        let switchable: OriginRef = Arc::new(move |_req: &Request| {
+            if *healthy2.lock() {
+                Response::html("back")
+            } else {
+                Response::error(Status::SERVICE_UNAVAILABLE, "down")
+            }
+        });
+        let resilient = ResilientOrigin::new(switchable, policy_fast());
+        let req = Request::get("http://flap.test/").unwrap();
+        // Two failing requests × 3 attempts ≥ threshold 4 → open.
+        for _ in 0..2 {
+            let _ = resilient.handle(&req);
+        }
+        assert_eq!(resilient.breaker_state("flap.test"), BreakerState::Open);
+        // While open, rejections are synthesized and marked.
+        let rejected = resilient.handle(&req);
+        assert!(is_breaker_rejection(&rejected));
+        assert_eq!(rejected.status, Status::SERVICE_UNAVAILABLE);
+        assert!(resilient.stats().breaker_rejections >= 1);
+        // Origin recovers; after the cooldown one probe closes it.
+        *healthy.lock() = true;
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = resilient.handle(&req);
+        assert!(probe.status.is_success());
+        assert_eq!(resilient.breaker_state("flap.test"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn deadline_cuts_retry_loop_short() {
+        let policy = ResiliencePolicy {
+            retry: RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(20),
+            },
+            deadline: DeadlineBudget(Duration::from_millis(5)),
+            ..policy_fast()
+        };
+        let resilient = ResilientOrigin::new(failing_origin(), policy);
+        let resp = resilient.handle(&Request::get("http://h/").unwrap());
+        assert_eq!(resp.headers.get(DEADLINE_HEADER), Some("exhausted"));
+        let stats = resilient.stats();
+        assert_eq!(stats.deadline_exhausted, 1);
+        assert!(stats.attempts < 10);
+    }
+
+    #[test]
+    fn per_host_breakers_are_independent() {
+        let mixed: OriginRef = Arc::new(|req: &Request| {
+            if req.url.host() == "bad.test" {
+                Response::error(Status::INTERNAL_SERVER_ERROR, "bad")
+            } else {
+                Response::html("good")
+            }
+        });
+        let resilient = ResilientOrigin::new(mixed, policy_fast());
+        for _ in 0..3 {
+            let _ = resilient.handle(&Request::get("http://bad.test/").unwrap());
+            let _ = resilient.handle(&Request::get("http://good.test/").unwrap());
+        }
+        assert_eq!(resilient.breaker_state("bad.test"), BreakerState::Open);
+        assert_eq!(resilient.breaker_state("good.test"), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the circuit-breaker state machine: random event
+//! sequences driven against a reference model, under pinned seeds.
+
+use msite_net::resilience::{BreakerConfig, BreakerState, CircuitBreaker};
+use msite_support::prop;
+use std::time::{Duration, Instant};
+
+/// A straightforward re-statement of the breaker contract, advanced in
+/// lockstep with the real implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Model {
+    Closed { failures: u32 },
+    Open { until_tick: u64 },
+    HalfOpen { successes: u32, probing: bool },
+}
+
+impl Model {
+    fn state(&self) -> BreakerState {
+        match self {
+            Model::Closed { .. } => BreakerState::Closed,
+            Model::Open { .. } => BreakerState::Open,
+            Model::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[test]
+fn breaker_matches_reference_model_under_random_events() {
+    prop::check("breaker vs model", 200, 0x0B4E_A4E4, |g| {
+        let config = BreakerConfig {
+            failure_threshold: g.range_u32(1, 6),
+            cooldown: Duration::from_millis(g.range_u64(1, 50)),
+            probe_successes: g.range_u32(1, 4),
+        };
+        let cooldown_ticks = config.cooldown.as_millis() as u64;
+        let breaker = CircuitBreaker::new(config.clone());
+        let mut model = Model::Closed { failures: 0 };
+        let epoch = Instant::now();
+        let mut tick = 0u64;
+
+        for _ in 0..g.range_usize(10, 80) {
+            tick += g.range_u64(0, 10);
+            let now = epoch + Duration::from_millis(tick);
+            match g.range_u32(0, 3) {
+                0 => {
+                    let allowed = breaker.allow_at(now);
+                    let expected = match model {
+                        Model::Closed { .. } => true,
+                        Model::Open { until_tick } => {
+                            if tick >= until_tick {
+                                model = Model::HalfOpen {
+                                    successes: 0,
+                                    probing: true,
+                                };
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        Model::HalfOpen {
+                            successes,
+                            probing: false,
+                        } => {
+                            model = Model::HalfOpen {
+                                successes,
+                                probing: true,
+                            };
+                            true
+                        }
+                        Model::HalfOpen { probing: true, .. } => false,
+                    };
+                    assert_eq!(allowed, expected, "allow at tick {tick}: {model:?}");
+                }
+                1 => {
+                    breaker.record_success_at(now);
+                    model = match model {
+                        Model::Closed { .. } => Model::Closed { failures: 0 },
+                        open @ Model::Open { .. } => open,
+                        Model::HalfOpen { successes, .. } => {
+                            if successes + 1 >= config.probe_successes {
+                                Model::Closed { failures: 0 }
+                            } else {
+                                Model::HalfOpen {
+                                    successes: successes + 1,
+                                    probing: false,
+                                }
+                            }
+                        }
+                    };
+                }
+                _ => {
+                    breaker.record_failure_at(now);
+                    model = match model {
+                        Model::Closed { failures } => {
+                            if failures + 1 >= config.failure_threshold {
+                                Model::Open {
+                                    until_tick: tick + cooldown_ticks,
+                                }
+                            } else {
+                                Model::Closed {
+                                    failures: failures + 1,
+                                }
+                            }
+                        }
+                        open @ Model::Open { .. } => open,
+                        Model::HalfOpen { .. } => Model::Open {
+                            until_tick: tick + cooldown_ticks,
+                        },
+                    };
+                }
+            }
+            assert_eq!(breaker.state(), model.state(), "state at tick {tick}");
+        }
+    });
+}
+
+#[test]
+fn breaker_counters_are_consistent() {
+    prop::check("breaker counters", 100, 0xC0_47E5, |g| {
+        let config = BreakerConfig {
+            failure_threshold: g.range_u32(1, 5),
+            cooldown: Duration::from_millis(5),
+            probe_successes: g.range_u32(1, 3),
+        };
+        let breaker = CircuitBreaker::new(config);
+        let epoch = Instant::now();
+        let mut tick = 0u64;
+        let mut denied = 0u64;
+        for _ in 0..g.range_usize(5, 60) {
+            tick += g.range_u64(0, 3);
+            let now = epoch + Duration::from_millis(tick);
+            match g.range_u32(0, 3) {
+                0 => {
+                    if !breaker.allow_at(now) {
+                        denied += 1;
+                    }
+                }
+                1 => breaker.record_success_at(now),
+                _ => breaker.record_failure_at(now),
+            }
+        }
+        let stats = breaker.stats();
+        assert_eq!(stats.rejected, denied);
+        // Every close must follow an open (failed probes may re-open
+        // many times per close, so `opened` is only bounded below).
+        assert!(stats.closed <= stats.opened);
+        // A breaker that tripped and is closed again must have closed
+        // through a successful probe.
+        if stats.opened > 0 && breaker.state() == BreakerState::Closed {
+            assert!(stats.closed >= 1);
+        }
+    });
+}
+
+#[test]
+fn open_breaker_always_rejects_within_cooldown() {
+    prop::check("open rejects until cooldown", 100, 0x0FE4, |g| {
+        let cooldown = Duration::from_millis(g.range_u64(2, 40));
+        let threshold = g.range_u32(1, 5);
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown,
+            probe_successes: 1,
+        });
+        let epoch = Instant::now();
+        for _ in 0..threshold {
+            breaker.record_failure_at(epoch);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Any probe strictly inside the cooldown is rejected...
+        let inside = epoch + cooldown - Duration::from_millis(1);
+        assert!(!breaker.allow_at(inside));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // ...and the first probe at/after the boundary is admitted.
+        let after = epoch + cooldown + Duration::from_millis(g.range_u64(0, 10));
+        assert!(breaker.allow_at(after));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // A single configured probe success closes it again.
+        breaker.record_success_at(after);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    });
+}

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Repository gate: formatting, release build, and the full test suite.
-# Everything runs offline — the workspace has no external dependencies.
+# Repository gate: formatting, lints, release build, and the full test
+# suite. Everything runs offline — the workspace has no external
+# dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== cargo clippy -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release --offline --workspace
 
 echo "== cargo test -q =="
 cargo test -q --offline --workspace
+
+echo "== failure injection / chaos suite =="
+cargo test -q --offline --test failure_injection
+cargo test -q --offline -p msite-net --test resilience_prop
+cargo test -q --offline -p msite --test cache_stale_prop

@@ -2,12 +2,23 @@
 //! misbehaves — 5xx storms, outages, malformed markup, oversized pages —
 //! because "the proxy also handles ... any error handling should the
 //! page be unavailable".
+//!
+//! The chaos matrix at the bottom crosses origin fault modes (down,
+//! flaky, slow, truncated, malformed) with snapshot on/off and asserts
+//! policy-conformant degradation: no panics, stale snapshots instead of
+//! 5xx storms when the cache is warm, breaker trip + half-open
+//! recovery, and engine fallback. Every fault draw is seeded, so runs
+//! replay exactly.
 
 use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
+use msite::engine::{RenderEngine, RenderedArtifact};
+use msite::error::{DEGRADED_HEADER, ERROR_HEADER};
 use msite::proxy::{ProxyConfig, ProxyServer};
-use msite_net::{FlakyOrigin, Origin, OriginRef, Request, Response, Status};
+use msite_net::resilience::{BreakerConfig, BreakerState, DeadlineBudget, RetryPolicy};
+use msite_net::{FlakyOrigin, Origin, OriginRef, Request, ResiliencePolicy, Response, Status};
 use msite_sites::{ForumConfig, ForumSite};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn spec_for(url: &str, snapshot: bool) -> AdaptationSpec {
     let mut spec = AdaptationSpec::new("t", url);
@@ -23,21 +34,69 @@ fn spec_for(url: &str, snapshot: bool) -> AdaptationSpec {
     )
 }
 
+/// A config with millisecond-scale backoff and cooldown so chaos tests
+/// run fast while exercising the same state machine as production.
+fn fast_config() -> ProxyConfig {
+    ProxyConfig {
+        resilience: ResiliencePolicy {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(1),
+            },
+            deadline: DeadlineBudget(Duration::from_secs(5)),
+            breaker: BreakerConfig {
+                failure_threshold: 4,
+                cooldown: Duration::from_millis(25),
+                probe_successes: 1,
+            },
+            seed: 0xC4A05,
+        },
+        ..ProxyConfig::default()
+    }
+}
+
+fn healthy_page() -> OriginRef {
+    Arc::new(|_req: &Request| {
+        Response::html(
+            "<html><head><title>Up</title></head><body>\
+             <div id=\"main\">content</div></body></html>",
+        )
+    })
+}
+
+fn entry_request() -> Request {
+    Request::get("http://p/m/t/").unwrap()
+}
+
+fn cookie_of(response: &Response) -> String {
+    response
+        .headers
+        .get("set-cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string()
+}
+
 #[test]
 fn origin_down_yields_bad_gateway_not_panic() {
     let dead: OriginRef = Arc::new(|_req: &Request| {
         Response::error(Status::SERVICE_UNAVAILABLE, "maintenance window")
     });
-    let proxy = ProxyServer::new(
-        spec_for("http://down.test/", true),
-        dead,
-        ProxyConfig::default(),
-    );
-    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    let proxy = ProxyServer::new(spec_for("http://down.test/", true), dead, fast_config());
+    let entry = proxy.handle(&entry_request());
     assert_eq!(entry.status, Status::BAD_GATEWAY);
-    // The proxy itself stays alive for subsequent requests.
-    let again = proxy.handle(&Request::get("http://p/m/t/").unwrap());
-    assert_eq!(again.status, Status::BAD_GATEWAY);
+    assert_eq!(entry.headers.get(ERROR_HEADER), Some("origin-unavailable"));
+    // The proxy itself stays alive for subsequent requests; once the
+    // breaker trips, failures become breaker rejections, never panics.
+    for _ in 0..8 {
+        let again = proxy.handle(&entry_request());
+        assert!(!again.status.is_success());
+        assert!(again.headers.get(ERROR_HEADER).is_some());
+    }
+    assert!(proxy.resilience_stats().breaker_rejections > 0);
 }
 
 #[test]
@@ -61,12 +120,190 @@ fn flaky_origin_failures_do_not_poison_the_cache() {
         flaky,
         ProxyConfig::default(),
     );
-    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    let entry = proxy.handle(&entry_request());
     assert_eq!(entry.status, Status::BAD_GATEWAY);
     assert!(
         proxy.cache().get("entry:html").is_none(),
         "failure must not be cached"
     );
+}
+
+#[test]
+fn transient_failures_are_absorbed_by_retries() {
+    use msite_support::sync::Mutex;
+    let hits = Arc::new(Mutex::new(0u32));
+    let hits2 = Arc::clone(&hits);
+    // Fails on the first fetch, succeeds afterwards: the retry loop
+    // absorbs the hiccup so even the FIRST client request succeeds.
+    let recovering: OriginRef = Arc::new(move |_req: &Request| {
+        let mut h = hits2.lock();
+        *h += 1;
+        if *h == 1 {
+            Response::error(Status::GATEWAY_TIMEOUT, "first hit times out")
+        } else {
+            Response::html("<html><body><div id=\"main\">recovered</div></body></html>")
+        }
+    });
+    let proxy = ProxyServer::new(
+        spec_for("http://recovering.test/", false),
+        recovering,
+        fast_config(),
+    );
+    let first = proxy.handle(&entry_request());
+    assert!(first.status.is_success(), "retry should mask the hiccup");
+    assert!(first.body_text().contains("main.html"));
+    assert!(proxy.resilience_stats().retries >= 1);
+    assert_eq!(proxy.stats().failures, 0);
+}
+
+#[test]
+fn warm_cache_serves_stale_instead_of_5xx_storm() {
+    // Healthy warm-up, then a hard outage: expired entry + snapshot are
+    // served stale (with Warning) rather than each request failing.
+    let flaky = Arc::new(
+        FlakyOrigin::new(healthy_page(), 0.0, Status::SERVICE_UNAVAILABLE)
+            .with_outage_window(1, u64::MAX),
+    );
+    let proxy = ProxyServer::new(
+        spec_for("http://storm.test/", true),
+        Arc::clone(&flaky) as OriginRef,
+        fast_config(),
+    );
+
+    let warm = proxy.handle(&entry_request());
+    assert!(warm.status.is_success());
+    let cookie = cookie_of(&warm);
+
+    // Let the snapshot TTL lapse; entries stay within the stale window.
+    proxy.cache().advance_clock(Duration::from_secs(3_601));
+
+    let mut stale_seen = 0;
+    for _ in 0..12 {
+        let entry = proxy.handle(
+            &Request::get("http://p/m/t/")
+                .unwrap()
+                .with_header("cookie", &cookie),
+        );
+        assert!(
+            entry.status.is_success(),
+            "outage must degrade, not 5xx: got {}",
+            entry.status
+        );
+        if entry.headers.get(DEGRADED_HEADER).is_some() {
+            assert_eq!(
+                entry.headers.get("warning"),
+                Some("110 msite \"Response is stale\"")
+            );
+            stale_seen += 1;
+        }
+    }
+    assert_eq!(stale_seen, 12, "every outage answer should be marked stale");
+    assert!(proxy.stats().stale_served >= 12);
+    // The snapshot image degrades the same way.
+    let img = proxy.handle(
+        &Request::get("http://p/m/t/img/snapshot.png")
+            .unwrap()
+            .with_header("cookie", &cookie),
+    );
+    assert!(img.status.is_success());
+    assert!(img
+        .headers
+        .get(DEGRADED_HEADER)
+        .unwrap()
+        .starts_with("stale"));
+    // Sustained failures tripped the breaker, so most of the 12 rounds
+    // never hammered the dead origin at all.
+    assert_eq!(proxy.breaker_state("storm.test"), BreakerState::Open);
+    assert!(proxy.resilience_stats().breaker_rejections > 0);
+}
+
+#[test]
+fn breaker_opens_at_threshold_and_recovers_via_probe() {
+    // Outage for the first 4 origin hits (the breaker threshold), then
+    // healthy: the breaker must trip, reject, and close via a probe.
+    let flaky = Arc::new(
+        FlakyOrigin::new(healthy_page(), 0.0, Status::INTERNAL_SERVER_ERROR)
+            .with_outage_window(0, 4),
+    );
+    let proxy = ProxyServer::new(
+        spec_for("http://trip.test/", false),
+        Arc::clone(&flaky) as OriginRef,
+        fast_config(),
+    );
+
+    // Request 1 burns 3 attempts (failures 1..3); request 2's first
+    // attempt is failure 4, which trips the breaker mid-retry-loop.
+    assert_eq!(proxy.handle(&entry_request()).status, Status::BAD_GATEWAY);
+    assert_eq!(proxy.handle(&entry_request()).status, Status::BAD_GATEWAY);
+    assert_eq!(proxy.breaker_state("trip.test"), BreakerState::Open);
+
+    // While open: rejected up front, origin never contacted.
+    let rejected = proxy.handle(&entry_request());
+    assert_eq!(rejected.status, Status::SERVICE_UNAVAILABLE);
+    assert_eq!(rejected.headers.get(ERROR_HEADER), Some("breaker-open"));
+    let hammered = flaky.fault_stats().requests;
+
+    // After the cooldown, a half-open probe hits the (now healthy)
+    // origin and closes the breaker; service resumes.
+    std::thread::sleep(Duration::from_millis(30));
+    let recovered = proxy.handle(&entry_request());
+    assert!(recovered.status.is_success());
+    assert_eq!(proxy.breaker_state("trip.test"), BreakerState::Closed);
+    assert_eq!(flaky.fault_stats().requests, hammered + 1);
+    let stats = proxy.resilience_stats();
+    assert!(stats.breaker_rejections >= 1);
+    assert!(stats.successes >= 1);
+}
+
+#[test]
+fn deadline_exhaustion_is_reported_as_gateway_timeout() {
+    // A slow, failing origin against a tiny budget: the retry loop must
+    // stop at the deadline and say so.
+    let slow_dead = Arc::new(
+        FlakyOrigin::new(healthy_page(), 1.0, Status::INTERNAL_SERVER_ERROR)
+            .with_latency(Duration::from_millis(3), Duration::ZERO),
+    );
+    let mut config = fast_config();
+    config.resilience.deadline = DeadlineBudget(Duration::from_millis(4));
+    config.resilience.retry.base_backoff = Duration::from_millis(5);
+    let proxy = ProxyServer::new(
+        spec_for("http://slow.test/", false),
+        slow_dead as OriginRef,
+        config,
+    );
+    let entry = proxy.handle(&entry_request());
+    assert_eq!(entry.status, Status::GATEWAY_TIMEOUT);
+    assert_eq!(entry.headers.get(ERROR_HEADER), Some("deadline-exceeded"));
+    assert!(proxy.resilience_stats().deadline_exhausted >= 1);
+}
+
+struct CrashingImageEngine;
+
+impl RenderEngine for CrashingImageEngine {
+    fn name(&self) -> &str {
+        "image"
+    }
+    fn render(&self, _html: &str) -> RenderedArtifact {
+        panic!("simulated renderer crash");
+    }
+}
+
+#[test]
+fn failing_image_engine_degrades_down_the_chain() {
+    let mut proxy = ProxyServer::new(
+        spec_for("http://render.test/", false),
+        healthy_page(),
+        fast_config(),
+    );
+    proxy.register_engine(Box::new(CrashingImageEngine));
+    let rendered = proxy.handle(&Request::get("http://p/m/t/render/image").unwrap());
+    assert!(rendered.status.is_success());
+    assert_eq!(rendered.headers.get("x-msite-engine"), Some("html"));
+    assert_eq!(
+        rendered.headers.get(DEGRADED_HEADER),
+        Some("engine-fallback; from=image")
+    );
+    assert!(proxy.stats().engine_fallbacks >= 1);
 }
 
 #[test]
@@ -79,14 +316,34 @@ fn malformed_origin_markup_still_adapts() {
              <p>more<p>text",
         )
     });
-    let proxy = ProxyServer::new(
-        spec_for("http://messy.test/", false),
-        messy,
-        ProxyConfig::default(),
-    );
-    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    let proxy = ProxyServer::new(spec_for("http://messy.test/", false), messy, fast_config());
+    let entry = proxy.handle(&entry_request());
     assert!(entry.status.is_success());
     assert!(entry.body_text().contains("/m/t/s/main.html"));
+}
+
+#[test]
+fn truncated_and_garbled_bodies_never_panic_the_pipeline() {
+    for (truncate, malformed) in [(1.0, 0.0), (0.0, 1.0)] {
+        let flaky = Arc::new(
+            FlakyOrigin::new(healthy_page(), 0.0, Status::SERVICE_UNAVAILABLE)
+                .with_seed(0xB0D1E5)
+                .with_truncated_bodies(truncate)
+                .with_malformed_bodies(malformed),
+        );
+        let proxy = ProxyServer::new(
+            spec_for("http://cutoff.test/", false),
+            Arc::clone(&flaky) as OriginRef,
+            fast_config(),
+        );
+        let entry = proxy.handle(&entry_request());
+        // Damaged-but-2xx bodies flow into the tidy pipeline, which must
+        // absorb them: any complete response (success or classified
+        // failure) is acceptable, panicking is not.
+        assert!(entry.status.is_success() || entry.headers.get(ERROR_HEADER).is_some());
+        let stats = flaky.fault_stats();
+        assert!(stats.truncated + stats.malformed >= 1, "fault not injected");
+    }
 }
 
 #[test]
@@ -105,18 +362,11 @@ fn oversized_page_is_bounded_by_render_cap() {
         huge,
         ProxyConfig::default(),
     );
-    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    let entry = proxy.handle(&entry_request());
     assert!(entry.status.is_success());
     // The snapshot height was clamped by the browser's max_page_height
     // (8192) and then halved by the 0.5x snapshot scale.
-    let cookie = entry
-        .headers
-        .get("set-cookie")
-        .unwrap()
-        .split(';')
-        .next()
-        .unwrap()
-        .to_string();
+    let cookie = cookie_of(&entry);
     let img = proxy.handle(
         &Request::get("http://p/m/t/img/snapshot.png")
             .unwrap()
@@ -130,12 +380,8 @@ fn oversized_page_is_bounded_by_render_cap() {
 #[test]
 fn empty_origin_body_handled() {
     let empty: OriginRef = Arc::new(|_req: &Request| Response::html(""));
-    let proxy = ProxyServer::new(
-        spec_for("http://empty.test/", false),
-        empty,
-        ProxyConfig::default(),
-    );
-    let entry = proxy.handle(&Request::get("http://p/m/t/").unwrap());
+    let proxy = ProxyServer::new(spec_for("http://empty.test/", false), empty, fast_config());
+    let entry = proxy.handle(&entry_request());
     assert!(entry.status.is_success());
 }
 
@@ -150,14 +396,7 @@ fn ajax_origin_error_reported_as_bad_gateway() {
     let spec = spec.rule(Target::Css("#posts".into()), vec![Attribute::AjaxRewrite]);
     let proxy = ProxyServer::new(spec, Arc::clone(&site) as OriginRef, ProxyConfig::default());
     let entry = proxy.handle(&Request::get("http://p/m/thread/").unwrap());
-    let cookie = entry
-        .headers
-        .get("set-cookie")
-        .unwrap()
-        .split(';')
-        .next()
-        .unwrap()
-        .to_string();
+    let cookie = cookie_of(&entry);
     // Without an origin session, showpic returns 403 -> proxy reports 502.
     let frag = proxy.handle(
         &Request::get("http://p/m/thread/proxy?action=1&p=9")
@@ -165,31 +404,90 @@ fn ajax_origin_error_reported_as_bad_gateway() {
             .with_header("cookie", &cookie),
     );
     assert_eq!(frag.status, Status::BAD_GATEWAY);
+    assert_eq!(frag.headers.get(ERROR_HEADER), Some("origin-unavailable"));
 }
 
+/// The full chaos matrix: every fault mode x snapshot on/off, a burst
+/// of requests across every endpoint class, and one invariant — the
+/// proxy always answers, and failures are always classified.
 #[test]
-fn intermittent_failures_recover_between_requests() {
-    use msite_support::sync::Mutex;
-    let hits = Arc::new(Mutex::new(0u32));
-    let hits2 = Arc::clone(&hits);
-    // Fails on the first fetch, succeeds afterwards.
-    let recovering: OriginRef = Arc::new(move |_req: &Request| {
-        let mut h = hits2.lock();
-        *h += 1;
-        if *h == 1 {
-            Response::error(Status::GATEWAY_TIMEOUT, "first hit times out")
-        } else {
-            Response::html("<html><body><div id=\"main\">recovered</div></body></html>")
+fn chaos_matrix_always_answers_and_classifies() {
+    #[derive(Clone, Copy, Debug)]
+    enum Mode {
+        Down,
+        Flaky,
+        Slow,
+        Truncated,
+        Malformed,
+    }
+    let modes = [
+        Mode::Down,
+        Mode::Flaky,
+        Mode::Slow,
+        Mode::Truncated,
+        Mode::Malformed,
+    ];
+    for mode in modes {
+        for snapshot in [false, true] {
+            let origin: OriginRef = match mode {
+                Mode::Down => Arc::new(FlakyOrigin::new(
+                    healthy_page(),
+                    1.0,
+                    Status::SERVICE_UNAVAILABLE,
+                )),
+                Mode::Flaky => Arc::new(
+                    FlakyOrigin::new(healthy_page(), 0.3, Status::INTERNAL_SERVER_ERROR)
+                        .with_seed(0xF1A4)
+                        .per_attempt(),
+                ),
+                Mode::Slow => Arc::new(
+                    FlakyOrigin::new(healthy_page(), 0.0, Status::SERVICE_UNAVAILABLE)
+                        .with_latency(Duration::from_micros(300), Duration::from_micros(300)),
+                ),
+                Mode::Truncated => Arc::new(
+                    FlakyOrigin::new(healthy_page(), 0.0, Status::SERVICE_UNAVAILABLE)
+                        .with_seed(0x7A11)
+                        .with_truncated_bodies(0.5),
+                ),
+                Mode::Malformed => Arc::new(
+                    FlakyOrigin::new(healthy_page(), 0.0, Status::SERVICE_UNAVAILABLE)
+                        .with_seed(0x9A4B)
+                        .with_malformed_bodies(0.5),
+                ),
+            };
+            let proxy = ProxyServer::new(
+                spec_for("http://chaos.test/", snapshot),
+                origin,
+                fast_config(),
+            );
+            let paths = [
+                "/m/t/",
+                "/m/t/s/main.html",
+                "/m/t/img/snapshot.png",
+                "/m/t/render/text",
+                "/m/t/proxy?action=0",
+                "/m/t/nonsense",
+            ];
+            for round in 0..3 {
+                for path in paths {
+                    let response = proxy.handle(&Request::get(&format!("http://p{path}")).unwrap());
+                    assert!(
+                        response.status.is_success()
+                            || response.status.is_redirect()
+                            || response.headers.get(ERROR_HEADER).is_some(),
+                        "{mode:?} snapshot={snapshot} round={round} {path}: \
+                         unclassified failure {}",
+                        response.status
+                    );
+                }
+            }
+            // Counters reconcile: every classified failure was counted.
+            let stats = proxy.stats();
+            assert_eq!(
+                stats.requests,
+                3 * paths.len() as u64,
+                "{mode:?} snapshot={snapshot}"
+            );
         }
-    });
-    let proxy = ProxyServer::new(
-        spec_for("http://recovering.test/", false),
-        recovering,
-        ProxyConfig::default(),
-    );
-    let first = proxy.handle(&Request::get("http://p/m/t/").unwrap());
-    assert_eq!(first.status, Status::BAD_GATEWAY);
-    let second = proxy.handle(&Request::get("http://p/m/t/").unwrap());
-    assert!(second.status.is_success());
-    assert!(second.body_text().contains("recovered") || second.body_text().contains("main.html"));
+    }
 }
