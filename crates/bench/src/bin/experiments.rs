@@ -8,6 +8,7 @@
 //! cargo run --release -p msite-bench --bin experiments -- fig7 [--full]
 //! cargo run --release -p msite-bench --bin experiments -- fig6
 //! cargo run --release -p msite-bench --bin experiments -- claims
+//! cargo run --release -p msite-bench --bin experiments -- burst
 //! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
 //! ```
 //!
@@ -15,7 +16,7 @@
 //! trials ≈ 27 minutes); the default uses scaled windows that converge to
 //! the same rates.
 
-use msite_bench::{capacity, claims, fig6, fig7, fixtures, report, table1};
+use msite_bench::{burst, capacity, claims, fig6, fig7, fixtures, report, table1};
 use msite_support::json::{obj, ToJson, Value};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -164,6 +165,52 @@ fn main() -> ExitCode {
                 Ok(()) => println!("shape check: PASS (monotone, >=2 orders of magnitude)"),
                 Err(e) => println!("shape check: FAIL ({e})"),
             }
+        }
+    }
+
+    if want("burst") {
+        const BURST_CLIENTS: usize = 8;
+        let result = burst::run(BURST_CLIENTS);
+        if result.renders != 1 {
+            failures.push(format!(
+                "burst: {} renders for {BURST_CLIENTS} concurrent clients (want 1)",
+                result.renders
+            ));
+        }
+        if result.coalesced != (BURST_CLIENTS - 1) as u64 {
+            failures.push(format!(
+                "burst: {} coalesced waiters (want {})",
+                result.coalesced,
+                BURST_CLIENTS - 1
+            ));
+        }
+        let contention = burst::shard_contention(4, 50_000);
+        if !json {
+            report::print_table(
+                "Same-page burst — single-flight coalescing (8 cold clients, one page)",
+                &["metric", "value"],
+                &[
+                    vec!["full renders".into(), result.renders.to_string()],
+                    vec!["coalesced waiters".into(), result.coalesced.to_string()],
+                    vec![
+                        "slowest burst client".into(),
+                        report::secs(result.slowest_wait.as_secs_f64()),
+                    ],
+                    vec![
+                        "lone cold client".into(),
+                        report::secs(result.single_client.as_secs_f64()),
+                    ],
+                ],
+            );
+            println!(
+                "lock striping: {} threads x {} gets — 1 shard {:.2} ms vs {} shards {:.2} ms ({:.2}x)",
+                contention.threads,
+                contention.ops,
+                contention.single_shard.as_secs_f64() * 1e3,
+                contention.shards,
+                contention.striped.as_secs_f64() * 1e3,
+                contention.speedup()
+            );
         }
     }
 

@@ -11,6 +11,7 @@
 pub mod fixtures;
 pub mod report;
 
+pub mod burst;
 pub mod capacity;
 pub mod claims;
 pub mod fig6;

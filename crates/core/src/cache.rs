@@ -1,5 +1,5 @@
-//! The shared render cache: TTL + LRU with serve-stale degradation,
-//! safe for concurrent access.
+//! The shared render cache: TTL + LRU with serve-stale degradation and
+//! a single-flight layer, safe for concurrent access.
 //!
 //! "Certain areas of a site may be defined as cachable across sessions,
 //! amortizing the initial pre-rendering cost across many users" (§3.3).
@@ -12,10 +12,36 @@
 //! proxy uses to serve a last-known-good snapshot when the origin is
 //! down or its circuit breaker is open — degraded service instead of a
 //! 5xx per request.
+//!
+//! # Single flight
+//!
+//! Concurrent misses on one key do not stampede the producer. The first
+//! caller becomes the *leader*: it registers an in-flight marker and
+//! runs `produce()` outside the lock. Every other caller becomes a
+//! *waiter*, blocking on the flight's [`OnceValue`] rendezvous and
+//! sharing the leader's result (counted in [`CacheStats::coalesced`]).
+//! Waiters can bound their wait: on expiry they fall back to a
+//! stale-window entry when one exists, or report [`Flight::TimedOut`]
+//! so the caller can surface a deadline error instead of blocking
+//! forever. A leader that panics abandons its flight; waiters detect
+//! the abandonment and retry, electing a new leader.
+//!
+//! # Lock striping
+//!
+//! The key space is split across `K` shards (FNV-1a on the key), each
+//! with its own mutex, entry map, and in-flight registry, so unrelated
+//! keys no longer serialize under multi-user load. LRU eviction is per
+//! shard against the shard's slice of the capacity; `advance_clock` and
+//! the stale window apply uniformly across shards. Small caches
+//! (capacity ≤ 32) collapse to a single shard, which is exactly the
+//! seed's global-LRU behavior.
 
 use msite_support::bytes::Bytes;
-use msite_support::sync::Mutex;
+use msite_support::sync::{Mutex, OnceValue};
+use std::any::Any;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cache statistics snapshot.
@@ -32,17 +58,31 @@ pub struct CacheStats {
     /// Lookups answered by an expired entry still inside the stale
     /// window (serve-stale degradation).
     pub stale_hits: u64,
+    /// Misses that were answered by joining another caller's in-flight
+    /// `produce()` instead of launching their own (single flight).
+    pub coalesced: u64,
 }
 
 impl CacheStats {
-    /// Hit ratio in [0, 1]; 0 when no lookups happened.
+    /// Hit ratio in [0, 1]; 0 when no lookups happened. Stale lookups
+    /// are *not* hits — they are degraded service — so they count in
+    /// the denominator only: `hits / (hits + misses + stale_hits)`.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.misses + self.stale_hits;
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.expirations += other.expirations;
+        self.stale_hits += other.stale_hits;
+        self.coalesced += other.coalesced;
     }
 }
 
@@ -53,14 +93,66 @@ struct Entry {
     cost: Duration,
 }
 
+impl Entry {
+    /// How far past its TTL the entry is at `now`; zero while fresh.
+    fn age_past_expiry(&self, now: Instant) -> Duration {
+        self.expires_at
+            .map(|t| now.saturating_duration_since(t))
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Marker published by [`FlightGuard`] when a leader unwinds without
+/// completing its flight; waiters that see it retry (and may lead).
+struct LeaderAbandoned;
+
+type FlightError = Arc<dyn Any + Send + Sync>;
+
+/// A registered in-flight `produce()` that waiters rendezvous on.
+struct InFlight {
+    result: OnceValue<Result<Bytes, FlightError>>,
+    waiters: AtomicU64,
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            result: OnceValue::new(),
+            waiters: AtomicU64::new(0),
+        }
+    }
+}
+
 struct Inner {
     entries: HashMap<String, Entry>,
+    flights: HashMap<String, Arc<InFlight>>,
     clock: u64,
     stats: CacheStats,
     amortized: Duration,
     /// Test/harness clock offset added to `Instant::now()`, so TTL and
     /// stale-window behavior can be driven without real sleeps.
     time_offset: Duration,
+}
+
+struct Shard {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            capacity,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                flights: HashMap::new(),
+                clock: 0,
+                stats: CacheStats::default(),
+                amortized: Duration::ZERO,
+                time_offset: Duration::ZERO,
+            }),
+        }
+    }
 }
 
 /// Outcome of a [`RenderCache::lookup`].
@@ -80,7 +172,76 @@ pub enum Lookup {
     Miss,
 }
 
-/// A concurrent TTL + LRU cache for rendered artifacts.
+/// Outcome of a [`RenderCache::render_flight`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Flight<E> {
+    /// A fresh entry was already cached; no flight was needed.
+    Hit(Bytes),
+    /// This caller led the flight: it ran `produce()` and cached the
+    /// result.
+    Led {
+        /// The freshly produced artifact.
+        value: Bytes,
+        /// How many waiters were registered on the flight when it
+        /// completed (they each count one `coalesced` as they wake).
+        shared_with: u64,
+    },
+    /// This caller joined another caller's flight and shares its
+    /// result.
+    Shared(Bytes),
+    /// The wait budget expired (or the leader failed) and an expired
+    /// entry inside the stale window was served instead.
+    Stale {
+        /// The expired artifact.
+        value: Bytes,
+        /// How long past its TTL the entry is.
+        age: Duration,
+    },
+    /// The wait budget expired with nothing usable cached.
+    TimedOut,
+    /// The flight's `produce()` failed; leaders report their own error,
+    /// waiters a clone of the leader's.
+    Failed(E),
+}
+
+/// Removes the flight and publishes [`LeaderAbandoned`] if the leader
+/// unwinds (panics) before completing; disarmed on the success and
+/// error paths, which publish their own result.
+struct FlightGuard<'a> {
+    shard: &'a Shard,
+    key: &'a str,
+    flight: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut inner = self.shard.inner.lock();
+        if inner
+            .flights
+            .get(self.key)
+            .is_some_and(|f| Arc::ptr_eq(f, self.flight))
+        {
+            inner.flights.remove(self.key);
+        }
+        drop(inner);
+        // Wake waiters *after* the registry slot is free, so a retrying
+        // waiter cannot rejoin this dead flight.
+        self.flight.result.set(Err(Arc::new(LeaderAbandoned)));
+    }
+}
+
+/// A concurrent TTL + LRU cache for rendered artifacts, lock-striped
+/// across shards, with single-flight coalescing of concurrent misses.
 ///
 /// # Examples
 ///
@@ -95,8 +256,7 @@ pub enum Lookup {
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
 pub struct RenderCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    shards: Box<[Shard]>,
     stale_window: Duration,
 }
 
@@ -113,22 +273,38 @@ impl RenderCache {
 
     /// Creates a cache that keeps expired entries around for
     /// `stale_window` past their TTL, reporting them via
-    /// [`Self::lookup`] as [`Lookup::Stale`].
+    /// [`Self::lookup`] as [`Lookup::Stale`]. The shard count defaults
+    /// to one shard per 32 entries of capacity, capped at 16; caches of
+    /// 32 entries or fewer get a single shard (global LRU, the seed's
+    /// semantics).
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero.
     pub fn with_stale_window(capacity: usize, stale_window: Duration) -> RenderCache {
+        let shards = (capacity / 32).clamp(1, 16);
+        RenderCache::with_shards(capacity, stale_window, shards)
+    }
+
+    /// Creates a cache striped across exactly `shards` locks. `capacity`
+    /// is the *total* bound, distributed as evenly as possible across
+    /// shards (the first `capacity % shards` shards get one extra slot).
+    /// The shard count is clamped to `[1, capacity]` so every shard can
+    /// hold at least one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_shards(capacity: usize, stale_window: Duration, shards: usize) -> RenderCache {
         assert!(capacity > 0, "cache capacity must be positive");
+        let count = shards.clamp(1, capacity);
+        let base = capacity / count;
+        let extra = capacity % count;
+        let shards: Vec<Shard> = (0..count)
+            .map(|i| Shard::new(base + usize::from(i < extra)))
+            .collect();
         RenderCache {
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                clock: 0,
-                stats: CacheStats::default(),
-                amortized: Duration::ZERO,
-                time_offset: Duration::ZERO,
-            }),
-            capacity,
+            shards: shards.into_boxed_slice(),
             stale_window,
         }
     }
@@ -138,36 +314,109 @@ impl RenderCache {
         self.stale_window
     }
 
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to (FNV-1a).
+    pub fn shard_of(&self, key: &str) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in key.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01B3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// The entry bound of shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= shard_count()`.
+    pub fn shard_capacity(&self, index: usize) -> usize {
+        self.shards[index].capacity
+    }
+
+    /// Entries currently stored in shard `index` (including entries
+    /// whose stale window has lapsed but that have not been touched).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= shard_count()`.
+    pub fn shard_len(&self, index: usize) -> usize {
+        self.shards[index].inner.lock().entries.len()
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        &self.shards[self.shard_of(key)]
+    }
+
     /// Advances the cache's notion of "now" by `delta` — a harness hook
     /// that makes TTL/stale-window tests deterministic without sleeping.
     pub fn advance_clock(&self, delta: Duration) {
-        self.inner.lock().time_offset += delta;
+        for shard in self.shards.iter() {
+            shard.inner.lock().time_offset += delta;
+        }
     }
 
     /// Inserts an artifact. `ttl == None` means "until evicted". `cost`
     /// records how long the artifact took to produce, feeding the
     /// amortization accounting.
     pub fn put(&self, key: &str, value: impl Into<Bytes>, ttl: Option<Duration>, cost: Duration) {
-        let mut inner = self.inner.lock();
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock();
+        self.insert_locked(shard, &mut inner, key, value.into(), ttl, cost);
+    }
+
+    /// Inserts under an already-held shard lock, evicting if the shard
+    /// is full: entries past the stale window are pruned first, then an
+    /// expired-but-stale entry is preferred as the victim over a live
+    /// one, then LRU order decides.
+    fn insert_locked(
+        &self,
+        shard: &Shard,
+        inner: &mut Inner,
+        key: &str,
+        value: Bytes,
+        ttl: Option<Duration>,
+        cost: Duration,
+    ) {
         let now = Instant::now() + inner.time_offset;
         inner.clock += 1;
         let last_used = inner.clock;
-        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
-            // Evict the least recently used entry.
-            if let Some(oldest) = inner
+        if inner.entries.len() >= shard.capacity && !inner.entries.contains_key(key) {
+            let dead: Vec<String> = inner
                 .entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .filter(|(_, e)| e.age_past_expiry(now) > self.stale_window)
                 .map(|(k, _)| k.clone())
-            {
-                inner.entries.remove(&oldest);
-                inner.stats.evictions += 1;
+                .collect();
+            for k in &dead {
+                inner.entries.remove(k);
+                inner.stats.expirations += 1;
+            }
+            if inner.entries.len() >= shard.capacity {
+                // Evict expired-but-stale entries before live ones;
+                // within a class, the least recently used goes.
+                if let Some(victim) = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| (e.age_past_expiry(now).is_zero(), e.last_used))
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.entries.remove(&victim);
+                    inner.stats.evictions += 1;
+                }
             }
         }
         inner.entries.insert(
             key.to_string(),
             Entry {
-                value: value.into(),
+                value,
                 expires_at: ttl.map(|t| now + t),
                 last_used,
                 cost,
@@ -194,7 +443,7 @@ impl RenderCache {
     }
 
     fn lookup_at(&self, key: &str, allow_stale: bool) -> Lookup {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(key).inner.lock();
         let now = Instant::now() + inner.time_offset;
         inner.clock += 1;
         let clock = inner.clock;
@@ -202,10 +451,7 @@ impl RenderCache {
             inner.stats.misses += 1;
             return Lookup::Miss;
         };
-        let age = entry
-            .expires_at
-            .map(|t| now.saturating_duration_since(t))
-            .unwrap_or(Duration::ZERO);
+        let age = entry.age_past_expiry(now);
         if age.is_zero() {
             entry.last_used = clock;
             let value = entry.value.clone();
@@ -233,36 +479,289 @@ impl RenderCache {
         Lookup::Stale { value, age }
     }
 
-    /// Fetches, or computes-and-stores on miss. The closure returns the
-    /// artifact plus its production cost.
+    /// Fetches, or computes-and-stores on miss, coalescing concurrent
+    /// misses into one `produce()` (single flight). The closure returns
+    /// the artifact plus its production cost.
+    ///
+    /// Expired entries inside the stale window are served directly
+    /// (counting a stale hit) rather than recomputed — the degraded
+    /// answer is preferred over a redundant render here. Callers that
+    /// instead want a fresh render with stale only as a timeout
+    /// fallback use [`Self::render_flight`].
     pub fn get_or_insert_with(
         &self,
         key: &str,
         ttl: Option<Duration>,
         produce: impl FnOnce() -> (Bytes, Duration),
     ) -> Bytes {
-        if let Some(hit) = self.get(key) {
-            return hit;
+        match self
+            .flight_inner::<std::convert::Infallible, _>(key, ttl, None, true, || Ok(produce()))
+        {
+            Flight::Hit(value)
+            | Flight::Led { value, .. }
+            | Flight::Shared(value)
+            | Flight::Stale { value, .. } => value,
+            Flight::TimedOut => unreachable!("unbounded waits cannot time out"),
+            Flight::Failed(error) => match error {},
         }
-        let (value, cost) = produce();
-        self.put(key, value.clone(), ttl, cost);
-        value
+    }
+
+    /// Fetches, or runs a fallible `produce()` exactly once across
+    /// concurrent callers (single flight), with a bounded wait.
+    ///
+    /// The first caller to miss becomes the leader and runs `produce()`
+    /// outside the cache lock; concurrent callers wait on the flight
+    /// and share its result ([`Flight::Shared`]). `wait_budget` bounds
+    /// how long a waiter blocks (`None` = indefinitely): on expiry it
+    /// falls back to a stale-window entry ([`Flight::Stale`]) or
+    /// reports [`Flight::TimedOut`]. A failed `produce()` caches
+    /// nothing and propagates a clone of the error to every waiter.
+    ///
+    /// Unlike [`Self::get_or_insert_with`], an expired-but-stale entry
+    /// does *not* short-circuit the render: freshness is preferred, and
+    /// stale serves only as the fallback.
+    pub fn render_flight<E>(
+        &self,
+        key: &str,
+        ttl: Option<Duration>,
+        wait_budget: Option<Duration>,
+        produce: impl FnOnce() -> Result<(Bytes, Duration), E>,
+    ) -> Flight<E>
+    where
+        E: Clone + Send + Sync + 'static,
+    {
+        self.flight_inner(key, ttl, wait_budget, false, produce)
+    }
+
+    fn flight_inner<E, F>(
+        &self,
+        key: &str,
+        ttl: Option<Duration>,
+        wait_budget: Option<Duration>,
+        eager_stale: bool,
+        produce: F,
+    ) -> Flight<E>
+    where
+        E: Clone + Send + Sync + 'static,
+        F: FnOnce() -> Result<(Bytes, Duration), E>,
+    {
+        let wait_deadline = wait_budget.map(|b| Instant::now() + b);
+        let shard = self.shard(key);
+        let mut produce = Some(produce);
+        let mut counted_miss = false;
+        loop {
+            let mut inner = shard.inner.lock();
+            let now = Instant::now() + inner.time_offset;
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.entries.get_mut(key) {
+                let age = entry.age_past_expiry(now);
+                if age.is_zero() {
+                    entry.last_used = clock;
+                    let value = entry.value.clone();
+                    let cost = entry.cost;
+                    inner.stats.hits += 1;
+                    inner.amortized += cost;
+                    return Flight::Hit(value);
+                }
+                if age > self.stale_window {
+                    inner.entries.remove(key);
+                    inner.stats.expirations += 1;
+                } else if eager_stale {
+                    entry.last_used = clock;
+                    let value = entry.value.clone();
+                    inner.stats.stale_hits += 1;
+                    return Flight::Stale { value, age };
+                }
+            }
+            if !counted_miss {
+                inner.stats.misses += 1;
+                counted_miss = true;
+            }
+            let joined = match inner.flights.get(key) {
+                Some(flight) => {
+                    flight.waiters.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(flight))
+                }
+                None => {
+                    let flight = Arc::new(InFlight::new());
+                    inner.flights.insert(key.to_string(), Arc::clone(&flight));
+                    drop(inner);
+                    return self.lead(
+                        shard,
+                        key,
+                        ttl,
+                        &flight,
+                        produce
+                            .take()
+                            .expect("produce is consumed only by the leader"),
+                    );
+                }
+            };
+            drop(inner);
+
+            let flight = joined.expect("non-leader path always joins");
+            let outcome = match wait_deadline {
+                None => Some(flight.result.wait()),
+                Some(deadline) => flight
+                    .result
+                    .wait_for(deadline.saturating_duration_since(Instant::now())),
+            };
+            match outcome {
+                Some(Ok(value)) => {
+                    shard.inner.lock().stats.coalesced += 1;
+                    return Flight::Shared(value);
+                }
+                Some(Err(error)) => {
+                    if error.is::<LeaderAbandoned>() {
+                        // The leader unwound without an answer; go
+                        // around and possibly lead the retry.
+                        continue;
+                    }
+                    if let Some(error) = error.downcast_ref::<E>() {
+                        return Flight::Failed(error.clone());
+                    }
+                    // A flight with a different error type raced us on
+                    // this key; treat it like an expired wait.
+                    if wait_deadline.is_none() {
+                        continue;
+                    }
+                    return self.stale_or_timed_out(shard, key);
+                }
+                None => return self.stale_or_timed_out(shard, key),
+            }
+        }
+    }
+
+    /// Leader side of a flight: run `produce()` outside the lock, then
+    /// publish the outcome to the cache and to the flight's waiters.
+    fn lead<E>(
+        &self,
+        shard: &Shard,
+        key: &str,
+        ttl: Option<Duration>,
+        flight: &Arc<InFlight>,
+        produce: impl FnOnce() -> Result<(Bytes, Duration), E>,
+    ) -> Flight<E>
+    where
+        E: Clone + Send + Sync + 'static,
+    {
+        let guard = FlightGuard {
+            shard,
+            key,
+            flight,
+            armed: true,
+        };
+        let outcome = produce();
+        let mut inner = shard.inner.lock();
+        if let Ok((value, cost)) = &outcome {
+            self.insert_locked(shard, &mut inner, key, value.clone(), ttl, *cost);
+        }
+        if inner
+            .flights
+            .get(key)
+            .is_some_and(|f| Arc::ptr_eq(f, flight))
+        {
+            inner.flights.remove(key);
+        }
+        drop(inner);
+        let shared_with = flight.waiters.load(Ordering::Relaxed);
+        match outcome {
+            Ok((value, _cost)) => {
+                flight.result.set(Ok(value.clone()));
+                guard.disarm();
+                Flight::Led { value, shared_with }
+            }
+            Err(error) => {
+                flight.result.set(Err(Arc::new(error.clone())));
+                guard.disarm();
+                Flight::Failed(error)
+            }
+        }
+    }
+
+    /// A waiter whose budget expired (or whose flight failed under it):
+    /// serve the stale window if it can, otherwise time out. A fresh
+    /// entry can appear here when the flight completed in the same
+    /// instant the wait gave up — that still counts as coalesced.
+    fn stale_or_timed_out<E>(&self, shard: &Shard, key: &str) -> Flight<E> {
+        let mut inner = shard.inner.lock();
+        let now = Instant::now() + inner.time_offset;
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(entry) = inner.entries.get_mut(key) {
+            let age = entry.age_past_expiry(now);
+            if age.is_zero() {
+                entry.last_used = clock;
+                let value = entry.value.clone();
+                inner.stats.coalesced += 1;
+                return Flight::Shared(value);
+            }
+            if age <= self.stale_window {
+                entry.last_used = clock;
+                let value = entry.value.clone();
+                inner.stats.stale_hits += 1;
+                return Flight::Stale { value, age };
+            }
+            inner.entries.remove(key);
+            inner.stats.expirations += 1;
+        }
+        Flight::TimedOut
+    }
+
+    /// Waits (up to `budget`, `None` = indefinitely) for an in-flight
+    /// `produce()` on `key` to complete, returning its value on
+    /// success. Returns `None` immediately when no flight is registered
+    /// — this is an observation hook, not a lookup, and touches no
+    /// statistics.
+    pub fn join_flight(&self, key: &str, budget: Option<Duration>) -> Option<Bytes> {
+        let flight = self.shard(key).inner.lock().flights.get(key).cloned()?;
+        let outcome = match budget {
+            None => Some(flight.result.wait()),
+            Some(budget) => flight.result.wait_for(budget),
+        };
+        match outcome {
+            Some(Ok(value)) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Number of flights currently registered (renders in progress).
+    pub fn in_flight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().flights.len())
+            .sum()
     }
 
     /// Drops an entry.
     pub fn invalidate(&self, key: &str) {
-        self.inner.lock().entries.remove(key);
+        self.shard(key).inner.lock().entries.remove(key);
     }
 
-    /// Drops everything.
+    /// Drops everything (in-flight registrations are untouched).
     pub fn clear(&self) {
-        self.inner.lock().entries.clear();
+        for shard in self.shards.iter() {
+            shard.inner.lock().entries.clear();
+        }
     }
 
-    /// Number of live entries (expired ones may still be counted until
-    /// touched).
+    /// Number of usable entries: fresh plus stale-window. Entries whose
+    /// stale window has lapsed still occupy their slot until touched or
+    /// pruned, but are no longer counted here.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.inner.lock();
+                let now = Instant::now() + inner.time_offset;
+                inner
+                    .entries
+                    .values()
+                    .filter(|e| e.age_past_expiry(now) <= self.stale_window)
+                    .count()
+            })
+            .sum()
     }
 
     /// True when empty.
@@ -270,15 +769,19 @@ impl RenderCache {
         self.len() == 0
     }
 
-    /// Statistics so far.
+    /// Statistics so far, aggregated across shards.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            total.absorb(shard.inner.lock().stats);
+        }
+        total
     }
 
     /// Total rendering time saved by cache hits — the paper's
     /// "amortizing rendering costs across many client sessions".
     pub fn amortized_savings(&self) -> Duration {
-        self.inner.lock().amortized
+        self.shards.iter().map(|s| s.inner.lock().amortized).sum()
     }
 }
 
@@ -350,6 +853,25 @@ mod tests {
         assert_eq!(calls, 1);
         // Two hits amortized 100 ms each.
         assert_eq!(cache.amortized_savings(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn get_or_insert_serves_stale_within_window() {
+        let cache = RenderCache::with_stale_window(4, Duration::from_secs(60));
+        cache.put(
+            "k",
+            b"old".to_vec(),
+            Some(Duration::from_secs(1)),
+            Duration::ZERO,
+        );
+        cache.advance_clock(Duration::from_secs(10));
+        let v = cache.get_or_insert_with("k", None, || {
+            panic!("a stale-window entry must be served, not recomputed")
+        });
+        assert_eq!(&v[..], b"old");
+        let stats = cache.stats();
+        assert_eq!(stats.stale_hits, 1);
+        assert_eq!(stats.misses, 0);
     }
 
     #[test]
@@ -457,5 +979,94 @@ mod tests {
         let ratio = cache.stats().hit_ratio();
         assert!((ratio - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_counts_stale_lookups_in_denominator() {
+        let cache = RenderCache::with_stale_window(4, Duration::from_secs(60));
+        cache.put(
+            "a",
+            b"1".to_vec(),
+            Some(Duration::from_secs(1)),
+            Duration::ZERO,
+        );
+        let _ = cache.get("a");
+        let _ = cache.get("a");
+        cache.advance_clock(Duration::from_secs(10));
+        assert!(matches!(cache.lookup("a"), Lookup::Stale { .. }));
+        let _ = cache.get("zz");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.stale_hits),
+            (2, 1, 1),
+            "precondition for the ratio below"
+        );
+        // Degraded service must not inflate the ratio: 2 / (2 + 1 + 1).
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expired_entries_are_pruned_before_evicting_live_ones() {
+        let cache = RenderCache::new(2);
+        cache.put(
+            "dead",
+            b"x".to_vec(),
+            Some(Duration::from_secs(1)),
+            Duration::ZERO,
+        );
+        cache.put("live", b"y".to_vec(), None, Duration::ZERO);
+        cache.advance_clock(Duration::from_secs(5));
+        assert_eq!(cache.len(), 1, "len reports usable entries only");
+        cache.put("new", b"z".to_vec(), None, Duration::ZERO);
+        assert!(
+            cache.get("live").is_some(),
+            "the live entry must survive while a dead one holds a slot"
+        );
+        assert!(cache.get("new").is_some());
+        let stats = cache.stats();
+        assert_eq!(
+            stats.evictions, 0,
+            "pruning a dead entry is not an eviction"
+        );
+        assert_eq!(stats.expirations, 1);
+    }
+
+    #[test]
+    fn stale_entries_are_evicted_before_fresh_ones() {
+        let cache = RenderCache::with_stale_window(2, Duration::from_secs(100));
+        cache.put(
+            "stale",
+            b"x".to_vec(),
+            Some(Duration::from_secs(1)),
+            Duration::ZERO,
+        );
+        cache.put("fresh", b"y".to_vec(), None, Duration::ZERO);
+        cache.advance_clock(Duration::from_secs(5));
+        // Bump the stale entry's recency above the fresh one's: the
+        // victim choice must still prefer the expired entry.
+        assert!(matches!(cache.lookup("stale"), Lookup::Stale { .. }));
+        cache.put("new", b"z".to_vec(), None, Duration::ZERO);
+        assert!(cache.get("fresh").is_some());
+        assert_eq!(cache.lookup("stale"), Lookup::Miss);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total() {
+        for (capacity, shards) in [(7, 3), (16, 4), (256, 8), (5, 10), (1, 1)] {
+            let cache = RenderCache::with_shards(capacity, Duration::ZERO, shards);
+            assert!(cache.shard_count() <= capacity);
+            let total: usize = (0..cache.shard_count())
+                .map(|i| cache.shard_capacity(i))
+                .sum();
+            assert_eq!(total, capacity, "capacity {capacity} shards {shards}");
+        }
+    }
+
+    #[test]
+    fn small_caches_collapse_to_one_shard() {
+        assert_eq!(RenderCache::new(2).shard_count(), 1);
+        assert_eq!(RenderCache::new(32).shard_count(), 1);
+        assert_eq!(RenderCache::new(256).shard_count(), 8);
     }
 }

@@ -471,6 +471,79 @@ pub struct FallbackRender {
     pub degraded: Vec<RenderError>,
 }
 
+impl FallbackRender {
+    /// Packs the render into its shared-cache wire form.
+    pub fn to_cached(&self) -> CachedRender {
+        CachedRender {
+            engine: self.engine.clone(),
+            content_type: self.artifact.content_type.clone(),
+            degraded: !self.degraded.is_empty(),
+            bytes: self.artifact.bytes.clone(),
+        }
+    }
+}
+
+/// A rendered artifact in its shared-cache wire form: the payload plus
+/// the metadata a response needs (producing engine, content type,
+/// whether the render was degraded down the fallback chain). The render
+/// cache stores opaque bytes, so artifacts cross it through
+/// [`CachedRender::encode`]/[`CachedRender::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedRender {
+    /// Name of the engine that produced the artifact.
+    pub engine: String,
+    /// MIME type of `bytes`.
+    pub content_type: String,
+    /// True when a fallback engine produced the artifact.
+    pub degraded: bool,
+    /// Artifact bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl CachedRender {
+    /// Serializes to the cache's byte format:
+    /// `[degraded u8][engine_len u8][engine][ct_len u16 BE][ct][payload]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let engine = self.engine.as_bytes();
+        let content_type = self.content_type.as_bytes();
+        let engine_len = engine.len().min(u8::MAX as usize);
+        let ct_len = content_type.len().min(u16::MAX as usize);
+        let mut out = Vec::with_capacity(4 + engine_len + ct_len + self.bytes.len());
+        out.push(u8::from(self.degraded));
+        out.push(engine_len as u8);
+        out.extend_from_slice(&engine[..engine_len]);
+        out.extend_from_slice(&(ct_len as u16).to_be_bytes());
+        out.extend_from_slice(&content_type[..ct_len]);
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Deserializes from [`Self::encode`]'s format; `None` on a
+    /// truncated or malformed buffer.
+    pub fn decode(data: &[u8]) -> Option<CachedRender> {
+        let (&degraded, rest) = data.split_first()?;
+        let (&engine_len, rest) = rest.split_first()?;
+        let engine_len = engine_len as usize;
+        if rest.len() < engine_len + 2 {
+            return None;
+        }
+        let engine = std::str::from_utf8(&rest[..engine_len]).ok()?.to_string();
+        let rest = &rest[engine_len..];
+        let ct_len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+        let rest = &rest[2..];
+        if rest.len() < ct_len {
+            return None;
+        }
+        let content_type = std::str::from_utf8(&rest[..ct_len]).ok()?.to_string();
+        Some(CachedRender {
+            engine,
+            content_type,
+            degraded: degraded != 0,
+            bytes: rest[ct_len..].to_vec(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +710,35 @@ mod tests {
             registry.render_with_fallback("nope", PAGE).unwrap_err(),
             None
         );
+    }
+
+    #[test]
+    fn cached_render_round_trips() {
+        let registry = EngineRegistry::with_builtins();
+        let render = registry.render_with_fallback("text", PAGE).unwrap();
+        let cached = render.to_cached();
+        let decoded = CachedRender::decode(&cached.encode()).unwrap();
+        assert_eq!(decoded, cached);
+        assert_eq!(decoded.engine, "text");
+        assert_eq!(decoded.content_type, "text/plain; charset=utf-8");
+        assert!(!decoded.degraded);
+        assert_eq!(decoded.bytes, render.artifact.bytes);
+    }
+
+    #[test]
+    fn cached_render_rejects_truncation() {
+        let cached = CachedRender {
+            engine: "html".into(),
+            content_type: "text/html".into(),
+            degraded: true,
+            bytes: b"payload".to_vec(),
+        };
+        let encoded = cached.encode();
+        assert_eq!(CachedRender::decode(&encoded).unwrap(), cached);
+        for cut in [0, 1, 3, 7] {
+            assert_eq!(CachedRender::decode(&encoded[..cut]), None, "cut at {cut}");
+        }
+        assert_eq!(CachedRender::decode(&[]), None);
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod snapshot;
 
 pub use attributes::{AdaptationSpec, Attribute, Rule, SnapshotSpec, SourceFilter, Target};
 pub use baseline::{HighlightConfig, HighlightProxy, HighlightStats};
-pub use cache::{CacheStats, Lookup, RenderCache};
+pub use cache::{CacheStats, Flight, Lookup, RenderCache};
 pub use engine::{EngineRegistry, FallbackRender, RenderEngine, RenderError, RenderedArtifact};
 pub use error::ProxyError;
 pub use pipeline::{

@@ -114,6 +114,9 @@ pub struct PipelineStats {
     pub images_rendered: usize,
     /// Whether a browser instance was used.
     pub browser_used: bool,
+    /// Individual browser render invocations (snapshot plus pre-render
+    /// passes) — the work the shared render cache amortizes.
+    pub browser_renders: usize,
     /// Browser renders that degraded to a placeholder after a failure.
     pub renders_degraded: usize,
 }

@@ -19,6 +19,7 @@ pub(crate) struct Renderer {
     config: BrowserConfig,
     browser: Option<Browser>,
     spent: Duration,
+    renders: usize,
     degradations: Vec<String>,
 }
 
@@ -28,6 +29,7 @@ impl Renderer {
             config,
             browser: None,
             spent: Duration::ZERO,
+            renders: 0,
             degradations: Vec::new(),
         }
     }
@@ -35,6 +37,13 @@ impl Renderer {
     /// True once a browser has been launched.
     pub(crate) fn used(&self) -> bool {
         self.browser.is_some()
+    }
+
+    /// Individual browser render invocations so far (snapshot plus
+    /// pre-render passes) — the unit the render cache's single-flight
+    /// layer deduplicates across concurrent users.
+    pub(crate) fn renders(&self) -> usize {
+        self.renders
     }
 
     /// Total wall-clock time spent launching and rendering so far.
@@ -55,6 +64,7 @@ impl Renderer {
     /// and is recorded in [`Self::degradations`].
     pub(crate) fn render(&mut self, html: &str) -> RenderResult {
         let start = Instant::now();
+        self.renders += 1;
         let config = &self.config;
         let browser = self
             .browser

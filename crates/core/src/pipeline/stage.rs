@@ -78,6 +78,11 @@ pub struct PipelineReport {
     /// Human-readable notes about renders that degraded (e.g. a browser
     /// failure replaced by a blank placeholder). Empty on clean runs.
     pub degradations: Vec<String>,
+    /// Concurrent proxy requests that were answered by this run's
+    /// output through the render cache's single-flight layer. Filled in
+    /// by the proxy when it leads a shared render; zero for standalone
+    /// pipeline runs.
+    pub coalesced_waiters: u64,
 }
 
 impl PipelineReport {
@@ -204,6 +209,7 @@ impl<'a> PipelineState<'a> {
 
     pub(crate) fn into_bundle(mut self) -> AdaptedBundle {
         self.stats.browser_used = self.renderer.used();
+        self.stats.browser_renders = self.renderer.renders();
         self.stats.renders_degraded = self.renderer.degradations().len();
         AdaptedBundle {
             entry_html: self.entry_html,

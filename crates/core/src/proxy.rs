@@ -26,11 +26,11 @@
 
 use crate::ajax::AjaxRegistry;
 use crate::attributes::AdaptationSpec;
-use crate::cache::{Lookup, RenderCache};
+use crate::cache::{Flight, Lookup, RenderCache};
 use crate::dsl;
-use crate::engine::EngineRegistry;
+use crate::engine::{CachedRender, EngineRegistry};
 use crate::error::{ProxyError, DEGRADED_HEADER};
-use crate::pipeline::{adapt, AdaptedBundle, PipelineContext};
+use crate::pipeline::{adapt, adapt_with_report, AdaptedBundle, PipelineContext, PipelineReport};
 use crate::session::{Session, SessionFs, SessionManager, SESSION_COOKIE};
 use msite_net::resilience::{
     is_breaker_rejection, BreakerState, Deadline, ResilienceStats, ResilientOrigin, DEADLINE_HEADER,
@@ -100,6 +100,9 @@ pub struct ProxyStats {
     /// Renders served by a fallback engine after the requested engine
     /// failed.
     pub engine_fallbacks: u64,
+    /// Requests that shared another request's in-flight render instead
+    /// of launching their own (single-flight coalescing).
+    pub renders_coalesced: u64,
 }
 
 struct UserBundle {
@@ -120,6 +123,7 @@ pub struct ProxyServer {
     user_bundles: Mutex<HashMap<String, Arc<UserBundle>>>,
     wants_cookie_clear: Mutex<bool>,
     engines: EngineRegistry,
+    last_entry_report: Mutex<Option<PipelineReport>>,
 }
 
 impl ProxyServer {
@@ -138,6 +142,7 @@ impl ProxyServer {
             user_bundles: Mutex::new(HashMap::new()),
             wants_cookie_clear: Mutex::new(false),
             engines: EngineRegistry::with_builtins(),
+            last_entry_report: Mutex::new(None),
             origin: Arc::new(ResilientOrigin::new(origin, config.resilience.clone())),
             spec,
             config,
@@ -199,6 +204,14 @@ impl ProxyServer {
     /// The shared render cache (amortization accounting lives here).
     pub fn cache(&self) -> &RenderCache {
         &self.cache
+    }
+
+    /// The pipeline report from the most recent shared entry rebuild,
+    /// including how many concurrent requests that run's output was
+    /// shared with ([`PipelineReport::coalesced_waiters`]). `None`
+    /// before the first build.
+    pub fn last_entry_report(&self) -> Option<PipelineReport> {
+        self.last_entry_report.lock().clone()
     }
 
     /// Live session count.
@@ -269,6 +282,12 @@ impl ProxyServer {
     /// user-independent: the snapshot shows the public view of the page
     /// and is "stored in a public cache" with the spec's TTL.
     ///
+    /// Concurrent misses coalesce into one pipeline run through the
+    /// cache's single-flight layer: the first request leads the rebuild,
+    /// the rest share its output (counted in
+    /// [`ProxyStats::renders_coalesced`]). A waiter whose deadline
+    /// expires mid-flight degrades to a stale copy when one exists.
+    ///
     /// When the origin is unavailable (final 5xx, breaker open, deadline
     /// exhausted) and a rebuild is impossible, the previous entry page is
     /// served as long as it is within the cache's stale window — the
@@ -284,12 +303,52 @@ impl ProxyServer {
             .snapshot
             .as_ref()
             .map(|s| Duration::from_secs(s.cache_ttl_secs));
-        if let Some(hit) = self.cache.get("entry:html") {
-            self.stats.lock().lightweight += 1;
-            return Ok((hit, None));
+        let flight = self.cache.render_flight::<ProxyError>(
+            "entry:html",
+            ttl,
+            Some(deadline.remaining()),
+            || self.build_entry(session, deadline),
+        );
+        match flight {
+            Flight::Hit(entry) => {
+                self.stats.lock().lightweight += 1;
+                Ok((entry, None))
+            }
+            Flight::Led { value, shared_with } => {
+                if shared_with > 0 {
+                    if let Some(report) = self.last_entry_report.lock().as_mut() {
+                        report.coalesced_waiters += shared_with;
+                    }
+                }
+                Ok((value, None))
+            }
+            Flight::Shared(entry) => {
+                let mut stats = self.stats.lock();
+                stats.lightweight += 1;
+                stats.renders_coalesced += 1;
+                Ok((entry, None))
+            }
+            Flight::Stale { value, age } => Ok((value, Some(age))),
+            Flight::TimedOut => Err(ProxyError::DeadlineExceeded),
+            Flight::Failed(err) => {
+                if err.is_unavailability() {
+                    if let Lookup::Stale { value, age } = self.cache.lookup("entry:html") {
+                        return Ok((value, Some(age)));
+                    }
+                }
+                Err(err)
+            }
         }
-        // Cache miss: full pipeline run (browser used when the spec
-        // needs it). On unavailability, fall back to a stale copy.
+    }
+
+    /// Leader body of the entry-page flight: fetch the origin page, run
+    /// the full adaptation pipeline, store the generated artifacts, and
+    /// return the entry HTML plus its production cost.
+    fn build_entry(
+        &self,
+        session: &Arc<Mutex<Session>>,
+        deadline: Deadline,
+    ) -> Result<(Bytes, Duration), ProxyError> {
         let start = Instant::now();
         let mut page_request =
             Request::get(&self.spec.page_url).map_err(|e| ProxyError::BadOriginUrl {
@@ -297,24 +356,20 @@ impl ProxyServer {
             })?;
         let page = self.origin_fetch(session, &mut page_request, deadline);
         if !page.status.is_success() {
-            let err = ProxyError::from_origin_failure(&page);
-            if err.is_unavailability() {
-                if let Lookup::Stale { value, age } = self.cache.lookup("entry:html") {
-                    return Ok((value, Some(age)));
-                }
-            }
-            return Err(err);
+            return Err(ProxyError::from_origin_failure(&page));
         }
-        let bundle = adapt(&self.spec, &page.body_text(), &self.pipeline_context())?;
+        let (bundle, report) =
+            adapt_with_report(&self.spec, &page.body_text(), &self.pipeline_context())?;
         if bundle.stats.browser_used {
             self.stats.lock().full_renders += 1;
         } else {
             self.stats.lock().lightweight += 1;
         }
-        self.store_bundle(&bundle, None, ttl, start.elapsed());
+        self.store_bundle(&bundle, None, start.elapsed());
         *self.shared_ajax.lock() = Some(bundle.ajax.clone());
         *self.wants_cookie_clear.lock() = bundle.wants_cookie_clear;
-        Ok((Bytes::from(bundle.entry_html), None))
+        *self.last_entry_report.lock() = Some(report);
+        Ok((Bytes::from(bundle.entry_html), start.elapsed()))
     }
 
     /// Builds the per-user subpages with the user's authenticated view.
@@ -345,7 +400,7 @@ impl ProxyServer {
         } else {
             self.stats.lock().lightweight += 1;
         }
-        self.store_bundle(&bundle, Some(&session_id), None, start.elapsed());
+        self.store_bundle(&bundle, Some(&session_id), start.elapsed());
         let auth_subpages = auth_subpage_ids(&self.spec);
         let user = Arc::new(UserBundle {
             ajax: bundle.ajax.clone(),
@@ -358,18 +413,10 @@ impl ProxyServer {
     }
 
     /// Writes a bundle's artifacts: shared images into the public cache,
-    /// per-user files into the session directory.
-    fn store_bundle(
-        &self,
-        bundle: &AdaptedBundle,
-        session_id: Option<&str>,
-        entry_ttl: Option<Duration>,
-        cost: Duration,
-    ) {
-        if session_id.is_none() {
-            self.cache
-                .put("entry:html", bundle.entry_html.clone(), entry_ttl, cost);
-        }
+    /// per-user files into the session directory. The entry page itself
+    /// is *not* stored here — the single-flight layer inserts it when
+    /// the leading request's flight completes.
+    fn store_bundle(&self, bundle: &AdaptedBundle, session_id: Option<&str>, cost: Duration) {
         for image in &bundle.images {
             match (&image.cache_ttl, session_id) {
                 (Some(ttl), _) => {
@@ -404,16 +451,39 @@ impl ProxyServer {
         }
     }
 
-    fn serve_image(&self, session_id: &str, name: &str) -> Result<Response, ProxyError> {
+    fn serve_image(
+        &self,
+        session_id: &str,
+        name: &str,
+        deadline: Deadline,
+    ) -> Result<Response, ProxyError> {
         // Expired shared snapshots are still served (marked stale) when
         // within the stale window; a fresh copy appears with the next
         // successful entry rebuild.
-        match self.cache.lookup(&format!("img:{name}")) {
+        let key = format!("img:{name}");
+        match self.cache.lookup(&key) {
             Lookup::Fresh(shared) => return Ok(Response::bytes("image/png", shared)),
             Lookup::Stale { value, age } => {
                 return Ok(self.mark_stale(Response::bytes("image/png", value), age));
             }
             Lookup::Miss => {}
+        }
+        // A shared image can be seconds away: snapshot images land when
+        // the entry pipeline's flight completes, so join an in-flight
+        // rebuild (within the request deadline) instead of answering
+        // 404 mid-render. No-op when nothing is in flight.
+        if self
+            .cache
+            .join_flight("entry:html", Some(deadline.remaining()))
+            .is_some()
+        {
+            match self.cache.lookup(&key) {
+                Lookup::Fresh(shared) => return Ok(Response::bytes("image/png", shared)),
+                Lookup::Stale { value, age } => {
+                    return Ok(self.mark_stale(Response::bytes("image/png", value), age));
+                }
+                Lookup::Miss => {}
+            }
         }
         if let Some(user) = self
             .fs
@@ -441,6 +511,54 @@ impl ProxyServer {
             .set(DEGRADED_HEADER, &format!("stale; age={}s", age.as_secs()));
         self.stats.lock().stale_served += 1;
         response
+    }
+
+    /// Leader body of a `/render/<engine>` flight: fetch the page, run
+    /// the engine (degrading down the fallback chain), and return the
+    /// encoded [`CachedRender`] envelope plus its production cost.
+    fn render_engine_page(
+        &self,
+        session: &Arc<Mutex<Session>>,
+        engine_name: &str,
+        deadline: Deadline,
+    ) -> Result<(Bytes, Duration), ProxyError> {
+        let start = Instant::now();
+        let mut page_request =
+            Request::get(&self.spec.page_url).map_err(|e| ProxyError::BadOriginUrl {
+                detail: e.to_string(),
+            })?;
+        let page = self.origin_fetch(session, &mut page_request, deadline);
+        if !page.status.is_success() {
+            return Err(ProxyError::from_origin_failure(&page));
+        }
+        match self
+            .engines
+            .render_with_fallback(engine_name, &page.body_text())
+        {
+            Ok(render) => {
+                let mut stats = self.stats.lock();
+                if render.engine == "image" {
+                    stats.full_renders += 1;
+                } else {
+                    stats.lightweight += 1;
+                }
+                if !render.degraded.is_empty() {
+                    stats.engine_fallbacks += 1;
+                }
+                drop(stats);
+                Ok((Bytes::from(render.to_cached().encode()), start.elapsed()))
+            }
+            Err(Some(failures)) => Err(ProxyError::RenderFailed {
+                detail: failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            }),
+            Err(None) => Err(ProxyError::UnknownEngine {
+                name: engine_name.to_string(),
+            }),
+        }
     }
 
     fn serve_subpage(
@@ -631,7 +749,7 @@ impl ProxyServer {
             _ if rest.starts_with("/img/") => {
                 burn(self.config.scripted_overhead);
                 self.stats.lock().lightweight += 1;
-                match self.serve_image(&session_id, &rest[5..]) {
+                match self.serve_image(&session_id, &rest[5..], deadline) {
                     Ok(r) => r,
                     Err(err) => fail(err),
                 }
@@ -640,56 +758,61 @@ impl ProxyServer {
                 // Alternate-engine rendering of the adapted entry page:
                 // /render/text, /render/pdf, /render/image, /render/html.
                 // A panicking engine degrades down the fallback chain
-                // (image -> html -> text) instead of erroring.
+                // (image -> html -> text) instead of erroring. Renders
+                // are cached under `render:<engine>` and concurrent
+                // requests coalesce into one engine run, like the entry
+                // page.
                 let engine_name = &rest[8..];
                 if self.engines.get(engine_name).is_none() {
                     return attach_cookie(fail(ProxyError::UnknownEngine {
                         name: engine_name.to_string(),
                     }));
                 }
-                let mut page_request = match Request::get(&self.spec.page_url) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        return attach_cookie(fail(ProxyError::BadOriginUrl {
-                            detail: e.to_string(),
-                        }))
+                let ttl = self
+                    .spec
+                    .snapshot
+                    .as_ref()
+                    .map(|s| Duration::from_secs(s.cache_ttl_secs));
+                let flight = self.cache.render_flight::<ProxyError>(
+                    &format!("render:{engine_name}"),
+                    ttl,
+                    Some(deadline.remaining()),
+                    || self.render_engine_page(&session, engine_name, deadline),
+                );
+                let (bytes, stale_age) = match flight {
+                    Flight::Hit(bytes) => {
+                        self.stats.lock().lightweight += 1;
+                        (bytes, None)
                     }
+                    Flight::Led { value, .. } => (value, None),
+                    Flight::Shared(bytes) => {
+                        let mut stats = self.stats.lock();
+                        stats.lightweight += 1;
+                        stats.renders_coalesced += 1;
+                        drop(stats);
+                        (bytes, None)
+                    }
+                    Flight::Stale { value, age } => (value, Some(age)),
+                    Flight::TimedOut => return attach_cookie(fail(ProxyError::DeadlineExceeded)),
+                    Flight::Failed(err) => return attach_cookie(fail(err)),
                 };
-                let page = self.origin_fetch(&session, &mut page_request, deadline);
-                if !page.status.is_success() {
-                    return attach_cookie(fail(ProxyError::from_origin_failure(&page)));
-                }
-                match self
-                    .engines
-                    .render_with_fallback(engine_name, &page.body_text())
-                {
-                    Ok(render) => {
-                        if render.engine == "image" {
-                            self.stats.lock().full_renders += 1;
-                        } else {
-                            self.stats.lock().lightweight += 1;
-                        }
-                        let mut response =
-                            Response::bytes(&render.artifact.content_type, render.artifact.bytes);
-                        response.headers.set("x-msite-engine", &render.engine);
-                        if !render.degraded.is_empty() {
-                            self.stats.lock().engine_fallbacks += 1;
+                match CachedRender::decode(&bytes) {
+                    Some(cached) => {
+                        let mut response = Response::bytes(&cached.content_type, cached.bytes);
+                        response.headers.set("x-msite-engine", &cached.engine);
+                        if cached.degraded {
                             response.headers.set(
                                 DEGRADED_HEADER,
                                 &format!("engine-fallback; from={engine_name}"),
                             );
                         }
-                        response
+                        match stale_age {
+                            Some(age) => self.mark_stale(response, age),
+                            None => response,
+                        }
                     }
-                    Err(Some(failures)) => fail(ProxyError::RenderFailed {
-                        detail: failures
-                            .iter()
-                            .map(|f| f.to_string())
-                            .collect::<Vec<_>>()
-                            .join("; "),
-                    }),
-                    Err(None) => fail(ProxyError::UnknownEngine {
-                        name: engine_name.to_string(),
+                    None => fail(ProxyError::RenderFailed {
+                        detail: "corrupt cached render".into(),
                     }),
                 }
             }

@@ -7,6 +7,7 @@
 //! code was written against.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// A mutual-exclusion lock whose [`lock`](Mutex::lock) never fails.
 #[derive(Default)]
@@ -112,6 +113,137 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]: waits recover from
+/// poison exactly the way the lock itself does.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Releases `guard` and blocks until notified, then reacquires the
+    /// lock. Subject to spurious wakeups: re-check the predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Like [`Self::wait`] with an upper bound; the boolean reports
+    /// whether the wait timed out rather than being notified.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        (guard, result.timed_out())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// A write-once cell that threads can block on — the rendezvous point
+/// of a single-flight operation. One thread [`set`](OnceValue::set)s
+/// the value exactly once; any number of threads [`wait`](OnceValue::wait)
+/// (or [`wait_for`](OnceValue::wait_for)) until it lands and clone it
+/// out.
+pub struct OnceValue<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for OnceValue<T> {
+    fn default() -> Self {
+        OnceValue {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl<T: Clone> OnceValue<T> {
+    /// Creates an empty cell.
+    pub fn new() -> OnceValue<T> {
+        OnceValue::default()
+    }
+
+    /// Publishes `value` and wakes all waiters. The first write wins;
+    /// returns `false` (dropping `value`) when a value already landed.
+    pub fn set(&self, value: T) -> bool {
+        let mut slot = self.slot.lock();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(value);
+        drop(slot);
+        self.ready.notify_all();
+        true
+    }
+
+    /// The value, if one has been published.
+    pub fn peek(&self) -> Option<T> {
+        self.slot.lock().clone()
+    }
+
+    /// Blocks until a value is published.
+    pub fn wait(&self) -> T {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(value) = slot.as_ref() {
+                return value.clone();
+            }
+            slot = self.ready.wait(slot);
+        }
+    }
+
+    /// Blocks until a value is published or `timeout` elapses; `None`
+    /// on timeout. Spurious wakeups are absorbed against a deadline.
+    pub fn wait_for(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(value) = slot.as_ref() {
+                return Some(value.clone());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (next, _timed_out) = self.ready.wait_timeout(slot, remaining);
+            slot = next;
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for OnceValue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("OnceValue").field(&self.peek()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +275,67 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = std::sync::Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_reports_timeout() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = lock.lock();
+        let (_guard, timed_out) = cv.wait_timeout(guard, Duration::from_millis(5));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn once_value_first_write_wins() {
+        let cell = OnceValue::new();
+        assert_eq!(cell.peek(), None);
+        assert!(cell.set(1));
+        assert!(!cell.set(2));
+        assert_eq!(cell.peek(), Some(1));
+        assert_eq!(cell.wait(), 1);
+        assert_eq!(cell.wait_for(Duration::ZERO), Some(1));
+    }
+
+    #[test]
+    fn once_value_unblocks_waiters() {
+        let cell = std::sync::Arc::new(OnceValue::new());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = std::sync::Arc::clone(&cell);
+                std::thread::spawn(move || cell.wait())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        cell.set("done");
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), "done");
+        }
+    }
+
+    #[test]
+    fn once_value_wait_for_times_out_when_empty() {
+        let cell: OnceValue<u8> = OnceValue::new();
+        let start = Instant::now();
+        assert_eq!(cell.wait_for(Duration::from_millis(20)), None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
     }
 }

@@ -32,6 +32,39 @@ where
     })
 }
 
+/// Like [`fan_out`], but each worker first sleeps a deterministic
+/// pseudo-random delay in `[0, max_stagger)` derived from `seed` and
+/// its index. Sweeping the seed drives different arrival orders through
+/// the code under test — a lightweight, dependency-free cousin of
+/// loom-style schedule exploration, useful for smoking out ordering
+/// bugs around locks and rendezvous points.
+pub fn staggered_fan_out<T, F>(
+    workers: usize,
+    seed: u64,
+    max_stagger: std::time::Duration,
+    work: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let nanos = max_stagger.as_nanos() as u64;
+    fan_out(workers, move |index| {
+        if nanos > 0 {
+            // SplitMix64 over (seed, index): stable across runs and
+            // platforms, so a failing seed reproduces.
+            let mut z = seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            std::thread::sleep(std::time::Duration::from_nanos(z % nanos));
+        }
+        work(index)
+    })
+}
+
 /// Maps `items` concurrently with one worker per item, borrowing the
 /// items for the duration of the scope. Result order matches item order.
 pub fn scoped_map<I, T, F>(items: &[I], work: F) -> Vec<T>
@@ -79,6 +112,23 @@ mod tests {
         let counter = AtomicUsize::new(0);
         fan_out(16, |_| counter.fetch_add(1, Ordering::Relaxed));
         assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn staggered_fan_out_runs_every_worker() {
+        let counter = AtomicUsize::new(0);
+        let results = staggered_fan_out(6, 42, std::time::Duration::from_micros(200), |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(results, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn staggered_fan_out_zero_stagger_degenerates_to_fan_out() {
+        let results = staggered_fan_out(4, 7, std::time::Duration::ZERO, |i| i * 3);
+        assert_eq!(results, vec![0, 3, 6, 9]);
     }
 
     #[test]

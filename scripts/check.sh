@@ -21,3 +21,11 @@ echo "== failure injection / chaos suite =="
 cargo test -q --offline --test failure_injection
 cargo test -q --offline -p msite-net --test resilience_prop
 cargo test -q --offline -p msite --test cache_stale_prop
+
+echo "== stampede / single-flight suite =="
+cargo test -q --offline -p msite --test cache_stampede
+cargo test -q --offline -p msite --test cache_shard_prop
+cargo test -q --offline --test multi_user cold_stampede_collapses_to_one_render
+
+echo "== seeded schedule-exploration smoke =="
+cargo test -q --offline -p msite --test cache_stampede schedule_exploration_smoke

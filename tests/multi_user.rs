@@ -135,9 +135,42 @@ fn concurrent_users_hammering_the_proxy() {
     }
     let stats = proxy.stats();
     assert_eq!(stats.requests, 8 * 20 * 2 + 1);
-    // Snapshot still rendered exactly once despite the stampede... or a
-    // small number if threads raced the first fill; never once per user.
-    assert!(stats.full_renders <= 8 + 1);
+    // The single-flight layer makes this exact: the warmup rendered the
+    // snapshot once and no later request may render it again.
+    assert_eq!(stats.full_renders, 1);
+}
+
+#[test]
+fn cold_stampede_collapses_to_one_render() {
+    let (_site, proxy) = deploy();
+    // No warmup: 8 users hit the cold proxy at the same instant, all
+    // missing on the shared entry page simultaneously.
+    let gate = Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let proxy = Arc::clone(&proxy);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                let entry = proxy.handle(&Request::get("http://p/m/forum/").unwrap());
+                assert!(entry.status.is_success());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread panics");
+    }
+    let stats = proxy.stats();
+    assert_eq!(
+        stats.full_renders, 1,
+        "cold stampede must coalesce to one render"
+    );
+    assert_eq!(stats.renders_coalesced, 7);
+    assert_eq!(proxy.cache().stats().coalesced, 7);
+    assert_eq!(
+        stats.sessions_created, 8,
+        "coalescing must not merge sessions"
+    );
 }
 
 #[test]
