@@ -18,6 +18,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let ctx = PipelineContext {
         base: "/m/forum".into(),
         browser_config: Default::default(),
+        ..Default::default()
     };
 
     // Tier 1: source filters only — "avoiding a DOM parse altogether".

@@ -16,16 +16,17 @@
 //! trials ≈ 27 minutes); the default uses scaled windows that converge to
 //! the same rates.
 
-use msite_bench::{burst, capacity, claims, fig6, fig7, fixtures, report, table1};
+use msite_bench::{burst, capacity, claims, fig6, fig7, fixtures, report, table1, throughput};
 use msite_support::json::{obj, ToJson, Value};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct AllResults {
     table1: Vec<table1::Table1Row>,
     fig6: fig6::Fig6Result,
     fig7: Vec<fig7::Fig7Point>,
     claims: Vec<claims::ClaimResult>,
+    throughput: Option<throughput::ThroughputResult>,
 }
 
 impl ToJson for AllResults {
@@ -35,7 +36,39 @@ impl ToJson for AllResults {
             ("fig6", self.fig6.to_json_value()),
             ("fig7", self.fig7.to_json_value()),
             ("claims", self.claims.to_json_value()),
+            ("throughput", self.throughput.to_json_value()),
         ])
+    }
+}
+
+/// Wall-clock spent inside each experiment, recorded into
+/// `BENCH_PR4.json` so the perf trajectory is comparable across PRs.
+struct Timings {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl Timings {
+    fn time<T>(&mut self, name: &'static str, run: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let value = run();
+        self.entries.push((name, start.elapsed()));
+        value
+    }
+}
+
+impl ToJson for Timings {
+    fn to_json_value(&self) -> Value {
+        Value::Array(
+            self.entries
+                .iter()
+                .map(|(name, elapsed)| {
+                    obj([
+                        ("name", name.to_json_value()),
+                        ("seconds", elapsed.as_secs_f64().to_json_value()),
+                    ])
+                })
+                .collect(),
+        )
     }
 }
 
@@ -53,6 +86,9 @@ fn main() -> ExitCode {
     // Shape assertions accumulate here; any failure turns into a
     // nonzero exit so CI catches regressions in the figures themselves.
     let mut failures: Vec<String> = Vec::new();
+    let mut timings = Timings {
+        entries: Vec::new(),
+    };
 
     let mut results = AllResults {
         table1: Vec::new(),
@@ -66,10 +102,11 @@ fn main() -> ExitCode {
         },
         fig7: Vec::new(),
         claims: Vec::new(),
+        throughput: None,
     };
 
     if want("table1") {
-        results.table1 = table1::rows();
+        results.table1 = timings.time("table1", table1::rows);
         if !json {
             let rows: Vec<Vec<String>> = results
                 .table1
@@ -99,7 +136,7 @@ fn main() -> ExitCode {
     }
 
     if want("fig6") {
-        results.fig6 = fig6::run(10);
+        results.fig6 = timings.time("fig6", || fig6::run(10));
         if !json {
             let r = &results.fig6;
             report::print_table(
@@ -135,7 +172,7 @@ fn main() -> ExitCode {
             },
             ..fig7::SweepConfig::default()
         };
-        results.fig7 = fig7::run_sweep(&config);
+        results.fig7 = timings.time("fig7", || fig7::run_sweep(&config));
         if let Err(e) = fig7::check_shape(&results.fig7) {
             failures.push(format!("fig7 shape: {e}"));
         }
@@ -170,7 +207,7 @@ fn main() -> ExitCode {
 
     if want("burst") {
         const BURST_CLIENTS: usize = 8;
-        let result = burst::run(BURST_CLIENTS);
+        let result = timings.time("burst", || burst::run(BURST_CLIENTS));
         if result.renders != 1 {
             failures.push(format!(
                 "burst: {} renders for {BURST_CLIENTS} concurrent clients (want 1)",
@@ -215,7 +252,7 @@ fn main() -> ExitCode {
     }
 
     if want("claims") {
-        results.claims = claims::all();
+        results.claims = timings.time("claims", claims::all);
         if !json {
             let rows: Vec<Vec<String>> = results
                 .claims
@@ -239,6 +276,57 @@ fn main() -> ExitCode {
                 &rows,
             );
         }
+    }
+
+    if want("throughput") {
+        let result = timings.time("throughput", || throughput::run(3));
+        if let Err(e) = throughput::check_shape(&result) {
+            failures.push(format!("throughput shape: {e}"));
+        }
+        if !json {
+            let rows: Vec<Vec<String>> = result
+                .pipeline
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.parallelism.to_string(),
+                        format!("{:.2} ms", p.wall.as_secs_f64() * 1e3),
+                        if p.identical_to_serial {
+                            "identical".into()
+                        } else {
+                            "DIVERGED".into()
+                        },
+                        p.emit_speedup
+                            .map(|s| format!("{s:.2}x"))
+                            .unwrap_or_else(|| "serial".into()),
+                    ]
+                })
+                .collect();
+            report::print_table(
+                &format!(
+                    "Throughput — {}-subpage adaptation, serial vs. parallel ({} cores visible)",
+                    throughput::SECTIONS,
+                    result.cores
+                ),
+                &["pool width", "wall", "output", "emit speedup"],
+                &rows,
+            );
+            let o = &result.overload;
+            println!(
+                "overload probe ({} workers, queue {}): accepted {} = served {} + shed {} (headers {})",
+                o.workers,
+                o.queue_depth,
+                o.accepted,
+                o.served,
+                o.rejected_overload,
+                if o.shed_headers_ok { "ok" } else { "MISSING" }
+            );
+            match throughput::check_shape(&result) {
+                Ok(()) => println!("shape check: PASS (byte-identical output, explicit shedding)"),
+                Err(e) => println!("shape check: FAIL ({e})"),
+            }
+        }
+        results.throughput = Some(result);
     }
 
     if want("capacity") && !json {
@@ -304,6 +392,21 @@ fn main() -> ExitCode {
 
     if json {
         println!("{}", report::to_json(&results));
+    }
+
+    // Machine-readable perf trajectory: per-experiment wall clock plus
+    // the throughput sweep, one file per run, overwritten in place.
+    let bench_json = obj([
+        ("experiments", timings.to_json_value()),
+        ("throughput", results.throughput.to_json_value()),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_PR4.json", bench_json.to_pretty()) {
+        eprintln!("warning: could not write BENCH_PR4.json: {e}");
+    } else if !json {
+        println!(
+            "\nwrote BENCH_PR4.json ({} experiments timed)",
+            timings.entries.len()
+        );
     }
 
     if failures.is_empty() {

@@ -17,3 +17,4 @@ pub mod claims;
 pub mod fig6;
 pub mod fig7;
 pub mod table1;
+pub mod throughput;

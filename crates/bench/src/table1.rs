@@ -55,6 +55,7 @@ pub fn snapshot_facts() -> SnapshotFacts {
         &msite::PipelineContext {
             base: "/m/forum".into(),
             browser_config: Default::default(),
+            ..Default::default()
         },
     )
     .expect("forum adaptation succeeds");

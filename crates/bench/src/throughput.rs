@@ -1,0 +1,422 @@
+//! The PR-4 throughput experiment: serial vs. parallel adaptation of a
+//! multi-subpage page (the emit/render fan-out), plus the server's
+//! overload behavior under a bounded worker-pool executor.
+//!
+//! Two claims are checked:
+//!
+//! 1. **Byte identity.** The parallel pipeline's output is asserted
+//!    byte-identical to the serial run at every pool width — hard, on
+//!    every machine. On hosts with ≥ 2 cores the sweep additionally
+//!    expects the best parallel wall time to beat serial.
+//! 2. **Explicit overload.** When the server's bounded queue fills, the
+//!    accept loop sheds connections with `503` + `x-msite-error:
+//!    overloaded` + `retry-after` instead of spawning unbounded
+//!    threads; accepted = served + rejected (no connection vanishes).
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
+use msite::{adapt_with_report, AdaptedBundle, PipelineContext, StageKind};
+use msite_net::{
+    http_get, HttpServer, OriginRef, Request, Response, ServerConfig, Status, OVERLOAD_HEADER,
+    OVERLOAD_REASON,
+};
+use msite_support::json::{obj, ToJson, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sections (= pre-rendered subpages) in the synthetic fixture page.
+pub const SECTIONS: usize = 12;
+
+/// Pool widths the pipeline sweep visits (serial first).
+pub const WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// One pool width's measurement in the pipeline sweep.
+#[derive(Debug, Clone)]
+pub struct PipelinePoint {
+    /// Worker-crew width ([`PipelineContext::parallelism`]).
+    pub parallelism: usize,
+    /// Best-of-trials wall-clock for one full adaptation.
+    pub wall: Duration,
+    /// Whether the bundle matched the serial run byte for byte.
+    pub identical_to_serial: bool,
+    /// Emit-stage speedup from the [`msite::PipelineReport`] (busy time
+    /// over wall time; `None` when the stage ran serially).
+    pub emit_speedup: Option<f64>,
+}
+
+/// Outcome of the overload probe against a real TCP server.
+#[derive(Debug, Clone)]
+pub struct OverloadResult {
+    /// Executor sizing used for the probe.
+    pub workers: usize,
+    /// Bounded queue depth used for the probe.
+    pub queue_depth: usize,
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Requests answered by the origin.
+    pub served: u64,
+    /// Connections shed with `503 overloaded`.
+    pub rejected_overload: u64,
+    /// Every shed response carried the reason token and `retry-after`.
+    pub shed_headers_ok: bool,
+}
+
+impl OverloadResult {
+    /// No accepted connection vanished: each was served or shed.
+    pub fn conserved(&self) -> bool {
+        self.accepted == self.served + self.rejected_overload
+    }
+}
+
+/// The full throughput experiment result.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Host cores visible to the sweep (parallel wall-time expectations
+    /// only apply when ≥ 2).
+    pub cores: usize,
+    /// The pipeline sweep, serial point first.
+    pub pipeline: Vec<PipelinePoint>,
+    /// The server overload probe.
+    pub overload: OverloadResult,
+}
+
+/// A synthetic page with `sections` independent content blocks, each
+/// heavy enough that pre-rendering it costs real layout work.
+pub fn sectioned_page(sections: usize) -> String {
+    let mut html = String::from(
+        "<!DOCTYPE html><html><head><title>Sectioned</title>\
+         <style>.row { border: 1px solid #ccc }</style></head><body>\n\
+         <div id=\"masthead\"><h1>Throughput fixture</h1></div>\n",
+    );
+    for s in 0..sections {
+        html.push_str(&format!("<div id=\"sec{s}\"><h2>Section {s}</h2><table>"));
+        for row in 0..24 {
+            html.push_str(&format!(
+                "<tr class=\"row\"><td>item {s}.{row}</td>\
+                 <td><a href=\"/view.php?s={s}&amp;r={row}\">open</a></td>\
+                 <td>{}</td></tr>",
+                "lorem ipsum dolor sit amet ".repeat(3)
+            ));
+        }
+        html.push_str("</table></div>\n");
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+/// The adaptation spec for the fixture: a half-scale snapshot entry page
+/// plus one *pre-rendered* subpage per section — the embarrassingly
+/// parallel emit/render workload.
+pub fn sectioned_spec(sections: usize) -> AdaptationSpec {
+    let mut spec = AdaptationSpec::new("sectioned", "http://sectioned.example/");
+    spec.snapshot = Some(SnapshotSpec {
+        scale: 0.5,
+        quality: 40,
+        cache_ttl_secs: 3_600,
+        viewport_width: 1_024,
+    });
+    for s in 0..sections {
+        spec = spec.rule(
+            Target::Css(format!("#sec{s}")),
+            vec![Attribute::Subpage {
+                id: format!("sec{s}"),
+                title: format!("Section {s}"),
+                ajax: false,
+                prerender: true,
+            }],
+        );
+    }
+    spec
+}
+
+/// A stable fingerprint of everything an [`AdaptedBundle`] would write
+/// to disk: entry page, subpages, image bytes and metadata, counters.
+/// Two runs with equal fingerprints produced byte-identical bundles.
+pub fn fingerprint(bundle: &AdaptedBundle) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("entry:{}\n", bundle.entry_html.len()));
+    out.push_str(&bundle.entry_html);
+    for file in &bundle.subpages {
+        out.push_str(&format!("\nfile:{}:{}\n", file.name, file.html.len()));
+        out.push_str(&file.html);
+    }
+    for image in &bundle.images {
+        out.push_str(&format!(
+            "\nimage:{}:{}x{}:wire={}:sum={}\n",
+            image.name,
+            image.width,
+            image.height,
+            image.wire_size,
+            image
+                .bytes
+                .iter()
+                .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(*b as u64))
+        ));
+    }
+    out.push_str(&format!("\nstats:{:?}", bundle.stats));
+    out
+}
+
+/// Runs one adaptation at the given pool width and returns the bundle,
+/// its report, and the wall-clock spent.
+fn run_once(
+    spec: &AdaptationSpec,
+    page: &str,
+    parallelism: usize,
+) -> (AdaptedBundle, msite::PipelineReport, Duration) {
+    let ctx = PipelineContext {
+        base: "/m/sectioned".into(),
+        parallelism,
+        ..PipelineContext::default()
+    };
+    let start = Instant::now();
+    let (bundle, report) = adapt_with_report(spec, page, &ctx).expect("fixture adapts cleanly");
+    (bundle, report, start.elapsed())
+}
+
+/// Sweeps the pipeline across [`WIDTHS`], comparing every bundle with
+/// the serial reference byte for byte and keeping the best-of-`trials`
+/// wall time per width.
+pub fn run_pipeline_sweep(sections: usize, trials: usize) -> Vec<PipelinePoint> {
+    let spec = sectioned_spec(sections);
+    let page = sectioned_page(sections);
+    let (reference, _, _) = run_once(&spec, &page, 1);
+    let reference_print = fingerprint(&reference);
+
+    WIDTHS
+        .iter()
+        .map(|&parallelism| {
+            let mut best = Duration::MAX;
+            let mut identical = true;
+            let mut emit_speedup = None;
+            for _ in 0..trials.max(1) {
+                let (bundle, report, wall) = run_once(&spec, &page, parallelism);
+                identical &= fingerprint(&bundle) == reference_print;
+                if wall < best {
+                    best = wall;
+                    emit_speedup = report.parallel_speedup(StageKind::Emit);
+                }
+            }
+            PipelinePoint {
+                parallelism,
+                wall: best,
+                identical_to_serial: identical,
+                emit_speedup,
+            }
+        })
+        .collect()
+}
+
+/// Drives a real TCP server with a deliberately tiny executor past its
+/// queue depth and records how the overflow was handled. The origin
+/// blocks until every client has fired, so the queue genuinely fills.
+pub fn run_overload_probe() -> OverloadResult {
+    const WORKERS: usize = 2;
+    const QUEUE_DEPTH: usize = 4;
+    const CLIENTS: usize = 16;
+
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate2 = Arc::clone(&gate);
+    let origin: OriginRef = Arc::new(move |_req: &Request| {
+        while !gate2.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Response::html("<p>served</p>")
+    });
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        origin,
+        ServerConfig {
+            workers: WORKERS,
+            queue_depth: QUEUE_DEPTH,
+        },
+    )
+    .expect("ephemeral bind");
+    let addr = server.addr();
+
+    // Fire the clients; each either blocks on the gated origin or gets
+    // shed immediately. Shed responses must carry the backoff headers.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let resp = http_get(&format!("http://{addr}/load{i}")).expect("server reachable");
+                let shed = resp.status == Status::SERVICE_UNAVAILABLE;
+                let headers_ok = !shed
+                    || (resp.headers.get(OVERLOAD_HEADER) == Some(OVERLOAD_REASON)
+                        && resp.headers.get("retry-after").is_some());
+                (shed, headers_ok)
+            })
+        })
+        .collect();
+
+    // Release the origin once every connection is accounted for (the
+    // server either queued or shed it the moment it was accepted).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().accepted < CLIENTS as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    gate.store(true, Ordering::SeqCst);
+    let mut shed_headers_ok = true;
+    for client in clients {
+        let (_, headers_ok) = client.join().expect("client thread");
+        shed_headers_ok &= headers_ok;
+    }
+    server.shutdown();
+    let stats = server.stats();
+    OverloadResult {
+        workers: WORKERS,
+        queue_depth: QUEUE_DEPTH,
+        accepted: stats.accepted,
+        served: stats.served,
+        rejected_overload: stats.rejected_overload,
+        shed_headers_ok,
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(trials: usize) -> ThroughputResult {
+    ThroughputResult {
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        pipeline: run_pipeline_sweep(SECTIONS, trials),
+        overload: run_overload_probe(),
+    }
+}
+
+/// Shape assertions for the experiments binary: byte identity always;
+/// wall-time improvement only when the host can actually overlap work;
+/// overload sheds explicitly and conserves connections.
+pub fn check_shape(result: &ThroughputResult) -> Result<(), String> {
+    let serial = result
+        .pipeline
+        .iter()
+        .find(|p| p.parallelism == 1)
+        .ok_or("sweep must include the serial point")?;
+    for point in &result.pipeline {
+        if !point.identical_to_serial {
+            return Err(format!(
+                "parallel output at width {} diverged from serial",
+                point.parallelism
+            ));
+        }
+        if point.wall.is_zero() {
+            return Err(format!(
+                "width {} measured zero wall time",
+                point.parallelism
+            ));
+        }
+    }
+    if result.cores >= 2 {
+        let best_parallel = result
+            .pipeline
+            .iter()
+            .filter(|p| p.parallelism > 1)
+            .map(|p| p.wall)
+            .min()
+            .ok_or("sweep must include a parallel point")?;
+        if best_parallel >= serial.wall {
+            return Err(format!(
+                "no parallel width beat serial on a {}-core host ({:?} vs {:?})",
+                result.cores, best_parallel, serial.wall
+            ));
+        }
+    }
+    let overload = &result.overload;
+    if overload.rejected_overload == 0 {
+        return Err("overload probe shed nothing; queue never filled".into());
+    }
+    if overload.served < overload.workers as u64 {
+        return Err(format!(
+            "overload probe served {} < workers {}",
+            overload.served, overload.workers
+        ));
+    }
+    if !overload.conserved() {
+        return Err(format!(
+            "connections not conserved: accepted {} != served {} + rejected {}",
+            overload.accepted, overload.served, overload.rejected_overload
+        ));
+    }
+    if !overload.shed_headers_ok {
+        return Err("a shed response was missing the overloaded reason or retry-after".into());
+    }
+    Ok(())
+}
+
+impl ToJson for PipelinePoint {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("parallelism", self.parallelism.to_json_value()),
+            ("wall_s", self.wall.as_secs_f64().to_json_value()),
+            (
+                "identical_to_serial",
+                self.identical_to_serial.to_json_value(),
+            ),
+            ("emit_speedup", self.emit_speedup.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for OverloadResult {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("workers", self.workers.to_json_value()),
+            ("queue_depth", self.queue_depth.to_json_value()),
+            ("accepted", self.accepted.to_json_value()),
+            ("served", self.served.to_json_value()),
+            ("rejected_overload", self.rejected_overload.to_json_value()),
+            ("conserved", self.conserved().to_json_value()),
+            ("shed_headers_ok", self.shed_headers_ok.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for ThroughputResult {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("cores", self.cores.to_json_value()),
+            ("pipeline", self.pipeline.to_json_value()),
+            ("overload", self.overload.to_json_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_byte_identical_at_every_width() {
+        let points = run_pipeline_sweep(6, 1);
+        assert_eq!(points.len(), WIDTHS.len());
+        for point in &points {
+            assert!(point.identical_to_serial, "width {}", point.parallelism);
+            assert!(point.wall > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn overload_probe_sheds_and_conserves() {
+        let overload = run_overload_probe();
+        assert!(overload.rejected_overload >= 1, "{overload:?}");
+        assert!(overload.conserved(), "{overload:?}");
+        assert!(overload.shed_headers_ok, "{overload:?}");
+    }
+
+    #[test]
+    fn fixture_produces_prerendered_subpages() {
+        let spec = sectioned_spec(4);
+        let page = sectioned_page(4);
+        let ctx = PipelineContext {
+            base: "/m/sectioned".into(),
+            parallelism: 2,
+            ..PipelineContext::default()
+        };
+        let bundle = msite::adapt(&spec, &page, &ctx).unwrap();
+        assert_eq!(bundle.subpages.len(), 4);
+        // One snapshot + one pre-render per section.
+        assert_eq!(bundle.images.len(), 5);
+        assert!(bundle.stats.browser_used);
+    }
+}

@@ -67,6 +67,10 @@ pub enum ProxyError {
     },
     /// The method is not supported on this endpoint.
     UnsupportedMethod,
+    /// The serving tier's bounded executor queue was full; the
+    /// connection was shed before any proxy work started. Clients
+    /// should honor `Retry-After` and back off.
+    Overloaded,
 }
 
 impl ProxyError {
@@ -95,7 +99,7 @@ impl ProxyError {
             ProxyError::BadOriginUrl { .. }
             | ProxyError::OriginUnavailable { .. }
             | ProxyError::RenderFailed { .. } => Status::BAD_GATEWAY,
-            ProxyError::BreakerOpen => Status::SERVICE_UNAVAILABLE,
+            ProxyError::BreakerOpen | ProxyError::Overloaded => Status::SERVICE_UNAVAILABLE,
             ProxyError::DeadlineExceeded => Status::GATEWAY_TIMEOUT,
             ProxyError::Adaptation { .. } => Status::INTERNAL_SERVER_ERROR,
             ProxyError::UnknownEngine { .. }
@@ -122,6 +126,7 @@ impl ProxyError {
             ProxyError::MissingParameter { .. } => "missing-parameter",
             ProxyError::NotFound { .. } => "not-found",
             ProxyError::UnsupportedMethod => "unsupported-method",
+            ProxyError::Overloaded => "overloaded",
         }
     }
 
@@ -142,6 +147,9 @@ impl ProxyError {
     pub fn into_response(self) -> Response {
         let mut response = Response::error(self.status(), &self.to_string());
         response.headers.set(ERROR_HEADER, self.reason());
+        if matches!(self, ProxyError::Overloaded) {
+            response.headers.set("retry-after", "1");
+        }
         response
     }
 }
@@ -162,6 +170,7 @@ impl fmt::Display for ProxyError {
             ProxyError::MissingParameter { name } => write!(f, "missing parameter `{name}`"),
             ProxyError::NotFound { what } => write!(f, "no such {what}"),
             ProxyError::UnsupportedMethod => write!(f, "unsupported method"),
+            ProxyError::Overloaded => write!(f, "server overloaded, retry later"),
         }
     }
 }
@@ -196,6 +205,7 @@ mod tests {
             ProxyError::MissingParameter { name: "action" },
             ProxyError::NotFound { what: "image" },
             ProxyError::UnsupportedMethod,
+            ProxyError::Overloaded,
         ];
         let mut reasons = std::collections::HashSet::new();
         for err in variants {
@@ -207,6 +217,17 @@ mod tests {
             assert_eq!(response.headers.get(ERROR_HEADER), Some(err.reason()));
             assert!(response.body_text().contains(&display));
         }
+    }
+
+    #[test]
+    fn overload_carries_retry_hint() {
+        let response = ProxyError::Overloaded.into_response();
+        assert_eq!(response.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(response.headers.get(ERROR_HEADER), Some("overloaded"));
+        assert_eq!(response.headers.get("retry-after"), Some("1"));
+        // Only shedding advertises a retry delay; other 503s do not.
+        let breaker = ProxyError::BreakerOpen.into_response();
+        assert_eq!(breaker.headers.get("retry-after"), None);
     }
 
     #[test]

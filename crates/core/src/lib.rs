@@ -77,7 +77,7 @@ pub use engine::{EngineRegistry, FallbackRender, RenderEngine, RenderError, Rend
 pub use error::ProxyError;
 pub use pipeline::{
     adapt, adapt_with_report, AdaptError, AdaptedBundle, PipelineContext, PipelineReport,
-    PipelineStats, StageKind, StageReport,
+    PipelineStats, ScheduleStagger, StageKind, StageReport,
 };
 pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
 pub use search::SearchIndex;

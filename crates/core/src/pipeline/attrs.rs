@@ -349,9 +349,7 @@ impl Stage for AttributeStage {
                 }
             }
         }
-        Ok(StageOutcome {
-            artifacts: stats.nodes_affected - affected_before,
-        })
+        Ok(StageOutcome::serial(stats.nodes_affected - affected_before))
     }
 }
 

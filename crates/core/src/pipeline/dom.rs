@@ -66,7 +66,7 @@ impl Stage for DomStage {
                     .render_with_viewport(source, snap.viewport_width),
             );
         }
-        Ok(StageOutcome { artifacts: 1 })
+        Ok(StageOutcome::serial(1))
     }
 }
 

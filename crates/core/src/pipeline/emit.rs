@@ -1,18 +1,32 @@
 //! Emission stage: assemble subpage files, pre-render image subpages,
 //! and build the entry page (snapshot image map or adapted document).
+//!
+//! Subpage work is embarrassingly parallel — each subpage's assembly,
+//! optional image pre-render, and imagemap geometry depend only on its
+//! own builder plus shared read-only state — so this stage fans it out
+//! across the context's worker crew ([`PipelineContext::parallelism`]).
+//! Results are merged back in subpage-key order (the `BTreeMap`
+//! iteration order the serial loop used), so the emitted bundle is
+//! byte-identical to a serial run regardless of thread scheduling.
 
 use super::edit::{first_id_in_html, inject_into_head, page_title};
-use super::stage::{PipelineState, Stage, StageKind, StageOutcome, SubpageBuilder};
+use super::render::Renderer;
+use super::stage::{fan, PipelineState, Stage, StageKind, StageOutcome, SubpageBuilder};
 use super::{AdaptError, GeneratedFile, GeneratedImage, PipelineContext};
 use crate::ajax;
 use crate::search::SearchIndex;
 use msite_render::image::{process, ImageFormat, PostProcess};
 use msite_render::Rect;
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Produces the bundle's files from the accumulated state.
 pub(crate) struct EmitStage;
+
+/// One subpage's finished artifacts, produced by a fan-out task.
+struct SubpageArtifact {
+    file: GeneratedFile,
+    image: Option<GeneratedImage>,
+}
 
 impl Stage for EmitStage {
     fn kind(&self) -> StageKind {
@@ -23,51 +37,39 @@ impl Stage for EmitStage {
         // Pure filter adaptation: the filtered source *is* the entry page.
         if state.filter_only() {
             state.entry_html = std::mem::take(&mut state.source);
-            return Ok(StageOutcome { artifacts: 1 });
+            return Ok(StageOutcome::serial(1));
         }
 
+        let fanned = state.ctx.parallelism.max(1) > 1;
+        let mut parallel_tasks = 0usize;
+        let mut parallel_busy = Duration::ZERO;
+
         // ---- Subpage files --------------------------------------------
-        for builder in state.subpages.values() {
-            let html = assemble_subpage(builder, state.ctx);
-            if builder.prerender {
-                let rendered = state.renderer.render(&html);
-                let processed = process(
-                    &rendered.canvas,
-                    &PostProcess {
-                        format: ImageFormat::JpegClass { quality: 50 },
-                        ..Default::default()
-                    },
-                );
-                let img_name = format!("sub_{}.png", builder.id);
-                let page = format!(
-                    "<!DOCTYPE html><html><head><title>{}</title></head><body style=\"margin:0\">\
-                     <img src=\"{}/img/{}\" width=\"{}\" height=\"{}\" alt=\"{}\"></body></html>",
-                    builder.title,
-                    state.ctx.base,
-                    img_name,
-                    processed.canvas.width(),
-                    processed.canvas.height(),
-                    builder.title
-                );
-                state.images.push(GeneratedImage {
-                    name: img_name,
-                    wire_size: processed.wire_bytes(),
-                    width: processed.canvas.width(),
-                    height: processed.canvas.height(),
-                    bytes: processed.encoded,
-                    cache_ttl: None,
-                });
+        // One task per subpage: assemble the HTML and, for pre-rendered
+        // subpages, render + post-process the image. Merged in key order.
+        let artifacts: Vec<SubpageArtifact> = {
+            let ctx = state.ctx;
+            let renderer = &state.renderer;
+            let builders: Vec<&SubpageBuilder> = state.subpages.values().collect();
+            fan(ctx, builders.len(), |index| {
+                build_subpage(builders[index], ctx, renderer)
+            })
+            .into_iter()
+            .map(|(artifact, busy)| {
+                parallel_busy += busy;
+                artifact
+            })
+            .collect()
+        };
+        if fanned {
+            parallel_tasks += artifacts.len();
+        }
+        for artifact in artifacts {
+            if let Some(image) = artifact.image {
+                state.images.push(image);
                 state.stats.images_rendered += 1;
-                state.subpage_files.push(GeneratedFile {
-                    name: format!("{}.html", builder.id),
-                    html: page,
-                });
-            } else {
-                state.subpage_files.push(GeneratedFile {
-                    name: format!("{}.html", builder.id),
-                    html,
-                });
             }
+            state.subpage_files.push(artifact.file);
         }
 
         // ---- Entry page -----------------------------------------------
@@ -87,6 +89,24 @@ impl Stage for EmitStage {
                 if state.searchable {
                     state.search_index = Some(SearchIndex::build(&render.layout, snap.scale));
                 }
+                // Imagemap geometry: one task per subpage, merged in key
+                // order.
+                let areas: Vec<crate::snapshot::MapArea> = {
+                    let ctx = state.ctx;
+                    let builders: Vec<&SubpageBuilder> = state.subpages.values().collect();
+                    fan(ctx, builders.len(), |index| {
+                        subpage_area(builders[index], render, snap.scale, &ctx.base)
+                    })
+                    .into_iter()
+                    .map(|(area, busy)| {
+                        parallel_busy += busy;
+                        area
+                    })
+                    .collect()
+                };
+                if fanned {
+                    parallel_tasks += areas.len();
+                }
                 let entry = crate::snapshot::build_entry_page(&crate::snapshot::EntryPageInput {
                     base: state.ctx.base.clone(),
                     title: page_title(doc).unwrap_or_else(|| state.spec.page_id.clone()),
@@ -94,7 +114,7 @@ impl Stage for EmitStage {
                     snapshot_width: processed.canvas.width(),
                     snapshot_height: processed.canvas.height(),
                     scale: snap.scale,
-                    areas: subpage_areas(&state.subpages, render, snap.scale, &state.ctx.base),
+                    areas,
                     has_ajax: !state.registry.actions.is_empty()
                         || state.subpages.values().any(|s| s.ajax),
                     search_js: state.search_index.as_ref().map(|s| s.to_javascript()),
@@ -122,7 +142,63 @@ impl Stage for EmitStage {
             };
         Ok(StageOutcome {
             artifacts: state.subpage_files.len() + 1,
+            parallel_tasks,
+            parallel_busy,
         })
+    }
+}
+
+/// Builds one subpage's artifacts: the assembled HTML file and, for
+/// pre-rendered subpages, the rendered + post-processed image the file
+/// embeds. Pure function of the builder plus shared read-only state, so
+/// it can run on any worker.
+fn build_subpage(
+    builder: &SubpageBuilder,
+    ctx: &PipelineContext,
+    renderer: &Renderer,
+) -> SubpageArtifact {
+    let html = assemble_subpage(builder, ctx);
+    if !builder.prerender {
+        return SubpageArtifact {
+            file: GeneratedFile {
+                name: format!("{}.html", builder.id),
+                html,
+            },
+            image: None,
+        };
+    }
+    let rendered = renderer.render(&html);
+    let processed = process(
+        &rendered.canvas,
+        &PostProcess {
+            format: ImageFormat::JpegClass { quality: 50 },
+            ..Default::default()
+        },
+    );
+    let img_name = format!("sub_{}.png", builder.id);
+    let page = format!(
+        "<!DOCTYPE html><html><head><title>{}</title></head><body style=\"margin:0\">\
+         <img src=\"{}/img/{}\" width=\"{}\" height=\"{}\" alt=\"{}\"></body></html>",
+        builder.title,
+        ctx.base,
+        img_name,
+        processed.canvas.width(),
+        processed.canvas.height(),
+        builder.title
+    );
+    SubpageArtifact {
+        file: GeneratedFile {
+            name: format!("{}.html", builder.id),
+            html: page,
+        },
+        image: Some(GeneratedImage {
+            name: img_name,
+            wire_size: processed.wire_bytes(),
+            width: processed.canvas.width(),
+            height: processed.canvas.height(),
+            bytes: processed.encoded,
+            cache_ttl: None,
+        }),
     }
 }
 
@@ -148,45 +224,35 @@ fn assemble_subpage(builder: &SubpageBuilder, ctx: &PipelineContext) -> String {
     html
 }
 
-/// Computes the clickable image-map areas for every subpage target by
+/// Computes the clickable image-map area for one subpage target by
 /// finding the same selector in the snapshot render and translating its
 /// coordinates by the snapshot scale.
-fn subpage_areas(
-    subpages: &BTreeMap<String, SubpageBuilder>,
+fn subpage_area(
+    builder: &SubpageBuilder,
     render: &msite_render::RenderResult,
     scale: f32,
     base: &str,
-) -> Vec<crate::snapshot::MapArea> {
-    let mut areas = Vec::new();
+) -> crate::snapshot::MapArea {
     // Geometry is recovered per subpage body: the subpage body html was
     // captured before removal; match by the subpage link class is not
     // possible in the snapshot (it shows the original page), so the
     // *source* rects were resolved by the caller storing them during the
     // attribute phase. Simpler and robust: look the subpage's first id
     // attribute up in the render.
-    for builder in subpages.values() {
-        let rect = first_id_in_html(&builder.body_html)
-            .and_then(|id| render.doc.element_by_id(&id))
-            .and_then(|node| render.layout.rect_of(node));
-        if let Some(rect) = rect {
-            let r = rect.scaled(scale);
-            areas.push(crate::snapshot::MapArea {
-                rect: r,
-                href: format!("{base}/s/{}.html", builder.id),
-                title: builder.title.clone(),
-                ajax: builder.ajax,
-            });
-        } else {
-            // No geometry: still expose the subpage via the fallback menu
-            // (rect of zero size is skipped in the <map> but kept in the
-            // menu list).
-            areas.push(crate::snapshot::MapArea {
-                rect: Rect::new(0.0, 0.0, 0.0, 0.0),
-                href: format!("{base}/s/{}.html", builder.id),
-                title: builder.title.clone(),
-                ajax: builder.ajax,
-            });
-        }
+    let rect = first_id_in_html(&builder.body_html)
+        .and_then(|id| render.doc.element_by_id(&id))
+        .and_then(|node| render.layout.rect_of(node));
+    let rect = match rect {
+        Some(rect) => rect.scaled(scale),
+        // No geometry: still expose the subpage via the fallback menu
+        // (rect of zero size is skipped in the <map> but kept in the
+        // menu list).
+        None => Rect::new(0.0, 0.0, 0.0, 0.0),
+    };
+    crate::snapshot::MapArea {
+        rect,
+        href: format!("{base}/s/{}.html", builder.id),
+        title: builder.title.clone(),
+        ajax: builder.ajax,
     }
-    areas
 }

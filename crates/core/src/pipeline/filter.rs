@@ -29,9 +29,7 @@ impl Stage for FilterStage {
             };
         }
         state.source = out;
-        Ok(StageOutcome {
-            artifacts: state.spec.filters.len(),
-        })
+        Ok(StageOutcome::serial(state.spec.filters.len()))
     }
 }
 

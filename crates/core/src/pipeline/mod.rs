@@ -141,13 +141,36 @@ pub struct AdaptedBundle {
     pub wants_cookie_clear: bool,
 }
 
-/// Pipeline context: where artifacts will be served from.
+/// Deterministic schedule-exploration hook for the fan-out stages: a
+/// per-task pseudo-random start delay in `[0, max)` derived from
+/// `seed` and the task index. Sweeping the seed drives different
+/// thread interleavings through the parallel emit/render paths; the
+/// determinism suite uses it to assert the output stays byte-identical
+/// under 24 distinct schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleStagger {
+    /// Seed the per-task delays derive from.
+    pub seed: u64,
+    /// Upper bound on the injected delay.
+    pub max: Duration,
+}
+
+/// Pipeline context: where artifacts will be served from and how wide
+/// the intra-request fan-out runs.
 #[derive(Debug, Clone)]
 pub struct PipelineContext {
     /// URL prefix the proxy serves this page under, e.g. `/m/forum`.
     pub base: String,
     /// Browser configuration for renders.
     pub browser_config: BrowserConfig,
+    /// Worker-crew width for the fan-out stages (subpage assembly,
+    /// image pre-renders, imagemap geometry). `1` runs everything
+    /// serially; the output is byte-identical either way. Defaults to
+    /// [`msite_support::thread::default_parallelism`].
+    pub parallelism: usize,
+    /// Schedule-exploration test hook; `None` (the default) injects no
+    /// delays.
+    pub schedule_stagger: Option<ScheduleStagger>,
 }
 
 impl Default for PipelineContext {
@@ -155,6 +178,8 @@ impl Default for PipelineContext {
         PipelineContext {
             base: "/m/page".to_string(),
             browser_config: BrowserConfig::default(),
+            parallelism: msite_support::thread::default_parallelism(),
+            schedule_stagger: None,
         }
     }
 }
@@ -212,6 +237,8 @@ pub fn adapt_with_report(
                 .saturating_sub(render_delta)
                 .max(Duration::from_nanos(1)),
             artifacts: outcome.artifacts,
+            parallel_tasks: outcome.parallel_tasks,
+            parallel_busy: outcome.parallel_busy,
         });
     }
     if state.renderer.used() {
@@ -219,8 +246,11 @@ pub fn adapt_with_report(
             kind: StageKind::Render,
             elapsed: state.renderer.total().max(Duration::from_nanos(1)),
             artifacts: state.stats.images_rendered,
+            parallel_tasks: 0,
+            parallel_busy: Duration::ZERO,
         });
     }
-    report.degradations = state.renderer.degradations().to_vec();
+    report.parallelism = ctx.parallelism.max(1);
+    report.degradations = state.renderer.degradations();
     Ok((state.into_bundle(), report))
 }

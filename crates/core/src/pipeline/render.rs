@@ -9,66 +9,80 @@ use msite_html::{Document, NodeId};
 use msite_render::browser::{Browser, BrowserConfig};
 use msite_render::image::{process, ImageFormat, PostProcess};
 use msite_render::RenderResult;
+use msite_support::sync::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Shared browser handle for snapshot and pre-render work. Launching is
 /// deferred until the first render — the scalability win of the paper
 /// comes from most requests never reaching this point.
+///
+/// All accounting is interior-mutable so the emit stage can fan
+/// pre-renders out across threads against one `&Renderer`: the browser
+/// launches exactly once (concurrent first renders rendezvous on the
+/// launch), and [`Browser::render_page`] itself takes `&self`.
 pub(crate) struct Renderer {
-    config: BrowserConfig,
-    browser: Option<Browser>,
-    spent: Duration,
-    renders: usize,
-    degradations: Vec<String>,
+    config: Mutex<BrowserConfig>,
+    browser: OnceLock<Browser>,
+    /// Busy nanoseconds: per-render durations summed, so overlapping
+    /// parallel renders each contribute their full time. The driver
+    /// reports this as the render stage's line item.
+    spent_nanos: AtomicU64,
+    renders: AtomicUsize,
+    degradations: Mutex<Vec<String>>,
 }
 
 impl Renderer {
     pub(crate) fn new(config: BrowserConfig) -> Renderer {
         Renderer {
-            config,
-            browser: None,
-            spent: Duration::ZERO,
-            renders: 0,
-            degradations: Vec::new(),
+            config: Mutex::new(config),
+            browser: OnceLock::new(),
+            spent_nanos: AtomicU64::new(0),
+            renders: AtomicUsize::new(0),
+            degradations: Mutex::new(Vec::new()),
         }
     }
 
     /// True once a browser has been launched.
     pub(crate) fn used(&self) -> bool {
-        self.browser.is_some()
+        self.browser.get().is_some()
     }
 
     /// Individual browser render invocations so far (snapshot plus
     /// pre-render passes) — the unit the render cache's single-flight
     /// layer deduplicates across concurrent users.
     pub(crate) fn renders(&self) -> usize {
-        self.renders
+        self.renders.load(Ordering::Relaxed)
     }
 
-    /// Total wall-clock time spent launching and rendering so far.
+    /// Total browser-busy time so far: launch plus the sum of
+    /// individual render durations (under parallel pre-rendering this
+    /// exceeds the wall-clock time the renders occupied).
     pub(crate) fn total(&self) -> Duration {
-        self.spent
+        Duration::from_nanos(self.spent_nanos.load(Ordering::Relaxed))
     }
 
     /// Renders that had to fall back to a placeholder page because the
     /// browser failed on the real input. Reported in the pipeline report
-    /// so degraded snapshots are visible, not silent.
-    pub(crate) fn degradations(&self) -> &[String] {
-        &self.degradations
+    /// so degraded snapshots are visible, not silent. Order follows
+    /// failure-completion order, which under parallel pre-rendering is
+    /// not deterministic.
+    pub(crate) fn degradations(&self) -> Vec<String> {
+        self.degradations.lock().clone()
     }
 
     /// Renders a page, launching the browser on first use. A browser
     /// failure (panic) on the page degrades to rendering an empty
     /// placeholder document — a blank snapshot beats a lost request —
     /// and is recorded in [`Self::degradations`].
-    pub(crate) fn render(&mut self, html: &str) -> RenderResult {
+    pub(crate) fn render(&self, html: &str) -> RenderResult {
         let start = Instant::now();
-        self.renders += 1;
-        let config = &self.config;
+        self.renders.fetch_add(1, Ordering::Relaxed);
         let browser = self
             .browser
-            .get_or_insert_with(|| Browser::launch(config.clone()));
+            .get_or_init(|| Browser::launch(self.config.lock().clone()));
         let result = match catch_unwind(AssertUnwindSafe(|| browser.render_page(html, &[]))) {
             Ok(result) => result,
             Err(panic) => {
@@ -78,6 +92,7 @@ impl Renderer {
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "browser panicked".to_string());
                 self.degradations
+                    .lock()
                     .push(format!("browser render degraded to blank page: {message}"));
                 // The placeholder must render; if even that panics the
                 // browser itself is broken and the failure propagates.
@@ -89,16 +104,17 @@ impl Renderer {
                 }
             }
         };
-        self.spent += start.elapsed();
+        self.spent_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         result
     }
 
     /// Renders a page; when this launches the browser, the launch uses
     /// the given viewport width (the snapshot render leads, so the
     /// shared browser inherits the snapshot viewport).
-    pub(crate) fn render_with_viewport(&mut self, html: &str, viewport_width: u32) -> RenderResult {
-        if self.browser.is_none() {
-            self.config.viewport_width = viewport_width;
+    pub(crate) fn render_with_viewport(&self, html: &str, viewport_width: u32) -> RenderResult {
+        if self.browser.get().is_none() {
+            self.config.lock().viewport_width = viewport_width;
         }
         self.render(html)
     }
@@ -116,7 +132,7 @@ pub(crate) struct PartialArtifact {
 pub(crate) fn partial_css_prerender(
     doc: &Document,
     node: NodeId,
-    renderer: &mut Renderer,
+    renderer: &Renderer,
     scale: f32,
     base: &str,
     image_name: &str,

@@ -11,6 +11,7 @@ fn ctx() -> PipelineContext {
     PipelineContext {
         base: "/m/test".to_string(),
         browser_config: BrowserConfig::default(),
+        ..Default::default()
     }
 }
 

@@ -63,6 +63,10 @@ pub struct ProxyConfig {
     /// How long expired cache entries stay servable as degraded
     /// (stale) output when the origin is unavailable.
     pub stale_window: Duration,
+    /// Worker-crew width for the adaptation pipeline's fan-out stages
+    /// (subpage assembly, image pre-renders, imagemap geometry). `1`
+    /// runs the pipeline serially; output is byte-identical either way.
+    pub pipeline_parallelism: usize,
 }
 
 impl Default for ProxyConfig {
@@ -74,6 +78,7 @@ impl Default for ProxyConfig {
             browser_config: BrowserConfig::default(),
             resilience: ResiliencePolicy::default(),
             stale_window: Duration::from_secs(600),
+            pipeline_parallelism: msite_support::thread::default_parallelism(),
         }
     }
 }
@@ -103,6 +108,12 @@ pub struct ProxyStats {
     /// Requests that shared another request's in-flight render instead
     /// of launching their own (single-flight coalescing).
     pub renders_coalesced: u64,
+    /// Connections the serving tier shed with `503` +
+    /// `x-msite-error: overloaded` because the executor's bounded queue
+    /// was full. Folded in from the HTTP server's counters via
+    /// [`ProxyServer::record_overload_rejections`] (the rejected
+    /// connections never reach the proxy's request handler).
+    pub overload_rejections: u64,
 }
 
 struct UserBundle {
@@ -190,6 +201,15 @@ impl ProxyServer {
         *self.stats.lock()
     }
 
+    /// Folds connection-level overload rejections (counted by the HTTP
+    /// server's bounded executor, which sheds load before the proxy
+    /// ever sees the request) into [`ProxyStats::overload_rejections`].
+    /// `n` is the server's cumulative counter; the stat is set, not
+    /// accumulated, so repeated polling stays idempotent.
+    pub fn record_overload_rejections(&self, n: u64) {
+        self.stats.lock().overload_rejections = n;
+    }
+
     /// Retry/breaker/deadline counters from the resilient fetch layer.
     pub fn resilience_stats(&self) -> ResilienceStats {
         self.origin.stats()
@@ -246,6 +266,8 @@ impl ProxyServer {
         PipelineContext {
             base: self.base(),
             browser_config: self.config.browser_config.clone(),
+            parallelism: self.config.pipeline_parallelism,
+            schedule_stagger: None,
         }
     }
 
@@ -1271,5 +1293,16 @@ mod tests {
         assert_eq!(stats.requests, 11);
         assert_eq!(stats.full_renders, 1);
         assert_eq!(stats.lightweight, 10);
+    }
+
+    #[test]
+    fn overload_rejections_fold_idempotently() {
+        let (_site, proxy) = proxy_with_forum();
+        assert_eq!(proxy.stats().overload_rejections, 0);
+        proxy.record_overload_rejections(3);
+        proxy.record_overload_rejections(3); // same cumulative counter
+        assert_eq!(proxy.stats().overload_rejections, 3);
+        proxy.record_overload_rejections(7);
+        assert_eq!(proxy.stats().overload_rejections, 7);
     }
 }

@@ -44,5 +44,7 @@ pub use resilience::{
     ResiliencePolicy, ResilienceStats, ResilientOrigin, RetryPolicy,
 };
 pub use rng::Prng;
-pub use server::{http_get, http_request, HttpServer};
+pub use server::{
+    http_get, http_request, HttpServer, ServerConfig, ServerStats, OVERLOAD_HEADER, OVERLOAD_REASON,
+};
 pub use url::{ParseUrlError, Url};

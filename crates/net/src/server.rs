@@ -1,18 +1,66 @@
 //! A real threaded HTTP/1.1 server and a matching tiny client, so any
 //! [`Origin`](crate::origin::Origin) (including the m.Site proxy itself) can be exercised over
 //! actual TCP from the examples.
+//!
+//! Connections are executed on a fixed-size [`WorkerPool`] with a
+//! bounded submission queue instead of a thread per connection. When
+//! the queue is full the accept loop *sheds* the connection: it writes
+//! `503 Service Unavailable` with `x-msite-error: overloaded` and
+//! `retry-after: 1` and closes, so overload is an explicit, counted,
+//! client-visible signal rather than unbounded thread growth.
 
 use crate::http::{Headers, Method, Request, Response, Status};
 use crate::origin::OriginRef;
 use crate::url::Url;
 use msite_support::bytes::Bytes;
 use msite_support::sync::Mutex;
+use msite_support::thread::{PoolConfig, WorkerPool};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Response header carrying the machine-readable failure reason on a
+/// shed connection (same header the proxy's error taxonomy uses).
+pub const OVERLOAD_HEADER: &str = "x-msite-error";
+
+/// The reason token a shed connection carries in [`OVERLOAD_HEADER`].
+pub const OVERLOAD_REASON: &str = "overloaded";
+
+/// Sizing knobs for the server's connection executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads executing connections.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before the accept loop
+    /// starts shedding with `503` + `retry-after`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Connection-level counters for one [`HttpServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Requests answered by the origin handler.
+    pub served: u64,
+    /// Connections shed with `503` because the executor queue was full.
+    pub rejected_overload: u64,
+    /// Connection handlers that panicked (isolated by the pool; the
+    /// worker survives).
+    pub worker_panics: u64,
+}
 
 /// A running HTTP server bound to a local port.
 ///
@@ -31,34 +79,65 @@ use std::time::Duration;
 /// ```
 pub struct HttpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
+    pool: Arc<WorkerPool>,
     handle: Mutex<Option<JoinHandle<()>>>,
-    requests_served: Arc<AtomicU64>,
+}
+
+/// State the accept loop and the server handle both touch.
+struct ServerShared {
+    stop: AtomicBool,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    rejected_overload: AtomicU64,
 }
 
 impl HttpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop on a background thread.
+    /// accept loop on a background thread with the default
+    /// [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// Returns the bind error.
     pub fn bind(addr: &str, origin: OriginRef) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with(addr, origin, ServerConfig::default())
+    }
+
+    /// Binds with explicit executor sizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind_with(
+        addr: &str,
+        origin: OriginRef,
+        config: ServerConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let served = Arc::new(AtomicU64::new(0));
-        let stop2 = Arc::clone(&stop);
-        let served2 = Arc::clone(&served);
+        let shared = Arc::new(ServerShared {
+            stop: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+        });
+        let pool = Arc::new(WorkerPool::new(PoolConfig {
+            workers: config.workers.max(1),
+            queue_depth: config.queue_depth.max(1),
+            name: "msite-http".to_string(),
+        }));
+        let shared2 = Arc::clone(&shared);
+        let pool2 = Arc::clone(&pool);
         let handle = std::thread::spawn(move || {
-            accept_loop(listener, origin, stop2, served2);
+            accept_loop(listener, origin, shared2, pool2);
         });
         Ok(HttpServer {
             addr: local,
-            stop,
+            shared,
+            pool,
             handle: Mutex::new(Some(handle)),
-            requests_served: served,
         })
     }
 
@@ -69,21 +148,33 @@ impl HttpServer {
 
     /// Requests handled so far.
     pub fn requests_served(&self) -> u64 {
-        self.requests_served.load(Ordering::Relaxed)
+        self.shared.served.load(Ordering::Relaxed)
     }
 
-    /// Stops the accept loop and joins the server thread.
+    /// Connection-level counters so far.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected_overload: self.shared.rejected_overload.load(Ordering::Relaxed),
+            worker_panics: self.pool.stats().panicked,
+        }
+    }
+
+    /// Stops the accept loop, drains in-flight connections, and joins
+    /// the server thread and its worker pool.
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.handle.lock().take() {
             let _ = handle.join();
         }
+        self.pool.shutdown();
     }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
         // Non-blocking accept loop notices within its poll interval; do
         // not join in drop to keep destructors non-blocking (C-DTOR-BLOCK:
         // call `shutdown` for a clean join).
@@ -93,19 +184,32 @@ impl Drop for HttpServer {
 fn accept_loop(
     listener: TcpListener,
     origin: OriginRef,
-    stop: Arc<AtomicBool>,
-    served: Arc<AtomicU64>,
+    shared: Arc<ServerShared>,
+    pool: Arc<WorkerPool>,
 ) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
+    while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                // This loop is the pool's only submitter and workers only
+                // ever drain the queue, so the check below cannot race:
+                // a connection admitted here is guaranteed a queue slot.
+                if pool.queued() >= pool.queue_depth() {
+                    shed(&stream, &shared);
+                    continue;
+                }
                 let origin = Arc::clone(&origin);
-                let served = Arc::clone(&served);
-                workers.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &origin, &served);
-                }));
-                workers.retain(|w| !w.is_finished());
+                let served = Arc::clone(&shared);
+                if pool
+                    .try_execute(move || {
+                        let _ = handle_connection(stream, &origin, &served.served);
+                    })
+                    .is_err()
+                {
+                    // Only reachable when the pool is already shutting
+                    // down; the connection is dropped unanswered.
+                    shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -113,9 +217,22 @@ fn accept_loop(
             Err(_) => break,
         }
     }
-    for w in workers {
-        let _ = w.join();
-    }
+    // Draining shutdown: queued connections are still answered.
+    pool.shutdown();
+}
+
+/// Sheds one connection under overload: `503` + reason token +
+/// `retry-after`, written from the accept loop without reading the
+/// request (the client sees it as soon as it looks for a response).
+fn shed(stream: &TcpStream, shared: &ServerShared) {
+    shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    let mut response = Response::error(
+        Status::SERVICE_UNAVAILABLE,
+        "server overloaded, retry later",
+    );
+    response.headers.set(OVERLOAD_HEADER, OVERLOAD_REASON);
+    response.headers.set("retry-after", "1");
+    let _ = write_response(stream, &response);
 }
 
 fn handle_connection(
@@ -344,6 +461,116 @@ mod tests {
         }
         assert!(server.requests_served() >= 8);
         server.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_503_and_retry_after() {
+        // One worker, one queue slot, and an origin that blocks until
+        // released: the first connection occupies the worker, the second
+        // fills the queue, and every further connection must be shed.
+        let gate = Arc::new(AtomicBool::new(false));
+        let gate2 = Arc::clone(&gate);
+        let origin: OriginRef = Arc::new(move |_req: &Request| {
+            while !gate2.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Response::html("<p>slow</p>")
+        });
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            origin,
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Occupy the worker, then the queue slot, with blocked requests.
+        // Sequenced so the first is guaranteed on the worker (not in the
+        // queue) before the second arrives.
+        let wait_accepted = |n: u64| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while server.stats().accepted < n && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Accepted ⇒ submitted; give the idle worker a beat to pop it.
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        let busy0 = std::thread::spawn(move || http_get(&format!("http://{addr}/busy0")).unwrap());
+        wait_accepted(1);
+        let busy1 = std::thread::spawn(move || http_get(&format!("http://{addr}/busy1")).unwrap());
+        wait_accepted(2);
+        // Worker busy + queue full: the next connection must be shed.
+        let resp = http_get(&format!("http://{addr}/extra")).unwrap();
+        assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers.get(OVERLOAD_HEADER), Some(OVERLOAD_REASON));
+        assert_eq!(resp.headers.get("retry-after"), Some("1"));
+        assert!(server.stats().rejected_overload >= 1);
+        // Release the gate; the blocked requests complete normally.
+        gate.store(true, Ordering::SeqCst);
+        assert!(busy0.join().unwrap().status.is_success());
+        assert!(busy1.join().unwrap().status.is_success());
+        server.shutdown();
+        let stats = server.stats();
+        assert!(stats.served >= 2, "blocked requests served: {stats:?}");
+        assert!(stats.accepted >= stats.served + stats.rejected_overload);
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_counted() {
+        let origin: OriginRef = Arc::new(|req: &Request| {
+            if req.url.path() == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::html("<p>ok</p>")
+        });
+        let server = HttpServer::bind("127.0.0.1:0", origin).unwrap();
+        let addr = server.addr();
+        // The panicking connection yields no response bytes (client sees
+        // a closed/empty reply), but the server survives it.
+        let _ = http_get(&format!("http://{addr}/boom"));
+        let resp = http_get(&format!("http://{addr}/fine")).unwrap();
+        assert!(resp.status.is_success());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().worker_panics < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().worker_panics, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_connections() {
+        let origin: OriginRef = Arc::new(|_req: &Request| {
+            std::thread::sleep(Duration::from_millis(30));
+            Response::html("<p>drained</p>")
+        });
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            origin,
+            ServerConfig {
+                workers: 2,
+                queue_depth: 16,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let clients: Vec<_> = (0..6)
+            .map(|i| std::thread::spawn(move || http_get(&format!("http://{addr}/d{i}")).unwrap()))
+            .collect();
+        // Wait until every connection is inside the server, then shut
+        // down: each accepted connection must still get its answer.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().accepted < 6 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        server.shutdown();
+        for t in clients {
+            assert!(t.join().unwrap().status.is_success());
+        }
+        assert_eq!(server.stats().served, 6);
+        server.shutdown(); // idempotent
     }
 
     #[test]

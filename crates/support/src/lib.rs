@@ -12,7 +12,8 @@
 //! - [`json`] — a small JSON [`Value`](json::Value) with a
 //!   parser/serializer and the [`ToJson`](json::ToJson)/
 //!   [`FromJson`](json::FromJson) traits used for specs and reports;
-//! - [`thread`] — scoped fan-out helpers over [`std::thread::scope`];
+//! - [`thread`] — scoped fan-out helpers over [`std::thread::scope`] and
+//!   the bounded [`WorkerPool`](thread::WorkerPool) executor;
 //! - [`prop`] — a deterministic, seed-driven property-test harness;
 //! - [`benchkit`] — a warmup/iterations/percentiles timing harness with a
 //!   criterion-style surface for the `benches/` targets.

@@ -44,8 +44,17 @@ fn main() {
         origin_client,
         ProxyConfig::default(),
     ));
-    let proxy_server =
-        HttpServer::bind("127.0.0.1:0", Arc::clone(&proxy) as OriginRef).expect("bind proxy");
+    // Explicit executor sizing: 4 connection workers, shed beyond 32
+    // queued connections (503 + x-msite-error: overloaded).
+    let proxy_server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&proxy) as OriginRef,
+        msite_net::ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+        },
+    )
+    .expect("bind proxy");
     println!(
         "m.Site proxy listening on http://{}/m/forum/",
         proxy_server.addr()
@@ -98,10 +107,15 @@ fn main() {
     );
     assert!(login.body_text().contains("vb_login_username"));
 
+    // Fold connection-level shedding into the proxy's own counters.
+    proxy.record_overload_rejections(proxy_server.stats().rejected_overload);
+    let server_stats = proxy_server.stats();
     println!(
-        "\norigin served {} requests, proxy served {}",
+        "\norigin served {} requests, proxy served {} (accepted {}, shed {})",
         origin_server.requests_served(),
-        proxy_server.requests_served()
+        server_stats.served,
+        server_stats.accepted,
+        proxy.stats().overload_rejections
     );
 
     if std::env::args().any(|a| a == "--serve") {

@@ -29,3 +29,10 @@ cargo test -q --offline --test multi_user cold_stampede_collapses_to_one_render
 
 echo "== seeded schedule-exploration smoke =="
 cargo test -q --offline -p msite --test cache_stampede schedule_exploration_smoke
+
+echo "== parallel pipeline determinism suite =="
+cargo test -q --release --offline -p msite --test pipeline_determinism
+cargo test -q --offline -p msite-support --test worker_pool_prop
+
+echo "== throughput shape assertions (serial vs parallel, overload) =="
+cargo run --release --offline -p msite-bench --bin experiments -- throughput

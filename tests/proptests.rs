@@ -197,6 +197,7 @@ fn pipeline_total_over_arbitrary_markup() {
             let ctx = PipelineContext {
                 base: "/m/p".into(),
                 browser_config: Default::default(),
+                ..Default::default()
             };
             let bundle = adapt(&spec, &page, &ctx).unwrap();
             assert!(!bundle.stats.browser_used);
@@ -221,6 +222,7 @@ fn filters_compose_with_parsing() {
         let ctx = PipelineContext {
             base: "/m/p".into(),
             browser_config: Default::default(),
+            ..Default::default()
         };
         let bundle = adapt(&spec, &page, &ctx).unwrap();
         assert_eq!(bundle.entry_html, page.replace(&find, &replace));
