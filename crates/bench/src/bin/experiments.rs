@@ -9,6 +9,7 @@
 //! cargo run --release -p msite-bench --bin experiments -- fig6
 //! cargo run --release -p msite-bench --bin experiments -- claims
 //! cargo run --release -p msite-bench --bin experiments -- burst
+//! cargo run --release -p msite-bench --bin experiments -- telemetry
 //! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
 //! ```
 //!
@@ -16,7 +17,9 @@
 //! trials ≈ 27 minutes); the default uses scaled windows that converge to
 //! the same rates.
 
-use msite_bench::{burst, capacity, claims, fig6, fig7, fixtures, report, table1, throughput};
+use msite_bench::{
+    burst, capacity, claims, fig6, fig7, fixtures, report, table1, telemetry, throughput,
+};
 use msite_support::json::{obj, ToJson, Value};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -27,6 +30,7 @@ struct AllResults {
     fig7: Vec<fig7::Fig7Point>,
     claims: Vec<claims::ClaimResult>,
     throughput: Option<throughput::ThroughputResult>,
+    telemetry: Option<telemetry::TelemetryOverheadResult>,
 }
 
 impl ToJson for AllResults {
@@ -37,12 +41,13 @@ impl ToJson for AllResults {
             ("fig7", self.fig7.to_json_value()),
             ("claims", self.claims.to_json_value()),
             ("throughput", self.throughput.to_json_value()),
+            ("telemetry", self.telemetry.to_json_value()),
         ])
     }
 }
 
 /// Wall-clock spent inside each experiment, recorded into
-/// `BENCH_PR4.json` so the perf trajectory is comparable across PRs.
+/// `BENCH_PR5.json` so the perf trajectory is comparable across PRs.
 struct Timings {
     entries: Vec<(&'static str, Duration)>,
 }
@@ -103,6 +108,7 @@ fn main() -> ExitCode {
         fig7: Vec::new(),
         claims: Vec::new(),
         throughput: None,
+        telemetry: None,
     };
 
     if want("table1") {
@@ -329,6 +335,50 @@ fn main() -> ExitCode {
         results.throughput = Some(result);
     }
 
+    if want("telemetry") {
+        let result = timings.time("telemetry", || telemetry::run(5));
+        if let Err(e) = telemetry::check_shape(&result) {
+            failures.push(format!("telemetry overhead: {e}"));
+        }
+        if !json {
+            report::print_table(
+                "Telemetry overhead — adaptation fixture, registry+tracing off vs. on",
+                &["metric", "value"],
+                &[
+                    vec![
+                        "baseline (off)".into(),
+                        report::secs(result.baseline.as_secs_f64()),
+                    ],
+                    vec![
+                        "instrumented (on)".into(),
+                        report::secs(result.instrumented.as_secs_f64()),
+                    ],
+                    vec![
+                        "overhead".into(),
+                        format!(
+                            "{:+.1}% (bound {:.0}%)",
+                            result.overhead_ratio * 100.0,
+                            result.bound * 100.0
+                        ),
+                    ],
+                    vec![
+                        "counter.inc".into(),
+                        format!("{:.1} ns/op", result.counter_ns),
+                    ],
+                    vec![
+                        "histogram.observe".into(),
+                        format!("{:.1} ns/op", result.histogram_ns),
+                    ],
+                ],
+            );
+            match telemetry::check_shape(&result) {
+                Ok(()) => println!("overhead gate: PASS"),
+                Err(e) => println!("overhead gate: FAIL ({e})"),
+            }
+        }
+        results.telemetry = Some(result);
+    }
+
     if want("capacity") && !json {
         let load = capacity::LoadModel::default();
         let rows_data = capacity::analyze(&load);
@@ -395,16 +445,18 @@ fn main() -> ExitCode {
     }
 
     // Machine-readable perf trajectory: per-experiment wall clock plus
-    // the throughput sweep, one file per run, overwritten in place.
+    // the throughput sweep and the telemetry-overhead gate, one file
+    // per run, overwritten in place.
     let bench_json = obj([
         ("experiments", timings.to_json_value()),
         ("throughput", results.throughput.to_json_value()),
+        ("telemetry", results.telemetry.to_json_value()),
     ]);
-    if let Err(e) = std::fs::write("BENCH_PR4.json", bench_json.to_pretty()) {
-        eprintln!("warning: could not write BENCH_PR4.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_PR5.json", bench_json.to_pretty()) {
+        eprintln!("warning: could not write BENCH_PR5.json: {e}");
     } else if !json {
         println!(
-            "\nwrote BENCH_PR4.json ({} experiments timed)",
+            "\nwrote BENCH_PR5.json ({} experiments timed)",
             timings.entries.len()
         );
     }

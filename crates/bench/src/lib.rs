@@ -17,4 +17,5 @@ pub mod claims;
 pub mod fig6;
 pub mod fig7;
 pub mod table1;
+pub mod telemetry;
 pub mod throughput;

@@ -20,6 +20,7 @@ use msite_net::{
     OVERLOAD_REASON,
 };
 use msite_support::json::{obj, ToJson, Value};
+use msite_support::telemetry::Telemetry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -223,13 +224,18 @@ pub fn run_overload_probe() -> OverloadResult {
         }
         Response::html("<p>served</p>")
     });
-    let server = HttpServer::bind_with(
+    // The probe reads its counters from the server's telemetry registry
+    // — the same `msite_server_*` series a `/metrics` scrape reports —
+    // rather than any experiment-private bookkeeping.
+    let telemetry = Telemetry::new();
+    let server = HttpServer::bind_with_telemetry(
         "127.0.0.1:0",
         origin,
         ServerConfig {
             workers: WORKERS,
             queue_depth: QUEUE_DEPTH,
         },
+        telemetry.clone(),
     )
     .expect("ephemeral bind");
     let addr = server.addr();
@@ -251,8 +257,10 @@ pub fn run_overload_probe() -> OverloadResult {
 
     // Release the origin once every connection is accounted for (the
     // server either queued or shed it the moment it was accepted).
+    let registry = &telemetry.metrics;
+    let accepted_so_far = || registry.counter_value("msite_server_accepted_total", &[]);
     let deadline = Instant::now() + Duration::from_secs(10);
-    while server.stats().accepted < CLIENTS as u64 && Instant::now() < deadline {
+    while accepted_so_far() < CLIENTS as u64 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(2));
     }
     gate.store(true, Ordering::SeqCst);
@@ -262,13 +270,12 @@ pub fn run_overload_probe() -> OverloadResult {
         shed_headers_ok &= headers_ok;
     }
     server.shutdown();
-    let stats = server.stats();
     OverloadResult {
         workers: WORKERS,
         queue_depth: QUEUE_DEPTH,
-        accepted: stats.accepted,
-        served: stats.served,
-        rejected_overload: stats.rejected_overload,
+        accepted: accepted_so_far(),
+        served: registry.counter_value("msite_server_served_total", &[]),
+        rejected_overload: registry.counter_value("msite_server_rejected_overload_total", &[]),
         shed_headers_ok,
     }
 }

@@ -37,6 +37,7 @@ use emit::EmitStage;
 use fetch::FetchStage;
 use filter::FilterStage;
 use msite_render::browser::BrowserConfig;
+use msite_support::telemetry::Trace;
 use stage::{PipelineState, Stage};
 use std::error::Error;
 use std::fmt;
@@ -171,6 +172,10 @@ pub struct PipelineContext {
     /// Schedule-exploration test hook; `None` (the default) injects no
     /// delays.
     pub schedule_stagger: Option<ScheduleStagger>,
+    /// The request trace this run belongs to. When set, every executed
+    /// stage (and the render pseudo-stage) records a timed
+    /// `stage.<name>` span with artifact counts into the trace's log.
+    pub trace: Option<Trace>,
 }
 
 impl Default for PipelineContext {
@@ -180,6 +185,7 @@ impl Default for PipelineContext {
             browser_config: BrowserConfig::default(),
             parallelism: msite_support::thread::default_parallelism(),
             schedule_stagger: None,
+            trace: None,
         }
     }
 }
@@ -231,7 +237,7 @@ pub fn adapt_with_report(
         // line item; clamp so every executed stage keeps a nonzero entry
         // even at coarse clock granularity.
         let render_delta = state.renderer.total().saturating_sub(render_before);
-        report.stages.push(StageReport {
+        let stage_report = StageReport {
             kind: stage.kind(),
             elapsed: elapsed
                 .saturating_sub(render_delta)
@@ -239,18 +245,46 @@ pub fn adapt_with_report(
             artifacts: outcome.artifacts,
             parallel_tasks: outcome.parallel_tasks,
             parallel_busy: outcome.parallel_busy,
-        });
+        };
+        record_stage_span(ctx, &stage_report, start);
+        report.stages.push(stage_report);
     }
     if state.renderer.used() {
-        report.stages.push(StageReport {
+        let stage_report = StageReport {
             kind: StageKind::Render,
             elapsed: state.renderer.total().max(Duration::from_nanos(1)),
             artifacts: state.stats.images_rendered,
             parallel_tasks: 0,
             parallel_busy: Duration::ZERO,
-        });
+        };
+        record_stage_span(ctx, &stage_report, Instant::now());
+        report.stages.push(stage_report);
     }
     report.parallelism = ctx.parallelism.max(1);
     report.degradations = state.renderer.degradations();
     Ok((state.into_bundle(), report))
+}
+
+/// Record one `stage.<name>` span on the context's trace (no-op when
+/// the run is untraced). `started` anchors the span on the trace-log
+/// timeline; the duration is the stage report's browser-adjusted
+/// elapsed time.
+fn record_stage_span(ctx: &PipelineContext, stage: &StageReport, started: Instant) {
+    let Some(trace) = &ctx.trace else {
+        return;
+    };
+    let mut fields = vec![("artifacts".to_string(), stage.artifacts.to_string())];
+    if stage.parallel_tasks > 0 {
+        fields.push((
+            "parallel_tasks".to_string(),
+            stage.parallel_tasks.to_string(),
+        ));
+    }
+    trace.log().record_raw(
+        trace.id(),
+        &format!("stage.{}", stage.kind.name()),
+        started,
+        stage.elapsed,
+        fields,
+    );
 }

@@ -11,6 +11,21 @@
 //! It implements [`Origin`], so it can be composed in-process for
 //! benchmarks or served over real TCP by `msite_net::HttpServer`.
 //!
+//! # Observability
+//!
+//! Every counter the proxy keeps lives in a
+//! [`MetricsRegistry`](msite_support::telemetry::MetricsRegistry)
+//! (shareable with the HTTP server and resilience layer through
+//! [`ProxyConfig::telemetry`]); [`ProxyStats`] is a view over it. Each
+//! request gets a seeded-deterministic trace id, carried on the
+//! response in the `x-msite-trace` header; pipeline stages, cache
+//! flights, resilience events, and (over TCP) the server worker hop
+//! record timed spans under that id. Three endpoints expose the state:
+//! `GET /metrics` (text exposition), `GET /healthz` (breaker + pool +
+//! cache summary), and `GET /trace/<id>` (the request's spans). The
+//! observability endpoints are answered before any counter moves, so
+//! scraping never perturbs the numbers being scraped.
+//!
 //! # Resilience
 //!
 //! Every origin fetch goes through a [`ResilientOrigin`]: bounded
@@ -39,6 +54,10 @@ use msite_net::{Cookie, Method, Origin, OriginRef, Request, ResiliencePolicy, Re
 use msite_render::browser::BrowserConfig;
 use msite_support::bytes::Bytes;
 use msite_support::sync::Mutex;
+use msite_support::telemetry::{
+    metrics::LATENCY_MICROS_BOUNDS, Counter, Gauge, Histogram, Telemetry, Trace, TraceIdSeq,
+    TRACE_HEADER,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -67,6 +86,11 @@ pub struct ProxyConfig {
     /// (subpage assembly, image pre-renders, imagemap geometry). `1`
     /// runs the pipeline serially; output is byte-identical either way.
     pub pipeline_parallelism: usize,
+    /// Telemetry destination. `None` (the default) gives the proxy a
+    /// private registry + trace ring; pass a shared handle (the one the
+    /// HTTP server binds with) so proxy, server, and resilience
+    /// counters land in one scrapeable registry.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for ProxyConfig {
@@ -79,11 +103,16 @@ impl Default for ProxyConfig {
             resilience: ResiliencePolicy::default(),
             stale_window: Duration::from_secs(600),
             pipeline_parallelism: msite_support::thread::default_parallelism(),
+            telemetry: None,
         }
     }
 }
 
-/// Proxy request counters.
+/// Proxy request counters. Since the telemetry refactor this is a
+/// *view*: every field is read back from the proxy's metrics registry
+/// (`msite_proxy_*` series; `overload_rejections` is the serving
+/// tier's `msite_server_rejected_overload_total`), so [`ProxyStats`]
+/// and a `/metrics` scrape can never disagree.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProxyStats {
     /// Requests handled.
@@ -110,15 +139,57 @@ pub struct ProxyStats {
     pub renders_coalesced: u64,
     /// Connections the serving tier shed with `503` +
     /// `x-msite-error: overloaded` because the executor's bounded queue
-    /// was full. Folded in from the HTTP server's counters via
-    /// [`ProxyServer::record_overload_rejections`] (the rejected
-    /// connections never reach the proxy's request handler).
+    /// was full. The rejected connections never reach the proxy's
+    /// request handler: this reads the HTTP server's
+    /// `msite_server_rejected_overload_total` counter, which a server
+    /// sharing this proxy's [`Telemetry`] updates directly — no
+    /// embedder-side folding needed. (Embedders running a server with
+    /// a *separate* registry can still fold via
+    /// [`ProxyServer::record_overload_rejections`].)
     pub overload_rejections: u64,
 }
 
 struct UserBundle {
     ajax: AjaxRegistry,
     auth_subpages: Vec<String>,
+}
+
+/// Pre-interned registry handles for the proxy's hot path: every
+/// counter bump below is a single relaxed atomic op.
+struct ProxyMetrics {
+    requests: Arc<Counter>,
+    full_renders: Arc<Counter>,
+    lightweight: Arc<Counter>,
+    origin_fetches: Arc<Counter>,
+    sessions_created: Arc<Counter>,
+    stale_served: Arc<Counter>,
+    engine_fallbacks: Arc<Counter>,
+    renders_coalesced: Arc<Counter>,
+    /// The serving tier's shed counter — the *same* series an
+    /// `HttpServer` sharing this registry increments, so embedders get
+    /// consistent numbers without folding.
+    overload_rejections: Arc<Counter>,
+    sessions_live: Arc<Gauge>,
+    request_micros: Arc<Histogram>,
+}
+
+impl ProxyMetrics {
+    fn new(telemetry: &Telemetry) -> ProxyMetrics {
+        let m = &telemetry.metrics;
+        ProxyMetrics {
+            request_micros: m.histogram("msite_proxy_request_micros", &[], LATENCY_MICROS_BOUNDS),
+            requests: m.counter("msite_proxy_requests_total", &[]),
+            full_renders: m.counter("msite_proxy_full_renders_total", &[]),
+            lightweight: m.counter("msite_proxy_lightweight_total", &[]),
+            origin_fetches: m.counter("msite_proxy_origin_fetches_total", &[]),
+            sessions_created: m.counter("msite_proxy_sessions_created_total", &[]),
+            stale_served: m.counter("msite_proxy_stale_served_total", &[]),
+            engine_fallbacks: m.counter("msite_proxy_engine_fallbacks_total", &[]),
+            renders_coalesced: m.counter("msite_proxy_renders_coalesced_total", &[]),
+            overload_rejections: m.counter("msite_server_rejected_overload_total", &[]),
+            sessions_live: m.gauge("msite_proxy_sessions_live", &[]),
+        }
+    }
 }
 
 /// The generated multi-session proxy for one adapted page.
@@ -129,7 +200,9 @@ pub struct ProxyServer {
     fs: SessionFs,
     cache: Arc<RenderCache>,
     config: ProxyConfig,
-    stats: Mutex<ProxyStats>,
+    telemetry: Telemetry,
+    metrics: ProxyMetrics,
+    trace_ids: TraceIdSeq,
     shared_ajax: Mutex<Option<AjaxRegistry>>,
     user_bundles: Mutex<HashMap<String, Arc<UserBundle>>>,
     wants_cookie_clear: Mutex<bool>,
@@ -141,6 +214,7 @@ impl ProxyServer {
     /// Creates a proxy for `spec`, forwarding to `origin` through the
     /// configured resilience policy (retries, deadline, breaker).
     pub fn new(spec: AdaptationSpec, origin: OriginRef, config: ProxyConfig) -> ProxyServer {
+        let telemetry = config.telemetry.clone().unwrap_or_default();
         ProxyServer {
             sessions: SessionManager::new(config.seed),
             fs: SessionFs::new(),
@@ -148,13 +222,19 @@ impl ProxyServer {
                 config.cache_capacity,
                 config.stale_window,
             )),
-            stats: Mutex::new(ProxyStats::default()),
+            metrics: ProxyMetrics::new(&telemetry),
+            trace_ids: TraceIdSeq::new(config.seed ^ 0x0074_7261_6365), // "trace"
             shared_ajax: Mutex::new(None),
             user_bundles: Mutex::new(HashMap::new()),
             wants_cookie_clear: Mutex::new(false),
             engines: EngineRegistry::with_builtins(),
             last_entry_report: Mutex::new(None),
-            origin: Arc::new(ResilientOrigin::new(origin, config.resilience.clone())),
+            origin: Arc::new(ResilientOrigin::with_metrics(
+                origin,
+                config.resilience.clone(),
+                Arc::clone(&telemetry.metrics),
+            )),
+            telemetry,
             spec,
             config,
         }
@@ -196,18 +276,41 @@ impl ProxyServer {
         &self.spec
     }
 
-    /// Counters so far.
+    /// Counters so far — a view reconstructed from the registry.
     pub fn stats(&self) -> ProxyStats {
-        *self.stats.lock()
+        ProxyStats {
+            requests: self.metrics.requests.get(),
+            full_renders: self.metrics.full_renders.get(),
+            lightweight: self.metrics.lightweight.get(),
+            origin_fetches: self.metrics.origin_fetches.get(),
+            sessions_created: self.metrics.sessions_created.get(),
+            failures: self
+                .telemetry
+                .metrics
+                .counter_sum("msite_proxy_errors_total"),
+            stale_served: self.metrics.stale_served.get(),
+            engine_fallbacks: self.metrics.engine_fallbacks.get(),
+            renders_coalesced: self.metrics.renders_coalesced.get(),
+            overload_rejections: self.metrics.overload_rejections.get(),
+        }
     }
 
-    /// Folds connection-level overload rejections (counted by the HTTP
-    /// server's bounded executor, which sheds load before the proxy
-    /// ever sees the request) into [`ProxyStats::overload_rejections`].
-    /// `n` is the server's cumulative counter; the stat is set, not
-    /// accumulated, so repeated polling stays idempotent.
+    /// The telemetry handle (registry + trace ring) this proxy
+    /// publishes into — pass the same handle to
+    /// `HttpServer::bind_with_telemetry` so serving-tier counters and
+    /// worker spans land in the same place.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Folds connection-level overload rejections (counted by an HTTP
+    /// server with a registry *separate* from this proxy's) into
+    /// [`ProxyStats::overload_rejections`]. `n` is the server's
+    /// cumulative counter; the fold is a monotonic max, so repeated
+    /// polling stays idempotent. A server sharing this proxy's
+    /// [`Telemetry`] updates the counter directly and never needs this.
     pub fn record_overload_rejections(&self, n: u64) {
-        self.stats.lock().overload_rejections = n;
+        self.metrics.overload_rejections.fold_to(n);
     }
 
     /// Retry/breaker/deadline counters from the resilient fetch layer.
@@ -268,6 +371,7 @@ impl ProxyServer {
             browser_config: self.config.browser_config.clone(),
             parallelism: self.config.pipeline_parallelism,
             schedule_stagger: None,
+            trace: Trace::current(),
         }
     }
 
@@ -281,7 +385,7 @@ impl ProxyServer {
         request: &mut Request,
         deadline: Deadline,
     ) -> Response {
-        self.stats.lock().origin_fetches += 1;
+        self.metrics.origin_fetches.inc();
         {
             let s = session.lock();
             s.jar.apply(request, 0);
@@ -325,15 +429,18 @@ impl ProxyServer {
             .snapshot
             .as_ref()
             .map(|s| Duration::from_secs(s.cache_ttl_secs));
+        let flight_started = Instant::now();
         let flight = self.cache.render_flight::<ProxyError>(
             "entry:html",
             ttl,
             Some(deadline.remaining()),
             || self.build_entry(session, deadline),
         );
-        match flight {
+        let mut role_fields = Vec::new();
+        let outcome = match flight {
             Flight::Hit(entry) => {
-                self.stats.lock().lightweight += 1;
+                self.metrics.lightweight.inc();
+                role_fields.push(("role".to_string(), "hit".to_string()));
                 Ok((entry, None))
             }
             Flight::Led { value, shared_with } => {
@@ -342,25 +449,49 @@ impl ProxyServer {
                         report.coalesced_waiters += shared_with;
                     }
                 }
+                role_fields.push(("role".to_string(), "led".to_string()));
+                role_fields.push(("shared_with".to_string(), shared_with.to_string()));
                 Ok((value, None))
             }
             Flight::Shared(entry) => {
-                let mut stats = self.stats.lock();
-                stats.lightweight += 1;
-                stats.renders_coalesced += 1;
+                self.metrics.lightweight.inc();
+                self.metrics.renders_coalesced.inc();
+                role_fields.push(("role".to_string(), "shared".to_string()));
                 Ok((entry, None))
             }
-            Flight::Stale { value, age } => Ok((value, Some(age))),
-            Flight::TimedOut => Err(ProxyError::DeadlineExceeded),
+            Flight::Stale { value, age } => {
+                role_fields.push(("role".to_string(), "stale".to_string()));
+                Ok((value, Some(age)))
+            }
+            Flight::TimedOut => {
+                role_fields.push(("role".to_string(), "timed-out".to_string()));
+                Err(ProxyError::DeadlineExceeded)
+            }
             Flight::Failed(err) => {
+                role_fields.push(("role".to_string(), "failed".to_string()));
                 if err.is_unavailability() {
                     if let Lookup::Stale { value, age } = self.cache.lookup("entry:html") {
-                        return Ok((value, Some(age)));
+                        role_fields.push(("fallback".to_string(), "stale".to_string()));
+                        Ok((value, Some(age)))
+                    } else {
+                        Err(err)
                     }
+                } else {
+                    Err(err)
                 }
-                Err(err)
             }
+        };
+        if let Some(trace) = Trace::current() {
+            role_fields.push(("key".to_string(), "entry:html".to_string()));
+            trace.log().record_raw(
+                trace.id(),
+                "cache.flight",
+                flight_started,
+                flight_started.elapsed(),
+                role_fields,
+            );
         }
+        outcome
     }
 
     /// Leader body of the entry-page flight: fetch the origin page, run
@@ -383,10 +514,11 @@ impl ProxyServer {
         let (bundle, report) =
             adapt_with_report(&self.spec, &page.body_text(), &self.pipeline_context())?;
         if bundle.stats.browser_used {
-            self.stats.lock().full_renders += 1;
+            self.metrics.full_renders.inc();
         } else {
-            self.stats.lock().lightweight += 1;
+            self.metrics.lightweight.inc();
         }
+        self.publish_stage_timings(&report);
         self.store_bundle(&bundle, None, start.elapsed());
         *self.shared_ajax.lock() = Some(bundle.ajax.clone());
         *self.wants_cookie_clear.lock() = bundle.wants_cookie_clear;
@@ -418,9 +550,9 @@ impl ProxyServer {
         let start = Instant::now();
         let bundle = adapt(&spec, &page.body_text(), &self.pipeline_context())?;
         if bundle.stats.browser_used {
-            self.stats.lock().full_renders += 1;
+            self.metrics.full_renders.inc();
         } else {
-            self.stats.lock().lightweight += 1;
+            self.metrics.lightweight.inc();
         }
         self.store_bundle(&bundle, Some(&session_id), start.elapsed());
         let auth_subpages = auth_subpage_ids(&self.spec);
@@ -522,6 +654,22 @@ impl ProxyServer {
         Err(ProxyError::NotFound { what: "image" })
     }
 
+    /// Publishes per-stage pipeline timings into the registry's
+    /// `msite_stage_micros{stage=...}` histograms. Cold path: only
+    /// entry rebuilds (not cache hits) get here.
+    fn publish_stage_timings(&self, report: &PipelineReport) {
+        for stage in &report.stages {
+            self.telemetry
+                .metrics
+                .histogram(
+                    "msite_stage_micros",
+                    &[("stage", stage.kind.name())],
+                    LATENCY_MICROS_BOUNDS,
+                )
+                .observe(stage.elapsed.as_micros() as u64);
+        }
+    }
+
     /// Stamps a degraded (stale) response: an RFC 7234 `Warning` plus
     /// the machine-readable degradation marker, and counts it.
     fn mark_stale(&self, mut response: Response, age: Duration) -> Response {
@@ -531,7 +679,14 @@ impl ProxyServer {
         response
             .headers
             .set(DEGRADED_HEADER, &format!("stale; age={}s", age.as_secs()));
-        self.stats.lock().stale_served += 1;
+        self.metrics.stale_served.inc();
+        if let Some(trace) = Trace::current() {
+            trace.record(
+                "degraded.stale",
+                Duration::ZERO,
+                vec![("age_secs".to_string(), age.as_secs().to_string())],
+            );
+        }
         response
     }
 
@@ -558,16 +713,14 @@ impl ProxyServer {
             .render_with_fallback(engine_name, &page.body_text())
         {
             Ok(render) => {
-                let mut stats = self.stats.lock();
                 if render.engine == "image" {
-                    stats.full_renders += 1;
+                    self.metrics.full_renders.inc();
                 } else {
-                    stats.lightweight += 1;
+                    self.metrics.lightweight.inc();
                 }
                 if !render.degraded.is_empty() {
-                    stats.engine_fallbacks += 1;
+                    self.metrics.engine_fallbacks.inc();
                 }
-                drop(stats);
                 Ok((Bytes::from(render.to_cached().encode()), start.elapsed()))
             }
             Err(Some(failures)) => Err(ProxyError::RenderFailed {
@@ -671,13 +824,136 @@ impl ProxyServer {
         ))
     }
 
+    /// Copies registry-external counters (cache stats, live sessions)
+    /// into the registry so a scrape sees one consistent surface. The
+    /// cache keeps its own counters for lock-striping reasons; the
+    /// monotonic `fold_to` makes this sync idempotent.
+    fn sync_derived_metrics(&self) {
+        let m = &self.telemetry.metrics;
+        let cache = self.cache.stats();
+        m.counter("msite_cache_hits_total", &[]).fold_to(cache.hits);
+        m.counter("msite_cache_misses_total", &[])
+            .fold_to(cache.misses);
+        m.counter("msite_cache_evictions_total", &[])
+            .fold_to(cache.evictions);
+        m.counter("msite_cache_expirations_total", &[])
+            .fold_to(cache.expirations);
+        m.counter("msite_cache_stale_hits_total", &[])
+            .fold_to(cache.stale_hits);
+        m.counter("msite_cache_coalesced_total", &[])
+            .fold_to(cache.coalesced);
+        self.metrics.sessions_live.set(self.sessions.len() as i64);
+    }
+
+    /// Routes the observability endpoints — `GET /metrics`,
+    /// `GET /healthz`, `GET /trace/<id>` — which are answered before
+    /// any request counter or trace id moves, so scraping never
+    /// perturbs the numbers being scraped. Returns `None` for ordinary
+    /// proxy traffic.
+    fn handle_observability(&self, request: &Request) -> Option<Response> {
+        let path = request.url.path();
+        match path {
+            "/metrics" => Some(self.serve_metrics()),
+            "/healthz" => Some(self.serve_healthz()),
+            _ => path.strip_prefix("/trace/").map(|id| self.serve_trace(id)),
+        }
+    }
+
+    /// `GET /metrics`: the registry's stable text exposition.
+    fn serve_metrics(&self) -> Response {
+        self.sync_derived_metrics();
+        let text = self.telemetry.metrics.render_text();
+        Response::bytes(
+            "text/plain; version=0.0.4; charset=utf-8",
+            Bytes::from(text.into_bytes()),
+        )
+    }
+
+    /// `GET /healthz`: breaker + pool + cache summary. `200` with
+    /// `"status":"ok"` when healthy; `200` + `x-msite-degraded` when
+    /// the origin breaker is not closed; `503` + `x-msite-error:
+    /// overloaded` when the serving tier's queue is at its depth.
+    fn serve_healthz(&self) -> Response {
+        use crate::error::ERROR_HEADER;
+        self.sync_derived_metrics();
+        let m = &self.telemetry.metrics;
+        let host = Url::parse(&self.spec.page_url)
+            .map(|u| u.host().to_string())
+            .unwrap_or_default();
+        let breaker = self.origin.breaker_state(&host);
+        let queue_len = m.gauge_value("msite_server_queue_len", &[]);
+        let queue_depth = m.gauge_value("msite_server_queue_depth", &[]);
+        let overloaded = queue_depth > 0 && queue_len >= queue_depth;
+        let degraded = breaker != BreakerState::Closed;
+        let status = if overloaded {
+            "overloaded"
+        } else if degraded {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let cache = self.cache.stats();
+        let body = format!(
+            "{{\"status\":\"{status}\",\
+             \"breaker\":{{\"host\":\"{host}\",\"state\":\"{}\"}},\
+             \"pool\":{{\"queue_len\":{queue_len},\"queue_depth\":{queue_depth},\"workers\":{}}},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"stale_hits\":{},\"coalesced\":{}}},\
+             \"sessions\":{}}}",
+            breaker.name(),
+            m.gauge_value("msite_server_workers", &[]),
+            cache.hits,
+            cache.misses,
+            cache.stale_hits,
+            cache.coalesced,
+            self.sessions.len(),
+        );
+        let mut response = Response::bytes("application/json", Bytes::from(body.into_bytes()));
+        if overloaded {
+            response.status = msite_net::Status::SERVICE_UNAVAILABLE;
+            response.headers.set(ERROR_HEADER, "overloaded");
+        } else if degraded {
+            response.headers.set(
+                DEGRADED_HEADER,
+                &format!("breaker; host={host}; state={}", breaker.name()),
+            );
+        }
+        response
+    }
+
+    /// `GET /trace/<id>`: the retained spans for one trace id as a
+    /// JSON array, oldest first; `404` when the id is unknown (or has
+    /// aged out of the ring).
+    fn serve_trace(&self, id: &str) -> Response {
+        let spans = Trace::parse_id(id)
+            .map(|id| self.telemetry.trace_log.spans_for(id))
+            .unwrap_or_default();
+        if spans.is_empty() {
+            return ProxyError::NotFound { what: "trace" }.into_response();
+        }
+        let body = format!(
+            "[{}]",
+            spans
+                .iter()
+                .map(|s| s.to_json())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        Response::bytes("application/json", Bytes::from(body.into_bytes()))
+    }
+
     fn handle_inner(&self, request: &Request) -> Response {
         let base = self.base();
         // One wall-clock budget per request, shared by the retry loop
         // and everything downstream of the fetch.
         let deadline = Deadline::within(self.config.resilience.deadline.0);
         let fail = |err: ProxyError| -> Response {
-            self.stats.lock().failures += 1;
+            // Labeled by machine-readable reason; ProxyStats::failures is
+            // the sum over all reasons. Cold path, so the series lookup
+            // is fine.
+            self.telemetry
+                .metrics
+                .counter("msite_proxy_errors_total", &[("reason", err.reason())])
+                .inc();
             err.into_response()
         };
         let path = request.url.path().to_string();
@@ -693,8 +969,9 @@ impl ProxyServer {
         let cookie_value = request.cookie(SESSION_COOKIE);
         let (session, created) = self.sessions.get_or_create(cookie_value.as_deref());
         if created {
-            self.stats.lock().sessions_created += 1;
+            self.metrics.sessions_created.inc();
         }
+        self.metrics.sessions_live.set(self.sessions.len() as i64);
         let session_id = session.lock().id.clone();
         let attach_cookie = |mut response: Response| -> Response {
             if created {
@@ -755,7 +1032,7 @@ impl ProxyServer {
             },
             "/proxy" => {
                 burn(self.config.scripted_overhead);
-                self.stats.lock().lightweight += 1;
+                self.metrics.lightweight.inc();
                 match self.satisfy_ajax(&session, request, deadline) {
                     Ok(r) => r,
                     Err(err) => fail(err),
@@ -770,7 +1047,7 @@ impl ProxyServer {
             }
             _ if rest.starts_with("/img/") => {
                 burn(self.config.scripted_overhead);
-                self.stats.lock().lightweight += 1;
+                self.metrics.lightweight.inc();
                 match self.serve_image(&session_id, &rest[5..], deadline) {
                     Ok(r) => r,
                     Err(err) => fail(err),
@@ -803,15 +1080,13 @@ impl ProxyServer {
                 );
                 let (bytes, stale_age) = match flight {
                     Flight::Hit(bytes) => {
-                        self.stats.lock().lightweight += 1;
+                        self.metrics.lightweight.inc();
                         (bytes, None)
                     }
                     Flight::Led { value, .. } => (value, None),
                     Flight::Shared(bytes) => {
-                        let mut stats = self.stats.lock();
-                        stats.lightweight += 1;
-                        stats.renders_coalesced += 1;
-                        drop(stats);
+                        self.metrics.lightweight.inc();
+                        self.metrics.renders_coalesced.inc();
                         (bytes, None)
                     }
                     Flight::Stale { value, age } => (value, Some(age)),
@@ -885,8 +1160,35 @@ impl ProxyServer {
 
 impl Origin for ProxyServer {
     fn handle(&self, request: &Request) -> Response {
-        self.stats.lock().requests += 1;
-        self.handle_inner(request)
+        if let Some(response) = self.handle_observability(request) {
+            return response;
+        }
+        self.metrics.requests.inc();
+        let trace = Trace::new(
+            self.trace_ids.next_id(),
+            Arc::clone(&self.telemetry.trace_log),
+        );
+        // Thread-local entry: layers without a trace parameter (cache
+        // flights, resilience, stale marking) pick it up from here.
+        let _entered = trace.enter();
+        let started = Instant::now();
+        let mut response = self.handle_inner(request);
+        let elapsed = started.elapsed();
+        self.metrics
+            .request_micros
+            .observe(elapsed.as_micros() as u64);
+        trace.log().record_raw(
+            trace.id(),
+            "request",
+            started,
+            elapsed,
+            vec![
+                ("path".to_string(), request.url.path().to_string()),
+                ("status".to_string(), response.status.0.to_string()),
+            ],
+        );
+        response.headers.set(TRACE_HEADER, &trace.id_hex());
+        response
     }
 
     fn name(&self) -> &str {

@@ -26,6 +26,7 @@ use crate::http::{Request, Response, Status};
 use crate::origin::{Origin, OriginRef};
 use crate::rng::Prng;
 use msite_support::sync::Mutex;
+use msite_support::telemetry::{Counter, MetricsRegistry, Trace};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -345,7 +346,10 @@ impl Default for DeadlineBudget {
 }
 
 /// Counters aggregated across all requests through a
-/// [`ResilientOrigin`].
+/// [`ResilientOrigin`]. Since the telemetry refactor this is a *view*:
+/// it is reconstructed on demand from the metrics registry
+/// (`msite_resilience_*_total` series), so scraping `/metrics` and
+/// calling [`ResilientOrigin::stats`] can never disagree.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResilienceStats {
     /// Individual upstream attempts issued.
@@ -362,6 +366,54 @@ pub struct ResilienceStats {
     pub deadline_exhausted: u64,
 }
 
+/// Pre-interned registry handles for the resilience hot path: every
+/// update below is a single relaxed atomic op.
+struct ResilienceMetrics {
+    registry: Arc<MetricsRegistry>,
+    attempts: Arc<Counter>,
+    retries: Arc<Counter>,
+    successes: Arc<Counter>,
+    failures: Arc<Counter>,
+    breaker_rejections: Arc<Counter>,
+    deadline_exhausted: Arc<Counter>,
+}
+
+impl ResilienceMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> ResilienceMetrics {
+        ResilienceMetrics {
+            attempts: registry.counter("msite_resilience_attempts_total", &[]),
+            retries: registry.counter("msite_resilience_retries_total", &[]),
+            successes: registry.counter("msite_resilience_successes_total", &[]),
+            failures: registry.counter("msite_resilience_failures_total", &[]),
+            breaker_rejections: registry.counter("msite_resilience_breaker_rejections_total", &[]),
+            deadline_exhausted: registry.counter("msite_resilience_deadline_exhausted_total", &[]),
+            registry,
+        }
+    }
+
+    /// Count a breaker state transition (cold path: transitions are
+    /// rare, so the per-host series lookup is acceptable here).
+    fn transition(&self, host: &str, from: BreakerState, to: BreakerState) {
+        self.registry
+            .counter(
+                "msite_breaker_transitions_total",
+                &[("host", host), ("to", to.name())],
+            )
+            .inc();
+        if let Some(trace) = Trace::current() {
+            trace.record(
+                "resilience.breaker",
+                Duration::ZERO,
+                vec![
+                    ("host".to_string(), host.to_string()),
+                    ("from".to_string(), from.name().to_string()),
+                    ("to".to_string(), to.name().to_string()),
+                ],
+            );
+        }
+    }
+}
+
 /// An [`Origin`] wrapper adding retries, deadlines, and per-host
 /// circuit breaking around an inner origin.
 pub struct ResilientOrigin {
@@ -369,18 +421,31 @@ pub struct ResilientOrigin {
     policy: ResiliencePolicy,
     breakers: Mutex<HashMap<String, Arc<CircuitBreaker>>>,
     rng: Mutex<Prng>,
-    stats: Mutex<ResilienceStats>,
+    metrics: ResilienceMetrics,
 }
 
 impl ResilientOrigin {
-    /// Wraps `inner` with `policy`.
+    /// Wraps `inner` with `policy`, publishing into a private registry.
+    /// Embedders that scrape should use [`ResilientOrigin::with_metrics`]
+    /// to share the serving stack's registry instead.
     pub fn new(inner: OriginRef, policy: ResiliencePolicy) -> ResilientOrigin {
+        ResilientOrigin::with_metrics(inner, policy, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Wraps `inner` with `policy`, publishing counters
+    /// (`msite_resilience_*_total`, `msite_breaker_transitions_total`)
+    /// into `registry`.
+    pub fn with_metrics(
+        inner: OriginRef,
+        policy: ResiliencePolicy,
+        registry: Arc<MetricsRegistry>,
+    ) -> ResilientOrigin {
         ResilientOrigin {
             rng: Mutex::new(Prng::new(policy.seed ^ 0x7265_7369_6c69_656e)),
             inner,
             policy,
             breakers: Mutex::new(HashMap::new()),
-            stats: Mutex::new(ResilienceStats::default()),
+            metrics: ResilienceMetrics::new(registry),
         }
     }
 
@@ -389,9 +454,16 @@ impl ResilientOrigin {
         &self.policy
     }
 
-    /// Counters so far.
+    /// Counters so far — a view reconstructed from the registry.
     pub fn stats(&self) -> ResilienceStats {
-        *self.stats.lock()
+        ResilienceStats {
+            attempts: self.metrics.attempts.get(),
+            retries: self.metrics.retries.get(),
+            successes: self.metrics.successes.get(),
+            failures: self.metrics.failures.get(),
+            breaker_rejections: self.metrics.breaker_rejections.get(),
+            deadline_exhausted: self.metrics.deadline_exhausted.get(),
+        }
     }
 
     /// State of the breaker guarding `host` (closed when the host has
@@ -422,23 +494,66 @@ impl ResilientOrigin {
         )
     }
 
+    /// Run `op` against the breaker, publishing any state transition it
+    /// causes (trip, re-open, probe admission, close).
+    fn with_transition<T>(
+        &self,
+        host: &str,
+        breaker: &CircuitBreaker,
+        op: impl FnOnce() -> T,
+    ) -> T {
+        let before = breaker.state();
+        let out = op();
+        let after = breaker.state();
+        if before != after {
+            self.metrics.transition(host, before, after);
+        }
+        out
+    }
+
     /// Handles a request while consuming from an externally owned
     /// deadline, so a caller can share one budget between the fetch and
     /// its own downstream work (the proxy threads its per-request
     /// deadline through here).
     pub fn handle_within(&self, request: &Request, deadline: Deadline) -> Response {
-        let breaker = self.breaker_for(request.url.host());
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        let response = self.handle_within_inner(request, deadline, &mut attempts);
+        if let Some(trace) = Trace::current() {
+            trace.log().record_raw(
+                trace.id(),
+                "resilience.fetch",
+                started,
+                started.elapsed(),
+                vec![
+                    ("host".to_string(), request.url.host().to_string()),
+                    ("status".to_string(), response.status.0.to_string()),
+                    ("attempts".to_string(), attempts.to_string()),
+                ],
+            );
+        }
+        response
+    }
+
+    fn handle_within_inner(
+        &self,
+        request: &Request,
+        deadline: Deadline,
+        attempts_out: &mut u32,
+    ) -> Response {
+        let host = request.url.host();
+        let breaker = self.breaker_for(host);
         if deadline.expired() {
-            self.stats.lock().deadline_exhausted += 1;
+            self.metrics.deadline_exhausted.inc();
             let mut resp = Response::error(Status::GATEWAY_TIMEOUT, "deadline exhausted");
             resp.headers.set(DEADLINE_HEADER, "exhausted");
             return resp;
         }
-        if !breaker.allow() {
-            self.stats.lock().breaker_rejections += 1;
+        if !self.with_transition(host, &breaker, || breaker.allow()) {
+            self.metrics.breaker_rejections.inc();
             let mut resp = Response::error(
                 Status::SERVICE_UNAVAILABLE,
-                &format!("circuit breaker open for {}", request.url.host()),
+                &format!("circuit breaker open for {host}"),
             );
             resp.headers.set(BREAKER_HEADER, "open");
             return resp;
@@ -446,34 +561,44 @@ impl ResilientOrigin {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            self.stats.lock().attempts += 1;
+            *attempts_out = attempt;
+            self.metrics.attempts.inc();
             let response = self.inner.handle(request);
             if !is_retryable_failure(&response) {
-                breaker.record_success();
-                self.stats.lock().successes += 1;
+                self.with_transition(host, &breaker, || breaker.record_success());
+                self.metrics.successes.inc();
                 return response;
             }
-            breaker.record_failure();
+            self.with_transition(host, &breaker, || breaker.record_failure());
             if attempt >= self.policy.retry.max_attempts {
-                self.stats.lock().failures += 1;
+                self.metrics.failures.inc();
                 return response;
             }
             let backoff = self.policy.retry.backoff(attempt, &mut self.rng.lock());
             if deadline.remaining() <= backoff {
-                let mut stats = self.stats.lock();
-                stats.deadline_exhausted += 1;
-                stats.failures += 1;
-                drop(stats);
+                self.metrics.deadline_exhausted.inc();
+                self.metrics.failures.inc();
                 let mut response = response;
                 response.headers.set(DEADLINE_HEADER, "exhausted");
                 return response;
             }
             std::thread::sleep(backoff);
-            self.stats.lock().retries += 1;
+            self.metrics.retries.inc();
+            if let Some(trace) = Trace::current() {
+                trace.record(
+                    "resilience.retry",
+                    backoff,
+                    vec![
+                        ("host".to_string(), host.to_string()),
+                        ("attempt".to_string(), attempt.to_string()),
+                        ("status".to_string(), response.status.0.to_string()),
+                    ],
+                );
+            }
             // The breaker may have tripped from our own failed attempts
             // (or a concurrent request's); stop retrying if so.
-            if !breaker.allow() {
-                self.stats.lock().failures += 1;
+            if !self.with_transition(host, &breaker, || breaker.allow()) {
+                self.metrics.failures.inc();
                 return response;
             }
         }

@@ -14,13 +14,17 @@ use crate::origin::OriginRef;
 use crate::url::Url;
 use msite_support::bytes::Bytes;
 use msite_support::sync::Mutex;
+use msite_support::telemetry::{
+    metrics::LATENCY_MICROS_BOUNDS, Counter, Gauge, Histogram, Telemetry, Trace, TraceLog,
+    TRACE_HEADER,
+};
 use msite_support::thread::{PoolConfig, WorkerPool};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Response header carrying the machine-readable failure reason on a
 /// shed connection (same header the proxy's error taxonomy uses).
@@ -48,7 +52,12 @@ impl Default for ServerConfig {
     }
 }
 
-/// Connection-level counters for one [`HttpServer`].
+/// Connection-level counters for one [`HttpServer`]. Since the
+/// telemetry refactor this is a *view*: every field is read back from
+/// the server's metrics registry (`msite_server_*` series), so the
+/// numbers an embedder folds into its own stats and the numbers a
+/// `/metrics` scrape reports are the same counters — worker panics and
+/// overload sheds included, with no per-embedder folding required.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections accepted off the listener.
@@ -81,15 +90,45 @@ pub struct HttpServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     pool: Arc<WorkerPool>,
+    telemetry: Telemetry,
     handle: Mutex<Option<JoinHandle<()>>>,
 }
 
-/// State the accept loop and the server handle both touch.
+/// State the accept loop and the server handle both touch. All counters
+/// are pre-interned registry handles: the accept loop and workers only
+/// ever touch atomics.
 struct ServerShared {
     stop: AtomicBool,
-    accepted: AtomicU64,
-    served: AtomicU64,
-    rejected_overload: AtomicU64,
+    accepted: Arc<Counter>,
+    served: Arc<Counter>,
+    rejected_overload: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    queue_len: Arc<Gauge>,
+    queue_wait: Arc<Histogram>,
+    trace_log: Arc<TraceLog>,
+}
+
+/// Counts a worker panic on drop unless disarmed: moved into each
+/// connection job, it unwinds with the panic (the pool isolates the
+/// panic, so the worker itself survives) and increments the registry
+/// counter eagerly — no embedder-side folding needed.
+struct PanicProbe {
+    counter: Arc<Counter>,
+    armed: bool,
+}
+
+impl PanicProbe {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PanicProbe {
+    fn drop(&mut self) {
+        if self.armed {
+            self.counter.inc();
+        }
+    }
 }
 
 impl HttpServer {
@@ -104,7 +143,10 @@ impl HttpServer {
         HttpServer::bind_with(addr, origin, ServerConfig::default())
     }
 
-    /// Binds with explicit executor sizing.
+    /// Binds with explicit executor sizing and a private
+    /// [`Telemetry`]. Embedders that want the server's counters in the
+    /// same registry the application scrapes (the proxy does) should
+    /// use [`HttpServer::bind_with_telemetry`].
     ///
     /// # Errors
     ///
@@ -114,14 +156,47 @@ impl HttpServer {
         origin: OriginRef,
         config: ServerConfig,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with_telemetry(addr, origin, config, Telemetry::new())
+    }
+
+    /// Binds with explicit executor sizing, publishing connection
+    /// counters (`msite_server_*`), queue gauges, and the queue-wait
+    /// histogram into `telemetry.metrics`, and per-connection worker
+    /// spans into `telemetry.trace_log` (matched to the request's
+    /// trace via the response's `x-msite-trace` header).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind_with_telemetry(
+        addr: &str,
+        origin: OriginRef,
+        config: ServerConfig,
+        telemetry: Telemetry,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let registry = &telemetry.metrics;
+        registry
+            .gauge("msite_server_queue_depth", &[])
+            .set(config.queue_depth.max(1) as i64);
+        registry
+            .gauge("msite_server_workers", &[])
+            .set(config.workers.max(1) as i64);
         let shared = Arc::new(ServerShared {
             stop: AtomicBool::new(false),
-            accepted: AtomicU64::new(0),
-            served: AtomicU64::new(0),
-            rejected_overload: AtomicU64::new(0),
+            accepted: registry.counter("msite_server_accepted_total", &[]),
+            served: registry.counter("msite_server_served_total", &[]),
+            rejected_overload: registry.counter("msite_server_rejected_overload_total", &[]),
+            worker_panics: registry.counter("msite_server_worker_panics_total", &[]),
+            queue_len: registry.gauge("msite_server_queue_len", &[]),
+            queue_wait: registry.histogram(
+                "msite_server_queue_wait_micros",
+                &[],
+                LATENCY_MICROS_BOUNDS,
+            ),
+            trace_log: Arc::clone(&telemetry.trace_log),
         });
         let pool = Arc::new(WorkerPool::new(PoolConfig {
             workers: config.workers.max(1),
@@ -137,6 +212,7 @@ impl HttpServer {
             addr: local,
             shared,
             pool,
+            telemetry,
             handle: Mutex::new(Some(handle)),
         })
     }
@@ -146,18 +222,23 @@ impl HttpServer {
         self.addr
     }
 
-    /// Requests handled so far.
-    pub fn requests_served(&self) -> u64 {
-        self.shared.served.load(Ordering::Relaxed)
+    /// The telemetry handle this server publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
-    /// Connection-level counters so far.
+    /// Requests handled so far.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.served.get()
+    }
+
+    /// Connection-level counters so far — a view over the registry.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
-            accepted: self.shared.accepted.load(Ordering::Relaxed),
-            served: self.shared.served.load(Ordering::Relaxed),
-            rejected_overload: self.shared.rejected_overload.load(Ordering::Relaxed),
-            worker_panics: self.pool.stats().panicked,
+            accepted: self.shared.accepted.get(),
+            served: self.shared.served.get(),
+            rejected_overload: self.shared.rejected_overload.get(),
+            worker_panics: self.shared.worker_panics.get(),
         }
     }
 
@@ -190,26 +271,38 @@ fn accept_loop(
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.accepted.inc();
                 // This loop is the pool's only submitter and workers only
                 // ever drain the queue, so the check below cannot race:
                 // a connection admitted here is guaranteed a queue slot.
                 if pool.queued() >= pool.queue_depth() {
                     shed(&stream, &shared);
+                    shared.queue_len.set(pool.queued() as i64);
                     continue;
                 }
                 let origin = Arc::clone(&origin);
-                let served = Arc::clone(&shared);
+                let job_shared = Arc::clone(&shared);
+                let job_pool = Arc::clone(&pool);
+                let submitted = Instant::now();
                 if pool
                     .try_execute(move || {
-                        let _ = handle_connection(stream, &origin, &served.served);
+                        let queue_wait = submitted.elapsed();
+                        job_shared.queue_wait.observe(queue_wait.as_micros() as u64);
+                        job_shared.queue_len.set(job_pool.queued() as i64);
+                        let probe = PanicProbe {
+                            counter: Arc::clone(&job_shared.worker_panics),
+                            armed: true,
+                        };
+                        let _ = handle_connection(stream, &origin, &job_shared, queue_wait);
+                        probe.disarm();
                     })
                     .is_err()
                 {
                     // Only reachable when the pool is already shutting
                     // down; the connection is dropped unanswered.
-                    shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                    shared.rejected_overload.inc();
                 }
+                shared.queue_len.set(pool.queued() as i64);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -225,7 +318,7 @@ fn accept_loop(
 /// `retry-after`, written from the accept loop without reading the
 /// request (the client sees it as soon as it looks for a response).
 fn shed(stream: &TcpStream, shared: &ServerShared) {
-    shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    shared.rejected_overload.inc();
     let mut response = Response::error(
         Status::SERVICE_UNAVAILABLE,
         "server overloaded, retry later",
@@ -238,7 +331,8 @@ fn shed(stream: &TcpStream, shared: &ServerShared) {
 fn handle_connection(
     stream: TcpStream,
     origin: &OriginRef,
-    served: &AtomicU64,
+    shared: &ServerShared,
+    queue_wait: Duration,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_nodelay(true)?;
@@ -254,11 +348,31 @@ fn handle_connection(
             return Ok(());
         }
     };
+    let started = Instant::now();
     let response = origin.handle(&request);
     // Count before writing: a client that has seen the full response must
     // also see the incremented counter.
-    served.fetch_add(1, Ordering::Relaxed);
-    write_response(&stream, &response)
+    shared.served.inc();
+    let result = write_response(&stream, &response);
+    // The worker-pool hop span: if the origin tagged the response with a
+    // trace id, attach the server-side timing to that trace.
+    if let Some(id) = response.headers.get(TRACE_HEADER).and_then(Trace::parse_id) {
+        shared.trace_log.record_raw(
+            id,
+            "server.worker",
+            started,
+            started.elapsed(),
+            vec![
+                ("path".to_string(), request.url.path().to_string()),
+                ("status".to_string(), response.status.0.to_string()),
+                (
+                    "queue_wait_micros".to_string(),
+                    queue_wait.as_micros().to_string(),
+                ),
+            ],
+        );
+    }
+    result
 }
 
 fn read_request(reader: &mut BufReader<TcpStream>, peer: SocketAddr) -> std::io::Result<Request> {

@@ -16,7 +16,12 @@
 //!   the bounded [`WorkerPool`](thread::WorkerPool) executor;
 //! - [`prop`] — a deterministic, seed-driven property-test harness;
 //! - [`benchkit`] — a warmup/iterations/percentiles timing harness with a
-//!   criterion-style surface for the `benches/` targets.
+//!   criterion-style surface for the `benches/` targets;
+//! - [`telemetry`] — the unified observability layer: a sharded
+//!   [`MetricsRegistry`](telemetry::MetricsRegistry) with a stable text
+//!   exposition, plus the [`Trace`](telemetry::Trace)/
+//!   [`Span`](telemetry::Span) request-tracing API and its bounded
+//!   [`TraceLog`](telemetry::TraceLog) span ring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +31,7 @@ pub mod bytes;
 pub mod json;
 pub mod prop;
 pub mod sync;
+pub mod telemetry;
 pub mod thread;
 
 pub use bytes::Bytes;

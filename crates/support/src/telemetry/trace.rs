@@ -1,0 +1,457 @@
+//! Per-request tracing: seeded-deterministic trace ids, timed spans
+//! with structured fields, and a bounded ring of recent spans.
+//!
+//! A [`Trace`] names one proxy request; [`Trace::span`] opens a timed
+//! [`Span`] that records itself into the shared [`TraceLog`] when
+//! finished (or dropped). Layers that cannot take a trace parameter
+//! without API churn — the resilience stack, the cache flight machinery
+//! — pick up the active trace from a thread-local set by
+//! [`Trace::enter`], so spans still land on the right request.
+//!
+//! Trace ids come from [`TraceIdSeq`]: `splitmix(seed, n)` over a
+//! monotonic sequence, so a proxy configured with a fixed seed hands
+//! out the same ids in the same order on every run — tests can assert
+//! on them.
+
+use crate::sync::Mutex;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One completed span: which trace it belongs to, what it measured,
+/// when it started (relative to the log's epoch), how long it took,
+/// and any structured fields attached along the way.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Trace id the span belongs to.
+    pub trace_id: u64,
+    /// Span name, e.g. `"stage.dom"` or `"cache.flight"`.
+    pub name: String,
+    /// Start offset relative to the owning [`TraceLog`]'s epoch.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub elapsed: Duration,
+    /// Structured key/value fields, in attachment order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Render as a JSON object (for `GET /trace/<id>`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"trace\":\"{:016x}\",\"name\":\"{}\",\"start_micros\":{},\"elapsed_micros\":{},\"fields\":{{",
+            self.trace_id,
+            json_escape(&self.name),
+            self.start.as_micros(),
+            self.elapsed.as_micros(),
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A bounded ring buffer of recently completed spans. When full, the
+/// oldest spans are evicted and counted in [`TraceLog::dropped`].
+#[derive(Debug)]
+pub struct TraceLog {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl TraceLog {
+    /// Default ring capacity (completed spans, not traces).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A ring holding at most `capacity` completed spans (min 1).
+    pub fn new(capacity: usize) -> TraceLog {
+        TraceLog {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The instant all span start offsets are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push a completed span, evicting the oldest if at capacity.
+    pub fn push(&self, record: SpanRecord) {
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+
+    /// Record a span from raw parts: `started` is an absolute instant
+    /// (clamped to the epoch if earlier).
+    pub fn record_raw(
+        &self,
+        trace_id: u64,
+        name: &str,
+        started: Instant,
+        elapsed: Duration,
+        fields: Vec<(String, String)>,
+    ) {
+        let start = started.saturating_duration_since(self.epoch);
+        self.push(SpanRecord {
+            trace_id,
+            name: name.to_string(),
+            start,
+            elapsed,
+            fields,
+        });
+    }
+
+    /// All retained spans for one trace, oldest first.
+    pub fn spans_for(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .iter()
+            .filter(|r| r.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+}
+
+/// `splitmix64(seed + index)` — same generator family as
+/// `msite_support::prop`, duplicated here so telemetry stays
+/// self-contained.
+fn splitmix(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic trace-id source: the `n`-th id is `splitmix(seed, n)`,
+/// so a fixed-seed proxy issues a reproducible id stream.
+#[derive(Debug)]
+pub struct TraceIdSeq {
+    seed: u64,
+    next: AtomicU64,
+}
+
+impl TraceIdSeq {
+    /// A sequence derived from `seed`.
+    pub fn new(seed: u64) -> TraceIdSeq {
+        TraceIdSeq {
+            seed,
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// The next trace id.
+    pub fn next_id(&self) -> u64 {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        // Avoid id 0, which reads as "no trace" in a few places.
+        match splitmix(self.seed, n) {
+            0 => 1,
+            id => id,
+        }
+    }
+}
+
+struct TraceInner {
+    id: u64,
+    log: Arc<TraceLog>,
+}
+
+impl std::fmt::Debug for TraceInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("id", &format_args!("{:016x}", self.id))
+            .finish()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Trace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A handle naming one request's trace. Cheap to clone; all clones
+/// share the id and the destination [`TraceLog`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    inner: Arc<TraceInner>,
+}
+
+impl Trace {
+    /// A trace with an explicit id, recording into `log`.
+    pub fn new(id: u64, log: Arc<TraceLog>) -> Trace {
+        Trace {
+            inner: Arc::new(TraceInner { id, log }),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The id as the 16-hex-digit form used in `x-msite-trace` headers
+    /// and `/trace/<id>` URLs.
+    pub fn id_hex(&self) -> String {
+        format!("{:016x}", self.inner.id)
+    }
+
+    /// Parse an id in the form produced by [`Trace::id_hex`].
+    pub fn parse_id(s: &str) -> Option<u64> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+
+    /// The log this trace records into.
+    pub fn log(&self) -> &Arc<TraceLog> {
+        &self.inner.log
+    }
+
+    /// Open a timed span; it records itself when finished or dropped.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            trace: self.clone(),
+            name: name.to_string(),
+            started: Instant::now(),
+            fields: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Record a span directly from a measured duration (for callers
+    /// that already timed the work, e.g. pipeline stage reports).
+    pub fn record(&self, name: &str, elapsed: Duration, fields: Vec<(String, String)>) {
+        let started = Instant::now();
+        self.inner
+            .log
+            .record_raw(self.inner.id, name, started, elapsed, fields);
+    }
+
+    /// Install this trace as the thread's current trace for the life
+    /// of the returned guard. Guards nest (a stack), so re-entrant
+    /// handling is safe.
+    pub fn enter(&self) -> EnteredTrace {
+        CURRENT.with(|stack| stack.borrow_mut().push(self.clone()));
+        EnteredTrace { _priv: () }
+    }
+
+    /// The innermost trace entered on this thread, if any.
+    pub fn current() -> Option<Trace> {
+        CURRENT.with(|stack| stack.borrow().last().cloned())
+    }
+}
+
+/// Guard returned by [`Trace::enter`]; pops the thread-local stack on
+/// drop.
+#[derive(Debug)]
+pub struct EnteredTrace {
+    _priv: (),
+}
+
+impl Drop for EnteredTrace {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// An in-flight timed span. Finishes (records into the trace's log)
+/// explicitly via [`Span::finish`] or implicitly on drop.
+#[derive(Debug)]
+pub struct Span {
+    trace: Trace,
+    name: String,
+    started: Instant,
+    fields: Vec<(String, String)>,
+    finished: bool,
+}
+
+impl Span {
+    /// Attach a structured field.
+    pub fn field(&mut self, key: &str, value: impl Into<String>) -> &mut Span {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Stop the clock and record the span now.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let elapsed = self.started.elapsed();
+        self.trace.inner.log.record_raw(
+            self.trace.inner.id,
+            &self.name,
+            self.started,
+            elapsed,
+            std::mem::take(&mut self.fields),
+        );
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> Arc<TraceLog> {
+        Arc::new(TraceLog::new(16))
+    }
+
+    #[test]
+    fn span_records_on_finish_and_drop() {
+        let log = log();
+        let trace = Trace::new(7, Arc::clone(&log));
+        let mut span = trace.span("stage.fetch");
+        span.field("bytes", "120");
+        span.finish();
+        {
+            let _implicit = trace.span("stage.emit");
+        }
+        let spans = log.spans_for(7);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "stage.fetch");
+        assert_eq!(
+            spans[0].fields,
+            vec![("bytes".to_string(), "120".to_string())]
+        );
+        assert_eq!(spans[1].name, "stage.emit");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let log = Arc::new(TraceLog::new(4));
+        let trace = Trace::new(1, Arc::clone(&log));
+        for i in 0..10 {
+            trace.record(&format!("s{i}"), Duration::from_micros(1), Vec::new());
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 6);
+        let names: Vec<String> = log.spans_for(1).into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["s6", "s7", "s8", "s9"]);
+    }
+
+    #[test]
+    fn trace_ids_are_seed_deterministic() {
+        let a = TraceIdSeq::new(42);
+        let b = TraceIdSeq::new(42);
+        let c = TraceIdSeq::new(43);
+        let ids_a: Vec<u64> = (0..5).map(|_| a.next_id()).collect();
+        let ids_b: Vec<u64> = (0..5).map(|_| b.next_id()).collect();
+        let ids_c: Vec<u64> = (0..5).map(|_| c.next_id()).collect();
+        assert_eq!(ids_a, ids_b);
+        assert_ne!(ids_a, ids_c);
+        assert!(ids_a.iter().all(|&id| id != 0));
+    }
+
+    #[test]
+    fn id_hex_round_trips() {
+        let trace = Trace::new(0x00ab_cdef_0123_4567, log());
+        assert_eq!(trace.id_hex(), "00abcdef01234567");
+        assert_eq!(Trace::parse_id(&trace.id_hex()), Some(trace.id()));
+        assert_eq!(Trace::parse_id("zz"), None);
+        assert_eq!(Trace::parse_id(""), None);
+    }
+
+    #[test]
+    fn thread_local_current_nests() {
+        let log = log();
+        let outer = Trace::new(1, Arc::clone(&log));
+        let inner = Trace::new(2, Arc::clone(&log));
+        assert!(Trace::current().is_none());
+        {
+            let _g1 = outer.enter();
+            assert_eq!(Trace::current().unwrap().id(), 1);
+            {
+                let _g2 = inner.enter();
+                assert_eq!(Trace::current().unwrap().id(), 2);
+            }
+            assert_eq!(Trace::current().unwrap().id(), 1);
+        }
+        assert!(Trace::current().is_none());
+    }
+
+    #[test]
+    fn span_json_escapes() {
+        let record = SpanRecord {
+            trace_id: 0xff,
+            name: "q\"uote".to_string(),
+            start: Duration::from_micros(5),
+            elapsed: Duration::from_micros(9),
+            fields: vec![("k".to_string(), "v\n2".to_string())],
+        };
+        let json = record.to_json();
+        assert!(json.contains("\"trace\":\"00000000000000ff\""));
+        assert!(json.contains("q\\\"uote"));
+        assert!(json.contains("v\\n2"));
+        assert!(json.contains("\"start_micros\":5"));
+        assert!(json.contains("\"elapsed_micros\":9"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Golden test pinning the `/metrics` text exposition byte-for-byte:
+//! stable `(name, labels)` ordering, exactly one `# TYPE` line per
+//! metric name, label-value escaping, cumulative histogram buckets,
+//! and no duplicate series — the scrape surface must not drift.
+
+use msite_support::telemetry::MetricsRegistry;
+use std::collections::HashSet;
+
+type RegisterStep = Box<dyn Fn(&MetricsRegistry)>;
+
+/// Registers a fixed mix of series. `reversed` flips the registration
+/// order to prove the exposition sorts, not echoes, insertion order.
+fn populate(registry: &MetricsRegistry, reversed: bool) {
+    let mut steps: Vec<RegisterStep> = vec![
+        Box::new(|r| r.counter("alpha_total", &[]).add(3)),
+        Box::new(|r| {
+            r.counter("request_total", &[("path", "/m/t/"), ("code", "200")])
+                .add(7)
+        }),
+        Box::new(|r| {
+            r.counter("request_total", &[("code", "404"), ("path", "/m/t/x")])
+                .inc()
+        }),
+        Box::new(|r| {
+            r.counter("tricky_total", &[("label", "quote\" slash\\ line\nend")])
+                .add(2)
+        }),
+        Box::new(|r| r.gauge("depth", &[]).set(-4)),
+        Box::new(|r| {
+            let h = r.histogram("latency_micros", &[("stage", "dom")], &[10, 100, 1000]);
+            for v in [5, 10, 11, 99, 5000] {
+                h.observe(v);
+            }
+        }),
+    ];
+    if reversed {
+        steps.reverse();
+    }
+    for step in steps {
+        step(registry);
+    }
+}
+
+const GOLDEN: &str = "\
+# TYPE alpha_total counter
+alpha_total 3
+# TYPE depth gauge
+depth -4
+# TYPE latency_micros histogram
+latency_micros_bucket{stage=\"dom\",le=\"10\"} 2
+latency_micros_bucket{stage=\"dom\",le=\"100\"} 4
+latency_micros_bucket{stage=\"dom\",le=\"1000\"} 4
+latency_micros_bucket{stage=\"dom\",le=\"+Inf\"} 5
+latency_micros_sum{stage=\"dom\"} 5125
+latency_micros_count{stage=\"dom\"} 5
+# TYPE request_total counter
+request_total{code=\"200\",path=\"/m/t/\"} 7
+request_total{code=\"404\",path=\"/m/t/x\"} 1
+# TYPE tricky_total counter
+tricky_total{label=\"quote\\\" slash\\\\ line\\nend\"} 2
+";
+
+#[test]
+fn exposition_matches_golden_byte_for_byte() {
+    let registry = MetricsRegistry::new();
+    populate(&registry, false);
+    assert_eq!(registry.render_text(), GOLDEN);
+}
+
+#[test]
+fn exposition_is_insertion_order_independent_and_stable() {
+    let forward = MetricsRegistry::new();
+    populate(&forward, false);
+    let backward = MetricsRegistry::new();
+    populate(&backward, true);
+    assert_eq!(forward.render_text(), backward.render_text());
+    // Re-rendering the same registry is byte-stable.
+    assert_eq!(forward.render_text(), forward.render_text());
+}
+
+#[test]
+fn exposition_has_no_duplicate_series_and_one_type_line_per_name() {
+    let registry = MetricsRegistry::new();
+    populate(&registry, false);
+    let text = registry.render_text();
+    let mut series = HashSet::new();
+    let mut typed = HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split(' ').next().unwrap();
+            assert!(
+                typed.insert(name.to_string()),
+                "duplicate # TYPE for {name}"
+            );
+        } else {
+            let (key, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(series.insert(key.to_string()), "duplicate series {key}");
+            value.parse::<i64>().expect("integer sample value");
+        }
+    }
+    // Every sample's metric name is covered by a # TYPE line.
+    for key in &series {
+        let name = key.split('{').next().unwrap();
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(typed.contains(base), "sample {key} missing # TYPE {base}");
+    }
+}

@@ -9,6 +9,7 @@ use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
 use msite::proxy::{ProxyConfig, ProxyServer};
 use msite_net::{http_get, http_request, HttpServer, OriginRef, Request};
 use msite_sites::{ForumConfig, ForumSite};
+use msite_support::telemetry::{Telemetry, TRACE_HEADER};
 use std::sync::Arc;
 
 fn main() {
@@ -39,20 +40,28 @@ fn main() {
             prerender: false,
         }],
     );
+    // One telemetry handle shared by the proxy and its HTTP server:
+    // connection counters, proxy counters, and request spans all land
+    // in the same registry, scraped from GET /metrics below.
+    let telemetry = Telemetry::new();
     let proxy = Arc::new(ProxyServer::new(
         spec,
         origin_client,
-        ProxyConfig::default(),
+        ProxyConfig {
+            telemetry: Some(telemetry.clone()),
+            ..ProxyConfig::default()
+        },
     ));
     // Explicit executor sizing: 4 connection workers, shed beyond 32
     // queued connections (503 + x-msite-error: overloaded).
-    let proxy_server = HttpServer::bind_with(
+    let proxy_server = HttpServer::bind_with_telemetry(
         "127.0.0.1:0",
         Arc::clone(&proxy) as OriginRef,
         msite_net::ServerConfig {
             workers: 4,
             queue_depth: 32,
         },
+        telemetry,
     )
     .expect("bind proxy");
     println!(
@@ -107,9 +116,14 @@ fn main() {
     );
     assert!(login.body_text().contains("vb_login_username"));
 
-    // Fold connection-level shedding into the proxy's own counters.
-    proxy.record_overload_rejections(proxy_server.stats().rejected_overload);
+    // No embedder-side folding needed: the server publishes its
+    // connection counters (shedding included) straight into the shared
+    // registry, so the proxy's view already agrees with the server's.
     let server_stats = proxy_server.stats();
+    assert_eq!(
+        proxy.stats().overload_rejections,
+        server_stats.rejected_overload
+    );
     println!(
         "\norigin served {} requests, proxy served {} (accepted {}, shed {})",
         origin_server.requests_served(),
@@ -117,6 +131,28 @@ fn main() {
         server_stats.accepted,
         proxy.stats().overload_rejections
     );
+
+    // The observability surface, over the same socket as the traffic.
+    let trace_id = login.headers.get(TRACE_HEADER).expect("trace header");
+    let spans =
+        http_get(&format!("http://{}/trace/{trace_id}", proxy_server.addr())).expect("trace");
+    println!(
+        "GET /trace/{trace_id}  -> {} ({} spans)",
+        spans.status,
+        spans.body_text().matches("\"name\"").count()
+    );
+    let metrics = http_get(&format!("http://{}/metrics", proxy_server.addr())).expect("metrics");
+    let scrape = metrics.body_text();
+    println!("GET /metrics sample:");
+    for line in scrape
+        .lines()
+        .filter(|l| l.starts_with("msite_proxy_requests_total") || l.starts_with("msite_server_"))
+        .take(6)
+    {
+        println!("  {line}");
+    }
+    let health = http_get(&format!("http://{}/healthz", proxy_server.addr())).expect("healthz");
+    println!("GET /healthz -> {} {}", health.status, health.body_text());
 
     if std::env::args().any(|a| a == "--serve") {
         println!(

@@ -34,5 +34,15 @@ echo "== parallel pipeline determinism suite =="
 cargo test -q --release --offline -p msite --test pipeline_determinism
 cargo test -q --offline -p msite-support --test worker_pool_prop
 
+echo "== telemetry suite (registry, tracing, exposition) =="
+cargo test -q --offline -p msite-support --test telemetry_prop
+cargo test -q --offline -p msite-support --test metrics_golden
+
+echo "== end-to-end proxy conformance (metrics, traces, headers) =="
+cargo test -q --offline --test proxy_e2e
+
 echo "== throughput shape assertions (serial vs parallel, overload) =="
 cargo run --release --offline -p msite-bench --bin experiments -- throughput
+
+echo "== telemetry overhead gate =="
+cargo run --release --offline -p msite-bench --bin experiments -- telemetry
