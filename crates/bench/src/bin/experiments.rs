@@ -10,6 +10,7 @@
 //! cargo run --release -p msite-bench --bin experiments -- claims
 //! cargo run --release -p msite-bench --bin experiments -- burst
 //! cargo run --release -p msite-bench --bin experiments -- telemetry
+//! cargo run --release -p msite-bench --bin experiments -- streaming
 //! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
 //! ```
 //!
@@ -18,7 +19,7 @@
 //! the same rates.
 
 use msite_bench::{
-    burst, capacity, claims, fig6, fig7, fixtures, report, table1, telemetry, throughput,
+    burst, capacity, claims, fig6, fig7, fixtures, report, streaming, table1, telemetry, throughput,
 };
 use msite_support::json::{obj, ToJson, Value};
 use std::process::ExitCode;
@@ -31,6 +32,7 @@ struct AllResults {
     claims: Vec<claims::ClaimResult>,
     throughput: Option<throughput::ThroughputResult>,
     telemetry: Option<telemetry::TelemetryOverheadResult>,
+    streaming: Option<streaming::StreamingResult>,
 }
 
 impl ToJson for AllResults {
@@ -42,12 +44,13 @@ impl ToJson for AllResults {
             ("claims", self.claims.to_json_value()),
             ("throughput", self.throughput.to_json_value()),
             ("telemetry", self.telemetry.to_json_value()),
+            ("streaming", self.streaming.to_json_value()),
         ])
     }
 }
 
 /// Wall-clock spent inside each experiment, recorded into
-/// `BENCH_PR5.json` so the perf trajectory is comparable across PRs.
+/// `BENCH_PR6.json` so the perf trajectory is comparable across PRs.
 struct Timings {
     entries: Vec<(&'static str, Duration)>,
 }
@@ -109,6 +112,7 @@ fn main() -> ExitCode {
         claims: Vec::new(),
         throughput: None,
         telemetry: None,
+        streaming: None,
     };
 
     if want("table1") {
@@ -379,6 +383,57 @@ fn main() -> ExitCode {
         results.telemetry = Some(result);
     }
 
+    if want("streaming") {
+        let result = timings.time("streaming", || streaming::run(3));
+        if let Err(e) = streaming::check_shape(&result) {
+            failures.push(format!("streaming shape: {e}"));
+        }
+        if !json {
+            let t = &result.ttfb;
+            let i = &result.incremental;
+            report::print_table(
+                &format!(
+                    "Streaming + incremental — {}-subpage fixture, width 4",
+                    result.sections
+                ),
+                &["metric", "value"],
+                &[
+                    vec![
+                        "batch wall (full bundle)".into(),
+                        report::secs(t.batch_wall.as_secs_f64()),
+                    ],
+                    vec![
+                        "streaming TTFB (entry chunk)".into(),
+                        report::secs(t.ttfb.as_secs_f64()),
+                    ],
+                    vec!["TTFB speedup".into(), format!("{:.2}x", t.speedup())],
+                    vec![
+                        "entry bytes".into(),
+                        if t.entry_identical {
+                            "identical".into()
+                        } else {
+                            "DIVERGED".into()
+                        },
+                    ],
+                    vec!["cold renders".into(), i.cold_renders.to_string()],
+                    vec![
+                        "incremental renders (1 edit)".into(),
+                        i.incremental_renders.to_string(),
+                    ],
+                    vec![
+                        "subtrees reused / recomputed".into(),
+                        format!("{} / {}", i.reused, i.recomputed),
+                    ],
+                ],
+            );
+            match streaming::check_shape(&result) {
+                Ok(()) => println!("shape check: PASS (TTFB below batch, strict render savings)"),
+                Err(e) => println!("shape check: FAIL ({e})"),
+            }
+        }
+        results.streaming = Some(result);
+    }
+
     if want("capacity") && !json {
         let load = capacity::LoadModel::default();
         let rows_data = capacity::analyze(&load);
@@ -451,12 +506,13 @@ fn main() -> ExitCode {
         ("experiments", timings.to_json_value()),
         ("throughput", results.throughput.to_json_value()),
         ("telemetry", results.telemetry.to_json_value()),
+        ("streaming", results.streaming.to_json_value()),
     ]);
-    if let Err(e) = std::fs::write("BENCH_PR5.json", bench_json.to_pretty()) {
-        eprintln!("warning: could not write BENCH_PR5.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_PR6.json", bench_json.to_pretty()) {
+        eprintln!("warning: could not write BENCH_PR6.json: {e}");
     } else if !json {
         println!(
-            "\nwrote BENCH_PR5.json ({} experiments timed)",
+            "\nwrote BENCH_PR6.json ({} experiments timed)",
             timings.entries.len()
         );
     }

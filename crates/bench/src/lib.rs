@@ -16,6 +16,7 @@ pub mod capacity;
 pub mod claims;
 pub mod fig6;
 pub mod fig7;
+pub mod streaming;
 pub mod table1;
 pub mod telemetry;
 pub mod throughput;

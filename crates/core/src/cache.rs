@@ -785,6 +785,140 @@ impl RenderCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fingerprint-keyed subtree tier
+// ---------------------------------------------------------------------------
+
+/// Statistics snapshot for a [`SubtreeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubtreeCacheStats {
+    /// Lookups that found a cached artifact.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Artifacts evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+struct SubtreeEntry {
+    value: Arc<dyn Any + Send + Sync>,
+    last_used: u64,
+}
+
+struct SubtreeInner {
+    map: HashMap<u64, SubtreeEntry>,
+    tick: u64,
+    stats: SubtreeCacheStats,
+}
+
+/// The incremental re-adaptation tier: finished per-subtree artifacts
+/// keyed by a content fingerprint of *everything* that went into
+/// building them (the source subtree's serialization fingerprint plus
+/// the builder's assembled fragments and the serving base). A hit
+/// therefore guarantees a byte-identical artifact — the cache can hand
+/// it back without re-running assembly or the browser pre-render.
+///
+/// Values are type-erased (`Arc<dyn Any>`) so this tier stays agnostic
+/// of the pipeline's artifact types; the emit stage downcasts on read.
+/// Unlike [`RenderCache`] there is no TTL: fingerprints are
+/// self-invalidating (changed content changes the key), so entries only
+/// leave via the LRU bound.
+pub struct SubtreeCache {
+    inner: Mutex<SubtreeInner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for SubtreeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SubtreeCache")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.map.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl SubtreeCache {
+    /// Creates a tier bounded to `capacity` artifacts (min 1).
+    pub fn new(capacity: usize) -> SubtreeCache {
+        SubtreeCache {
+            inner: Mutex::new(SubtreeInner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: SubtreeCacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks an artifact up by fingerprint, refreshing its LRU slot.
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&fingerprint) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = Arc::clone(&entry.value);
+                inner.stats.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an artifact under its fingerprint, evicting the
+    /// least-recently-used entry when over capacity.
+    pub fn put(&self, fingerprint: u64, value: Arc<dyn Any + Send + Sync>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            fingerprint,
+            SubtreeEntry {
+                value,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            inner.map.remove(&oldest);
+            inner.stats.evictions += 1;
+        }
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when the tier holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every artifact (stats are kept).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SubtreeCacheStats {
+        self.inner.lock().stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1068,5 +1202,50 @@ mod tests {
         assert_eq!(RenderCache::new(2).shard_count(), 1);
         assert_eq!(RenderCache::new(32).shard_count(), 1);
         assert_eq!(RenderCache::new(256).shard_count(), 8);
+    }
+
+    #[test]
+    fn subtree_cache_round_trips_typed_artifacts() {
+        let cache = SubtreeCache::new(8);
+        assert!(cache.is_empty());
+        cache.put(
+            7,
+            Arc::new("subpage-7".to_string()) as Arc<dyn Any + Send + Sync>,
+        );
+        let hit = cache
+            .get(7)
+            .expect("fingerprint 7 was stored")
+            .downcast::<String>()
+            .expect("value downcasts to the stored type");
+        assert_eq!(*hit, "subpage-7");
+        assert!(cache.get(8).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn subtree_cache_evicts_least_recently_used() {
+        let cache = SubtreeCache::new(2);
+        cache.put(1, Arc::new(1u32) as Arc<dyn Any + Send + Sync>);
+        cache.put(2, Arc::new(2u32) as Arc<dyn Any + Send + Sync>);
+        // Touch 1 so 2 becomes the LRU entry, then overflow.
+        assert!(cache.get(1).is_some());
+        cache.put(3, Arc::new(3u32) as Arc<dyn Any + Send + Sync>);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn subtree_cache_capacity_floor_is_one() {
+        let cache = SubtreeCache::new(0);
+        cache.put(1, Arc::new(()) as Arc<dyn Any + Send + Sync>);
+        cache.put(2, Arc::new(()) as Arc<dyn Any + Send + Sync>);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(2).is_some());
     }
 }

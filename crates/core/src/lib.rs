@@ -72,13 +72,13 @@ pub mod snapshot;
 
 pub use attributes::{AdaptationSpec, Attribute, Rule, SnapshotSpec, SourceFilter, Target};
 pub use baseline::{HighlightConfig, HighlightProxy, HighlightStats};
-pub use cache::{CacheStats, Flight, Lookup, RenderCache};
+pub use cache::{CacheStats, Flight, Lookup, RenderCache, SubtreeCache, SubtreeCacheStats};
 pub use engine::{EngineRegistry, FallbackRender, RenderEngine, RenderError, RenderedArtifact};
 pub use error::ProxyError;
 pub use pipeline::{
-    adapt, adapt_with_report, AdaptError, AdaptedBundle, PipelineContext, PipelineReport,
-    PipelineStats, ScheduleStagger, StageKind, StageReport,
+    adapt, adapt_streaming, adapt_with_report, AdaptError, AdaptedBundle, EmitUnit,
+    PipelineContext, PipelineReport, PipelineStats, ScheduleStagger, StageKind, StageReport,
 };
-pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
+pub use proxy::{ProxyConfig, ProxyServer, ProxyStats, STREAM_HEADER};
 pub use search::SearchIndex;
 pub use session::{SessionFs, SessionManager, SESSION_COOKIE};

@@ -31,6 +31,7 @@ impl Stage for AttributeStage {
             spec,
             ctx,
             doc,
+            fingerprints,
             subpages,
             images,
             registry,
@@ -58,6 +59,8 @@ impl Stage for AttributeStage {
                     Attribute::Subpage { id, title, .. } => {
                         let builder = subpages.get_mut(id).expect("declared in dom stage");
                         for &node in &nodes {
+                            builder
+                                .mix_fingerprint(fingerprints.as_ref().and_then(|fp| fp.of(node)));
                             builder.body_html.push_str(&doc.outer_html(node));
                             let link = format!(
                                 "<a class=\"msite-subpage-link\" href=\"{}/s/{}.html\">{}</a>",
@@ -74,6 +77,8 @@ impl Stage for AttributeStage {
                     } => {
                         let builder = subpages.get_mut(subpage).expect("validated in dom stage");
                         for &node in &nodes {
+                            builder
+                                .mix_fingerprint(fingerprints.as_ref().and_then(|fp| fp.of(node)));
                             let copy = doc.clone_subtree(node);
                             if let Some((name, value)) = set_attr {
                                 set_attr_deep(doc, copy, name, value);
@@ -90,6 +95,8 @@ impl Stage for AttributeStage {
                     Attribute::MoveTo { subpage, position } => {
                         let builder = subpages.get_mut(subpage).expect("validated in dom stage");
                         for &node in &nodes {
+                            builder
+                                .mix_fingerprint(fingerprints.as_ref().and_then(|fp| fp.of(node)));
                             let html = doc.outer_html(node);
                             match position {
                                 Position::Head => builder.head_html.push_str(&html),
@@ -326,6 +333,9 @@ impl Stage for AttributeStage {
                         for id in subpage_ids {
                             let builder = subpages.get_mut(&id).expect("declared in dom stage");
                             for &dep in &dep_nodes {
+                                builder.mix_fingerprint(
+                                    fingerprints.as_ref().and_then(|fp| fp.of(dep)),
+                                );
                                 builder.head_html.push_str(&doc.outer_html(dep));
                             }
                         }

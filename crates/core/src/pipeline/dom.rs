@@ -19,7 +19,16 @@ impl Stage for DomStage {
 
     fn run(&self, state: &mut PipelineState<'_>) -> Result<StageOutcome, AdaptError> {
         state.stats.dom_parsed = true;
-        state.doc = Some(tidy::tidy(&state.source));
+        let doc = tidy::tidy(&state.source);
+        // Fingerprint every subtree of the clean parse *before* the
+        // attribute stage mutates the tree: these are the stable
+        // content identities the emit stage's subtree cache keys mix
+        // in (skipped when no cache is attached — standalone runs pay
+        // nothing).
+        if state.ctx.subtree_cache.is_some() {
+            state.fingerprints = Some(msite_html::fingerprint::fingerprint_map(&doc));
+        }
+        state.doc = Some(doc);
 
         // Subpage declarations first, so copy-to/move-to can validate.
         for rule in &state.spec.rules {

@@ -28,6 +28,10 @@ impl Stage for FilterStage {
                 }
             };
         }
+        // Fingerprint the filtered source: the whole-page identity for
+        // incremental re-adaptation. Computed here (not in the DOM
+        // stage) so even filter-only adaptations carry one.
+        state.source_fingerprint = msite_html::fingerprint::fnv1a(out.as_bytes());
         state.source = out;
         Ok(StageOutcome::serial(state.spec.filters.len()))
     }

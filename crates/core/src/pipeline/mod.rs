@@ -176,6 +176,17 @@ pub struct PipelineContext {
     /// stage (and the render pseudo-stage) records a timed
     /// `stage.<name>` span with artifact counts into the trace's log.
     pub trace: Option<Trace>,
+    /// The fingerprint-keyed subtree tier backing incremental
+    /// re-adaptation. When set, the emit stage looks every subpage's
+    /// content fingerprint up here before assembling (and, for
+    /// pre-rendered subpages, re-rendering) it, and stores what it
+    /// builds for the next run. `None` (the default) recomputes
+    /// everything — the behavior standalone pipeline runs keep.
+    pub subtree_cache: Option<std::sync::Arc<crate::cache::SubtreeCache>>,
+    /// Registry the emit stage bumps its incremental counters into
+    /// (`msite_subtrees_reused_total` / `msite_subtrees_recomputed_total`).
+    /// `None` skips the bumps.
+    pub metrics: Option<std::sync::Arc<msite_support::telemetry::MetricsRegistry>>,
 }
 
 impl Default for PipelineContext {
@@ -186,6 +197,8 @@ impl Default for PipelineContext {
             parallelism: msite_support::thread::default_parallelism(),
             schedule_stagger: None,
             trace: None,
+            subtree_cache: None,
+            metrics: None,
         }
     }
 }
@@ -216,39 +229,68 @@ pub fn adapt_with_report(
     page_html: &str,
     ctx: &PipelineContext,
 ) -> Result<(AdaptedBundle, PipelineReport), AdaptError> {
+    drive(spec, page_html, ctx, |state| EmitStage.run(state))
+}
+
+/// One unit of finished work from a streaming adaptation run
+/// ([`adapt_streaming`]), delivered the moment it is complete.
+#[derive(Debug, Clone)]
+pub enum EmitUnit {
+    /// The entry page HTML — always the *first* unit, emitted before
+    /// any subpage is assembled, so a progressive transport can flush
+    /// it while subpage workers are still running.
+    Entry(String),
+    /// One finished subpage file, in worker-completion order.
+    Subpage(GeneratedFile),
+    /// One finished image (the snapshot right after the entry; subpage
+    /// pre-renders in completion order).
+    Image(GeneratedImage),
+}
+
+/// Runs the full pipeline in streaming mode: identical stages and
+/// artifacts to [`adapt_with_report`], but the emit phase is reordered
+/// entry-first and every finished artifact is handed to `on_unit` as a
+/// unit of work the moment it completes (entry page first, then
+/// subpages/images as the parallel emit workers finish them).
+///
+/// The returned bundle's `entry_html` and per-name artifacts are
+/// byte-identical to a batch run; only the `images` vec order differs
+/// (snapshot first instead of last).
+///
+/// # Errors
+///
+/// Same failure modes as [`adapt`].
+pub fn adapt_streaming(
+    spec: &AdaptationSpec,
+    page_html: &str,
+    ctx: &PipelineContext,
+    on_unit: &mut (dyn FnMut(EmitUnit) + Send),
+) -> Result<(AdaptedBundle, PipelineReport), AdaptError> {
+    drive(spec, page_html, ctx, |state| {
+        emit::run_streaming(state, on_unit)
+    })
+}
+
+/// The stage driver shared by the batch and streaming entry points:
+/// runs fetch → filter → dom → attributes, then the supplied emit
+/// body (timed as the emit stage), then accounts the render
+/// pseudo-stage.
+fn drive(
+    spec: &AdaptationSpec,
+    page_html: &str,
+    ctx: &PipelineContext,
+    emit_body: impl FnOnce(&mut PipelineState<'_>) -> Result<stage::StageOutcome, AdaptError>,
+) -> Result<(AdaptedBundle, PipelineReport), AdaptError> {
     let mut state = PipelineState::new(spec, page_html, ctx);
     let mut report = PipelineReport::default();
-    let stages: [&dyn Stage; 5] = [
-        &FetchStage,
-        &FilterStage,
-        &DomStage,
-        &AttributeStage,
-        &EmitStage,
-    ];
+    let stages: [&dyn Stage; 4] = [&FetchStage, &FilterStage, &DomStage, &AttributeStage];
     for stage in stages {
         if state.filter_only() && matches!(stage.kind(), StageKind::Dom | StageKind::Attributes) {
             continue;
         }
-        let render_before = state.renderer.total();
-        let start = Instant::now();
-        let outcome = stage.run(&mut state)?;
-        let elapsed = start.elapsed();
-        // Browser time triggered inside the stage is the render stage's
-        // line item; clamp so every executed stage keeps a nonzero entry
-        // even at coarse clock granularity.
-        let render_delta = state.renderer.total().saturating_sub(render_before);
-        let stage_report = StageReport {
-            kind: stage.kind(),
-            elapsed: elapsed
-                .saturating_sub(render_delta)
-                .max(Duration::from_nanos(1)),
-            artifacts: outcome.artifacts,
-            parallel_tasks: outcome.parallel_tasks,
-            parallel_busy: outcome.parallel_busy,
-        };
-        record_stage_span(ctx, &stage_report, start);
-        report.stages.push(stage_report);
+        run_timed(&mut state, &mut report, ctx, stage.kind(), |s| stage.run(s))?;
     }
+    run_timed(&mut state, &mut report, ctx, StageKind::Emit, emit_body)?;
     if state.renderer.used() {
         let stage_report = StageReport {
             kind: StageKind::Render,
@@ -262,7 +304,43 @@ pub fn adapt_with_report(
     }
     report.parallelism = ctx.parallelism.max(1);
     report.degradations = state.renderer.degradations();
-    Ok((state.into_bundle(), report))
+    let bundle = state.into_bundle();
+    if let Some(metrics) = &ctx.metrics {
+        metrics
+            .counter("msite_browser_renders_total", &[])
+            .add(bundle.stats.browser_renders as u64);
+    }
+    Ok((bundle, report))
+}
+
+/// Times one stage body and records its report entry and trace span.
+fn run_timed(
+    state: &mut PipelineState<'_>,
+    report: &mut PipelineReport,
+    ctx: &PipelineContext,
+    kind: StageKind,
+    body: impl FnOnce(&mut PipelineState<'_>) -> Result<stage::StageOutcome, AdaptError>,
+) -> Result<(), AdaptError> {
+    let render_before = state.renderer.total();
+    let start = Instant::now();
+    let outcome = body(state)?;
+    let elapsed = start.elapsed();
+    // Browser time triggered inside the stage is the render stage's
+    // line item; clamp so every executed stage keeps a nonzero entry
+    // even at coarse clock granularity.
+    let render_delta = state.renderer.total().saturating_sub(render_before);
+    let stage_report = StageReport {
+        kind,
+        elapsed: elapsed
+            .saturating_sub(render_delta)
+            .max(Duration::from_nanos(1)),
+        artifacts: outcome.artifacts,
+        parallel_tasks: outcome.parallel_tasks,
+        parallel_busy: outcome.parallel_busy,
+    };
+    record_stage_span(ctx, &stage_report, start);
+    report.stages.push(stage_report);
+    Ok(())
 }
 
 /// Record one `stage.<name>` span on the context's trace (no-op when

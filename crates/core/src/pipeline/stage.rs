@@ -210,6 +210,13 @@ pub(crate) struct SubpageBuilder {
     pub(crate) bottom_html: String,
     pub(crate) scripts: Vec<String>,
     pub(crate) http_auth: bool,
+    /// Running FNV-1a mix of the *source* subtree fingerprints that
+    /// contributed content to this subpage (see
+    /// `msite_html::fingerprint`). Part of the emit stage's subtree
+    /// cache key, so a change anywhere in a contributing source subtree
+    /// invalidates the cached artifact even before the assembled
+    /// fragments are compared.
+    pub(crate) fingerprint: u64,
 }
 
 impl SubpageBuilder {
@@ -225,6 +232,16 @@ impl SubpageBuilder {
             bottom_html: String::new(),
             scripts: Vec::new(),
             http_auth: false,
+            fingerprint: msite_html::fingerprint::FNV_OFFSET,
+        }
+    }
+
+    /// Mixes a contributing source subtree's fingerprint into this
+    /// builder's running fingerprint.
+    pub(crate) fn mix_fingerprint(&mut self, subtree: Option<u64>) {
+        if let Some(fp) = subtree {
+            self.fingerprint =
+                msite_html::fingerprint::fnv1a_continue(self.fingerprint, &fp.to_le_bytes());
         }
     }
 }
@@ -239,6 +256,13 @@ pub(crate) struct PipelineState<'a> {
     pub(crate) source: String,
     /// The parsed document; `None` until the DOM stage runs.
     pub(crate) doc: Option<Document>,
+    /// FNV-1a of the filtered source text, recorded by the filter stage
+    /// (the whole-page fast path for incremental re-adaptation: equal
+    /// source fingerprints mean every downstream artifact is reusable).
+    pub(crate) source_fingerprint: u64,
+    /// Per-subtree fingerprints of the tidied parse, computed by the
+    /// DOM stage before any attribute mutates the tree.
+    pub(crate) fingerprints: Option<msite_html::fingerprint::FingerprintMap>,
     pub(crate) subpages: BTreeMap<String, SubpageBuilder>,
     pub(crate) images: Vec<GeneratedImage>,
     pub(crate) registry: AjaxRegistry,
@@ -265,6 +289,8 @@ impl<'a> PipelineState<'a> {
             raw: page_html,
             source: String::new(),
             doc: None,
+            source_fingerprint: msite_html::fingerprint::FNV_OFFSET,
+            fingerprints: None,
             subpages: BTreeMap::new(),
             images: Vec::new(),
             registry: AjaxRegistry::new(),

@@ -1,0 +1,71 @@
+//! Proxy configuration.
+
+use msite_net::ResiliencePolicy;
+use msite_render::browser::BrowserConfig;
+use msite_support::telemetry::Telemetry;
+use std::time::Duration;
+
+/// Proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Extra CPU burned per scripted (non-browser) request, modeling the
+    /// paper's PHP interpreter + filesystem overhead. Zero by default;
+    /// the Figure 7 harness sets ~3.5 ms to reproduce the paper's
+    /// absolute throughput scale.
+    pub scripted_overhead: Duration,
+    /// Shared render-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Seed for session-id generation.
+    pub seed: u64,
+    /// Browser configuration used by the pipeline.
+    pub browser_config: BrowserConfig,
+    /// Fault-tolerance policy for origin fetches: retry budget, backoff
+    /// shape, per-request deadline, breaker thresholds.
+    pub resilience: ResiliencePolicy,
+    /// How long expired cache entries stay servable as degraded
+    /// (stale) output when the origin is unavailable.
+    pub stale_window: Duration,
+    /// Worker-crew width for the adaptation pipeline's fan-out stages
+    /// (subpage assembly, image pre-renders, imagemap geometry). `1`
+    /// runs the pipeline serially; output is byte-identical either way.
+    pub pipeline_parallelism: usize,
+    /// Telemetry destination. `None` (the default) gives the proxy a
+    /// private registry + trace ring; pass a shared handle (the one the
+    /// HTTP server binds with) so proxy, server, and resilience
+    /// counters land in one scrapeable registry.
+    pub telemetry: Option<Telemetry>,
+    /// Enables incremental re-adaptation: when an entry rebuild runs,
+    /// subpage artifacts whose source-subtree fingerprints (and
+    /// assembly inputs) are unchanged are served from the
+    /// fingerprint-keyed subtree cache instead of being re-assembled
+    /// and re-rendered. Output is byte-identical either way.
+    pub incremental: bool,
+    /// Capacity (entries) of the fingerprint-keyed subtree artifact
+    /// cache backing incremental re-adaptation.
+    pub subtree_cache_capacity: usize,
+    /// Enables progressive (chunked) delivery of the entry page for
+    /// requests that opt in with the `x-msite-stream: chunked` header:
+    /// the entry snapshot + imagemap HTML is flushed as the first
+    /// chunk while subpage assembly is still running. The
+    /// concatenation of all chunks is byte-identical to the batch
+    /// response body.
+    pub streaming: bool,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            scripted_overhead: Duration::ZERO,
+            cache_capacity: 256,
+            seed: 0x6d_73_69_74_65, // "msite"
+            browser_config: BrowserConfig::default(),
+            resilience: ResiliencePolicy::default(),
+            stale_window: Duration::from_secs(600),
+            pipeline_parallelism: msite_support::thread::default_parallelism(),
+            telemetry: None,
+            incremental: true,
+            subtree_cache_capacity: 512,
+            streaming: true,
+        }
+    }
+}

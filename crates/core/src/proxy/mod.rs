@@ -1,0 +1,249 @@
+//! The multi-session m.Site proxy server.
+//!
+//! This is the artifact the paper's code generator produces: a
+//! lightweight proxy, colocated with the origin, that "handles user
+//! session authentication, cookie jars, and high-level session
+//! administration", fetches origin pages on behalf of mobile clients,
+//! runs the adaptation pipeline, writes per-user subpages into protected
+//! session directories, serves a shared cached snapshot, satisfies
+//! rewritten AJAX calls, and proxies form posts back to the origin.
+//!
+//! It implements [`Origin`], so it can be composed in-process for
+//! benchmarks or served over real TCP by `msite_net::HttpServer`.
+//!
+//! The module tree mirrors the request path: [`routing`] dispatches,
+//! [`handlers`] build and serve artifacts, [`streaming`] implements
+//! progressive (chunked) entry delivery, and [`observability`] holds
+//! the stats/telemetry views and scrape endpoints.
+//!
+//! # Observability
+//!
+//! Every counter the proxy keeps lives in a
+//! [`MetricsRegistry`](msite_support::telemetry::MetricsRegistry)
+//! (shareable with the HTTP server and resilience layer through
+//! [`ProxyConfig::telemetry`]); [`ProxyStats`] is a view over it. Each
+//! request gets a seeded-deterministic trace id, carried on the
+//! response in the `x-msite-trace` header; pipeline stages, cache
+//! flights, resilience events, and (over TCP) the server worker hop
+//! record timed spans under that id. Three endpoints expose the state:
+//! `GET /metrics` (text exposition), `GET /healthz` (breaker + pool +
+//! cache summary), and `GET /trace/<id>` (the request's spans). The
+//! observability endpoints are answered before any counter moves, so
+//! scraping never perturbs the numbers being scraped.
+//!
+//! # Resilience
+//!
+//! Every origin fetch goes through a [`ResilientOrigin`]: bounded
+//! retries with seeded jittered backoff, a per-request deadline budget
+//! shared with the adaptation pipeline, and a per-host circuit breaker.
+//! When the origin (or its breaker) makes the entry page unbuildable,
+//! the proxy degrades to the last rendered snapshot still inside the
+//! cache's stale window — marked with a `Warning` header — instead of
+//! answering 5xx per request; the stale copy is replaced by the next
+//! successful rebuild. Failures are classified by
+//! [`ProxyError`](crate::error::ProxyError) and counted in
+//! [`ProxyStats`].
+
+mod config;
+mod handlers;
+mod observability;
+mod routing;
+mod streaming;
+#[cfg(test)]
+mod tests;
+
+pub use config::ProxyConfig;
+pub use observability::ProxyStats;
+pub use streaming::STREAM_HEADER;
+
+use crate::ajax::AjaxRegistry;
+use crate::attributes::AdaptationSpec;
+use crate::cache::{RenderCache, SubtreeCache};
+use crate::dsl;
+use crate::engine::EngineRegistry;
+use crate::pipeline::{PipelineContext, PipelineReport};
+use crate::session::{SessionFs, SessionManager};
+use msite_net::resilience::{BreakerState, ResilienceStats, ResilientOrigin};
+use msite_net::OriginRef;
+use msite_support::sync::Mutex;
+use msite_support::telemetry::{Telemetry, Trace, TraceIdSeq};
+use observability::ProxyMetrics;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub(crate) struct UserBundle {
+    ajax: AjaxRegistry,
+    auth_subpages: Vec<String>,
+}
+
+/// The generated multi-session proxy for one adapted page.
+pub struct ProxyServer {
+    spec: AdaptationSpec,
+    origin: Arc<ResilientOrigin>,
+    sessions: SessionManager,
+    // Arc'd so the streaming producer (which runs on the transport
+    // writer after `handle` returns) can own handles to the stores it
+    // fills progressively.
+    fs: Arc<SessionFs>,
+    cache: Arc<RenderCache>,
+    subtrees: Arc<SubtreeCache>,
+    config: ProxyConfig,
+    telemetry: Telemetry,
+    metrics: ProxyMetrics,
+    trace_ids: TraceIdSeq,
+    shared_ajax: Arc<Mutex<Option<AjaxRegistry>>>,
+    user_bundles: Mutex<HashMap<String, Arc<UserBundle>>>,
+    wants_cookie_clear: Arc<Mutex<bool>>,
+    engines: EngineRegistry,
+    last_entry_report: Arc<Mutex<Option<PipelineReport>>>,
+}
+
+impl ProxyServer {
+    /// Creates a proxy for `spec`, forwarding to `origin` through the
+    /// configured resilience policy (retries, deadline, breaker).
+    pub fn new(spec: AdaptationSpec, origin: OriginRef, config: ProxyConfig) -> ProxyServer {
+        let telemetry = config.telemetry.clone().unwrap_or_default();
+        ProxyServer {
+            sessions: SessionManager::new(config.seed),
+            fs: Arc::new(SessionFs::new()),
+            cache: Arc::new(RenderCache::with_stale_window(
+                config.cache_capacity,
+                config.stale_window,
+            )),
+            subtrees: Arc::new(SubtreeCache::new(config.subtree_cache_capacity)),
+            metrics: ProxyMetrics::new(&telemetry),
+            trace_ids: TraceIdSeq::new(config.seed ^ 0x0074_7261_6365), // "trace"
+            shared_ajax: Arc::new(Mutex::new(None)),
+            user_bundles: Mutex::new(HashMap::new()),
+            wants_cookie_clear: Arc::new(Mutex::new(false)),
+            engines: EngineRegistry::with_builtins(),
+            last_entry_report: Arc::new(Mutex::new(None)),
+            origin: Arc::new(ResilientOrigin::with_metrics(
+                origin,
+                config.resilience.clone(),
+                Arc::clone(&telemetry.metrics),
+            )),
+            telemetry,
+            spec,
+            config,
+        }
+    }
+
+    /// Registers an additional rendering engine (the paper's "pluggable
+    /// content adaptation system ... extended with multiple rendering
+    /// engines"). Later registrations shadow built-ins by name.
+    pub fn register_engine(&mut self, engine: Box<dyn crate::engine::RenderEngine>) {
+        self.engines.register(engine);
+    }
+
+    /// Names of the available rendering engines.
+    pub fn engine_names(&self) -> Vec<&str> {
+        self.engines.names()
+    }
+
+    /// Loads a proxy from generated DSL script text — the deployment
+    /// path: the admin tool writes the script, the server runs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the script parse error.
+    pub fn from_script(
+        script: &str,
+        origin: OriginRef,
+        config: ProxyConfig,
+    ) -> Result<ProxyServer, dsl::ParseScriptError> {
+        Ok(ProxyServer::new(dsl::parse_script(script)?, origin, config))
+    }
+
+    /// URL prefix this proxy serves, e.g. `/m/forum`.
+    pub fn base(&self) -> String {
+        format!("/m/{}", self.spec.page_id)
+    }
+
+    /// The adaptation spec in effect.
+    pub fn spec(&self) -> &AdaptationSpec {
+        &self.spec
+    }
+
+    /// The telemetry handle (registry + trace ring) this proxy
+    /// publishes into — pass the same handle to
+    /// `HttpServer::bind_with_telemetry` so serving-tier counters and
+    /// worker spans land in the same place.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Retry/breaker/deadline counters from the resilient fetch layer.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.origin.stats()
+    }
+
+    /// The circuit-breaker state for an origin host (the spec's origin
+    /// host unless AJAX actions fan out elsewhere).
+    pub fn breaker_state(&self, host: &str) -> BreakerState {
+        self.origin.breaker_state(host)
+    }
+
+    /// The shared render cache (amortization accounting lives here).
+    pub fn cache(&self) -> &RenderCache {
+        &self.cache
+    }
+
+    /// The fingerprint-keyed subtree artifact cache backing incremental
+    /// re-adaptation.
+    pub fn subtree_cache(&self) -> &SubtreeCache {
+        &self.subtrees
+    }
+
+    /// The pipeline report from the most recent shared entry rebuild,
+    /// including how many concurrent requests that run's output was
+    /// shared with ([`PipelineReport::coalesced_waiters`]). `None`
+    /// before the first build.
+    pub fn last_entry_report(&self) -> Option<PipelineReport> {
+        self.last_entry_report.lock().clone()
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Generated files currently stored (subpages + images).
+    pub fn stored_files(&self) -> Vec<String> {
+        self.fs.paths()
+    }
+
+    /// Exports every generated artifact (session directories + public
+    /// cache) to a real directory, mirroring the paper's on-disk layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors from the export.
+    pub fn export_files(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        // Shared cached images live in the cache, not the fs; write the
+        // snapshot too when present.
+        if let Some(snapshot) = self.cache.get("img:snapshot.png") {
+            self.fs
+                .write(&SessionFs::public_path("img/snapshot.png"), snapshot);
+        }
+        self.fs.export(dir)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn pipeline_context(&self) -> PipelineContext {
+        PipelineContext {
+            base: self.base(),
+            browser_config: self.config.browser_config.clone(),
+            parallelism: self.config.pipeline_parallelism,
+            schedule_stagger: None,
+            trace: Trace::current(),
+            subtree_cache: if self.config.incremental {
+                Some(Arc::clone(&self.subtrees))
+            } else {
+                None
+            },
+            metrics: Some(Arc::clone(&self.telemetry.metrics)),
+        }
+    }
+}

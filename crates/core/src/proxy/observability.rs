@@ -1,0 +1,299 @@
+//! Stats/telemetry views and the scrape endpoints.
+//!
+//! [`ProxyStats`] is a read-back view over the proxy's metrics
+//! registry; [`ProxyMetrics`] holds the pre-interned handles the hot
+//! path bumps. The observability endpoints (`/metrics`, `/healthz`,
+//! `/trace/<id>`) are answered before any request counter or trace id
+//! moves, so scraping never perturbs the numbers being scraped.
+
+use super::ProxyServer;
+use crate::error::{ProxyError, DEGRADED_HEADER};
+use crate::pipeline::PipelineReport;
+use msite_net::resilience::BreakerState;
+use msite_net::{Request, Response, Url};
+use msite_support::bytes::Bytes;
+use msite_support::telemetry::{
+    metrics::LATENCY_MICROS_BOUNDS, Counter, Gauge, Histogram, Telemetry, Trace,
+};
+use std::sync::Arc;
+
+/// Proxy request counters. Since the telemetry refactor this is a
+/// *view*: every field is read back from the proxy's metrics registry
+/// (`msite_proxy_*` series; `overload_rejections` is the serving
+/// tier's `msite_server_rejected_overload_total`), so [`ProxyStats`]
+/// and a `/metrics` scrape can never disagree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Requests handled.
+    pub requests: u64,
+    /// Requests that needed a full browser render (snapshot rebuilds,
+    /// per-user pipeline runs with pre-render attributes).
+    pub full_renders: u64,
+    /// Requests satisfied by the lightweight scripted path alone.
+    pub lightweight: u64,
+    /// Origin sub-requests issued.
+    pub origin_fetches: u64,
+    /// Sessions created.
+    pub sessions_created: u64,
+    /// Requests answered with a [`ProxyError`] response.
+    pub failures: u64,
+    /// Requests answered with stale cache content because the origin
+    /// was unavailable (serve-stale degradation).
+    pub stale_served: u64,
+    /// Renders served by a fallback engine after the requested engine
+    /// failed.
+    pub engine_fallbacks: u64,
+    /// Requests that shared another request's in-flight render instead
+    /// of launching their own (single-flight coalescing).
+    pub renders_coalesced: u64,
+    /// Connections the serving tier shed with `503` +
+    /// `x-msite-error: overloaded` because the executor's bounded queue
+    /// was full. The rejected connections never reach the proxy's
+    /// request handler: this reads the HTTP server's
+    /// `msite_server_rejected_overload_total` counter, which a server
+    /// sharing this proxy's [`Telemetry`] updates directly — no
+    /// embedder-side folding needed. (Embedders running a server with
+    /// a *separate* registry can still fold via
+    /// [`ProxyServer::record_overload_rejections`].)
+    pub overload_rejections: u64,
+    /// Subpage artifacts served from the fingerprint-keyed subtree
+    /// cache during an entry rebuild (incremental re-adaptation).
+    pub subtrees_reused: u64,
+    /// Subpage artifacts that had to be re-assembled (and, for
+    /// pre-rendered subpages, re-rendered) because their fingerprints
+    /// changed or were never cached.
+    pub subtrees_recomputed: u64,
+    /// Entry responses delivered progressively (chunked).
+    pub streamed_responses: u64,
+}
+
+/// Pre-interned registry handles for the proxy's hot path: every
+/// counter bump below is a single relaxed atomic op.
+pub(super) struct ProxyMetrics {
+    pub(super) requests: Arc<Counter>,
+    pub(super) full_renders: Arc<Counter>,
+    pub(super) lightweight: Arc<Counter>,
+    pub(super) origin_fetches: Arc<Counter>,
+    pub(super) sessions_created: Arc<Counter>,
+    pub(super) stale_served: Arc<Counter>,
+    pub(super) engine_fallbacks: Arc<Counter>,
+    pub(super) renders_coalesced: Arc<Counter>,
+    /// The serving tier's shed counter — the *same* series an
+    /// `HttpServer` sharing this registry increments, so embedders get
+    /// consistent numbers without folding.
+    pub(super) overload_rejections: Arc<Counter>,
+    /// Subtree-cache reuse counters — the same series the emit stage
+    /// bumps through [`PipelineContext::metrics`]; interned here so
+    /// [`ProxyStats`] reads are single atomic loads.
+    pub(super) subtrees_reused: Arc<Counter>,
+    pub(super) subtrees_recomputed: Arc<Counter>,
+    pub(super) streamed_responses: Arc<Counter>,
+    pub(super) sessions_live: Arc<Gauge>,
+    pub(super) request_micros: Arc<Histogram>,
+    /// Time from request arrival to the first flushed entry chunk
+    /// (progressive delivery) or to the complete response (batch).
+    pub(super) ttfb_micros: Arc<Histogram>,
+}
+
+impl ProxyMetrics {
+    pub(super) fn new(telemetry: &Telemetry) -> ProxyMetrics {
+        let m = &telemetry.metrics;
+        ProxyMetrics {
+            request_micros: m.histogram("msite_proxy_request_micros", &[], LATENCY_MICROS_BOUNDS),
+            ttfb_micros: m.histogram("msite_proxy_ttfb_micros", &[], LATENCY_MICROS_BOUNDS),
+            requests: m.counter("msite_proxy_requests_total", &[]),
+            full_renders: m.counter("msite_proxy_full_renders_total", &[]),
+            lightweight: m.counter("msite_proxy_lightweight_total", &[]),
+            origin_fetches: m.counter("msite_proxy_origin_fetches_total", &[]),
+            sessions_created: m.counter("msite_proxy_sessions_created_total", &[]),
+            stale_served: m.counter("msite_proxy_stale_served_total", &[]),
+            engine_fallbacks: m.counter("msite_proxy_engine_fallbacks_total", &[]),
+            renders_coalesced: m.counter("msite_proxy_renders_coalesced_total", &[]),
+            overload_rejections: m.counter("msite_server_rejected_overload_total", &[]),
+            subtrees_reused: m.counter("msite_subtrees_reused_total", &[]),
+            subtrees_recomputed: m.counter("msite_subtrees_recomputed_total", &[]),
+            streamed_responses: m.counter("msite_proxy_streamed_responses_total", &[]),
+            sessions_live: m.gauge("msite_proxy_sessions_live", &[]),
+        }
+    }
+}
+
+/// Publishes per-stage pipeline timings into a registry's
+/// `msite_stage_micros{stage=...}` histograms. Free function so the
+/// streaming producer — which outlives the `&self` borrow — can
+/// publish through its own registry handle.
+pub(super) fn publish_stage_timings_to(
+    metrics: &msite_support::telemetry::MetricsRegistry,
+    report: &PipelineReport,
+) {
+    for stage in &report.stages {
+        metrics
+            .histogram(
+                "msite_stage_micros",
+                &[("stage", stage.kind.name())],
+                LATENCY_MICROS_BOUNDS,
+            )
+            .observe(stage.elapsed.as_micros() as u64);
+    }
+}
+
+impl ProxyServer {
+    /// Counters so far — a view reconstructed from the registry.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            requests: self.metrics.requests.get(),
+            full_renders: self.metrics.full_renders.get(),
+            lightweight: self.metrics.lightweight.get(),
+            origin_fetches: self.metrics.origin_fetches.get(),
+            sessions_created: self.metrics.sessions_created.get(),
+            failures: self
+                .telemetry
+                .metrics
+                .counter_sum("msite_proxy_errors_total"),
+            stale_served: self.metrics.stale_served.get(),
+            engine_fallbacks: self.metrics.engine_fallbacks.get(),
+            renders_coalesced: self.metrics.renders_coalesced.get(),
+            overload_rejections: self.metrics.overload_rejections.get(),
+            subtrees_reused: self.metrics.subtrees_reused.get(),
+            subtrees_recomputed: self.metrics.subtrees_recomputed.get(),
+            streamed_responses: self.metrics.streamed_responses.get(),
+        }
+    }
+
+    /// Folds connection-level overload rejections (counted by an HTTP
+    /// server with a registry *separate* from this proxy's) into
+    /// [`ProxyStats::overload_rejections`]. `n` is the server's
+    /// cumulative counter; the fold is a monotonic max, so repeated
+    /// polling stays idempotent. A server sharing this proxy's
+    /// [`Telemetry`] updates the counter directly and never needs this.
+    pub fn record_overload_rejections(&self, n: u64) {
+        self.metrics.overload_rejections.fold_to(n);
+    }
+
+    /// Publishes per-stage pipeline timings into the registry's
+    /// `msite_stage_micros{stage=...}` histograms. Cold path: only
+    /// entry rebuilds (not cache hits) get here.
+    pub(super) fn publish_stage_timings(&self, report: &PipelineReport) {
+        publish_stage_timings_to(&self.telemetry.metrics, report);
+    }
+
+    /// Copies registry-external counters (cache stats, live sessions)
+    /// into the registry so a scrape sees one consistent surface. The
+    /// cache keeps its own counters for lock-striping reasons; the
+    /// monotonic `fold_to` makes this sync idempotent.
+    fn sync_derived_metrics(&self) {
+        let m = &self.telemetry.metrics;
+        let cache = self.cache.stats();
+        m.counter("msite_cache_hits_total", &[]).fold_to(cache.hits);
+        m.counter("msite_cache_misses_total", &[])
+            .fold_to(cache.misses);
+        m.counter("msite_cache_evictions_total", &[])
+            .fold_to(cache.evictions);
+        m.counter("msite_cache_expirations_total", &[])
+            .fold_to(cache.expirations);
+        m.counter("msite_cache_stale_hits_total", &[])
+            .fold_to(cache.stale_hits);
+        m.counter("msite_cache_coalesced_total", &[])
+            .fold_to(cache.coalesced);
+        let subtrees = self.subtrees.stats();
+        m.counter("msite_subtree_cache_evictions_total", &[])
+            .fold_to(subtrees.evictions);
+        self.metrics.sessions_live.set(self.sessions.len() as i64);
+    }
+
+    /// Routes the observability endpoints — `GET /metrics`,
+    /// `GET /healthz`, `GET /trace/<id>` — which are answered before
+    /// any request counter or trace id moves, so scraping never
+    /// perturbs the numbers being scraped. Returns `None` for ordinary
+    /// proxy traffic.
+    pub(super) fn handle_observability(&self, request: &Request) -> Option<Response> {
+        let path = request.url.path();
+        match path {
+            "/metrics" => Some(self.serve_metrics()),
+            "/healthz" => Some(self.serve_healthz()),
+            _ => path.strip_prefix("/trace/").map(|id| self.serve_trace(id)),
+        }
+    }
+
+    /// `GET /metrics`: the registry's stable text exposition.
+    fn serve_metrics(&self) -> Response {
+        self.sync_derived_metrics();
+        let text = self.telemetry.metrics.render_text();
+        Response::bytes(
+            "text/plain; version=0.0.4; charset=utf-8",
+            Bytes::from(text.into_bytes()),
+        )
+    }
+
+    /// `GET /healthz`: breaker + pool + cache summary. `200` with
+    /// `"status":"ok"` when healthy; `200` + `x-msite-degraded` when
+    /// the origin breaker is not closed; `503` + `x-msite-error:
+    /// overloaded` when the serving tier's queue is at its depth.
+    fn serve_healthz(&self) -> Response {
+        use crate::error::ERROR_HEADER;
+        self.sync_derived_metrics();
+        let m = &self.telemetry.metrics;
+        let host = Url::parse(&self.spec.page_url)
+            .map(|u| u.host().to_string())
+            .unwrap_or_default();
+        let breaker = self.origin.breaker_state(&host);
+        let queue_len = m.gauge_value("msite_server_queue_len", &[]);
+        let queue_depth = m.gauge_value("msite_server_queue_depth", &[]);
+        let overloaded = queue_depth > 0 && queue_len >= queue_depth;
+        let degraded = breaker != BreakerState::Closed;
+        let status = if overloaded {
+            "overloaded"
+        } else if degraded {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let cache = self.cache.stats();
+        let body = format!(
+            "{{\"status\":\"{status}\",\
+             \"breaker\":{{\"host\":\"{host}\",\"state\":\"{}\"}},\
+             \"pool\":{{\"queue_len\":{queue_len},\"queue_depth\":{queue_depth},\"workers\":{}}},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"stale_hits\":{},\"coalesced\":{}}},\
+             \"sessions\":{}}}",
+            breaker.name(),
+            m.gauge_value("msite_server_workers", &[]),
+            cache.hits,
+            cache.misses,
+            cache.stale_hits,
+            cache.coalesced,
+            self.sessions.len(),
+        );
+        let mut response = Response::bytes("application/json", Bytes::from(body.into_bytes()));
+        if overloaded {
+            response.status = msite_net::Status::SERVICE_UNAVAILABLE;
+            response.headers.set(ERROR_HEADER, "overloaded");
+        } else if degraded {
+            response.headers.set(
+                DEGRADED_HEADER,
+                &format!("breaker; host={host}; state={}", breaker.name()),
+            );
+        }
+        response
+    }
+
+    /// `GET /trace/<id>`: the retained spans for one trace id as a
+    /// JSON array, oldest first; `404` when the id is unknown (or has
+    /// aged out of the ring).
+    fn serve_trace(&self, id: &str) -> Response {
+        let spans = Trace::parse_id(id)
+            .map(|id| self.telemetry.trace_log.spans_for(id))
+            .unwrap_or_default();
+        if spans.is_empty() {
+            return ProxyError::NotFound { what: "trace" }.into_response();
+        }
+        let body = format!(
+            "[{}]",
+            spans
+                .iter()
+                .map(|s| s.to_json())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        Response::bytes("application/json", Bytes::from(body.into_bytes()))
+    }
+}

@@ -5,7 +5,7 @@
 //! so different seeds drive different worker/task interleavings.
 
 use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
-use msite::{adapt, AdaptedBundle, PipelineContext, ScheduleStagger};
+use msite::{adapt, adapt_streaming, AdaptedBundle, EmitUnit, PipelineContext, ScheduleStagger};
 use std::time::Duration;
 
 const SCHEDULES: u64 = 24;
@@ -147,6 +147,73 @@ fn width_two_matches_width_four() {
         }),
     );
     assert_identical(&two, &four, u64::MAX);
+}
+
+/// Streaming emit must be a pure re-framing of the batch run: the
+/// concatenated `Entry` chunks equal the batch entry page byte for
+/// byte, every subpage/image unit matches its batch twin, and the final
+/// bundle is identical — under every explored schedule.
+#[test]
+fn streaming_units_reassemble_to_the_batch_bundle() {
+    let serial = run(1, None);
+    let spec = spec(8);
+    let page = page(8);
+
+    for schedule in 0..SCHEDULES {
+        let ctx = PipelineContext {
+            base: "/m/det".into(),
+            parallelism: 4,
+            schedule_stagger: Some(ScheduleStagger {
+                seed: 0x57EA_0000 + schedule,
+                max: Duration::from_micros(500),
+            }),
+            ..PipelineContext::default()
+        };
+        let mut entry_chunks = String::new();
+        let mut unit_files = Vec::new();
+        let mut unit_images = Vec::new();
+        let mut on_unit = |unit: EmitUnit| match unit {
+            EmitUnit::Entry(html) => entry_chunks.push_str(&html),
+            EmitUnit::Subpage(file) => unit_files.push(file),
+            EmitUnit::Image(image) => unit_images.push(image),
+        };
+        let (bundle, _report) = adapt_streaming(&spec, &page, &ctx, &mut on_unit)
+            .expect("fixture adapts cleanly in streaming mode");
+
+        assert_identical(&serial, &bundle, schedule);
+        assert_eq!(
+            entry_chunks, serial.entry_html,
+            "concatenated entry chunks diverged under schedule {schedule}"
+        );
+        // Units surface each artifact exactly once; completion order is
+        // schedule-dependent, so compare by name.
+        assert_eq!(unit_files.len(), serial.subpages.len());
+        for file in &unit_files {
+            let twin = serial
+                .subpages
+                .iter()
+                .find(|f| f.name == file.name)
+                .unwrap_or_else(|| panic!("{}: unit without batch twin", file.name));
+            assert_eq!(
+                file, twin,
+                "{}: subpage unit diverged under schedule {schedule}",
+                file.name
+            );
+        }
+        assert_eq!(unit_images.len(), serial.images.len());
+        for image in &unit_images {
+            let twin = serial
+                .images
+                .iter()
+                .find(|i| i.name == image.name)
+                .unwrap_or_else(|| panic!("{}: unit without batch twin", image.name));
+            assert_eq!(
+                image.bytes, twin.bytes,
+                "{}: image unit bytes diverged under schedule {schedule}",
+                image.name
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,326 @@
+//! Stable content fingerprints over the canonical serialization.
+//!
+//! [`fingerprint_map`] computes a 64-bit FNV-1a hash for **every**
+//! subtree in a document, hashed over exactly the bytes
+//! [`Document::outer_html`] would produce for that subtree. Because the
+//! hash input is the canonical serialization (not parser-internal
+//! state), fingerprints are stable across parse → serialize → parse
+//! round trips: re-parsing a page that did not change yields the same
+//! fingerprint for every subtree, and editing one text node changes the
+//! fingerprints of exactly that node's ancestor chain.
+//!
+//! That property is what makes the proxy's incremental re-adaptation
+//! sound: a subtree whose fingerprint matches the previous fetch is
+//! guaranteed to serialize to the same bytes, so every artifact derived
+//! from it can be reused without re-running the pipeline's assembly or
+//! pre-render work.
+//!
+//! The whole map is computed in one serialization walk: a stack of
+//! running hashers (one per open ancestor) absorbs each emitted byte,
+//! so the cost is O(depth · bytes) with no per-subtree re-serialization.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::entities;
+use crate::parser::is_void_element;
+use crate::tokenizer::RAW_TEXT_ELEMENTS;
+use std::collections::HashMap;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice — the same primitive the render cache uses
+/// for shard striping, exposed here so other layers can mix document
+/// fingerprints with their own context bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash from a previous state — chain calls to
+/// fingerprint multi-part content without concatenating buffers.
+pub fn fnv1a_continue(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Per-subtree fingerprints for one document, keyed by [`NodeId`].
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintMap {
+    map: HashMap<NodeId, u64>,
+    root: u64,
+}
+
+impl FingerprintMap {
+    /// The fingerprint of the subtree rooted at `id`, when `id` was part
+    /// of the fingerprinted document.
+    pub fn of(&self, id: NodeId) -> Option<u64> {
+        self.map.get(&id).copied()
+    }
+
+    /// The whole-document fingerprint (hash of
+    /// [`Document::to_html`](crate::Document::to_html) output).
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Number of fingerprinted subtrees.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no subtrees were fingerprinted (empty document).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Computes subtree fingerprints for every node in `doc` in a single
+/// serialization walk.
+///
+/// # Examples
+///
+/// ```
+/// use msite_html::fingerprint::{fingerprint_map, fnv1a};
+///
+/// let doc = msite_html::parse_document("<div id=\"a\"><b>x</b></div>");
+/// let fp = fingerprint_map(&doc);
+/// let div = doc.element_by_id("a").unwrap();
+/// assert_eq!(fp.of(div), Some(fnv1a(doc.outer_html(div).as_bytes())));
+/// ```
+pub fn fingerprint_map(doc: &Document) -> FingerprintMap {
+    let mut walker = Walker {
+        doc,
+        stack: Vec::new(),
+        map: HashMap::new(),
+        root: FNV_OFFSET,
+    };
+    for child in doc.children(doc.root()) {
+        walker.walk(child);
+    }
+    FingerprintMap {
+        map: walker.map,
+        root: walker.root,
+    }
+}
+
+struct Walker<'a> {
+    doc: &'a Document,
+    /// One running hash per open ancestor, innermost last.
+    stack: Vec<(NodeId, u64)>,
+    map: HashMap<NodeId, u64>,
+    root: u64,
+}
+
+impl Walker<'_> {
+    /// Absorbs serialized bytes into every open hasher and the
+    /// whole-document hash.
+    fn emit(&mut self, text: &str) {
+        self.root = fnv1a_continue(self.root, text.as_bytes());
+        for (_, hash) in &mut self.stack {
+            *hash = fnv1a_continue(*hash, text.as_bytes());
+        }
+    }
+
+    /// Mirrors `Document::write_node` for [`Dialect::Html`]
+    /// (crate::serialize), emitting through the hasher stack instead of
+    /// a string. Keeping the two walks byte-identical is load-bearing;
+    /// the crate's property tests pin `fingerprint == fnv1a(outer_html)`
+    /// for every node.
+    fn walk(&mut self, id: NodeId) {
+        self.stack.push((id, FNV_OFFSET));
+        match self.doc.data(id) {
+            NodeData::Document => {
+                let children: Vec<NodeId> = self.doc.children(id).collect();
+                for child in children {
+                    self.walk(child);
+                }
+            }
+            NodeData::Doctype {
+                name,
+                public_id,
+                system_id,
+            } => {
+                let mut out = String::from("<!DOCTYPE ");
+                out.push_str(name);
+                if !public_id.is_empty() {
+                    out.push_str(" PUBLIC \"");
+                    out.push_str(public_id);
+                    out.push('"');
+                    if !system_id.is_empty() {
+                        out.push_str(" \"");
+                        out.push_str(system_id);
+                        out.push('"');
+                    }
+                } else if !system_id.is_empty() {
+                    out.push_str(" SYSTEM \"");
+                    out.push_str(system_id);
+                    out.push('"');
+                }
+                out.push('>');
+                self.emit(&out);
+            }
+            NodeData::Comment(text) => {
+                let text = text.clone();
+                self.emit("<!--");
+                self.emit(&text);
+                self.emit("-->");
+            }
+            NodeData::Text(text) => {
+                let parent_raw = self
+                    .doc
+                    .node(id)
+                    .parent()
+                    .and_then(|p| self.doc.tag_name(p))
+                    .map(|name| RAW_TEXT_ELEMENTS.contains(&name))
+                    .unwrap_or(false);
+                let rendered = if parent_raw {
+                    text.clone()
+                } else {
+                    entities::encode_text(text)
+                };
+                self.emit(&rendered);
+            }
+            NodeData::Element(element) => {
+                let mut open = String::from("<");
+                open.push_str(element.name());
+                for (k, v) in element.attrs() {
+                    open.push(' ');
+                    open.push_str(k);
+                    open.push_str("=\"");
+                    open.push_str(&entities::encode_attr(v));
+                    open.push('"');
+                }
+                let name = element.name().to_string();
+                if is_void_element(&name) {
+                    open.push('>');
+                    self.emit(&open);
+                    let (node, hash) = self.stack.pop().expect("walker stack underflow");
+                    self.map.insert(node, hash);
+                    return;
+                }
+                open.push('>');
+                self.emit(&open);
+                let children: Vec<NodeId> = self.doc.children(id).collect();
+                for child in children {
+                    self.walk(child);
+                }
+                self.emit(&format!("</{name}>"));
+            }
+        }
+        let (node, hash) = self.stack.pop().expect("walker stack underflow");
+        self.map.insert(node, hash);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    /// Every node's fingerprint equals FNV-1a of its own outer HTML —
+    /// the two serialization walks are byte-identical.
+    #[test]
+    fn fingerprint_matches_outer_html_for_every_node() {
+        let doc = parse_document(
+            "<!DOCTYPE html><!-- c --><html><head><title>T</title>\
+             <script>if (a < b) go();</script></head>\
+             <body><ul><li>a<li>b</ul><br><img src=\"x\"><p>5 &lt; 6</p></body></html>",
+        );
+        let fp = fingerprint_map(&doc);
+        let mut stack: Vec<NodeId> = doc.children(doc.root()).collect();
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            assert_eq!(
+                fp.of(id),
+                Some(fnv1a(doc.outer_html(id).as_bytes())),
+                "node {id:?} fingerprint must hash its outer html"
+            );
+            stack.extend(doc.children(id));
+        }
+        assert_eq!(fp.len(), visited);
+        assert_eq!(fp.root(), fnv1a(doc.to_html().as_bytes()));
+    }
+
+    /// Document-order fingerprint sequence of every node under the root.
+    fn ordered(doc: &Document) -> Vec<u64> {
+        let fp = fingerprint_map(doc);
+        let mut out = vec![fp.root()];
+        for id in doc.descendants(doc.root()) {
+            out.push(fp.of(id).expect("every attached node is fingerprinted"));
+        }
+        out
+    }
+
+    /// Parse → serialize → parse is a fixed point for fingerprints:
+    /// the re-parsed document yields the identical fingerprint sequence
+    /// in document order, even for sloppy input the parser normalizes
+    /// (implied tags, unclosed elements, uppercase names).
+    #[test]
+    fn round_trip_preserves_every_fingerprint() {
+        let inputs = [
+            "<!DOCTYPE html><html><head><title>T</title></head>\
+             <body><div id=a><p>one<p>two</div><table><tr><td>x</table></body></html>",
+            "<P CLASS=big>Sloppy &amp; unclosed<br><ul><li>1<li>2",
+            "<html><body><script>let x = \"</b>\";</script><em>fin</em></body></html>",
+        ];
+        for input in inputs {
+            let first = parse_document(input);
+            let second = parse_document(&first.to_html());
+            assert_eq!(
+                ordered(&first),
+                ordered(&second),
+                "re-parse of serialized output must fingerprint identically for {input:?}"
+            );
+        }
+    }
+
+    /// Editing one text node changes exactly the fingerprints on its
+    /// ancestor chain; every node outside the chain keeps its hash.
+    #[test]
+    fn text_edit_dirties_exactly_the_ancestor_chain() {
+        let doc = parse_document(
+            "<!DOCTYPE html><html><head><title>T</title></head>\
+             <body><div id=\"posts\"><div id=\"p1\"><p>alpha</p></div>\
+             <div id=\"p2\"><p>beta</p></div></div>\
+             <div id=\"footer\"><span>fin</span></div></body></html>",
+        );
+        let before = fingerprint_map(&doc);
+
+        let mut edited = doc.clone();
+        let p1 = edited.element_by_id("p1").expect("fixture has #p1");
+        let para = edited
+            .descendants(p1)
+            .find(|&id| edited.is_element_named(id, "p"))
+            .expect("#p1 contains a <p>");
+        let text = edited
+            .node(para)
+            .first_child()
+            .expect("<p> has a text child");
+        *edited.data_mut(text) = NodeData::Text("alpha EDITED".to_string());
+        let after = fingerprint_map(&edited);
+
+        // NodeIds are stable across the clone, so compare per node. The
+        // dirty set is the edited text node plus its ancestor chain.
+        let mut dirty: Vec<NodeId> = vec![text];
+        dirty.extend(edited.ancestors(text).filter(|&id| id != edited.root()));
+        assert_ne!(before.root(), after.root(), "root hash must change");
+        for id in doc.descendants(doc.root()) {
+            let changed = before.of(id) != after.of(id);
+            assert_eq!(
+                changed,
+                dirty.contains(&id),
+                "node {id:?} ({:?}) changed={changed}, expected only the ancestor chain to change",
+                doc.tag_name(id)
+            );
+        }
+        // Sibling subtree and footer specifically survive untouched.
+        let p2 = doc.element_by_id("p2").expect("fixture has #p2");
+        assert_eq!(before.of(p2), after.of(p2));
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod dom;
 pub mod entities;
+pub mod fingerprint;
 pub mod parser;
 pub mod serialize;
 pub mod text;

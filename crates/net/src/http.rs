@@ -1,8 +1,13 @@
-//! HTTP message types: methods, statuses, headers, requests, responses.
+//! HTTP message types: methods, statuses, headers, requests, responses,
+//! and the chunked transfer-encoding codec used for progressive
+//! (streamed) response bodies.
 
 use crate::url::Url;
 use msite_support::bytes::Bytes;
+use msite_support::sync::Mutex;
 use std::fmt;
+use std::io::BufRead;
+use std::sync::Arc;
 
 /// Request methods the proxy and origins understand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -267,6 +272,59 @@ impl Request {
     }
 }
 
+/// Destination for the chunks of a progressively produced response
+/// body. The server hands the producer a sink that frames and flushes
+/// each chunk straight to the TCP stream; in-process consumers collect
+/// into a buffer instead. `Send` so producers can flush from parallel
+/// pipeline workers.
+pub trait ChunkSink: Send {
+    /// Delivers one body chunk. Empty chunks are ignored by transports
+    /// (an empty chunk would terminate the chunked framing).
+    fn chunk(&mut self, bytes: &[u8]);
+}
+
+impl ChunkSink for Vec<u8> {
+    fn chunk(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// The deferred producer of a streamed body: runs on the transport's
+/// writer thread, pushing chunks into the sink as they become ready.
+pub type ChunkProducer = Box<dyn FnOnce(&mut dyn ChunkSink) + Send>;
+
+/// A streamed response body: a one-shot [`ChunkProducer`] behind a
+/// shared handle (so [`Response`] stays `Clone`; the first consumer
+/// takes the producer, clones see an already-drained stream).
+#[derive(Clone)]
+pub struct ChunkStream {
+    producer: Arc<Mutex<Option<ChunkProducer>>>,
+}
+
+impl ChunkStream {
+    /// Wraps a producer.
+    pub fn new(producer: ChunkProducer) -> ChunkStream {
+        ChunkStream {
+            producer: Arc::new(Mutex::new(Some(producer))),
+        }
+    }
+
+    /// Takes the producer; `None` when already consumed (or consumed
+    /// through a clone).
+    pub fn take(&self) -> Option<ChunkProducer> {
+        self.producer.lock().take()
+    }
+}
+
+impl fmt::Debug for ChunkStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pending = self.producer.lock().is_some();
+        f.debug_struct("ChunkStream")
+            .field("pending", &pending)
+            .finish()
+    }
+}
+
 /// An HTTP response.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -274,8 +332,15 @@ pub struct Response {
     pub status: Status,
     /// Headers.
     pub headers: Headers,
-    /// Body bytes.
+    /// Body bytes. For a streamed response this is empty until the
+    /// stream is drained (see [`Response::into_collected`]).
     pub body: Bytes,
+    /// Deferred chunked body, produced while the transport writes.
+    /// `None` for ordinary (batch) responses. Transports that cannot
+    /// stream — and in-process consumers — drain it into `body` via
+    /// [`Response::into_collected`]; the concatenation of all chunks
+    /// is byte-identical to the batch body.
+    pub stream: Option<ChunkStream>,
 }
 
 impl Response {
@@ -287,6 +352,7 @@ impl Response {
             status: Status::OK,
             headers,
             body: Bytes::from(body.into()),
+            stream: None,
         }
     }
 
@@ -298,6 +364,7 @@ impl Response {
             status: Status::OK,
             headers,
             body: body.into(),
+            stream: None,
         }
     }
 
@@ -309,6 +376,7 @@ impl Response {
             status: Status::FOUND,
             headers,
             body: Bytes::new(),
+            stream: None,
         }
     }
 
@@ -322,6 +390,7 @@ impl Response {
             body: Bytes::from(format!(
                 "<html><body><h1>{status}</h1><p>{message}</p></body></html>"
             )),
+            stream: None,
         }
     }
 
@@ -344,6 +413,104 @@ impl Response {
             .map(|(k, v)| k.len() + v.len() + 4)
             .sum();
         self.body.len() + header_bytes + 32
+    }
+
+    /// 200 response whose body is produced progressively: `producer`
+    /// runs on the transport's writer thread and pushes chunks into
+    /// the sink as they become ready. A TCP server delivers them with
+    /// chunked transfer-encoding (no `content-length`); in-process
+    /// consumers drain with [`Response::into_collected`]. Either way
+    /// the byte-concatenation of the chunks is the full body.
+    pub fn streaming(
+        content_type: &str,
+        producer: impl FnOnce(&mut dyn ChunkSink) + Send + 'static,
+    ) -> Response {
+        let mut headers = Headers::new();
+        headers.set("content-type", content_type);
+        Response {
+            status: Status::OK,
+            headers,
+            body: Bytes::new(),
+            stream: Some(ChunkStream::new(Box::new(producer))),
+        }
+    }
+
+    /// True when this response carries an undrained streamed body.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.as_ref().is_some_and(|s| {
+            // A drained/taken stream behaves like a batch response.
+            let pending = s.producer.lock().is_some();
+            pending
+        })
+    }
+
+    /// Drains a streamed body into `body` (a no-op for batch
+    /// responses): runs the producer to completion, concatenating the
+    /// chunks. This is what non-streaming transports and in-process
+    /// consumers use; the result is byte-identical to what a chunked
+    /// transport would deliver.
+    pub fn into_collected(mut self) -> Response {
+        if let Some(producer) = self.stream.as_ref().and_then(ChunkStream::take) {
+            let mut buffer: Vec<u8> = Vec::new();
+            producer(&mut buffer);
+            self.body = Bytes::from(buffer);
+        }
+        self.stream = None;
+        self
+    }
+}
+
+/// Frames one non-empty chunk for the wire: `<hex len>\r\n<data>\r\n`.
+pub fn encode_chunk(data: &[u8]) -> Vec<u8> {
+    let mut framed = format!("{:x}\r\n", data.len()).into_bytes();
+    framed.extend_from_slice(data);
+    framed.extend_from_slice(b"\r\n");
+    framed
+}
+
+/// The terminal frame of a chunked body: `0\r\n\r\n`.
+pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
+
+/// Decodes a chunked transfer-encoded body from `reader`, returning
+/// the concatenated chunk payloads. Trailers are read and discarded.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed chunk framing and any transport
+/// IO error.
+pub fn decode_chunked(reader: &mut impl BufRead) -> std::io::Result<Vec<u8>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line)?;
+        // Chunk extensions (";ext=val") are allowed and ignored.
+        let size_token = size_line
+            .trim_end()
+            .split(';')
+            .next()
+            .unwrap_or_default()
+            .trim();
+        let size = usize::from_str_radix(size_token, 16).map_err(|_| bad("bad chunk size line"))?;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then CRLF.
+            loop {
+                let mut trailer = String::new();
+                reader.read_line(&mut trailer)?;
+                if trailer.trim_end().is_empty() {
+                    break;
+                }
+            }
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("missing chunk terminator"));
+        }
     }
 }
 

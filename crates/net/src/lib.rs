@@ -36,7 +36,10 @@ pub mod server;
 pub mod url;
 
 pub use cookies::{Cookie, CookieJar};
-pub use http::{Headers, Method, Request, Response, Status};
+pub use http::{
+    decode_chunked, encode_chunk, ChunkProducer, ChunkSink, ChunkStream, Headers, Method, Request,
+    Response, Status, CHUNK_TERMINATOR,
+};
 pub use link::{LinkModel, SimClock, Transport};
 pub use origin::{FaultStats, FlakyOrigin, HostRouter, Origin, OriginRef};
 pub use resilience::{

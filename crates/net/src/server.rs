@@ -421,15 +421,88 @@ fn read_request(reader: &mut BufReader<TcpStream>, peer: SocketAddr) -> std::io:
     })
 }
 
-fn write_response(mut stream: &TcpStream, response: &Response) -> std::io::Result<()> {
+fn write_response(stream: &TcpStream, response: &Response) -> std::io::Result<()> {
+    // A pending streamed body goes out with chunked framing; anything
+    // else (including an already-drained stream) is a batch write.
+    match response
+        .stream
+        .as_ref()
+        .and_then(crate::http::ChunkStream::take)
+    {
+        Some(producer) => write_chunked(stream, response, producer),
+        None => write_batch(stream, response),
+    }
+}
+
+fn write_batch(mut stream: &TcpStream, response: &Response) -> std::io::Result<()> {
     let mut head = format!("HTTP/1.1 {}\r\n", response.status);
     for (name, value) in response.headers.iter() {
+        // Framing headers are owned by this writer: a body buffered
+        // here is delivered with content-length, never chunked.
+        if name == "content-length" || name == "transfer-encoding" {
+            continue;
+        }
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str(&format!("content-length: {}\r\n", response.body.len()));
     head.push_str("connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Writes a streamed response with chunked transfer-encoding: the
+/// producer runs on this (worker) thread and every chunk it emits is
+/// framed and flushed to the socket immediately, so the client's
+/// time-to-first-byte is the time to the *first* chunk, not the whole
+/// body. Chunked bodies never carry `content-length`.
+fn write_chunked(
+    mut stream: &TcpStream,
+    response: &Response,
+    producer: crate::http::ChunkProducer,
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {}\r\n", response.status);
+    for (name, value) in response.headers.iter() {
+        if name == "content-length" || name == "transfer-encoding" {
+            continue;
+        }
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("transfer-encoding: chunked\r\nconnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+
+    struct TcpChunkSink<'a> {
+        stream: &'a TcpStream,
+        error: Option<std::io::Error>,
+    }
+    impl crate::http::ChunkSink for TcpChunkSink<'_> {
+        fn chunk(&mut self, bytes: &[u8]) {
+            if bytes.is_empty() || self.error.is_some() {
+                return;
+            }
+            let write = || -> std::io::Result<()> {
+                let mut s = self.stream;
+                s.write_all(&crate::http::encode_chunk(bytes))?;
+                s.flush()
+            };
+            if let Err(e) = write() {
+                // Remember the first failure; the producer keeps
+                // running (its side effects — cache/file stores — must
+                // complete even when the client hangs up).
+                self.error = Some(e);
+            }
+        }
+    }
+    let mut sink = TcpChunkSink {
+        stream,
+        error: None,
+    };
+    producer(&mut sink);
+    if let Some(e) = sink.error {
+        return Err(e);
+    }
+    stream.write_all(crate::http::CHUNK_TERMINATOR)?;
     stream.flush()
 }
 
@@ -491,23 +564,32 @@ pub fn http_request(request: &Request) -> std::io::Result<Response> {
             headers.append(name.trim(), value.trim());
         }
     }
+    let chunked = headers
+        .get("transfer-encoding")
+        .map(|v| v.eq_ignore_ascii_case("chunked"))
+        .unwrap_or(false);
     let mut body = Vec::new();
-    match headers
-        .get("content-length")
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(len) => {
-            body.resize(len, 0);
-            reader.read_exact(&mut body)?;
-        }
-        None => {
-            reader.read_to_end(&mut body)?;
+    if chunked {
+        body = crate::http::decode_chunked(&mut reader)?;
+    } else {
+        match headers
+            .get("content-length")
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(len) => {
+                body.resize(len, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
         }
     }
     Ok(Response {
         status: Status(status_code),
         headers,
         body: Bytes::from(body),
+        stream: None,
     })
 }
 

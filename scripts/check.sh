@@ -46,3 +46,6 @@ cargo run --release --offline -p msite-bench --bin experiments -- throughput
 
 echo "== telemetry overhead gate =="
 cargo run --release --offline -p msite-bench --bin experiments -- telemetry
+
+echo "== streaming TTFB + incremental re-adaptation gate =="
+cargo run --release --offline -p msite-bench --bin experiments -- streaming

@@ -13,7 +13,7 @@
 
 use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
 use msite::error::{DEGRADED_HEADER, ERROR_HEADER};
-use msite::proxy::{ProxyConfig, ProxyServer};
+use msite::proxy::{ProxyConfig, ProxyServer, STREAM_HEADER};
 use msite_net::resilience::{BreakerConfig, DeadlineBudget, RetryPolicy};
 use msite_net::{
     http_get, http_request, FlakyOrigin, HttpServer, Origin, OriginRef, Request, ResiliencePolicy,
@@ -648,4 +648,189 @@ fn forum_flow_header_contracts_and_stage_spans() {
 
     stack.down();
     origin_server.shutdown();
+}
+
+// --- Scenario 6: streamed entry over real TCP — chunked framing,
+// byte identity with the batch path, TTFB + stream spans ---
+
+#[test]
+fn streamed_entry_over_tcp_matches_batch_bytes() {
+    let stack = Stack::up(
+        spec_for("http://stream.test/", false),
+        healthy_page(),
+        fast_config(),
+    );
+
+    // Cold streamed entry: the transport decodes the chunked framing;
+    // the reassembled body is the complete entry page.
+    let streamed = http_request(
+        &Request::get(&stack.url("/m/t/"))
+            .unwrap()
+            .with_header(STREAM_HEADER, "chunked"),
+    )
+    .unwrap();
+    assert!(streamed.status.is_success());
+    let streamed_body = streamed.body_text();
+    assert!(streamed_body.contains("/m/t/s/main.html"));
+    assert!(
+        streamed.headers.get("content-length").is_none(),
+        "chunked responses must not carry content-length"
+    );
+    let streamed_id = streamed.headers.get(TRACE_HEADER).unwrap().to_string();
+    let cookie = cookie_of(&streamed);
+
+    // The streamed build published the entry to the shared cache; a
+    // plain batch request returns the identical bytes with framing.
+    let batch = get_with_cookie(&stack.url("/m/t/"), &cookie);
+    assert!(batch.status.is_success());
+    assert_eq!(
+        streamed_body,
+        batch.body_text(),
+        "streamed chunks must concatenate to the batch body"
+    );
+    assert!(batch.headers.get("content-length").is_some());
+
+    // The streamed trace records the entry chunk flush.
+    let trace = stack.trace_json(&streamed_id, "stream.chunk");
+    assert!(trace.contains("\"name\":\"stream.chunk\""), "{trace}");
+    assert!(trace.contains("\"kind\":\"entry\""), "{trace}");
+
+    let samples = stack.scrape();
+    assert_eq!(
+        sample(&samples, "msite_proxy_streamed_responses_total"),
+        1,
+        "exactly the opted-in request streams"
+    );
+    assert!(sample(&samples, "msite_proxy_ttfb_micros_count") >= 1);
+    assert_eq!(sample(&samples, "msite_proxy_requests_total"), 2);
+    assert_eq!(
+        sample(&samples, "msite_proxy_origin_fetches_total"),
+        1,
+        "the batch request must hit the streamed build's cache entry"
+    );
+    stack.down();
+}
+
+// --- Scenario 7: one post edited — incremental re-adaptation reuses
+// every untouched subtree and re-renders strictly fewer subpages ---
+
+/// Origin serving a six-post page; post 0's body flips when `edited`
+/// is set, leaving the other five posts byte-identical.
+fn posts_origin(edited: Arc<std::sync::atomic::AtomicBool>) -> OriginRef {
+    Arc::new(move |_req: &Request| {
+        let mut html =
+            String::from("<html><head><title>Posts</title></head><body><div id=\"posts\">");
+        for s in 0..6 {
+            let body = if s == 0 && edited.load(Ordering::SeqCst) {
+                "post zero EDITED body".to_string()
+            } else {
+                format!("post {s} body {}", "lorem ipsum ".repeat(10 + s))
+            };
+            html.push_str(&format!(
+                "<div id=\"post{s}\"><h2>Post {s}</h2><p>{body}</p></div>"
+            ));
+        }
+        html.push_str("</div></body></html>");
+        Response::html(&html)
+    })
+}
+
+#[test]
+fn edited_post_refetch_rerenders_strictly_fewer_subpages() {
+    let edited = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut spec = AdaptationSpec::new("t", "http://posts.test/");
+    spec.snapshot = Some(SnapshotSpec {
+        scale: 0.5,
+        quality: 40,
+        cache_ttl_secs: 600,
+        viewport_width: 800,
+    });
+    for s in 0..6 {
+        spec = spec.rule(
+            Target::Css(format!("#post{s}")),
+            vec![Attribute::Subpage {
+                id: format!("post{s}"),
+                title: format!("Post {s}"),
+                ajax: false,
+                // The edited post stays a plain HTML subpage so the
+                // test can read its text; the untouched five are
+                // pre-rendered, which is where the render savings show.
+                prerender: s != 0,
+            }],
+        );
+    }
+    let stack = Stack::up(spec, posts_origin(Arc::clone(&edited)), fast_config());
+
+    // Cold miss: every subtree is computed, every pre-render runs.
+    let cold = http_get(&stack.url("/m/t/")).unwrap();
+    assert!(cold.status.is_success());
+    let cookie_a = cookie_of(&cold);
+    let after_cold = stack.scrape();
+    assert_eq!(sample(&after_cold, "msite_subtrees_recomputed_total"), 6);
+    assert_eq!(sample(&after_cold, "msite_subtrees_reused_total"), 0);
+    let cold_renders = sample(&after_cold, "msite_browser_renders_total");
+    assert!(
+        cold_renders >= 5,
+        "five pre-rendered subpages imply at least five browser renders, got {cold_renders}"
+    );
+
+    // Session A's per-user view of the pre-edit subpages.
+    let post0_before = get_with_cookie(&stack.url("/m/t/s/post0.html"), &cookie_a);
+    let post1_before = get_with_cookie(&stack.url("/m/t/s/post1.html"), &cookie_a);
+    assert!(post0_before.status.is_success());
+    assert!(post1_before.status.is_success());
+    let baseline = stack.scrape();
+
+    // Edit exactly one post and let the entry TTL lapse.
+    edited.store(true, Ordering::SeqCst);
+    stack.proxy.cache().advance_clock(Duration::from_secs(601));
+
+    // Re-fetch: the rebuild re-runs filter/attrs/emit/render only for
+    // the changed subtree and reuses the other five artifacts.
+    let refetch = get_with_cookie(&stack.url("/m/t/"), &cookie_a);
+    assert!(refetch.status.is_success());
+    assert!(refetch.body_text().contains("/m/t/s/post0.html"));
+    let refetch_id = refetch.headers.get(TRACE_HEADER).unwrap().to_string();
+    let after_incremental = stack.scrape();
+
+    let reused = sample(&after_incremental, "msite_subtrees_reused_total")
+        - sample(&baseline, "msite_subtrees_reused_total");
+    let recomputed = sample(&after_incremental, "msite_subtrees_recomputed_total")
+        - sample(&baseline, "msite_subtrees_recomputed_total");
+    let incremental_renders = sample(&after_incremental, "msite_browser_renders_total")
+        - sample(&baseline, "msite_browser_renders_total");
+    assert_eq!(reused, 5, "five untouched posts must be reused");
+    assert_eq!(recomputed, 1, "only the edited post is recomputed");
+    assert!(
+        incremental_renders < cold_renders,
+        "incremental rebuild must re-render strictly fewer subpages \
+         ({incremental_renders} vs cold {cold_renders})"
+    );
+    assert!(
+        incremental_renders >= 1,
+        "the changed entry snapshot re-renders"
+    );
+
+    // The rebuild's trace names the reuse split.
+    let trace = stack.trace_json(&refetch_id, "incremental.reuse");
+    assert!(trace.contains("\"name\":\"incremental.reuse\""), "{trace}");
+    assert!(trace.contains("\"reused\":\"5\""), "{trace}");
+    assert!(trace.contains("\"recomputed\":\"1\""), "{trace}");
+
+    // A fresh session adapting the edited page serves byte-identical
+    // bytes for the untouched subpage and new bytes for the edited one.
+    let warm = http_get(&stack.url("/m/t/")).unwrap();
+    let cookie_b = cookie_of(&warm);
+    let post1_after = get_with_cookie(&stack.url("/m/t/s/post1.html"), &cookie_b);
+    let post0_after = get_with_cookie(&stack.url("/m/t/s/post0.html"), &cookie_b);
+    assert_eq!(
+        post1_before.body, post1_after.body,
+        "unchanged subpage bytes must be identical across the edit"
+    );
+    assert_ne!(
+        post0_before.body, post0_after.body,
+        "the edited subpage must change"
+    );
+    assert!(post0_after.body_text().contains("EDITED"));
+    stack.down();
 }
