@@ -11,6 +11,7 @@
 //! cargo run --release -p msite-bench --bin experiments -- burst
 //! cargo run --release -p msite-bench --bin experiments -- telemetry
 //! cargo run --release -p msite-bench --bin experiments -- streaming
+//! cargo run --release -p msite-bench --bin experiments -- durability
 //! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
 //! ```
 //!
@@ -19,7 +20,8 @@
 //! the same rates.
 
 use msite_bench::{
-    burst, capacity, claims, fig6, fig7, fixtures, report, streaming, table1, telemetry, throughput,
+    burst, capacity, claims, durability, fig6, fig7, fixtures, report, streaming, table1,
+    telemetry, throughput,
 };
 use msite_support::json::{obj, ToJson, Value};
 use std::process::ExitCode;
@@ -33,6 +35,7 @@ struct AllResults {
     throughput: Option<throughput::ThroughputResult>,
     telemetry: Option<telemetry::TelemetryOverheadResult>,
     streaming: Option<streaming::StreamingResult>,
+    durability: Option<durability::DurabilityResult>,
 }
 
 impl ToJson for AllResults {
@@ -45,12 +48,13 @@ impl ToJson for AllResults {
             ("throughput", self.throughput.to_json_value()),
             ("telemetry", self.telemetry.to_json_value()),
             ("streaming", self.streaming.to_json_value()),
+            ("durability", self.durability.to_json_value()),
         ])
     }
 }
 
 /// Wall-clock spent inside each experiment, recorded into
-/// `BENCH_PR6.json` so the perf trajectory is comparable across PRs.
+/// `BENCH_PR7.json` so the perf trajectory is comparable across PRs.
 struct Timings {
     entries: Vec<(&'static str, Duration)>,
 }
@@ -113,6 +117,7 @@ fn main() -> ExitCode {
         throughput: None,
         telemetry: None,
         streaming: None,
+        durability: None,
     };
 
     if want("table1") {
@@ -434,6 +439,72 @@ fn main() -> ExitCode {
         results.streaming = Some(result);
     }
 
+    if want("durability") {
+        let result = timings.time("durability", durability::run);
+        if let Err(e) = durability::check_shape(&result) {
+            failures.push(format!("durability shape: {e}"));
+        }
+        if !json {
+            let r = &result.restart;
+            report::print_table(
+                "Durability — kill and restart over the persistent tier",
+                &["metric", "value"],
+                &[
+                    vec!["working set (keys)".into(), r.working_set.to_string()],
+                    vec![
+                        "recovered after restart".into(),
+                        format!("{} ({:.0}%)", r.recovered, r.hit_ratio() * 100.0),
+                    ],
+                    vec![
+                        "renders (first life)".into(),
+                        r.renders_first_life.to_string(),
+                    ],
+                    vec![
+                        "renders (after restart)".into(),
+                        r.renders_after_restart.to_string(),
+                    ],
+                ],
+            );
+            let s = &result.surge;
+            report::print_table(
+                &format!(
+                    "Adaptive capacity — {} clients, {} ms window, equal offered load",
+                    durability::SURGE_CLIENTS,
+                    durability::SURGE_WINDOW.as_millis()
+                ),
+                &["arm", "served", "shed", "attempts", "workers at close"],
+                &[
+                    vec![
+                        "static (2 workers)".into(),
+                        s.static_arm.served.to_string(),
+                        s.static_arm.shed.to_string(),
+                        s.static_arm.attempts.to_string(),
+                        s.static_arm.final_workers.to_string(),
+                    ],
+                    vec![
+                        "adaptive (health loop)".into(),
+                        s.adaptive_arm.served.to_string(),
+                        s.adaptive_arm.shed.to_string(),
+                        s.adaptive_arm.attempts.to_string(),
+                        s.adaptive_arm.final_workers.to_string(),
+                    ],
+                ],
+            );
+            println!(
+                "adaptive served {:.2}x static ({} scale-ups)",
+                s.speedup(),
+                s.adaptive_arm.scale_ups
+            );
+            match durability::check_shape(&result) {
+                Ok(()) => println!(
+                    "shape check: PASS (warm-start >= 90%, zero restart renders, adaptive > static)"
+                ),
+                Err(e) => println!("shape check: FAIL ({e})"),
+            }
+        }
+        results.durability = Some(result);
+    }
+
     if want("capacity") && !json {
         let load = capacity::LoadModel::default();
         let rows_data = capacity::analyze(&load);
@@ -507,12 +578,13 @@ fn main() -> ExitCode {
         ("throughput", results.throughput.to_json_value()),
         ("telemetry", results.telemetry.to_json_value()),
         ("streaming", results.streaming.to_json_value()),
+        ("durability", results.durability.to_json_value()),
     ]);
-    if let Err(e) = std::fs::write("BENCH_PR6.json", bench_json.to_pretty()) {
-        eprintln!("warning: could not write BENCH_PR6.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_PR7.json", bench_json.to_pretty()) {
+        eprintln!("warning: could not write BENCH_PR7.json: {e}");
     } else if !json {
         println!(
-            "\nwrote BENCH_PR6.json ({} experiments timed)",
+            "\nwrote BENCH_PR7.json ({} experiments timed)",
             timings.entries.len()
         );
     }

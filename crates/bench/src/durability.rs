@@ -1,0 +1,375 @@
+//! The PR-7 durability + adaptive-capacity experiments.
+//!
+//! Two claims are checked:
+//!
+//! 1. **Warm restart.** A proxy with the persistent cache tier is
+//!    killed without a graceful shutdown and restarted over the same
+//!    disk; the successor must recover ≥ 90% of the pre-crash working
+//!    set from the journal and serve it with **zero** browser renders.
+//! 2. **Adaptive capacity beats static.** Under the same surge (same
+//!    client count, window, and pacing) a server whose
+//!    [`HealthMonitor`] steers the worker pool serves strictly more
+//!    requests than the identically-configured static server.
+
+use msite::attributes::{AdaptationSpec, Attribute, SnapshotSpec, Target};
+use msite::persist::{DiskBackend, MemDisk};
+use msite::proxy::{PersistConfig, ProxyConfig, ProxyServer};
+use msite_net::{
+    http_get, HealthConfig, HealthMonitor, HttpServer, Origin, OriginRef, Request, Response,
+    ServerConfig, Status,
+};
+use msite_support::json::{obj, ToJson, Value};
+use msite_support::telemetry::Telemetry;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrent clients in the surge.
+pub const SURGE_CLIENTS: usize = 16;
+/// Duration each surge arm runs at full offered load.
+pub const SURGE_WINDOW: Duration = Duration::from_millis(800);
+/// Simulated origin service time per request.
+pub const ORIGIN_DELAY: Duration = Duration::from_millis(4);
+
+/// Outcome of the kill-and-restart probe.
+#[derive(Debug, Clone)]
+pub struct RestartResult {
+    /// Distinct cache keys the first life persisted (its hot set).
+    pub working_set: usize,
+    /// Keys the second life restored into memory at open.
+    pub warm_loaded: u64,
+    /// Working-set keys servable from the revived cache.
+    pub recovered: usize,
+    /// Browser renders the first life spent building the set.
+    pub renders_first_life: u64,
+    /// Browser renders the second life spent re-serving it (want 0).
+    pub renders_after_restart: u64,
+}
+
+impl RestartResult {
+    /// Fraction of the pre-crash working set served warm after restart.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.working_set == 0 {
+            return 0.0;
+        }
+        self.recovered as f64 / self.working_set as f64
+    }
+}
+
+/// One arm of the surge comparison (identical offered load).
+#[derive(Debug, Clone)]
+pub struct SurgeArm {
+    /// Requests the clients attempted during the window.
+    pub attempts: u64,
+    /// Requests answered by the origin.
+    pub served: u64,
+    /// Requests shed with `503 overloaded`.
+    pub shed: u64,
+    /// Health-loop scale-up actuations (0 for the static arm).
+    pub scale_ups: u64,
+    /// Worker width when the window closed.
+    pub final_workers: usize,
+}
+
+/// Outcome of the adaptive-vs-static surge.
+#[derive(Debug, Clone)]
+pub struct SurgeResult {
+    /// The fixed-width baseline.
+    pub static_arm: SurgeArm,
+    /// The health-monitored arm.
+    pub adaptive_arm: SurgeArm,
+}
+
+impl SurgeResult {
+    /// Throughput multiple of adaptive over static.
+    pub fn speedup(&self) -> f64 {
+        if self.static_arm.served == 0 {
+            return f64::INFINITY;
+        }
+        self.adaptive_arm.served as f64 / self.static_arm.served as f64
+    }
+}
+
+/// The full durability experiment result.
+#[derive(Debug, Clone)]
+pub struct DurabilityResult {
+    /// Kill-and-restart warm-start probe.
+    pub restart: RestartResult,
+    /// Adaptive-vs-static surge comparison.
+    pub surge: SurgeResult,
+}
+
+fn durable_spec() -> AdaptationSpec {
+    let mut spec = AdaptationSpec::new("durable", "http://durable.bench/");
+    spec.snapshot = Some(SnapshotSpec::default());
+    ["a", "b", "c", "d"].iter().fold(spec, |spec, id| {
+        spec.rule(
+            Target::Css(format!("#{id}")),
+            vec![Attribute::PrerenderImage {
+                scale: 0.5,
+                quality: 60,
+                cache_ttl_secs: Some(3_600),
+            }],
+        )
+    })
+}
+
+fn durable_proxy(backend: Arc<dyn DiskBackend>) -> Arc<ProxyServer> {
+    let origin: OriginRef = Arc::new(|_req: &Request| {
+        Response::html(
+            "<html><head><title>Durable</title></head><body>\
+             <div id=\"a\">alpha</div><div id=\"b\">beta</div>\
+             <div id=\"c\">gamma</div><div id=\"d\">delta</div></body></html>",
+        )
+    });
+    Arc::new(ProxyServer::new(
+        durable_spec(),
+        origin,
+        ProxyConfig {
+            persist: Some(PersistConfig::with_backend(backend, 4 * 1024 * 1024)),
+            ..ProxyConfig::default()
+        },
+    ))
+}
+
+/// Builds a working set through a persisted proxy, crashes it (no
+/// graceful flush-on-drop), and measures what the successor recovers.
+pub fn run_restart() -> RestartResult {
+    let disk = MemDisk::new();
+    let proxy = durable_proxy(Arc::new(disk.clone()));
+    for _ in 0..5 {
+        let entry = proxy.handle(&Request::get("http://p/m/durable/").unwrap());
+        assert!(entry.status.is_success(), "{}", entry.status);
+    }
+    let renders_first_life = proxy.stats().full_renders;
+    proxy.cache().flush_disk();
+    let working_set = proxy
+        .cache()
+        .disk()
+        .expect("persistent tier attached")
+        .hot_keys(64);
+    // `forget` models the crash: Drop would flush and join the
+    // write-behind thread, which a real kill never does.
+    std::mem::forget(proxy);
+
+    let revived = durable_proxy(Arc::new(disk.clone()));
+    let warm_loaded = revived.cache().warm_loaded();
+    let recovered = working_set
+        .iter()
+        .filter(|key| revived.cache().get(key).is_some())
+        .count();
+    let entry = revived.handle(&Request::get("http://p/m/durable/").unwrap());
+    assert!(entry.status.is_success(), "{}", entry.status);
+    RestartResult {
+        working_set: working_set.len(),
+        warm_loaded,
+        recovered,
+        renders_first_life,
+        renders_after_restart: revived.stats().full_renders,
+    }
+}
+
+/// Runs one surge arm: a deliberately narrow server (2 workers, queue 8)
+/// against [`SURGE_CLIENTS`] closed-loop clients for [`SURGE_WINDOW`].
+/// The adaptive arm attaches a fast-ticking [`HealthMonitor`] that may
+/// widen the pool up to 32 workers; the static arm keeps width 2.
+fn run_surge_arm(adaptive: bool) -> SurgeArm {
+    let origin: OriginRef = Arc::new(|_req: &Request| {
+        std::thread::sleep(ORIGIN_DELAY);
+        Response::html("<p>served</p>")
+    });
+    let telemetry = Telemetry::new();
+    let server = HttpServer::bind_with_telemetry(
+        "127.0.0.1:0",
+        origin,
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+        },
+        telemetry.clone(),
+    )
+    .expect("ephemeral bind");
+    let monitor = adaptive.then(|| {
+        let monitor = Arc::new(HealthMonitor::new(
+            HealthConfig {
+                interval: Duration::from_millis(15),
+                min_workers: 2,
+                max_workers: 32,
+                ..HealthConfig::default()
+            },
+            Arc::clone(&telemetry.metrics),
+            server.pool(),
+            server.shed_threshold(),
+        ));
+        monitor.spawn();
+        monitor
+    });
+
+    let addr = server.addr();
+    let stop_at = Instant::now() + SURGE_WINDOW;
+    let clients: Vec<_> = (0..SURGE_CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut attempts = 0u64;
+                while Instant::now() < stop_at {
+                    attempts += 1;
+                    let shed = http_get(&format!("http://{addr}/surge{i}"))
+                        .map(|r| r.status == Status::SERVICE_UNAVAILABLE)
+                        .unwrap_or(true);
+                    if shed {
+                        // Back off instead of hammering the shed path,
+                        // so both arms offer comparable load.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                attempts
+            })
+        })
+        .collect();
+    let attempts: u64 = clients
+        .into_iter()
+        .map(|c| c.join().expect("surge client"))
+        .sum();
+    if let Some(monitor) = &monitor {
+        monitor.stop();
+    }
+    let registry = &telemetry.metrics;
+    let arm = SurgeArm {
+        attempts,
+        served: registry.counter_value("msite_server_served_total", &[]),
+        shed: registry.counter_value("msite_server_rejected_overload_total", &[]),
+        scale_ups: registry.counter_value("msite_health_scale_ups_total", &[]),
+        final_workers: server.pool().workers(),
+    };
+    server.shutdown();
+    arm
+}
+
+/// Runs the surge comparison: static first, then adaptive, at equal
+/// offered load.
+pub fn run_surge() -> SurgeResult {
+    SurgeResult {
+        static_arm: run_surge_arm(false),
+        adaptive_arm: run_surge_arm(true),
+    }
+}
+
+/// Runs the full durability experiment.
+pub fn run() -> DurabilityResult {
+    DurabilityResult {
+        restart: run_restart(),
+        surge: run_surge(),
+    }
+}
+
+/// Shape assertions for the experiments binary: the warm-start ratio is
+/// a hard floor, the restart spends no renders, and adaptive capacity
+/// strictly out-serves static under the same surge.
+pub fn check_shape(result: &DurabilityResult) -> Result<(), String> {
+    let restart = &result.restart;
+    if restart.working_set < 2 {
+        return Err(format!(
+            "restart working set too small to measure: {} keys",
+            restart.working_set
+        ));
+    }
+    if restart.hit_ratio() < 0.9 {
+        return Err(format!(
+            "warm-start hit ratio {:.2} below the 0.9 floor ({}/{} keys)",
+            restart.hit_ratio(),
+            restart.recovered,
+            restart.working_set
+        ));
+    }
+    if restart.renders_after_restart != 0 {
+        return Err(format!(
+            "restart re-rendered {} times; the working set must come from disk",
+            restart.renders_after_restart
+        ));
+    }
+    let surge = &result.surge;
+    if surge.adaptive_arm.scale_ups == 0 {
+        return Err("adaptive arm never scaled up; the surge did not bite".into());
+    }
+    if surge.adaptive_arm.served <= surge.static_arm.served {
+        return Err(format!(
+            "adaptive served {} <= static {} at equal offered load",
+            surge.adaptive_arm.served, surge.static_arm.served
+        ));
+    }
+    if surge.static_arm.shed == 0 {
+        return Err("static arm shed nothing; the surge never exceeded capacity".into());
+    }
+    Ok(())
+}
+
+impl ToJson for RestartResult {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("working_set", self.working_set.to_json_value()),
+            ("warm_loaded", self.warm_loaded.to_json_value()),
+            ("recovered", self.recovered.to_json_value()),
+            ("hit_ratio", self.hit_ratio().to_json_value()),
+            (
+                "renders_first_life",
+                self.renders_first_life.to_json_value(),
+            ),
+            (
+                "renders_after_restart",
+                self.renders_after_restart.to_json_value(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SurgeArm {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("attempts", self.attempts.to_json_value()),
+            ("served", self.served.to_json_value()),
+            ("shed", self.shed.to_json_value()),
+            ("scale_ups", self.scale_ups.to_json_value()),
+            ("final_workers", self.final_workers.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for SurgeResult {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("static", self.static_arm.to_json_value()),
+            ("adaptive", self.adaptive_arm.to_json_value()),
+            ("speedup", self.speedup().to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for DurabilityResult {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("restart", self.restart.to_json_value()),
+            ("surge", self.surge.to_json_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_recovers_the_working_set() {
+        let restart = run_restart();
+        assert!(restart.hit_ratio() >= 0.9, "{restart:?}");
+        assert_eq!(restart.renders_after_restart, 0, "{restart:?}");
+    }
+
+    #[test]
+    fn adaptive_surge_out_serves_static() {
+        let surge = run_surge();
+        assert!(surge.adaptive_arm.scale_ups >= 1, "{surge:?}");
+        assert!(
+            surge.adaptive_arm.served > surge.static_arm.served,
+            "{surge:?}"
+        );
+    }
+}

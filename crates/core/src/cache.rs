@@ -36,6 +36,7 @@
 //! (capacity ≤ 32) collapse to a single shard, which is exactly the
 //! seed's global-LRU behavior.
 
+use crate::persist::{DiskFreshness, DiskTier};
 use msite_support::bytes::Bytes;
 use msite_support::sync::{Mutex, OnceValue};
 use std::any::Any;
@@ -257,7 +258,13 @@ impl Drop for FlightGuard<'_> {
 /// ```
 pub struct RenderCache {
     shards: Box<[Shard]>,
-    stale_window: Duration,
+    /// Stale-window width in microseconds; atomic so the health monitor
+    /// can widen serve-stale aggressiveness at runtime.
+    stale_window_micros: AtomicU64,
+    /// Optional persistent second tier (write-behind + warm restart).
+    disk: Option<Arc<DiskTier>>,
+    /// Entries preloaded from the disk tier at construction.
+    warm_loaded: AtomicU64,
 }
 
 impl RenderCache {
@@ -305,13 +312,94 @@ impl RenderCache {
             .collect();
         RenderCache {
             shards: shards.into_boxed_slice(),
-            stale_window,
+            stale_window_micros: AtomicU64::new(stale_window.as_micros() as u64),
+            disk: None,
+            warm_loaded: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache backed by a persistent disk tier: inserts are
+    /// written behind to `tier`, memory misses are answered from disk
+    /// when a checksum-verified fresh artifact exists, and the hot set
+    /// (most recently persisted live entries, up to `capacity`) is
+    /// preloaded so a restarted proxy serves its working set without
+    /// re-rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_disk_tier(
+        capacity: usize,
+        stale_window: Duration,
+        tier: Arc<DiskTier>,
+    ) -> RenderCache {
+        let mut cache = RenderCache::with_stale_window(capacity, stale_window);
+        cache.disk = Some(tier);
+        cache.warm_load(capacity);
+        cache
+    }
+
+    /// Preloads the most recently persisted live artifacts into the
+    /// memory tier (warm restart).
+    fn warm_load(&self, limit: usize) {
+        let Some(tier) = &self.disk else { return };
+        let tier = Arc::clone(tier);
+        for key in tier.hot_keys(limit) {
+            let Some(record) = tier.get(&key) else {
+                continue;
+            };
+            if let DiskFreshness::Fresh(ttl) = record.freshness {
+                let shard = self.shard(&key);
+                let mut inner = shard.inner.lock();
+                self.insert_locked(shard, &mut inner, &key, record.value, ttl, record.cost);
+                drop(inner);
+                self.warm_loaded.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     /// The configured stale window.
     pub fn stale_window(&self) -> Duration {
-        self.stale_window
+        Duration::from_micros(self.stale_window_micros.load(Ordering::Relaxed))
+    }
+
+    /// Adjusts the stale window at runtime — the health monitor widens
+    /// it under duress (serve stale rather than shed) and restores the
+    /// configured width when the system recovers.
+    pub fn set_stale_window(&self, window: Duration) {
+        self.stale_window_micros
+            .store(window.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The persistent tier, when one is attached.
+    pub fn disk(&self) -> Option<&Arc<DiskTier>> {
+        self.disk.as_ref()
+    }
+
+    /// Statistics of the persistent tier (`None` when memory-only).
+    pub fn disk_stats(&self) -> Option<crate::persist::DiskTierStats> {
+        self.disk.as_ref().map(|tier| tier.stats())
+    }
+
+    /// Entries preloaded from disk at construction (warm restart).
+    pub fn warm_loaded(&self) -> u64 {
+        self.warm_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the disk tier's write-behind queue has drained.
+    /// No-op when memory-only.
+    pub fn flush_disk(&self) {
+        if let Some(tier) = &self.disk {
+            tier.flush();
+        }
+    }
+
+    /// Write-behind hook: persists an inserted artifact without
+    /// blocking the serving path.
+    fn write_behind(&self, key: &str, value: &Bytes, ttl: Option<Duration>, cost: Duration) {
+        if let Some(tier) = &self.disk {
+            tier.put(key, value.clone(), ttl, cost);
+        }
     }
 
     /// Number of lock stripes.
@@ -367,9 +455,12 @@ impl RenderCache {
     /// records how long the artifact took to produce, feeding the
     /// amortization accounting.
     pub fn put(&self, key: &str, value: impl Into<Bytes>, ttl: Option<Duration>, cost: Duration) {
+        let value = value.into();
         let shard = self.shard(key);
         let mut inner = shard.inner.lock();
-        self.insert_locked(shard, &mut inner, key, value.into(), ttl, cost);
+        self.insert_locked(shard, &mut inner, key, value.clone(), ttl, cost);
+        drop(inner);
+        self.write_behind(key, &value, ttl, cost);
     }
 
     /// Inserts under an already-held shard lock, evicting if the shard
@@ -392,7 +483,7 @@ impl RenderCache {
             let dead: Vec<String> = inner
                 .entries
                 .iter()
-                .filter(|(_, e)| e.age_past_expiry(now) > self.stale_window)
+                .filter(|(_, e)| e.age_past_expiry(now) > self.stale_window())
                 .map(|(k, _)| k.clone())
                 .collect();
             for k in &dead {
@@ -443,6 +534,13 @@ impl RenderCache {
     }
 
     fn lookup_at(&self, key: &str, allow_stale: bool) -> Lookup {
+        match self.lookup_mem(key, allow_stale) {
+            Lookup::Miss => self.lookup_disk(key, allow_stale),
+            found => found,
+        }
+    }
+
+    fn lookup_mem(&self, key: &str, allow_stale: bool) -> Lookup {
         let mut inner = self.shard(key).inner.lock();
         let now = Instant::now() + inner.time_offset;
         inner.clock += 1;
@@ -460,7 +558,7 @@ impl RenderCache {
             inner.amortized += cost;
             return Lookup::Fresh(value);
         }
-        if age > self.stale_window {
+        if age > self.stale_window() {
             // Beyond salvage: drop the entry whichever API touched it.
             inner.entries.remove(key);
             inner.stats.expirations += 1;
@@ -477,6 +575,66 @@ impl RenderCache {
         let value = entry.value.clone();
         inner.stats.stale_hits += 1;
         Lookup::Stale { value, age }
+    }
+
+    /// Memory-miss fallback: consult the persistent tier. A fresh
+    /// checksum-verified artifact is promoted into the memory tier
+    /// (without re-persisting) and served; an expired one is served
+    /// stale when its age fits the stale window. The preceding memory
+    /// miss stays counted — disk recoveries surface in
+    /// [`Self::disk_stats`], not in [`CacheStats`].
+    fn lookup_disk(&self, key: &str, allow_stale: bool) -> Lookup {
+        let Some(tier) = &self.disk else {
+            return Lookup::Miss;
+        };
+        let Some(record) = tier.get(key) else {
+            return Lookup::Miss;
+        };
+        match record.freshness {
+            DiskFreshness::Fresh(ttl) => {
+                let shard = self.shard(key);
+                let mut inner = shard.inner.lock();
+                self.insert_locked(
+                    shard,
+                    &mut inner,
+                    key,
+                    record.value.clone(),
+                    ttl,
+                    record.cost,
+                );
+                Lookup::Fresh(record.value)
+            }
+            DiskFreshness::Expired(age) if allow_stale && age <= self.stale_window() => {
+                Lookup::Stale {
+                    value: record.value,
+                    age,
+                }
+            }
+            DiskFreshness::Expired(_) => Lookup::Miss,
+        }
+    }
+
+    /// Flight-path disk probe: when memory lacks a fresh entry but the
+    /// persistent tier holds one, promote it so the flight resolves as
+    /// a hit instead of electing a render leader.
+    fn promote_for_flight(&self, key: &str) {
+        let Some(tier) = &self.disk else { return };
+        {
+            let inner = self.shard(key).inner.lock();
+            let now = Instant::now() + inner.time_offset;
+            if let Some(entry) = inner.entries.get(key) {
+                if entry.age_past_expiry(now).is_zero() {
+                    return;
+                }
+            }
+        }
+        if let Some(record) = tier.get(key) {
+            if let DiskFreshness::Fresh(ttl) = record.freshness {
+                let shard = self.shard(key);
+                let mut inner = shard.inner.lock();
+                self.insert_locked(shard, &mut inner, key, record.value, ttl, record.cost);
+            }
+        }
     }
 
     /// Fetches, or computes-and-stores on miss, coalescing concurrent
@@ -546,6 +704,9 @@ impl RenderCache {
         F: FnOnce() -> Result<(Bytes, Duration), E>,
     {
         let wait_deadline = wait_budget.map(|b| Instant::now() + b);
+        if self.disk.is_some() {
+            self.promote_for_flight(key);
+        }
         let shard = self.shard(key);
         let mut produce = Some(produce);
         let mut counted_miss = false;
@@ -564,7 +725,7 @@ impl RenderCache {
                     inner.amortized += cost;
                     return Flight::Hit(value);
                 }
-                if age > self.stale_window {
+                if age > self.stale_window() {
                     inner.entries.remove(key);
                     inner.stats.expirations += 1;
                 } else if eager_stale {
@@ -667,7 +828,8 @@ impl RenderCache {
         drop(inner);
         let shared_with = flight.waiters.load(Ordering::Relaxed);
         match outcome {
-            Ok((value, _cost)) => {
+            Ok((value, cost)) => {
+                self.write_behind(key, &value, ttl, cost);
                 flight.result.set(Ok(value.clone()));
                 guard.disarm();
                 Flight::Led { value, shared_with }
@@ -697,7 +859,7 @@ impl RenderCache {
                 inner.stats.coalesced += 1;
                 return Flight::Shared(value);
             }
-            if age <= self.stale_window {
+            if age <= self.stale_window() {
                 entry.last_used = clock;
                 let value = entry.value.clone();
                 inner.stats.stale_hits += 1;
@@ -734,15 +896,21 @@ impl RenderCache {
             .sum()
     }
 
-    /// Drops an entry.
+    /// Drops an entry (from the disk tier too, when one is attached).
     pub fn invalidate(&self, key: &str) {
         self.shard(key).inner.lock().entries.remove(key);
+        if let Some(tier) = &self.disk {
+            tier.forget(key);
+        }
     }
 
     /// Drops everything (in-flight registrations are untouched).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
             shard.inner.lock().entries.clear();
+        }
+        if let Some(tier) = &self.disk {
+            tier.forget_all();
         }
     }
 
@@ -758,7 +926,7 @@ impl RenderCache {
                 inner
                     .entries
                     .values()
-                    .filter(|e| e.age_past_expiry(now) <= self.stale_window)
+                    .filter(|e| e.age_past_expiry(now) <= self.stale_window())
                     .count()
             })
             .sum()
@@ -782,6 +950,124 @@ impl RenderCache {
     /// "amortizing rendering costs across many client sessions".
     pub fn amortized_savings(&self) -> Duration {
         self.shards.iter().map(|s| s.inner.lock().amortized).sum()
+    }
+
+    /// Tries to become the leader for an *externally produced* render
+    /// of `key` — the hook that lets producers which cannot run inside
+    /// a closure (the streaming pipeline renders unit-by-unit into a
+    /// chunk sink) still participate in single flight.
+    ///
+    /// Returns `None` when a fresh entry already exists (serve it via
+    /// [`Self::lookup`]) or another flight is in progress (join it via
+    /// [`Self::join_flight`] or [`Self::render_flight`]). Returns
+    /// `Some` when this caller won the leadership: it must eventually
+    /// [`ExternalFlight::complete`] the flight, or drop it to abandon
+    /// (waiters then retry and elect a new leader).
+    pub fn try_lead(self: &Arc<Self>, key: &str) -> Option<ExternalFlight> {
+        if self.disk.is_some() {
+            self.promote_for_flight(key);
+        }
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock();
+        let now = Instant::now() + inner.time_offset;
+        if let Some(entry) = inner.entries.get(key) {
+            if entry.age_past_expiry(now).is_zero() {
+                return None;
+            }
+        }
+        if inner.flights.contains_key(key) {
+            return None;
+        }
+        let flight = Arc::new(InFlight::new());
+        inner.flights.insert(key.to_string(), Arc::clone(&flight));
+        Some(ExternalFlight {
+            cache: Arc::clone(self),
+            key: key.to_string(),
+            flight,
+            completed: false,
+        })
+    }
+}
+
+/// Leadership of a single-flight render whose artifact is produced
+/// outside the cache's closures (see [`RenderCache::try_lead`]).
+///
+/// Completing publishes the artifact to the cache (and its disk tier)
+/// and wakes every waiter; dropping without completing abandons the
+/// flight exactly like a panicking closure leader — waiters retry and
+/// elect a new leader.
+pub struct ExternalFlight {
+    cache: Arc<RenderCache>,
+    key: String,
+    flight: Arc<InFlight>,
+    completed: bool,
+}
+
+impl ExternalFlight {
+    /// The key this flight leads.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Number of waiters currently parked on this flight.
+    pub fn waiters(&self) -> u64 {
+        self.flight.waiters.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the finished artifact: inserts it into the cache,
+    /// writes it behind to the disk tier, and wakes every waiter with
+    /// the value.
+    pub fn complete(mut self, value: impl Into<Bytes>, ttl: Option<Duration>, cost: Duration) {
+        let value = value.into();
+        let shard = self.cache.shard(&self.key);
+        {
+            let mut inner = shard.inner.lock();
+            self.cache
+                .insert_locked(shard, &mut inner, &self.key, value.clone(), ttl, cost);
+            if inner
+                .flights
+                .get(&self.key)
+                .is_some_and(|f| Arc::ptr_eq(f, &self.flight))
+            {
+                inner.flights.remove(&self.key);
+            }
+        }
+        self.cache.write_behind(&self.key, &value, ttl, cost);
+        self.flight.result.set(Ok(value));
+        self.completed = true;
+    }
+
+    /// Abandons the flight explicitly (identical to dropping it).
+    pub fn abandon(self) {}
+}
+
+impl Drop for ExternalFlight {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let shard = self.cache.shard(&self.key);
+        let mut inner = shard.inner.lock();
+        if inner
+            .flights
+            .get(&self.key)
+            .is_some_and(|f| Arc::ptr_eq(f, &self.flight))
+        {
+            inner.flights.remove(&self.key);
+        }
+        drop(inner);
+        // Wake waiters *after* the registry slot is free, so a retrying
+        // waiter cannot rejoin this dead flight.
+        self.flight.result.set(Err(Arc::new(LeaderAbandoned)));
+    }
+}
+
+impl std::fmt::Debug for ExternalFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExternalFlight")
+            .field("key", &self.key)
+            .field("completed", &self.completed)
+            .finish()
     }
 }
 

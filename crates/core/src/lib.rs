@@ -64,6 +64,7 @@ pub mod cache;
 pub mod dsl;
 pub mod engine;
 pub mod error;
+pub mod persist;
 pub mod pipeline;
 pub mod proxy;
 pub mod search;
@@ -72,9 +73,15 @@ pub mod snapshot;
 
 pub use attributes::{AdaptationSpec, Attribute, Rule, SnapshotSpec, SourceFilter, Target};
 pub use baseline::{HighlightConfig, HighlightProxy, HighlightStats};
-pub use cache::{CacheStats, Flight, Lookup, RenderCache, SubtreeCache, SubtreeCacheStats};
+pub use cache::{
+    CacheStats, ExternalFlight, Flight, Lookup, RenderCache, SubtreeCache, SubtreeCacheStats,
+};
 pub use engine::{EngineRegistry, FallbackRender, RenderEngine, RenderError, RenderedArtifact};
 pub use error::ProxyError;
+pub use persist::{
+    DiskBackend, DiskFaultStats, DiskFreshness, DiskRecord, DiskTier, DiskTierConfig,
+    DiskTierStats, FlakyDisk, FsDisk, MemDisk,
+};
 pub use pipeline::{
     adapt, adapt_streaming, adapt_with_report, AdaptError, AdaptedBundle, EmitUnit,
     PipelineContext, PipelineReport, PipelineStats, ScheduleStagger, StageKind, StageReport,

@@ -1,9 +1,63 @@
 //! Proxy configuration.
 
+use crate::persist::{DiskBackend, FsDisk};
 use msite_net::ResiliencePolicy;
 use msite_render::browser::BrowserConfig;
 use msite_support::telemetry::Telemetry;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Configuration for the crash-safe persistent cache tier: which disk
+/// backend the [`DiskTier`](crate::persist::DiskTier) journals to and
+/// how many bytes it may occupy. Constructed via [`PersistConfig::dir`]
+/// (a real directory) or [`PersistConfig::with_backend`] (any
+/// [`DiskBackend`], e.g. [`MemDisk`](crate::persist::MemDisk) in tests
+/// or a [`FlakyDisk`](crate::persist::FlakyDisk) chaos wrapper).
+#[derive(Clone)]
+pub struct PersistConfig {
+    /// The disk the tier journals artifacts to.
+    pub backend: Arc<dyn DiskBackend>,
+    /// Byte budget for segment files (`persist_capacity_bytes`); the
+    /// oldest segment is dropped whole when exceeded.
+    pub capacity_bytes: u64,
+}
+
+/// Default persistent-tier byte budget (64 MiB).
+pub const DEFAULT_PERSIST_CAPACITY_BYTES: u64 = 64 * 1024 * 1024;
+
+impl PersistConfig {
+    /// Persists under `dir` on the real filesystem (`persist_dir`),
+    /// creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the directory.
+    pub fn dir(dir: impl Into<std::path::PathBuf>) -> std::io::Result<PersistConfig> {
+        Ok(PersistConfig {
+            backend: Arc::new(FsDisk::open(dir)?),
+            capacity_bytes: DEFAULT_PERSIST_CAPACITY_BYTES,
+        })
+    }
+
+    /// Persists to an arbitrary backend — how tests share a
+    /// [`MemDisk`](crate::persist::MemDisk) across simulated restarts
+    /// and chaos runs inject a [`FlakyDisk`](crate::persist::FlakyDisk).
+    pub fn with_backend(backend: Arc<dyn DiskBackend>, capacity_bytes: u64) -> PersistConfig {
+        PersistConfig {
+            backend,
+            capacity_bytes,
+        }
+    }
+}
+
+impl std::fmt::Debug for PersistConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistConfig")
+            .field("backend", &"dyn DiskBackend")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .finish()
+    }
+}
 
 /// Proxy configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +104,12 @@ pub struct ProxyConfig {
     /// concatenation of all chunks is byte-identical to the batch
     /// response body.
     pub streaming: bool,
+    /// Crash-safe persistent second cache tier. `None` (the default)
+    /// keeps the render cache memory-only; `Some` journals rendered
+    /// artifacts through a [`DiskTier`](crate::persist::DiskTier) so a
+    /// restarted proxy warm-starts from disk instead of re-rendering
+    /// its working set.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ProxyConfig {
@@ -66,6 +126,7 @@ impl Default for ProxyConfig {
             incremental: true,
             subtree_cache_capacity: 512,
             streaming: true,
+            persist: None,
         }
     }
 }

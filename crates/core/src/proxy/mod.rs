@@ -52,7 +52,7 @@ mod streaming;
 #[cfg(test)]
 mod tests;
 
-pub use config::ProxyConfig;
+pub use config::{PersistConfig, ProxyConfig, DEFAULT_PERSIST_CAPACITY_BYTES};
 pub use observability::ProxyStats;
 pub use streaming::STREAM_HEADER;
 
@@ -103,13 +103,24 @@ impl ProxyServer {
     /// configured resilience policy (retries, deadline, breaker).
     pub fn new(spec: AdaptationSpec, origin: OriginRef, config: ProxyConfig) -> ProxyServer {
         let telemetry = config.telemetry.clone().unwrap_or_default();
+        let cache = match &config.persist {
+            Some(persist) => {
+                let tier = crate::persist::DiskTier::open(
+                    Arc::clone(&persist.backend),
+                    crate::persist::DiskTierConfig::with_capacity(persist.capacity_bytes),
+                );
+                RenderCache::with_disk_tier(
+                    config.cache_capacity,
+                    config.stale_window,
+                    Arc::new(tier),
+                )
+            }
+            None => RenderCache::with_stale_window(config.cache_capacity, config.stale_window),
+        };
         ProxyServer {
             sessions: SessionManager::new(config.seed),
             fs: Arc::new(SessionFs::new()),
-            cache: Arc::new(RenderCache::with_stale_window(
-                config.cache_capacity,
-                config.stale_window,
-            )),
+            cache: Arc::new(cache),
             subtrees: Arc::new(SubtreeCache::new(config.subtree_cache_capacity)),
             metrics: ProxyMetrics::new(&telemetry),
             trace_ids: TraceIdSeq::new(config.seed ^ 0x0074_7261_6365), // "trace"
@@ -187,6 +198,40 @@ impl ProxyServer {
     /// The shared render cache (amortization accounting lives here).
     pub fn cache(&self) -> &RenderCache {
         &self.cache
+    }
+
+    /// A [`StaleHook`](msite_net::StaleHook) mapping the health
+    /// monitor's stale-window multiplier onto this proxy's render
+    /// cache: factor 1 restores the configured window, higher factors
+    /// widen it so more expired artifacts stay servable under duress.
+    pub fn stale_window_hook(&self) -> msite_net::StaleHook {
+        let cache = Arc::clone(&self.cache);
+        let base = self.config.stale_window;
+        Arc::new(move |factor: u32| cache.set_stale_window(base * factor.max(1)))
+    }
+
+    /// Builds a [`HealthMonitor`](msite_net::HealthMonitor) closing the
+    /// control loop over `server` (which must share this proxy's
+    /// [`Telemetry`]): queue depth, queue-wait p99, shed rate, and
+    /// breaker churn drive the server's worker width and shed
+    /// threshold, and the stale hook drives this proxy's stale-serve
+    /// aggressiveness. Call [`spawn`](msite_net::HealthMonitor::spawn)
+    /// on the result for a wall-clock driver, or
+    /// [`tick`](msite_net::HealthMonitor::tick) it deterministically.
+    pub fn health_monitor(
+        &self,
+        server: &msite_net::HttpServer,
+        config: msite_net::HealthConfig,
+    ) -> Arc<msite_net::HealthMonitor> {
+        Arc::new(
+            msite_net::HealthMonitor::new(
+                config,
+                Arc::clone(&self.telemetry.metrics),
+                server.pool(),
+                server.shed_threshold(),
+            )
+            .with_stale_hook(self.stale_window_hook()),
+        )
     }
 
     /// The fingerprint-keyed subtree artifact cache backing incremental

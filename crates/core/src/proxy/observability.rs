@@ -198,6 +198,24 @@ impl ProxyServer {
         let subtrees = self.subtrees.stats();
         m.counter("msite_subtree_cache_evictions_total", &[])
             .fold_to(subtrees.evictions);
+        if let Some(disk) = self.cache.disk_stats() {
+            m.counter("msite_disk_hits_total", &[]).fold_to(disk.hits);
+            m.counter("msite_disk_misses_total", &[])
+                .fold_to(disk.misses);
+            m.counter("msite_disk_puts_total", &[]).fold_to(disk.puts);
+            m.counter("msite_disk_put_errors_total", &[])
+                .fold_to(disk.put_errors);
+            m.counter("msite_disk_quarantined_total", &[])
+                .fold_to(disk.quarantined);
+            m.counter("msite_disk_replayed_total", &[])
+                .fold_to(disk.replayed);
+            m.counter("msite_disk_segments_dropped_total", &[])
+                .fold_to(disk.segments_dropped);
+            m.counter("msite_disk_warm_loaded_total", &[])
+                .fold_to(self.cache.warm_loaded());
+            m.gauge("msite_disk_live_bytes", &[])
+                .set(disk.live_bytes as i64);
+        }
         self.metrics.sessions_live.set(self.sessions.len() as i64);
     }
 
@@ -249,11 +267,37 @@ impl ProxyServer {
             "ok"
         };
         let cache = self.cache.stats();
+        // Durability summary: absent (`null`) when the cache is
+        // memory-only, so probes can tell "no tier" from "idle tier".
+        let disk = match self.cache.disk_stats() {
+            Some(d) => format!(
+                "{{\"hits\":{},\"puts\":{},\"put_errors\":{},\"quarantined\":{},\
+                 \"warm_loaded\":{},\"live_bytes\":{}}}",
+                d.hits,
+                d.puts,
+                d.put_errors,
+                d.quarantined,
+                self.cache.warm_loaded(),
+                d.live_bytes,
+            ),
+            None => "null".to_string(),
+        };
+        // Health-monitor view: gauges a HealthMonitor sharing this
+        // telemetry publishes each tick; all zero when none is attached.
+        let health = format!(
+            "{{\"state\":{},\"workers_target\":{},\"shed_threshold\":{},\"stale_factor\":{}}}",
+            m.gauge_value("msite_health_state", &[]),
+            m.gauge_value("msite_health_workers_target", &[]),
+            m.gauge_value("msite_health_shed_threshold", &[]),
+            m.gauge_value("msite_health_stale_factor", &[]),
+        );
         let body = format!(
             "{{\"status\":\"{status}\",\
              \"breaker\":{{\"host\":\"{host}\",\"state\":\"{}\"}},\
              \"pool\":{{\"queue_len\":{queue_len},\"queue_depth\":{queue_depth},\"workers\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"stale_hits\":{},\"coalesced\":{}}},\
+             \"disk\":{disk},\
+             \"health\":{health},\
              \"sessions\":{}}}",
             breaker.name(),
             m.gauge_value("msite_server_workers", &[]),

@@ -16,16 +16,21 @@
 //! body; only the framing (and the client's TTFB) differs. In-process
 //! consumers drain the stream with [`Response::into_collected`].
 //!
-//! Streamed rebuilds bypass the single-flight layer (the producer runs
-//! after `handle` returns, outside any flight): a concurrent batch miss
-//! may lead its own rebuild. The finished entry is still published to
-//! the shared cache, so subsequent requests hit.
+//! Streamed rebuilds participate in the cache's single-flight layer:
+//! the producer runs after `handle` returns, outside any closure-shaped
+//! flight, so the miss path claims leadership with
+//! [`RenderCache::try_lead`] and carries the resulting
+//! [`ExternalFlight`] into the producer, which
+//! [`complete`](ExternalFlight::complete)s it when the entry is built
+//! (or abandons it on failure, releasing the waiters to retry).
+//! Concurrent cold requests — streamed or batch — join that one flight
+//! instead of rendering again; exactly one render runs per cold entry.
 
 use super::observability::publish_stage_timings_to;
 use super::ProxyServer;
 use crate::ajax::AjaxRegistry;
 use crate::attributes::AdaptationSpec;
-use crate::cache::{Lookup, RenderCache};
+use crate::cache::{ExternalFlight, Lookup, RenderCache};
 use crate::error::ProxyError;
 use crate::pipeline::{adapt_streaming, EmitUnit, PipelineContext, PipelineReport};
 use crate::session::{Session, SessionFs};
@@ -58,6 +63,10 @@ struct StreamJob {
     ctx: PipelineContext,
     page_text: String,
     entry_ttl: Option<Duration>,
+    /// Single-flight leadership for `entry:html`, claimed before the
+    /// response was returned; completed with the built entry (waiters
+    /// get the bytes) or dropped on failure (waiters retry).
+    flight: ExternalFlight,
     cache: Arc<RenderCache>,
     fs: Arc<SessionFs>,
     shared_ajax: Arc<Mutex<Option<AjaxRegistry>>>,
@@ -136,8 +145,10 @@ impl StreamJob {
                     self.lightweight.inc();
                 }
                 publish_stage_timings_to(&self.registry, &report);
-                self.cache.put(
-                    "entry:html",
+                // Publishing through the flight (rather than a raw
+                // `put`) inserts the entry AND wakes every request that
+                // joined this rebuild with the same bytes.
+                self.flight.complete(
                     Bytes::from(bundle.entry_html),
                     self.entry_ttl,
                     start.elapsed(),
@@ -150,6 +161,8 @@ impl StreamJob {
                 // Headers are already on the wire; the best we can do
                 // is a diagnosable body. Spec errors are caught by the
                 // admin tool long before a streamed request sees them.
+                // Dropping `self.flight` here abandons the flight, so
+                // joined waiters retry instead of hanging.
                 sink.lock()
                     .chunk(format!("<!-- msite adaptation failed: {err} -->").as_bytes());
             }
@@ -160,10 +173,13 @@ impl StreamJob {
 impl ProxyServer {
     /// `GET /` with `x-msite-stream: chunked`: progressive entry
     /// delivery. Cache hits stream the cached entry as a single chunk;
-    /// misses fetch the origin page up front (failures keep their batch
-    /// status codes, including the serve-stale degradation) and defer
-    /// the pipeline run to the transport's writer via the response's
-    /// chunk producer.
+    /// misses claim single-flight leadership of the `entry:html`
+    /// rebuild — or join the render already in flight (led by either a
+    /// batch or a streamed request) — so a cold stampede of streamed
+    /// requests runs exactly one pipeline. The leader fetches the
+    /// origin page up front (failures keep their batch status codes,
+    /// including the serve-stale degradation) and defers the pipeline
+    /// run to the transport's writer via the response's chunk producer.
     pub(super) fn streamed_entry(
         &self,
         session: &Arc<Mutex<Session>>,
@@ -172,14 +188,47 @@ impl ProxyServer {
         let arrived = Instant::now();
         self.metrics.streamed_responses.inc();
 
-        // Fresh cached entry: stream it straight out.
-        if let Lookup::Fresh(entry) = self.cache.lookup("entry:html") {
-            self.metrics.lightweight.inc();
-            return Ok(self.stream_bytes(entry, arrived, "entry-cached"));
-        }
+        let flight = loop {
+            // Fresh cached entry: stream it straight out.
+            if let Lookup::Fresh(entry) = self.cache.lookup("entry:html") {
+                self.metrics.lightweight.inc();
+                return Ok(self.stream_bytes(entry, arrived, "entry-cached"));
+            }
 
-        // Rebuild. Fetch before committing to a 200 so origin failures
-        // keep their batch-path status codes and stale fallback.
+            // Claim the rebuild, or join whoever already leads it.
+            match self.cache.try_lead("entry:html") {
+                Some(flight) => break flight,
+                None => {
+                    if let Some(entry) = self
+                        .cache
+                        .join_flight("entry:html", Some(deadline.remaining()))
+                    {
+                        self.metrics.renders_coalesced.inc();
+                        return Ok(self.stream_bytes(entry, arrived, "entry-coalesced"));
+                    }
+                    // The flight vanished (leader finished or abandoned
+                    // before we parked, or a fresh entry raced in) or
+                    // our budget ran out. Re-check the cache; with the
+                    // budget gone, degrade rather than spin.
+                    if deadline.expired() {
+                        if let Lookup::Fresh(entry) = self.cache.lookup("entry:html") {
+                            self.metrics.lightweight.inc();
+                            return Ok(self.stream_bytes(entry, arrived, "entry-cached"));
+                        }
+                        if let Lookup::Stale { value, age } = self.cache.lookup("entry:html") {
+                            let response = self.stream_bytes(value, arrived, "entry-stale");
+                            return Ok(self.mark_stale(response, age));
+                        }
+                        return Err(ProxyError::DeadlineExceeded);
+                    }
+                }
+            }
+        };
+
+        // Leader path. Fetch before committing to a 200 so origin
+        // failures keep their batch-path status codes and stale
+        // fallback; dropping `flight` on those returns abandons the
+        // rebuild so joined waiters retry instead of hanging.
         let mut page_request =
             Request::get(&self.spec.page_url).map_err(|e| ProxyError::BadOriginUrl {
                 detail: e.to_string(),
@@ -187,6 +236,7 @@ impl ProxyServer {
         let page = self.origin_fetch(session, &mut page_request, deadline);
         if !page.status.is_success() {
             let err = ProxyError::from_origin_failure(&page);
+            drop(flight);
             if err.is_unavailability() {
                 if let Lookup::Stale { value, age } = self.cache.lookup("entry:html") {
                     let response = self.stream_bytes(value, arrived, "entry-stale");
@@ -205,6 +255,7 @@ impl ProxyServer {
                 .snapshot
                 .as_ref()
                 .map(|s| Duration::from_secs(s.cache_ttl_secs)),
+            flight,
             cache: Arc::clone(&self.cache),
             fs: Arc::clone(&self.fs),
             shared_ajax: Arc::clone(&self.shared_ajax),

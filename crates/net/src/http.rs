@@ -471,19 +471,113 @@ pub fn encode_chunk(data: &[u8]) -> Vec<u8> {
 /// The terminal frame of a chunked body: `0\r\n\r\n`.
 pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
 
+/// Largest chunk size the decoder will buffer. A peer declaring a
+/// bigger chunk is rejected before any allocation happens, so a
+/// garbled (or hostile) size line cannot force an OOM.
+pub const MAX_CHUNK_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Most trailer lines the decoder will drain after the final chunk.
+/// Bounds the work a peer can demand by streaming endless trailers.
+pub const MAX_TRAILER_LINES: usize = 128;
+
+/// A malformed or truncated chunked transfer encoding.
+///
+/// Every way a chunked body can go wrong maps to a distinct variant,
+/// so callers can log or classify failures without string matching.
+/// Converts losslessly into [`std::io::Error`] (`InvalidData` for
+/// framing faults, `UnexpectedEof` for truncation).
+#[derive(Debug)]
+pub enum ChunkedError {
+    /// The stream ended before the chunked body did: mid chunk-size
+    /// line, mid chunk data, or before the terminating trailer CRLF.
+    Truncated {
+        /// Which part of the framing was cut short.
+        context: &'static str,
+    },
+    /// A chunk-size line was not valid hex (after stripping extensions).
+    BadSizeLine(String),
+    /// A chunk declared more bytes than [`MAX_CHUNK_BYTES`].
+    OversizedChunk {
+        /// The declared chunk size.
+        size: u64,
+        /// The decoder's cap ([`MAX_CHUNK_BYTES`]).
+        limit: u64,
+    },
+    /// Chunk data was not followed by CRLF.
+    MissingCrlf,
+    /// The trailer section exceeded [`MAX_TRAILER_LINES`] lines.
+    TrailerOverflow,
+    /// A transport error from the underlying reader.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ChunkedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkedError::Truncated { context } => {
+                write!(f, "chunked body truncated ({context})")
+            }
+            ChunkedError::BadSizeLine(line) => write!(f, "bad chunk size line {line:?}"),
+            ChunkedError::OversizedChunk { size, limit } => {
+                write!(f, "chunk of {size} bytes exceeds limit of {limit}")
+            }
+            ChunkedError::MissingCrlf => write!(f, "chunk data not terminated by CRLF"),
+            ChunkedError::TrailerOverflow => write!(f, "too many trailer lines"),
+            ChunkedError::Io(err) => write!(f, "chunked transport error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChunkedError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ChunkedError {
+    fn from(err: std::io::Error) -> Self {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            ChunkedError::Truncated {
+                context: "transport eof",
+            }
+        } else {
+            ChunkedError::Io(err)
+        }
+    }
+}
+
+impl From<ChunkedError> for std::io::Error {
+    fn from(err: ChunkedError) -> Self {
+        let kind = match &err {
+            ChunkedError::Truncated { .. } => std::io::ErrorKind::UnexpectedEof,
+            ChunkedError::Io(io) => io.kind(),
+            _ => std::io::ErrorKind::InvalidData,
+        };
+        std::io::Error::new(kind, err.to_string())
+    }
+}
+
 /// Decodes a chunked transfer-encoded body from `reader`, returning
 /// the concatenated chunk payloads. Trailers are read and discarded.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on malformed chunk framing and any transport
-/// IO error.
-pub fn decode_chunked(reader: &mut impl BufRead) -> std::io::Result<Vec<u8>> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+/// Returns a typed [`ChunkedError`] on malformed framing — truncated
+/// terminators, non-hex or oversized chunk sizes, missing CRLFs — and
+/// on transport IO errors. Never panics and never allocates more than
+/// [`MAX_CHUNK_BYTES`] for a single declared chunk.
+pub fn decode_chunked(reader: &mut impl BufRead) -> Result<Vec<u8>, ChunkedError> {
     let mut body = Vec::new();
     loop {
         let mut size_line = String::new();
-        reader.read_line(&mut size_line)?;
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(ChunkedError::Truncated {
+                context: "chunk size line",
+            });
+        }
         // Chunk extensions (";ext=val") are allowed and ignored.
         let size_token = size_line
             .trim_end()
@@ -491,26 +585,49 @@ pub fn decode_chunked(reader: &mut impl BufRead) -> std::io::Result<Vec<u8>> {
             .next()
             .unwrap_or_default()
             .trim();
-        let size = usize::from_str_radix(size_token, 16).map_err(|_| bad("bad chunk size line"))?;
+        let size = u64::from_str_radix(size_token, 16)
+            .map_err(|_| ChunkedError::BadSizeLine(size_token.to_string()))?;
+        if size > MAX_CHUNK_BYTES {
+            return Err(ChunkedError::OversizedChunk {
+                size,
+                limit: MAX_CHUNK_BYTES,
+            });
+        }
         if size == 0 {
             // Trailer section: zero or more header lines, then CRLF.
-            loop {
+            for _ in 0..MAX_TRAILER_LINES {
                 let mut trailer = String::new();
-                reader.read_line(&mut trailer)?;
+                if reader.read_line(&mut trailer)? == 0 {
+                    return Err(ChunkedError::Truncated {
+                        context: "trailer section",
+                    });
+                }
                 if trailer.trim_end().is_empty() {
-                    break;
+                    return Ok(body);
                 }
             }
-            return Ok(body);
+            return Err(ChunkedError::TrailerOverflow);
         }
         let start = body.len();
-        body.resize(start + size, 0);
-        reader.read_exact(&mut body[start..])?;
+        body.resize(start + size as usize, 0);
+        reader
+            .read_exact(&mut body[start..])
+            .map_err(|err| truncated_as(err, "chunk data"))?;
         let mut crlf = [0u8; 2];
-        reader.read_exact(&mut crlf)?;
+        reader
+            .read_exact(&mut crlf)
+            .map_err(|err| truncated_as(err, "chunk terminator"))?;
         if &crlf != b"\r\n" {
-            return Err(bad("missing chunk terminator"));
+            return Err(ChunkedError::MissingCrlf);
         }
+    }
+}
+
+fn truncated_as(err: std::io::Error, context: &'static str) -> ChunkedError {
+    if err.kind() == std::io::ErrorKind::UnexpectedEof {
+        ChunkedError::Truncated { context }
+    } else {
+        ChunkedError::Io(err)
     }
 }
 
@@ -599,5 +716,111 @@ mod tests {
     fn transfer_size_includes_headers() {
         let r = Response::html("x");
         assert!(r.transfer_size() > 1);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Vec<u8>, ChunkedError> {
+        let mut reader = std::io::BufReader::new(bytes);
+        decode_chunked(&mut reader)
+    }
+
+    #[test]
+    fn decode_chunked_roundtrip_with_extensions_and_trailers() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"5;ext=1\r\nhello\r\n");
+        wire.extend_from_slice(&encode_chunk(b" world"));
+        wire.extend_from_slice(b"0\r\nx-trailer: 1\r\n\r\n");
+        assert_eq!(decode(&wire).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn decode_chunked_truncated_size_line_is_typed() {
+        assert!(matches!(
+            decode(b""),
+            Err(ChunkedError::Truncated {
+                context: "chunk size line"
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_chunked_truncated_data_is_typed() {
+        assert!(matches!(
+            decode(b"a\r\nonly4"),
+            Err(ChunkedError::Truncated {
+                context: "chunk data"
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_chunked_truncated_terminator_is_typed() {
+        // Data arrives in full but the stream dies before the CRLF.
+        assert!(matches!(
+            decode(b"5\r\nhello"),
+            Err(ChunkedError::Truncated {
+                context: "chunk terminator"
+            })
+        ));
+        // The final `0` chunk arrives but the trailer CRLF never does.
+        assert!(matches!(
+            decode(b"5\r\nhello\r\n0\r\n"),
+            Err(ChunkedError::Truncated {
+                context: "trailer section"
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_chunked_non_hex_size_is_typed() {
+        match decode(b"zz\r\nhello\r\n0\r\n\r\n") {
+            Err(ChunkedError::BadSizeLine(line)) => assert_eq!(line, "zz"),
+            other => panic!("expected BadSizeLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_chunked_oversized_size_rejected_without_allocating() {
+        // ffffffffffffffff = u64::MAX: must be refused, not buffered.
+        match decode(b"ffffffffffffffff\r\n") {
+            Err(ChunkedError::OversizedChunk { size, limit }) => {
+                assert_eq!(size, u64::MAX);
+                assert_eq!(limit, MAX_CHUNK_BYTES);
+            }
+            other => panic!("expected OversizedChunk, got {other:?}"),
+        }
+        // A size that doesn't even fit in u64 is a bad size line.
+        assert!(matches!(
+            decode(b"10000000000000000\r\n"),
+            Err(ChunkedError::BadSizeLine(_))
+        ));
+    }
+
+    #[test]
+    fn decode_chunked_missing_crlf_is_typed() {
+        assert!(matches!(
+            decode(b"5\r\nhelloXX0\r\n\r\n"),
+            Err(ChunkedError::MissingCrlf)
+        ));
+    }
+
+    #[test]
+    fn decode_chunked_trailer_flood_is_bounded() {
+        let mut wire = b"0\r\n".to_vec();
+        for i in 0..(MAX_TRAILER_LINES + 8) {
+            wire.extend_from_slice(format!("x-{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert!(matches!(decode(&wire), Err(ChunkedError::TrailerOverflow)));
+    }
+
+    #[test]
+    fn chunked_error_maps_to_io_kinds() {
+        let eof: std::io::Error = ChunkedError::Truncated {
+            context: "chunk data",
+        }
+        .into();
+        assert_eq!(eof.kind(), std::io::ErrorKind::UnexpectedEof);
+        let framing: std::io::Error = ChunkedError::MissingCrlf.into();
+        assert_eq!(framing.kind(), std::io::ErrorKind::InvalidData);
     }
 }

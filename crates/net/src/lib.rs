@@ -27,6 +27,7 @@
 
 pub mod auth;
 pub mod cookies;
+pub mod health;
 pub mod http;
 pub mod link;
 pub mod origin;
@@ -36,15 +37,18 @@ pub mod server;
 pub mod url;
 
 pub use cookies::{Cookie, CookieJar};
+pub use health::{HealthConfig, HealthDecision, HealthMonitor, HealthState, StaleHook};
 pub use http::{
-    decode_chunked, encode_chunk, ChunkProducer, ChunkSink, ChunkStream, Headers, Method, Request,
-    Response, Status, CHUNK_TERMINATOR,
+    decode_chunked, encode_chunk, ChunkProducer, ChunkSink, ChunkStream, ChunkedError, Headers,
+    Method, Request, Response, Status, CHUNK_TERMINATOR, MAX_CHUNK_BYTES, MAX_TRAILER_LINES,
 };
 pub use link::{LinkModel, SimClock, Transport};
-pub use origin::{FaultStats, FlakyOrigin, HostRouter, Origin, OriginRef};
+pub use origin::{
+    garble_chunked, FaultStats, FlakyOrigin, HostRouter, Origin, OriginRef, GARBLED_CHUNK_MODES,
+};
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, Deadline, DeadlineBudget,
-    ResiliencePolicy, ResilienceStats, ResilientOrigin, RetryPolicy,
+    ResiliencePolicy, ResilienceStats, ResilientOrigin, RetryPolicy, BREAKER_TRANSITIONS_METRIC,
 };
 pub use rng::Prng;
 pub use server::{

@@ -87,6 +87,8 @@ pub struct FaultStats {
     pub truncated: u64,
     /// Successful responses whose body was garbled.
     pub malformed: u64,
+    /// Successful responses rewrapped in corrupted chunked framing.
+    pub garbled_chunks: u64,
     /// Requests delayed by latency injection.
     pub delayed: u64,
 }
@@ -113,6 +115,7 @@ pub struct FlakyOrigin {
     outage: Option<(u64, u64)>,
     truncate_rate: f64,
     malformed_rate: f64,
+    garbled_chunk_rate: f64,
     counter: Mutex<u64>,
     stats: Mutex<FaultStats>,
 }
@@ -131,6 +134,7 @@ impl FlakyOrigin {
             outage: None,
             truncate_rate: 0.0,
             malformed_rate: 0.0,
+            garbled_chunk_rate: 0.0,
             counter: Mutex::new(0),
             stats: Mutex::new(FaultStats::default()),
         }
@@ -178,6 +182,17 @@ impl FlakyOrigin {
     /// markup spliced over the tail — a corrupted transfer).
     pub fn with_malformed_bodies(mut self, rate: f64) -> FlakyOrigin {
         self.malformed_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Rewraps the body of `rate` of successful responses in *corrupted*
+    /// chunked transfer framing — the response is tagged with an
+    /// `x-flaky-garbled-chunk` header naming the corruption sub-mode, and
+    /// the body becomes a chunked encoding that [`crate::decode_chunked`]
+    /// must reject with a typed error (truncated terminator, non-hex
+    /// size, oversized size, or missing CRLF — chosen by a seeded coin).
+    pub fn with_garbled_chunks(mut self, rate: f64) -> FlakyOrigin {
+        self.garbled_chunk_rate = rate.clamp(0.0, 1.0);
         self
     }
 
@@ -245,6 +260,13 @@ impl Origin for FlakyOrigin {
                 let mut garbled = response.body[..keep].to_vec();
                 garbled.extend_from_slice(b"<div <p <<table><tr//\xff\xfe<span");
                 response.body = Bytes::from(garbled);
+            } else if self.coin(request, sequence, 4) < self.garbled_chunk_rate {
+                self.stats.lock().garbled_chunks += 1;
+                let mode = (self.coin(request, sequence, 5) * 4.0) as usize % 4;
+                response
+                    .headers
+                    .set("x-flaky-garbled-chunk", GARBLED_CHUNK_MODES[mode]);
+                response.body = Bytes::from(garble_chunked(&response.body, mode));
             }
         }
         response
@@ -252,6 +274,51 @@ impl Origin for FlakyOrigin {
 
     fn name(&self) -> &str {
         "flaky"
+    }
+}
+
+/// Sub-mode names reported in the `x-flaky-garbled-chunk` header, in
+/// coin order.
+pub const GARBLED_CHUNK_MODES: [&str; 4] = [
+    "truncated-terminator",
+    "non-hex-size",
+    "oversized-size",
+    "missing-crlf",
+];
+
+/// Wraps `body` in chunked framing corrupted per `mode` (an index into
+/// [`GARBLED_CHUNK_MODES`]). Every mode yields bytes that
+/// [`crate::decode_chunked`] rejects with the corresponding typed
+/// [`crate::ChunkedError`] — never a panic, hang, or silent success.
+pub fn garble_chunked(body: &[u8], mode: usize) -> Vec<u8> {
+    use crate::http::encode_chunk;
+    match mode % 4 {
+        // Data chunk intact, but the stream dies mid-terminator.
+        0 => {
+            let mut wire = encode_chunk(body);
+            wire.extend_from_slice(b"0\r\n");
+            wire
+        }
+        // Size line that is not hex at all.
+        1 => {
+            let mut wire = b"xZx\r\n".to_vec();
+            wire.extend_from_slice(body);
+            wire.extend_from_slice(b"\r\n0\r\n\r\n");
+            wire
+        }
+        // Size line declaring an absurd chunk the data never backs.
+        2 => {
+            let mut wire = b"ffffffffffffffff\r\n".to_vec();
+            wire.extend_from_slice(body);
+            wire
+        }
+        // Data present but its CRLF terminator replaced with junk.
+        _ => {
+            let mut wire = format!("{:x}\r\n", body.len()).into_bytes();
+            wire.extend_from_slice(body);
+            wire.extend_from_slice(b"XX0\r\n\r\n");
+            wire
+        }
     }
 }
 

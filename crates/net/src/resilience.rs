@@ -40,6 +40,10 @@ pub const BREAKER_HEADER: &str = "x-msite-breaker";
 /// per-request deadline.
 pub const DEADLINE_HEADER: &str = "x-msite-deadline";
 
+/// Registry series counting breaker state transitions (labels `host`,
+/// `to`) — sampled by the health monitor as a duress signal.
+pub const BREAKER_TRANSITIONS_METRIC: &str = "msite_breaker_transitions_total";
+
 // ---------------------------------------------------------------------
 // Retry policy
 // ---------------------------------------------------------------------
@@ -396,7 +400,7 @@ impl ResilienceMetrics {
     fn transition(&self, host: &str, from: BreakerState, to: BreakerState) {
         self.registry
             .counter(
-                "msite_breaker_transitions_total",
+                BREAKER_TRANSITIONS_METRIC,
                 &[("host", host), ("to", to.name())],
             )
             .inc();

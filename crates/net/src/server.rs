@@ -21,7 +21,7 @@ use msite_support::telemetry::{
 use msite_support::thread::{PoolConfig, WorkerPool};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -99,6 +99,10 @@ pub struct HttpServer {
 /// ever touch atomics.
 struct ServerShared {
     stop: AtomicBool,
+    /// Queue length at which the accept loop starts shedding. Starts at
+    /// the pool's queue depth (its hard bound) and can be tightened at
+    /// runtime by a health monitor; always clamped to the hard bound.
+    shed_threshold: Arc<AtomicUsize>,
     accepted: Arc<Counter>,
     served: Arc<Counter>,
     rejected_overload: Arc<Counter>,
@@ -186,6 +190,7 @@ impl HttpServer {
             .set(config.workers.max(1) as i64);
         let shared = Arc::new(ServerShared {
             stop: AtomicBool::new(false),
+            shed_threshold: Arc::new(AtomicUsize::new(config.queue_depth.max(1))),
             accepted: registry.counter("msite_server_accepted_total", &[]),
             served: registry.counter("msite_server_served_total", &[]),
             rejected_overload: registry.counter("msite_server_rejected_overload_total", &[]),
@@ -225,6 +230,20 @@ impl HttpServer {
     /// The telemetry handle this server publishes into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The connection executor — shared so a health monitor can resize
+    /// its worker width at runtime.
+    pub fn pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// The shed-threshold knob: queue length at which the accept loop
+    /// sheds with `503`. Shared so a health monitor can tighten it
+    /// under duress; the accept loop clamps it to the pool's hard
+    /// queue bound.
+    pub fn shed_threshold(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.shared.shed_threshold)
     }
 
     /// Requests handled so far.
@@ -275,7 +294,11 @@ fn accept_loop(
                 // This loop is the pool's only submitter and workers only
                 // ever drain the queue, so the check below cannot race:
                 // a connection admitted here is guaranteed a queue slot.
-                if pool.queued() >= pool.queue_depth() {
+                let threshold = shared
+                    .shed_threshold
+                    .load(Ordering::Relaxed)
+                    .clamp(1, pool.queue_depth());
+                if pool.queued() >= threshold {
                     shed(&stream, &shared);
                     shared.queue_len.set(pool.queued() as i64);
                     continue;

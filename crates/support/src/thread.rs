@@ -288,6 +288,12 @@ struct PoolState {
     queue: VecDeque<Job>,
     active: usize,
     shutdown: bool,
+    /// Desired worker count; `worker_loop` retires threads while
+    /// `alive > target` and [`WorkerPool::resize`] spawns while
+    /// `alive < target`.
+    target: usize,
+    /// Worker threads currently running their loop.
+    alive: usize,
 }
 
 struct PoolShared {
@@ -346,7 +352,8 @@ struct PoolShared {
 /// ```
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    workers: usize,
+    name: String,
+    spawned: AtomicU64,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -359,6 +366,8 @@ impl WorkerPool {
                 queue: VecDeque::new(),
                 active: 0,
                 shutdown: false,
+                target: workers,
+                alive: workers,
             }),
             job_ready: Condvar::new(),
             progress: Condvar::new(),
@@ -379,7 +388,8 @@ impl WorkerPool {
             .collect();
         WorkerPool {
             shared,
-            workers,
+            name: config.name,
+            spawned: AtomicU64::new(workers as u64),
             handles: Mutex::new(handles),
         }
     }
@@ -395,9 +405,55 @@ impl WorkerPool {
         })
     }
 
-    /// Number of worker threads.
+    /// Target number of worker threads (the width [`resize`] last set;
+    /// retiring threads may briefly lag behind a shrink).
+    ///
+    /// [`resize`]: WorkerPool::resize
     pub fn workers(&self) -> usize {
-        self.workers
+        self.shared.state.lock().target
+    }
+
+    /// Worker threads currently running their loop. Tracks
+    /// [`workers`](WorkerPool::workers) once in-flight grows/shrinks
+    /// settle.
+    pub fn alive(&self) -> usize {
+        self.shared.state.lock().alive
+    }
+
+    /// Changes the worker count at runtime (clamped to at least one).
+    ///
+    /// Growing spawns the missing threads immediately; shrinking marks
+    /// the excess for retirement — each surplus worker exits as soon as
+    /// it is idle, so in-flight jobs always finish. No-op on a pool that
+    /// is shutting down. Returns the effective target.
+    pub fn resize(&self, workers: usize) -> usize {
+        let target = workers.max(1);
+        let spawn = {
+            let mut state = self.shared.state.lock();
+            if state.shutdown {
+                return state.target;
+            }
+            state.target = target;
+            let spawn = target.saturating_sub(state.alive);
+            state.alive += spawn;
+            spawn
+        };
+        if spawn > 0 {
+            let mut handles = self.handles.lock();
+            for _ in 0..spawn {
+                let index = self.spawned.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&self.shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("{}-{index}", self.name))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker");
+                handles.push(handle);
+            }
+        } else {
+            // Wake idle workers so surplus ones notice and retire.
+            self.shared.job_ready.notify_all();
+        }
+        target
     }
 
     /// Maximum jobs the submission queue holds.
@@ -488,7 +544,7 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let results = scope_fan_out(self.workers, tasks, work);
+        let results = scope_fan_out(self.workers(), tasks, work);
         let panics = results.iter().filter(|r| r.is_err()).count() as u64;
         self.shared
             .submitted
@@ -525,7 +581,7 @@ impl Drop for WorkerPool {
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.workers)
+            .field("workers", &self.workers())
             .field("queue_depth", &self.shared.queue_depth)
             .field("stats", &self.stats())
             .finish()
@@ -537,11 +593,19 @@ fn worker_loop(shared: &PoolShared) {
         let job = {
             let mut state = shared.state.lock();
             loop {
+                // Surplus workers (after a shrink) retire as soon as
+                // they are idle; in-flight jobs always run to completion
+                // because the check happens between jobs.
+                if !state.shutdown && state.alive > state.target {
+                    state.alive -= 1;
+                    return;
+                }
                 if let Some(job) = state.queue.pop_front() {
                     state.active += 1;
                     break job;
                 }
                 if state.shutdown {
+                    state.alive = state.alive.saturating_sub(1);
                     return;
                 }
                 state = shared.job_ready.wait(state);
@@ -769,6 +833,87 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 8);
         // Post-shutdown submissions are rejected, not lost silently.
         assert!(pool.try_execute(|| {}).is_err());
+    }
+
+    #[test]
+    fn pool_resize_grows_and_shrinks() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+            name: "resize".into(),
+        });
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.resize(6), 6);
+        assert_eq!(pool.workers(), 6);
+        // Grown width is real: six gated jobs all run concurrently.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let running = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let gate = Arc::clone(&gate);
+            let running = Arc::clone(&running);
+            pool.execute(move || {
+                running.fetch_add(1, Ordering::Relaxed);
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    open = cv.wait(open);
+                }
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while running.load(Ordering::Relaxed) < 6 {
+            assert!(std::time::Instant::now() < deadline, "workers never grew");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.active(), 6);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        pool.wait_idle();
+        // Shrink: surplus idle workers retire.
+        assert_eq!(pool.resize(1), 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.alive() > 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never retired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The survivor still serves jobs.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        // Resize clamps to at least one worker.
+        assert_eq!(pool.resize(0), 1);
+    }
+
+    #[test]
+    fn pool_resize_does_not_drop_in_flight_jobs() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 4,
+            queue_depth: 64,
+            name: "shrink".into(),
+        });
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.resize(1);
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert_eq!(pool.stats().completed, 32);
+        pool.shutdown();
     }
 
     #[test]

@@ -22,10 +22,18 @@ cargo test -q --offline --test failure_injection
 cargo test -q --offline -p msite-net --test resilience_prop
 cargo test -q --offline -p msite --test cache_stale_prop
 
+echo "== durability: restart-under-load + disk-fault chaos =="
+cargo test -q --offline -p msite --test persistence_e2e
+
+echo "== subtree cache eviction accounting =="
+cargo test -q --offline -p msite --test subtree_prop
+
 echo "== stampede / single-flight suite =="
 cargo test -q --offline -p msite --test cache_stampede
 cargo test -q --offline -p msite --test cache_shard_prop
 cargo test -q --offline --test multi_user cold_stampede_collapses_to_one_render
+cargo test -q --offline --test multi_user streamed_cold_stampede_collapses_to_one_render
+cargo test -q --offline --test multi_user mixed_streamed_and_batch_stampede_still_renders_once
 
 echo "== seeded schedule-exploration smoke =="
 cargo test -q --offline -p msite --test cache_stampede schedule_exploration_smoke
@@ -49,3 +57,6 @@ cargo run --release --offline -p msite-bench --bin experiments -- telemetry
 
 echo "== streaming TTFB + incremental re-adaptation gate =="
 cargo run --release --offline -p msite-bench --bin experiments -- streaming
+
+echo "== durability + adaptive-capacity gate (warm restart, surge) =="
+cargo run --release --offline -p msite-bench --bin experiments -- durability

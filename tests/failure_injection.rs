@@ -407,6 +407,80 @@ fn ajax_origin_error_reported_as_bad_gateway() {
     assert_eq!(frag.headers.get(ERROR_HEADER), Some("origin-unavailable"));
 }
 
+#[test]
+fn garbled_chunk_modes_yield_typed_decode_errors() {
+    use msite_net::{decode_chunked, garble_chunked, ChunkedError, GARBLED_CHUNK_MODES};
+    let payload = b"<html><body><div id=\"main\">chunked</div></body></html>";
+    for (mode, name) in GARBLED_CHUNK_MODES.iter().enumerate() {
+        let wire = garble_chunked(payload, mode);
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let err = decode_chunked(&mut reader)
+            .expect_err(&format!("mode {name} must fail decoding, not succeed"));
+        // Each sub-mode maps to its own typed error — no panic, no hang,
+        // no string matching needed to classify the fault.
+        match (mode, &err) {
+            (0, ChunkedError::Truncated { .. })
+            | (1, ChunkedError::BadSizeLine(_))
+            | (2, ChunkedError::OversizedChunk { .. })
+            | (3, ChunkedError::MissingCrlf) => {}
+            _ => panic!("mode {name}: unexpected error {err:?}"),
+        }
+        // And each converts into a classified io::Error for transports.
+        let io: std::io::Error = err.into();
+        assert!(
+            matches!(
+                io.kind(),
+                std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+            ),
+            "mode {name}: kind {:?}",
+            io.kind()
+        );
+    }
+}
+
+#[test]
+fn flaky_origin_garbled_chunks_are_injected_and_absorbed() {
+    // Force the garbled-chunk fault on every response and verify (a) the
+    // injection is observable via stats + header, (b) the resulting
+    // framing always fails typed decoding, and (c) the proxy pipeline
+    // absorbs the damaged body without panicking.
+    use msite_net::{decode_chunked, ChunkedError};
+    let flaky = Arc::new(
+        FlakyOrigin::new(healthy_page(), 0.0, Status::SERVICE_UNAVAILABLE)
+            .with_seed(0xC4E6)
+            .with_garbled_chunks(1.0),
+    );
+    let mut modes_seen = std::collections::BTreeSet::new();
+    for i in 0..24 {
+        let response = flaky.handle(&Request::get(&format!("http://h/p{i}")).unwrap());
+        let mode = response
+            .headers
+            .get("x-flaky-garbled-chunk")
+            .expect("garbled response must be tagged")
+            .to_string();
+        modes_seen.insert(mode.clone());
+        let mut reader = std::io::BufReader::new(&response.body[..]);
+        let err = decode_chunked(&mut reader).expect_err("garbled framing must not decode");
+        assert!(
+            !matches!(err, ChunkedError::Io(_)),
+            "p{i} ({mode}): want a framing error, got {err:?}"
+        );
+    }
+    assert_eq!(flaky.fault_stats().garbled_chunks, 24);
+    assert!(
+        modes_seen.len() >= 3,
+        "seeded coin should cover most sub-modes, saw {modes_seen:?}"
+    );
+
+    let proxy = ProxyServer::new(
+        spec_for("http://garbled.test/", false),
+        Arc::clone(&flaky) as OriginRef,
+        fast_config(),
+    );
+    let entry = proxy.handle(&entry_request());
+    assert!(entry.status.is_success() || entry.headers.get(ERROR_HEADER).is_some());
+}
+
 /// The full chaos matrix: every fault mode x snapshot on/off, a burst
 /// of requests across every endpoint class, and one invariant — the
 /// proxy always answers, and failures are always classified.

@@ -174,6 +174,84 @@ fn cold_stampede_collapses_to_one_render() {
 }
 
 #[test]
+fn streamed_cold_stampede_collapses_to_one_render() {
+    use msite::proxy::STREAM_HEADER;
+    let (_site, proxy) = deploy();
+    // No warmup: 8 streamed requests hit the cold proxy at once. The
+    // streaming path must claim/join the same single-flight the batch
+    // path uses, so exactly one pipeline run serves all of them.
+    let gate = Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let proxy = Arc::clone(&proxy);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                let entry = proxy.handle(
+                    &Request::get("http://p/m/forum/")
+                        .unwrap()
+                        .with_header(STREAM_HEADER, "chunked"),
+                );
+                assert!(entry.status.is_success());
+                // Draining the stream is what runs the leader's
+                // deferred pipeline (and completes the flight).
+                entry.into_collected().body_text()
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no thread panics"))
+        .collect();
+    assert!(
+        bodies.iter().all(|b| *b == bodies[0] && !b.is_empty()),
+        "every streamed client gets the same entry bytes"
+    );
+    let stats = proxy.stats();
+    assert_eq!(
+        stats.full_renders, 1,
+        "streamed cold stampede must coalesce to one render"
+    );
+    assert_eq!(stats.renders_coalesced, 7);
+    assert_eq!(stats.streamed_responses, 8);
+}
+
+#[test]
+fn mixed_streamed_and_batch_stampede_still_renders_once() {
+    use msite::proxy::STREAM_HEADER;
+    let (_site, proxy) = deploy();
+    // Half the cold stampede opts into streaming, half stays batch;
+    // whichever request leads, the other seven must join its flight.
+    let gate = Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let proxy = Arc::clone(&proxy);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut req = Request::get("http://p/m/forum/").unwrap();
+                if i % 2 == 0 {
+                    req = req.with_header(STREAM_HEADER, "chunked");
+                }
+                gate.wait();
+                let entry = proxy.handle(&req);
+                assert!(entry.status.is_success());
+                assert!(!entry.into_collected().body_text().is_empty());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread panics");
+    }
+    let stats = proxy.stats();
+    assert_eq!(
+        stats.full_renders, 1,
+        "mixed stampede must coalesce to one render"
+    );
+    assert_eq!(stats.renders_coalesced, 7);
+    assert_eq!(stats.streamed_responses, 4);
+}
+
+#[test]
 fn session_cookie_scoped_to_proxy_base() {
     let (_site, proxy) = deploy();
     let entry = get(&proxy, "/m/forum/", None);
