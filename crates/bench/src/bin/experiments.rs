@@ -12,12 +12,16 @@
 //! cargo run --release -p msite-bench --bin experiments -- telemetry
 //! cargo run --release -p msite-bench --bin experiments -- streaming
 //! cargo run --release -p msite-bench --bin experiments -- durability
+//! cargo run --release -p msite-bench --bin experiments -- planning
+//! cargo run --release -p msite-bench --bin experiments -- capacity
 //! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
 //! ```
 //!
 //! `fig7 --full` uses the paper's full one-minute windows (9 points × 3
 //! trials ≈ 27 minutes); the default uses scaled windows that converge to
-//! the same rates.
+//! the same rates. `capacity` is the million-user multi-tenant session
+//! sweep (three tenant forums, one shared bounded store, Zipf(~1.0)
+//! revisits, a hard memory ceiling).
 
 use msite_bench::{
     burst, capacity, claims, durability, fig6, fig7, fixtures, report, streaming, table1,
@@ -36,6 +40,7 @@ struct AllResults {
     telemetry: Option<telemetry::TelemetryOverheadResult>,
     streaming: Option<streaming::StreamingResult>,
     durability: Option<durability::DurabilityResult>,
+    capacity: Option<capacity::CapacityResult>,
 }
 
 impl ToJson for AllResults {
@@ -49,12 +54,13 @@ impl ToJson for AllResults {
             ("telemetry", self.telemetry.to_json_value()),
             ("streaming", self.streaming.to_json_value()),
             ("durability", self.durability.to_json_value()),
+            ("capacity", self.capacity.to_json_value()),
         ])
     }
 }
 
 /// Wall-clock spent inside each experiment, recorded into
-/// `BENCH_PR7.json` so the perf trajectory is comparable across PRs.
+/// `BENCH_PR8.json` so the perf trajectory is comparable across PRs.
 struct Timings {
     entries: Vec<(&'static str, Duration)>,
 }
@@ -118,6 +124,7 @@ fn main() -> ExitCode {
         telemetry: None,
         streaming: None,
         durability: None,
+        capacity: None,
     };
 
     if want("table1") {
@@ -505,7 +512,92 @@ fn main() -> ExitCode {
         results.durability = Some(result);
     }
 
-    if want("capacity") && !json {
+    if want("capacity") {
+        // The million-user multi-tenant session sweep (request-bound;
+        // seconds in release builds).
+        let config = capacity::CapacityConfig::default();
+        let result = timings.time("capacity", || capacity::run(&config));
+        if let Err(e) = capacity::check_shape(&result) {
+            failures.push(format!("capacity shape: {e}"));
+        }
+        if !json {
+            report::print_table(
+                &format!(
+                    "Session capacity — {} distinct users, {} tenants, Zipf(1.0) revisits",
+                    result.distinct_users,
+                    result.tenants.len()
+                ),
+                &["metric", "value"],
+                &[
+                    vec![
+                        "sustained throughput".into(),
+                        format!("{:.0} req/s", result.requests_per_second),
+                    ],
+                    vec![
+                        "request latency".into(),
+                        format!(
+                            "p50 <= {} us, p99 <= {} us",
+                            result.p50_micros, result.p99_micros
+                        ),
+                    ],
+                    vec![
+                        "total requests".into(),
+                        format!(
+                            "{} ({} revisits, {} hits, {} subpage)",
+                            result.total_requests,
+                            result.revisits,
+                            result.revisit_hits,
+                            result.subpage_requests
+                        ),
+                    ],
+                    vec![
+                        "live sessions at close".into(),
+                        format!("{} / {} bound", result.live_sessions, result.max_sessions),
+                    ],
+                    vec![
+                        "resident bytes".into(),
+                        format!(
+                            "{} store + {} fs / {} ceiling ({} mid-sweep violations)",
+                            report::bytes(result.store_bytes),
+                            report::bytes(result.fs_bytes),
+                            report::bytes(result.memory_ceiling_bytes),
+                            result.ceiling_violations
+                        ),
+                    ],
+                    vec!["evictions".into(), result.evictions.to_string()],
+                ],
+            );
+            let tenant_rows: Vec<Vec<String>> = result
+                .tenants
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.tenant.clone(),
+                        t.live.to_string(),
+                        t.created.to_string(),
+                        t.evicted.to_string(),
+                    ]
+                })
+                .collect();
+            report::print_table(
+                &format!(
+                    "Per-tenant occupancy (quota {} of {} sessions)",
+                    result.tenant_quota, result.max_sessions
+                ),
+                &["tenant", "live", "created", "evicted"],
+                &tenant_rows,
+            );
+            match capacity::check_shape(&result) {
+                Ok(()) => println!(
+                    "shape check: PASS (>=1M users, bounded store, ceiling held, quotas held)"
+                ),
+                Err(e) => println!("shape check: FAIL ({e})"),
+            }
+        }
+        results.capacity = Some(result);
+    }
+
+    if want("planning") && !json {
         let load = capacity::LoadModel::default();
         let rows_data = capacity::analyze(&load);
         let rows: Vec<Vec<String>> = rows_data
@@ -579,12 +671,13 @@ fn main() -> ExitCode {
         ("telemetry", results.telemetry.to_json_value()),
         ("streaming", results.streaming.to_json_value()),
         ("durability", results.durability.to_json_value()),
+        ("capacity", results.capacity.to_json_value()),
     ]);
-    if let Err(e) = std::fs::write("BENCH_PR7.json", bench_json.to_pretty()) {
-        eprintln!("warning: could not write BENCH_PR7.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_PR8.json", bench_json.to_pretty()) {
+        eprintln!("warning: could not write BENCH_PR8.json: {e}");
     } else if !json {
         println!(
-            "\nwrote BENCH_PR7.json ({} experiments timed)",
+            "\nwrote BENCH_PR8.json ({} experiments timed)",
             timings.entries.len()
         );
     }

@@ -88,4 +88,7 @@ pub use pipeline::{
 };
 pub use proxy::{ProxyConfig, ProxyServer, ProxyStats, STREAM_HEADER};
 pub use search::SearchIndex;
-pub use session::{SessionFs, SessionManager, SESSION_COOKIE};
+pub use session::{
+    EvictCause, Session, SessionFs, SessionStore, SessionStoreConfig, SessionStoreStats,
+    DEFAULT_TENANT, SESSION_COOKIE,
+};

@@ -62,9 +62,11 @@ use crate::cache::{RenderCache, SubtreeCache};
 use crate::dsl;
 use crate::engine::EngineRegistry;
 use crate::pipeline::{PipelineContext, PipelineReport};
-use crate::session::{SessionFs, SessionManager};
+use crate::session::{
+    SessionFs, SessionStore, SessionStoreConfig, SessionStoreStats, DEFAULT_TENANT,
+};
 use msite_net::resilience::{BreakerState, ResilienceStats, ResilientOrigin};
-use msite_net::OriginRef;
+use msite_net::{OriginRef, Url};
 use msite_support::sync::Mutex;
 use msite_support::telemetry::{Telemetry, Trace, TraceIdSeq};
 use observability::ProxyMetrics;
@@ -80,7 +82,11 @@ pub(crate) struct UserBundle {
 pub struct ProxyServer {
     spec: AdaptationSpec,
     origin: Arc<ResilientOrigin>,
-    sessions: SessionManager,
+    /// Sharded, bounded session store — possibly shared with other
+    /// tenant proxies through [`ProxyConfig::session_store`].
+    sessions: Arc<SessionStore>,
+    /// Tenant label for this proxy's sessions: the origin site's host.
+    tenant: String,
     // Arc'd so the streaming producer (which runs on the transport
     // writer after `handle` returns) can own handles to the stores it
     // fills progressively.
@@ -92,7 +98,9 @@ pub struct ProxyServer {
     metrics: ProxyMetrics,
     trace_ids: TraceIdSeq,
     shared_ajax: Arc<Mutex<Option<AjaxRegistry>>>,
-    user_bundles: Mutex<HashMap<String, Arc<UserBundle>>>,
+    // Arc'd so the session store's eviction hook can drop a victim's
+    // bundle without borrowing the proxy.
+    user_bundles: Arc<Mutex<HashMap<String, Arc<UserBundle>>>>,
     wants_cookie_clear: Arc<Mutex<bool>>,
     engines: EngineRegistry,
     last_entry_report: Arc<Mutex<Option<PipelineReport>>>,
@@ -117,15 +125,48 @@ impl ProxyServer {
             }
             None => RenderCache::with_stale_window(config.cache_capacity, config.stale_window),
         };
+        // Session store: private (built from the config knobs) unless
+        // the embedder passed a shared multi-tenant store.
+        let sessions = match &config.session_store {
+            Some(store) => Arc::clone(store),
+            None => Arc::new(SessionStore::new(
+                SessionStoreConfig {
+                    max_sessions: config.max_sessions,
+                    session_ttl: config.session_ttl,
+                    fs_byte_budget: config.fs_byte_budget,
+                    tenant_share: config.tenant_share,
+                    seed: config.seed,
+                },
+                Arc::new(SessionFs::new()),
+            )),
+        };
+        let tenant = Url::parse(&spec.page_url)
+            .map(|u| u.host().to_string())
+            .unwrap_or_else(|_| DEFAULT_TENANT.to_string());
+        // When the store evicts a session, drop its per-user bundle
+        // too; the hook runs outside store locks.
+        let user_bundles: Arc<Mutex<HashMap<String, Arc<UserBundle>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        {
+            let bundles = Arc::clone(&user_bundles);
+            sessions.add_evict_hook(Arc::new(move |id: &str| {
+                bundles.lock().remove(id);
+            }));
+        }
+        let metrics = ProxyMetrics::new(&telemetry);
+        metrics
+            .session_max
+            .set(sessions.config().max_sessions as i64);
         ProxyServer {
-            sessions: SessionManager::new(config.seed),
-            fs: Arc::new(SessionFs::new()),
+            fs: Arc::clone(sessions.fs()),
+            sessions,
+            tenant,
             cache: Arc::new(cache),
             subtrees: Arc::new(SubtreeCache::new(config.subtree_cache_capacity)),
-            metrics: ProxyMetrics::new(&telemetry),
+            metrics,
             trace_ids: TraceIdSeq::new(config.seed ^ 0x0074_7261_6365), // "trace"
             shared_ajax: Arc::new(Mutex::new(None)),
-            user_bundles: Mutex::new(HashMap::new()),
+            user_bundles,
             wants_cookie_clear: Arc::new(Mutex::new(false)),
             engines: EngineRegistry::with_builtins(),
             last_entry_report: Arc::new(Mutex::new(None)),
@@ -248,9 +289,29 @@ impl ProxyServer {
         self.last_entry_report.lock().clone()
     }
 
-    /// Live session count.
+    /// Live session count (across all tenants when the store is
+    /// shared).
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// The session store this proxy issues sessions from — shared with
+    /// other tenant proxies when [`ProxyConfig::session_store`] was
+    /// set.
+    pub fn session_store(&self) -> &Arc<SessionStore> {
+        &self.sessions
+    }
+
+    /// Session-store counter snapshot (created / live / destroyed /
+    /// evictions by cause).
+    pub fn session_stats(&self) -> SessionStoreStats {
+        self.sessions.stats()
+    }
+
+    /// Tenant label this proxy's sessions are scoped to (the origin
+    /// site's host).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     /// Generated files currently stored (subpages + images).

@@ -89,6 +89,13 @@ pub(super) struct ProxyMetrics {
     pub(super) subtrees_recomputed: Arc<Counter>,
     pub(super) streamed_responses: Arc<Counter>,
     pub(super) sessions_live: Arc<Gauge>,
+    /// Session-store gauges (`msite_session_*`): live occupancy and
+    /// the configured bound — the pair the health monitor reads to
+    /// fold session pressure into its classification — plus the
+    /// budgeted session-directory bytes.
+    pub(super) session_live: Arc<Gauge>,
+    pub(super) session_max: Arc<Gauge>,
+    pub(super) session_fs_bytes: Arc<Gauge>,
     pub(super) request_micros: Arc<Histogram>,
     /// Time from request arrival to the first flushed entry chunk
     /// (progressive delivery) or to the complete response (batch).
@@ -114,6 +121,9 @@ impl ProxyMetrics {
             subtrees_recomputed: m.counter("msite_subtrees_recomputed_total", &[]),
             streamed_responses: m.counter("msite_proxy_streamed_responses_total", &[]),
             sessions_live: m.gauge("msite_proxy_sessions_live", &[]),
+            session_live: m.gauge("msite_session_live", &[]),
+            session_max: m.gauge("msite_session_max", &[]),
+            session_fs_bytes: m.gauge("msite_session_fs_bytes", &[]),
         }
     }
 }
@@ -217,6 +227,36 @@ impl ProxyServer {
                 .set(disk.live_bytes as i64);
         }
         self.metrics.sessions_live.set(self.sessions.len() as i64);
+        // Session store: gauges plus eviction counters by cause and
+        // per-tenant occupancy. The store keeps its own atomics for
+        // lock-striping reasons; `fold_to` keeps the sync idempotent.
+        let sessions = self.sessions.stats();
+        self.metrics.session_live.set(sessions.live as i64);
+        self.metrics
+            .session_max
+            .set(self.sessions.config().max_sessions as i64);
+        self.metrics
+            .session_fs_bytes
+            .set(self.fs.session_bytes() as i64);
+        m.gauge("msite_session_fs_budget", &[])
+            .set(self.sessions.config().fs_byte_budget as i64);
+        m.counter("msite_session_created_total", &[])
+            .fold_to(sessions.created);
+        m.counter("msite_session_destroyed_total", &[])
+            .fold_to(sessions.destroyed);
+        for (cause, value) in [
+            ("lru", sessions.evicted_lru),
+            ("quota", sessions.evicted_quota),
+            ("expired", sessions.evicted_expired),
+            ("fs_bytes", sessions.evicted_fs_bytes),
+        ] {
+            m.counter("msite_session_evictions_total", &[("cause", cause)])
+                .fold_to(value);
+        }
+        for (tenant, live, _, _) in self.sessions.tenant_occupancy() {
+            m.gauge("msite_session_tenant_live", &[("tenant", &tenant)])
+                .set(live as i64);
+        }
     }
 
     /// Routes the observability endpoints — `GET /metrics`,
@@ -258,7 +298,13 @@ impl ProxyServer {
         let queue_len = m.gauge_value("msite_server_queue_len", &[]);
         let queue_depth = m.gauge_value("msite_server_queue_depth", &[]);
         let overloaded = queue_depth > 0 && queue_len >= queue_depth;
-        let degraded = breaker != BreakerState::Closed;
+        // Session pressure: a full store is still serving (evicting
+        // LRU per admission), but it is degraded service — long-idle
+        // users are losing their jars.
+        let session_stats = self.sessions.stats();
+        let session_max = self.sessions.config().max_sessions as u64;
+        let sessions_full = session_stats.live >= session_max;
+        let degraded = breaker != BreakerState::Closed || sessions_full;
         let status = if overloaded {
             "overloaded"
         } else if degraded {
@@ -285,11 +331,24 @@ impl ProxyServer {
         // Health-monitor view: gauges a HealthMonitor sharing this
         // telemetry publishes each tick; all zero when none is attached.
         let health = format!(
-            "{{\"state\":{},\"workers_target\":{},\"shed_threshold\":{},\"stale_factor\":{}}}",
+            "{{\"state\":{},\"workers_target\":{},\"shed_threshold\":{},\"stale_factor\":{},\
+             \"session_permille\":{}}}",
             m.gauge_value("msite_health_state", &[]),
             m.gauge_value("msite_health_workers_target", &[]),
             m.gauge_value("msite_health_shed_threshold", &[]),
             m.gauge_value("msite_health_stale_factor", &[]),
+            m.gauge_value("msite_health_session_permille", &[]),
+        );
+        // Session-store pressure summary: occupancy against the bound,
+        // budgeted bytes, and total involuntary evictions.
+        let sessions = format!(
+            "{{\"live\":{},\"max\":{session_max},\"fs_bytes\":{},\"fs_budget\":{},\
+             \"evicted\":{},\"tenants\":{}}}",
+            session_stats.live,
+            self.fs.session_bytes(),
+            self.sessions.config().fs_byte_budget,
+            session_stats.evicted_total(),
+            self.sessions.tenant_occupancy().len(),
         );
         let body = format!(
             "{{\"status\":\"{status}\",\
@@ -298,23 +357,27 @@ impl ProxyServer {
              \"cache\":{{\"hits\":{},\"misses\":{},\"stale_hits\":{},\"coalesced\":{}}},\
              \"disk\":{disk},\
              \"health\":{health},\
-             \"sessions\":{}}}",
+             \"sessions\":{sessions}}}",
             breaker.name(),
             m.gauge_value("msite_server_workers", &[]),
             cache.hits,
             cache.misses,
             cache.stale_hits,
             cache.coalesced,
-            self.sessions.len(),
         );
         let mut response = Response::bytes("application/json", Bytes::from(body.into_bytes()));
         if overloaded {
             response.status = msite_net::Status::SERVICE_UNAVAILABLE;
             response.headers.set(ERROR_HEADER, "overloaded");
-        } else if degraded {
+        } else if breaker != BreakerState::Closed {
             response.headers.set(
                 DEGRADED_HEADER,
                 &format!("breaker; host={host}; state={}", breaker.name()),
+            );
+        } else if sessions_full {
+            response.headers.set(
+                DEGRADED_HEADER,
+                &format!("sessions; live={}; max={session_max}", session_stats.live),
             );
         }
         response

@@ -40,11 +40,14 @@ impl ProxyServer {
         // them: subpages and jars still need a home (the spec flag only
         // controls whether origin auth flows are attempted).
         let cookie_value = request.cookie(SESSION_COOKIE);
-        let (session, created) = self.sessions.get_or_create(cookie_value.as_deref());
+        let (session, created) = self
+            .sessions
+            .get_or_create(cookie_value.as_deref(), &self.tenant);
         if created {
             self.metrics.sessions_created.inc();
         }
         self.metrics.sessions_live.set(self.sessions.len() as i64);
+        self.metrics.session_live.set(self.sessions.len() as i64);
         let session_id = session.lock().id.clone();
         let attach_cookie = |mut response: Response| -> Response {
             if created {
@@ -91,9 +94,9 @@ impl ProxyServer {
                 }
             }
             "/logout" => {
-                self.fs.remove_session(&session_id);
+                // The store's teardown wipes the session directory and
+                // runs the eviction hooks (dropping the user bundle).
                 self.sessions.destroy(&session_id);
-                self.user_bundles.lock().remove(&session_id);
                 let mut kill = Cookie::new(SESSION_COOKIE, "");
                 kill.expires_at = Some(0);
                 kill.path = base.clone();

@@ -23,6 +23,10 @@ pub struct Cookie {
     pub expires_at: Option<u64>,
     /// HttpOnly flag (informational).
     pub http_only: bool,
+    /// True when the `Set-Cookie` carried no `Domain` attribute and the
+    /// domain above was copied from the response URL: RFC 6265 host-only
+    /// cookies match the exact host, never its subdomains.
+    pub host_only: bool,
 }
 
 impl Cookie {
@@ -35,6 +39,7 @@ impl Cookie {
             path: "/".to_string(),
             expires_at: None,
             http_only: false,
+            host_only: false,
         }
     }
 
@@ -66,19 +71,42 @@ impl Cookie {
         Some(cookie)
     }
 
-    /// Serializes as a `Set-Cookie` header value.
+    /// Serializes as a `Set-Cookie` header value, relative to time 0
+    /// (the convention across the in-process stack). See
+    /// [`Cookie::to_header_value_at`].
     pub fn to_header_value(&self) -> String {
+        self.to_header_value_at(0)
+    }
+
+    /// Serializes as a `Set-Cookie` header value as sent at time `now`:
+    /// an absolute `expires_at` becomes a relative `Max-Age`, so the
+    /// expiry survives a serialize/re-parse round trip instead of
+    /// silently turning the cookie into a session cookie. An expiry at
+    /// or before `now` serializes as `Max-Age=0` (the delete idiom).
+    /// A host-only cookie omits `Domain` — per RFC 6265 the absent
+    /// attribute *is* the host-only signal.
+    pub fn to_header_value_at(&self, now: u64) -> String {
         let mut out = format!("{}={}", self.name, self.value);
-        if !self.domain.is_empty() {
+        if !self.domain.is_empty() && !self.host_only {
             out.push_str("; Domain=");
             out.push_str(&self.domain);
         }
         out.push_str("; Path=");
         out.push_str(&self.path);
+        if let Some(expiry) = self.expires_at {
+            out.push_str("; Max-Age=");
+            out.push_str(&expiry.saturating_sub(now).to_string());
+        }
         if self.http_only {
             out.push_str("; HttpOnly");
         }
         out
+    }
+
+    /// Estimated heap bytes this cookie occupies (string contents plus
+    /// per-field overhead) — feeds session memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.name.len() + self.value.len() + self.domain.len() + self.path.len() + 48
     }
 
     /// True when this cookie should be sent to `url` at time `now`.
@@ -89,12 +117,26 @@ impl Cookie {
             }
         }
         let domain_ok = if self.domain.is_empty() {
-            true // host-only cookies are stored per-jar, jar is per-site
+            true // unscoped cookies are stored per-jar, jar is per-site
+        } else if self.host_only {
+            // Host-only: exact host, never subdomains.
+            url.host() == self.domain
         } else {
             url.host() == self.domain || url.host().ends_with(&format!(".{}", self.domain))
         };
-        let path_ok = url.path().starts_with(&self.path)
-            || (self.path.ends_with('/') && url.path() == &self.path[..self.path.len() - 1]);
+        // RFC 6265 §5.1.4 path-match: identical, or a prefix that ends
+        // at a `/` boundary — `Path=/private` must not match
+        // `/privateer`. (Plus the stack's long-standing lenience that
+        // `Path=/private/` matches `/private` itself.)
+        let request_path = url.path();
+        let cookie_path = self.path.as_str();
+        let path_ok = request_path == cookie_path
+            || (cookie_path.ends_with('/')
+                && (request_path.starts_with(cookie_path)
+                    || request_path == &cookie_path[..cookie_path.len() - 1]))
+            || (!cookie_path.ends_with('/')
+                && request_path.starts_with(cookie_path)
+                && request_path.as_bytes()[cookie_path.len()] == b'/');
         domain_ok && path_ok
     }
 }
@@ -150,7 +192,10 @@ impl CookieJar {
         for header in response.headers.get_all("set-cookie") {
             if let Some(mut cookie) = Cookie::parse_set_cookie(header, now) {
                 if cookie.domain.is_empty() {
+                    // No Domain attribute: RFC 6265 host-only — scoped
+                    // to exactly this host, not its subdomains.
                     cookie.domain = url.host().to_string();
+                    cookie.host_only = true;
                 }
                 self.store(cookie, now);
             }
@@ -203,6 +248,12 @@ impl CookieJar {
     pub fn is_empty(&self) -> bool {
         self.cookies.is_empty()
     }
+
+    /// Estimated heap bytes this jar occupies — feeds the session
+    /// store's memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        24 + self.cookies.iter().map(Cookie::approx_bytes).sum::<usize>()
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +286,80 @@ mod tests {
         let c = Cookie::parse_set_cookie("a=1; Path=/x; HttpOnly", 0).unwrap();
         let reparsed = Cookie::parse_set_cookie(&c.to_header_value(), 0).unwrap();
         assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn header_value_round_trip_preserves_expiry() {
+        // The seed dropped `expires_at` on serialization, so one
+        // serialize/re-parse turned an expiring cookie into a session
+        // cookie (and a delete cookie into a keep-forever cookie).
+        let c = Cookie::parse_set_cookie("a=1; Path=/x; Max-Age=3600; HttpOnly", 0).unwrap();
+        assert_eq!(c.expires_at, Some(3600));
+        let reparsed = Cookie::parse_set_cookie(&c.to_header_value(), 0).unwrap();
+        assert_eq!(c, reparsed);
+
+        // Serialized later, the remaining lifetime shrinks with `now`.
+        let later = Cookie::parse_set_cookie(&c.to_header_value_at(1000), 1000).unwrap();
+        assert_eq!(later.expires_at, Some(3600));
+
+        // The delete idiom survives: expiry in the past -> Max-Age=0.
+        let mut kill = Cookie::new("a", "");
+        kill.expires_at = Some(0);
+        assert!(kill.to_header_value_at(50).contains("Max-Age=0"));
+        let reparsed = Cookie::parse_set_cookie(&kill.to_header_value_at(50), 50).unwrap();
+        assert_eq!(reparsed.expires_at, Some(0));
+    }
+
+    #[test]
+    fn path_match_requires_segment_boundary() {
+        let mut jar = CookieJar::new();
+        let mut c = Cookie::new("p", "1");
+        c.path = "/private".to_string();
+        jar.store(c, 0);
+        // Exact path and true sub-paths match...
+        assert!(jar
+            .cookie_header(&Url::parse("http://h/private").unwrap(), 0)
+            .is_some());
+        assert!(jar
+            .cookie_header(&Url::parse("http://h/private/x.php").unwrap(), 0)
+            .is_some());
+        // ...but a sibling path sharing the prefix must not.
+        assert!(jar
+            .cookie_header(&Url::parse("http://h/privateer").unwrap(), 0)
+            .is_none());
+        assert!(jar
+            .cookie_header(&Url::parse("http://h/private.bak/x").unwrap(), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn host_only_cookie_does_not_leak_to_subdomains() {
+        let mut jar = CookieJar::new();
+        let url = Url::parse("http://example.com/").unwrap();
+        let resp = Response::html("ok").with_cookie(&Cookie::new("sid", "1"));
+        jar.store_from_response(&resp, &url, 0);
+        // Host-only: exact host matches, subdomains must not.
+        assert!(jar.cookie_header(&url, 0).is_some());
+        assert!(jar
+            .cookie_header(&Url::parse("http://forum.example.com/").unwrap(), 0)
+            .is_none());
+
+        // An explicit Domain attribute still covers subdomains.
+        let mut scoped = Cookie::new("d", "1");
+        scoped.domain = "example.com".to_string();
+        jar.store(scoped, 0);
+        assert!(jar
+            .cookie_header(&Url::parse("http://forum.example.com/").unwrap(), 0)
+            .unwrap()
+            .contains("d=1"));
+    }
+
+    #[test]
+    fn jar_approx_bytes_grows_with_contents() {
+        let mut jar = CookieJar::new();
+        let empty = jar.approx_bytes();
+        jar.store(Cookie::new("session", &"v".repeat(100)), 0);
+        assert!(jar.approx_bytes() >= empty + 100);
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub struct HealthConfig {
     /// Fraction of the hard queue bound the shed threshold tightens to
     /// while overloaded.
     pub shed_tighten: f64,
+    /// Session-store occupancy (`msite_session_live` over
+    /// `msite_session_max`) at or above which a tick is at least
+    /// degraded: the store still serves (evicting LRU per admission),
+    /// but long-idle users are losing their jars. Session pressure
+    /// never scales workers — the store is bounded by design, more
+    /// threads would not help — it only taints the health verdict.
+    pub session_high: f64,
 }
 
 impl Default for HealthConfig {
@@ -69,6 +76,7 @@ impl Default for HealthConfig {
             hysteresis: 3,
             stale_boost: 4,
             shed_tighten: 0.5,
+            session_high: 0.9,
         }
     }
 }
@@ -116,6 +124,9 @@ pub struct HealthDecision {
     pub shed_delta: u64,
     /// Breaker transitions since the previous tick.
     pub breaker_delta: u64,
+    /// Session-store occupancy sampled (live / max), 0 when no store
+    /// publishes the `msite_session_*` gauges into this registry.
+    pub session_fraction: f64,
     /// Worker width after actuation.
     pub workers: usize,
     /// Shed threshold after actuation.
@@ -241,6 +252,15 @@ impl HealthMonitor {
             .counter_value("msite_server_rejected_overload_total", &[]);
         let breaker_total = self.registry.counter_sum(BREAKER_TRANSITIONS_METRIC);
         let p99 = self.queue_wait_p99();
+        // Session pressure: occupancy of the bounded session store, as
+        // published by a proxy sharing this registry.
+        let session_live = self.registry.gauge_value("msite_session_live", &[]).max(0);
+        let session_max = self.registry.gauge_value("msite_session_max", &[]).max(0);
+        let session_fraction = if session_max > 0 {
+            session_live as f64 / session_max as f64
+        } else {
+            0.0
+        };
 
         let mut state = self.state.lock();
         let shed_delta = shed_total.saturating_sub(state.last_shed);
@@ -255,9 +275,11 @@ impl HealthMonitor {
             || p99 >= self.config.p99_high_micros
             || shed_delta > 0
             || breaker_delta > 0;
+        let session_pressure = session_fraction >= self.config.session_high;
         let healthy = !overloaded
             && queue_fraction <= self.config.queue_low
-            && p99 < self.config.p99_high_micros;
+            && p99 < self.config.p99_high_micros
+            && !session_pressure;
         let verdict = if overloaded {
             HealthState::Overloaded
         } else if healthy {
@@ -336,6 +358,9 @@ impl HealthMonitor {
                 .inc();
         }
         self.publish_gauges(new_workers, new_threshold, new_factor, verdict);
+        self.registry
+            .gauge("msite_health_session_permille", &[])
+            .set((session_fraction * 1000.0) as i64);
 
         HealthDecision {
             state: verdict,
@@ -343,6 +368,7 @@ impl HealthMonitor {
             p99_micros: p99,
             shed_delta,
             breaker_delta,
+            session_fraction,
             workers: new_workers,
             shed_threshold: new_threshold,
             stale_factor: new_factor,
@@ -521,6 +547,39 @@ mod tests {
         registry.gauge("msite_server_queue_len", &[]).set(0);
         monitor.tick();
         assert_eq!(*seen.lock(), vec![4, 1]);
+    }
+
+    #[test]
+    fn session_pressure_degrades_without_scaling() {
+        let (registry, monitor) = harness(test_config());
+        registry.gauge("msite_session_live", &[]).set(95);
+        registry.gauge("msite_session_max", &[]).set(100);
+        let decision = monitor.tick();
+        // Session pressure taints health but never grows workers (the
+        // store is bounded by design; threads would not help).
+        assert_eq!(decision.state, HealthState::Degraded);
+        assert!(decision.session_fraction > 0.9);
+        assert_eq!(decision.workers, 2);
+        assert_eq!(
+            registry.gauge_value("msite_health_session_permille", &[]),
+            950
+        );
+        // Pressure released: healthy again.
+        registry.gauge("msite_session_live", &[]).set(10);
+        let decision = monitor.tick();
+        assert_eq!(decision.state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn absent_session_gauges_read_as_no_pressure() {
+        let (registry, monitor) = harness(test_config());
+        let decision = monitor.tick();
+        assert_eq!(decision.state, HealthState::Healthy);
+        assert_eq!(decision.session_fraction, 0.0);
+        assert_eq!(
+            registry.gauge_value("msite_health_session_permille", &[]),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Property suite for [`CookieJar`]: arbitrary store/replace/expiry
+//! sequences checked against a naive reference model, and the RFC 6265
+//! matching rules (path segment boundary, host-only scope, domain
+//! suffix) checked against a from-the-spec reimplementation.
+//!
+//! The jar is the proxy's per-user credential store — the paper's
+//! "cookie jars ... the proxy itself must be authenticated on behalf of
+//! the user" — so a jar that leaks a cookie across a path or subdomain
+//! boundary leaks one user's forum credentials to another origin.
+
+use msite_net::{Cookie, CookieJar, Url};
+use msite_support::prop;
+
+/// The reference model: a flat list with the same (name, domain, path)
+/// replacement key, expiry-at-store deletion, and a literal RFC 6265
+/// reading of the match rules.
+#[derive(Default)]
+struct ModelJar {
+    cookies: Vec<Cookie>,
+}
+
+impl ModelJar {
+    fn store(&mut self, cookie: Cookie, now: u64) {
+        self.cookies.retain(|c| {
+            !(c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
+        });
+        if !cookie.expires_at.map(|e| now >= e).unwrap_or(false) {
+            self.cookies.push(cookie);
+        }
+    }
+
+    fn matching(&self, url: &Url, now: u64) -> Vec<(String, String)> {
+        self.cookies
+            .iter()
+            .filter(|c| {
+                if c.expires_at.map(|e| now >= e).unwrap_or(false) {
+                    return false;
+                }
+                let domain_ok = if c.domain.is_empty() {
+                    true
+                } else if c.host_only {
+                    url.host() == c.domain
+                } else {
+                    url.host() == c.domain || url.host().ends_with(&format!(".{}", c.domain))
+                };
+                // RFC 6265 §5.1.4 path-match (plus the stack's lenience
+                // that "/p/" also matches "/p" exactly).
+                let p = url.path();
+                let cp = c.path.as_str();
+                let path_ok = p == cp
+                    || (cp.ends_with('/') && (p.starts_with(cp) || p == &cp[..cp.len() - 1]))
+                    || (!cp.ends_with('/')
+                        && p.starts_with(cp)
+                        && p.as_bytes().get(cp.len()) == Some(&b'/'));
+                domain_ok && path_ok
+            })
+            .map(|c| (c.name.clone(), c.value.clone()))
+            .collect()
+    }
+}
+
+fn gen_cookie(g: &mut prop::Gen, now: u64) -> Cookie {
+    // Identifier-shaped values: attribute separators (`;`, `=`) and
+    // padding whitespace are Set-Cookie syntax, not value bytes.
+    let mut c = Cookie::new(
+        ["sid", "bbuserid", "bbpassword", "theme", "lang"][g.range_usize(0, 5)],
+        &g.ident(8),
+    );
+    c.path = ["/", "/forum", "/forum/", "/private", "/a/b"][g.range_usize(0, 5)].to_string();
+    if g.bool() {
+        c.domain = ["example.com", "forum.example.com", "other.test"][g.range_usize(0, 3)].into();
+        c.host_only = g.bool();
+    }
+    if g.bool() {
+        // Mix of already-expired, soon, and far-future expiries.
+        c.expires_at = Some(now.saturating_sub(5) + g.range_u64(0, 40));
+    }
+    c
+}
+
+/// After any interleaving of stores (with replacement and expiry
+/// deletes) and queries at a moving clock, the jar agrees with the
+/// naive model on exactly which cookies match every probe URL.
+#[test]
+fn jar_agrees_with_naive_model() {
+    let urls: Vec<Url> = [
+        "http://example.com/",
+        "http://example.com/forum",
+        "http://example.com/forum/post.php",
+        "http://example.com/forumbits",
+        "http://example.com/private/x",
+        "http://example.com/privateer",
+        "http://forum.example.com/forum",
+        "http://deep.forum.example.com/",
+        "http://other.test/a/b/c",
+        "http://other.test/a/bc",
+    ]
+    .iter()
+    .map(|u| Url::parse(u).unwrap())
+    .collect();
+
+    prop::check("jar vs naive model", 150, 0xC00C1E, |g| {
+        let mut jar = CookieJar::new();
+        let mut model = ModelJar::default();
+        let mut now = 0u64;
+        for _ in 0..g.range_usize(5, 60) {
+            now += g.range_u64(0, 8);
+            if g.bool() {
+                let cookie = gen_cookie(g, now);
+                jar.store(cookie.clone(), now);
+                model.store(cookie, now);
+            } else {
+                let url = &urls[g.range_usize(0, urls.len())];
+                let expected = model.matching(url, now);
+                let got = jar.cookie_header(url, now);
+                let want = if expected.is_empty() {
+                    None
+                } else {
+                    Some(
+                        expected
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    )
+                };
+                assert_eq!(got, want, "probe {} at t={now} diverged", url.path());
+            }
+            assert_eq!(jar.len(), model.cookies.len(), "live set diverged");
+        }
+    });
+}
+
+/// Serialize/re-parse round trip preserves every attribute the stack
+/// honors — including expiry (as `Max-Age`) — for non-host-only
+/// cookies; host-only cookies come back host-only when re-ingested
+/// through a response from the same host.
+#[test]
+fn header_round_trip_is_lossless() {
+    prop::check("set-cookie round trip", 150, 0x5E7C0, |g| {
+        let now = g.range_u64(0, 100);
+        let mut c = gen_cookie(g, now);
+        c.host_only = false; // the Domain attribute carries scope
+        if c.expires_at.map(|e| e <= now).unwrap_or(false) {
+            // Already expired: the wire form collapses to the
+            // `Max-Age=0` delete idiom, which must re-parse expired.
+            let reparsed = Cookie::parse_set_cookie(&c.to_header_value_at(now), now)
+                .expect("serialized cookie re-parses");
+            assert!(
+                reparsed.expires_at.map(|e| e <= now).unwrap_or(false),
+                "expired cookie must stay expired across the wire"
+            );
+            return;
+        }
+        let reparsed = Cookie::parse_set_cookie(&c.to_header_value_at(now), now)
+            .expect("serialized cookie re-parses");
+        assert_eq!(c, reparsed, "round trip changed the cookie");
+    });
+}
+
+/// A cookie must never match a URL outside its path segment or host
+/// scope, for arbitrary paths: the `/private` vs `/privateer` class of
+/// leak, generalized.
+#[test]
+fn no_cross_boundary_matches() {
+    prop::check("path boundary", 200, 0xB0B0, |g| {
+        let seg = g.ident(6);
+        let mut c = Cookie::new("s", "v");
+        c.path = format!("/{seg}");
+        let mut jar = CookieJar::new();
+        jar.store(c, 0);
+
+        let sub = Url::parse(&format!("http://h/{seg}/sub")).unwrap();
+        assert!(jar.cookie_header(&sub, 0).is_some(), "sub-path must match");
+        let exact = Url::parse(&format!("http://h/{seg}")).unwrap();
+        assert!(jar.cookie_header(&exact, 0).is_some(), "exact must match");
+        // Sibling path extending the last segment must not match.
+        let sibling = Url::parse(&format!("http://h/{seg}{}", g.ident(4))).unwrap();
+        if sibling.path() != exact.path() {
+            assert!(
+                jar.cookie_header(&sibling, 0).is_none(),
+                "{} leaked to {}",
+                exact.path(),
+                sibling.path()
+            );
+        }
+    });
+}

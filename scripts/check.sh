@@ -28,6 +28,12 @@ cargo test -q --offline -p msite --test persistence_e2e
 echo "== subtree cache eviction accounting =="
 cargo test -q --offline -p msite --test subtree_prop
 
+echo "== cookie jar RFC 6265 property suite =="
+cargo test -q --offline -p msite-net --test cookie_prop
+
+echo "== session store eviction accounting + tenant isolation =="
+cargo test -q --offline -p msite --test session_prop
+
 echo "== stampede / single-flight suite =="
 cargo test -q --offline -p msite --test cache_stampede
 cargo test -q --offline -p msite --test cache_shard_prop
@@ -60,3 +66,6 @@ cargo run --release --offline -p msite-bench --bin experiments -- streaming
 
 echo "== durability + adaptive-capacity gate (warm restart, surge) =="
 cargo run --release --offline -p msite-bench --bin experiments -- durability
+
+echo "== million-user session capacity gate (bounded store, quotas) =="
+cargo run --release --offline -p msite-bench --bin experiments -- capacity
