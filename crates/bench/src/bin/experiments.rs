@@ -14,6 +14,7 @@
 //! cargo run --release -p msite-bench --bin experiments -- durability
 //! cargo run --release -p msite-bench --bin experiments -- planning
 //! cargo run --release -p msite-bench --bin experiments -- capacity
+//! cargo run --release -p msite-bench --bin experiments -- hotpath
 //! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
 //! ```
 //!
@@ -24,7 +25,7 @@
 //! revisits, a hard memory ceiling).
 
 use msite_bench::{
-    burst, capacity, claims, durability, fig6, fig7, fixtures, report, streaming, table1,
+    burst, capacity, claims, durability, fig6, fig7, fixtures, hotpath, report, streaming, table1,
     telemetry, throughput,
 };
 use msite_support::json::{obj, ToJson, Value};
@@ -41,6 +42,7 @@ struct AllResults {
     streaming: Option<streaming::StreamingResult>,
     durability: Option<durability::DurabilityResult>,
     capacity: Option<capacity::CapacityResult>,
+    hotpath: Option<hotpath::HotpathResult>,
 }
 
 impl ToJson for AllResults {
@@ -55,12 +57,13 @@ impl ToJson for AllResults {
             ("streaming", self.streaming.to_json_value()),
             ("durability", self.durability.to_json_value()),
             ("capacity", self.capacity.to_json_value()),
+            ("hotpath", self.hotpath.to_json_value()),
         ])
     }
 }
 
 /// Wall-clock spent inside each experiment, recorded into
-/// `BENCH_PR8.json` so the perf trajectory is comparable across PRs.
+/// `BENCH_PR9.json` so the perf trajectory is comparable across PRs.
 struct Timings {
     entries: Vec<(&'static str, Duration)>,
 }
@@ -125,6 +128,7 @@ fn main() -> ExitCode {
         streaming: None,
         durability: None,
         capacity: None,
+        hotpath: None,
     };
 
     if want("table1") {
@@ -597,6 +601,62 @@ fn main() -> ExitCode {
         results.capacity = Some(result);
     }
 
+    if want("hotpath") {
+        let result = timings.time("hotpath", || hotpath::run(5));
+        if let Err(e) = hotpath::check_shape(&result) {
+            failures.push(format!("hotpath: {e}"));
+        }
+        if !json {
+            report::print_table(
+                "SWAR hot paths — fast vs scalar twins (identity-gated, see DESIGN.md §15)",
+                &["path", "speedup", "gate"],
+                &[
+                    vec![
+                        "tokenizer + entity codec".into(),
+                        format!(
+                            "{:.2}x ({:.0} MB/s)",
+                            result.tokenizer_entity_speedup, result.tokenizer_mb_s
+                        ),
+                        format!(">={:.1}x", result.tokenizer_gate),
+                    ],
+                    vec![
+                        "crc32 (slicing-by-8)".into(),
+                        format!(
+                            "{:.1}x ({:.0} MB/s)",
+                            result.crc32_speedup, result.crc32_mb_s
+                        ),
+                        format!(">={:.1}x", result.crc_gate),
+                    ],
+                    vec![
+                        "adler32 (unrolled)".into(),
+                        format!("{:.2}x", result.adler32_speedup),
+                        "-".into(),
+                    ],
+                    vec![
+                        "zlib compress".into(),
+                        format!("{:.2}x", result.zlib_speedup),
+                        "-".into(),
+                    ],
+                    vec![
+                        "selector bloom prefilter".into(),
+                        format!("{:.2}x", result.selector_speedup),
+                        "-".into(),
+                    ],
+                    vec![
+                        "strip_tag batch classifier".into(),
+                        format!("{:.2}x", result.strip_tag_speedup),
+                        "-".into(),
+                    ],
+                ],
+            );
+            match hotpath::check_shape(&result) {
+                Ok(()) => println!("hotpath gates: PASS"),
+                Err(e) => println!("hotpath gates: FAIL ({e})"),
+            }
+        }
+        results.hotpath = Some(result);
+    }
+
     if want("planning") && !json {
         let load = capacity::LoadModel::default();
         let rows_data = capacity::analyze(&load);
@@ -672,12 +732,13 @@ fn main() -> ExitCode {
         ("streaming", results.streaming.to_json_value()),
         ("durability", results.durability.to_json_value()),
         ("capacity", results.capacity.to_json_value()),
+        ("hotpath", results.hotpath.to_json_value()),
     ]);
-    if let Err(e) = std::fs::write("BENCH_PR8.json", bench_json.to_pretty()) {
-        eprintln!("warning: could not write BENCH_PR8.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_PR9.json", bench_json.to_pretty()) {
+        eprintln!("warning: could not write BENCH_PR9.json: {e}");
     } else if !json {
         println!(
-            "\nwrote BENCH_PR8.json ({} experiments timed)",
+            "\nwrote BENCH_PR9.json ({} experiments timed)",
             timings.entries.len()
         );
     }

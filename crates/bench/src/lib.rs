@@ -17,6 +17,7 @@ pub mod claims;
 pub mod durability;
 pub mod fig6;
 pub mod fig7;
+pub mod hotpath;
 pub mod streaming;
 pub mod table1;
 pub mod telemetry;

@@ -22,6 +22,8 @@ mod emit;
 mod fetch;
 mod filter;
 mod render;
+#[doc(hidden)]
+pub mod soa;
 mod stage;
 #[cfg(test)]
 mod tests;

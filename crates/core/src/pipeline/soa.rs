@@ -1,0 +1,194 @@
+//! Struct-of-arrays batch classifier for the filter stage's tag
+//! stripping.
+//!
+//! `strip_tag` is the hottest source filter: the scalar form lowercases
+//! the whole page, then re-runs a substring search from scratch after
+//! every hit. The batch form makes exactly one word-at-a-time sweep
+//! (pass 1) that records every viable `<` candidate into parallel arrays —
+//! position, open-prefix flag, open-boundary flag, close flag — with
+//! the classification computed as branchless word compares against the
+//! packed tag name. Pass 2 then replays the scalar control flow over
+//! those arrays, so the output is byte-identical to
+//! [`strip_tag_scalar`] (a property gate pins this).
+//!
+//! Tags longer than eight bytes or containing non-alphanumeric ASCII
+//! fall back to the scalar path: the packed-word compare only covers
+//! one u64 lane.
+
+use msite_support::swar::{self, ByteSet};
+
+/// Bytes that may legally follow `<tag` for the match to count as an
+/// open tag. End-of-input is *not* a boundary — a page ending in
+/// `<script` leaves the prefix in place, mirroring the scalar filter.
+const OPEN_BOUNDARY: ByteSet = ByteSet::new(b"> \t\n\r/");
+
+/// Classification of every `<` in the source, one entry per candidate,
+/// in struct-of-arrays form so pass 2 walks flat flag arrays instead of
+/// re-deriving anything from the text.
+struct Candidates {
+    /// Byte offset of each `<`, strictly increasing.
+    pos: Vec<usize>,
+    /// The case-folded tag name immediately follows the `<`.
+    open_prefix: Vec<bool>,
+    /// [`Candidates::open_prefix`] plus a legal boundary byte: a real
+    /// open tag, not a prefix of a longer name.
+    open_ok: Vec<bool>,
+    /// The candidate is a literal `</tag>` closer.
+    close_ok: Vec<bool>,
+}
+
+/// Reads up to eight bytes starting at `at` into a little-endian word,
+/// zero-padded past end-of-input (zero never matches an alphanumeric
+/// tag byte, so padding cannot create a false prefix).
+fn read_word(html: &[u8], at: usize) -> u64 {
+    let mut w = [0u8; 8];
+    let end = html.len().min(at.saturating_add(8));
+    if at < end {
+        w[..end - at].copy_from_slice(&html[at..end]);
+    }
+    u64::from_le_bytes(w)
+}
+
+/// Pass 1: sweep the source once (hopping `<` to `<` a word at a time)
+/// and classify every candidate branchlessly — two masked word
+/// compares and a boundary-set probe per `<`, combined with `&` so the
+/// flags are pure data, not control flow.
+fn classify(html: &[u8], tag: &[u8]) -> Candidates {
+    let taglen = tag.len();
+    let mut packed = [0u8; 8];
+    packed[..taglen].copy_from_slice(tag);
+    let tag_word = u64::from_le_bytes(packed);
+    let mask = if taglen == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * taglen)) - 1
+    };
+
+    let mut c = Candidates {
+        pos: Vec::new(),
+        open_prefix: Vec::new(),
+        open_ok: Vec::new(),
+        close_ok: Vec::new(),
+    };
+    let first = tag[0];
+    let mut at = 0usize;
+    while let Some(rel) = swar::find_byte(&html[at..], b'<') {
+        let p = at + rel;
+        // First-byte screen: a candidate can only be an open prefix if
+        // the tag's first letter follows, and only a closer if `/`
+        // does. Everything else skips the word loads entirely — on
+        // real pages this rejects almost every `<` for one byte read.
+        let next = html.get(p + 1).copied().unwrap_or(0);
+        if swar::lower(next) != first && next != b'/' {
+            at = p + 1;
+            continue;
+        }
+        let open_prefix = (swar::lower_word(read_word(html, p + 1)) & mask) == tag_word;
+        let boundary = html
+            .get(p + 1 + taglen)
+            .is_some_and(|&b| OPEN_BOUNDARY.contains(b));
+        let close_ok = (html.get(p + 1) == Some(&b'/'))
+            & ((swar::lower_word(read_word(html, p + 2)) & mask) == tag_word)
+            & (html.get(p + 2 + taglen) == Some(&b'>'));
+        // Only candidates the replay can act on are recorded; a `<`
+        // that is neither an open prefix nor a closer is dead weight,
+        // and dropping it here keeps the arrays tiny on real pages.
+        if open_prefix | close_ok {
+            c.pos.push(p);
+            c.open_prefix.push(open_prefix);
+            c.open_ok.push(open_prefix & boundary);
+            c.close_ok.push(close_ok);
+        }
+        at = p + 1;
+    }
+    c
+}
+
+/// Removes every `<tag ...>...</tag>` span (and bare `<tag ...>` when
+/// unclosed) at source level — the batch classifier fast path.
+/// Byte-identical to [`strip_tag_scalar`].
+pub fn strip_tag(html: &str, tag: &str) -> String {
+    let tag_l = tag.to_ascii_lowercase();
+    if tag_l.is_empty() || tag_l.len() > 8 || !tag_l.bytes().all(|b| b.is_ascii_alphanumeric()) {
+        return strip_tag_scalar(html, tag);
+    }
+    let bytes = html.as_bytes();
+    let c = classify(bytes, tag_l.as_bytes());
+    let open_len = 1 + tag_l.len(); // "<tag"
+    let close_len = 3 + tag_l.len(); // "</tag>"
+
+    // Pass 2: replay the scalar control flow over the flag arrays. All
+    // slice offsets land on char boundaries: candidate positions are
+    // ASCII `<`, and a true prefix flag means the following bytes are
+    // ASCII alphanumerics.
+    let mut out = String::with_capacity(html.len());
+    let mut pos = 0usize;
+    let mut idx = 0usize;
+    while idx < c.pos.len() {
+        let start = c.pos[idx];
+        if start < pos || !c.open_prefix[idx] {
+            idx += 1;
+            continue;
+        }
+        if !c.open_ok[idx] {
+            // Prefix of a longer name (`<s` inside `<script>`): keep it
+            // and resume the search right after the prefix.
+            out.push_str(&html[pos..start + open_len]);
+            pos = start + open_len;
+            idx += 1;
+            continue;
+        }
+        out.push_str(&html[pos..start]);
+        // First `</tag>` at or after the open; candidates are in
+        // increasing position order so the scan starts at `idx`.
+        match (idx..c.pos.len()).find(|&j| c.close_ok[j]) {
+            Some(j) => pos = c.pos[j] + close_len,
+            None => {
+                pos = match swar::find_byte(&bytes[start..], b'>') {
+                    Some(rel) => start + rel + 1,
+                    None => html.len(),
+                };
+            }
+        }
+        idx += 1;
+    }
+    out.push_str(&html[pos..]);
+    out
+}
+
+/// The original scalar strip: lowercase the whole page, then repeated
+/// substring searches. Kept as the identity-gate reference and the
+/// fallback for tags the packed-word compare cannot represent.
+pub fn strip_tag_scalar(html: &str, tag: &str) -> String {
+    let lower = html.to_ascii_lowercase();
+    let open_pat = format!("<{}", tag.to_ascii_lowercase());
+    let close_pat = format!("</{}>", tag.to_ascii_lowercase());
+    let mut out = String::with_capacity(html.len());
+    let mut pos = 0;
+    while let Some(rel) = lower[pos..].find(&open_pat) {
+        let start = pos + rel;
+        // Guard against matching a prefix (e.g. `<s` matching `<script>`).
+        let after = lower.as_bytes().get(start + open_pat.len());
+        let boundary = matches!(
+            after,
+            Some(b'>') | Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'/')
+        );
+        if !boundary {
+            out.push_str(&html[pos..start + open_pat.len()]);
+            pos = start + open_pat.len();
+            continue;
+        }
+        out.push_str(&html[pos..start]);
+        match lower[start..].find(&close_pat) {
+            Some(rel_close) => pos = start + rel_close + close_pat.len(),
+            None => match lower[start..].find('>') {
+                Some(rel_gt) => pos = start + rel_gt + 1,
+                None => {
+                    pos = html.len();
+                }
+            },
+        }
+    }
+    out.push_str(&html[pos..]);
+    out
+}

@@ -226,6 +226,16 @@ impl ProxyServer {
             m.gauge("msite_disk_live_bytes", &[])
                 .set(disk.live_bytes as i64);
         }
+        // SWAR hot-path totals: tokenizer throughput and PNG encode
+        // cost accumulate in process-wide atomics inside their crates;
+        // fold them in so a scrape sees the pair together.
+        m.counter("msite_tokenizer_bytes_total", &[])
+            .fold_to(msite_html::tokenizer::bytes_total());
+        let (png_encodes, png_micros) = msite_render::png::encode_totals();
+        m.counter("msite_png_encodes_total", &[])
+            .fold_to(png_encodes);
+        m.counter("msite_png_encode_micros", &[])
+            .fold_to(png_micros);
         self.metrics.sessions_live.set(self.sessions.len() as i64);
         // Session store: gauges plus eviction counters by cause and
         // per-tenant occupancy. The store keeps its own atomics for

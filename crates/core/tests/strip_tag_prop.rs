@@ -1,0 +1,90 @@
+//! Byte-identity gate for the filter stage's struct-of-arrays
+//! `strip_tag` against its scalar twin.
+//!
+//! The batch classifier (one sweep + flag arrays) must reproduce the
+//! scalar search-per-hit output exactly — including prefix confusions
+//! (`<s` inside `<script>`), uppercase tags, unclosed opens, closers
+//! hiding inside attribute values, and pages ending mid-tag.
+
+use msite::pipeline::soa::{strip_tag, strip_tag_scalar};
+use msite_support::prop::{self, Gen};
+
+const TAGS: [&str; 7] = ["script", "style", "aside", "s", "h1", "SCRIPT", "b"];
+
+fn arb_page(g: &mut Gen) -> String {
+    let mut out = String::new();
+    for _ in 0..g.range_usize(0, 14) {
+        match g.range_u32(0, 12) {
+            0 => {
+                let t = *g.pick(&TAGS);
+                out.push_str(&format!("<{t}>body</{t}>"));
+            }
+            1 => {
+                let t = *g.pick(&TAGS);
+                // Closer buried in an attribute value — the scalar
+                // filter honors it textually, so the batch path must too.
+                out.push_str(&format!("<{t} data-x=\"</{t}>\">tail</{t}>"));
+            }
+            2 => {
+                let t = *g.pick(&TAGS);
+                out.push_str(&format!("<{t} async"));
+                if g.bool() {
+                    out.push('>');
+                }
+            }
+            // Prefix confusion: longer names sharing a short tag's prefix.
+            3 => out.push_str("<scriptx><styleguide><side><h10>"),
+            4 => out.push_str(&format!("</{}>", g.pick(&TAGS))),
+            5 => out.push_str("< s <1 <<< <>"),
+            6 => out.push_str(&g.ascii_string(40)),
+            7 => out.push_str(&g.unicode_string(20)),
+            8 => {
+                let t = *g.pick(&TAGS);
+                let ws = *g.pick(&[" ", "\t", "\n", "\r", "/"]);
+                out.push_str(&format!("<{t}{ws}attr=1>x"));
+            }
+            9 => out.push_str(&"<b>bold</b> plain ".repeat(g.range_usize(1, 6))),
+            10 => {
+                // Page ending mid-tag.
+                let t = *g.pick(&TAGS);
+                out.push_str(&format!("text<{t}"));
+            }
+            _ => out.push_str(&g.ascii_ws_string(30)),
+        }
+    }
+    out
+}
+
+#[test]
+fn strip_tag_batch_and_scalar_agree() {
+    prop::check("strip_tag soa/scalar identity", 500, 0x0B12_0001, |g| {
+        let page = arb_page(g);
+        let tag = *g.pick(&["script", "style", "s", "h1", "b", "SCRIPT", "aside"]);
+        assert_eq!(
+            strip_tag(&page, tag),
+            strip_tag_scalar(&page, tag),
+            "tag {tag} on {page:?}"
+        );
+    });
+}
+
+#[test]
+fn long_and_odd_tags_take_the_scalar_fallback() {
+    // Tags the packed-word compare cannot represent must still work
+    // (they dispatch to the scalar path inside strip_tag).
+    prop::check("strip_tag fallback identity", 200, 0x0B12_0002, |g| {
+        let page = arb_page(g);
+        let tag = *g.pick(&["blockquote", "figcaption", "x-custom", ""]);
+        assert_eq!(strip_tag(&page, tag), strip_tag_scalar(&page, tag));
+    });
+}
+
+#[test]
+fn strip_tag_known_cases() {
+    assert_eq!(strip_tag("<script>x</script>b", "script"), "b");
+    assert_eq!(strip_tag("a<S>x</s>b", "s"), "ab");
+    assert_eq!(strip_tag("a<span>x</span>b", "s"), "a<span>x</span>b");
+    assert_eq!(strip_tag("a<s", "s"), "a<s");
+    assert_eq!(strip_tag("a<s attr", "s"), "a");
+    assert_eq!(strip_tag("a<s attr>rest", "s"), "arest");
+}

@@ -4,6 +4,16 @@
 //! decimal (`&#160;`) and hexadecimal (`&#xA0;`) numeric references.
 //! Unknown references are passed through verbatim, matching lenient
 //! browser behaviour.
+//!
+//! Both directions are SWAR-accelerated (DESIGN.md §15): `decode`
+//! bulk-copies the spans between `&` bytes a word at a time, and the
+//! encoders pre-scan for escapable bytes so clean input is returned
+//! borrowed without a single allocation. The per-char reference
+//! implementations survive as `*_scalar` twins behind byte-identity
+//! property gates.
+
+use msite_support::swar::{self, ByteSet};
+use std::borrow::Cow;
 
 /// Named entities recognized by [`decode`], ordered for binary search.
 const NAMED: &[(&str, char)] = &[
@@ -66,6 +76,45 @@ fn lookup_named(name: &str) -> Option<char> {
 /// assert_eq!(msite_html::entities::decode("&bogus; stays"), "&bogus; stays");
 /// ```
 pub fn decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    // `&` is ASCII, so every occurrence is a char boundary: the spans
+    // between occurrences bulk-copy without per-char inspection.
+    let first = match swar::find_byte(bytes, b'&') {
+        None => return input.to_string(),
+        Some(i) => i,
+    };
+    let mut out = String::with_capacity(input.len());
+    out.push_str(&input[..first]);
+    let mut i = first;
+    while i < bytes.len() {
+        match parse_reference(&input[i..]) {
+            Some((ch, consumed)) => {
+                out.push(ch);
+                i += consumed;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+        match swar::find_byte(&bytes[i..], b'&') {
+            Some(rel) => {
+                out.push_str(&input[i..i + rel]);
+                i += rel;
+            }
+            None => {
+                out.push_str(&input[i..]);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Per-char reference twin of [`decode`], kept for the byte-identity
+/// property gate (`crates/html/tests/swar_identity.rs`).
+#[doc(hidden)]
+pub fn decode_scalar(input: &str) -> String {
     if !input.contains('&') {
         return input.to_string();
     }
@@ -143,46 +192,93 @@ fn parse_reference(s: &str) -> Option<(char, usize)> {
     Some((ch, 1 + name_len + 1))
 }
 
+/// Bytes that force [`encode_text`] onto the escaping path: the three
+/// markup-significant ASCII bytes plus `0xC2`, the UTF-8 lead byte of
+/// U+00A0 (`&nbsp;`). `0xC2` also leads every other `U+0080..=U+00BF`
+/// scalar — those false positives merely take the copying path, which
+/// reproduces them verbatim.
+const TEXT_TRIGGERS: ByteSet = ByteSet::new(&[b'&', b'<', b'>', 0xC2]);
+
+/// [`encode_attr`]'s trigger set: [`TEXT_TRIGGERS`] plus `"`.
+const ATTR_TRIGGERS: ByteSet = ByteSet::new(&[b'&', b'<', b'>', b'"', 0xC2]);
+
 /// Escapes text content for safe inclusion between tags.
+///
+/// Input with no escapable byte — the overwhelmingly common case for
+/// serializer output — is returned borrowed, with no allocation. The
+/// pre-scan runs a word at a time.
 ///
 /// # Examples
 ///
 /// ```
 /// assert_eq!(msite_html::entities::encode_text("a < b & c"), "a &lt; b &amp; c");
+/// assert!(matches!(
+///     msite_html::entities::encode_text("clean"),
+///     std::borrow::Cow::Borrowed("clean")
+/// ));
 /// ```
-pub fn encode_text(input: &str) -> String {
-    let mut out = String::with_capacity(input.len());
-    for ch in input.chars() {
-        match ch {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '\u{00A0}' => out.push_str("&nbsp;"),
-            c => out.push(c),
-        }
+pub fn encode_text(input: &str) -> Cow<'_, str> {
+    match TEXT_TRIGGERS.find_in(input.as_bytes()) {
+        None => Cow::Borrowed(input),
+        // Every trigger byte starts a char (ASCII or a 2-byte lead),
+        // so `at` is a valid boundary to bulk-copy up to.
+        Some(at) => Cow::Owned(escape_from(input, at, false)),
     }
-    out
 }
 
 /// Escapes an attribute value for inclusion inside double quotes.
+///
+/// Clean input is returned borrowed, exactly as with [`encode_text`].
 ///
 /// # Examples
 ///
 /// ```
 /// assert_eq!(msite_html::entities::encode_attr("say \"hi\""), "say &quot;hi&quot;");
 /// ```
-pub fn encode_attr(input: &str) -> String {
-    let mut out = String::with_capacity(input.len());
-    for ch in input.chars() {
+pub fn encode_attr(input: &str) -> Cow<'_, str> {
+    match ATTR_TRIGGERS.find_in(input.as_bytes()) {
+        None => Cow::Borrowed(input),
+        Some(at) => Cow::Owned(escape_from(input, at, true)),
+    }
+}
+
+/// The escaping path: copies the clean prefix wholesale, then runs the
+/// per-char loop from the first trigger byte onward.
+fn escape_from(input: &str, first: usize, attr: bool) -> String {
+    let mut out = String::with_capacity(input.len() + 8);
+    out.push_str(&input[..first]);
+    push_escaped(&mut out, &input[first..], attr);
+    out
+}
+
+fn push_escaped(out: &mut String, chunk: &str, attr: bool) {
+    for ch in chunk.chars() {
         match ch {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
+            '"' if attr => out.push_str("&quot;"),
             '\u{00A0}' => out.push_str("&nbsp;"),
             c => out.push(c),
         }
     }
+}
+
+/// The original always-allocating per-char [`encode_text`], kept as the
+/// identity-gate reference.
+#[doc(hidden)]
+pub fn encode_text_scalar(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    push_escaped(&mut out, input, false);
+    out
+}
+
+/// The original always-allocating per-char [`encode_attr`], kept as the
+/// identity-gate reference.
+#[doc(hidden)]
+pub fn encode_attr_scalar(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    push_escaped(&mut out, input, true);
     out
 }
 
@@ -230,6 +326,26 @@ mod tests {
     fn invalid_codepoint_passes_through() {
         assert_eq!(decode("&#x110000;"), "&#x110000;");
         assert_eq!(decode("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn clean_input_is_zero_copy() {
+        // ASCII-clean text must come back borrowed — no allocation.
+        assert!(matches!(
+            encode_text("plain ascii text with no escapes"),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            encode_attr("/m/forum/viewtopic.php?t=12"),
+            Cow::Borrowed(_)
+        ));
+        // Non-ASCII without U+00A0's 0xC2 lead also stays borrowed.
+        assert!(matches!(encode_text("héllo wörld ❤"), Cow::Borrowed(_)));
+        // Escapable input still allocates and escapes.
+        assert!(matches!(encode_text("a < b"), Cow::Owned(_)));
+        assert!(matches!(encode_attr("say \"hi\""), Cow::Owned(_)));
+        assert_eq!(encode_text("\u{00A0}"), "&nbsp;");
+        assert_eq!(encode_attr("\u{00A0}"), "&nbsp;");
     }
 
     #[test]

@@ -181,7 +181,7 @@ impl Walker<'_> {
                 let rendered = if parent_raw {
                     text.clone()
                 } else {
-                    entities::encode_text(text)
+                    entities::encode_text(text).into_owned()
                 };
                 self.emit(&rendered);
             }

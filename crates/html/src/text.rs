@@ -2,11 +2,21 @@
 //! page-load cost model.
 
 use crate::dom::{Document, NodeData, NodeId};
+use msite_support::swar::ByteSet;
 
 /// Elements whose text is never rendered.
 const INVISIBLE: &[&str] = &["script", "style", "head", "title", "noscript", "template"];
 
+/// The six ASCII bytes `char::is_whitespace` accepts. Only valid when
+/// the whole input is ASCII — Unicode whitespace (U+00A0, U+2028, …)
+/// sends [`normalize_ws`] to the per-char path.
+const ASCII_WS: ByteSet = ByteSet::new(b" \t\n\x0B\x0C\r");
+
 /// Collapses runs of whitespace into single spaces and trims the ends.
+///
+/// ASCII input — the overwhelmingly common case for extracted page
+/// text — bulk-copies each word after a word-at-a-time delimiter scan;
+/// anything else takes the per-char reference path.
 ///
 /// # Examples
 ///
@@ -14,6 +24,31 @@ const INVISIBLE: &[&str] = &["script", "style", "head", "title", "noscript", "te
 /// assert_eq!(msite_html::text::normalize_ws("  a \n\t b  "), "a b");
 /// ```
 pub fn normalize_ws(input: &str) -> String {
+    if !input.is_ascii() {
+        return normalize_ws_scalar(input);
+    }
+    let bytes = input.as_bytes();
+    let mut out = String::with_capacity(input.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if ASCII_WS.contains(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let run = ASCII_WS.skip_run(&bytes[i..]);
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&input[i..i + run]);
+        i += run;
+    }
+    out
+}
+
+/// The per-char reference twin of [`normalize_ws`], also the only path
+/// that understands non-ASCII whitespace.
+#[doc(hidden)]
+pub fn normalize_ws_scalar(input: &str) -> String {
     let mut out = String::with_capacity(input.len());
     let mut in_space = true; // leading whitespace is dropped
     for ch in input.chars() {

@@ -7,6 +7,17 @@
 //! content is scanned only for the matching close tag.
 
 use crate::entities;
+use msite_support::swar;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative source bytes handed to [`Tokenizer::new`], exposed as
+/// `msite_tokenizer_bytes_total` by the proxy's observability sync.
+static BYTES_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of source bytes fed through the tokenizer.
+pub fn bytes_total() -> u64 {
+    BYTES_TOTAL.load(Ordering::Relaxed)
+}
 
 /// One lexical token of HTML input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,16 +76,43 @@ pub struct Tokenizer<'a> {
     /// Queued token to emit after the current one (used for raw text
     /// followed by its end tag).
     pending: Option<Token>,
+    /// Forces the per-byte reference scans instead of the SWAR fast
+    /// paths. Reachable only through [`Tokenizer::new_scalar`]; the two
+    /// modes are pinned byte-identical by
+    /// `crates/html/tests/swar_identity.rs`.
+    scalar: bool,
 }
 
 impl<'a> Tokenizer<'a> {
     /// Creates a tokenizer over `input`.
     pub fn new(input: &'a str) -> Self {
+        BYTES_TOTAL.fetch_add(input.len() as u64, Ordering::Relaxed);
         Tokenizer {
             input,
             pos: 0,
             raw_text_tag: None,
             pending: None,
+            scalar: false,
+        }
+    }
+
+    /// Creates a tokenizer that uses the per-byte reference scans —
+    /// the identity-gate twin of [`Tokenizer::new`].
+    #[doc(hidden)]
+    pub fn new_scalar(input: &'a str) -> Self {
+        Tokenizer {
+            scalar: true,
+            ..Tokenizer::new(input)
+        }
+    }
+
+    /// Index of the next `<` in `s`: word-at-a-time normally, per-byte
+    /// in scalar mode.
+    fn find_lt(&self, s: &str) -> Option<usize> {
+        if self.scalar {
+            s.as_bytes().iter().position(|&b| b == b'<')
+        } else {
+            swar::find_byte(s.as_bytes(), b'<')
         }
     }
 
@@ -97,22 +135,10 @@ impl<'a> Tokenizer<'a> {
     /// Scans raw-text content until the matching `</tag` close sequence.
     fn next_raw_text(&mut self, tag: &str) -> Option<Token> {
         let rest = self.rest();
-        let lower = rest.to_ascii_lowercase();
-        let needle = format!("</{tag}");
-        let mut search_from = 0;
-        let close_at = loop {
-            match lower[search_from..].find(&needle) {
-                Some(rel) => {
-                    let at = search_from + rel;
-                    // Must be followed by whitespace, '/', '>' or EOF to count.
-                    match lower.as_bytes().get(at + needle.len()) {
-                        None | Some(b'>') | Some(b'/') | Some(b' ') | Some(b'\t') | Some(b'\n')
-                        | Some(b'\r') => break Some(at),
-                        _ => search_from = at + 1,
-                    }
-                }
-                None => break None,
-            }
+        let close_at = if self.scalar {
+            raw_close_scalar(rest, tag)
+        } else {
+            raw_close_swar(rest, tag)
         };
         match close_at {
             Some(at) => {
@@ -149,9 +175,18 @@ impl<'a> Tokenizer<'a> {
 
     fn decode_raw(&self, tag: &str, content: &str) -> String {
         if ESCAPABLE_RAW_TEXT.contains(&tag) {
-            entities::decode(content)
+            self.decode_text(content)
         } else {
             content.to_string()
+        }
+    }
+
+    /// Entity-decodes `text` via the mode-matching codec path.
+    fn decode_text(&self, text: &str) -> String {
+        if self.scalar {
+            entities::decode_scalar(text)
+        } else {
+            entities::decode(text)
         }
     }
 
@@ -230,7 +265,7 @@ impl<'a> Tokenizer<'a> {
                     cursor += 1;
                 }
                 _ => {
-                    let (attr, consumed) = parse_attribute(&rest[cursor..]);
+                    let (attr, consumed) = parse_attribute(&rest[cursor..], self.scalar);
                     cursor += consumed;
                     if let Some((k, v)) = attr {
                         if !attrs.iter().any(|(name, _)| *name == k) {
@@ -274,17 +309,67 @@ impl<'a> Iterator for Tokenizer<'a> {
             }
             // Literal '<': fall through to text accumulation starting at it.
             let rest = self.rest();
-            let next_lt = rest[1..].find('<').map(|i| i + 1).unwrap_or(rest.len());
+            let next_lt = self
+                .find_lt(&rest[1..])
+                .map(|i| i + 1)
+                .unwrap_or(rest.len());
             let text = &rest[..next_lt];
             self.bump(next_lt);
-            return Some(Token::Text(entities::decode(text)));
+            return Some(Token::Text(self.decode_text(text)));
         }
         // Text run until the next '<'.
         let rest = self.rest();
-        let end = rest.find('<').unwrap_or(rest.len());
+        let end = self.find_lt(rest).unwrap_or(rest.len());
         let text = &rest[..end];
         self.bump(end);
-        Some(Token::Text(entities::decode(text)))
+        Some(Token::Text(self.decode_text(text)))
+    }
+}
+
+/// Finds the `</tag` close sequence (case-insensitive, boundary-checked)
+/// without allocating: hop between `<` bytes a word at a time, then
+/// compare the candidate name with a branchless case fold.
+fn raw_close_swar(rest: &str, tag: &str) -> Option<usize> {
+    let bytes = rest.as_bytes();
+    let tag_bytes = tag.as_bytes();
+    let mut from = 0;
+    loop {
+        let at = from + swar::find_byte(&bytes[from..], b'<')?;
+        let name_start = at + 2;
+        if bytes.get(at + 1) == Some(&b'/')
+            && bytes.len() >= name_start + tag_bytes.len()
+            && swar::eq_ignore_case(&bytes[name_start..name_start + tag_bytes.len()], tag_bytes)
+        {
+            // Must be followed by whitespace, '/', '>' or EOF to count.
+            match bytes.get(name_start + tag_bytes.len()) {
+                None | Some(b'>') | Some(b'/') | Some(b' ') | Some(b'\t') | Some(b'\n')
+                | Some(b'\r') => return Some(at),
+                _ => {}
+            }
+        }
+        from = at + 1;
+    }
+}
+
+/// The original close-tag search — lowercases the whole remainder, then
+/// substring-searches — kept as [`raw_close_swar`]'s identity twin.
+fn raw_close_scalar(rest: &str, tag: &str) -> Option<usize> {
+    let lower = rest.to_ascii_lowercase();
+    let needle = format!("</{tag}");
+    let mut search_from = 0;
+    loop {
+        match lower[search_from..].find(&needle) {
+            Some(rel) => {
+                let at = search_from + rel;
+                // Must be followed by whitespace, '/', '>' or EOF to count.
+                match lower.as_bytes().get(at + needle.len()) {
+                    None | Some(b'>') | Some(b'/') | Some(b' ') | Some(b'\t') | Some(b'\n')
+                    | Some(b'\r') => break Some(at),
+                    _ => search_from = at + 1,
+                }
+            }
+            None => break None,
+        }
     }
 }
 
@@ -302,8 +387,14 @@ fn tag_name_len(s: &str) -> usize {
 }
 
 /// Parses one attribute starting at a non-space byte. Returns the pair and
-/// the number of bytes consumed.
-fn parse_attribute(s: &str) -> (Option<(String, String)>, usize) {
+/// the number of bytes consumed. `scalar` selects the per-byte reference
+/// scans for the quoted-value delimiter and entity decode.
+fn parse_attribute(s: &str, scalar: bool) -> (Option<(String, String)>, usize) {
+    let decode = if scalar {
+        entities::decode_scalar
+    } else {
+        entities::decode
+    };
     let bytes = s.as_bytes();
     let name_len = bytes
         .iter()
@@ -329,10 +420,15 @@ fn parse_attribute(s: &str) -> (Option<(String, String)>, usize) {
         Some(&q @ (b'"' | b'\'')) => {
             cursor += 1;
             let start = cursor;
-            while cursor < bytes.len() && bytes[cursor] != q {
-                cursor += 1;
+            // The closing quote is a single-byte delimiter: hop to it a
+            // word at a time rather than per byte.
+            cursor += if scalar {
+                bytes[start..].iter().position(|&b| b == q)
+            } else {
+                swar::find_byte(&bytes[start..], q)
             }
-            let value = entities::decode(&s[start..cursor]);
+            .unwrap_or(bytes.len() - start);
+            let value = decode(&s[start..cursor]);
             if cursor < bytes.len() {
                 cursor += 1; // closing quote
             }
@@ -346,7 +442,7 @@ fn parse_attribute(s: &str) -> (Option<(String, String)>, usize) {
             {
                 cursor += 1;
             }
-            let value = entities::decode(&s[start..cursor]);
+            let value = decode(&s[start..cursor]);
             (Some((name, value)), cursor)
         }
         None => (Some((name, String::new())), cursor),

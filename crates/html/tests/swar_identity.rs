@@ -1,0 +1,164 @@
+//! Byte-identity gates for the html crate's SWAR fast paths.
+//!
+//! `Tokenizer::new` (word-at-a-time) and `Tokenizer::new_scalar`
+//! (per-byte reference) must produce the exact same token stream on
+//! any input, and the entity codec / whitespace normalizer fast paths
+//! must agree with their `*_scalar` twins — on markup-shaped documents
+//! and on arbitrary text alike.
+
+use msite_html::entities;
+use msite_html::text::{normalize_ws, normalize_ws_scalar};
+use msite_html::tokenizer::{Token, Tokenizer};
+use msite_support::prop::{self, Gen};
+
+/// Markup-shaped soup: nested tags (including raw-text elements with
+/// fake closers inside), attributes in every quoting style, entities
+/// (valid and bogus), comments, doctypes, and long plain-text runs
+/// that push matches past the 64-byte mark.
+fn arb_markup(g: &mut Gen) -> String {
+    let mut out = String::new();
+    if g.range_u32(0, 4) == 0 {
+        out.push_str("<!DOCTYPE html>");
+    }
+    let pieces = g.range_usize(0, 12);
+    for _ in 0..pieces {
+        match g.range_u32(0, 10) {
+            0 => {
+                // Raw-text element with hostile content.
+                let tag = *g.pick(&["script", "style", "textarea", "title", "xmp"]);
+                let close_case = if g.bool() {
+                    tag.to_uppercase()
+                } else {
+                    tag.to_string()
+                };
+                out.push_str(&format!("<{tag}>"));
+                for _ in 0..g.range_usize(0, 3) {
+                    match g.range_u32(0, 4) {
+                        0 => out.push_str("var x = '</div>';"),
+                        1 => out.push_str(&format!("</{tag}foo>")),
+                        2 => out.push_str(&"padpadpad".repeat(g.range_usize(1, 12))),
+                        _ => out.push_str("if (a < b && c &amp; d) {}"),
+                    }
+                }
+                if g.bool() {
+                    out.push_str(&format!(
+                        "</{close_case}{}>",
+                        *g.pick(&["", " ", "/", "\t"])
+                    ));
+                }
+            }
+            1 => {
+                // Start tag with mixed attributes.
+                let tag = *g.pick(&["div", "a", "input", "td", "img", "DIV", "SPAN"]);
+                out.push('<');
+                out.push_str(tag);
+                for _ in 0..g.range_usize(0, 3) {
+                    let name = g.ident(6);
+                    match g.range_u32(0, 4) {
+                        0 => out.push_str(&format!(" {name}")),
+                        1 => out.push_str(&format!(" {name}={}", g.ident(8))),
+                        2 => out.push_str(&format!(" {name}=\"{}\"", g.ascii_string(40))),
+                        _ => out.push_str(&format!(" {name}='{}&amp;'", g.ascii_string(12))),
+                    }
+                }
+                let closer = *g.pick(&[">", "/>", " >", ""]);
+                out.push_str(closer);
+            }
+            2 => out.push_str(&format!("</{}>", g.ident(5))),
+            3 => out.push_str(&format!("<!-- {} -->", g.ascii_string(30))),
+            4 => {
+                let ent = *g.pick(&["&amp;", "&lt;", "&#65;", "&#x41;", "&bogus;", "&", "&;"]);
+                out.push_str(ent);
+            }
+            5 => {
+                let stray = *g.pick(&["<", "< ", "<3", "<?pi?>", "<!bogus>", "</>"]);
+                out.push_str(stray);
+            }
+            // Long plain runs: the case the SWAR scan exists for.
+            6 => out.push_str(&"lorem ipsum dolor sit amet ".repeat(g.range_usize(1, 8))),
+            _ => out.push_str(&g.ascii_ws_string(60)),
+        }
+    }
+    out
+}
+
+#[test]
+fn tokenizer_fast_and_scalar_agree_on_random_documents() {
+    prop::check("tokenizer swar/scalar identity", 400, 0x0B0B_0001, |g| {
+        let doc = arb_markup(g);
+        let fast: Vec<Token> = Tokenizer::new(&doc).collect();
+        let slow: Vec<Token> = Tokenizer::new_scalar(&doc).collect();
+        assert_eq!(fast, slow, "input: {doc:?}");
+    });
+}
+
+#[test]
+fn tokenizer_fast_and_scalar_agree_on_arbitrary_unicode() {
+    prop::check("tokenizer identity on unicode", 300, 0x0B0B_0002, |g| {
+        let doc = g.unicode_string(200);
+        let fast: Vec<Token> = Tokenizer::new(&doc).collect();
+        let slow: Vec<Token> = Tokenizer::new_scalar(&doc).collect();
+        assert_eq!(fast, slow, "input: {doc:?}");
+    });
+}
+
+#[test]
+fn entity_codec_fast_and_scalar_agree() {
+    prop::check("entity codec identity", 400, 0x0B0B_0003, |g| {
+        // Entity-dense strings plus arbitrary unicode.
+        let input = if g.bool() {
+            let mut s = String::new();
+            for _ in 0..g.range_usize(0, 12) {
+                match g.range_u32(0, 5) {
+                    0 => {
+                        let ent = *g.pick(&["&amp;", "&nbsp;", "&#160;", "&#xA0", "&oops;"]);
+                        s.push_str(ent);
+                    }
+                    1 => s.push_str(&g.ascii_string(30)),
+                    2 => s.push('\u{00A0}'),
+                    3 => {
+                        let raw = *g.pick(&["<", ">", "\"", "&"]);
+                        s.push_str(raw);
+                    }
+                    _ => s.push_str(&g.unicode_string(10)),
+                }
+            }
+            s
+        } else {
+            g.unicode_string(120)
+        };
+        assert_eq!(entities::decode(&input), entities::decode_scalar(&input));
+        assert_eq!(
+            entities::encode_text(&input),
+            entities::encode_text_scalar(&input)
+        );
+        assert_eq!(
+            entities::encode_attr(&input),
+            entities::encode_attr_scalar(&input)
+        );
+    });
+}
+
+#[test]
+fn normalize_ws_fast_and_scalar_agree() {
+    prop::check("normalize_ws identity", 400, 0x0B0B_0004, |g| {
+        let input = match g.range_u32(0, 3) {
+            0 => g.ascii_ws_string(150),
+            1 => g.unicode_string(100),
+            // Whitespace-heavy: runs of mixed spaces around words.
+            _ => {
+                let mut s = String::new();
+                for _ in 0..g.range_usize(0, 10) {
+                    s.push_str(&" \t\n"[..g.range_usize(1, 4)]);
+                    s.push_str(&g.ident(8).repeat(g.range_usize(1, 10)));
+                }
+                s
+            }
+        };
+        assert_eq!(
+            normalize_ws(&input),
+            normalize_ws_scalar(&input),
+            "input: {input:?}"
+        );
+    });
+}

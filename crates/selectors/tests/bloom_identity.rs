@@ -1,0 +1,111 @@
+//! Identity gate for the bloom prefilter in `SelectorList::select`.
+//!
+//! The prefilter may only produce false positives (extra candidates the
+//! full matcher then rejects), never false negatives — so `select` and
+//! the prefilter-free `select_scalar` must return the exact same node
+//! lists on arbitrary documents and selectors, including uppercase
+//! names and id/class tokens engineered to collide across kinds.
+
+use msite_html::parse_document;
+use msite_selectors::SelectorList;
+use msite_support::prop::{self, Gen};
+
+fn arb_doc_source(g: &mut Gen) -> String {
+    const TAGS: [&str; 8] = ["div", "span", "p", "td", "a", "ul", "li", "DIV"];
+    // Tokens deliberately shared between tag/id/class namespaces so the
+    // kind-tagged hashing is what keeps them apart.
+    const IDS: [&str; 5] = ["", "main", "login", "div", "x"];
+    const CLASSES: [&str; 6] = ["", "x", "y", "x y", "div", "alt1 ROW"];
+    let mut out = String::from("<body>");
+    let nodes = g.range_usize(1, 25);
+    for _ in 0..nodes {
+        let t = *g.pick(&TAGS);
+        let id = *g.pick(&IDS);
+        let class = *g.pick(&CLASSES);
+        let mut open = format!("<{t}");
+        if !id.is_empty() && g.bool() {
+            open.push_str(&format!(" id=\"{id}\""));
+        }
+        if !class.is_empty() {
+            open.push_str(&format!(" class=\"{class}\""));
+        }
+        open.push('>');
+        if g.bool() {
+            out.push_str("<div class=\"wrap\">");
+            out.push_str(&open);
+            out.push_str(&format!("t</{t}></div>"));
+        } else {
+            out.push_str(&open);
+            out.push_str(&format!("t</{t}>"));
+        }
+    }
+    out.push_str("</body>");
+    out
+}
+
+const SELECTORS: [&str; 18] = [
+    "div",
+    "span",
+    "#main",
+    "#div",
+    ".x",
+    ".div",
+    ".alt1.ROW",
+    "div.wrap",
+    "div.wrap .x",
+    "div > span",
+    "p + p",
+    "li ~ li",
+    "*",
+    "td:first-child",
+    ":not(.x)",
+    "[id]",
+    "a, #login, .y",
+    "ul li:nth-child(2n+1)",
+];
+
+#[test]
+fn select_with_and_without_prefilter_agree() {
+    prop::check("bloom prefilter identity", 400, 0x0B10_0001, |g| {
+        let src = arb_doc_source(g);
+        let doc = parse_document(&src);
+        let sel = *g.pick(&SELECTORS);
+        let list = SelectorList::parse(sel).unwrap();
+        assert_eq!(
+            list.select(&doc, doc.root()),
+            list.select_scalar(&doc, doc.root()),
+            "selector {sel} on {src}"
+        );
+    });
+}
+
+#[test]
+fn select_agrees_on_random_identifier_soup() {
+    prop::check("bloom identity on random idents", 300, 0x0B10_0002, |g| {
+        // Fully random idents: selectors that mostly miss, exercising
+        // the rejection path.
+        let tag = g.ident(6);
+        let class = g.ident(6);
+        let id = g.ident(6);
+        let src = format!(
+            "<body><{tag} class=\"{class}\"><p id=\"{id}\">x</p></{tag}><div>y</div></body>"
+        );
+        let doc = parse_document(&src);
+        for sel in [
+            tag.clone(),
+            format!(".{class}"),
+            format!("#{id}"),
+            format!("{tag}.{class}"),
+            format!("{tag} #{id}"),
+            format!(".{id}"),
+            format!("#{class}"),
+        ] {
+            let list = SelectorList::parse(&sel).unwrap();
+            assert_eq!(
+                list.select(&doc, doc.root()),
+                list.select_scalar(&doc, doc.root()),
+                "selector {sel} on {src}"
+            );
+        }
+    });
+}

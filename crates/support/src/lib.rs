@@ -15,6 +15,9 @@
 //! - [`thread`] — scoped fan-out helpers over [`std::thread::scope`] and
 //!   the bounded [`WorkerPool`](thread::WorkerPool) executor;
 //! - [`prop`] — a deterministic, seed-driven property-test harness;
+//! - [`swar`] — portable `u64`-lane SWAR byte scanning (delimiter
+//!   search, branchless ASCII case folding, word-wide prefix compare)
+//!   behind byte-identity property gates;
 //! - [`benchkit`] — a warmup/iterations/percentiles timing harness with a
 //!   criterion-style surface for the `benches/` targets;
 //! - [`telemetry`] — the unified observability layer: a sharded
@@ -30,6 +33,7 @@ pub mod benchkit;
 pub mod bytes;
 pub mod json;
 pub mod prop;
+pub mod swar;
 pub mod sync;
 pub mod telemetry;
 pub mod thread;

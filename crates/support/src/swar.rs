@@ -1,0 +1,367 @@
+//! Portable SWAR (SIMD-within-a-register) byte scanning.
+//!
+//! The adaptation pipeline is bounded by a handful of byte loops: the
+//! tokenizer looking for `<`/`&`, the entity codec pre-scanning for
+//! escapable bytes, selector matching lowercasing names, and the PNG
+//! encoder extending LZ77 matches. This module speeds all of them up
+//! with plain `u64` arithmetic — eight bytes per step, no
+//! target-feature detection, no `unsafe`, identical results on every
+//! architecture. Every caller keeps a scalar twin (here in [`scalar`])
+//! and a seeded property gate pinning the two byte-identical; see
+//! DESIGN.md §15 for the policy.
+//!
+//! The core trick is the classic zero-byte detector: for a word `x`,
+//! `(x - 0x0101..01) & !x & 0x8080..80` has the high bit set in every
+//! byte lane that is zero — with possible false positives only in
+//! lanes *above* (more significant than) the first true zero. Reading
+//! words little-endian and taking `trailing_zeros() / 8` therefore
+//! yields the exact first-match index.
+
+/// Every byte lane set to `0x01`.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// Every byte lane set to `0x80`.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Splats a byte into all eight lanes of a word.
+#[inline]
+pub const fn splat(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// A mask with the high bit set in every *zero* byte lane of `x`
+/// (plus possible false positives above the first zero lane —
+/// harmless when only `trailing_zeros` is consulted).
+#[inline]
+const fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Reads an 8-byte little-endian word from `bytes` at `at`.
+/// Callers guarantee `at + 8 <= bytes.len()`.
+#[inline]
+fn word_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte window"))
+}
+
+/// Index of the first occurrence of `needle` in `haystack`, scanning
+/// a word at a time.
+///
+/// # Examples
+///
+/// ```
+/// use msite_support::swar;
+///
+/// let text = b"plain text until a <tag> appears";
+/// assert_eq!(swar::find_byte(text, b'<'), Some(19));
+/// assert_eq!(swar::find_byte(text, b'\0'), None);
+/// ```
+#[inline]
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    let pattern = splat(needle);
+    let mut i = 0;
+    while i + 8 <= haystack.len() {
+        let mask = zero_lanes(word_at(haystack, i) ^ pattern);
+        if mask != 0 {
+            return Some(i + (mask.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| i + p)
+}
+
+/// Index of the first byte of `haystack` that is a member of `set`.
+///
+/// Eight membership lookups per word run unconditionally and OR-fold
+/// into a single lane mask, so the loop branches once per word, not
+/// once per byte.
+#[inline]
+pub fn find_any_of(haystack: &[u8], set: &ByteSet) -> Option<usize> {
+    let mut i = 0;
+    while i + 8 <= haystack.len() {
+        let w = haystack[i..i + 8].try_into().expect("8-byte window");
+        let hits = set.lane_hits(w);
+        if hits != 0 {
+            return Some(i + (hits.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&b| set.contains(b))
+        .map(|p| i + p)
+}
+
+/// Length of the common prefix of `a` and `b`, compared a word at a
+/// time (the LZ77 match-extension primitive).
+///
+/// ```
+/// use msite_support::swar;
+///
+/// assert_eq!(swar::common_prefix_len(b"abcdefgh123", b"abcdefgh456"), 8);
+/// assert_eq!(swar::common_prefix_len(b"xyz", b"xyz"), 3);
+/// ```
+#[inline]
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let limit = a.len().min(b.len());
+    let mut i = 0;
+    while i + 8 <= limit {
+        let diff = word_at(a, i) ^ word_at(b, i);
+        if diff != 0 {
+            return i + (diff.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < limit && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Branchless ASCII lowercase of a single byte: `A..=Z` gains bit 5,
+/// every other value (including non-ASCII) passes through unchanged.
+#[inline]
+pub const fn lower(b: u8) -> u8 {
+    b | (((b.wrapping_sub(b'A') < 26) as u8) << 5)
+}
+
+/// Branchless ASCII lowercase of eight bytes at once. Non-ASCII lanes
+/// (high bit set) pass through unchanged, matching [`lower`] per lane.
+#[inline]
+pub const fn lower_word(w: u64) -> u64 {
+    // Work in the low 7 bits so per-lane adds cannot carry across
+    // lanes, then reject lanes whose original high bit was set.
+    let seven = w & !HI;
+    let ge_a = seven.wrapping_add(splat(0x80 - b'A')) & HI;
+    let gt_z = seven.wrapping_add(splat(0x80 - b'Z' - 1)) & HI;
+    let ascii = !w & HI;
+    let upper = ge_a & !gt_z & ascii;
+    // The high-bit marks shift down to bit 5 of each lane.
+    w | (upper >> 2)
+}
+
+/// ASCII case-insensitive equality, eight bytes per step. Exactly
+/// `a.eq_ignore_ascii_case(b)` but without the per-byte branch.
+#[inline]
+pub fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut i = 0;
+    let mut diff = 0u64;
+    while i + 8 <= a.len() {
+        diff |= lower_word(word_at(a, i)) ^ lower_word(word_at(b, i));
+        i += 8;
+    }
+    let mut tail = 0u8;
+    while i < a.len() {
+        tail |= lower(a[i]) ^ lower(b[i]);
+        i += 1;
+    }
+    diff == 0 && tail == 0
+}
+
+/// A 256-bit membership table over byte values, `const`-constructible
+/// so delimiter sets live in static data.
+///
+/// ```
+/// use msite_support::swar::ByteSet;
+///
+/// const DELIMS: ByteSet = ByteSet::new(b"<&\"");
+/// assert!(DELIMS.contains(b'<'));
+/// assert!(!DELIMS.contains(b'a'));
+/// assert_eq!(DELIMS.find_in(b"text then & here"), Some(10));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    /// Builds a set from member bytes.
+    pub const fn new(members: &[u8]) -> Self {
+        let mut bits = [0u64; 4];
+        let mut i = 0;
+        while i < members.len() {
+            let b = members[i];
+            bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+            i += 1;
+        }
+        ByteSet { bits }
+    }
+
+    /// Builds a set from a predicate over all 256 byte values.
+    pub fn from_fn(mut member: impl FnMut(u8) -> bool) -> Self {
+        let mut bits = [0u64; 4];
+        for b in 0..=255u8 {
+            if member(b) {
+                bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+            }
+        }
+        ByteSet { bits }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] >> (b & 63) & 1 != 0
+    }
+
+    /// High-bit-per-matching-lane mask over eight bytes: the eight
+    /// membership lookups run unconditionally and OR-fold into one
+    /// word, so the caller branches once per word.
+    #[inline]
+    fn lane_hits(&self, bytes: [u8; 8]) -> u64 {
+        let mut hits = 0u64;
+        let mut lane = 0;
+        while lane < 8 {
+            hits |= (self.contains(bytes[lane]) as u64) << (lane * 8 + 7);
+            lane += 1;
+        }
+        hits
+    }
+
+    /// Index of the first member byte in `haystack`.
+    #[inline]
+    pub fn find_in(&self, haystack: &[u8]) -> Option<usize> {
+        find_any_of(haystack, self)
+    }
+
+    /// Length of the leading run of *non-members* — i.e. how many
+    /// bytes can be skipped before the first delimiter (or the whole
+    /// slice when none occurs).
+    #[inline]
+    pub fn skip_run(&self, haystack: &[u8]) -> usize {
+        self.find_in(haystack).unwrap_or(haystack.len())
+    }
+}
+
+/// Naive per-byte reference implementations. These are the semantics
+/// the word-at-a-time paths above are property-gated against (see
+/// `crates/support/tests/swar_prop.rs`), and the baselines the
+/// `hotpath` bench experiment times.
+pub mod scalar {
+    use super::ByteSet;
+
+    /// Per-byte [`super::find_byte`].
+    pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+        let mut i = 0;
+        while i < haystack.len() {
+            if haystack[i] == needle {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Per-byte [`super::find_any_of`].
+    pub fn find_any_of(haystack: &[u8], set: &ByteSet) -> Option<usize> {
+        let mut i = 0;
+        while i < haystack.len() {
+            if set.contains(haystack[i]) {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Per-byte [`super::common_prefix_len`].
+    pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+        let limit = a.len().min(b.len());
+        let mut i = 0;
+        while i < limit && a[i] == b[i] {
+            i += 1;
+        }
+        i
+    }
+
+    /// Branchy per-byte [`super::lower`].
+    pub fn lower(b: u8) -> u8 {
+        if b.is_ascii_uppercase() {
+            b + 32
+        } else {
+            b
+        }
+    }
+
+    /// Per-byte [`super::eq_ignore_case`].
+    pub fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| lower(*x) == lower(*y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_byte_basics() {
+        assert_eq!(find_byte(b"", b'x'), None);
+        assert_eq!(find_byte(b"x", b'x'), Some(0));
+        assert_eq!(find_byte(b"aaaaaaaax", b'x'), Some(8));
+        assert_eq!(find_byte(b"aaaaaaaa", b'x'), None);
+        // Match inside the word, not at a boundary.
+        assert_eq!(find_byte(b"abcdefgh", b'd'), Some(3));
+        // First of several.
+        assert_eq!(find_byte(b"..<..<..", b'<'), Some(2));
+    }
+
+    #[test]
+    fn byte_set_and_find_any_of() {
+        let set = ByteSet::new(b"<&\"");
+        assert_eq!(find_any_of(b"hello & goodbye", &set), Some(6));
+        assert_eq!(set.skip_run(b"no delimiters at all here....."), 30);
+        assert_eq!(set.skip_run(b"<"), 0);
+        let none = ByteSet::new(b"");
+        assert_eq!(find_any_of(b"anything", &none), None);
+    }
+
+    #[test]
+    fn from_fn_matches_new() {
+        let a = ByteSet::new(b"abc");
+        let b = ByteSet::from_fn(|x| matches!(x, b'a' | b'b' | b'c'));
+        for v in 0..=255u8 {
+            assert_eq!(a.contains(v), b.contains(v));
+        }
+    }
+
+    #[test]
+    fn lower_matches_std_for_all_bytes() {
+        for b in 0..=255u8 {
+            assert_eq!(lower(b), b.to_ascii_lowercase(), "byte {b:#x}");
+        }
+    }
+
+    #[test]
+    fn lower_word_matches_per_byte() {
+        let samples: [u64; 4] = [
+            u64::from_le_bytes(*b"AbZz@[`{"),
+            u64::from_le_bytes([0x80, b'A', 0xC2, b'Z', 0xFF, b'M', 0x00, b'a']),
+            0,
+            u64::MAX,
+        ];
+        for w in samples {
+            let expect = u64::from_le_bytes(w.to_le_bytes().map(|b| b.to_ascii_lowercase()));
+            assert_eq!(lower_word(w), expect, "word {w:#018x}");
+        }
+    }
+
+    #[test]
+    fn eq_ignore_case_matches_std() {
+        assert!(eq_ignore_case(b"SCRIPT-ELEMENT", b"script-element"));
+        assert!(!eq_ignore_case(b"script", b"style!"));
+        assert!(!eq_ignore_case(b"script", b"scrip"));
+        assert!(eq_ignore_case(b"", b""));
+    }
+
+    #[test]
+    fn common_prefix_len_boundaries() {
+        assert_eq!(common_prefix_len(b"", b"abc"), 0);
+        assert_eq!(common_prefix_len(b"abcdefghij", b"abcdefghij"), 10);
+        assert_eq!(common_prefix_len(b"abcdefghXj", b"abcdefghYj"), 8);
+    }
+}

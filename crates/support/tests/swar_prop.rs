@@ -1,0 +1,155 @@
+//! Byte-identity property gates for `msite_support::swar`.
+//!
+//! Every word-at-a-time routine must agree exactly with its naive
+//! per-byte twin in `swar::scalar` on arbitrary byte strings — raw
+//! bytes, not UTF-8, so non-character values and lone continuation
+//! bytes are first-class inputs. Seeds are fixed: the same cases run
+//! on every machine.
+
+use msite_support::prop;
+use msite_support::prop::Gen;
+use msite_support::swar::{self, ByteSet};
+
+/// Arbitrary bytes biased toward long homogeneous runs, so matches
+/// land well past the 64-byte mark and word-boundary bookkeeping gets
+/// exercised on every shape: empty, sub-word, exact multiples of 8,
+/// and >64-byte runs with the needle at the very end.
+fn bytes_with_runs(g: &mut Gen) -> Vec<u8> {
+    let mut out = Vec::new();
+    let segments = g.range_usize(0, 6);
+    for _ in 0..segments {
+        match g.range_u32(0, 3) {
+            // A long run of one filler byte (can exceed 64).
+            0 => {
+                let b = g.u8();
+                let len = g.range_usize(1, 100);
+                out.extend(std::iter::repeat_n(b, len));
+            }
+            // A short fully-random stretch.
+            1 => out.extend(g.vec(0, 16, |g| g.u8())),
+            // HTML-ish text with occasional delimiters.
+            _ => {
+                let text = g.ascii_ws_string(24);
+                out.extend_from_slice(text.as_bytes());
+                if g.bool() {
+                    out.push(*g.pick(b"<&\"> "));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn find_byte_matches_scalar() {
+    prop::check("swar::find_byte identity", 600, 0x5147_0001, |g| {
+        let hay = bytes_with_runs(g);
+        // Probe both a byte known to occur (when non-empty) and a
+        // fully random needle.
+        let needle = if !hay.is_empty() && g.bool() {
+            hay[g.range_usize(0, hay.len())]
+        } else {
+            g.u8()
+        };
+        assert_eq!(
+            swar::find_byte(&hay, needle),
+            swar::scalar::find_byte(&hay, needle),
+            "needle {needle:#x} in {} bytes",
+            hay.len()
+        );
+    });
+}
+
+#[test]
+fn find_any_of_matches_scalar() {
+    prop::check("swar::find_any_of identity", 600, 0x5147_0002, |g| {
+        let hay = bytes_with_runs(g);
+        let members = g.vec(0, 5, |g| g.u8());
+        let set = ByteSet::new(&members);
+        assert_eq!(
+            swar::find_any_of(&hay, &set),
+            swar::scalar::find_any_of(&hay, &set),
+            "members {members:?} in {} bytes",
+            hay.len()
+        );
+        assert_eq!(
+            set.skip_run(&hay),
+            swar::scalar::find_any_of(&hay, &set).unwrap_or(hay.len())
+        );
+    });
+}
+
+#[test]
+fn classify_table_matches_predicate() {
+    prop::check("swar::ByteSet classify identity", 200, 0x5147_0003, |g| {
+        // A random predicate over byte classes, rebuilt as a table.
+        let threshold = g.u8();
+        let parity = g.bool();
+        let pred = |b: u8| (b >= threshold) ^ parity || b == b'<';
+        let set = ByteSet::from_fn(pred);
+        for b in 0..=255u8 {
+            assert_eq!(set.contains(b), pred(b), "byte {b:#x}");
+        }
+        let hay = bytes_with_runs(g);
+        assert_eq!(
+            set.find_in(&hay),
+            hay.iter().position(|&b| pred(b)),
+            "threshold {threshold} parity {parity}"
+        );
+    });
+}
+
+#[test]
+fn eq_ignore_case_matches_scalar_and_std() {
+    prop::check("swar::eq_ignore_case identity", 600, 0x5147_0004, |g| {
+        let a = bytes_with_runs(g);
+        // Half the time compare against a case-flipped copy of `a`
+        // (should be equal), half the time against unrelated bytes.
+        let b: Vec<u8> = if g.bool() {
+            a.iter()
+                .map(|&x| {
+                    if x.is_ascii_alphabetic() && g.bool() {
+                        x ^ 0x20
+                    } else {
+                        x
+                    }
+                })
+                .collect()
+        } else {
+            bytes_with_runs(g)
+        };
+        let expect = a.eq_ignore_ascii_case(&b);
+        assert_eq!(swar::eq_ignore_case(&a, &b), expect);
+        assert_eq!(swar::scalar::eq_ignore_case(&a, &b), expect);
+    });
+}
+
+#[test]
+fn common_prefix_len_matches_scalar() {
+    prop::check("swar::common_prefix_len identity", 600, 0x5147_0005, |g| {
+        let a = bytes_with_runs(g);
+        // Derive `b` by copying a prefix of `a` then diverging, so
+        // prefixes of every length (including far past 64) occur.
+        let keep = g.range_usize(0, a.len() + 2).min(a.len());
+        let mut b: Vec<u8> = a[..keep].to_vec();
+        b.extend(g.vec(0, 20, |g| g.u8()));
+        assert_eq!(
+            swar::common_prefix_len(&a, &b),
+            swar::scalar::common_prefix_len(&a, &b)
+        );
+        assert_eq!(swar::common_prefix_len(&a, &a), a.len());
+    });
+}
+
+#[test]
+fn lower_word_matches_lower_on_random_words() {
+    prop::check("swar::lower_word identity", 600, 0x5147_0006, |g| {
+        let w = g.u64();
+        let bytes = w.to_le_bytes();
+        let expect = u64::from_le_bytes(bytes.map(swar::scalar::lower));
+        assert_eq!(swar::lower_word(w), expect, "word {w:#018x}");
+        for b in bytes {
+            assert_eq!(swar::lower(b), b.to_ascii_lowercase());
+        }
+    });
+}

@@ -55,6 +55,13 @@ cargo test -q --offline -p msite-support --test metrics_golden
 echo "== end-to-end proxy conformance (metrics, traces, headers) =="
 cargo test -q --offline --test proxy_e2e
 
+echo "== SWAR byte-identity gates (fast vs scalar twins) =="
+cargo test -q --offline -p msite-support --test swar_prop
+cargo test -q --offline -p msite-html --test swar_identity
+cargo test -q --offline -p msite-selectors --test bloom_identity
+cargo test -q --offline -p msite --test strip_tag_prop
+cargo test -q --offline --test swar_fixture_identity
+
 echo "== throughput shape assertions (serial vs parallel, overload) =="
 cargo run --release --offline -p msite-bench --bin experiments -- throughput
 
@@ -69,3 +76,6 @@ cargo run --release --offline -p msite-bench --bin experiments -- durability
 
 echo "== million-user session capacity gate (bounded store, quotas) =="
 cargo run --release --offline -p msite-bench --bin experiments -- capacity
+
+echo "== SWAR hot-path speedup gate (tokenizer+entity, crc32) =="
+cargo run --release --offline -p msite-bench --bin experiments -- hotpath

@@ -251,6 +251,12 @@ fn entry_flow_reports_trace_and_exact_metrics() {
     assert_eq!(sample(&samples, "msite_proxy_request_micros_count"), 2);
     assert_eq!(sample(&samples, "msite_proxy_sessions_live"), 1);
     assert!(sample(&samples, "msite_server_served_total") >= 3);
+    // The SWAR hot-path counters are process-wide and folded in at
+    // scrape time: one origin fetch means the tokenizer chewed real
+    // bytes, and the snapshot path clocked at least one PNG encode.
+    assert!(sample(&samples, "msite_tokenizer_bytes_total") > 0);
+    assert!(sample(&samples, "msite_png_encodes_total") > 0);
+    assert!(sample(&samples, "msite_png_encode_micros") > 0);
     // Scrapes themselves must not perturb proxy/cache counters (server
     // connection counters legitimately move — the scrape is a request).
     let again = stack.scrape();
