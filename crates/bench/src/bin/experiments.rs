@@ -15,6 +15,7 @@
 //! cargo run --release -p msite-bench --bin experiments -- planning
 //! cargo run --release -p msite-bench --bin experiments -- capacity
 //! cargo run --release -p msite-bench --bin experiments -- hotpath
+//! cargo run --release -p msite-bench --bin experiments -- content
 //! cargo run --release -p msite-bench --bin experiments -- --json  # JSON dump
 //! ```
 //!
@@ -25,8 +26,8 @@
 //! revisits, a hard memory ceiling).
 
 use msite_bench::{
-    burst, capacity, claims, durability, fig6, fig7, fixtures, hotpath, report, streaming, table1,
-    telemetry, throughput,
+    burst, capacity, claims, content, durability, fig6, fig7, fixtures, hotpath, report, streaming,
+    table1, telemetry, throughput,
 };
 use msite_support::json::{obj, ToJson, Value};
 use std::process::ExitCode;
@@ -43,6 +44,7 @@ struct AllResults {
     durability: Option<durability::DurabilityResult>,
     capacity: Option<capacity::CapacityResult>,
     hotpath: Option<hotpath::HotpathResult>,
+    content: Option<content::ContentResult>,
 }
 
 impl ToJson for AllResults {
@@ -58,12 +60,13 @@ impl ToJson for AllResults {
             ("durability", self.durability.to_json_value()),
             ("capacity", self.capacity.to_json_value()),
             ("hotpath", self.hotpath.to_json_value()),
+            ("content", self.content.to_json_value()),
         ])
     }
 }
 
 /// Wall-clock spent inside each experiment, recorded into
-/// `BENCH_PR9.json` so the perf trajectory is comparable across PRs.
+/// `BENCH_PR10.json` so the perf trajectory is comparable across PRs.
 struct Timings {
     entries: Vec<(&'static str, Duration)>,
 }
@@ -129,6 +132,7 @@ fn main() -> ExitCode {
         durability: None,
         capacity: None,
         hotpath: None,
+        content: None,
     };
 
     if want("table1") {
@@ -657,6 +661,71 @@ fn main() -> ExitCode {
         results.hotpath = Some(result);
     }
 
+    if want("content") {
+        let result = timings.time("content", || content::run(8));
+        if let Err(e) = content::check_shape(&result) {
+            failures.push(format!("content shape: {e}"));
+        }
+        if !json {
+            let e = &result.extraction;
+            report::print_table(
+                &format!(
+                    "Content adaptation — extraction over {} article variants, tiered gallery",
+                    e.pages
+                ),
+                &["metric", "value"],
+                &[
+                    vec![
+                        "extraction precision".into(),
+                        format!(
+                            "{:.3} ({} content of {} regions kept)",
+                            e.precision(),
+                            e.content_kept,
+                            e.labels_kept
+                        ),
+                    ],
+                    vec![
+                        "extraction recall".into(),
+                        format!(
+                            "{:.3} ({} of {} content regions)",
+                            e.recall(),
+                            e.content_kept,
+                            e.content_total
+                        ),
+                    ],
+                    vec![
+                        "blocks stripped (level 2)".into(),
+                        result.stripped_blocks.to_string(),
+                    ],
+                ],
+            );
+            let tier_rows: Vec<Vec<String>> = result
+                .tiers
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.tier.clone(),
+                        report::bytes(t.entry_bytes),
+                        report::bytes(t.image_bytes),
+                        report::bytes(t.total_bytes()),
+                    ]
+                })
+                .collect();
+            report::print_table(
+                "Fidelity tiers — gallery wire bytes per bandwidth class",
+                &["tier", "entry", "images", "total"],
+                &tier_rows,
+            );
+            match content::check_shape(&result) {
+                Ok(()) => {
+                    println!("shape check: PASS (precision/recall >= 0.9, 2G strictly below WiFi)")
+                }
+                Err(e) => println!("shape check: FAIL ({e})"),
+            }
+        }
+        results.content = Some(result);
+    }
+
     if want("planning") && !json {
         let load = capacity::LoadModel::default();
         let rows_data = capacity::analyze(&load);
@@ -733,12 +802,13 @@ fn main() -> ExitCode {
         ("durability", results.durability.to_json_value()),
         ("capacity", results.capacity.to_json_value()),
         ("hotpath", results.hotpath.to_json_value()),
+        ("content", results.content.to_json_value()),
     ]);
-    if let Err(e) = std::fs::write("BENCH_PR9.json", bench_json.to_pretty()) {
-        eprintln!("warning: could not write BENCH_PR9.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_PR10.json", bench_json.to_pretty()) {
+        eprintln!("warning: could not write BENCH_PR10.json: {e}");
     } else if !json {
         println!(
-            "\nwrote BENCH_PR9.json ({} experiments timed)",
+            "\nwrote BENCH_PR10.json ({} experiments timed)",
             timings.entries.len()
         );
     }

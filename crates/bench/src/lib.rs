@@ -14,6 +14,7 @@ pub mod report;
 pub mod burst;
 pub mod capacity;
 pub mod claims;
+pub mod content;
 pub mod durability;
 pub mod fig6;
 pub mod fig7;

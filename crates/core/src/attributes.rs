@@ -6,6 +6,7 @@
 //! output of that tool — targets plus attributes plus source-level
 //! filters — and is what the code generator turns into a proxy program.
 
+use msite_net::BandwidthClass;
 use msite_support::json::{obj, FromJson, JsonError, ToJson, Value};
 
 /// How a page object is identified (§3.2 "Object identification":
@@ -217,6 +218,27 @@ pub enum Attribute {
     /// Protect this object's subpage behind the proxy's lightweight
     /// HTTP-auth flow.
     HttpAuth,
+    /// Keep only the object's top-scored content candidate
+    /// (readability-style extraction over the tidy walk's per-subtree
+    /// metrics), absorbing qualifying siblings and detaching everything
+    /// else on the path up to the object.
+    ExtractMainContent,
+    /// Strip ad/nav/footer/sidebar/social/comment-classified blocks
+    /// inside the object. The top-scored content candidate and its
+    /// ancestors are always protected.
+    StripBoilerplate {
+        /// How much chrome goes: 0 = nothing (identity), 1 = ads,
+        /// 2 = + nav/footer/sidebar/social, 3 = + comment threads.
+        aggressiveness: u8,
+    },
+    /// Re-encode images inside the object under per-bandwidth-tier
+    /// quality and dimension caps (see `content::fidelity`).
+    FidelityTier {
+        /// Pinned bandwidth class; `None` = auto (resolved per request
+        /// from the `x-msite-bandwidth` header or the User-Agent's
+        /// device class).
+        tier: Option<BandwidthClass>,
+    },
 }
 
 /// A source-level filter (§3.2 "filter phase"): applied to the raw HTML
@@ -357,11 +379,37 @@ impl AdaptationSpec {
                     Attribute::PrerenderImage { .. }
                         | Attribute::PartialCssPrerender { .. }
                         | Attribute::Searchable
+                        | Attribute::FidelityTier { .. }
                         | Attribute::Subpage {
                             prerender: true,
                             ..
                         }
                 )
+            })
+    }
+
+    /// True when some attribute needs the per-subtree content metrics
+    /// of the tidy parse (extraction or boilerplate stripping) — the
+    /// DOM stage measures the clean tree only for such specs.
+    pub fn wants_content_metrics(&self) -> bool {
+        self.rules.iter().flat_map(|r| &r.attributes).any(|a| {
+            matches!(
+                a,
+                Attribute::ExtractMainContent | Attribute::StripBoilerplate { .. }
+            )
+        })
+    }
+
+    /// The spec's fidelity-tier request, when any rule carries one:
+    /// `Some(Some(class))` for a pinned tier, `Some(None)` for auto
+    /// (resolve per request), `None` when the spec is tier-less.
+    pub fn fidelity_request(&self) -> Option<Option<BandwidthClass>> {
+        self.rules
+            .iter()
+            .flat_map(|r| &r.attributes)
+            .find_map(|a| match a {
+                Attribute::FidelityTier { tier } => Some(*tier),
+                _ => None,
             })
     }
 
@@ -552,8 +600,33 @@ impl ToJson for Attribute {
                 obj([("dependency", obj([("selector", selector.to_json_value())]))])
             }
             Attribute::HttpAuth => Value::Str("http_auth".to_string()),
+            Attribute::ExtractMainContent => Value::Str("extract_main_content".to_string()),
+            Attribute::StripBoilerplate { aggressiveness } => obj([(
+                "strip_boilerplate",
+                obj([("aggressiveness", aggressiveness.to_json_value())]),
+            )]),
+            Attribute::FidelityTier { tier } => obj([(
+                "fidelity_tier",
+                obj([(
+                    "tier",
+                    Value::Str(match tier {
+                        Some(class) => class.name().to_string(),
+                        None => "auto".to_string(),
+                    }),
+                )]),
+            )]),
         }
     }
+}
+
+/// Parses a serialized tier word: `auto` or a bandwidth-class name.
+fn parse_tier(word: &str) -> Result<Option<BandwidthClass>, JsonError> {
+    if word == "auto" {
+        return Ok(None);
+    }
+    BandwidthClass::parse(word)
+        .map(Some)
+        .ok_or_else(|| JsonError::new(format!("unknown fidelity tier `{word}`")))
 }
 
 impl FromJson for Attribute {
@@ -565,6 +638,7 @@ impl FromJson for Attribute {
                 "searchable" => Ok(Attribute::Searchable),
                 "ajax_rewrite" => Ok(Attribute::AjaxRewrite),
                 "http_auth" => Ok(Attribute::HttpAuth),
+                "extract_main_content" => Ok(Attribute::ExtractMainContent),
                 other => Err(JsonError::new(format!("unknown attribute `{other}`"))),
             };
         }
@@ -634,6 +708,15 @@ impl FromJson for Attribute {
             "dependency" => Ok(Attribute::Dependency {
                 selector: p.req("selector")?,
             }),
+            "strip_boilerplate" => Ok(Attribute::StripBoilerplate {
+                aggressiveness: p.req("aggressiveness")?,
+            }),
+            "fidelity_tier" => {
+                let word: String = p.req("tier")?;
+                Ok(Attribute::FidelityTier {
+                    tier: parse_tier(&word)?,
+                })
+            }
             other => Err(JsonError::new(format!("unknown attribute `{other}`"))),
         }
     }

@@ -1,0 +1,270 @@
+//! Boilerplate classification and the strip plan.
+//!
+//! Classification reads only what the markup declares about itself —
+//! the tag name and the `id`/`class` tokens — never the text, so a page
+//! that *talks about* advertising is safe while a block that *is* an ad
+//! slot (`<div class="ad banner">`) is caught. The strip plan turns the
+//! classification into an ordered list of detachments honoring two
+//! invariants the property suite pins: the top-scored content candidate
+//! (and its ancestors) are never stripped, and aggressiveness 0 is the
+//! identity.
+
+use super::score::top_candidate;
+use msite_html::{Document, MetricsMap, NodeId};
+
+/// Why a block was classified as boilerplate. The variant name is the
+/// `kind` label on `msite_blocks_stripped_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoilerKind {
+    /// Ad-shaped: `ad`, `ads`, `advert*`, `sponsor*`, `banner`, `promo`,
+    /// `adsense`, `doubleclick` tokens.
+    Ad,
+    /// Navigation: the `<nav>` tag or `nav*`, `menu`, `breadcrumb*`,
+    /// `topbar` tokens.
+    Nav,
+    /// Footer: the `<footer>` tag or `footer`, `copyright`, `legal`
+    /// tokens.
+    Footer,
+    /// Sidebar: the `<aside>` tag or `sidebar`, `rail`, `widget` tokens.
+    Sidebar,
+    /// Social chrome: `social`, `share`, `sharing`, `follow` tokens.
+    Social,
+    /// Comment threads: `comment`, `comments`, `disqus`, `respond`
+    /// tokens.
+    Comment,
+}
+
+impl BoilerKind {
+    /// All kinds, in stripping-priority order (ads first).
+    pub const ALL: [BoilerKind; 6] = [
+        BoilerKind::Ad,
+        BoilerKind::Nav,
+        BoilerKind::Footer,
+        BoilerKind::Sidebar,
+        BoilerKind::Social,
+        BoilerKind::Comment,
+    ];
+
+    /// Stable lower-case label (the metric label value).
+    pub const fn name(self) -> &'static str {
+        match self {
+            BoilerKind::Ad => "ad",
+            BoilerKind::Nav => "nav",
+            BoilerKind::Footer => "footer",
+            BoilerKind::Sidebar => "sidebar",
+            BoilerKind::Social => "social",
+            BoilerKind::Comment => "comment",
+        }
+    }
+
+    /// The minimum `strip-boilerplate` aggressiveness that strips this
+    /// kind: 1 removes only ads, 2 adds structural chrome (nav, footer,
+    /// sidebar, social), 3 adds comment threads.
+    pub const fn min_aggressiveness(self) -> u8 {
+        match self {
+            BoilerKind::Ad => 1,
+            BoilerKind::Nav | BoilerKind::Footer | BoilerKind::Sidebar | BoilerKind::Social => 2,
+            BoilerKind::Comment => 3,
+        }
+    }
+}
+
+/// Token tables: a block is classified by the first kind (in
+/// [`BoilerKind::ALL`] order) any of its id/class tokens matches.
+fn token_kind(token: &str) -> Option<BoilerKind> {
+    Some(match token {
+        "ad" | "ads" | "advert" | "adverts" | "advertisement" | "advertising" | "sponsor"
+        | "sponsored" | "banner" | "promo" | "adsense" | "doubleclick" => BoilerKind::Ad,
+        "nav" | "navbar" | "navigation" | "menu" | "breadcrumb" | "breadcrumbs" | "topbar" => {
+            BoilerKind::Nav
+        }
+        "footer" | "copyright" | "legal" => BoilerKind::Footer,
+        "sidebar" | "rail" | "widget" | "widgets" => BoilerKind::Sidebar,
+        "social" | "share" | "sharing" | "follow" => BoilerKind::Social,
+        "comment" | "comments" | "disqus" | "respond" => BoilerKind::Comment,
+        _ => return None,
+    })
+}
+
+/// Classifies one element from its tag name and `id`/`class` tokens
+/// (split on any non-alphanumeric character, lower-cased). Non-elements
+/// and unclassified elements return `None`.
+pub fn classify(doc: &Document, id: NodeId) -> Option<BoilerKind> {
+    let tag = doc.tag_name(id)?;
+    match tag.to_ascii_lowercase().as_str() {
+        "nav" => return Some(BoilerKind::Nav),
+        "footer" => return Some(BoilerKind::Footer),
+        "aside" => return Some(BoilerKind::Sidebar),
+        _ => {}
+    }
+    let mut found: Option<BoilerKind> = None;
+    let mut consider = |kind: BoilerKind| {
+        let rank = |k: BoilerKind| BoilerKind::ALL.iter().position(|&x| x == k).unwrap_or(6);
+        if found.is_none_or(|current| rank(kind) < rank(current)) {
+            found = Some(kind);
+        }
+    };
+    for attr in ["id", "class"] {
+        let Some(value) = doc.attr(id, attr) else {
+            continue;
+        };
+        for token in value
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .filter(|t| !t.is_empty())
+        {
+            if let Some(kind) = token_kind(&token.to_ascii_lowercase()) {
+                consider(kind);
+            }
+        }
+    }
+    found
+}
+
+/// One block the strip plan will detach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripAction {
+    /// The boilerplate block's root.
+    pub node: NodeId,
+    /// Why it is stripped (the metric label).
+    pub kind: BoilerKind,
+}
+
+/// Builds the ordered list of boilerplate blocks to detach under
+/// `scope` at the given aggressiveness (0 = identity, 1 = ads, 2 = +
+/// nav/footer/sidebar/social, 3+ = + comments).
+///
+/// Invariants:
+/// - only top-most classified blocks appear (a stripped block's
+///   descendants are not listed again);
+/// - the top-scored content candidate and every one of its ancestors
+///   are protected, even when ad-shaped — stripping never deletes the
+///   content the reader came for;
+/// - actions come back in document order, so applying them is
+///   deterministic.
+pub fn strip_plan(
+    doc: &Document,
+    scope: NodeId,
+    metrics: &MetricsMap,
+    aggressiveness: u8,
+) -> Vec<StripAction> {
+    if aggressiveness == 0 {
+        return Vec::new();
+    }
+    // Protected path: the top candidate and its ancestors up to the
+    // document root (the scope check below only sees nodes under the
+    // scope anyway).
+    let mut protected = Vec::new();
+    if let Some((top, _)) = top_candidate(doc, scope, metrics) {
+        let mut cursor = Some(top);
+        while let Some(id) = cursor {
+            protected.push(id);
+            cursor = doc.node(id).parent();
+        }
+    }
+    let mut plan = Vec::new();
+    let mut walk: Vec<NodeId> = vec![scope];
+    while let Some(id) = walk.pop() {
+        // Manual DFS so a stripped block's subtree is skipped whole;
+        // children are pushed in reverse to keep document order.
+        let is_scope = id == scope;
+        let stripped = !is_scope
+            && !protected.contains(&id)
+            && classify(doc, id)
+                .filter(|kind| kind.min_aggressiveness() <= aggressiveness)
+                .map(|kind| {
+                    plan.push(StripAction { node: id, kind });
+                })
+                .is_some();
+        if !stripped {
+            let children: Vec<NodeId> = doc.children(id).collect();
+            walk.extend(children.into_iter().rev());
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_html::{measure, parse_document};
+
+    const PAGE: &str = "<html><body>\
+        <nav id=\"top\"><a href=\"/\">home</a></nav>\
+        <div class=\"ad banner\"><div class=\"ad-inner\">buy now</div></div>\
+        <div id=\"story\" class=\"ad\"><p>Real prose the protection invariant must \
+        keep even though the id tokens look ad-shaped to the classifier, because \
+        it is the top scored candidate on this page by a wide margin.</p></div>\
+        <aside class=\"widget\">related</aside>\
+        <div id=\"thread\" class=\"comments\"><p>first!</p></div>\
+        </body></html>";
+
+    #[test]
+    fn classification_reads_tags_and_tokens() {
+        let doc = parse_document(PAGE);
+        let kind = |id: &str| classify(&doc, doc.element_by_id(id).unwrap());
+        assert_eq!(kind("top"), Some(BoilerKind::Nav));
+        assert_eq!(kind("thread"), Some(BoilerKind::Comment));
+        let aside = doc
+            .descendants(doc.root())
+            .find(|&n| doc.is_element_named(n, "aside"))
+            .unwrap();
+        assert_eq!(classify(&doc, aside), Some(BoilerKind::Sidebar));
+    }
+
+    #[test]
+    fn aggressiveness_zero_is_identity() {
+        let doc = parse_document(PAGE);
+        let m = measure(&doc);
+        assert!(strip_plan(&doc, doc.root(), &m, 0).is_empty());
+    }
+
+    #[test]
+    fn levels_widen_the_plan() {
+        let doc = parse_document(PAGE);
+        let m = measure(&doc);
+        let kinds = |agg: u8| -> Vec<BoilerKind> {
+            strip_plan(&doc, doc.root(), &m, agg)
+                .iter()
+                .map(|a| a.kind)
+                .collect()
+        };
+        assert_eq!(kinds(1), vec![BoilerKind::Ad]);
+        assert_eq!(
+            kinds(2),
+            vec![BoilerKind::Nav, BoilerKind::Ad, BoilerKind::Sidebar]
+        );
+        assert_eq!(
+            kinds(3),
+            vec![
+                BoilerKind::Nav,
+                BoilerKind::Ad,
+                BoilerKind::Sidebar,
+                BoilerKind::Comment
+            ]
+        );
+    }
+
+    #[test]
+    fn top_candidate_is_protected_despite_ad_tokens() {
+        let doc = parse_document(PAGE);
+        let m = measure(&doc);
+        let story = doc.element_by_id("story").unwrap();
+        for agg in 1..=3u8 {
+            assert!(
+                strip_plan(&doc, doc.root(), &m, agg)
+                    .iter()
+                    .all(|a| a.node != story),
+                "story stripped at aggressiveness {agg}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_boiler_listed_once() {
+        let doc = parse_document(PAGE);
+        let m = measure(&doc);
+        let plan = strip_plan(&doc, doc.root(), &m, 1);
+        assert_eq!(plan.len(), 1, "{plan:?}");
+        assert_eq!(doc.attr(plan[0].node, "class"), Some("ad banner"));
+    }
+}

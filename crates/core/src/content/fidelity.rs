@@ -1,0 +1,101 @@
+//! Bandwidth-aware fidelity tiers: the tier → image-caps table and
+//! request-time tier resolution.
+//!
+//! The `fidelity-tier` attribute re-encodes a target's images under
+//! per-tier quality and dimension caps. Which tier applies is resolved
+//! per request: an explicit tier in the spec wins; otherwise the
+//! client's `x-msite-bandwidth` header (`2g`/`3g`/`wifi`, as set by
+//! carrier gateways or the device simulator); otherwise the User-Agent's
+//! device class via [`msite_device::detect_device`] — the same
+//! profile-level default link the page-load simulator uses, so the bytes
+//! the proxy sends match the link the simulation assumes.
+
+use msite_device::detect_device;
+use msite_net::BandwidthClass;
+use msite_render::FidelityCaps;
+
+/// Header a client (or the device simulator) sets to pin its bandwidth
+/// class, e.g. `x-msite-bandwidth: 2g`.
+pub const BANDWIDTH_HEADER: &str = "x-msite-bandwidth";
+
+/// The tier table: image caps per bandwidth class. A 2G link gets
+/// thumbnail-sized, heavily quantized images; WiFi keeps near-full
+/// fidelity. Monotone in the class order, which the conformance bench
+/// checks by comparing bytes on the wire.
+pub const fn tier_caps(class: BandwidthClass) -> FidelityCaps {
+    match class {
+        BandwidthClass::TwoG => FidelityCaps {
+            max_width: 160,
+            quality: 20,
+        },
+        BandwidthClass::ThreeG => FidelityCaps {
+            max_width: 320,
+            quality: 40,
+        },
+        BandwidthClass::Wifi => FidelityCaps {
+            max_width: 1_024,
+            quality: 70,
+        },
+    }
+}
+
+/// Resolves the tier for one request: `explicit` (a pinned tier in the
+/// spec) wins, then a parseable `x-msite-bandwidth` header value, then
+/// the User-Agent's device class default.
+pub fn resolve_tier(
+    explicit: Option<BandwidthClass>,
+    header: Option<&str>,
+    user_agent: &str,
+) -> BandwidthClass {
+    if let Some(tier) = explicit {
+        return tier;
+    }
+    if let Some(tier) = header.and_then(BandwidthClass::parse) {
+        return tier;
+    }
+    detect_device(user_agent).default_bandwidth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_are_monotone_in_class_order() {
+        let mut last: Option<FidelityCaps> = None;
+        for class in BandwidthClass::ALL {
+            let caps = tier_caps(class);
+            if let Some(prev) = last {
+                assert!(caps.max_width > prev.max_width);
+                assert!(caps.quality > prev.quality);
+            }
+            last = Some(caps);
+        }
+    }
+
+    #[test]
+    fn resolution_precedence() {
+        let bb = msite_device::DeviceProfile::blackberry_tour();
+        // Explicit beats everything.
+        assert_eq!(
+            resolve_tier(Some(BandwidthClass::Wifi), Some("2g"), &bb.user_agent),
+            BandwidthClass::Wifi
+        );
+        // Header beats the UA.
+        assert_eq!(
+            resolve_tier(None, Some("3g"), &bb.user_agent),
+            BandwidthClass::ThreeG
+        );
+        // Unparseable header falls back to the UA's device class.
+        assert_eq!(
+            resolve_tier(None, Some("carrier-pigeon"), &bb.user_agent),
+            BandwidthClass::TwoG
+        );
+        assert_eq!(
+            resolve_tier(None, None, &bb.user_agent),
+            BandwidthClass::TwoG
+        );
+        // Unknown UA = desktop class = wifi.
+        assert_eq!(resolve_tier(None, None, "curl/8.0"), BandwidthClass::Wifi);
+    }
+}

@@ -1,0 +1,29 @@
+//! Content-aware adaptation: readability scoring, boilerplate
+//! stripping, and bandwidth-aware fidelity tiers.
+//!
+//! The paper's attribute menu is *manual*: an administrator points at
+//! objects and assigns treatments. This module adds the three
+//! content-aware attributes that need no pointing — the proxy decides
+//! from the page itself:
+//!
+//! - [`score`]: readability-style candidate scoring over the per-subtree
+//!   structural metrics `msite-html` accumulates during the tidy walk
+//!   ([`msite_html::SubtreeMetrics`]), powering `extract-main-content`;
+//! - [`boilerplate`]: tag/id/class token classification of ad-, nav-,
+//!   footer-, sidebar-, social- and comment-shaped blocks, powering
+//!   `strip-boilerplate` at three aggressiveness levels;
+//! - [`fidelity`]: the bandwidth-class → image-caps table and the
+//!   request-time tier resolution (explicit tier, `x-msite-bandwidth`
+//!   header, or User-Agent device class), powering `fidelity-tier`.
+//!
+//! All three read only the document and its metrics — no network, no
+//! browser — so scoring and stripping stay on the lightweight path; only
+//! `fidelity-tier` (which re-encodes images) needs the render engine.
+
+pub mod boilerplate;
+pub mod fidelity;
+pub mod score;
+
+pub use boilerplate::{classify, strip_plan, BoilerKind, StripAction};
+pub use fidelity::{resolve_tier, tier_caps};
+pub use score::{content_score, extract_main_content, top_candidate, ExtractOutcome};

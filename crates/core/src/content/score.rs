@@ -1,0 +1,198 @@
+//! Readability-style content scoring and main-content extraction.
+//!
+//! The score of a block is built from the structural metrics the tidy
+//! walk already produced ([`SubtreeMetrics`]): content text weighted by
+//! how little of it is link text, a bonus per paragraph, and a heavy
+//! multiplicative penalty when the block's tag/id/class tokens classify
+//! it as boilerplate. The top-scored candidate is the page's main
+//! content; extraction keeps it (plus qualifying siblings) and detaches
+//! everything else on the way up to the extraction scope.
+
+use super::boilerplate::classify;
+use msite_html::{Document, MetricsMap, NodeId, SubtreeMetrics};
+
+/// Tags considered as main-content candidates. `body` itself is never a
+/// candidate — extraction inside a scope must pick something *within*
+/// it, otherwise there is nothing to strip.
+const CANDIDATE_TAGS: [&str; 5] = ["article", "main", "section", "div", "td"];
+
+/// Weight of one paragraph, in score points (text bytes × text purity).
+const PARAGRAPH_BONUS: f64 = 25.0;
+
+/// Multiplier applied to a block classified as boilerplate: enough to
+/// keep an ad-shaped block from ever out-scoring real prose.
+const BOILER_FACTOR: f64 = 0.05;
+
+/// Readability score for one block: content-text bytes weighted by text
+/// purity (`1 − link_density`), plus a per-paragraph bonus, scaled down
+/// hard when `boiler` says the block is ad/nav/footer/sidebar-shaped.
+/// Deterministic and in document-byte units, so thresholds are
+/// comparable across pages.
+pub fn content_score(metrics: &SubtreeMetrics, boiler: bool) -> f64 {
+    let text = f64::from(metrics.text_bytes);
+    let purity = 1.0 - metrics.link_density();
+    let base = text * purity + f64::from(metrics.paragraphs) * PARAGRAPH_BONUS;
+    if boiler {
+        base * BOILER_FACTOR
+    } else {
+        base
+    }
+}
+
+/// Scores every candidate element under `scope` (exclusive) and returns
+/// the top one with its score — the readability "top candidate". Ties
+/// keep the first candidate in document order. `None` when the scope
+/// holds no candidate element.
+pub fn top_candidate(doc: &Document, scope: NodeId, metrics: &MetricsMap) -> Option<(NodeId, f64)> {
+    let mut best: Option<(NodeId, f64)> = None;
+    for id in doc.descendants(scope) {
+        let Some(tag) = doc.tag_name(id) else {
+            continue;
+        };
+        if !CANDIDATE_TAGS.iter().any(|t| tag.eq_ignore_ascii_case(t)) {
+            continue;
+        }
+        let Some(m) = metrics.of(id) else { continue };
+        let score = content_score(&m, classify(doc, id).is_some());
+        match best {
+            Some((_, top)) if top >= score => {}
+            _ => best = Some((id, score)),
+        }
+    }
+    best
+}
+
+/// What [`extract_main_content`] did to the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractOutcome {
+    /// The top-scored candidate that was kept.
+    pub top: NodeId,
+    /// Siblings of the top candidate absorbed (kept) alongside it.
+    pub absorbed: u32,
+    /// Nodes detached on the way up from the candidate to the scope.
+    pub removed: u32,
+}
+
+/// Extracts the main content under `scope`: finds the top candidate,
+/// absorbs siblings whose score reaches 20% of the winner's (readability
+/// sibling absorption — a multi-`div` article body survives whole), then
+/// detaches every non-ancestor sibling on the path from the candidate up
+/// to `scope`. Returns `None` (document untouched) when no candidate
+/// exists.
+pub fn extract_main_content(
+    doc: &mut Document,
+    scope: NodeId,
+    metrics: &MetricsMap,
+) -> Option<ExtractOutcome> {
+    let (top, top_score) = top_candidate(doc, scope, metrics)?;
+    let mut outcome = ExtractOutcome {
+        top,
+        absorbed: 0,
+        removed: 0,
+    };
+    let sibling_threshold = (top_score * 0.2).max(PARAGRAPH_BONUS);
+    // Keep set: the winner plus absorbed siblings under the same parent.
+    let mut keep = vec![top];
+    if let Some(parent) = doc.node(top).parent() {
+        for child in doc.children(parent).collect::<Vec<_>>() {
+            if child == top {
+                continue;
+            }
+            let qualifies = doc.tag_name(child).is_some()
+                && metrics
+                    .of(child)
+                    .map(|m| content_score(&m, classify(doc, child).is_some()))
+                    .is_some_and(|s| s >= sibling_threshold);
+            if qualifies {
+                keep.push(child);
+                outcome.absorbed += 1;
+            }
+        }
+        for child in doc.children(parent).collect::<Vec<_>>() {
+            if !keep.contains(&child) {
+                doc.detach(child);
+                outcome.removed += 1;
+            }
+        }
+        // Walk up: at every level between the candidate's parent and the
+        // scope, only the path node survives.
+        let mut cursor = parent;
+        while cursor != scope {
+            let Some(up) = doc.node(cursor).parent() else {
+                break;
+            };
+            for child in doc.children(up).collect::<Vec<_>>() {
+                if child != cursor {
+                    doc.detach(child);
+                    outcome.removed += 1;
+                }
+            }
+            cursor = up;
+        }
+    }
+    Some(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msite_html::{measure, parse_document};
+
+    const PAGE: &str = "<html><body>\
+        <div id=\"nav\" class=\"menu\"><a href=\"/\">home</a> <a href=\"/b\">boards</a> \
+        <a href=\"/c\">classifieds</a></div>\
+        <div id=\"story\"><p>The grain runs true along this board and the finish \
+        coats cure hard overnight in the shop.</p><p>Clamps hold the joints square \
+        until the glue sets; scrape the squeeze-out before it skins over.</p></div>\
+        <div id=\"promo\" class=\"ad banner\"><p>Buy the premium plan now, best \
+        prices of the season, limited stock, order today and save big money.</p></div>\
+        <div id=\"footer\">contact us</div>\
+        </body></html>";
+
+    #[test]
+    fn story_out_scores_nav_and_ads() {
+        let doc = parse_document(PAGE);
+        let m = measure(&doc);
+        let (top, score) = top_candidate(&doc, doc.root(), &m).unwrap();
+        assert_eq!(doc.attr(top, "id"), Some("story"));
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn boiler_penalty_buries_ad_shaped_prose() {
+        let doc = parse_document(PAGE);
+        let m = measure(&doc);
+        let promo = doc.element_by_id("promo").unwrap();
+        let story = doc.element_by_id("story").unwrap();
+        let promo_score = content_score(&m.of(promo).unwrap(), true);
+        let story_score = content_score(&m.of(story).unwrap(), false);
+        assert!(
+            promo_score < story_score * 0.2,
+            "{promo_score} {story_score}"
+        );
+    }
+
+    #[test]
+    fn extraction_keeps_story_and_drops_the_rest() {
+        let mut doc = parse_document(PAGE);
+        let m = measure(&doc);
+        let root = doc.root();
+        let outcome = extract_main_content(&mut doc, root, &m).unwrap();
+        assert_eq!(doc.attr(outcome.top, "id"), Some("story"));
+        assert!(outcome.removed >= 3, "{outcome:?}");
+        let html = doc.to_html();
+        assert!(html.contains("grain runs true"));
+        assert!(!html.contains("Buy the premium plan"));
+        assert!(!html.contains("classifieds"));
+    }
+
+    #[test]
+    fn no_candidate_is_a_no_op() {
+        let mut doc = parse_document("<html><body><p>just text</p></body></html>");
+        let before = doc.to_html();
+        let m = measure(&doc);
+        let root = doc.root();
+        assert!(extract_main_content(&mut doc, root, &m).is_none());
+        assert_eq!(doc.to_html(), before);
+    }
+}

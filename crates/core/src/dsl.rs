@@ -180,6 +180,17 @@ fn attribute_line(attr: &Attribute) -> String {
         Attribute::LinksToAjax { target } => format!("links-to-ajax {}", quote(target)),
         Attribute::Dependency { selector } => format!("dependency {}", quote(selector)),
         Attribute::HttpAuth => "http-auth".to_string(),
+        Attribute::ExtractMainContent => "extract-main-content".to_string(),
+        Attribute::StripBoilerplate { aggressiveness } => {
+            format!("strip-boilerplate aggressiveness={aggressiveness}")
+        }
+        Attribute::FidelityTier { tier } => format!(
+            "fidelity-tier {}",
+            match tier {
+                Some(class) => class.name(),
+                None => "auto",
+            }
+        ),
     }
 }
 
@@ -498,6 +509,31 @@ fn parse_attribute(tokens: &[Token], line_no: usize) -> Result<Attribute, ParseS
             selector: arg1(tokens, line_no)?,
         },
         "http-auth" => Attribute::HttpAuth,
+        "extract-main-content" => Attribute::ExtractMainContent,
+        "strip-boilerplate" => {
+            let (k, v) = kv(tokens
+                .get(1)
+                .ok_or_else(|| e("expected aggressiveness=".into()))?)?;
+            if k != "aggressiveness" {
+                return Err(e("expected aggressiveness=".into()));
+            }
+            Attribute::StripBoilerplate {
+                aggressiveness: v.parse().map_err(|_| e("bad aggressiveness".into()))?,
+            }
+        }
+        "fidelity-tier" => {
+            let word = arg1(tokens, line_no)?;
+            Attribute::FidelityTier {
+                tier: if word == "auto" {
+                    None
+                } else {
+                    Some(
+                        msite_net::BandwidthClass::parse(&word)
+                            .ok_or_else(|| e(format!("unknown fidelity tier `{word}`")))?,
+                    )
+                },
+            }
+        }
         other => return Err(e(format!("unknown attribute `{other}`"))),
     })
 }
@@ -667,6 +703,17 @@ mod tests {
                         target: "#detail".into(),
                     },
                     Attribute::HttpAuth,
+                ],
+            },
+            Rule {
+                target: Target::Css("body".into()),
+                attributes: vec![
+                    Attribute::ExtractMainContent,
+                    Attribute::StripBoilerplate { aggressiveness: 2 },
+                    Attribute::FidelityTier {
+                        tier: Some(msite_net::BandwidthClass::TwoG),
+                    },
+                    Attribute::FidelityTier { tier: None },
                 ],
             },
         ];

@@ -13,6 +13,8 @@
 //! - [`attributes`] — the attribute paradigm: subpage splitting, object
 //!   copy/move/remove/replace, pre-rendering, partial CSS pre-rendering,
 //!   image fidelity, search, caching, HTTP auth, AJAX rewriting;
+//! - [`content`] — content-aware adaptation: readability scoring,
+//!   boilerplate stripping, bandwidth-aware fidelity tiers;
 //! - [`dsl`] — the generated proxy program (code generation + loader);
 //! - [`pipeline`] — filter phase → tidy/DOM phase → attribute phase →
 //!   subpage emission → rendering;
@@ -61,6 +63,7 @@ pub mod ajax;
 pub mod attributes;
 pub mod baseline;
 pub mod cache;
+pub mod content;
 pub mod dsl;
 pub mod engine;
 pub mod error;
@@ -76,6 +79,7 @@ pub use baseline::{HighlightConfig, HighlightProxy, HighlightStats};
 pub use cache::{
     CacheStats, ExternalFlight, Flight, Lookup, RenderCache, SubtreeCache, SubtreeCacheStats,
 };
+pub use content::{BoilerKind, ExtractOutcome};
 pub use engine::{EngineRegistry, FallbackRender, RenderEngine, RenderError, RenderedArtifact};
 pub use error::ProxyError;
 pub use persist::{

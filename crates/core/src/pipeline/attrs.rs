@@ -12,6 +12,7 @@ use super::stage::{PipelineState, Stage, StageKind, StageOutcome};
 use super::{AdaptError, GeneratedImage, PipelineStats};
 use crate::ajax;
 use crate::attributes::{Attribute, DockObject, Position, Rule, Target};
+use crate::content;
 use msite_html::{Document, NodeId};
 use msite_render::image::{process, ImageFormat, PostProcess};
 use msite_render::Rect;
@@ -32,6 +33,7 @@ impl Stage for AttributeStage {
             ctx,
             doc,
             fingerprints,
+            content_metrics,
             subpages,
             images,
             registry,
@@ -354,6 +356,109 @@ impl Stage for AttributeStage {
                                 .get_mut(&id)
                                 .expect("declared in dom stage")
                                 .http_auth = true;
+                        }
+                    }
+                    Attribute::ExtractMainContent => {
+                        let metrics = content_metrics
+                            .as_ref()
+                            .expect("dom stage measures content-aware specs");
+                        for &node in &nodes {
+                            if !doc.is_attached(node) {
+                                continue;
+                            }
+                            if let Some(outcome) = content::extract_main_content(doc, node, metrics)
+                            {
+                                stats.nodes_affected += outcome.removed as usize;
+                            }
+                        }
+                    }
+                    Attribute::StripBoilerplate { aggressiveness } => {
+                        let metrics = content_metrics
+                            .as_ref()
+                            .expect("dom stage measures content-aware specs");
+                        for &node in &nodes {
+                            if !doc.is_attached(node) {
+                                continue;
+                            }
+                            for action in content::strip_plan(doc, node, metrics, *aggressiveness) {
+                                doc.detach(action.node);
+                                stats.nodes_affected += 1;
+                                if let Some(registry) = &ctx.metrics {
+                                    registry
+                                        .counter(
+                                            "msite_blocks_stripped_total",
+                                            &[("kind", action.kind.name())],
+                                        )
+                                        .inc();
+                                }
+                            }
+                        }
+                    }
+                    Attribute::FidelityTier { tier } => {
+                        // A pinned tier wins; auto uses the class the
+                        // proxy resolved for this request; standalone
+                        // auto runs keep full (WiFi) fidelity.
+                        let class = tier
+                            .or(ctx.fidelity)
+                            .unwrap_or(msite_net::BandwidthClass::Wifi);
+                        let caps = content::tier_caps(class);
+                        for &node in &nodes {
+                            for img in doc.elements_by_tag(node, "img") {
+                                *obj_counter += 1;
+                                let name = format!("fid{obj_counter}_{class}.png");
+                                let width: u32 = doc
+                                    .attr(img, "width")
+                                    .and_then(|w| w.parse().ok())
+                                    .unwrap_or(320);
+                                let height: u32 = doc
+                                    .attr(img, "height")
+                                    .and_then(|h| h.parse().ok())
+                                    .unwrap_or(240);
+                                let label = doc.attr(img, "alt").unwrap_or("image").to_string();
+                                // Re-encode at the declared size through
+                                // the tier caps: crop the render to the
+                                // image box, then apply the cap's scale
+                                // and quality.
+                                let page = format!(
+                                    "<!DOCTYPE html><html><body style=\"margin:0\">\
+                                     <div style=\"width:{width}px;height:{height}px;\
+                                     background:#48586a;color:#ffffff\">\
+                                     <p style=\"color:#ffffff\">{label}</p></div></body></html>"
+                                );
+                                let rendered = renderer.render(&page);
+                                let processed = process(
+                                    &rendered.canvas,
+                                    &PostProcess {
+                                        crop: Some(Rect::new(
+                                            0.0,
+                                            0.0,
+                                            width as f32,
+                                            height as f32,
+                                        )),
+                                        ..caps.post_process(width)
+                                    },
+                                );
+                                let img_tag = format!(
+                                    "<img class=\"msite-tiered\" src=\"{}/img/{}\" \
+                                     width=\"{}\" height=\"{}\" alt=\"{}\">",
+                                    ctx.base,
+                                    name,
+                                    processed.canvas.width(),
+                                    processed.canvas.height(),
+                                    msite_html::entities::encode_attr(&label)
+                                );
+                                images.push(GeneratedImage {
+                                    name,
+                                    wire_size: processed.wire_bytes(),
+                                    width: processed.canvas.width(),
+                                    height: processed.canvas.height(),
+                                    bytes: processed.encoded,
+                                    cache_ttl: Some(Duration::from_secs(3_600)),
+                                });
+                                replace_with_html(doc, img, &img_tag);
+                                stats.nodes_affected += 1;
+                                stats.images_rendered += 1;
+                            }
                         }
                     }
                 }

@@ -20,13 +20,25 @@ impl Stage for DomStage {
     fn run(&self, state: &mut PipelineState<'_>) -> Result<StageOutcome, AdaptError> {
         state.stats.dom_parsed = true;
         let doc = tidy::tidy(&state.source);
-        // Fingerprint every subtree of the clean parse *before* the
-        // attribute stage mutates the tree: these are the stable
-        // content identities the emit stage's subtree cache keys mix
-        // in (skipped when no cache is attached — standalone runs pay
-        // nothing).
-        if state.ctx.subtree_cache.is_some() {
-            state.fingerprints = Some(msite_html::fingerprint::fingerprint_map(&doc));
+        // Fingerprint and/or measure every subtree of the clean parse
+        // *before* the attribute stage mutates the tree: fingerprints
+        // are the stable content identities the emit stage's subtree
+        // cache keys mix in; metrics feed the content-aware attributes.
+        // Both ride one serialization walk; specs that need neither pay
+        // nothing.
+        let want_fingerprints = state.ctx.subtree_cache.is_some();
+        let want_metrics = state.spec.wants_content_metrics();
+        match (want_fingerprints, want_metrics) {
+            (true, true) => {
+                let (fingerprints, metrics) = msite_html::fingerprint_and_measure(&doc);
+                state.fingerprints = Some(fingerprints);
+                state.content_metrics = Some(metrics);
+            }
+            (true, false) => {
+                state.fingerprints = Some(msite_html::fingerprint::fingerprint_map(&doc));
+            }
+            (false, true) => state.content_metrics = Some(msite_html::measure(&doc)),
+            (false, false) => {}
         }
         state.doc = Some(doc);
 

@@ -189,6 +189,11 @@ pub struct PipelineContext {
     /// (`msite_subtrees_reused_total` / `msite_subtrees_recomputed_total`).
     /// `None` skips the bumps.
     pub metrics: Option<std::sync::Arc<msite_support::telemetry::MetricsRegistry>>,
+    /// Resolved bandwidth class for `fidelity-tier auto` attributes
+    /// (the proxy resolves it per request from the client's header or
+    /// User-Agent). `None` falls back to the attribute's pinned tier,
+    /// or WiFi caps when the attribute is auto too.
+    pub fidelity: Option<msite_net::BandwidthClass>,
 }
 
 impl Default for PipelineContext {
@@ -201,6 +206,7 @@ impl Default for PipelineContext {
             trace: None,
             subtree_cache: None,
             metrics: None,
+            fidelity: None,
         }
     }
 }

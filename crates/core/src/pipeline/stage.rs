@@ -263,6 +263,10 @@ pub(crate) struct PipelineState<'a> {
     /// Per-subtree fingerprints of the tidied parse, computed by the
     /// DOM stage before any attribute mutates the tree.
     pub(crate) fingerprints: Option<msite_html::fingerprint::FingerprintMap>,
+    /// Per-subtree content metrics of the tidied parse (same walk as
+    /// the fingerprints), computed only when the spec carries a
+    /// content-aware attribute.
+    pub(crate) content_metrics: Option<msite_html::MetricsMap>,
     pub(crate) subpages: BTreeMap<String, SubpageBuilder>,
     pub(crate) images: Vec<GeneratedImage>,
     pub(crate) registry: AjaxRegistry,
@@ -291,6 +295,7 @@ impl<'a> PipelineState<'a> {
             doc: None,
             source_fingerprint: msite_html::fingerprint::FNV_OFFSET,
             fingerprints: None,
+            content_metrics: None,
             subpages: BTreeMap::new(),
             images: Vec::new(),
             registry: AjaxRegistry::new(),

@@ -66,19 +66,26 @@ impl ProxyServer {
         &self,
         session: &Arc<Mutex<Session>>,
         deadline: Deadline,
+        tier: Option<msite_net::BandwidthClass>,
     ) -> Result<(Bytes, Option<Duration>), ProxyError> {
         let ttl = self
             .spec
             .snapshot
             .as_ref()
             .map(|s| Duration::from_secs(s.cache_ttl_secs));
+        // Tier-resolved entries are distinct artifacts (their image
+        // fidelity differs), so each tier gets its own cache key and
+        // single-flight lane; tier-less specs keep the bare key.
+        let key = match tier {
+            Some(class) => format!("entry:html@{class}"),
+            None => "entry:html".to_string(),
+        };
         let flight_started = Instant::now();
-        let flight = self.cache.render_flight::<ProxyError>(
-            "entry:html",
-            ttl,
-            Some(deadline.remaining()),
-            || self.build_entry(session, deadline),
-        );
+        let flight =
+            self.cache
+                .render_flight::<ProxyError>(&key, ttl, Some(deadline.remaining()), || {
+                    self.build_entry(session, deadline, tier)
+                });
         let mut role_fields = Vec::new();
         let outcome = match flight {
             Flight::Hit(entry) => {
@@ -113,7 +120,7 @@ impl ProxyServer {
             Flight::Failed(err) => {
                 role_fields.push(("role".to_string(), "failed".to_string()));
                 if err.is_unavailability() {
-                    if let Lookup::Stale { value, age } = self.cache.lookup("entry:html") {
+                    if let Lookup::Stale { value, age } = self.cache.lookup(&key) {
                         role_fields.push(("fallback".to_string(), "stale".to_string()));
                         Ok((value, Some(age)))
                     } else {
@@ -125,7 +132,7 @@ impl ProxyServer {
             }
         };
         if let Some(trace) = Trace::current() {
-            role_fields.push(("key".to_string(), "entry:html".to_string()));
+            role_fields.push(("key".to_string(), key));
             trace.log().record_raw(
                 trace.id(),
                 "cache.flight",
@@ -144,6 +151,7 @@ impl ProxyServer {
         &self,
         session: &Arc<Mutex<Session>>,
         deadline: Deadline,
+        tier: Option<msite_net::BandwidthClass>,
     ) -> Result<(Bytes, Duration), ProxyError> {
         let start = Instant::now();
         let mut page_request =
@@ -154,8 +162,11 @@ impl ProxyServer {
         if !page.status.is_success() {
             return Err(ProxyError::from_origin_failure(&page));
         }
-        let (bundle, report) =
-            adapt_with_report(&self.spec, &page.body_text(), &self.pipeline_context())?;
+        let (bundle, report) = adapt_with_report(
+            &self.spec,
+            &page.body_text(),
+            &self.pipeline_context_tiered(tier),
+        )?;
         if bundle.stats.browser_used {
             self.metrics.full_renders.inc();
         } else {

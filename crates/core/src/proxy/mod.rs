@@ -350,6 +350,20 @@ impl ProxyServer {
                 None
             },
             metrics: Some(Arc::clone(&self.telemetry.metrics)),
+            fidelity: None,
+        }
+    }
+
+    /// Pipeline context for a tier-resolved entry build: identical to
+    /// [`pipeline_context`](Self::pipeline_context) plus the bandwidth
+    /// class `fidelity-tier auto` attributes resolve to.
+    fn pipeline_context_tiered(
+        &self,
+        fidelity: Option<msite_net::BandwidthClass>,
+    ) -> PipelineContext {
+        PipelineContext {
+            fidelity,
+            ..self.pipeline_context()
         }
     }
 }

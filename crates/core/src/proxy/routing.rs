@@ -71,14 +71,36 @@ impl ProxyServer {
         let response = match rest {
             "/" => {
                 burn(self.config.scripted_overhead);
-                if self.config.streaming && streaming::wants_stream(request) {
+                // Resolve the fidelity tier up front when the spec
+                // carries a fidelity-tier attribute: a pinned tier
+                // wins, else the client's bandwidth header, else the
+                // User-Agent's device class (see `content::fidelity`).
+                let tier = self.spec.fidelity_request().map(|explicit| {
+                    crate::content::resolve_tier(
+                        explicit,
+                        request
+                            .headers
+                            .get(crate::content::fidelity::BANDWIDTH_HEADER),
+                        request.headers.get("user-agent").unwrap_or(""),
+                    )
+                });
+                if let Some(class) = tier {
+                    self.telemetry
+                        .metrics
+                        .counter("msite_fidelity_tier", &[("tier", class.name())])
+                        .inc();
+                }
+                // Tiered entries are cached per tier and always built
+                // on the batch path; the streaming producer's cache key
+                // is tier-less, so it only serves tier-less specs.
+                if tier.is_none() && self.config.streaming && streaming::wants_stream(request) {
                     match self.streamed_entry(&session, deadline) {
                         Ok(r) => r,
                         Err(err) => fail(err),
                     }
                 } else {
                     let arrived = Instant::now();
-                    match self.shared_entry(&session, deadline) {
+                    match self.shared_entry(&session, deadline, tier) {
                         Ok((entry, stale_age)) => {
                             self.metrics
                                 .ttfb_micros

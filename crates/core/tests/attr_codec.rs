@@ -1,0 +1,176 @@
+//! JSON codec conformance for the attribute menu: every [`Attribute`]
+//! variant round-trips through its externally-tagged encoding, and
+//! malformed documents fail with the classified `unknown attribute` /
+//! missing-field errors instead of mis-parsing.
+
+use msite::attributes::{Attribute, Position};
+use msite_net::BandwidthClass;
+use msite_support::json::{FromJson, ToJson, Value};
+
+/// One instance of every variant in the menu — the completeness gate:
+/// adding a variant without extending this list fails the count below.
+fn every_variant() -> Vec<Attribute> {
+    vec![
+        Attribute::Subpage {
+            id: "login".into(),
+            title: "Log in".into(),
+            ajax: true,
+            prerender: false,
+        },
+        Attribute::CopyTo {
+            subpage: "nav".into(),
+            position: Position::Top,
+            set_attr: Some(("src".into(), "/m/logo.png".into())),
+        },
+        Attribute::CopyTo {
+            subpage: "nav".into(),
+            position: Position::Head,
+            set_attr: None,
+        },
+        Attribute::MoveTo {
+            subpage: "extras".into(),
+            position: Position::Bottom,
+        },
+        Attribute::Remove,
+        Attribute::Hide,
+        Attribute::ReplaceWith {
+            html: "<b>mobile ad</b>".into(),
+        },
+        Attribute::InsertBefore {
+            html: "<hr>".into(),
+        },
+        Attribute::InsertAfter {
+            html: "<br clear=\"all\">".into(),
+        },
+        Attribute::SetAttr {
+            name: "src".into(),
+            value: "/small.png".into(),
+        },
+        Attribute::LinksToColumns { columns: 2 },
+        Attribute::InjectClientScript {
+            code: "msiteLoad();".into(),
+        },
+        Attribute::PrerenderImage {
+            scale: 0.5,
+            quality: 40,
+            cache_ttl_secs: Some(3_600),
+        },
+        Attribute::PrerenderImage {
+            scale: 0.25,
+            quality: 70,
+            cache_ttl_secs: None,
+        },
+        Attribute::PartialCssPrerender { scale: 0.75 },
+        Attribute::Searchable,
+        Attribute::RichMediaThumbnail { scale: 0.33 },
+        Attribute::ImageFidelity { quality: 30 },
+        Attribute::AjaxRewrite,
+        Attribute::LinksToAjax {
+            target: "#pane".into(),
+        },
+        Attribute::Dependency {
+            selector: "link[rel=stylesheet]".into(),
+        },
+        Attribute::HttpAuth,
+        Attribute::ExtractMainContent,
+        Attribute::StripBoilerplate { aggressiveness: 2 },
+        Attribute::FidelityTier {
+            tier: Some(BandwidthClass::TwoG),
+        },
+        Attribute::FidelityTier {
+            tier: Some(BandwidthClass::ThreeG),
+        },
+        Attribute::FidelityTier {
+            tier: Some(BandwidthClass::Wifi),
+        },
+        Attribute::FidelityTier { tier: None },
+    ]
+}
+
+#[test]
+fn every_variant_round_trips() {
+    let all = every_variant();
+    // One sample per enum variant (some appear twice to cover optional
+    // payload states); bump this when the menu grows.
+    assert_eq!(all.len(), 28, "keep the sample list exhaustive");
+    for attribute in all {
+        let encoded = attribute.to_json_value();
+        let decoded = Attribute::from_json_value(&encoded)
+            .unwrap_or_else(|e| panic!("{attribute:?} failed to decode: {e}"));
+        assert_eq!(attribute, decoded);
+        // And the encoding itself is stable under a re-encode.
+        assert_eq!(encoded, decoded.to_json_value());
+    }
+}
+
+#[test]
+fn text_round_trip_through_the_wire_format() {
+    for attribute in every_variant() {
+        let text = attribute.to_json_value().to_compact();
+        let reparsed = Value::parse(&text).expect("self-produced JSON parses");
+        assert_eq!(Attribute::from_json_value(&reparsed).unwrap(), attribute);
+    }
+}
+
+fn decode(text: &str) -> Result<Attribute, String> {
+    let value = Value::parse(text).map_err(|e| e.to_string())?;
+    Attribute::from_json_value(&value).map_err(|e| e.to_string())
+}
+
+#[test]
+fn unknown_unit_attribute_is_classified() {
+    let err = decode("\"vanish\"").unwrap_err();
+    assert!(err.contains("unknown attribute"), "{err}");
+    assert!(err.contains("vanish"), "{err}");
+}
+
+#[test]
+fn unknown_tagged_attribute_is_classified() {
+    let err = decode("{\"teleport\":{\"to\":\"moon\"}}").unwrap_err();
+    assert!(err.contains("unknown attribute"), "{err}");
+    assert!(err.contains("teleport"), "{err}");
+}
+
+#[test]
+fn unknown_fidelity_tier_word_is_classified() {
+    let err = decode("{\"fidelity_tier\":{\"tier\":\"5g\"}}").unwrap_err();
+    assert!(err.contains("unknown fidelity tier"), "{err}");
+    assert!(err.contains("5g"), "{err}");
+    // Every alias the class parser accepts decodes.
+    for (word, class) in [
+        ("2g", BandwidthClass::TwoG),
+        ("edge", BandwidthClass::TwoG),
+        ("3g", BandwidthClass::ThreeG),
+        ("wifi", BandwidthClass::Wifi),
+        ("4g", BandwidthClass::Wifi),
+    ] {
+        let attr = decode(&format!("{{\"fidelity_tier\":{{\"tier\":\"{word}\"}}}}")).unwrap();
+        assert_eq!(attr, Attribute::FidelityTier { tier: Some(class) });
+    }
+}
+
+#[test]
+fn missing_and_mistyped_fields_fail() {
+    // Missing required field.
+    assert!(decode("{\"strip_boilerplate\":{}}").is_err());
+    assert!(decode("{\"subpage\":{\"id\":\"x\",\"title\":\"X\",\"ajax\":true}}").is_err());
+    assert!(decode("{\"fidelity_tier\":{}}").is_err());
+    // Wrong payload type.
+    assert!(decode("{\"strip_boilerplate\":{\"aggressiveness\":\"high\"}}").is_err());
+    assert!(decode("{\"fidelity_tier\":{\"tier\":2}}").is_err());
+    assert!(decode("{\"links_to_columns\":{\"columns\":\"two\"}}").is_err());
+    // set_attr must be a [name, value] pair or null.
+    assert!(decode(
+        "{\"copy_to\":{\"subpage\":\"s\",\"position\":\"top\",\"set_attr\":[\"only\"]}}"
+    )
+    .is_err());
+    assert!(
+        decode("{\"copy_to\":{\"subpage\":\"s\",\"position\":\"top\",\"set_attr\":\"src\"}}")
+            .is_err()
+    );
+    // Structurally wrong documents.
+    assert!(decode("42").is_err());
+    assert!(decode("[\"remove\"]").is_err());
+    assert!(decode("{}").is_err());
+    assert!(decode("{\"remove\":{},\"hide\":{}}").is_err());
+}

@@ -1,0 +1,178 @@
+//! Property suite for the content-scoring subsystem: readability
+//! scores are invariant under a parse → serialize → parse round trip,
+//! boilerplate stripping never touches the top candidate or its
+//! ancestors, stripped and kept bytes conserve the document length,
+//! and aggressiveness 0 is the identity.
+
+use msite::content::{content_score, strip_plan, top_candidate};
+use msite_html::{measure, parse_document, Document, NodeId};
+use msite_support::prop::{self, Gen};
+
+const WORDS: [&str; 12] = [
+    "grain", "finish", "clamp", "joint", "plane", "square", "board", "shellac", "sawdust",
+    "mortise", "tenon", "bench",
+];
+
+const BOILER_CLASSES: [&str; 8] = [
+    "ad-banner",
+    "sponsor",
+    "navbar",
+    "menu",
+    "footer",
+    "sidebar",
+    "widget",
+    "comment",
+];
+
+const PLAIN_CLASSES: [&str; 5] = ["article-body", "post", "main-text", "entry", "column"];
+
+fn words(g: &mut Gen, count: usize) -> String {
+    let mut out = String::new();
+    for i in 0..count {
+        if i > 0 {
+            out.push(' ');
+        }
+        let word = g.pick(&WORDS);
+        out.push_str(word);
+    }
+    out
+}
+
+fn paragraph(g: &mut Gen) -> String {
+    let count = g.range_usize(3, 40);
+    format!("<p>{}</p>", words(g, count))
+}
+
+/// One block: a container element with a random (possibly boiler-shaped)
+/// class, holding paragraphs, links, and sometimes a nested block.
+fn block(g: &mut Gen, depth: usize, n: &mut u32) -> String {
+    *n += 1;
+    let tag = *g.pick(&["div", "section", "article", "nav", "aside", "footer"]);
+    let class = if g.bool() {
+        *g.pick(&BOILER_CLASSES)
+    } else {
+        *g.pick(&PLAIN_CLASSES)
+    };
+    let mut inner = String::new();
+    for _ in 0..g.range_usize(0, 4) {
+        match g.range_u32(0, 3) {
+            0 => inner.push_str(&paragraph(g)),
+            1 => inner.push_str(&format!("<a href=\"/l\">{}</a> ", words(g, 2))),
+            _ if depth < 2 => inner.push_str(&block(g, depth + 1, n)),
+            _ => inner.push_str(&words(g, 5)),
+        }
+    }
+    format!("<{tag} id=\"b{n}\" class=\"{class}\">{inner}</{tag}>")
+}
+
+fn arb_page(g: &mut Gen) -> String {
+    let mut body = String::new();
+    let mut n = 0;
+    for _ in 0..g.range_usize(1, 8) {
+        body.push_str(&block(g, 0, &mut n));
+    }
+    format!("<html><head><title>t</title></head><body>{body}</body></html>")
+}
+
+fn ancestors(doc: &Document, mut id: NodeId) -> Vec<NodeId> {
+    let mut out = vec![id];
+    while let Some(parent) = doc.node(id).parent() {
+        out.push(parent);
+        id = parent;
+    }
+    out
+}
+
+#[test]
+fn scores_survive_a_serialize_reparse_round_trip() {
+    prop::check("score reparse invariance", 200, 0xC0_57E0, |g| {
+        let page = arb_page(g);
+        let doc = parse_document(&page);
+        let metrics = measure(&doc);
+        let before = top_candidate(&doc, doc.root(), &metrics);
+
+        let reparsed = parse_document(&doc.to_html());
+        let remetrics = measure(&reparsed);
+        let after = top_candidate(&reparsed, reparsed.root(), &remetrics);
+
+        match (before, after) {
+            (None, None) => {}
+            (Some((a, sa)), Some((b, sb))) => {
+                assert!(
+                    (sa - sb).abs() < 1e-9,
+                    "top score moved across reparse: {sa} vs {sb}"
+                );
+                assert_eq!(
+                    doc.attr(a, "id"),
+                    reparsed.attr(b, "id"),
+                    "a different candidate won after reparse"
+                );
+            }
+            (a, b) => panic!("candidate existence changed across reparse: {a:?} vs {b:?}"),
+        }
+    });
+}
+
+#[test]
+fn stripping_never_touches_the_top_candidate_or_its_ancestors() {
+    prop::check("strip protects top candidate", 200, 0xC0_57E1, |g| {
+        let page = arb_page(g);
+        let doc = parse_document(&page);
+        let metrics = measure(&doc);
+        let aggressiveness = g.range_u32(1, 4) as u8;
+        let plan = strip_plan(&doc, doc.root(), &metrics, aggressiveness);
+        let Some((top, _)) = top_candidate(&doc, doc.root(), &metrics) else {
+            return;
+        };
+        let protected = ancestors(&doc, top);
+        for action in &plan {
+            assert!(
+                !protected.contains(&action.node),
+                "plan strips the top candidate's spine ({:?}, kind {:?})",
+                doc.tag_name(action.node),
+                action.kind
+            );
+        }
+    });
+}
+
+#[test]
+fn stripped_and_kept_bytes_conserve_the_document() {
+    prop::check("strip byte conservation", 200, 0xC0_57E2, |g| {
+        let page = arb_page(g);
+        let mut doc = parse_document(&page);
+        let metrics = measure(&doc);
+        let before = doc.to_html().len();
+        let plan = strip_plan(&doc, doc.root(), &metrics, g.range_u32(1, 4) as u8);
+        let mut stripped = 0usize;
+        for action in &plan {
+            stripped += doc.outer_html(action.node).len();
+            doc.detach(action.node);
+        }
+        let after = doc.to_html().len();
+        assert_eq!(
+            before,
+            after + stripped,
+            "bytes lost or invented: {before} != {after} + {stripped}"
+        );
+    });
+}
+
+#[test]
+fn aggressiveness_zero_is_the_identity() {
+    prop::check("strip level 0 identity", 200, 0xC0_57E3, |g| {
+        let page = arb_page(g);
+        let doc = parse_document(&page);
+        let metrics = measure(&doc);
+        assert!(strip_plan(&doc, doc.root(), &metrics, 0).is_empty());
+        // And the scores themselves are pure: recomputing moves nothing.
+        for id in doc.descendants(doc.root()) {
+            if let Some(m) = metrics.of(id) {
+                assert_eq!(
+                    content_score(&m, false).to_bits(),
+                    content_score(&m, false).to_bits()
+                );
+            }
+        }
+    });
+}

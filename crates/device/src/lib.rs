@@ -20,6 +20,6 @@ pub mod simulate;
 
 pub use profile::{detect_device, DeviceClass, DeviceProfile};
 pub use simulate::{
-    simulate_page_load, simulate_snapshot_generation, simulate_snapshot_view, CostModel,
-    LoadBreakdown,
+    simulate_page_load, simulate_profile_load, simulate_snapshot_generation,
+    simulate_snapshot_view, CostModel, LoadBreakdown,
 };

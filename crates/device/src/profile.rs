@@ -7,6 +7,7 @@
 //! clock: the Tour's legacy engine does far less per cycle than mobile
 //! WebKit.
 
+use msite_net::{BandwidthClass, LinkModel};
 use msite_support::json::{obj, ToJson, Value};
 
 /// A modeled client device.
@@ -26,12 +27,23 @@ pub struct DeviceProfile {
     pub supports_ajax: bool,
     /// Representative User-Agent string.
     pub user_agent: String,
+    /// Typical access bandwidth class for this device — what the
+    /// fidelity-tier attribute resolves when asked to pick `auto` and
+    /// what the page-load simulator uses as the device's default link.
+    pub bandwidth: BandwidthClass,
 }
 
 impl DeviceProfile {
     /// Effective compute rate in cycles/second.
     pub fn effective_hz(&self) -> f64 {
         self.cpu_mhz * 1e6 * self.efficiency
+    }
+
+    /// The representative link model for this device's typical access
+    /// bandwidth — the default link the simulator pairs with the
+    /// profile.
+    pub fn link_model(&self) -> LinkModel {
+        self.bandwidth.link_model()
     }
 
     /// BlackBerry Tour 9630 — the paper's primary slow device.
@@ -44,6 +56,7 @@ impl DeviceProfile {
             supports_ajax: false,
             user_agent: "BlackBerry9630/5.0.0.419 Profile/MIDP-2.1 Configuration/CLDC-1.1"
                 .to_string(),
+            bandwidth: BandwidthClass::TwoG,
         }
     }
 
@@ -56,6 +69,7 @@ impl DeviceProfile {
             viewport: (320, 480),
             supports_ajax: true,
             user_agent: "Mozilla/5.0 (iPod; U; CPU iPhone OS 4_2_1 like Mac OS X) AppleWebKit/533.17.9 Mobile/8C148".to_string(),
+            bandwidth: BandwidthClass::Wifi,
         }
     }
 
@@ -68,6 +82,7 @@ impl DeviceProfile {
             viewport: (320, 480),
             supports_ajax: true,
             user_agent: "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_0 like Mac OS X) AppleWebKit/532.9 Mobile/8A293".to_string(),
+            bandwidth: BandwidthClass::ThreeG,
         }
     }
 
@@ -80,6 +95,7 @@ impl DeviceProfile {
             viewport: (1024, 768),
             supports_ajax: true,
             user_agent: "Mozilla/5.0 (iPad; U; CPU OS 3_2 like Mac OS X) AppleWebKit/531.21.10 Mobile/7B334b".to_string(),
+            bandwidth: BandwidthClass::Wifi,
         }
     }
 
@@ -93,6 +109,7 @@ impl DeviceProfile {
             viewport: (320, 480),
             supports_ajax: true,
             user_agent: "Mozilla/5.0 (Linux; U; Android 2.2; Droid Build/FRG22D) AppleWebKit/533.1 Mobile Safari/533.1".to_string(),
+            bandwidth: BandwidthClass::ThreeG,
         }
     }
 
@@ -106,6 +123,7 @@ impl DeviceProfile {
             supports_ajax: true,
             user_agent: "Mozilla/5.0 (Windows NT 6.0) AppleWebKit/536.5 Chrome/19.0 Safari/536.5"
                 .to_string(),
+            bandwidth: BandwidthClass::Wifi,
         }
     }
 
@@ -119,6 +137,7 @@ impl DeviceProfile {
             viewport: (1024, 8192),
             supports_ajax: true,
             user_agent: "msite-proxy/0.1".to_string(),
+            bandwidth: BandwidthClass::Wifi,
         }
     }
 }
@@ -138,6 +157,7 @@ impl ToJson for DeviceProfile {
             ),
             ("supports_ajax", self.supports_ajax.to_json_value()),
             ("user_agent", self.user_agent.to_json_value()),
+            ("bandwidth", Value::Str(self.bandwidth.name().to_string())),
         ])
     }
 }
@@ -173,6 +193,18 @@ impl DeviceClass {
     /// True for any mobile class.
     pub fn is_mobile(&self) -> bool {
         !matches!(self, DeviceClass::Desktop)
+    }
+
+    /// The bandwidth class a proxy should assume for this device class
+    /// when nothing better (an `x-msite-bandwidth` header) is known:
+    /// legacy mobile browsers ride 2G-era radios, smartphones 3G,
+    /// tablets and desktops WiFi or better.
+    pub fn default_bandwidth(&self) -> BandwidthClass {
+        match self {
+            DeviceClass::LegacyMobile => BandwidthClass::TwoG,
+            DeviceClass::Smartphone => BandwidthClass::ThreeG,
+            DeviceClass::Tablet | DeviceClass::Desktop => BandwidthClass::Wifi,
+        }
     }
 }
 
@@ -294,6 +326,31 @@ mod tests {
         );
         assert_eq!(detect_device(""), DeviceClass::Desktop);
         assert_eq!(detect_device("curl/7.81"), DeviceClass::Desktop);
+    }
+
+    #[test]
+    fn bandwidth_defaults_follow_device_class() {
+        assert_eq!(
+            DeviceClass::LegacyMobile.default_bandwidth(),
+            BandwidthClass::TwoG
+        );
+        assert_eq!(
+            DeviceClass::Smartphone.default_bandwidth(),
+            BandwidthClass::ThreeG
+        );
+        assert_eq!(
+            DeviceClass::Tablet.default_bandwidth(),
+            BandwidthClass::Wifi
+        );
+        assert_eq!(
+            DeviceProfile::blackberry_tour().bandwidth,
+            BandwidthClass::TwoG
+        );
+        assert_eq!(
+            DeviceProfile::blackberry_tour().link_model(),
+            LinkModel::TWO_G
+        );
+        assert_eq!(DeviceProfile::desktop().link_model(), LinkModel::WIFI);
     }
 
     #[test]

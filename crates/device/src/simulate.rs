@@ -168,6 +168,17 @@ pub fn simulate_page_load(
     }
 }
 
+/// Simulates loading `manifest` on `device` over the device's *own*
+/// default link (its [`DeviceProfile::bandwidth`] class) — the pairing
+/// the fidelity-tier attribute assumes when it picks `auto`.
+pub fn simulate_profile_load(
+    device: &DeviceProfile,
+    manifest: &PageManifest,
+    cost: &CostModel,
+) -> LoadBreakdown {
+    simulate_page_load(device, &device.link_model(), manifest, cost)
+}
+
 /// Simulates the *server-side* generation of a pre-rendered snapshot:
 /// origin fetch over loopback, browser instantiation, a full render
 /// minus script execution (the server renders, it does not run the
@@ -380,6 +391,36 @@ mod tests {
         let desk = simulate_page_load(&DeviceProfile::desktop(), &LinkModel::WIFI, &m, &cost);
         assert!(bb.total_s() > ipod.total_s());
         assert!(ipod.total_s() > desk.total_s());
+    }
+
+    #[test]
+    fn profile_default_links_order_two_g_slowest() {
+        let m = forum_manifest();
+        let cost = CostModel::default();
+        // Same device hardware, swept across the three bandwidth
+        // classes: 2G must dominate load time, WiFi must be fastest.
+        let mut device = DeviceProfile::iphone_4();
+        let mut last = f64::MAX;
+        for class in msite_net::BandwidthClass::ALL {
+            device.bandwidth = class;
+            let load = simulate_profile_load(&device, &m, &cost);
+            assert!(
+                load.network_s < last,
+                "{} not faster than the class below it",
+                class
+            );
+            last = load.network_s;
+        }
+        // The Tour's own profile now defaults to 2G and is slower than
+        // its old 3G pairing.
+        let tour = simulate_profile_load(&DeviceProfile::blackberry_tour(), &m, &cost);
+        let three_g = simulate_page_load(
+            &DeviceProfile::blackberry_tour(),
+            &LinkModel::THREE_G,
+            &m,
+            &cost,
+        );
+        assert!(tour.network_s > three_g.network_s);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::dom::{Document, NodeData, NodeId};
 use crate::entities;
+use crate::metrics::{MetricsMap, SubtreeMetrics};
 use crate::parser::is_void_element;
 use crate::tokenizer::RAW_TEXT_ELEMENTS;
 use std::collections::HashMap;
@@ -93,36 +94,92 @@ impl FingerprintMap {
 /// assert_eq!(fp.of(div), Some(fnv1a(doc.outer_html(div).as_bytes())));
 /// ```
 pub fn fingerprint_map(doc: &Document) -> FingerprintMap {
+    let (fp, _) = walk_document(doc, true, false);
+    fp
+}
+
+/// Runs the single serialization walk, hashing and/or measuring every
+/// subtree. The shared driver behind [`fingerprint_map`],
+/// [`measure`](crate::metrics::measure) and
+/// [`fingerprint_and_measure`](crate::metrics::fingerprint_and_measure):
+/// both accumulations ride the same byte stream, so asking for both
+/// costs one walk.
+pub(crate) fn walk_document(
+    doc: &Document,
+    want_hashes: bool,
+    want_metrics: bool,
+) -> (FingerprintMap, Option<MetricsMap>) {
     let mut walker = Walker {
         doc,
         stack: Vec::new(),
         map: HashMap::new(),
         root: FNV_OFFSET,
+        want_hashes,
+        metrics: want_metrics.then(MetricsMap::default),
+        anchor_depth: 0,
     };
     for child in doc.children(doc.root()) {
         walker.walk(child);
     }
-    FingerprintMap {
-        map: walker.map,
-        root: walker.root,
-    }
+    (
+        FingerprintMap {
+            map: walker.map,
+            root: walker.root,
+        },
+        walker.metrics,
+    )
+}
+
+/// One open ancestor on the walk stack: its running hash plus its
+/// running metrics accumulator.
+struct Frame {
+    id: NodeId,
+    hash: u64,
+    metrics: SubtreeMetrics,
 }
 
 struct Walker<'a> {
     doc: &'a Document,
-    /// One running hash per open ancestor, innermost last.
-    stack: Vec<(NodeId, u64)>,
+    /// One running hash + metrics accumulator per open ancestor,
+    /// innermost last.
+    stack: Vec<Frame>,
     map: HashMap<NodeId, u64>,
     root: u64,
+    want_hashes: bool,
+    metrics: Option<MetricsMap>,
+    /// How many `<a>` elements are currently open — text emitted while
+    /// nonzero is link text.
+    anchor_depth: u32,
 }
 
 impl Walker<'_> {
     /// Absorbs serialized bytes into every open hasher and the
-    /// whole-document hash.
+    /// whole-document hash, and (when measuring) into every open byte
+    /// accumulator.
     fn emit(&mut self, text: &str) {
-        self.root = fnv1a_continue(self.root, text.as_bytes());
-        for (_, hash) in &mut self.stack {
-            *hash = fnv1a_continue(*hash, text.as_bytes());
+        if self.want_hashes {
+            self.root = fnv1a_continue(self.root, text.as_bytes());
+            for frame in &mut self.stack {
+                frame.hash = fnv1a_continue(frame.hash, text.as_bytes());
+            }
+        }
+        if let Some(metrics) = &mut self.metrics {
+            let len = text.len() as u32;
+            metrics.root.bytes += len;
+            for frame in &mut self.stack {
+                frame.metrics.bytes += len;
+            }
+        }
+    }
+
+    /// Bumps one metric counter on every open accumulator (and the
+    /// whole-document one). No-op when not measuring.
+    fn count(&mut self, bump: impl Fn(&mut SubtreeMetrics)) {
+        if let Some(metrics) = &mut self.metrics {
+            bump(&mut metrics.root);
+            for frame in &mut self.stack {
+                bump(&mut frame.metrics);
+            }
         }
     }
 
@@ -132,7 +189,11 @@ impl Walker<'_> {
     /// the crate's property tests pin `fingerprint == fnv1a(outer_html)`
     /// for every node.
     fn walk(&mut self, id: NodeId) {
-        self.stack.push((id, FNV_OFFSET));
+        self.stack.push(Frame {
+            id,
+            hash: FNV_OFFSET,
+            metrics: SubtreeMetrics::default(),
+        });
         match self.doc.data(id) {
             NodeData::Document => {
                 let children: Vec<NodeId> = self.doc.children(id).collect();
@@ -166,6 +227,8 @@ impl Walker<'_> {
             }
             NodeData::Comment(text) => {
                 let text = text.clone();
+                let payload = text.len() as u32;
+                self.count(|m| m.comment_bytes += payload);
                 self.emit("<!--");
                 self.emit(&text);
                 self.emit("-->");
@@ -183,6 +246,16 @@ impl Walker<'_> {
                 } else {
                     entities::encode_text(text).into_owned()
                 };
+                if !parent_raw {
+                    let len = rendered.len() as u32;
+                    let in_anchor = self.anchor_depth > 0;
+                    self.count(|m| {
+                        m.text_bytes += len;
+                        if in_anchor {
+                            m.link_text_bytes += len;
+                        }
+                    });
+                }
                 self.emit(&rendered);
             }
             NodeData::Element(element) => {
@@ -196,24 +269,50 @@ impl Walker<'_> {
                     open.push('"');
                 }
                 let name = element.name().to_string();
+                let is_anchor = name == "a";
+                let is_paragraph = name == "p";
+                self.count(|m| {
+                    m.elements += 1;
+                    if is_anchor {
+                        m.links += 1;
+                    }
+                    if is_paragraph {
+                        m.paragraphs += 1;
+                    }
+                });
                 if is_void_element(&name) {
                     open.push('>');
                     self.emit(&open);
-                    let (node, hash) = self.stack.pop().expect("walker stack underflow");
-                    self.map.insert(node, hash);
+                    self.finish_frame();
                     return;
                 }
                 open.push('>');
                 self.emit(&open);
+                if is_anchor {
+                    self.anchor_depth += 1;
+                }
                 let children: Vec<NodeId> = self.doc.children(id).collect();
                 for child in children {
                     self.walk(child);
                 }
+                if is_anchor {
+                    self.anchor_depth -= 1;
+                }
                 self.emit(&format!("</{name}>"));
             }
         }
-        let (node, hash) = self.stack.pop().expect("walker stack underflow");
-        self.map.insert(node, hash);
+        self.finish_frame();
+    }
+
+    /// Pops the innermost frame and records its hash and metrics.
+    fn finish_frame(&mut self) {
+        let frame = self.stack.pop().expect("walker stack underflow");
+        if self.want_hashes {
+            self.map.insert(frame.id, frame.hash);
+        }
+        if let Some(metrics) = &mut self.metrics {
+            metrics.map.insert(frame.id, frame.metrics);
+        }
     }
 }
 

@@ -30,6 +30,7 @@
 pub mod dom;
 pub mod entities;
 pub mod fingerprint;
+pub mod metrics;
 pub mod parser;
 pub mod serialize;
 pub mod text;
@@ -37,6 +38,7 @@ pub mod tidy;
 pub mod tokenizer;
 
 pub use dom::{Document, Element, Node, NodeData, NodeId};
+pub use metrics::{fingerprint_and_measure, measure, MetricsMap, SubtreeMetrics};
 pub use parser::{is_void_element, parse_document, parse_fragment, parse_fragment_into};
 pub use serialize::Dialect;
 pub use tidy::{tidy, tidy_with_report, TidyReport};

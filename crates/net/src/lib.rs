@@ -42,7 +42,7 @@ pub use http::{
     decode_chunked, encode_chunk, ChunkProducer, ChunkSink, ChunkStream, ChunkedError, Headers,
     Method, Request, Response, Status, CHUNK_TERMINATOR, MAX_CHUNK_BYTES, MAX_TRAILER_LINES,
 };
-pub use link::{LinkModel, SimClock, Transport};
+pub use link::{BandwidthClass, LinkModel, SimClock, Transport};
 pub use origin::{
     garble_chunked, FaultStats, FlakyOrigin, HostRouter, Origin, OriginRef, GARBLED_CHUNK_MODES,
 };

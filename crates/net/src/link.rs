@@ -23,6 +23,16 @@ pub struct LinkModel {
 }
 
 impl LinkModel {
+    /// 2012-era 2G/EDGE as experienced in the developing-regions
+    /// setting the fidelity tiers target: ~40 kbit/s effective goodput,
+    /// long RTT, a very long radio ramp, one useful connection.
+    pub const TWO_G: LinkModel = LinkModel {
+        bandwidth_bps: 40_000.0,
+        rtt: Duration::from_millis(700),
+        connection_setup: Duration::from_millis(2_500),
+        parallel_connections: 1,
+    };
+
     /// 2012-era 3G (HSPA) as experienced by a page load: ~250 kbit/s
     /// *effective* goodput (TCP slow start + radio state promotions eat
     /// most of the nominal rate), 400 ms RTT, a long radio ramp-up, and
@@ -84,6 +94,65 @@ impl LinkModel {
         let body_bytes: usize = resources.iter().sum();
         total += self.transfer_time(body_bytes);
         total
+    }
+}
+
+/// Coarse access-bandwidth classes the adaptation layer keys fidelity
+/// tiers on. Each class maps to a representative [`LinkModel`]; device
+/// profiles carry one, and a proxy can resolve one per request from the
+/// `x-msite-bandwidth` header or the User-Agent's device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BandwidthClass {
+    /// 2G/EDGE-era links (~40 kbit/s effective) — the lowest tier.
+    TwoG,
+    /// 3G/HSPA links (~250 kbit/s effective).
+    ThreeG,
+    /// WiFi and better.
+    Wifi,
+}
+
+impl BandwidthClass {
+    /// Every class, slowest first.
+    pub const ALL: [BandwidthClass; 3] = [
+        BandwidthClass::TwoG,
+        BandwidthClass::ThreeG,
+        BandwidthClass::Wifi,
+    ];
+
+    /// The canonical lowercase token — used as metric label, cache-key
+    /// suffix, and DSL/JSON spelling.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BandwidthClass::TwoG => "2g",
+            BandwidthClass::ThreeG => "3g",
+            BandwidthClass::Wifi => "wifi",
+        }
+    }
+
+    /// Parses the canonical token (as found in `x-msite-bandwidth`
+    /// headers and specs); `None` for anything else.
+    pub fn parse(token: &str) -> Option<BandwidthClass> {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "2g" | "edge" | "gprs" => Some(BandwidthClass::TwoG),
+            "3g" | "hspa" => Some(BandwidthClass::ThreeG),
+            "wifi" | "4g" | "lan" => Some(BandwidthClass::Wifi),
+            _ => None,
+        }
+    }
+
+    /// The representative link model for this class.
+    pub const fn link_model(self) -> LinkModel {
+        match self {
+            BandwidthClass::TwoG => LinkModel::TWO_G,
+            BandwidthClass::ThreeG => LinkModel::THREE_G,
+            BandwidthClass::Wifi => LinkModel::WIFI,
+        }
+    }
+}
+
+impl std::fmt::Display for BandwidthClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -222,6 +291,23 @@ mod tests {
         Transport::new(origin, LinkModel::LAN)
             .fetch(&Request::get("http://h/").unwrap(), &mut fast_clock);
         assert!(slow_clock.seconds() > fast_clock.seconds() * 5.0);
+    }
+
+    #[test]
+    fn bandwidth_classes_order_and_round_trip() {
+        let sizes: Vec<usize> = vec![8_000; 10];
+        let mut last = Duration::ZERO;
+        for class in BandwidthClass::ALL.iter().rev() {
+            let t = class.link_model().page_fetch_time(40_000, &sizes);
+            assert!(t > last, "{class} not slower than the class above it");
+            last = t;
+        }
+        for class in BandwidthClass::ALL {
+            assert_eq!(BandwidthClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(BandwidthClass::parse("EDGE"), Some(BandwidthClass::TwoG));
+        assert_eq!(BandwidthClass::parse("dsl"), None);
+        assert_eq!(BandwidthClass::parse(""), None);
     }
 
     #[test]

@@ -73,6 +73,57 @@ impl ProcessedImage {
     }
 }
 
+/// Dimension + quality caps for one fidelity tier — how the adaptation
+/// layer expresses "this client is on a 2G link" to the encoder. The
+/// caps ride the existing [`PostProcess`] knobs: width in excess of
+/// `max_width` is downscaled and the output is JPEG-class at `quality`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FidelityCaps {
+    /// Widest the output may be, in pixels; wider canvases downscale.
+    pub max_width: u32,
+    /// JPEG-class quality (1..=100) for the tier.
+    pub quality: u8,
+}
+
+impl FidelityCaps {
+    /// The [`PostProcess`] run these caps imply for a canvas of
+    /// `width` pixels.
+    pub fn post_process(&self, width: u32) -> PostProcess {
+        let scale = if width > self.max_width && width > 0 {
+            Some(self.max_width as f32 / width as f32)
+        } else {
+            None
+        };
+        PostProcess {
+            crop: None,
+            scale,
+            format: ImageFormat::JpegClass {
+                quality: self.quality,
+            },
+        }
+    }
+}
+
+/// Encodes `canvas` under a fidelity tier's caps: downscale to the
+/// tier's width bound, then JPEG-class encode at the tier's quality.
+///
+/// # Examples
+///
+/// ```
+/// use msite_render::{Canvas, Color};
+/// use msite_render::image::{process_tiered, FidelityCaps};
+///
+/// let canvas = Canvas::new(640, 480, Color::WHITE);
+/// let low = process_tiered(&canvas, &FidelityCaps { max_width: 160, quality: 20 });
+/// let high = process_tiered(&canvas, &FidelityCaps { max_width: 1024, quality: 70 });
+/// assert_eq!(low.canvas.width(), 160);
+/// assert_eq!(high.canvas.width(), 640); // already under the cap
+/// assert!(low.wire_bytes() < high.wire_bytes());
+/// ```
+pub fn process_tiered(canvas: &Canvas, caps: &FidelityCaps) -> ProcessedImage {
+    process(canvas, &caps.post_process(canvas.width()))
+}
+
 /// Runs the post-processor.
 ///
 /// # Panics
@@ -277,6 +328,39 @@ mod tests {
             },
         );
         assert!(out.canvas.distinct_colors() < before);
+    }
+
+    #[test]
+    fn tiered_encode_orders_by_caps() {
+        let c = busy_canvas(640, 400);
+        let tiers = [
+            FidelityCaps {
+                max_width: 160,
+                quality: 20,
+            },
+            FidelityCaps {
+                max_width: 320,
+                quality: 40,
+            },
+            FidelityCaps {
+                max_width: 1024,
+                quality: 70,
+            },
+        ];
+        let sizes: Vec<usize> = tiers
+            .iter()
+            .map(|t| process_tiered(&c, t).wire_bytes())
+            .collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+        // Caps wider than the canvas leave dimensions alone.
+        let wide = process_tiered(
+            &c,
+            &FidelityCaps {
+                max_width: 4096,
+                quality: 70,
+            },
+        );
+        assert_eq!(wide.canvas.width(), 640);
     }
 
     #[test]

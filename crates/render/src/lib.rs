@@ -46,6 +46,6 @@ pub use browser::{Browser, BrowserConfig, RenderResult, StartupCost};
 pub use canvas::Canvas;
 pub use css::{compute_styles, ComputedStyle, Stylesheet};
 pub use geom::{Color, Rect};
-pub use image::{ImageFormat, PostProcess, ProcessedImage};
+pub use image::{FidelityCaps, ImageFormat, PostProcess, ProcessedImage};
 pub use layout::{layout_document, BoxContent, LayoutBox, LayoutTree};
 pub use paint::paint;

@@ -8,6 +8,8 @@
 //!   byte entry page with ~12 external scripts);
 //! - [`classifieds`]: a CraigsList-style listing site for the AJAX
 //!   adaptation study (Figure 6);
+//! - [`news`]: an ad-heavy article site with ground-truth region labels
+//!   for the content-aware adaptation evaluation;
 //! - [`template`]: the tiny template engine both are rendered with;
 //! - [`manifest`]: measured page-load manifests for the device simulator.
 //!
@@ -26,8 +28,10 @@ pub mod classifieds;
 pub mod forum;
 pub mod lorem;
 pub mod manifest;
+pub mod news;
 pub mod template;
 
 pub use classifieds::{ClassifiedsConfig, ClassifiedsSite, CATEGORIES};
 pub use forum::{ForumConfig, ForumSite};
 pub use manifest::{PageManifest, Resource, ResourceKind};
+pub use news::{NewsConfig, NewsSite};

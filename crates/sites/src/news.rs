@@ -1,0 +1,253 @@
+//! An ad-heavy news-article origin for the content-aware adaptation
+//! evaluation (readability extraction, boilerplate stripping and
+//! fidelity tiers).
+//!
+//! Every block carries a `data-msite-region` ground-truth label
+//! (`content`, `ad`, `nav`, `sidebar`, `footer`, `comment`, `social`)
+//! **and** realistic id/class tokens of the kind real pages use. The
+//! adaptation pipeline only ever reads the ids/classes/tags — the
+//! region labels exist so conformance tests and benchmarks can score
+//! extraction precision/recall against known truth.
+
+use crate::lorem;
+use crate::template::{render, Scope};
+use msite_net::{Method, Origin, Prng, Request, Response, Status};
+
+/// News-site generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewsConfig {
+    /// Seed for generated copy.
+    pub seed: u64,
+    /// Paragraphs in the article body.
+    pub paragraphs: u32,
+    /// Inline ad units sprinkled around the article.
+    pub ad_slots: u32,
+    /// Reader comments below the article.
+    pub comments: u32,
+    /// Photos on the `/gallery` page.
+    pub gallery_images: u32,
+    /// Host this site answers as.
+    pub host: String,
+}
+
+impl Default for NewsConfig {
+    fn default() -> Self {
+        NewsConfig {
+            seed: 2012,
+            paragraphs: 8,
+            ad_slots: 4,
+            comments: 6,
+            gallery_images: 5,
+            host: "news.test".to_string(),
+        }
+    }
+}
+
+/// The news origin.
+///
+/// # Examples
+///
+/// ```
+/// use msite_net::{Origin, Request};
+/// use msite_sites::news::{NewsConfig, NewsSite};
+///
+/// let site = NewsSite::new(NewsConfig::default());
+/// let page = site.handle(&Request::get("http://news.test/").unwrap());
+/// assert!(page.body_text().contains("data-msite-region=\"content\""));
+/// ```
+pub struct NewsSite {
+    config: NewsConfig,
+}
+
+impl NewsSite {
+    /// Creates the site.
+    pub fn new(config: NewsConfig) -> NewsSite {
+        NewsSite { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &NewsConfig {
+        &self.config
+    }
+
+    /// Base URL of the site.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.config.host)
+    }
+
+    fn article(&self) -> Response {
+        let mut rng = Prng::new(self.config.seed);
+        let headline = lorem::thread_title(&mut rng);
+        let byline = lorem::username(&mut rng);
+        let paragraphs: Vec<Scope> = (0..self.config.paragraphs)
+            .map(|i| {
+                let mut para = Prng::new(self.config.seed ^ (0x100 + i as u64));
+                Scope::new().set("text", lorem::sentence(&mut para, 60))
+            })
+            .collect();
+        let ads: Vec<Scope> = (0..self.config.ad_slots)
+            .map(|i| {
+                let mut ad = Prng::new(self.config.seed ^ (0x200 + i as u64));
+                Scope::new()
+                    .set("slot", (i + 1).to_string())
+                    .set("pitch", lorem::listing_title(&mut ad))
+            })
+            .collect();
+        let comments: Vec<Scope> = (0..self.config.comments)
+            .map(|i| {
+                let mut c = Prng::new(self.config.seed ^ (0x300 + i as u64));
+                Scope::new()
+                    .set("author", lorem::username(&mut c))
+                    .set("text", lorem::sentence(&mut c, 18))
+            })
+            .collect();
+        let scope = Scope::new()
+            .set("headline", headline)
+            .set("byline", byline)
+            .set("paragraphs", paragraphs)
+            .set("ads", ads)
+            .set("comments", comments);
+        Response::html(render(ARTICLE_TEMPLATE, &scope).expect("article template"))
+    }
+
+    fn gallery(&self) -> Response {
+        let photos: Vec<Scope> = (0..self.config.gallery_images)
+            .map(|i| {
+                let mut p = Prng::new(self.config.seed ^ (0x400 + i as u64));
+                Scope::new()
+                    .set("index", (i + 1).to_string())
+                    .set("caption", lorem::thread_title(&mut p))
+            })
+            .collect();
+        let scope = Scope::new().set("photos", photos);
+        Response::html(render(GALLERY_TEMPLATE, &scope).expect("gallery template"))
+    }
+}
+
+impl Origin for NewsSite {
+    fn handle(&self, request: &Request) -> Response {
+        if request.method != Method::Get {
+            return Response::error(Status::BAD_REQUEST, "unsupported method");
+        }
+        match request.url.path() {
+            "/" => self.article(),
+            "/gallery" => self.gallery(),
+            _ => Response::error(Status::NOT_FOUND, "no such page"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "news"
+    }
+}
+
+const ARTICLE_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>{{headline}}</title></head>
+<body>
+<nav id="topnav" class="navbar menu" data-msite-region="nav">
+<a href="/">Home</a> <a href="/gallery">Photos</a> <a href="/world">World</a> <a href="/sports">Sports</a> <a href="/opinion">Opinion</a>
+</nav>
+<div id="leaderboard" class="ad-banner sponsor" data-msite-region="ad">
+{{#each ads}}<div class="advert adsense" id="ad-slot-{{slot}}" data-msite-region="ad"><a href="http://ads.example/click/{{slot}}">{{pitch}}</a></div>
+{{/each}}
+</div>
+<article id="story" class="article-body" data-msite-region="content">
+<h1 class="headline">{{headline}}</h1>
+<p class="byline">by {{byline}}</p>
+{{#each paragraphs}}<p>{{text}}</p>
+{{/each}}
+</article>
+<div class="share social" data-msite-region="social">
+<a href="http://social.example/share">share</a> <a href="http://social.example/follow">follow us</a>
+</div>
+<aside id="rail" class="sidebar widget" data-msite-region="sidebar">
+<h3>Trending</h3>
+<ul><li><a href="/t/1">story one</a></li><li><a href="/t/2">story two</a></li><li><a href="/t/3">story three</a></li></ul>
+</aside>
+<section id="comments" class="comment-list" data-msite-region="comment">
+{{#each comments}}<div class="comment"><b class="comment-author">{{author}}</b> <span class="comment-text">{{text}}</span></div>
+{{/each}}
+</section>
+<footer id="pagefoot" class="footer copyright" data-msite-region="footer">
+&copy; 2012 Daily Shavings &middot; <a href="/legal">terms</a> &middot; <a href="/privacy">privacy</a>
+</footer>
+</body></html>"#;
+
+const GALLERY_TEMPLATE: &str = r#"<!DOCTYPE html><html><head><title>photo gallery</title></head>
+<body>
+<nav id="topnav" class="navbar menu" data-msite-region="nav"><a href="/">Home</a> <a href="/gallery">Photos</a></nav>
+<main id="gallery" class="gallery" data-msite-region="content">
+<h1>Shop photo gallery</h1>
+{{#each photos}}<figure class="photo"><img src="/photos/{{index}}.png" width="640" height="480" alt="{{caption}}"><figcaption>{{caption}}</figcaption></figure>
+{{/each}}
+</main>
+<footer id="pagefoot" class="footer" data-msite-region="footer">&copy; 2012 Daily Shavings</footer>
+</body></html>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> NewsSite {
+        NewsSite::new(NewsConfig::default())
+    }
+
+    fn get(s: &NewsSite, path: &str) -> Response {
+        s.handle(&Request::get(&format!("http://{}{path}", s.config.host)).unwrap())
+    }
+
+    #[test]
+    fn article_carries_every_region_label() {
+        let body = get(&site(), "/").body_text();
+        for region in [
+            "content", "ad", "nav", "sidebar", "footer", "comment", "social",
+        ] {
+            assert!(
+                body.contains(&format!("data-msite-region=\"{region}\"")),
+                "missing region {region}"
+            );
+        }
+    }
+
+    #[test]
+    fn article_has_configured_counts() {
+        let s = site();
+        let body = get(&s, "/").body_text();
+        assert_eq!(
+            body.matches("class=\"advert adsense\"").count(),
+            s.config.ad_slots as usize
+        );
+        assert_eq!(
+            body.matches("class=\"comment\"").count(),
+            s.config.comments as usize
+        );
+        // Body paragraphs plus the byline paragraph.
+        assert!(body.matches("<p>").count() >= s.config.paragraphs as usize);
+    }
+
+    #[test]
+    fn gallery_images_are_sized() {
+        let s = site();
+        let body = get(&s, "/gallery").body_text();
+        assert_eq!(
+            body.matches("width=\"640\" height=\"480\"").count(),
+            s.config.gallery_images as usize
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = get(&site(), "/").body_text();
+        let b = get(&site(), "/").body_text();
+        assert_eq!(a, b);
+        let other = NewsSite::new(NewsConfig {
+            seed: 7,
+            ..NewsConfig::default()
+        });
+        assert_ne!(a, get(&other, "/").body_text());
+    }
+
+    #[test]
+    fn unknown_path_404() {
+        assert_eq!(get(&site(), "/nope").status, Status::NOT_FOUND);
+    }
+}

@@ -55,6 +55,12 @@ cargo test -q --offline -p msite-support --test metrics_golden
 echo "== end-to-end proxy conformance (metrics, traces, headers) =="
 cargo test -q --offline --test proxy_e2e
 
+echo "== content adaptation scenarios (extraction, strip, tiers) =="
+cargo test -q --offline --test content_scenarios
+cargo test -q --offline -p msite --test content_prop
+cargo test -q --offline -p msite --test attr_codec
+cargo test -q --offline -p msite-sites --test determinism
+
 echo "== SWAR byte-identity gates (fast vs scalar twins) =="
 cargo test -q --offline -p msite-support --test swar_prop
 cargo test -q --offline -p msite-html --test swar_identity
@@ -79,3 +85,6 @@ cargo run --release --offline -p msite-bench --bin experiments -- capacity
 
 echo "== SWAR hot-path speedup gate (tokenizer+entity, crc32) =="
 cargo run --release --offline -p msite-bench --bin experiments -- hotpath
+
+echo "== content extraction precision/recall + fidelity tier gate =="
+cargo run --release --offline -p msite-bench --bin experiments -- content
